@@ -1,0 +1,198 @@
+//! The engine trait all extension technologies implement, plus the native
+//! (hand-written Rust) engine.
+
+use crate::error::{GraftError, Trap};
+use crate::region::{RegionSpec, RegionStore};
+use crate::tech::Technology;
+
+/// A loaded, executable graft under some extension technology.
+///
+/// The kernel drives every technology through the same interface:
+///
+/// 1. marshal input into the graft's regions ([`load_region`] and
+///    friends);
+/// 2. [`invoke`] an entry point with scalar arguments;
+/// 3. read results back out of the regions.
+///
+/// Implementations must be [`Send`] so a graft can be pushed behind the
+/// user-level upcall boundary.
+///
+/// [`load_region`]: ExtensionEngine::load_region
+/// [`invoke`]: ExtensionEngine::invoke
+pub trait ExtensionEngine: Send {
+    /// The technology this engine implements.
+    fn technology(&self) -> Technology;
+
+    /// Runs the entry point `entry` with the given scalar arguments and
+    /// returns its scalar result.
+    fn invoke(&mut self, entry: &str, args: &[i64]) -> Result<i64, GraftError>;
+
+    /// Kernel-side bulk marshal into a region at a word offset.
+    fn load_region(&mut self, name: &str, offset: usize, data: &[i64]) -> Result<(), GraftError>;
+
+    /// Kernel-side single-word read from a region.
+    fn read_region(&self, name: &str, index: usize) -> Result<i64, GraftError>;
+
+    /// Kernel-side single-word write into a region.
+    fn write_region(&mut self, name: &str, index: usize, value: i64) -> Result<(), GraftError>;
+
+    /// Kernel-side bulk read from a region at a word offset.
+    fn read_region_slice(
+        &self,
+        name: &str,
+        offset: usize,
+        out: &mut [i64],
+    ) -> Result<(), GraftError>;
+
+    /// Sets the execution budget for subsequent invocations.
+    ///
+    /// `None` means unmetered. Engines that cannot meter execution (the
+    /// unprotected compiled technologies) ignore this; whether metering is
+    /// honoured is exposed by [`Technology::preemptible`].
+    fn set_fuel(&mut self, fuel: Option<u64>);
+
+    /// Fuel consumed by the most recent invocation, if the engine meters.
+    fn fuel_used(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// A hand-written Rust graft body (the paper's "code compiled into the
+/// kernel" upper bound).
+///
+/// Native grafts receive direct mutable access to the region store; there
+/// is no checking layer beyond Rust's own — which is the point of the
+/// [`Technology::RustNative`] row in the tables.
+pub trait NativeGraft: Send {
+    /// Executes `entry` against the regions.
+    fn call(
+        &mut self,
+        entry: &str,
+        args: &[i64],
+        regions: &mut RegionStore,
+    ) -> Result<i64, GraftError>;
+}
+
+/// Blanket native-graft implementation for plain functions, so simple
+/// grafts can be written as closures.
+impl<F> NativeGraft for F
+where
+    F: FnMut(&str, &[i64], &mut RegionStore) -> Result<i64, GraftError> + Send,
+{
+    fn call(
+        &mut self,
+        entry: &str,
+        args: &[i64],
+        regions: &mut RegionStore,
+    ) -> Result<i64, GraftError> {
+        self(entry, args, regions)
+    }
+}
+
+/// Engine wrapper that runs a [`NativeGraft`] over a [`RegionStore`].
+pub struct NativeEngine {
+    regions: RegionStore,
+    graft: Box<dyn NativeGraft>,
+}
+
+impl NativeEngine {
+    /// Builds a native engine with zeroed regions.
+    pub fn new(specs: &[RegionSpec], graft: Box<dyn NativeGraft>) -> Result<Self, GraftError> {
+        Ok(NativeEngine {
+            regions: RegionStore::new(specs)?,
+            graft,
+        })
+    }
+}
+
+impl ExtensionEngine for NativeEngine {
+    fn technology(&self) -> Technology {
+        Technology::RustNative
+    }
+
+    fn invoke(&mut self, entry: &str, args: &[i64]) -> Result<i64, GraftError> {
+        self.graft.call(entry, args, &mut self.regions)
+    }
+
+    fn load_region(&mut self, name: &str, offset: usize, data: &[i64]) -> Result<(), GraftError> {
+        self.regions.load(name, offset, data)
+    }
+
+    fn read_region(&self, name: &str, index: usize) -> Result<i64, GraftError> {
+        self.regions.read(name, index)
+    }
+
+    fn write_region(&mut self, name: &str, index: usize, value: i64) -> Result<(), GraftError> {
+        self.regions.write(name, index, value)
+    }
+
+    fn read_region_slice(
+        &self,
+        name: &str,
+        offset: usize,
+        out: &mut [i64],
+    ) -> Result<(), GraftError> {
+        self.regions.read_slice(name, offset, out)
+    }
+
+    fn set_fuel(&mut self, _fuel: Option<u64>) {
+        // Native code cannot be metered without compiler support; this is
+        // precisely the reliability hazard the paper attributes to
+        // unprotected technologies.
+    }
+}
+
+/// Convenience used by engines to surface a trap for a missing entry.
+pub fn no_such_entry(entry: &str) -> GraftError {
+    GraftError::Trap(Trap::NoSuchFunction(entry.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::RegionSpec;
+
+    fn doubling_engine() -> NativeEngine {
+        let graft = |entry: &str, args: &[i64], regions: &mut RegionStore| {
+            match entry {
+                "double" => Ok(args[0] * 2),
+                "sum_buf" => {
+                    let id = regions.id("buf")?;
+                    Ok(regions.region(id).words().iter().sum())
+                }
+                other => Err(no_such_entry(other)),
+            }
+        };
+        NativeEngine::new(&[RegionSpec::data("buf", 4)], Box::new(graft)).unwrap()
+    }
+
+    #[test]
+    fn native_engine_invokes_closure() {
+        let mut e = doubling_engine();
+        assert_eq!(e.invoke("double", &[21]).unwrap(), 42);
+    }
+
+    #[test]
+    fn native_engine_sees_marshalled_regions() {
+        let mut e = doubling_engine();
+        e.load_region("buf", 0, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(e.invoke("sum_buf", &[]).unwrap(), 10);
+    }
+
+    #[test]
+    fn missing_entry_traps() {
+        let mut e = doubling_engine();
+        let err = e.invoke("nope", &[]).unwrap_err();
+        assert!(matches!(
+            err.as_trap(),
+            Some(Trap::NoSuchFunction(name)) if name == "nope"
+        ));
+    }
+
+    #[test]
+    fn native_engine_reports_rust_native() {
+        let e = doubling_engine();
+        assert_eq!(e.technology(), Technology::RustNative);
+        assert_eq!(e.fuel_used(), None);
+    }
+}

@@ -1,0 +1,174 @@
+//! Runtime traps and framework errors.
+
+use std::fmt;
+
+/// A fault raised while a graft was executing.
+///
+/// Traps are the *protection mechanism doing its job*: a safe technology
+/// converts what would be memory corruption under unsafe C into one of
+/// these values, which the kernel can handle by unloading the graft.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Trap {
+    /// An array or region access outside its bounds (safe-language check).
+    OutOfBounds {
+        /// Region or array that was accessed.
+        region: String,
+        /// The offending index.
+        index: i64,
+        /// The region length.
+        len: usize,
+    },
+    /// A pointer-chasing load through the NIL sentinel (Modula-3's
+    /// implicit NIL check; see the paper's Linux discussion in §5.4).
+    NilDeref {
+        /// Region in which the NIL chase happened.
+        region: String,
+    },
+    /// Integer division or remainder by zero.
+    DivByZero,
+    /// The graft exhausted its execution budget ("fuel") and was preempted
+    /// (the paper's requirement that extensions not monopolize the CPU).
+    FuelExhausted,
+    /// The SFI load-time verifier or runtime sandbox rejected an access.
+    SfiViolation(String),
+    /// A dynamic type error in an interpreted technology (bytecode
+    /// verifier escape hatch or script coercion failure).
+    TypeError(String),
+    /// Call stack exceeded the engine's configured limit.
+    StackOverflow,
+    /// The graft called an entry point or function that does not exist.
+    NoSuchFunction(String),
+    /// An explicit abort raised by the graft itself.
+    Abort(i64),
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::OutOfBounds { region, index, len } => {
+                write!(f, "out-of-bounds access: {region}[{index}] (len {len})")
+            }
+            Trap::NilDeref { region } => write!(f, "NIL dereference in region {region}"),
+            Trap::DivByZero => f.write_str("integer division by zero"),
+            Trap::FuelExhausted => f.write_str("execution budget exhausted (preempted)"),
+            Trap::SfiViolation(msg) => write!(f, "SFI violation: {msg}"),
+            Trap::TypeError(msg) => write!(f, "type error: {msg}"),
+            Trap::StackOverflow => f.write_str("graft call stack overflow"),
+            Trap::NoSuchFunction(name) => write!(f, "no such function `{name}`"),
+            Trap::Abort(code) => write!(f, "graft aborted with code {code}"),
+        }
+    }
+}
+
+/// Any error produced while compiling, verifying, loading, or running a
+/// graft.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraftError {
+    /// The graft source failed to compile (lex/parse/type error).
+    Compile(String),
+    /// Load-time verification rejected the compiled graft.
+    Verify(String),
+    /// The requested technology has no implementation of this graft (for
+    /// example, no Tickle source was supplied).
+    Unavailable {
+        /// Name of the graft.
+        graft: String,
+        /// What was missing.
+        missing: String,
+    },
+    /// The graft was invoked with the wrong number of arguments.
+    BadArity {
+        /// Entry point name.
+        entry: String,
+        /// Number of parameters the entry declares.
+        expected: usize,
+        /// Number of arguments supplied.
+        got: usize,
+    },
+    /// No region with the given name exists in the graft's region set.
+    NoSuchRegion(String),
+    /// A kernel-side region access was out of bounds (marshalling bug).
+    RegionRange {
+        /// Region name.
+        region: String,
+        /// Offending index.
+        index: usize,
+        /// Region length.
+        len: usize,
+    },
+    /// The graft trapped while executing.
+    Trap(Trap),
+    /// The upcall transport to a user-level server failed.
+    UpcallFailed(String),
+}
+
+impl GraftError {
+    /// Returns the trap if this error is a runtime trap.
+    pub fn as_trap(&self) -> Option<&Trap> {
+        match self {
+            GraftError::Trap(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for GraftError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraftError::Compile(msg) => write!(f, "compile error: {msg}"),
+            GraftError::Verify(msg) => write!(f, "verification failed: {msg}"),
+            GraftError::Unavailable { graft, missing } => {
+                write!(f, "graft `{graft}` unavailable: missing {missing}")
+            }
+            GraftError::BadArity {
+                entry,
+                expected,
+                got,
+            } => write!(f, "entry `{entry}` expects {expected} args, got {got}"),
+            GraftError::NoSuchRegion(name) => write!(f, "no such region `{name}`"),
+            GraftError::RegionRange { region, index, len } => {
+                write!(f, "kernel access out of range: {region}[{index}] (len {len})")
+            }
+            GraftError::Trap(t) => write!(f, "graft trapped: {t}"),
+            GraftError::UpcallFailed(msg) => write!(f, "upcall failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraftError {}
+
+impl From<Trap> for GraftError {
+    fn from(t: Trap) -> Self {
+        GraftError::Trap(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trap_converts_into_graft_error() {
+        let err: GraftError = Trap::DivByZero.into();
+        assert_eq!(err.as_trap(), Some(&Trap::DivByZero));
+    }
+
+    #[test]
+    fn display_messages_are_informative() {
+        let err = GraftError::Trap(Trap::OutOfBounds {
+            region: "hotlist".into(),
+            index: 99,
+            len: 64,
+        });
+        let msg = err.to_string();
+        assert!(msg.contains("hotlist"));
+        assert!(msg.contains("99"));
+        assert!(msg.contains("64"));
+    }
+
+    #[test]
+    fn compile_errors_are_not_traps() {
+        let err = GraftError::Compile("unexpected token".into());
+        assert!(err.as_trap().is_none());
+    }
+}

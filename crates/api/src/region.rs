@@ -1,0 +1,331 @@
+//! The kernel/graft shared-memory ABI.
+//!
+//! A graft does not get raw pointers into kernel memory. Instead the
+//! kernel *marshals* the data structures the graft may inspect (the LRU
+//! queue, the hot list, a block of file data, a logical-to-physical block
+//! map) into named **regions**: flat arrays of `i64` words. How a region
+//! access is checked — bounds-checked, NIL-checked, address-masked, or not
+//! checked at all — is exactly what distinguishes the extension
+//! technologies the paper compares, so the checking policy belongs to the
+//! engines; this module only stores the words.
+
+use std::collections::HashMap;
+
+use crate::error::GraftError;
+
+/// Identifier of a region within one graft instance, assigned in
+/// declaration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegionId(pub u16);
+
+impl RegionId {
+    /// The region's index into its [`RegionStore`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Static description of one shared region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionSpec {
+    /// Name the graft and the kernel use to refer to the region.
+    pub name: String,
+    /// Length in 64-bit words.
+    pub len: usize,
+    /// Whether the region holds index-linked records (word 0 is the NIL
+    /// sentinel and must never be dereferenced). Safe-compiled engines
+    /// insert NIL checks on loads from linked regions only, mirroring
+    /// Modula-3's checking of `REF` types but not array indexes.
+    pub linked: bool,
+    /// Whether the graft may write to the region. Read-only regions let
+    /// the SFI engine skip write-masking kernel inputs.
+    pub writable: bool,
+}
+
+impl RegionSpec {
+    /// A writable, non-linked data region.
+    pub fn data(name: &str, len: usize) -> Self {
+        RegionSpec {
+            name: name.to_string(),
+            len,
+            linked: false,
+            writable: true,
+        }
+    }
+
+    /// A writable region of index-linked records (0 is NIL).
+    pub fn linked(name: &str, len: usize) -> Self {
+        RegionSpec {
+            name: name.to_string(),
+            len,
+            linked: true,
+            writable: true,
+        }
+    }
+
+    /// A read-only data region (kernel input the graft may not modify).
+    pub fn read_only(name: &str, len: usize) -> Self {
+        RegionSpec {
+            name: name.to_string(),
+            len,
+            linked: false,
+            writable: false,
+        }
+    }
+}
+
+/// One region: its spec plus backing words.
+#[derive(Debug, Clone)]
+pub struct Region {
+    spec: RegionSpec,
+    data: Vec<i64>,
+}
+
+impl Region {
+    /// Allocates a zeroed region for `spec`.
+    pub fn new(spec: RegionSpec) -> Self {
+        let data = vec![0; spec.len];
+        Region { spec, data }
+    }
+
+    /// The region's static description.
+    pub fn spec(&self) -> &RegionSpec {
+        &self.spec
+    }
+
+    /// Length in words.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the region holds zero words.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read-only view of the words.
+    pub fn words(&self) -> &[i64] {
+        &self.data
+    }
+
+    /// Mutable view of the words.
+    pub fn words_mut(&mut self) -> &mut [i64] {
+        &mut self.data
+    }
+}
+
+/// The complete set of regions belonging to one graft instance.
+///
+/// All engines embed a `RegionStore` (or, for SFI, an arena laid out from
+/// one). Kernel-side marshalling goes through the fallible `load` / `read`
+/// methods; engine-side graft accesses go through each engine's own
+/// checked or unchecked fast paths.
+#[derive(Debug, Clone, Default)]
+pub struct RegionStore {
+    regions: Vec<Region>,
+    by_name: HashMap<String, RegionId>,
+}
+
+impl RegionStore {
+    /// Builds a store with one zeroed region per spec.
+    ///
+    /// Duplicate names are rejected: the ABI requires region names to be
+    /// unique within a graft.
+    pub fn new(specs: &[RegionSpec]) -> Result<Self, GraftError> {
+        let mut store = RegionStore::default();
+        for spec in specs {
+            if store.by_name.contains_key(&spec.name) {
+                return Err(GraftError::Verify(format!(
+                    "duplicate region name `{}`",
+                    spec.name
+                )));
+            }
+            let id = RegionId(store.regions.len() as u16);
+            store.by_name.insert(spec.name.clone(), id);
+            store.regions.push(Region::new(spec.clone()));
+        }
+        Ok(store)
+    }
+
+    /// Number of regions.
+    pub fn count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Looks up a region id by name.
+    pub fn id(&self, name: &str) -> Result<RegionId, GraftError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| GraftError::NoSuchRegion(name.to_string()))
+    }
+
+    /// The region with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this store.
+    pub fn region(&self, id: RegionId) -> &Region {
+        &self.regions[id.index()]
+    }
+
+    /// Mutable access to the region with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this store.
+    pub fn region_mut(&mut self, id: RegionId) -> &mut Region {
+        &mut self.regions[id.index()]
+    }
+
+    /// Iterates over `(id, region)` pairs in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (RegionId, &Region)> {
+        self.regions
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RegionId(i as u16), r))
+    }
+
+    /// Kernel-side bulk marshal: copies `data` into the region starting at
+    /// word `offset`.
+    pub fn load(&mut self, name: &str, offset: usize, data: &[i64]) -> Result<(), GraftError> {
+        let id = self.id(name)?;
+        let region = &mut self.regions[id.index()];
+        let end = offset.checked_add(data.len()).filter(|&e| e <= region.len());
+        match end {
+            Some(end) => {
+                region.data[offset..end].copy_from_slice(data);
+                Ok(())
+            }
+            None => Err(GraftError::RegionRange {
+                region: name.to_string(),
+                index: offset.saturating_add(data.len()),
+                len: region.len(),
+            }),
+        }
+    }
+
+    /// Kernel-side read of a single word.
+    pub fn read(&self, name: &str, index: usize) -> Result<i64, GraftError> {
+        let id = self.id(name)?;
+        let region = &self.regions[id.index()];
+        region
+            .data
+            .get(index)
+            .copied()
+            .ok_or_else(|| GraftError::RegionRange {
+                region: name.to_string(),
+                index,
+                len: region.len(),
+            })
+    }
+
+    /// Kernel-side write of a single word.
+    pub fn write(&mut self, name: &str, index: usize, value: i64) -> Result<(), GraftError> {
+        let id = self.id(name)?;
+        let region = &mut self.regions[id.index()];
+        let len = region.len();
+        match region.data.get_mut(index) {
+            Some(slot) => {
+                *slot = value;
+                Ok(())
+            }
+            None => Err(GraftError::RegionRange {
+                region: name.to_string(),
+                index,
+                len,
+            }),
+        }
+    }
+
+    /// Kernel-side bulk read: copies `out.len()` words starting at
+    /// `offset` into `out`.
+    pub fn read_slice(&self, name: &str, offset: usize, out: &mut [i64]) -> Result<(), GraftError> {
+        let id = self.id(name)?;
+        let region = &self.regions[id.index()];
+        let end = offset.checked_add(out.len()).filter(|&e| e <= region.len());
+        match end {
+            Some(end) => {
+                out.copy_from_slice(&region.data[offset..end]);
+                Ok(())
+            }
+            None => Err(GraftError::RegionRange {
+                region: name.to_string(),
+                index: offset.saturating_add(out.len()),
+                len: region.len(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> RegionStore {
+        RegionStore::new(&[
+            RegionSpec::data("buf", 8),
+            RegionSpec::linked("queue", 16),
+            RegionSpec::read_only("input", 4),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn regions_start_zeroed() {
+        let s = store();
+        for i in 0..8 {
+            assert_eq!(s.read("buf", i).unwrap(), 0);
+        }
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = RegionStore::new(&[RegionSpec::data("x", 1), RegionSpec::data("x", 2)]);
+        assert!(matches!(err, Err(GraftError::Verify(_))));
+    }
+
+    #[test]
+    fn load_read_round_trip() {
+        let mut s = store();
+        s.load("buf", 2, &[10, 20, 30]).unwrap();
+        assert_eq!(s.read("buf", 2).unwrap(), 10);
+        assert_eq!(s.read("buf", 4).unwrap(), 30);
+        let mut out = [0; 3];
+        s.read_slice("buf", 2, &mut out).unwrap();
+        assert_eq!(out, [10, 20, 30]);
+    }
+
+    #[test]
+    fn out_of_range_load_is_rejected() {
+        let mut s = store();
+        let err = s.load("buf", 6, &[1, 2, 3]).unwrap_err();
+        assert!(matches!(err, GraftError::RegionRange { .. }));
+    }
+
+    #[test]
+    fn overflowing_offset_is_rejected() {
+        let mut s = store();
+        let err = s.load("buf", usize::MAX, &[1]).unwrap_err();
+        assert!(matches!(err, GraftError::RegionRange { .. }));
+    }
+
+    #[test]
+    fn unknown_region_is_reported() {
+        let s = store();
+        assert!(matches!(
+            s.read("nope", 0),
+            Err(GraftError::NoSuchRegion(_))
+        ));
+    }
+
+    #[test]
+    fn ids_are_assigned_in_declaration_order() {
+        let s = store();
+        assert_eq!(s.id("buf").unwrap(), RegionId(0));
+        assert_eq!(s.id("queue").unwrap(), RegionId(1));
+        assert_eq!(s.id("input").unwrap(), RegionId(2));
+        assert!(s.region(RegionId(1)).spec().linked);
+        assert!(!s.region(RegionId(2)).spec().writable);
+    }
+}

@@ -1,0 +1,146 @@
+//! Portable graft packages.
+//!
+//! A [`GraftSpec`] is what an application vendor ships: the graft's
+//! identity, its region ABI, its entry points, and its source in each
+//! technology's input language. The `GraftManager` in `graft-core`
+//! compiles the appropriate source for the technology the kernel selects.
+
+use crate::engine::NativeGraft;
+use crate::region::RegionSpec;
+use crate::taxonomy::{GraftClass, Motivation};
+
+/// One callable entry point exported by a graft.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntryPoint {
+    /// Exported name.
+    pub name: String,
+    /// Number of scalar `i64` parameters.
+    pub arity: usize,
+}
+
+impl EntryPoint {
+    /// Builds an entry point description.
+    pub fn new(name: &str, arity: usize) -> Self {
+        EntryPoint {
+            name: name.to_string(),
+            arity,
+        }
+    }
+}
+
+/// Factory producing a fresh native (Rust) implementation of a graft.
+pub type NativeFactory = Box<dyn Fn() -> Box<dyn NativeGraft> + Send + Sync>;
+
+/// A technology-independent graft package.
+pub struct GraftSpec {
+    /// Human-readable graft name.
+    pub name: String,
+    /// Structural class in the paper's taxonomy.
+    pub class: GraftClass,
+    /// Why an application would install this graft.
+    pub motivation: Motivation,
+    /// Shared-memory ABI between kernel and graft.
+    pub regions: Vec<RegionSpec>,
+    /// Exported entry points.
+    pub entries: Vec<EntryPoint>,
+    /// Grail source (compiled technologies: unchecked, safe, SFI,
+    /// bytecode).
+    pub grail: Option<String>,
+    /// Tickle source (script technology).
+    pub tickle: Option<String>,
+    /// Native Rust implementation factory.
+    pub native: Option<NativeFactory>,
+}
+
+impl GraftSpec {
+    /// Starts a spec with the mandatory identity fields; sources are
+    /// attached with the builder methods.
+    pub fn new(name: &str, class: GraftClass, motivation: Motivation) -> Self {
+        GraftSpec {
+            name: name.to_string(),
+            class,
+            motivation,
+            regions: Vec::new(),
+            entries: Vec::new(),
+            grail: None,
+            tickle: None,
+            native: None,
+        }
+    }
+
+    /// Adds a region to the ABI.
+    pub fn region(mut self, spec: RegionSpec) -> Self {
+        self.regions.push(spec);
+        self
+    }
+
+    /// Declares an entry point.
+    pub fn entry(mut self, name: &str, arity: usize) -> Self {
+        self.entries.push(EntryPoint::new(name, arity));
+        self
+    }
+
+    /// Attaches Grail source.
+    pub fn with_grail(mut self, source: &str) -> Self {
+        self.grail = Some(source.to_string());
+        self
+    }
+
+    /// Attaches Tickle source.
+    pub fn with_tickle(mut self, source: &str) -> Self {
+        self.tickle = Some(source.to_string());
+        self
+    }
+
+    /// Attaches a native implementation factory.
+    pub fn with_native(mut self, factory: NativeFactory) -> Self {
+        self.native = Some(factory);
+        self
+    }
+
+    /// Looks up a declared entry point.
+    pub fn find_entry(&self, name: &str) -> Option<&EntryPoint> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+}
+
+impl std::fmt::Debug for GraftSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GraftSpec")
+            .field("name", &self.name)
+            .field("class", &self.class)
+            .field("motivation", &self.motivation)
+            .field("regions", &self.regions)
+            .field("entries", &self.entries)
+            .field("grail", &self.grail.as_ref().map(|s| s.len()))
+            .field("tickle", &self.tickle.as_ref().map(|s| s.len()))
+            .field("native", &self.native.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_collects_fields() {
+        let spec = GraftSpec::new("probe", GraftClass::BlackBox, Motivation::Functionality)
+            .region(RegionSpec::data("io", 8))
+            .entry("run", 2)
+            .with_grail("fn run(a: int, b: int) -> int { return a + b; }");
+        assert_eq!(spec.regions.len(), 1);
+        assert_eq!(spec.find_entry("run").unwrap().arity, 2);
+        assert!(spec.find_entry("missing").is_none());
+        assert!(spec.grail.is_some());
+        assert!(spec.tickle.is_none());
+    }
+
+    #[test]
+    fn debug_does_not_dump_sources() {
+        let spec = GraftSpec::new("p", GraftClass::Stream, Motivation::Performance)
+            .with_grail(&"x".repeat(10_000));
+        let dbg = format!("{spec:?}");
+        assert!(dbg.len() < 1000, "debug output should summarize sources");
+    }
+}

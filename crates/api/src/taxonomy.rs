@@ -1,0 +1,102 @@
+//! The graft taxonomy of Section 3 of the paper.
+
+use std::fmt;
+
+/// Structural class of a kernel extension ("graft").
+///
+/// Section 3 of the paper identifies three basic structures into which the
+/// implementation of most grafts falls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GraftClass {
+    /// Presented with a list of options, selects the item of highest
+    /// priority (Section 3.1). Examples: VM page eviction, buffer-cache
+    /// eviction, process scheduling.
+    Prioritization,
+    /// Filtering code inserted into a data stream (Section 3.2). Examples:
+    /// compression, encryption, MD5 fingerprinting, journaling.
+    Stream,
+    /// A function with some inputs, some state, and a single output
+    /// (Section 3.3). Examples: access-control lists, read-ahead policy,
+    /// a Logical Disk block-mapping layer.
+    BlackBox,
+}
+
+impl GraftClass {
+    /// All classes, in the order the paper presents them.
+    pub const ALL: [GraftClass; 3] = [
+        GraftClass::Prioritization,
+        GraftClass::Stream,
+        GraftClass::BlackBox,
+    ];
+
+    /// The benchmark graft the paper uses to represent this class.
+    pub fn representative_benchmark(self) -> &'static str {
+        match self {
+            GraftClass::Prioritization => "VM page eviction (hot-list search)",
+            GraftClass::Stream => "MD5 fingerprinting (RFC 1321)",
+            GraftClass::BlackBox => "Logical Disk block mapping",
+        }
+    }
+}
+
+impl fmt::Display for GraftClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            GraftClass::Prioritization => "prioritization",
+            GraftClass::Stream => "stream",
+            GraftClass::BlackBox => "black box",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Why an application grafts code into the kernel (Section 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Motivation {
+    /// Control kernel policy (buffer cache, VM cache, scheduling).
+    Policy,
+    /// Migrate application code into the kernel to save copies and upcalls.
+    Performance,
+    /// Add general functionality (ACLs, compressed files, new protocols).
+    Functionality,
+}
+
+impl fmt::Display for Motivation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Motivation::Policy => "policy",
+            Motivation::Performance => "performance",
+            Motivation::Functionality => "functionality",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_classes_are_distinct() {
+        assert_eq!(GraftClass::ALL.len(), 3);
+        assert_ne!(GraftClass::ALL[0], GraftClass::ALL[1]);
+        assert_ne!(GraftClass::ALL[1], GraftClass::ALL[2]);
+    }
+
+    #[test]
+    fn display_is_lowercase_prose() {
+        assert_eq!(GraftClass::Prioritization.to_string(), "prioritization");
+        assert_eq!(GraftClass::BlackBox.to_string(), "black box");
+        assert_eq!(Motivation::Policy.to_string(), "policy");
+    }
+
+    #[test]
+    fn representative_benchmarks_match_paper() {
+        assert!(GraftClass::Stream
+            .representative_benchmark()
+            .contains("MD5"));
+        assert!(GraftClass::BlackBox
+            .representative_benchmark()
+            .contains("Logical Disk"));
+    }
+}

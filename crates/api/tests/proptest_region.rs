@@ -1,0 +1,60 @@
+//! Model-based property tests for the region store (the kernel/graft
+//! shared-memory ABI).
+
+use graft_api::{RegionSpec, RegionStore};
+use proptest::prelude::*;
+
+proptest! {
+    /// Kernel-side writes and reads behave like a flat array, and every
+    /// out-of-range access is rejected without mutating anything.
+    #[test]
+    fn region_store_matches_a_vec_model(
+        len in 1usize..64,
+        ops in prop::collection::vec((any::<u8>(), any::<i64>()), 0..100),
+    ) {
+        let mut store = RegionStore::new(&[RegionSpec::data("r", len)]).unwrap();
+        let mut model = vec![0i64; len];
+        for (idx, value) in ops {
+            let idx = idx as usize;
+            let result = store.write("r", idx, value);
+            if idx < len {
+                prop_assert!(result.is_ok());
+                model[idx] = value;
+            } else {
+                prop_assert!(result.is_err());
+            }
+        }
+        for (i, &want) in model.iter().enumerate() {
+            prop_assert_eq!(store.read("r", i).unwrap(), want);
+        }
+        // Bulk read agrees with the model too.
+        let mut out = vec![0i64; len];
+        store.read_slice("r", 0, &mut out).unwrap();
+        prop_assert_eq!(out, model);
+    }
+
+    /// Bulk loads land exactly where requested and nowhere else.
+    #[test]
+    fn bulk_load_is_exact(
+        len in 8usize..64,
+        offset in 0usize..64,
+        data in prop::collection::vec(any::<i64>(), 0..64),
+    ) {
+        let mut store = RegionStore::new(&[RegionSpec::data("r", len)]).unwrap();
+        let fits = offset.checked_add(data.len()).map_or(false, |e| e <= len);
+        let result = store.load("r", offset, &data);
+        prop_assert_eq!(result.is_ok(), fits);
+        if fits {
+            for (i, &v) in data.iter().enumerate() {
+                prop_assert_eq!(store.read("r", offset + i).unwrap(), v);
+            }
+            // Words outside the written window are still zero.
+            for i in 0..offset {
+                prop_assert_eq!(store.read("r", i).unwrap(), 0);
+            }
+            for i in offset + data.len()..len {
+                prop_assert_eq!(store.read("r", i).unwrap(), 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * NIL checks on/off in the safe-compiled engine (the paper's
+//!   Linux-vs-Solaris Modula-3 discussion, §5.4);
+//! * SFI read protection on/off (omniC++ 1.0β shipped without it);
+//! * Logical Disk with and without the cleaner extension;
+//! * the load-time IR optimizer on/off (the optimizer omniC++ 1.0β was
+//!   measured without).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use engine_native::{load_grail, SafetyMode};
+use grafts::eviction;
+use logdisk::{cleaner::CleaningDisk, LdConfig, LogicalDisk};
+
+fn nil_checks(c: &mut Criterion) {
+    let spec = eviction::spec();
+    let scenario = eviction::Scenario::paper_default(42);
+    let mut group = c.benchmark_group("ablation_nil_checks");
+    for (label, nil) in [("nil_checks_on", true), ("nil_checks_off", false)] {
+        let mut engine = load_grail(
+            spec.grail.as_ref().unwrap(),
+            &spec.regions,
+            SafetyMode::Safe { nil_checks: nil },
+        )
+        .unwrap();
+        let (lru, hot) = scenario.marshal(&mut engine).unwrap();
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                graft_api::ExtensionEngine::invoke(&mut engine, "select_victim", &[lru, hot])
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn sfi_read_protect(c: &mut Criterion) {
+    let spec = grafts::md5::spec();
+    let data = graft_core::experiment::md5_workload(4096);
+    let mut group = c.benchmark_group("ablation_sfi_read");
+    for (label, prot) in [("read_protect_off", false), ("read_protect_on", true)] {
+        let mut engine = load_grail(
+            spec.grail.as_ref().unwrap(),
+            &spec.regions,
+            SafetyMode::Sfi { read_protect: prot },
+        )
+        .unwrap();
+        group.sample_size(20);
+        group.bench_function(label, |b| {
+            b.iter(|| grafts::md5::digest_via(&mut engine, &data).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn ld_cleaner(c: &mut Criterion) {
+    let config = LdConfig {
+        blocks: 1024,
+        segment_blocks: 16,
+    };
+    let writes: Vec<u64> = logdisk::workload::skewed(config.blocks, 1024, 7).collect();
+    let mut group = c.benchmark_group("ablation_ld_cleaner");
+    group.bench_function("no_cleaner", |b| {
+        b.iter(|| {
+            let mut d = LogicalDisk::new(config);
+            for &w in &writes {
+                d.write(w);
+            }
+            d.stats().segments_flushed
+        })
+    });
+    group.bench_function("with_cleaner", |b| {
+        b.iter(|| {
+            let mut d = CleaningDisk::new(config, 4);
+            for &w in &writes {
+                d.write(w);
+            }
+            d.stats().segments_reclaimed
+        })
+    });
+    group.finish();
+}
+
+fn load_time_optimizer(c: &mut Criterion) {
+    let spec = grafts::md5::spec();
+    let data = graft_core::experiment::md5_workload(4096);
+    let mut group = c.benchmark_group("ablation_optimizer");
+    for (label, optimize) in [("optimizer_off", false), ("optimizer_on", true)] {
+        let manager = graft_core::GraftManager {
+            optimize,
+            ..graft_core::GraftManager::new()
+        };
+        let mut engine = manager
+            .load(&spec, graft_api::Technology::CompiledUnchecked)
+            .unwrap();
+        group.sample_size(20);
+        group.bench_function(label, |b| {
+            b.iter(|| grafts::md5::digest_via(engine.as_mut(), &data).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, nil_checks, sfi_read_protect, ld_cleaner, load_time_optimizer);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! The in-text upcall measurement: bare cross-domain round trip, and a
+//! graft invocation through the boundary vs. in-kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graft_api::Technology;
+use graft_core::GraftManager;
+use grafts::acl::{self, Rule, READ};
+
+fn bench(c: &mut Criterion) {
+    let spec = acl::spec();
+    let manager = GraftManager::new();
+    let mut group = c.benchmark_group("upcall_transport");
+    for tech in [Technology::CompiledUnchecked, Technology::UserLevel] {
+        let mut engine = manager.load(&spec, tech).unwrap();
+        acl::load_rules(
+            engine.as_mut(),
+            &[Rule { uid: 1, file: 2, modes: READ }],
+        )
+        .unwrap();
+        group.bench_function(format!("acl_check_{tech}"), |b| {
+            b.iter(|| engine.invoke("acl_check", &[1, 2, READ]).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

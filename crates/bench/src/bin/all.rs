@@ -1,0 +1,31 @@
+//! Regenerates every table and figure in paper order.
+
+use graft_core::{experiment, report};
+
+fn main() {
+    let cfg = graft_bench::config_from_args();
+    eprintln!("# running with {cfg:?}");
+
+    let t1 = experiment::table1(&cfg).expect("table 1");
+    print!("{}\n", report::render_table1(&t1));
+
+    let t3 = experiment::table3(&cfg, kernsim::DiskModel::default());
+    print!("{}\n", report::render_table3(&t3));
+
+    let fault = t3.hard_single_page();
+    let t2 = experiment::table2(&cfg, fault).expect("table 2");
+    print!("{}\n", report::render_table2(&t2));
+
+    let t4 = experiment::table4(&cfg, false);
+    print!("{}\n", report::render_table4(&t4));
+
+    let t5 = experiment::table5(&cfg, t4.megabyte_access()).expect("table 5");
+    print!("{}\n", report::render_table5(&t5));
+
+    let t6 = experiment::table6(&cfg, &t4.model).expect("table 6");
+    print!("{}\n", report::render_table6(&t6));
+
+    let measured = std::time::Duration::from_nanos(t1.upcall_roundtrip.mean_ns as u64);
+    let fig = experiment::figure1(&t2, Some(measured));
+    print!("{}", report::render_figure1(&fig));
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 1: break-even vs upcall time (CSV on stdout).
+
+fn main() {
+    let cfg = graft_bench::config_from_args();
+    let fault = graft_bench::fault_time(&cfg);
+    let t2 = graft_core::experiment::table2(&cfg, fault).expect("table 2 runs");
+    let t1 = graft_core::experiment::table1(&cfg).expect("table 1 runs");
+    let measured =
+        std::time::Duration::from_nanos(t1.upcall_roundtrip.mean_ns as u64);
+    let fig = graft_core::experiment::figure1(&t2, Some(measured));
+    print!("{}", graft_core::report::render_figure1(&fig));
+}

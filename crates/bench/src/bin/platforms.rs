@@ -1,0 +1,67 @@
+//! Per-platform break-even reconstruction: the paper's Table 2 varies
+//! across its four machines mainly through the *fault time* (4.7 ms on
+//! Linux to 25.1 ms on Alpha with 16-page read-ahead). This binary
+//! measures each technology's graft cost once on this host and then
+//! reprints the break-even column under each paper platform's fault
+//! time, reproducing the per-platform structure of Table 2.
+
+use std::time::Duration;
+
+use graft_api::Technology;
+use graft_core::breakeven::break_even;
+use graft_core::GraftManager;
+use grafts::eviction;
+use kernsim::stats::measure_per_iter;
+
+const PLATFORMS: [(&str, f64); 4] = [
+    ("Linux", 4.7),
+    ("Solaris", 6.9),
+    ("HP-UX", 17.9),
+    ("Alpha", 25.1),
+];
+
+fn main() {
+    let cfg = graft_bench::config_from_args();
+    let spec = eviction::spec();
+    let scenario = eviction::Scenario::paper_default(42);
+    let manager = GraftManager::new();
+
+    println!("Break-even by paper platform (fault times from Table 3);");
+    println!("graft costs measured on this host. Paper's model app saves 1 in 782.\n");
+    print!("{:<22}{:>12}", "technology", "cost");
+    for (name, _) in PLATFORMS {
+        print!("{name:>10}");
+    }
+    println!();
+
+    for tech in [
+        Technology::CompiledUnchecked,
+        Technology::SafeCompiled,
+        Technology::Sfi,
+        Technology::Bytecode,
+        Technology::Script,
+        Technology::RustNative,
+    ] {
+        let mut engine = manager.load(&spec, tech).expect("load");
+        let (lru, hot) = scenario.marshal(engine.as_mut()).expect("marshal");
+        let iters = if tech == Technology::Script {
+            cfg.script_evict_iters
+        } else {
+            cfg.evict_iters
+        };
+        let cost = measure_per_iter(cfg.runs, iters, || {
+            let _ = engine.invoke("select_victim", &[lru, hot]);
+        })
+        .best();
+        print!("{:<22}{:>12}", tech.paper_name(), format!("{cost:.1?}"));
+        for (_, fault_ms) in PLATFORMS {
+            let be = break_even(Duration::from_secs_f64(fault_ms / 1e3), cost);
+            print!("{be:>10.0}");
+        }
+        println!();
+    }
+    println!("\npaper Table 2 break-even rows for comparison:");
+    println!("  C         1270 (Linux)  1533 (Solaris)  2983 (HP-UX)  8655 (Alpha)");
+    println!("  Modula-3   516          1095            2632          7843");
+    println!("  Java        20            49             113           n/a");
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table 1: signal handling time and the upcall round trip.
+
+fn main() {
+    let cfg = graft_bench::config_from_args();
+    let t = graft_core::experiment::table1(&cfg).expect("table 1 runs");
+    print!("{}", graft_core::report::render_table1(&t));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table 2: the VM page-eviction graft across technologies.
+
+fn main() {
+    let cfg = graft_bench::config_from_args();
+    let fault = graft_bench::fault_time(&cfg);
+    let t = graft_core::experiment::table2(&cfg, fault).expect("table 2 runs");
+    print!("{}", graft_core::report::render_table2(&t));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table 3: page-fault time (measured soft, modeled hard).
+
+fn main() {
+    let cfg = graft_bench::config_from_args();
+    let t = graft_core::experiment::table3(&cfg, kernsim::DiskModel::default());
+    print!("{}", graft_core::report::render_table3(&t));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table 4: disk write bandwidth and 1 MB access time.
+
+fn main() {
+    let cfg = graft_bench::config_from_args();
+    let t = graft_core::experiment::table4(&cfg, false);
+    print!("{}", graft_core::report::render_table4(&t));
+}

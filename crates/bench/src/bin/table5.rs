@@ -1,0 +1,9 @@
+//! Regenerates Table 5: MD5 fingerprinting across technologies.
+
+fn main() {
+    let cfg = graft_bench::config_from_args();
+    let t4 = graft_core::experiment::table4(&cfg, false);
+    let t = graft_core::experiment::table5(&cfg, t4.megabyte_access()).expect("table 5 runs");
+    print!("{}", graft_core::report::render_table4(&t4));
+    print!("{}", graft_core::report::render_table5(&t));
+}

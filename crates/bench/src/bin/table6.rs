@@ -1,0 +1,8 @@
+//! Regenerates Table 6: Logical Disk bookkeeping across technologies.
+
+fn main() {
+    let cfg = graft_bench::config_from_args();
+    let model = kernsim::DiskModel::default();
+    let t = graft_core::experiment::table6(&cfg, &model).expect("table 6 runs");
+    print!("{}", graft_core::report::render_table6(&t));
+}

@@ -1,0 +1,82 @@
+//! Shared plumbing for the table/figure binaries.
+//!
+//! Each binary regenerates one of the paper's evaluation artifacts:
+//!
+//! | Binary | Artifact |
+//! |---|---|
+//! | `table1` | Table 1 (signal handling, upcall round trip) |
+//! | `table2` | Table 2 (VM page eviction) |
+//! | `table3` | Table 3 (page fault time) |
+//! | `table4` | Table 4 (disk I/O time) |
+//! | `table5` | Table 5 (MD5 fingerprinting) |
+//! | `table6` | Table 6 (Logical Disk) |
+//! | `figure1` | Figure 1 (break-even vs upcall time, CSV) |
+//! | `all` | everything, in paper order |
+//!
+//! All accept `--quick` (default), `--full` (paper-scale counts), and
+//! `--offline` (skip live host measurements).
+
+use graft_core::experiment::RunConfig;
+
+/// Parses the common CLI flags into a [`RunConfig`].
+pub fn config_from_args() -> RunConfig {
+    config_from(&std::env::args().skip(1).collect::<Vec<_>>())
+}
+
+/// Parses flags from an explicit argument list.
+pub fn config_from(args: &[String]) -> RunConfig {
+    let mut cfg = RunConfig::quick();
+    for arg in args {
+        match arg.as_str() {
+            "--full" => cfg = RunConfig::full(),
+            "--quick" => cfg = RunConfig::quick(),
+            "--offline" => cfg.live = false,
+            "--help" | "-h" => {
+                eprintln!("usage: [--quick|--full] [--offline]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag `{other}` (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    cfg
+}
+
+/// The fault time Table 2's break-even uses: the modeled single-page
+/// hard fault from Table 3.
+pub fn fault_time(cfg: &RunConfig) -> std::time::Duration {
+    let t3 = graft_core::experiment::table3(cfg, kernsim::DiskModel::default());
+    t3.hard_single_page()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn default_is_quick_and_live() {
+        let cfg = config_from(&[]);
+        assert_eq!(cfg.runs, RunConfig::quick().runs);
+        assert!(cfg.live);
+    }
+
+    #[test]
+    fn full_and_offline_compose() {
+        let cfg = config_from(&strings(&["--full", "--offline"]));
+        assert_eq!(cfg.runs, RunConfig::full().runs);
+        assert!(!cfg.live);
+    }
+
+    #[test]
+    fn fault_time_is_disk_dominated() {
+        let cfg = RunConfig::offline();
+        let f = fault_time(&cfg);
+        assert!(f.as_millis() >= 4, "{f:?}");
+    }
+}

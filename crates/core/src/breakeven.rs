@@ -1,0 +1,131 @@
+//! The paper's break-even arithmetic (§5.4 and Figure 1).
+
+use std::time::Duration;
+
+/// Break-even point: how many times the graft can run per saved event.
+///
+/// "We divide the page fault time by the time required to run the
+/// graft; the result is the number of times we can run the graft for
+/// each page eviction saved and still be ahead of the game." A value
+/// below 1 means the graft can never pay for itself.
+pub fn break_even(event_cost: Duration, graft_cost: Duration) -> f64 {
+    if graft_cost.is_zero() {
+        return f64::INFINITY;
+    }
+    event_cost.as_secs_f64() / graft_cost.as_secs_f64()
+}
+
+/// Whether a graft with the given break-even point helps an application
+/// that saves one event every `invocations_per_save` runs (the paper's
+/// model application: one save per 781 invocations).
+pub fn graft_pays_off(break_even: f64, invocations_per_save: f64) -> bool {
+    break_even >= invocations_per_save
+}
+
+/// One point of the Figure 1 sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Figure1Point {
+    /// Assumed upcall time.
+    pub upcall: Duration,
+    /// Break-even of a user-level server whose work costs `c_cost` plus
+    /// the upcall.
+    pub user_level_break_even: f64,
+}
+
+/// The Figure 1 series: break-even of a user-level server as a function
+/// of upcall time, over `0..=max` in `step` increments.
+///
+/// The server runs compiled code, so its per-invocation cost is the
+/// unsafe-C graft time plus the upcall.
+pub fn figure1_series(
+    event_cost: Duration,
+    c_cost: Duration,
+    max: Duration,
+    step: Duration,
+) -> Vec<Figure1Point> {
+    assert!(!step.is_zero(), "step must be positive");
+    let mut points = Vec::new();
+    let mut upcall = Duration::ZERO;
+    loop {
+        points.push(Figure1Point {
+            upcall,
+            user_level_break_even: break_even(event_cost, c_cost + upcall),
+        });
+        if upcall >= max {
+            return points;
+        }
+        upcall += step;
+    }
+}
+
+/// The upcall time below which a user-level server beats an in-kernel
+/// technology whose graft cost is `in_kernel_cost` (the paper's
+/// "sub-10µs upcall needed" observation): the server wins while
+/// `c_cost + upcall < in_kernel_cost`.
+pub fn competitive_upcall(c_cost: Duration, in_kernel_cost: Duration) -> Option<Duration> {
+    in_kernel_cost.checked_sub(c_cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> Duration {
+        Duration::from_micros(n)
+    }
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn break_even_reproduces_the_paper_rows() {
+        // Alpha: 25.1 ms fault, 2.9 µs C graft → 8655.
+        let be = break_even(Duration::from_micros(25_100), Duration::from_nanos(2_900));
+        assert!((be - 8655.0).abs() < 15.0, "got {be}");
+        // Solaris Java: 6.9 ms fault, 141 µs → ≈49.
+        let be = break_even(ms(6) + Duration::from_micros(900), us(141));
+        assert!((48.0..50.0).contains(&be), "got {be}");
+    }
+
+    #[test]
+    fn pays_off_uses_the_one_in_781_rule() {
+        assert!(graft_pays_off(1533.0, 781.0)); // Solaris C
+        assert!(!graft_pays_off(49.0, 781.0)); // Solaris Java
+    }
+
+    #[test]
+    fn sub_unit_break_even_never_pays() {
+        let be = break_even(us(10), us(40)); // Tcl-style
+        assert!(be < 1.0);
+        assert!(!graft_pays_off(be, 1.0));
+    }
+
+    #[test]
+    fn figure1_is_monotonically_decreasing() {
+        let series = figure1_series(ms(7), Duration::from_nanos(4_500), us(50), us(1));
+        assert_eq!(series.len(), 51);
+        assert!(series
+            .windows(2)
+            .all(|w| w[0].user_level_break_even >= w[1].user_level_break_even));
+        // At zero upcall the server equals unsafe C.
+        let c_be = break_even(ms(7), Duration::from_nanos(4_500));
+        assert!((series[0].user_level_break_even - c_be).abs() < 1.0);
+    }
+
+    #[test]
+    fn competitive_upcall_matches_paper_shape() {
+        // Solaris: C 4.5µs, Modula-3 6.3µs → the server competes only
+        // below ~1.8µs; with a realistic 40µs signal-style upcall it
+        // cannot.
+        let margin = competitive_upcall(us(4) + Duration::from_nanos(500), us(6) + Duration::from_nanos(300))
+            .unwrap();
+        assert!(margin < us(10), "sub-10µs needed, got {margin:?}");
+        assert!(competitive_upcall(us(10), us(5)).is_none());
+    }
+
+    #[test]
+    fn zero_cost_graft_has_infinite_break_even() {
+        assert!(break_even(ms(1), Duration::ZERO).is_infinite());
+    }
+}

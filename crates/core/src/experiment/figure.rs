@@ -1,0 +1,99 @@
+//! Figure 1: break-even of the eviction graft vs. upcall time.
+
+use std::time::Duration;
+
+use graft_api::Technology;
+
+use super::tables::Table2;
+use crate::breakeven::{competitive_upcall, figure1_series, Figure1Point};
+
+/// The Figure 1 result: the user-level-server curve plus the horizontal
+/// break-even lines of the compiled in-kernel technologies.
+#[derive(Debug, Clone)]
+pub struct Figure1 {
+    /// Curve points for upcall times 0..=50 µs.
+    pub series: Vec<Figure1Point>,
+    /// Break-even of the safe-compiled (Modula-3) technology.
+    pub safe_line: f64,
+    /// Break-even of the SFI (Omniware) technology.
+    pub sfi_line: f64,
+    /// Break-even of the bytecode (Java) technology.
+    pub bytecode_line: f64,
+    /// The largest upcall time at which the user-level server still
+    /// beats the safe-compiled technology (the paper's "sub-10 µs
+    /// upcall needed" observation); `None` if it never does.
+    pub competitive_upcall: Option<Duration>,
+    /// The measured upcall round trip, for placing "today" on the
+    /// curve.
+    pub measured_upcall: Option<Duration>,
+}
+
+/// Derives Figure 1 from a Table 2 result.
+pub fn figure1(table2: &Table2, measured_upcall: Option<Duration>) -> Figure1 {
+    let c = table2
+        .row(Technology::CompiledUnchecked)
+        .expect("Table 2 has a C row");
+    let c_cost = c.sample.best();
+    let series = figure1_series(
+        table2.fault,
+        c_cost,
+        Duration::from_micros(50),
+        Duration::from_micros(1),
+    );
+    let line = |tech: Technology| table2.row(tech).map(|r| r.break_even).unwrap_or(0.0);
+    let safe_cost = table2
+        .row(Technology::SafeCompiled)
+        .map(|r| r.sample.best())
+        .unwrap_or(c_cost);
+    Figure1 {
+        series,
+        safe_line: line(Technology::SafeCompiled),
+        sfi_line: line(Technology::Sfi),
+        bytecode_line: line(Technology::Bytecode),
+        competitive_upcall: competitive_upcall(c_cost, safe_cost),
+        measured_upcall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::tables::table2;
+    use crate::experiment::RunConfig;
+
+    #[test]
+    fn figure1_shape_matches_the_paper() {
+        let cfg = RunConfig {
+            runs: 2,
+            evict_iters: 100,
+            script_evict_iters: 5,
+            ..RunConfig::offline()
+        };
+        let t2 = table2(&cfg, Duration::from_millis(13)).unwrap();
+        let fig = figure1(&t2, Some(Duration::from_micros(5)));
+
+        // Inverse proportionality: the curve decreases monotonically.
+        assert!(fig
+            .series
+            .windows(2)
+            .all(|w| w[0].user_level_break_even >= w[1].user_level_break_even));
+        assert_eq!(fig.series.len(), 51);
+
+        // The in-kernel compiled lines beat the server at realistic
+        // upcall times: by 50 µs the curve is below the safe line.
+        let at_50 = fig.series.last().unwrap().user_level_break_even;
+        assert!(
+            at_50 < fig.safe_line,
+            "at 50µs the server ({at_50}) must lose to safe-compiled ({})",
+            fig.safe_line
+        );
+
+        // The competitive upcall window is tiny (the paper: sub-10µs on
+        // 1996 hardware). With tiny debug-build sampling the safe row
+        // can measure at or below C, in which case there is no window at
+        // all; when there is one, it must be small.
+        if let Some(window) = fig.competitive_upcall {
+            assert!(window < Duration::from_millis(1), "window {window:?}");
+        }
+    }
+}

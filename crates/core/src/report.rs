@@ -1,0 +1,299 @@
+//! Paper-style rendering of experiment results.
+//!
+//! The binaries in `graft-bench` print these tables; EXPERIMENTS.md
+//! records them next to the paper's originals.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use crate::experiment::{Figure1, Table1, Table2, Table3, Table4, Table5, Table6};
+
+fn dur(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 10_000.0 {
+        format!("{ns:.0}ns")
+    } else if ns < 10_000_000.0 {
+        format!("{:.1}µs", ns / 1e3)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.1}ms", ns / 1e6)
+    } else {
+        format!("{:.2}s", ns / 1e9)
+    }
+}
+
+fn line(out: &mut String, cols: &[&str], widths: &[usize]) {
+    for (c, w) in cols.iter().zip(widths) {
+        let _ = write!(out, "{c:<w$}  ", w = w);
+    }
+    out.push('\n');
+}
+
+/// Renders Table 1.
+pub fn render_table1(t: &Table1) -> String {
+    let mut out = String::new();
+    out.push_str("Table 1. Signal Handling Time (paper \u{00a7}5.3)\n");
+    match &t.signals {
+        Some(s) => {
+            let _ = writeln!(
+                out,
+                "  this host : {:.1}\u{00b5}s per handled signal   [group handled {} | group ignored {}]",
+                s.per_signal_us,
+                s.handled.paper_style(),
+                s.ignored.paper_style()
+            );
+        }
+        None => out.push_str("  this host : (live signal measurement unavailable)\n"),
+    }
+    let _ = writeln!(
+        out,
+        "  upcall    : {} round trip through the user-level server transport",
+        t.upcall_roundtrip.paper_style()
+    );
+    out.push_str("  paper     : ");
+    for (name, us) in t.paper_us {
+        let _ = write!(out, "{name} {us}\u{00b5}s  ");
+    }
+    out.push('\n');
+    out
+}
+
+/// Renders Table 2.
+pub fn render_table2(t: &Table2) -> String {
+    let widths = [20, 30, 8, 11, 12, 6];
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 2. VM Page Eviction (fault time {}; model app saves 1 in {:.0})",
+        dur(t.fault),
+        t.invocations_per_save
+    );
+    line(
+        &mut out,
+        &["technology", "raw", "vs C", "vs native", "break-even", "note"],
+        &widths,
+    );
+    for row in &t.rows {
+        let note = if row.reduced_iters { "(reduced)" } else { "" };
+        line(
+            &mut out,
+            &[
+                row.tech.paper_name(),
+                &row.sample.robust_style(),
+                &format!("{:.2}", row.normalized),
+                &format!("{:.1}", row.vs_native),
+                &format!("{:.0}", row.break_even),
+                note,
+            ],
+            &widths,
+        );
+    }
+    out
+}
+
+/// Renders Table 3.
+pub fn render_table3(t: &Table3) -> String {
+    let mut out = String::new();
+    out.push_str("Table 3. Page Fault Time\n");
+    match &t.soft {
+        Some(s) => {
+            let _ = writeln!(out, "  soft (minor) fault, measured : {}", s.paper_style());
+        }
+        None => out.push_str("  soft (minor) fault           : (unavailable)\n"),
+    }
+    for (pages, time) in &t.hard {
+        let _ = writeln!(
+            out,
+            "  hard fault, modeled          : {} ({} page read-ahead)",
+            dur(*time),
+            pages
+        );
+    }
+    out.push_str("  paper: ");
+    for (name, ms, pages) in t.paper {
+        let _ = write!(out, "{name} {ms}ms/{pages}p  ");
+    }
+    out.push('\n');
+    out
+}
+
+/// Renders Table 4.
+pub fn render_table4(t: &Table4) -> String {
+    let mut out = String::new();
+    out.push_str("Table 4. Disk I/O Time\n");
+    match &t.measured {
+        Some(bw) => {
+            let _ = writeln!(
+                out,
+                "  this host : {:.0} KB/s write bandwidth; 1MB access {}",
+                bw.kb_per_sec(),
+                dur(bw.megabyte_access())
+            );
+        }
+        None => out.push_str("  this host : (live bandwidth measurement unavailable)\n"),
+    }
+    let _ = writeln!(
+        out,
+        "  model     : {:.0} KB/s; 1MB access {} (used as Table 5 denominator)",
+        t.model.bandwidth / 1024.0,
+        dur(t.model.megabyte_access())
+    );
+    out.push_str("  paper     : ");
+    for (name, kbs, ms) in t.paper {
+        let _ = write!(out, "{name} {kbs}KB/s/{ms}ms  ");
+    }
+    out.push('\n');
+    out
+}
+
+/// Renders Table 5.
+pub fn render_table5(t: &Table5) -> String {
+    let widths = [20, 12, 8, 11, 10, 14];
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 5. MD5 Fingerprinting of 1MB (disk 1MB access {})",
+        dur(t.disk_mb)
+    );
+    line(
+        &mut out,
+        &["technology", "per MB", "vs C", "vs native", "MD5/disk", "hashed bytes"],
+        &widths,
+    );
+    for row in &t.rows {
+        line(
+            &mut out,
+            &[
+                row.tech.paper_name(),
+                &dur(row.per_mb),
+                &format!("{:.2}", row.normalized),
+                &format!("{:.1}", row.vs_native),
+                &format!("{:.2}", row.md5_over_disk),
+                &format!("{}", row.bytes),
+            ],
+            &widths,
+        );
+    }
+    out
+}
+
+/// Renders Table 6.
+pub fn render_table6(t: &Table6) -> String {
+    let widths = [20, 30, 8, 11, 12, 10];
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 6. Logical Disk, {} writes (batching saves {}/block)",
+        t.writes,
+        dur(t.saving_per_block)
+    );
+    line(
+        &mut out,
+        &["technology", "total", "vs C", "vs native", "per block", "pays off"],
+        &widths,
+    );
+    for row in &t.rows {
+        line(
+            &mut out,
+            &[
+                row.tech.paper_name(),
+                &row.total.robust_style(),
+                &format!("{:.2}", row.normalized),
+                &format!("{:.1}", row.vs_native),
+                &dur(row.per_block),
+                if row.pays_off { "yes" } else { "no" },
+            ],
+            &widths,
+        );
+    }
+    out
+}
+
+/// Renders Figure 1 as a CSV series plus the horizontal lines.
+pub fn render_figure1(f: &Figure1) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 1. Break-Even vs Upcall Time\n");
+    let _ = writeln!(
+        out,
+        "# lines: safe-compiled={:.0} sfi={:.0} bytecode={:.0}",
+        f.safe_line, f.sfi_line, f.bytecode_line
+    );
+    if let Some(w) = f.competitive_upcall {
+        let _ = writeln!(
+            out,
+            "# user-level server competitive below upcall = {}",
+            dur(w)
+        );
+    }
+    if let Some(m) = f.measured_upcall {
+        let _ = writeln!(out, "# measured upcall round trip on this host = {}", dur(m));
+    }
+    out.push_str("upcall_us,user_level_break_even\n");
+    for p in &f.series {
+        let _ = writeln!(
+            out,
+            "{:.0},{:.1}",
+            p.upcall.as_secs_f64() * 1e6,
+            p.user_level_break_even
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{figure1, table1, table2, table3, table4, table6, RunConfig};
+    use kernsim::DiskModel;
+    use std::time::Duration;
+
+    fn tiny() -> RunConfig {
+        RunConfig {
+            runs: 2,
+            evict_iters: 30,
+            script_evict_iters: 3,
+            md5_bytes: 128,
+            script_md5_bytes: 128,
+            ld_writes: 64,
+            ld_blocks: 64,
+            live: false,
+        }
+    }
+
+    #[test]
+    fn tables_render_without_panicking_and_mention_key_items() {
+        let cfg = tiny();
+        let t1 = table1(&cfg).unwrap();
+        assert!(render_table1(&t1).contains("Signal"));
+
+        let t2 = table2(&cfg, Duration::from_millis(13)).unwrap();
+        let s = render_table2(&t2);
+        assert!(s.contains("Modula-3"));
+        assert!(s.contains("Omniware"));
+        assert!(s.contains("Tcl"));
+        assert!(s.contains("break-even"));
+
+        let t3 = table3(&cfg, DiskModel::default());
+        assert!(render_table3(&t3).contains("read-ahead"));
+
+        let t4 = table4(&cfg, false);
+        assert!(render_table4(&t4).contains("KB/s"));
+
+        let t6 = table6(&cfg, &DiskModel::default()).unwrap();
+        let s6 = render_table6(&t6);
+        assert!(s6.contains("per block"));
+        assert!(!s6.contains("Tcl"), "no Tcl row in Table 6");
+
+        let fig = figure1(&t2, None);
+        let sf = render_figure1(&fig);
+        assert!(sf.contains("upcall_us"));
+        assert!(sf.lines().count() > 50);
+    }
+
+    #[test]
+    fn duration_formatting_picks_units() {
+        assert_eq!(dur(Duration::from_nanos(500)), "500ns");
+        assert_eq!(dur(Duration::from_micros(25)), "25.0µs");
+        assert_eq!(dur(Duration::from_millis(25)), "25.0ms");
+        assert_eq!(dur(Duration::from_secs(3)), "3.00s");
+    }
+}

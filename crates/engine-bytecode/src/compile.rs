@@ -1,0 +1,418 @@
+//! Grail HIR → stack bytecode compiler (the `javac` of this workspace).
+
+use std::collections::HashMap;
+
+use graft_api::RegionSpec;
+use graft_lang::hir::{BinOp, Expr, Program, RegionRef, Stmt, UnOp};
+
+use crate::opcode::{self as op, emit};
+
+/// One compiled bytecode function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BcFunc {
+    /// Function name.
+    pub name: String,
+    /// Parameter count (locals `0..arity` on entry).
+    pub arity: usize,
+    /// Total local slots.
+    pub locals: usize,
+    /// Encoded instruction stream.
+    pub code: Vec<u8>,
+}
+
+/// A compiled bytecode module (the "class file").
+#[derive(Debug, Clone, PartialEq)]
+pub struct BcModule {
+    /// Functions in declaration order.
+    pub funcs: Vec<BcFunc>,
+    /// Scalar constant pool (LDC operands index here).
+    pub pool: Vec<i64>,
+    /// Constant tables (PLOAD).
+    pub tables: Vec<Vec<i64>>,
+    /// Global initial values.
+    pub globals: Vec<i64>,
+    /// Region ABI.
+    pub regions: Vec<RegionSpec>,
+    /// Function name → index.
+    pub func_index: HashMap<String, usize>,
+}
+
+impl BcModule {
+    /// Total bytecode size in bytes (compactness metric).
+    pub fn code_size(&self) -> usize {
+        self.funcs.iter().map(|f| f.code.len()).sum()
+    }
+}
+
+/// Compiles a checked program to bytecode.
+pub fn compile(program: &Program) -> BcModule {
+    let mut pool = Vec::new();
+    let mut pool_map: HashMap<i64, u16> = HashMap::new();
+    let funcs = program
+        .funcs
+        .iter()
+        .map(|f| {
+            let mut c = FnCompiler {
+                code: Vec::new(),
+                pool: &mut pool,
+                pool_map: &mut pool_map,
+            };
+            for stmt in &f.body {
+                c.stmt(stmt);
+            }
+            // Implicit void return (unreachable when all paths return).
+            c.code.push(op::RET);
+            BcFunc {
+                name: f.name.clone(),
+                arity: f.params.len(),
+                locals: f.frame_size,
+                code: c.code,
+            }
+        })
+        .collect();
+    BcModule {
+        funcs,
+        pool,
+        tables: program.const_pools.iter().map(|p| p.values.clone()).collect(),
+        globals: program.globals.iter().map(|g| g.init).collect(),
+        regions: program.regions.clone(),
+        func_index: program.func_index.clone(),
+    }
+}
+
+struct FnCompiler<'a> {
+    code: Vec<u8>,
+    pool: &'a mut Vec<i64>,
+    pool_map: &'a mut HashMap<i64, u16>,
+}
+
+impl FnCompiler<'_> {
+    fn const_ref(&mut self, v: i64) -> u16 {
+        if let Some(&idx) = self.pool_map.get(&v) {
+            return idx;
+        }
+        let idx = u16::try_from(self.pool.len()).expect("constant pool overflow");
+        self.pool.push(v);
+        self.pool_map.insert(v, idx);
+        idx
+    }
+
+    fn push_const(&mut self, v: i64) {
+        if let Ok(small) = i16::try_from(v) {
+            self.code.push(op::SIPUSH);
+            emit::i16(&mut self.code, small);
+        } else {
+            let idx = self.const_ref(v);
+            self.code.push(op::LDC);
+            emit::u16(&mut self.code, idx);
+        }
+    }
+
+    /// Emits a jump with a placeholder target; returns the operand
+    /// offset to patch.
+    fn jump(&mut self, opcode: u8) -> usize {
+        self.code.push(opcode);
+        let at = self.code.len();
+        emit::u32(&mut self.code, u32::MAX);
+        at
+    }
+
+    fn patch(&mut self, operand_at: usize, target: usize) {
+        let bytes = (target as u32).to_le_bytes();
+        self.code[operand_at..operand_at + 4].copy_from_slice(&bytes);
+    }
+
+    fn here(&self) -> usize {
+        self.code.len()
+    }
+
+    fn region_access(&mut self, region: RegionRef, store: bool) {
+        match region {
+            RegionRef::Shared(r) => {
+                self.code.push(if store { op::RSTORE } else { op::RLOAD });
+                emit::u16(&mut self.code, r);
+            }
+            RegionRef::Pool(p) => {
+                debug_assert!(!store, "checker rejects pool stores");
+                self.code.push(op::PLOAD);
+                emit::u16(&mut self.code, p);
+            }
+        }
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) {
+        match stmt {
+            Stmt::Let { slot, init } | Stmt::AssignLocal { slot, value: init } => {
+                self.expr(init);
+                self.code.push(op::STORE);
+                emit::u16(&mut self.code, *slot as u16);
+            }
+            Stmt::AssignGlobal { index, value } => {
+                self.expr(value);
+                self.code.push(op::GSET);
+                emit::u16(&mut self.code, *index as u16);
+            }
+            Stmt::Store {
+                region,
+                index,
+                value,
+            } => {
+                self.expr(index);
+                self.expr(value);
+                self.region_access(*region, true);
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                self.expr(cond);
+                let to_else = self.jump(op::JZ);
+                for s in then_branch {
+                    self.stmt(s);
+                }
+                if else_branch.is_empty() {
+                    let end = self.here();
+                    self.patch(to_else, end);
+                } else {
+                    let to_end = self.jump(op::GOTO);
+                    let else_start = self.here();
+                    self.patch(to_else, else_start);
+                    for s in else_branch {
+                        self.stmt(s);
+                    }
+                    let end = self.here();
+                    self.patch(to_end, end);
+                }
+            }
+            Stmt::While { cond, body } => {
+                let loop_start = self.here();
+                self.expr(cond);
+                let to_end = self.jump(op::JZ);
+                let mut breaks = vec![to_end];
+                let mut continues = Vec::new();
+                self.loop_body(body, &mut breaks, &mut continues);
+                for at in continues {
+                    self.patch(at, loop_start);
+                }
+                self.code.push(op::GOTO);
+                emit::u32(&mut self.code, loop_start as u32);
+                let end = self.here();
+                for at in breaks {
+                    self.patch(at, end);
+                }
+            }
+            Stmt::Break | Stmt::Continue => {
+                unreachable!("loop_body rewrites break/continue")
+            }
+            Stmt::Return(Some(v)) => {
+                self.expr(v);
+                self.code.push(op::RETV);
+            }
+            Stmt::Return(None) => self.code.push(op::RET),
+            Stmt::Expr(e) => {
+                self.expr(e);
+                self.code.push(op::POP);
+            }
+        }
+    }
+
+    /// Compiles loop body statements, collecting break/continue patch
+    /// sites (handles arbitrary nesting by recursing through non-loop
+    /// control structures).
+    fn loop_body(
+        &mut self,
+        stmts: &[Stmt],
+        breaks: &mut Vec<usize>,
+        continues: &mut Vec<usize>,
+    ) {
+        for s in stmts {
+            match s {
+                Stmt::Break => breaks.push(self.jump(op::GOTO)),
+                Stmt::Continue => continues.push(self.jump(op::GOTO)),
+                Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                } => {
+                    self.expr(cond);
+                    let to_else = self.jump(op::JZ);
+                    self.loop_body(then_branch, breaks, continues);
+                    if else_branch.is_empty() {
+                        let end = self.here();
+                        self.patch(to_else, end);
+                    } else {
+                        let to_end = self.jump(op::GOTO);
+                        let else_start = self.here();
+                        self.patch(to_else, else_start);
+                        self.loop_body(else_branch, breaks, continues);
+                        let end = self.here();
+                        self.patch(to_end, end);
+                    }
+                }
+                // An inner `while` gets fresh break/continue scopes.
+                other => self.stmt(other),
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Int(v) => self.push_const(*v),
+            Expr::Local(slot) => {
+                self.code.push(op::LOAD);
+                emit::u16(&mut self.code, *slot as u16);
+            }
+            Expr::Global(index) => {
+                self.code.push(op::GGET);
+                emit::u16(&mut self.code, *index as u16);
+            }
+            Expr::Load { region, index } => {
+                self.expr(index);
+                self.region_access(*region, false);
+            }
+            Expr::Unary { op: uop, expr } => {
+                self.expr(expr);
+                self.code.push(match uop {
+                    UnOp::Neg => op::NEG,
+                    UnOp::BitNot => op::BNOT,
+                    UnOp::Not => op::NOT,
+                });
+            }
+            Expr::Binary { op: bop, lhs, rhs } => match bop {
+                BinOp::LogicalAnd => {
+                    // a ? b : 0, stack-style.
+                    self.expr(lhs);
+                    let to_false = self.jump(op::JZ);
+                    self.expr(rhs);
+                    let to_end = self.jump(op::GOTO);
+                    let false_at = self.here();
+                    self.patch(to_false, false_at);
+                    self.push_const(0);
+                    let end = self.here();
+                    self.patch(to_end, end);
+                }
+                BinOp::LogicalOr => {
+                    self.expr(lhs);
+                    let to_rhs = self.jump(op::JZ);
+                    self.push_const(1);
+                    let to_end = self.jump(op::GOTO);
+                    let rhs_at = self.here();
+                    self.patch(to_rhs, rhs_at);
+                    self.expr(rhs);
+                    let end = self.here();
+                    self.patch(to_end, end);
+                }
+                _ => {
+                    self.expr(lhs);
+                    self.expr(rhs);
+                    self.code.push(match bop {
+                        BinOp::Add => op::ADD,
+                        BinOp::Sub => op::SUB,
+                        BinOp::Mul => op::MUL,
+                        BinOp::Div => op::DIV,
+                        BinOp::Rem => op::REM,
+                        BinOp::And => op::AND,
+                        BinOp::Or => op::OR,
+                        BinOp::Xor => op::XOR,
+                        BinOp::Shl => op::SHL,
+                        BinOp::Shr => op::SHR,
+                        BinOp::Eq => op::EQ,
+                        BinOp::Ne => op::NE,
+                        BinOp::Lt => op::LT,
+                        BinOp::Le => op::LE,
+                        BinOp::Gt => op::GT,
+                        BinOp::Ge => op::GE,
+                        BinOp::LogicalAnd | BinOp::LogicalOr => unreachable!(),
+                    });
+                }
+            },
+            Expr::Call { func, args } => {
+                for a in args {
+                    self.expr(a);
+                }
+                self.code.push(op::CALL);
+                emit::u16(&mut self.code, *func as u16);
+                self.code
+                    .push(u8::try_from(args.len()).expect("more than 255 args"));
+            }
+            Expr::Abort { code } => {
+                self.expr(code);
+                self.code.push(op::ABORT);
+                // ABORT never returns; push a dummy so the stack model
+                // stays balanced for the verifier.
+                self.push_const(0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn module(src: &str) -> BcModule {
+        let hir = graft_lang::compile(src, &[RegionSpec::data("buf", 8)]).unwrap();
+        compile(&hir)
+    }
+
+    #[test]
+    fn small_constants_use_sipush_large_use_pool() {
+        let m = module("fn f() -> int { return 5 + 1000000; }");
+        let code = &m.funcs[0].code;
+        assert_eq!(code[0], op::SIPUSH);
+        assert!(code.contains(&op::LDC));
+        assert_eq!(m.pool, vec![1_000_000]);
+    }
+
+    #[test]
+    fn constant_pool_deduplicates() {
+        let m = module("fn f() -> int { return 1000000 + 1000000; }");
+        assert_eq!(m.pool.len(), 1);
+    }
+
+    #[test]
+    fn call_encodes_function_and_arity() {
+        let m = module("fn g(a: int, b: int) -> int { return a; } fn f() -> int { return g(1, 2); }");
+        let code = &m.funcs[1].code;
+        let call_at = code.iter().position(|&b| b == op::CALL).unwrap();
+        assert_eq!(crate::opcode::fetch::u16(code, call_at + 1), 0);
+        assert_eq!(code[call_at + 3], 2);
+    }
+
+    #[test]
+    fn statement_calls_pop_their_result() {
+        let m = module("fn g() {} fn f() { g(); }");
+        let code = &m.funcs[1].code;
+        let call_at = code.iter().position(|&b| b == op::CALL).unwrap();
+        assert_eq!(code[call_at + 4], op::POP);
+    }
+
+    #[test]
+    fn while_compiles_to_backward_goto() {
+        let m = module("fn f() { let i = 0; while i < 3 { i = i + 1; } }");
+        let code = &m.funcs[0].code;
+        let mut found_backward = false;
+        let mut pc = 0;
+        while pc < code.len() {
+            let opc = code[pc];
+            let len = crate::opcode::operand_len(opc).unwrap();
+            if opc == op::GOTO {
+                let target = crate::opcode::fetch::u32(code, pc + 1) as usize;
+                if target < pc {
+                    found_backward = true;
+                }
+            }
+            pc += 1 + len;
+        }
+        assert!(found_backward);
+    }
+
+    #[test]
+    fn bytecode_is_compact() {
+        // The paper notes Java compiles to a *compact* byte code; our
+        // encoding should be a small multiple of source tokens.
+        let m = module("fn f(a: int) -> int { return a * a + buf[a]; }");
+        assert!(m.code_size() < 64, "got {}", m.code_size());
+    }
+}

@@ -1,0 +1,163 @@
+//! Bytecode disassembly — `javap` for the graft class format.
+
+use std::fmt::Write as _;
+
+use crate::compile::{BcFunc, BcModule};
+use crate::opcode::{self as op, fetch, operand_len};
+
+/// Renders one instruction at `pc`; returns the text and the next pc.
+pub fn inst_at(module: &BcModule, code: &[u8], pc: usize) -> (String, usize) {
+    let opc = code[pc];
+    let next = pc + 1 + operand_len(opc).unwrap_or(0);
+    let u16_at = |off: usize| fetch::u16(code, pc + off);
+    let text = match opc {
+        op::NOP => "nop".to_string(),
+        op::SIPUSH => format!("sipush {}", fetch::i16(code, pc + 1)),
+        op::LDC => {
+            let idx = u16_at(1) as usize;
+            let value = module
+                .pool
+                .get(idx)
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "?".into());
+            format!("ldc #{idx} ({value})")
+        }
+        op::LOAD => format!("load {}", u16_at(1)),
+        op::STORE => format!("store {}", u16_at(1)),
+        op::POP => "pop".to_string(),
+        op::DUP => "dup".to_string(),
+        op::ADD => "add".to_string(),
+        op::SUB => "sub".to_string(),
+        op::MUL => "mul".to_string(),
+        op::DIV => "div".to_string(),
+        op::REM => "rem".to_string(),
+        op::AND => "and".to_string(),
+        op::OR => "or".to_string(),
+        op::XOR => "xor".to_string(),
+        op::SHL => "shl".to_string(),
+        op::SHR => "shr".to_string(),
+        op::NEG => "neg".to_string(),
+        op::BNOT => "bnot".to_string(),
+        op::NOT => "not".to_string(),
+        op::EQ => "eq".to_string(),
+        op::NE => "ne".to_string(),
+        op::LT => "lt".to_string(),
+        op::LE => "le".to_string(),
+        op::GT => "gt".to_string(),
+        op::GE => "ge".to_string(),
+        op::GOTO => format!("goto @{}", fetch::u32(code, pc + 1)),
+        op::JZ => format!("jz @{}", fetch::u32(code, pc + 1)),
+        op::JNZ => format!("jnz @{}", fetch::u32(code, pc + 1)),
+        op::CALL => {
+            let f = u16_at(1) as usize;
+            let name = module
+                .funcs
+                .get(f)
+                .map(|f| f.name.as_str())
+                .unwrap_or("?");
+            format!("call {name} ({} args)", code[pc + 3])
+        }
+        op::RET => "ret".to_string(),
+        op::RETV => "retv".to_string(),
+        op::RLOAD => {
+            let r = u16_at(1) as usize;
+            let name = module.regions.get(r).map(|r| r.name.as_str()).unwrap_or("?");
+            format!("rload {name}")
+        }
+        op::RSTORE => {
+            let r = u16_at(1) as usize;
+            let name = module.regions.get(r).map(|r| r.name.as_str()).unwrap_or("?");
+            format!("rstore {name}")
+        }
+        op::PLOAD => format!("pload table#{}", u16_at(1)),
+        op::GGET => format!("gget {}", u16_at(1)),
+        op::GSET => format!("gset {}", u16_at(1)),
+        op::ABORT => "abort".to_string(),
+        other => format!(".byte {other}"),
+    };
+    (text, next)
+}
+
+/// Renders one function.
+pub fn func(module: &BcModule, f: &BcFunc) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fn {} (arity {}, locals {}, {} bytes):",
+        f.name,
+        f.arity,
+        f.locals,
+        f.code.len()
+    );
+    let mut pc = 0usize;
+    while pc < f.code.len() {
+        let (text, next) = inst_at(module, &f.code, pc);
+        let _ = writeln!(out, "  @{pc:<5} {text}");
+        if next <= pc {
+            break;
+        }
+        pc = next;
+    }
+    out
+}
+
+/// Renders the whole module.
+pub fn module(m: &BcModule) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "; {} functions, {} pool constants, {} tables, {} bytes",
+        m.funcs.len(),
+        m.pool.len(),
+        m.tables.len(),
+        m.code_size()
+    );
+    for f in &m.funcs {
+        out.push_str(&func(m, f));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graft_api::RegionSpec;
+
+    #[test]
+    fn disassembly_names_regions_and_callees() {
+        let src = r#"
+            fn helper(x: int) -> int { return x + 1000000; }
+            fn main(i: int) -> int { buf[i] = helper(i); return buf[i]; }
+        "#;
+        let hir = graft_lang::compile(src, &[RegionSpec::data("buf", 8)]).unwrap();
+        let m = crate::compile(&hir);
+        let text = module(&m);
+        assert!(text.contains("call helper (1 args)"), "{text}");
+        assert!(text.contains("rstore buf"));
+        assert!(text.contains("rload buf"));
+        assert!(text.contains("ldc #0 (1000000)"));
+        assert!(text.contains("retv"));
+    }
+
+    #[test]
+    fn every_compiled_opcode_renders() {
+        let src = r#"
+            const T[2] = { 5, 6 };
+            var g = 0;
+            fn f(a: int, b: bool) -> int {
+                let x = -a;
+                if b && x > 0 { g = x % 3; }
+                while x != 0 { x = x - 1; }
+                return (T[0] << 1) | (~a & g) ^ (a / 2);
+            }
+        "#;
+        let hir = graft_lang::compile(src, &[]).unwrap();
+        let m = crate::compile(&hir);
+        let text = module(&m);
+        for needle in ["gget", "gset", "pload", "jz", "goto", "shl", "bnot", "div", "rem"] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+        // One line per decoded instruction plus headers.
+        assert!(text.lines().count() > 20);
+    }
+}

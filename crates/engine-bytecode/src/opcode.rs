@@ -1,0 +1,181 @@
+//! Bytecode opcodes and operand encoding.
+//!
+//! Operands are little-endian and unaligned, fetched byte-by-byte by the
+//! interpreter — the classic class-file layout that makes bytecode
+//! compact to ship and slow to run.
+
+/// No operation.
+pub const NOP: u8 = 0;
+/// Push a sign-extended 16-bit immediate. Operand: `i16`.
+pub const SIPUSH: u8 = 1;
+/// Push a constant-pool entry. Operand: `u16` pool index.
+pub const LDC: u8 = 2;
+/// Push local slot. Operand: `u16`.
+pub const LOAD: u8 = 3;
+/// Pop into local slot. Operand: `u16`.
+pub const STORE: u8 = 4;
+/// Discard the top of stack.
+pub const POP: u8 = 5;
+/// Duplicate the top of stack.
+pub const DUP: u8 = 6;
+/// Pop b, pop a, push `a + b` (wrapping); likewise for the rest.
+pub const ADD: u8 = 7;
+/// `a - b`
+pub const SUB: u8 = 8;
+/// `a * b`
+pub const MUL: u8 = 9;
+/// `a / b`, traps on zero.
+pub const DIV: u8 = 10;
+/// `a % b`, traps on zero.
+pub const REM: u8 = 11;
+/// `a & b`
+pub const AND: u8 = 12;
+/// `a | b`
+pub const OR: u8 = 13;
+/// `a ^ b`
+pub const XOR: u8 = 14;
+/// `a << (b & 63)`
+pub const SHL: u8 = 15;
+/// Logical `a >> (b & 63)`
+pub const SHR: u8 = 16;
+/// Arithmetic negate.
+pub const NEG: u8 = 17;
+/// Bitwise complement.
+pub const BNOT: u8 = 18;
+/// Boolean not (0 → 1, nonzero → 0).
+pub const NOT: u8 = 19;
+/// Comparisons push 0/1.
+pub const EQ: u8 = 20;
+/// `a != b`
+pub const NE: u8 = 21;
+/// `a < b`
+pub const LT: u8 = 22;
+/// `a <= b`
+pub const LE: u8 = 23;
+/// `a > b`
+pub const GT: u8 = 24;
+/// `a >= b`
+pub const GE: u8 = 25;
+/// Unconditional jump. Operand: `u32` absolute target.
+pub const GOTO: u8 = 26;
+/// Pop; jump if zero. Operand: `u32`.
+pub const JZ: u8 = 27;
+/// Pop; jump if nonzero. Operand: `u32`.
+pub const JNZ: u8 = 28;
+/// Call. Operands: `u16` function index, `u8` argument count. Pops the
+/// arguments (last on top), pushes the result.
+pub const CALL: u8 = 29;
+/// Return 0.
+pub const RET: u8 = 30;
+/// Pop; return it.
+pub const RETV: u8 = 31;
+/// Pop index; push `region[index]`. Operand: `u16` region.
+pub const RLOAD: u8 = 32;
+/// Pop value, pop index; `region[index] = value`. Operand: `u16`.
+pub const RSTORE: u8 = 33;
+/// Pop index; push `pool[index]`. Operand: `u16` const-table.
+pub const PLOAD: u8 = 34;
+/// Push global. Operand: `u16`.
+pub const GGET: u8 = 35;
+/// Pop into global. Operand: `u16`.
+pub const GSET: u8 = 36;
+/// Pop code; trap with `Trap::Abort(code)`.
+pub const ABORT: u8 = 37;
+
+/// One past the largest valid opcode.
+pub const OP_LIMIT: u8 = 38;
+
+/// Byte length of each instruction's operands, indexed by opcode.
+pub fn operand_len(op: u8) -> Option<usize> {
+    Some(match op {
+        NOP | POP | DUP | ADD | SUB | MUL | DIV | REM | AND | OR | XOR | SHL | SHR | NEG
+        | BNOT | NOT | EQ | NE | LT | LE | GT | GE | RET | RETV | ABORT => 0,
+        SIPUSH | LDC | LOAD | STORE | RLOAD | RSTORE | PLOAD | GGET | GSET => 2,
+        CALL => 3,
+        GOTO | JZ | JNZ => 4,
+        _ => return None,
+    })
+}
+
+/// Stack effect `(pops, pushes)` of an opcode; `CALL` is special-cased by
+/// the verifier.
+pub fn stack_effect(op: u8) -> Option<(usize, usize)> {
+    Some(match op {
+        NOP | GOTO | RET => (0, 0),
+        SIPUSH | LDC | LOAD | GGET => (0, 1),
+        STORE | POP | JZ | JNZ | GSET | ABORT | RETV => (1, 0),
+        DUP => (1, 2),
+        NEG | BNOT | NOT | RLOAD | PLOAD => (1, 1),
+        ADD | SUB | MUL | DIV | REM | AND | OR | XOR | SHL | SHR | EQ | NE | LT | LE | GT
+        | GE => (2, 1),
+        RSTORE => (2, 0),
+        CALL => return None,
+        _ => return None,
+    })
+}
+
+/// Little-endian operand writers used by the compiler.
+pub mod emit {
+    /// Appends a `u16`.
+    pub fn u16(code: &mut Vec<u8>, v: u16) {
+        code.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `i16`.
+    pub fn i16(code: &mut Vec<u8>, v: i16) {
+        code.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32`.
+    pub fn u32(code: &mut Vec<u8>, v: u32) {
+        code.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Little-endian operand readers used by the interpreter and verifier.
+pub mod fetch {
+    /// Reads a `u16` at `at`.
+    #[inline]
+    pub fn u16(code: &[u8], at: usize) -> u16 {
+        u16::from_le_bytes([code[at], code[at + 1]])
+    }
+
+    /// Reads an `i16` at `at`.
+    #[inline]
+    pub fn i16(code: &[u8], at: usize) -> i16 {
+        i16::from_le_bytes([code[at], code[at + 1]])
+    }
+
+    /// Reads a `u32` at `at`.
+    #[inline]
+    pub fn u32(code: &[u8], at: usize) -> u32 {
+        u32::from_le_bytes([code[at], code[at + 1], code[at + 2], code[at + 3]])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_opcode_has_operand_len_and_effect() {
+        for op in 0..OP_LIMIT {
+            assert!(operand_len(op).is_some(), "opcode {op} missing length");
+            if op != CALL {
+                assert!(stack_effect(op).is_some(), "opcode {op} missing effect");
+            }
+        }
+        assert!(operand_len(OP_LIMIT).is_none());
+    }
+
+    #[test]
+    fn emit_fetch_round_trip() {
+        let mut code = Vec::new();
+        emit::u16(&mut code, 0xBEEF);
+        emit::i16(&mut code, -2);
+        emit::u32(&mut code, 0xDEAD_BEEF);
+        assert_eq!(fetch::u16(&code, 0), 0xBEEF);
+        assert_eq!(fetch::i16(&code, 2), -2);
+        assert_eq!(fetch::u32(&code, 4), 0xDEAD_BEEF);
+    }
+}

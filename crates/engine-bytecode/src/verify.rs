@@ -1,0 +1,288 @@
+//! The bytecode verifier.
+//!
+//! Like the JVM's class-file verifier: before a module may run, a
+//! data-flow walk proves that every reachable instruction is a known
+//! opcode with in-range operands, that every jump lands on an
+//! instruction boundary, and that the operand stack never underflows and
+//! has a consistent depth at every merge point. The interpreter can then
+//! be simple without being exploitable.
+
+use std::collections::HashMap;
+
+use graft_api::GraftError;
+
+use crate::compile::{BcFunc, BcModule};
+use crate::opcode::{self as op, fetch, operand_len, stack_effect};
+
+/// Verifies every function in a module.
+pub fn verify(module: &BcModule) -> Result<(), GraftError> {
+    for func in &module.funcs {
+        verify_func(module, func)
+            .map_err(|msg| GraftError::Verify(format!("{}: {msg}", func.name)))?;
+    }
+    Ok(())
+}
+
+fn verify_func(module: &BcModule, func: &BcFunc) -> Result<(), String> {
+    if func.arity > func.locals {
+        return Err(format!(
+            "arity {} exceeds locals {}",
+            func.arity, func.locals
+        ));
+    }
+    // Pass 1: decode walk to find instruction boundaries.
+    let code = &func.code;
+    if code.is_empty() {
+        return Err("empty code".into());
+    }
+    let mut starts = vec![false; code.len()];
+    let mut pc = 0usize;
+    while pc < code.len() {
+        starts[pc] = true;
+        let opc = code[pc];
+        let len = operand_len(opc).ok_or_else(|| format!("unknown opcode {opc} at {pc}"))?;
+        if pc + 1 + len > code.len() {
+            return Err(format!("truncated operands at {pc}"));
+        }
+        pc += 1 + len;
+    }
+
+    // Pass 2: depth-checked reachability walk.
+    let mut depth_at: HashMap<usize, usize> = HashMap::new();
+    let mut work = vec![(0usize, 0usize)];
+    while let Some((pc, depth)) = work.pop() {
+        if pc >= code.len() || !starts[pc] {
+            return Err(format!("jump into the middle of an instruction at {pc}"));
+        }
+        match depth_at.get(&pc) {
+            Some(&d) if d == depth => continue,
+            Some(&d) => {
+                return Err(format!(
+                    "inconsistent stack depth at {pc}: {d} vs {depth}"
+                ))
+            }
+            None => {
+                depth_at.insert(pc, depth);
+            }
+        }
+        let opc = code[pc];
+        let next = pc + 1 + operand_len(opc).expect("validated in pass 1");
+        let (pops, pushes) = match opc {
+            op::CALL => {
+                let callee = fetch::u16(code, pc + 1) as usize;
+                let nargs = code[pc + 3] as usize;
+                let target = module
+                    .funcs
+                    .get(callee)
+                    .ok_or_else(|| format!("call to unknown function {callee} at {pc}"))?;
+                if target.arity != nargs {
+                    return Err(format!(
+                        "call to `{}` with {nargs} args (arity {}) at {pc}",
+                        target.name, target.arity
+                    ));
+                }
+                (nargs, 1)
+            }
+            _ => stack_effect(opc).expect("validated in pass 1"),
+        };
+        if depth < pops {
+            return Err(format!("stack underflow at {pc} (opcode {opc})"));
+        }
+        let depth = depth - pops + pushes;
+
+        // Operand range checks.
+        match opc {
+            op::LDC => {
+                let idx = fetch::u16(code, pc + 1) as usize;
+                if idx >= module.pool.len() {
+                    return Err(format!("constant pool index {idx} out of range at {pc}"));
+                }
+            }
+            op::LOAD | op::STORE => {
+                let slot = fetch::u16(code, pc + 1) as usize;
+                if slot >= func.locals {
+                    return Err(format!("local slot {slot} out of range at {pc}"));
+                }
+            }
+            op::RLOAD | op::RSTORE => {
+                let r = fetch::u16(code, pc + 1) as usize;
+                if r >= module.regions.len() {
+                    return Err(format!("region {r} out of range at {pc}"));
+                }
+                if opc == op::RSTORE && !module.regions[r].writable {
+                    return Err(format!("store into read-only region at {pc}"));
+                }
+            }
+            op::PLOAD => {
+                let t = fetch::u16(code, pc + 1) as usize;
+                if t >= module.tables.len() {
+                    return Err(format!("const table {t} out of range at {pc}"));
+                }
+            }
+            op::GGET | op::GSET => {
+                let g = fetch::u16(code, pc + 1) as usize;
+                if g >= module.globals.len() {
+                    return Err(format!("global {g} out of range at {pc}"));
+                }
+            }
+            _ => {}
+        }
+
+        // Successors.
+        match opc {
+            op::RET | op::RETV => {}
+            op::GOTO => work.push((fetch::u32(code, pc + 1) as usize, depth)),
+            op::JZ | op::JNZ => {
+                work.push((fetch::u32(code, pc + 1) as usize, depth));
+                work.push((next, depth));
+            }
+            _ => {
+                if next >= code.len() {
+                    return Err(format!("control falls off the end after {pc}"));
+                }
+                work.push((next, depth));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::opcode::emit;
+    use graft_api::RegionSpec;
+
+    fn compiled(src: &str) -> BcModule {
+        let hir = graft_lang::compile(src, &[RegionSpec::data("buf", 8)]).unwrap();
+        compile(&hir)
+    }
+
+    fn handwritten(code: Vec<u8>, locals: usize) -> BcModule {
+        let mut func_index = HashMap::new();
+        func_index.insert("f".to_string(), 0);
+        BcModule {
+            funcs: vec![BcFunc {
+                name: "f".into(),
+                arity: 0,
+                locals,
+                code,
+            }],
+            pool: vec![42],
+            tables: vec![vec![1, 2]],
+            globals: vec![0],
+            regions: vec![RegionSpec::data("buf", 8)],
+            func_index,
+        }
+    }
+
+    #[test]
+    fn compiler_output_always_verifies() {
+        let sources = [
+            "fn f() -> int { return 1; }",
+            "fn f(n: int) -> int { let s = 0; let i = 0; while i < n { s = s + buf[i]; i = i + 1; } return s; }",
+            "fn g(x: int) -> bool { return x > 0 && buf[x] != 0; } fn f(x: int) -> int { if g(x) { return 1; } return 0; }",
+            "fn f(x: int) -> int { while true { if x > 9 { break; } x = x + 1; } return x; }",
+        ];
+        for src in sources {
+            verify(&compiled(src)).unwrap_or_else(|e| panic!("{src}: {e}"));
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_opcode() {
+        let m = handwritten(vec![200, op::RET], 0);
+        assert!(verify(&m).unwrap_err().to_string().contains("unknown opcode"));
+    }
+
+    #[test]
+    fn rejects_truncated_operands() {
+        let m = handwritten(vec![op::SIPUSH, 1], 0);
+        assert!(verify(&m).unwrap_err().to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn rejects_stack_underflow() {
+        let m = handwritten(vec![op::ADD, op::RET], 0);
+        assert!(verify(&m).unwrap_err().to_string().contains("underflow"));
+    }
+
+    #[test]
+    fn rejects_jump_into_operand_bytes() {
+        let mut code = vec![op::SIPUSH, 0, 0];
+        code.push(op::GOTO);
+        emit::u32(&mut code, 1); // lands inside SIPUSH's operand
+        code.push(op::RET);
+        let m = handwritten(code, 0);
+        assert!(verify(&m)
+            .unwrap_err()
+            .to_string()
+            .contains("middle of an instruction"));
+    }
+
+    #[test]
+    fn rejects_inconsistent_merge_depth() {
+        // Two paths reach RET with different stack depths.
+        let mut code = vec![op::SIPUSH, 1, 0]; // depth 1
+        code.push(op::JZ);
+        let jz_at = code.len();
+        emit::u32(&mut code, u32::MAX);
+        code.extend_from_slice(&[op::SIPUSH, 7, 0]); // depth 1 on fallthrough
+        let merge = code.len();
+        code.push(op::RET);
+        let bytes = (merge as u32).to_le_bytes();
+        code[jz_at..jz_at + 4].copy_from_slice(&bytes); // depth 0 on jump
+        let m = handwritten(code, 0);
+        assert!(verify(&m)
+            .unwrap_err()
+            .to_string()
+            .contains("inconsistent stack depth"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_local() {
+        let mut code = vec![op::LOAD];
+        emit::u16(&mut code, 9);
+        code.push(op::RETV);
+        let m = handwritten(code, 1);
+        assert!(verify(&m).unwrap_err().to_string().contains("local slot"));
+    }
+
+    #[test]
+    fn rejects_bad_call_arity() {
+        let mut code = vec![op::SIPUSH, 0, 0, op::CALL];
+        emit::u16(&mut code, 0);
+        code.push(3); // function 0 has arity 0
+        code.push(op::RETV);
+        let m = handwritten(code, 0);
+        assert!(verify(&m).unwrap_err().to_string().contains("arity"));
+    }
+
+    #[test]
+    fn rejects_fall_off_the_end() {
+        let m = handwritten(vec![op::SIPUSH, 0, 0], 0);
+        assert!(verify(&m)
+            .unwrap_err()
+            .to_string()
+            .contains("falls off the end"));
+    }
+
+    #[test]
+    fn rejects_store_to_read_only_region() {
+        let mut code = vec![op::SIPUSH, 0, 0, op::SIPUSH, 1, 0, op::RSTORE];
+        emit::u16(&mut code, 0);
+        code.push(op::RET);
+        let mut m = handwritten(code, 0);
+        m.regions = vec![RegionSpec::read_only("input", 8)];
+        assert!(verify(&m).unwrap_err().to_string().contains("read-only"));
+    }
+
+    #[test]
+    fn unreachable_garbage_after_return_is_tolerated() {
+        // The decode walk still validates instruction framing, but
+        // unreachable yet well-formed code is fine (javac emits it too).
+        let m = handwritten(vec![op::RET, op::POP], 0);
+        verify(&m).unwrap();
+    }
+}

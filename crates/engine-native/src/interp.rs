@@ -1,0 +1,337 @@
+//! The pre-decoded dispatch loop shared by all compiled modes.
+//!
+//! The loop is deliberately identical across technologies; only the
+//! memory-access arms differ (wrap, check, or arena), so measured
+//! differences between modes are the cost of the protection mechanism
+//! itself, as in the paper's normalized tables.
+//!
+//! ## Why there is `unsafe` here
+//!
+//! This engine stands in for *compiled native code*, and the paper's
+//! Section 4.2 argument applies directly: once the kernel's load-time
+//! verifier has proven a module well formed, the translated code may
+//! run without redundant checks — trusting the verifier is exactly the
+//! "trust in the language translation tools" trade the paper describes.
+//! Concretely, [`graft_ir::verify`] (which [`CompiledEngine::load`]
+//! always runs, and without which no module reaches this loop) proves:
+//!
+//! * every register operand is `< func.regs`, and the frame is
+//!   allocated with exactly `func.regs` slots;
+//! * every jump target is `< code.len()`, and every function ends in
+//!   `Ret`, so `pc` never walks past the end;
+//! * every call's arity matches its callee.
+//!
+//! Each `unsafe` block below cites the invariant it relies on. The
+//! *memory* accesses a graft performs (regions, pools, the SFI arena)
+//! stay checked or masked per technology — those checks are the
+//! measurement.
+
+use graft_api::{GraftError, Trap};
+use graft_ir::{Inst, MemRef, Module};
+use graft_lang::hir::ops;
+
+use crate::memory::Memory;
+use crate::{CompiledEngine, SafetyMode};
+
+/// Maximum graft call depth before [`Trap::StackOverflow`].
+pub const MAX_DEPTH: usize = 192;
+
+/// Runs function `func` of `module` on `engine` with the given arguments.
+pub fn run(
+    engine: &mut CompiledEngine,
+    module: &Module,
+    func: usize,
+    args: &[i64],
+) -> Result<i64, GraftError> {
+    call(engine, module, func, args, 0)
+}
+
+fn oob(module: &Module, mem: MemRef, index: i64) -> GraftError {
+    let (region, len) = match mem {
+        MemRef::Region(r) => {
+            let spec = &module.regions[r as usize];
+            (spec.name.clone(), spec.len)
+        }
+        MemRef::Pool(p) => (format!("pool#{p}"), module.const_pools[p as usize].len()),
+    };
+    Trap::OutOfBounds { region, index, len }.into()
+}
+
+fn nil(module: &Module, mem: MemRef) -> GraftError {
+    let region = match mem {
+        MemRef::Region(r) => module.regions[r as usize].name.clone(),
+        MemRef::Pool(p) => format!("pool#{p}"),
+    };
+    Trap::NilDeref { region }.into()
+}
+
+#[inline]
+fn burn(fuel: &mut u64) -> Result<(), GraftError> {
+    *fuel = fuel.wrapping_sub(1);
+    if *fuel == 0 {
+        Err(Trap::FuelExhausted.into())
+    } else {
+        Ok(())
+    }
+}
+
+fn call(
+    engine: &mut CompiledEngine,
+    module: &Module,
+    func_id: usize,
+    args: &[i64],
+    depth: usize,
+) -> Result<i64, GraftError> {
+    if depth >= MAX_DEPTH {
+        return Err(Trap::StackOverflow.into());
+    }
+    let func = &module.funcs[func_id];
+    let mut frame = vec![0i64; func.regs];
+    frame[..args.len()].copy_from_slice(args);
+
+    let (checked, nil_checks) = match engine.mode() {
+        SafetyMode::Safe { nil_checks } => (true, nil_checks),
+        _ => (false, false),
+    };
+    let code = &func.code[..];
+    let mut pc = 0usize;
+
+    // Register accessors backed by the load-time verifier (see the
+    // module docs). The `debug_assert!`s restate the invariant.
+    macro_rules! reg {
+        ($r:expr) => {{
+            let r = $r as usize;
+            debug_assert!(r < frame.len());
+            // SAFETY: the IR verifier proved every register operand is
+            // below `func.regs`, and `frame` has `func.regs` slots.
+            unsafe { *frame.get_unchecked(r) }
+        }};
+    }
+    macro_rules! set_reg {
+        ($r:expr, $v:expr) => {{
+            let r = $r as usize;
+            let v = $v;
+            debug_assert!(r < frame.len());
+            // SAFETY: as in `reg!`.
+            unsafe { *frame.get_unchecked_mut(r) = v };
+        }};
+    }
+
+    loop {
+        debug_assert!(pc < code.len());
+        // SAFETY: jump targets are verified below `code.len()`, every
+        // function ends in `Ret`, and straight-line `pc + 1` stepping
+        // only happens from non-terminal instructions, so `pc` is
+        // always in range.
+        let inst = unsafe { code.get_unchecked(pc) };
+        match inst {
+            Inst::Const { dst, value } => {
+                set_reg!(*dst, *value);
+                pc += 1;
+            }
+            Inst::Mov { dst, src } => {
+                set_reg!(*dst, reg!(*src));
+                pc += 1;
+            }
+            Inst::Un { op, dst, src } => {
+                set_reg!(*dst, ops::unary(*op, reg!(*src)));
+                pc += 1;
+            }
+            Inst::Bin { op, dst, a, b } => {
+                match ops::binary(*op, reg!(*a), reg!(*b)) {
+                    Some(v) => set_reg!(*dst, v),
+                    None => return Err(Trap::DivByZero.into()),
+                }
+                pc += 1;
+            }
+            Inst::Jmp { target } => {
+                let target = *target as usize;
+                if target <= pc {
+                    burn(&mut engine.fuel)?;
+                }
+                pc = target;
+            }
+            Inst::Br {
+                cond,
+                then_t,
+                else_t,
+            } => {
+                let target = if reg!(*cond) != 0 {
+                    *then_t as usize
+                } else {
+                    *else_t as usize
+                };
+                if target <= pc {
+                    burn(&mut engine.fuel)?;
+                }
+                pc = target;
+            }
+            Inst::Load { dst, mem, addr } => {
+                let idx = reg!(*addr);
+                let Memory::Plain(plain) = &engine.memory else {
+                    return Err(GraftError::Verify(
+                        "plain load reached an SFI engine".into(),
+                    ));
+                };
+                let buf = match mem {
+                    MemRef::Region(r) => &plain.regions[*r as usize],
+                    MemRef::Pool(p) => &plain.pools[*p as usize],
+                };
+                let value = if checked {
+                    if nil_checks && buf.linked && idx == 0 {
+                        return Err(nil(module, *mem));
+                    }
+                    match buf.get_checked(idx) {
+                        Some(v) => v,
+                        None => return Err(oob(module, *mem, idx)),
+                    }
+                } else {
+                    buf.get_wrapped(idx)
+                };
+                set_reg!(*dst, value);
+                pc += 1;
+            }
+            Inst::Store { mem, addr, src } => {
+                let idx = reg!(*addr);
+                let value = reg!(*src);
+                let Memory::Plain(plain) = &mut engine.memory else {
+                    return Err(GraftError::Verify(
+                        "plain store reached an SFI engine".into(),
+                    ));
+                };
+                let MemRef::Region(r) = mem else {
+                    return Err(GraftError::Verify("store into pool".into()));
+                };
+                let buf = &mut plain.regions[*r as usize];
+                if checked {
+                    if nil_checks && buf.linked && idx == 0 {
+                        return Err(nil(module, *mem));
+                    }
+                    if !buf.set_checked(idx, value) {
+                        return Err(oob(module, *mem, idx));
+                    }
+                } else {
+                    buf.set_wrapped(idx, value);
+                }
+                pc += 1;
+            }
+            Inst::GlobalGet { dst, index } => {
+                set_reg!(*dst, engine.globals[*index as usize]);
+                pc += 1;
+            }
+            Inst::GlobalSet { index, src } => {
+                engine.globals[*index as usize] = reg!(*src);
+                pc += 1;
+            }
+            Inst::Call {
+                dst,
+                func: callee,
+                args,
+            } => {
+                burn(&mut engine.fuel)?;
+                let mut argv = [0i64; 12];
+                let n = args.len();
+                if n > argv.len() {
+                    return Err(GraftError::Verify("call with more than 12 args".into()));
+                }
+                for (slot, r) in argv[..n].iter_mut().zip(args.iter()) {
+                    *slot = reg!(*r);
+                }
+                let value = call(engine, module, *callee as usize, &argv[..n], depth + 1)?;
+                set_reg!(*dst, value);
+                pc += 1;
+            }
+            Inst::Ret { src } => {
+                return Ok(src.map_or(0, |r| reg!(r)));
+            }
+            Inst::Abort { code } => {
+                return Err(Trap::Abort(reg!(*code)).into());
+            }
+            Inst::Mask { dst, src, offset } => {
+                let Memory::Arena(arena) = &engine.memory else {
+                    return Err(GraftError::Verify("Mask outside SFI engine".into()));
+                };
+                let raw = reg!(*src).wrapping_add(*offset as i64);
+                set_reg!(*dst, ((raw as usize) & arena.mask) as i64);
+                pc += 1;
+            }
+            Inst::MaskedLoad { dst, addr } => {
+                let Memory::Arena(arena) = &engine.memory else {
+                    return Err(GraftError::Verify("MaskedLoad outside SFI engine".into()));
+                };
+                set_reg!(*dst, arena.load(reg!(*addr)));
+                pc += 1;
+            }
+            Inst::MaskedStore { addr, src } => {
+                let value = reg!(*src);
+                let at = reg!(*addr);
+                let Memory::Arena(arena) = &mut engine.memory else {
+                    return Err(GraftError::Verify("MaskedStore outside SFI engine".into()));
+                };
+                arena.store(at, value);
+                pc += 1;
+            }
+            Inst::ArenaLoad { dst, src, offset } => {
+                let Memory::Arena(arena) = &engine.memory else {
+                    return Err(GraftError::Verify("ArenaLoad outside SFI engine".into()));
+                };
+                let raw = reg!(*src).wrapping_add(*offset as i64);
+                set_reg!(*dst, arena.load(raw));
+                pc += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load_grail;
+    use graft_api::ExtensionEngine;
+
+    #[test]
+    fn deep_but_bounded_recursion_is_fine() {
+        let src = "fn down(n: int) -> int { if n == 0 { return 0; } return down(n - 1) + 1; }";
+        let mut e = load_grail(src, &[], SafetyMode::Unchecked).unwrap();
+        assert_eq!(e.invoke("down", &[100]).unwrap(), 100);
+        assert!(e.invoke("down", &[(MAX_DEPTH + 10) as i64]).is_err());
+    }
+
+    #[test]
+    fn forward_jumps_do_not_burn_fuel() {
+        // A long straight-line chain of `if`s should execute with tiny
+        // fuel since only loops/calls are metered.
+        let src = "fn f(x: int) -> int { if x > 0 { x = x + 1; } if x > 1 { x = x + 1; } return x; }";
+        let mut e = load_grail(src, &[], SafetyMode::Safe { nil_checks: true }).unwrap();
+        e.set_fuel(Some(2));
+        assert_eq!(e.invoke("f", &[5]).unwrap(), 7);
+    }
+
+    #[test]
+    fn call_with_many_args_works() {
+        let src = r#"
+            fn g(a: int, b: int, c: int, d: int, e: int, f: int, h: int, i: int) -> int {
+                return a + b + c + d + e + f + h + i;
+            }
+            fn top() -> int { return g(1, 2, 3, 4, 5, 6, 7, 8); }
+        "#;
+        let mut e = load_grail(src, &[], SafetyMode::Unchecked).unwrap();
+        assert_eq!(e.invoke("top", &[]).unwrap(), 36);
+    }
+
+    /// The unchecked register fast path must agree with a checked debug
+    /// run on every mode (this test exists to exercise the
+    /// `debug_assert!` restatements of the verifier's invariants).
+    #[test]
+    fn all_modes_compute_fib_identically() {
+        let src = "fn fib(n: int) -> int { if n < 2 { return n; } return fib(n-1) + fib(n-2); }";
+        for mode in [
+            SafetyMode::Unchecked,
+            SafetyMode::Safe { nil_checks: true },
+            SafetyMode::Sfi { read_protect: true },
+        ] {
+            let mut e = load_grail(src, &[], mode).unwrap();
+            assert_eq!(e.invoke("fib", &[17]).unwrap(), 1597, "{mode:?}");
+        }
+    }
+}

@@ -1,0 +1,468 @@
+//! The threaded-code ("compiled") extension engine.
+//!
+//! This crate implements the three *compiled* technologies the paper
+//! compares, as load-time translation modes over the same `graft-ir`
+//! module (Section 4.2 of the paper):
+//!
+//! * [`SafetyMode::Unchecked`] — the unsafe C baseline (`gcc -O`):
+//!   no bounds checks, no NIL checks, no sandbox. A stray index reads or
+//!   writes *somewhere* (deterministically wrapped into the region
+//!   allocation) instead of trapping, which is exactly the reliability
+//!   hazard the paper ascribes to unprotected extensions.
+//! * [`SafetyMode::Safe`] — the Modula-3 analogue: every region and
+//!   constant-table access is bounds-checked, pointer-chasing loads from
+//!   linked regions are NIL-checked, and arithmetic overflow is defined.
+//!   The `nil_checks` flag reproduces the paper's §5.4 discussion of the
+//!   Linux Modula-3 compiler emitting explicit NIL checks that Solaris
+//!   and Alpha got for free from page protection.
+//! * [`SafetyMode::Sfi`] — the Omniware analogue: the module is rewritten
+//!   at load time by [`sfi::instrument`], which lays every region and
+//!   constant pool out in one power-of-two sandbox arena and inserts an
+//!   explicit address-mask instruction before every write (and every
+//!   read, when `read_protect` is on — the paper measured omniC++ 1.0β
+//!   *without* read protection and says so twice). A linear-time
+//!   verifier ([`sfi::verify_sfi`]) then proves every arena access is
+//!   masked, mirroring Wahbe et al.'s load-time check.
+//!
+//! All three modes execute on the same pre-decoded dispatch loop in
+//! [`interp`], so the *only* difference between technologies is the
+//! checking work — which is the property that makes the paper's
+//! normalized comparisons meaningful.
+
+pub mod interp;
+pub mod memory;
+pub mod sfi;
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use graft_api::{ExtensionEngine, GraftError, Technology};
+use graft_ir::Module;
+
+/// Load-time translation mode: which technology the engine realizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SafetyMode {
+    /// Unsafe compiled C: no checks at all.
+    Unchecked,
+    /// Safe compiled language (Modula-3): bounds + NIL checks.
+    Safe {
+        /// Emit NIL checks on loads from linked regions (the Linux
+        /// Modula-3 configuration); disable to model platforms where
+        /// page protection makes the check free.
+        nil_checks: bool,
+    },
+    /// Software fault isolation (Omniware): sandbox arena + masks.
+    Sfi {
+        /// Also mask reads (full protection). The paper's omniC++ 1.0β
+        /// had write/jump protection only.
+        read_protect: bool,
+    },
+}
+
+impl SafetyMode {
+    /// The technology this mode realizes.
+    pub fn technology(self) -> Technology {
+        match self {
+            SafetyMode::Unchecked => Technology::CompiledUnchecked,
+            SafetyMode::Safe { .. } => Technology::SafeCompiled,
+            SafetyMode::Sfi { .. } => Technology::Sfi,
+        }
+    }
+
+    /// The paper's default configuration for this technology.
+    pub fn paper_default(tech: Technology) -> Option<SafetyMode> {
+        match tech {
+            Technology::CompiledUnchecked => Some(SafetyMode::Unchecked),
+            Technology::SafeCompiled => Some(SafetyMode::Safe { nil_checks: true }),
+            Technology::Sfi => Some(SafetyMode::Sfi {
+                read_protect: false,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// A graft module loaded under one of the compiled technologies.
+pub struct CompiledEngine {
+    module: Arc<Module>,
+    mode: SafetyMode,
+    pub(crate) memory: memory::Memory,
+    pub(crate) globals: Vec<i64>,
+    region_ids: HashMap<String, u16>,
+    pub(crate) fuel: u64,
+    metered: bool,
+    fuel_limit: u64,
+    last_fuel_used: u64,
+}
+
+impl CompiledEngine {
+    /// Translates `module` at load time under `mode`.
+    ///
+    /// Runs the structural IR verifier; under SFI additionally
+    /// instruments the code and runs the SFI verifier. Rejected modules
+    /// never execute.
+    pub fn load(module: Module, mode: SafetyMode) -> Result<Self, GraftError> {
+        graft_ir::verify(&module)?;
+        let (module, memory) = match mode {
+            SafetyMode::Sfi { read_protect } => {
+                let mut module = module;
+                let layout = sfi::instrument(&mut module, read_protect);
+                graft_ir::verify::verify_with(&module, true)?;
+                sfi::verify_sfi(&module)?;
+                let arena = memory::Arena::new(&module, layout);
+                (module, memory::Memory::Arena(arena))
+            }
+            _ => {
+                let plain = memory::PlainMemory::new(&module);
+                (module, memory::Memory::Plain(plain))
+            }
+        };
+        let globals = module.globals.clone();
+        let region_ids = module
+            .regions
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.name.clone(), i as u16))
+            .collect();
+        Ok(CompiledEngine {
+            module: Arc::new(module),
+            mode,
+            memory,
+            globals,
+            region_ids,
+            fuel: u64::MAX,
+            metered: false,
+            fuel_limit: 0,
+            last_fuel_used: 0,
+        })
+    }
+
+    /// The translation mode this engine was loaded under.
+    pub fn mode(&self) -> SafetyMode {
+        self.mode
+    }
+
+    /// The (possibly SFI-instrumented) module, for inspection in tests
+    /// and the code-expansion report.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    fn region_id(&self, name: &str) -> Result<u16, GraftError> {
+        self.region_ids
+            .get(name)
+            .copied()
+            .ok_or_else(|| GraftError::NoSuchRegion(name.to_string()))
+    }
+}
+
+impl ExtensionEngine for CompiledEngine {
+    fn technology(&self) -> Technology {
+        self.mode.technology()
+    }
+
+    fn invoke(&mut self, entry: &str, args: &[i64]) -> Result<i64, GraftError> {
+        let module = Arc::clone(&self.module);
+        let func = module
+            .func_id(entry)
+            .ok_or_else(|| graft_api::engine::no_such_entry(entry))?;
+        let arity = module.funcs[func].arity;
+        if arity != args.len() {
+            return Err(GraftError::BadArity {
+                entry: entry.to_string(),
+                expected: arity,
+                got: args.len(),
+            });
+        }
+        // Unprotected compiled code cannot be preempted; see
+        // `Technology::preemptible`.
+        let metered = self.metered && self.mode != SafetyMode::Unchecked;
+        self.fuel = if metered { self.fuel_limit } else { u64::MAX };
+        let result = interp::run(self, &module, func, args);
+        self.last_fuel_used = if metered {
+            self.fuel_limit - self.fuel
+        } else {
+            0
+        };
+        result
+    }
+
+    fn load_region(&mut self, name: &str, offset: usize, data: &[i64]) -> Result<(), GraftError> {
+        let id = self.region_id(name)?;
+        self.memory.kernel_load(id, name, offset, data)
+    }
+
+    fn read_region(&self, name: &str, index: usize) -> Result<i64, GraftError> {
+        let id = self.region_id(name)?;
+        self.memory.kernel_read(id, name, index)
+    }
+
+    fn write_region(&mut self, name: &str, index: usize, value: i64) -> Result<(), GraftError> {
+        let id = self.region_id(name)?;
+        self.memory.kernel_write(id, name, index, value)
+    }
+
+    fn read_region_slice(
+        &self,
+        name: &str,
+        offset: usize,
+        out: &mut [i64],
+    ) -> Result<(), GraftError> {
+        let id = self.region_id(name)?;
+        self.memory.kernel_read_slice(id, name, offset, out)
+    }
+
+    fn set_fuel(&mut self, fuel: Option<u64>) {
+        match fuel {
+            Some(f) => {
+                self.metered = true;
+                self.fuel_limit = f;
+            }
+            None => {
+                self.metered = false;
+            }
+        }
+    }
+
+    fn fuel_used(&self) -> Option<u64> {
+        if self.metered && self.mode != SafetyMode::Unchecked {
+            Some(self.last_fuel_used)
+        } else {
+            None
+        }
+    }
+}
+
+/// Convenience: compile Grail source and load it in one step.
+pub fn load_grail(
+    source: &str,
+    regions: &[graft_api::RegionSpec],
+    mode: SafetyMode,
+) -> Result<CompiledEngine, GraftError> {
+    let hir = graft_lang::compile(source, regions)?;
+    let module = graft_ir::lower(&hir);
+    CompiledEngine::load(module, mode)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graft_api::{RegionSpec, Trap};
+
+    const MODES: [SafetyMode; 4] = [
+        SafetyMode::Unchecked,
+        SafetyMode::Safe { nil_checks: true },
+        SafetyMode::Sfi {
+            read_protect: false,
+        },
+        SafetyMode::Sfi { read_protect: true },
+    ];
+
+    fn run_all(src: &str, regions: &[RegionSpec], entry: &str, args: &[i64]) -> Vec<i64> {
+        MODES
+            .iter()
+            .map(|&mode| {
+                let mut e = load_grail(src, regions, mode).unwrap();
+                e.invoke(entry, args).unwrap()
+            })
+            .collect()
+    }
+
+    /// Every mode must compute identical results on well-behaved code —
+    /// the technologies differ in protection, not semantics.
+    #[test]
+    fn modes_agree_on_wellbehaved_code() {
+        let src = r#"
+            const K[4] = { 2, 3, 5, 7 };
+            var acc = 0;
+            fn mix(n: int) -> int {
+                acc = 0;
+                let i = 0;
+                while i < n {
+                    buf[i] = K[i & 3] * i;
+                    acc = acc + buf[i];
+                    i = i + 1;
+                }
+                return acc;
+            }
+        "#;
+        let regions = [RegionSpec::data("buf", 16)];
+        let results = run_all(src, &regions, "mix", &[10]);
+        assert!(results.windows(2).all(|w| w[0] == w[1]), "{results:?}");
+        // 3*1 + 5*2 + 7*3 + 2*4 + 3*5 + 5*6 + 7*7 + 2*8 + 3*9 = 179.
+        assert_eq!(results[0], 179);
+    }
+
+    #[test]
+    fn recursion_works_and_overflows_gracefully() {
+        let src = r#"
+            fn fib(n: int) -> int {
+                if n < 2 { return n; }
+                return fib(n - 1) + fib(n - 2);
+            }
+            fn forever(n: int) -> int { return forever(n + 1); }
+        "#;
+        for &mode in &MODES {
+            let mut e = load_grail(src, &[], mode).unwrap();
+            assert_eq!(e.invoke("fib", &[15]).unwrap(), 610);
+            let err = e.invoke("forever", &[0]).unwrap_err();
+            assert_eq!(err.as_trap(), Some(&Trap::StackOverflow));
+        }
+    }
+
+    #[test]
+    fn safe_mode_traps_out_of_bounds_where_unchecked_wraps() {
+        let src = "fn poke(i: int) -> int { buf[i] = 42; return buf[i]; }";
+        let regions = [RegionSpec::data("buf", 8)];
+
+        let mut safe = load_grail(src, &regions, SafetyMode::Safe { nil_checks: true }).unwrap();
+        let err = safe.invoke("poke", &[100]).unwrap_err();
+        assert!(matches!(err.as_trap(), Some(Trap::OutOfBounds { .. })));
+
+        // Unsafe C does not trap; the store lands somewhere in the
+        // graft's own allocation (wrapped), like a stray pointer.
+        let mut unchecked = load_grail(src, &regions, SafetyMode::Unchecked).unwrap();
+        assert_eq!(unchecked.invoke("poke", &[100]).unwrap(), 42);
+    }
+
+    #[test]
+    fn sfi_confines_wild_stores_to_the_sandbox() {
+        let src = "fn poke(i: int) -> int { buf[i] = 7; return 0; }";
+        let regions = [RegionSpec::data("buf", 8)];
+        let mut e = load_grail(
+            src,
+            &regions,
+            SafetyMode::Sfi {
+                read_protect: false,
+            },
+        )
+        .unwrap();
+        // A wildly out-of-range store must neither trap nor corrupt
+        // anything outside the arena: it wraps inside the sandbox.
+        e.invoke("poke", &[1 << 40]).unwrap();
+        e.invoke("poke", &[-5]).unwrap();
+    }
+
+    #[test]
+    fn nil_check_traps_only_in_safe_mode_on_linked_regions() {
+        let src = "fn chase() -> int { return queue[0]; }";
+        let regions = [RegionSpec::linked("queue", 8)];
+
+        let mut safe = load_grail(src, &regions, SafetyMode::Safe { nil_checks: true }).unwrap();
+        let err = safe.invoke("chase", &[]).unwrap_err();
+        assert!(matches!(err.as_trap(), Some(Trap::NilDeref { .. })));
+
+        // The Solaris configuration: no explicit check emitted.
+        let mut relaxed =
+            load_grail(src, &regions, SafetyMode::Safe { nil_checks: false }).unwrap();
+        assert_eq!(relaxed.invoke("chase", &[]).unwrap(), 0);
+
+        let mut unchecked = load_grail(src, &regions, SafetyMode::Unchecked).unwrap();
+        assert_eq!(unchecked.invoke("chase", &[]).unwrap(), 0);
+    }
+
+    #[test]
+    fn division_by_zero_traps_in_every_mode() {
+        let src = "fn f(a: int, b: int) -> int { return a / b; }";
+        for &mode in &MODES {
+            let mut e = load_grail(src, &[], mode).unwrap();
+            let err = e.invoke("f", &[1, 0]).unwrap_err();
+            assert_eq!(err.as_trap(), Some(&Trap::DivByZero));
+        }
+    }
+
+    #[test]
+    fn fuel_preempts_runaway_safe_code_but_not_unchecked() {
+        let src = "fn spin() -> int { let i = 0; while true { i = i + 1; if i > 100000000 { return i; } } return 0; }";
+        let mut safe = load_grail(src, &[], SafetyMode::Safe { nil_checks: true }).unwrap();
+        safe.set_fuel(Some(10_000));
+        let err = safe.invoke("spin", &[]).unwrap_err();
+        assert_eq!(err.as_trap(), Some(&Trap::FuelExhausted));
+        assert_eq!(safe.fuel_used(), Some(10_000));
+
+        // The unprotected technology ignores metering — the paper's
+        // complaint about unsafe in-kernel code. Use a short loop so the
+        // test terminates.
+        let src2 = "fn spin() -> int { let i = 0; while i < 100000 { i = i + 1; } return i; }";
+        let mut unchecked = load_grail(src2, &[], SafetyMode::Unchecked).unwrap();
+        unchecked.set_fuel(Some(10));
+        assert_eq!(unchecked.invoke("spin", &[]).unwrap(), 100_000);
+    }
+
+    #[test]
+    fn kernel_marshalling_round_trips_through_every_mode() {
+        let src = "fn sum(n: int) -> int { let s = 0; let i = 0; while i < n { s = s + buf[i]; i = i + 1; } return s; }";
+        let regions = [RegionSpec::data("buf", 8)];
+        for &mode in &MODES {
+            let mut e = load_grail(src, &regions, mode).unwrap();
+            e.load_region("buf", 0, &[1, 2, 3, 4]).unwrap();
+            e.write_region("buf", 4, 10).unwrap();
+            assert_eq!(e.invoke("sum", &[5]).unwrap(), 20, "{mode:?}");
+            assert_eq!(e.read_region("buf", 3).unwrap(), 4);
+            let mut out = [0i64; 2];
+            e.read_region_slice("buf", 3, &mut out).unwrap();
+            assert_eq!(out, [4, 10]);
+        }
+    }
+
+    #[test]
+    fn abort_builtin_traps_with_code() {
+        let src = "fn f() -> int { abort(42); }";
+        for &mode in &MODES {
+            let mut e = load_grail(src, &[], mode).unwrap();
+            let err = e.invoke("f", &[]).unwrap_err();
+            assert_eq!(err.as_trap(), Some(&Trap::Abort(42)));
+        }
+    }
+
+    #[test]
+    fn bad_arity_is_rejected_before_execution() {
+        let src = "fn f(a: int) -> int { return a; }";
+        let mut e = load_grail(src, &[], SafetyMode::Unchecked).unwrap();
+        assert!(matches!(
+            e.invoke("f", &[]),
+            Err(GraftError::BadArity { .. })
+        ));
+        assert!(e.invoke("g", &[]).is_err());
+    }
+
+    #[test]
+    fn globals_persist_across_invocations() {
+        let src = "var n = 100; fn bump() -> int { n = n + 1; return n; }";
+        for &mode in &MODES {
+            let mut e = load_grail(src, &[], mode).unwrap();
+            assert_eq!(e.invoke("bump", &[]).unwrap(), 101);
+            assert_eq!(e.invoke("bump", &[]).unwrap(), 102, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn sfi_read_protection_costs_extra_instructions() {
+        let src = "fn get(i: int) -> int { return buf[i]; }";
+        let regions = [RegionSpec::data("buf", 8)];
+        let unprot =
+            load_grail(src, &regions, SafetyMode::Sfi { read_protect: false }).unwrap();
+        let prot = load_grail(src, &regions, SafetyMode::Sfi { read_protect: true }).unwrap();
+        assert!(
+            prot.module().code_len() > unprot.module().code_len(),
+            "read protection must insert mask instructions"
+        );
+    }
+
+    #[test]
+    fn logical_short_circuit_avoids_side_effects() {
+        let src = r#"
+            var touched = 0;
+            fn touch() -> bool { touched = touched + 1; return true; }
+            fn f(x: int) -> int {
+                if x > 0 && touch() { return touched; }
+                return touched;
+            }
+        "#;
+        for &mode in &MODES {
+            let mut e = load_grail(src, &[], mode).unwrap();
+            assert_eq!(e.invoke("f", &[0]).unwrap(), 0, "rhs must not run");
+            assert_eq!(e.invoke("f", &[1]).unwrap(), 1);
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! Software fault isolation: load-time instrumentation and verification.
+//!
+//! Follows Wahbe et al. ([WAHBE93], as cited by the paper) with the
+//! *dedicated register* technique: each function reserves one register
+//! that only the `Mask` instruction may write. `Mask` computes
+//! `(index + region_base) & arena_mask`, so whatever control flow reaches
+//! a `MaskedLoad`/`MaskedStore`, the dedicated register always holds an
+//! address inside the sandbox — a jump that skips the mask merely reuses
+//! the previous (still sandboxed) address. Verification is a single
+//! linear scan, matching the paper's "at load time, a linear-time
+//! algorithm can be used" description.
+
+use graft_api::GraftError;
+use graft_ir::{Inst, Module};
+
+use crate::memory::pow2_at_least;
+
+/// Arena placement of every pool and region.
+#[derive(Debug, Clone, Default)]
+pub struct ArenaLayout {
+    /// `(base, len)` per constant pool, in module order.
+    pub pools: Vec<(u32, u32)>,
+    /// `(base, len)` per shared region, in ABI order.
+    pub regions: Vec<(u32, u32)>,
+    /// Total words used (arena capacity is the next power of two).
+    pub total: usize,
+}
+
+impl ArenaLayout {
+    /// Computes the layout for a module: pools first, then regions.
+    pub fn for_module(module: &Module) -> Self {
+        let mut layout = ArenaLayout::default();
+        let mut at: u32 = 0;
+        for pool in &module.const_pools {
+            layout.pools.push((at, pool.len() as u32));
+            at += pool.len() as u32;
+        }
+        for region in &module.regions {
+            layout.regions.push((at, region.len as u32));
+            at += region.len as u32;
+        }
+        layout.total = at as usize;
+        layout
+    }
+
+    /// The arena address mask implied by this layout.
+    pub fn mask(&self) -> usize {
+        pow2_at_least(self.total) - 1
+    }
+}
+
+/// Rewrites every region/pool access in `module` into sandboxed arena
+/// accesses and returns the arena layout.
+///
+/// * stores become `Mask` + `MaskedStore` (write protection, always on);
+/// * loads become `Mask` + `MaskedLoad` when `read_protect`, else a
+///   single fused [`Inst::ArenaLoad`] (the omniC++ 1.0β configuration).
+///
+/// Each function gains one dedicated sandbox register (the new highest
+/// register). Returns the arena layout the rewritten code assumes.
+pub fn instrument(module: &mut Module, read_protect: bool) -> ArenaLayout {
+    let layout = ArenaLayout::for_module(module);
+    for func in &mut module.funcs {
+        let sbx = func.regs as u16;
+        func.regs += 1;
+        let old = std::mem::take(&mut func.code);
+        // First pass: emit, recording where each old instruction begins.
+        let mut new_code: Vec<Inst> = Vec::with_capacity(old.len());
+        let mut new_pos: Vec<u32> = Vec::with_capacity(old.len());
+        for inst in &old {
+            new_pos.push(new_code.len() as u32);
+            match inst {
+                Inst::Load { dst, mem, addr } => {
+                    let (base, _) = layout.place(*mem);
+                    if read_protect {
+                        new_code.push(Inst::Mask {
+                            dst: sbx,
+                            src: *addr,
+                            offset: base,
+                        });
+                        new_code.push(Inst::MaskedLoad {
+                            dst: *dst,
+                            addr: sbx,
+                        });
+                    } else {
+                        new_code.push(Inst::ArenaLoad {
+                            dst: *dst,
+                            src: *addr,
+                            offset: base,
+                        });
+                    }
+                }
+                Inst::Store { mem, addr, src } => {
+                    let (base, _) = layout.place(*mem);
+                    new_code.push(Inst::Mask {
+                        dst: sbx,
+                        src: *addr,
+                        offset: base,
+                    });
+                    new_code.push(Inst::MaskedStore {
+                        addr: sbx,
+                        src: *src,
+                    });
+                }
+                other => new_code.push(other.clone()),
+            }
+        }
+        // Second pass: retarget jumps through the position map.
+        for inst in &mut new_code {
+            match inst {
+                Inst::Jmp { target } => *target = new_pos[*target as usize],
+                Inst::Br { then_t, else_t, .. } => {
+                    *then_t = new_pos[*then_t as usize];
+                    *else_t = new_pos[*else_t as usize];
+                }
+                _ => {}
+            }
+        }
+        func.code = new_code;
+    }
+    layout
+}
+
+impl ArenaLayout {
+    fn place(&self, mem: graft_ir::MemRef) -> (u32, u32) {
+        match mem {
+            graft_ir::MemRef::Pool(p) => self.pools[p as usize],
+            graft_ir::MemRef::Region(r) => self.regions[r as usize],
+        }
+    }
+}
+
+/// Linear-time SFI verification of an instrumented module.
+///
+/// Checks, per function:
+///
+/// 1. no un-sandboxed `Load`/`Store` instructions remain;
+/// 2. only `Mask` writes the dedicated register (`regs - 1`);
+/// 3. every `MaskedLoad`/`MaskedStore` addresses the dedicated register.
+///
+/// Together with the dedicated-register invariant this guarantees every
+/// arena write goes through a mask, regardless of control flow.
+pub fn verify_sfi(module: &Module) -> Result<(), GraftError> {
+    for func in &module.funcs {
+        let sbx = (func.regs - 1) as u16;
+        for (at, inst) in func.code.iter().enumerate() {
+            let fail = |msg: &str| {
+                Err(GraftError::Verify(format!(
+                    "SFI: {} at {}:{at}: {msg}",
+                    func.name, func.name
+                )))
+            };
+            match inst {
+                Inst::Load { .. } | Inst::Store { .. } => {
+                    return fail("unsandboxed memory access");
+                }
+                Inst::Mask { dst, .. } => {
+                    if *dst != sbx {
+                        return fail("Mask must write the dedicated register");
+                    }
+                }
+                Inst::MaskedLoad { addr, .. } | Inst::MaskedStore { addr, .. } => {
+                    if *addr != sbx {
+                        return fail("masked access must use the dedicated register");
+                    }
+                }
+                // Every other instruction must not write the dedicated
+                // register.
+                Inst::Const { dst, .. }
+                | Inst::Mov { dst, .. }
+                | Inst::Un { dst, .. }
+                | Inst::Bin { dst, .. }
+                | Inst::GlobalGet { dst, .. }
+                | Inst::Call { dst, .. }
+                | Inst::ArenaLoad { dst, .. } => {
+                    if *dst == sbx {
+                        return fail("dedicated register written by non-Mask instruction");
+                    }
+                }
+                Inst::Jmp { .. }
+                | Inst::Br { .. }
+                | Inst::GlobalSet { .. }
+                | Inst::Ret { .. }
+                | Inst::Abort { .. } => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graft_api::RegionSpec;
+
+    fn lower(src: &str, regions: &[RegionSpec]) -> Module {
+        let hir = graft_lang::compile(src, regions).unwrap();
+        graft_ir::lower(&hir)
+    }
+
+    #[test]
+    fn layout_places_pools_before_regions() {
+        let m = lower(
+            "const K[4] = {1,2,3,4}; fn f() -> int { return K[0] + a[0] + b[0]; }",
+            &[RegionSpec::data("a", 10), RegionSpec::data("b", 6)],
+        );
+        let layout = ArenaLayout::for_module(&m);
+        assert_eq!(layout.pools, vec![(0, 4)]);
+        assert_eq!(layout.regions, vec![(4, 10), (14, 6)]);
+        assert_eq!(layout.total, 20);
+        assert_eq!(layout.mask(), 31);
+    }
+
+    #[test]
+    fn instrumentation_sandboxes_all_accesses_and_verifies() {
+        let mut m = lower(
+            "fn f(i: int) -> int { buf[i] = i; return buf[i + 1]; }",
+            &[RegionSpec::data("buf", 8)],
+        );
+        let before = m.code_len();
+        instrument(&mut m, false);
+        assert!(m.code_len() > before, "store masking adds instructions");
+        graft_ir::verify::verify_with(&m, true).unwrap();
+        verify_sfi(&m).unwrap();
+        assert!(!m.funcs[0]
+            .code
+            .iter()
+            .any(|i| matches!(i, Inst::Load { .. } | Inst::Store { .. })));
+    }
+
+    #[test]
+    fn read_protection_expands_code_more() {
+        let src = "fn f(i: int) -> int { return buf[i] + buf[i+1] + buf[i+2]; }";
+        let regions = [RegionSpec::data("buf", 8)];
+        let mut unprot = lower(src, &regions);
+        let mut prot = lower(src, &regions);
+        instrument(&mut unprot, false);
+        instrument(&mut prot, true);
+        assert!(prot.code_len() > unprot.code_len());
+        verify_sfi(&prot).unwrap();
+    }
+
+    #[test]
+    fn verifier_rejects_unsandboxed_store() {
+        let mut m = lower(
+            "fn f(i: int) { buf[i] = 1; }",
+            &[RegionSpec::data("buf", 8)],
+        );
+        // A module that skipped instrumentation entirely.
+        for f in &mut m.funcs {
+            f.regs += 1; // pretend a dedicated register exists
+        }
+        let err = verify_sfi(&m).unwrap_err().to_string();
+        assert!(err.contains("unsandboxed"));
+    }
+
+    #[test]
+    fn verifier_rejects_forged_mask_register() {
+        let mut m = lower(
+            "fn f(i: int) { buf[i] = 1; }",
+            &[RegionSpec::data("buf", 8)],
+        );
+        instrument(&mut m, false);
+        // Attack: overwrite the dedicated register with an arbitrary
+        // value after the mask, before the store.
+        let sbx = (m.funcs[0].regs - 1) as u16;
+        let store_at = m.funcs[0]
+            .code
+            .iter()
+            .position(|i| matches!(i, Inst::MaskedStore { .. }))
+            .unwrap();
+        m.funcs[0]
+            .code
+            .insert(store_at, Inst::Const { dst: sbx, value: 1 << 40 });
+        let err = verify_sfi(&m).unwrap_err().to_string();
+        assert!(err.contains("dedicated register"));
+    }
+
+    #[test]
+    fn verifier_rejects_masked_store_via_other_register() {
+        let mut m = lower(
+            "fn f(i: int) { buf[i] = 1; }",
+            &[RegionSpec::data("buf", 8)],
+        );
+        instrument(&mut m, false);
+        for inst in &mut m.funcs[0].code {
+            if let Inst::MaskedStore { addr, .. } = inst {
+                *addr = 0; // bypass the dedicated register
+            }
+        }
+        let err = verify_sfi(&m).unwrap_err().to_string();
+        assert!(err.contains("dedicated register"));
+    }
+
+    #[test]
+    fn jump_targets_survive_instrumentation() {
+        let mut m = lower(
+            "fn f(n: int) -> int { let s = 0; let i = 0; while i < n { s = s + buf[i]; buf[i] = s; i = i + 1; } return s; }",
+            &[RegionSpec::data("buf", 64)],
+        );
+        instrument(&mut m, true);
+        graft_ir::verify::verify_with(&m, true).unwrap();
+        verify_sfi(&m).unwrap();
+    }
+}

@@ -1,0 +1,162 @@
+//! Adversarial tests against the SFI verifier and sandbox: hand-forged
+//! modules that try to escape must be rejected at load time or
+//! contained at run time — never allowed to touch memory outside the
+//! arena. This is the security half of Wahbe et al.'s claim, which the
+//! paper's §4.2 takes as given.
+
+use std::collections::HashMap;
+
+use engine_native::sfi::{instrument, verify_sfi};
+use engine_native::{CompiledEngine, SafetyMode};
+use graft_api::{ExtensionEngine, RegionSpec};
+use graft_ir::{Inst, IrFunc, MemRef, Module};
+
+fn raw_module(code: Vec<Inst>, regs: usize) -> Module {
+    let mut func_index = HashMap::new();
+    func_index.insert("f".to_string(), 0);
+    Module {
+        funcs: vec![IrFunc {
+            name: "f".into(),
+            arity: 1,
+            regs,
+            code,
+        }],
+        globals: vec![],
+        const_pools: vec![],
+        regions: vec![RegionSpec::data("buf", 8)],
+        func_index,
+    }
+}
+
+/// A module claiming to be SFI-instrumented but still containing a
+/// plain `Store` is rejected by the linear-scan verifier — and the
+/// normal load path is immune because it always instruments first.
+#[test]
+fn uninstrumented_store_is_rejected_by_the_sfi_verifier() {
+    let m = raw_module(
+        vec![
+            Inst::Store {
+                mem: MemRef::Region(0),
+                addr: 0,
+                src: 0,
+            },
+            Inst::Ret { src: None },
+        ],
+        2,
+    );
+    let err = verify_sfi(&m).unwrap_err().to_string();
+    assert!(err.contains("unsandboxed"), "{err}");
+    // The engine's own load path instruments, so the same module loads
+    // fine — and its store is then masked.
+    let mut e = CompiledEngine::load(m, SafetyMode::Sfi { read_protect: false }).unwrap();
+    e.invoke("f", &[0]).unwrap();
+}
+
+/// Forging a MaskedStore without a Mask (pointing it at a normal
+/// register) is rejected by the linear-scan verifier.
+#[test]
+fn forged_masked_store_is_rejected() {
+    let m = raw_module(
+        vec![
+            Inst::Const { dst: 1, value: 1 << 40 },
+            Inst::MaskedStore { addr: 1, src: 0 },
+            Inst::Ret { src: None },
+        ],
+        3, // dedicated register would be r2
+    );
+    let err = verify_sfi(&m).unwrap_err().to_string();
+    assert!(err.contains("dedicated register"), "{err}");
+}
+
+/// Writing the dedicated register with arithmetic (to smuggle an
+/// unmasked address into it) is rejected.
+#[test]
+fn arithmetic_into_dedicated_register_is_rejected() {
+    // Build a legitimate module, then splice in an attack.
+    let hir = graft_lang::compile(
+        "fn f(i: int) { buf[i] = 1; }",
+        &[RegionSpec::data("buf", 8)],
+    )
+    .unwrap();
+    let mut m = graft_ir::lower(&hir);
+    instrument(&mut m, false);
+    let sbx = (m.funcs[0].regs - 1) as u16;
+    let store_at = m.funcs[0]
+        .code
+        .iter()
+        .position(|i| matches!(i, Inst::MaskedStore { .. }))
+        .unwrap();
+    m.funcs[0].code.insert(
+        store_at,
+        Inst::Bin {
+            op: graft_lang::hir::BinOp::Add,
+            dst: sbx,
+            a: 0,
+            b: 0,
+        },
+    );
+    assert!(verify_sfi(&m).is_err());
+}
+
+/// Run-time containment: a graft computing arbitrary wild addresses
+/// cannot disturb kernel-visible state outside its own regions — here
+/// checked by hammering stores at extreme offsets and confirming the
+/// engine (and its neighbours' memory, by virtue of Rust's safety)
+/// keeps functioning.
+#[test]
+fn wild_store_barrage_is_contained() {
+    let src = r#"
+        fn hammer(seed: int) -> int {
+            let i = 0;
+            let x = seed;
+            while i < 10000 {
+                x = x * 6364136223846793005 + 1442695040888963407;
+                buf[x] = i;
+                i = i + 1;
+            }
+            return x;
+        }
+        fn probe(i: int) -> int { return buf[i]; }
+    "#;
+    let mut e = engine_native::load_grail(
+        src,
+        &[RegionSpec::data("buf", 8)],
+        SafetyMode::Sfi { read_protect: false },
+    )
+    .unwrap();
+    e.invoke("hammer", &[0x5EED]).unwrap();
+    // The engine survives, stays callable, and kernel reads stay in
+    // bounds.
+    for i in 0..8 {
+        e.invoke("probe", &[i]).unwrap();
+    }
+    assert!(e.read_region("buf", 7).is_ok());
+    assert!(e.read_region("buf", 8).is_err(), "kernel view stays bounded");
+}
+
+/// The instrumented module always passes the generic IR verifier in
+/// masked mode and executes identically to the safe engine on in-bounds
+/// programs.
+#[test]
+fn instrumented_code_is_semantically_transparent() {
+    let src = r#"
+        fn sum(n: int) -> int {
+            let s = 0;
+            let i = 0;
+            while i < n {
+                buf[i] = i * 3;
+                s = s + buf[i];
+                i = i + 1;
+            }
+            return s;
+        }
+    "#;
+    let regions = [RegionSpec::data("buf", 16)];
+    let mut sfi =
+        engine_native::load_grail(src, &regions, SafetyMode::Sfi { read_protect: true }).unwrap();
+    let mut safe =
+        engine_native::load_grail(src, &regions, SafetyMode::Safe { nil_checks: true }).unwrap();
+    for n in [0i64, 1, 8, 16] {
+        assert_eq!(sfi.invoke("sum", &[n]).unwrap(), safe.invoke("sum", &[n]).unwrap());
+    }
+}

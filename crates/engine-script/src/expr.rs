@@ -1,0 +1,304 @@
+//! The `expr` arithmetic evaluator.
+//!
+//! Operands and results are strings until the moment of use, exactly as
+//! in Tcl 7.x: every evaluation re-tokenizes the expression text and
+//! re-parses numbers out of strings.
+
+/// Evaluates an expression string (after variable substitution) to an
+/// integer.
+pub fn eval(text: &str) -> Result<i64, String> {
+    let mut p = Parser {
+        src: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.or_expr()?;
+    p.skip_ws();
+    if p.pos != p.src.len() {
+        return Err(format!(
+            "trailing characters in expression at offset {}: `{text}`",
+            p.pos
+        ));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.src.get(self.pos), Some(c) if c.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, tok: &str) -> bool {
+        self.skip_ws();
+        if self.src[self.pos..].starts_with(tok.as_bytes()) {
+            // Avoid matching `<` as the prefix of `<<` or `<=`.
+            let next = self.src.get(self.pos + tok.len());
+            let ambiguous = matches!(
+                (tok, next),
+                ("<", Some(b'<' | b'=')) | (">", Some(b'>' | b'=')) |
+                ("&", Some(b'&')) | ("|", Some(b'|')) | ("=", Some(b'=')) |
+                ("!", Some(b'='))
+            );
+            if !ambiguous {
+                self.pos += tok.len();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn or_expr(&mut self) -> Result<i64, String> {
+        let mut v = self.and_expr()?;
+        while self.eat("||") {
+            let r = self.and_expr()?;
+            v = ((v != 0) || (r != 0)) as i64;
+        }
+        Ok(v)
+    }
+
+    fn and_expr(&mut self) -> Result<i64, String> {
+        let mut v = self.bitor()?;
+        while self.eat("&&") {
+            let r = self.bitor()?;
+            v = ((v != 0) && (r != 0)) as i64;
+        }
+        Ok(v)
+    }
+
+    fn bitor(&mut self) -> Result<i64, String> {
+        let mut v = self.bitxor()?;
+        while self.eat("|") {
+            v |= self.bitxor()?;
+        }
+        Ok(v)
+    }
+
+    fn bitxor(&mut self) -> Result<i64, String> {
+        let mut v = self.bitand()?;
+        while self.eat("^") {
+            v ^= self.bitand()?;
+        }
+        Ok(v)
+    }
+
+    fn bitand(&mut self) -> Result<i64, String> {
+        let mut v = self.equality()?;
+        while self.eat("&") {
+            v &= self.equality()?;
+        }
+        Ok(v)
+    }
+
+    fn equality(&mut self) -> Result<i64, String> {
+        let mut v = self.relational()?;
+        loop {
+            if self.eat("==") {
+                let r = self.relational()?;
+                v = (v == r) as i64;
+            } else if self.eat("!=") {
+                let r = self.relational()?;
+                v = (v != r) as i64;
+            } else {
+                return Ok(v);
+            }
+        }
+    }
+
+    fn relational(&mut self) -> Result<i64, String> {
+        let mut v = self.shift()?;
+        loop {
+            if self.eat("<=") {
+                let r = self.shift()?;
+                v = (v <= r) as i64;
+            } else if self.eat(">=") {
+                let r = self.shift()?;
+                v = (v >= r) as i64;
+            } else if self.eat("<") {
+                let r = self.shift()?;
+                v = (v < r) as i64;
+            } else if self.eat(">") {
+                let r = self.shift()?;
+                v = (v > r) as i64;
+            } else {
+                return Ok(v);
+            }
+        }
+    }
+
+    fn shift(&mut self) -> Result<i64, String> {
+        let mut v = self.additive()?;
+        loop {
+            if self.eat("<<") {
+                let r = self.additive()?;
+                v = v.wrapping_shl(r as u32 & 63);
+            } else if self.eat(">>") {
+                let r = self.additive()?;
+                v = ((v as u64) >> (r as u32 & 63)) as i64;
+            } else {
+                return Ok(v);
+            }
+        }
+    }
+
+    fn additive(&mut self) -> Result<i64, String> {
+        let mut v = self.multiplicative()?;
+        loop {
+            if self.eat("+") {
+                v = v.wrapping_add(self.multiplicative()?);
+            } else if self.eat("-") {
+                v = v.wrapping_sub(self.multiplicative()?);
+            } else {
+                return Ok(v);
+            }
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<i64, String> {
+        let mut v = self.unary()?;
+        loop {
+            if self.eat("*") {
+                v = v.wrapping_mul(self.unary()?);
+            } else if self.eat("/") {
+                let r = self.unary()?;
+                if r == 0 {
+                    return Err("division by zero".into());
+                }
+                v = v.wrapping_div(r);
+            } else if self.eat("%") {
+                let r = self.unary()?;
+                if r == 0 {
+                    return Err("division by zero".into());
+                }
+                v = v.wrapping_rem(r);
+            } else {
+                return Ok(v);
+            }
+        }
+    }
+
+    fn unary(&mut self) -> Result<i64, String> {
+        self.skip_ws();
+        if self.eat("-") {
+            return Ok(self.unary()?.wrapping_neg());
+        }
+        if self.eat("!") {
+            return Ok((self.unary()? == 0) as i64);
+        }
+        if self.eat("~") {
+            return Ok(!self.unary()?);
+        }
+        if self.eat("+") {
+            return self.unary();
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<i64, String> {
+        self.skip_ws();
+        if self.eat("(") {
+            let v = self.or_expr()?;
+            self.skip_ws();
+            if !self.eat(")") {
+                return Err("expected `)`".into());
+            }
+            return Ok(v);
+        }
+        let start = self.pos;
+        let hex = self.src[self.pos..].starts_with(b"0x") || self.src[self.pos..].starts_with(b"0X");
+        if hex {
+            self.pos += 2;
+        }
+        while matches!(self.src.get(self.pos), Some(c) if c.is_ascii_hexdigit()) {
+            if !hex && !self.src[self.pos].is_ascii_digit() {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.pos == start || (hex && self.pos == start + 2) {
+            return Err(format!(
+                "expected a number at offset {start} in expression"
+            ));
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ASCII digits");
+        parse_int(text)
+    }
+}
+
+/// Parses a Tickle integer string (decimal or hex, optional sign).
+pub fn parse_int(text: &str) -> Result<i64, String> {
+    let t = text.trim();
+    let (neg, t) = match t.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, t),
+    };
+    let value = if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).map(|v| v as i64)
+    } else {
+        t.parse::<i64>()
+    }
+    .map_err(|_| format!("expected integer but got `{text}`"))?;
+    Ok(if neg { value.wrapping_neg() } else { value })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precedence_matches_c() {
+        assert_eq!(eval("1 + 2 * 3").unwrap(), 7);
+        assert_eq!(eval("(1 + 2) * 3").unwrap(), 9);
+        assert_eq!(eval("10 - 4 - 3").unwrap(), 3);
+        assert_eq!(eval("1 << 4 | 1").unwrap(), 17);
+        assert_eq!(eval("7 & 3 == 3").unwrap(), 1 & 7); // == binds tighter than &
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        assert_eq!(eval("3 < 4 && 4 <= 4").unwrap(), 1);
+        assert_eq!(eval("3 > 4 || 0").unwrap(), 0);
+        assert_eq!(eval("!0 + !5").unwrap(), 1);
+        assert_eq!(eval("1 != 2").unwrap(), 1);
+    }
+
+    #[test]
+    fn hex_and_masking() {
+        assert_eq!(eval("0xFF & 0x0F").unwrap(), 0x0F);
+        assert_eq!(eval("(0xFFFFFFFF + 1) & 0xFFFFFFFF").unwrap(), 0);
+        assert_eq!(eval("~0").unwrap(), -1);
+    }
+
+    #[test]
+    fn shifts_are_logical_right() {
+        assert_eq!(eval("-1 >> 60").unwrap(), 15);
+        assert_eq!(eval("1 << 3").unwrap(), 8);
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        assert!(eval("1 / 0").is_err());
+        assert!(eval("1 % 0").is_err());
+    }
+
+    #[test]
+    fn junk_is_rejected() {
+        assert!(eval("1 +").is_err());
+        assert!(eval("abc").is_err());
+        assert!(eval("1 2").is_err());
+        assert!(eval("(1").is_err());
+    }
+
+    #[test]
+    fn parse_int_handles_signs_and_hex() {
+        assert_eq!(parse_int(" -12 ").unwrap(), -12);
+        assert_eq!(parse_int("0x10").unwrap(), 16);
+        assert_eq!(parse_int("-0x10").unwrap(), -16);
+        assert!(parse_int("ten").is_err());
+    }
+}

@@ -1,0 +1,796 @@
+//! The Tickle interpreter core.
+//!
+//! Everything is a string: variables, arguments, results. A loop body is
+//! re-split into commands and re-substituted on every iteration; every
+//! arithmetic operand is re-parsed from its string form at use. This is
+//! not an inefficiency to fix — it is the direct-source-interpretation
+//! technology (awk/sh/Tcl) whose cost the paper measures four orders of
+//! magnitude above compiled code.
+
+use std::collections::{HashMap, HashSet};
+
+use graft_api::{GraftError, RegionId, RegionStore, Trap};
+
+use crate::expr;
+use crate::words::{split_commands, split_words, Word};
+
+/// Maximum proc-call depth.
+pub const MAX_DEPTH: usize = 64;
+
+/// A user-defined procedure.
+#[derive(Debug, Clone)]
+pub struct ProcDef {
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Unparsed body text (re-parsed on every call).
+    pub body: String,
+}
+
+/// Control flow out of a command or script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Flow {
+    /// Normal completion with a result string.
+    Normal(String),
+    /// `return` was invoked.
+    Return(String),
+    /// `break` was invoked.
+    Break,
+    /// `continue` was invoked.
+    Continue,
+}
+
+/// One variable scope.
+#[derive(Debug, Default)]
+pub struct Frame {
+    vars: HashMap<String, String>,
+    linked: HashSet<String>,
+    /// The top-level frame reads and writes globals directly.
+    is_global: bool,
+}
+
+impl Frame {
+    /// The top-level scope.
+    pub fn global() -> Self {
+        Frame {
+            is_global: true,
+            ..Frame::default()
+        }
+    }
+}
+
+/// The interpreter state owned by the script engine.
+pub struct Interp {
+    /// Defined procedures.
+    pub procs: HashMap<String, ProcDef>,
+    /// Global variables.
+    pub globals: HashMap<String, String>,
+    /// Kernel-shared regions.
+    pub regions: RegionStore,
+    /// Remaining execution budget (commands).
+    pub fuel: u64,
+}
+
+fn script_err(msg: impl Into<String>) -> GraftError {
+    GraftError::Trap(Trap::TypeError(msg.into()))
+}
+
+impl Interp {
+    /// Creates an interpreter over the given regions.
+    pub fn new(regions: RegionStore) -> Self {
+        Interp {
+            procs: HashMap::new(),
+            globals: HashMap::new(),
+            regions,
+            fuel: u64::MAX,
+        }
+    }
+
+    /// Evaluates a script: splits into commands (every time) and runs
+    /// them until a non-normal flow escapes.
+    pub fn eval_script(&mut self, script: &str, frame: &mut Frame, depth: usize) -> Result<Flow, GraftError> {
+        let mut result = String::new();
+        for command in split_commands(script).map_err(script_err)? {
+            match self.eval_command(&command, frame, depth)? {
+                Flow::Normal(v) => result = v,
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal(result))
+    }
+
+    /// Burns one unit of execution budget (one command or loop-condition
+    /// evaluation).
+    fn burn(&mut self) -> Result<(), GraftError> {
+        self.fuel = self.fuel.wrapping_sub(1);
+        if self.fuel == 0 {
+            Err(Trap::FuelExhausted.into())
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Evaluates one command.
+    pub fn eval_command(
+        &mut self,
+        command: &str,
+        frame: &mut Frame,
+        depth: usize,
+    ) -> Result<Flow, GraftError> {
+        self.burn()?;
+        let raw_words = split_words(command).map_err(script_err)?;
+        if raw_words.is_empty() {
+            return Ok(Flow::Normal(String::new()));
+        }
+        // Expand substitutions word by word; braced words stay literal.
+        let mut words: Vec<String> = Vec::with_capacity(raw_words.len());
+        for w in &raw_words {
+            match w {
+                Word::Literal(s) => words.push(s.clone()),
+                Word::Subst(s) => words.push(self.substitute(s, frame, depth)?),
+            }
+        }
+        let name = words[0].as_str();
+        let args = &words[1..];
+        match name {
+            "set" => self.cmd_set(args, frame),
+            "expr" => {
+                let joined = args.join(" ");
+                let substituted = self.substitute(&joined, frame, depth)?;
+                let v = expr::eval(&substituted).map_err(|e| self.expr_trap(e))?;
+                Ok(Flow::Normal(v.to_string()))
+            }
+            "if" => self.cmd_if(args, frame, depth),
+            "while" => self.cmd_while(args, frame, depth),
+            "for" => self.cmd_for(args, frame, depth),
+            "incr" => self.cmd_incr(args, frame),
+            "proc" => self.cmd_proc(args),
+            "return" => Ok(Flow::Return(args.first().cloned().unwrap_or_default())),
+            "break" => Ok(Flow::Break),
+            "continue" => Ok(Flow::Continue),
+            "global" => {
+                for a in args {
+                    frame.linked.insert(a.clone());
+                }
+                Ok(Flow::Normal(String::new()))
+            }
+            "rload" => {
+                let (region, idx) = self.region_arg2(args)?;
+                let v = self.region_read(region, idx)?;
+                Ok(Flow::Normal(v.to_string()))
+            }
+            "rstore" => {
+                if args.len() != 3 {
+                    return Err(script_err("usage: rstore region index value"));
+                }
+                let (region, idx) = self.region_arg2(&args[..2])?;
+                let value = expr::parse_int(&args[2]).map_err(script_err)?;
+                self.region_write(region, idx, value)?;
+                Ok(Flow::Normal(String::new()))
+            }
+            "abort" => {
+                let code = args
+                    .first()
+                    .map(|a| expr::parse_int(a))
+                    .transpose()
+                    .map_err(script_err)?
+                    .unwrap_or(0);
+                Err(Trap::Abort(code).into())
+            }
+            "list" => Ok(Flow::Normal(make_list(args))),
+            "llength" => {
+                let [l] = args else {
+                    return Err(script_err("usage: llength list"));
+                };
+                Ok(Flow::Normal(split_list(l)?.len().to_string()))
+            }
+            "lindex" => {
+                let [l, i] = args else {
+                    return Err(script_err("usage: lindex list index"));
+                };
+                let items = split_list(l)?;
+                let i = expr::parse_int(i).map_err(script_err)?;
+                let item = usize::try_from(i)
+                    .ok()
+                    .and_then(|i| items.get(i))
+                    .cloned()
+                    .unwrap_or_default();
+                Ok(Flow::Normal(item))
+            }
+            "lappend" => {
+                let [name, rest @ ..] = args else {
+                    return Err(script_err("usage: lappend name value..."));
+                };
+                let mut items = match self.read_var(name, frame) {
+                    Some(current) => split_list(&current)?,
+                    None => Vec::new(),
+                };
+                items.extend(rest.iter().cloned());
+                let value = make_list(&items);
+                self.write_var(name, value.clone(), frame);
+                Ok(Flow::Normal(value))
+            }
+            "foreach" => self.cmd_foreach(args, frame, depth),
+            _ => self.call_proc(name, args, depth),
+        }
+    }
+
+    /// `foreach var list body` — one iteration per list element.
+    fn cmd_foreach(
+        &mut self,
+        args: &[String],
+        frame: &mut Frame,
+        depth: usize,
+    ) -> Result<Flow, GraftError> {
+        let [var, list, body] = args else {
+            return Err(script_err("usage: foreach var list body"));
+        };
+        for item in split_list(list)? {
+            self.burn()?;
+            self.write_var(var, item, frame);
+            match self.eval_script(body, frame, depth)? {
+                Flow::Normal(_) | Flow::Continue => {}
+                Flow::Break => break,
+                ret @ Flow::Return(_) => return Ok(ret),
+            }
+        }
+        Ok(Flow::Normal(String::new()))
+    }
+
+    fn expr_trap(&self, msg: String) -> GraftError {
+        if msg.contains("division by zero") {
+            Trap::DivByZero.into()
+        } else {
+            script_err(msg)
+        }
+    }
+
+    fn cmd_set(&mut self, args: &[String], frame: &mut Frame) -> Result<Flow, GraftError> {
+        match args {
+            [name] => {
+                let v = self
+                    .read_var(name, frame)
+                    .ok_or_else(|| script_err(format!("no such variable `{name}`")))?;
+                Ok(Flow::Normal(v))
+            }
+            [name, value] => {
+                self.write_var(name, value.clone(), frame);
+                Ok(Flow::Normal(value.clone()))
+            }
+            _ => Err(script_err("usage: set name ?value?")),
+        }
+    }
+
+    fn cmd_if(
+        &mut self,
+        args: &[String],
+        frame: &mut Frame,
+        depth: usize,
+    ) -> Result<Flow, GraftError> {
+        let mut at = 0usize;
+        loop {
+            if at + 1 >= args.len() + 1 {
+                return Err(script_err("malformed `if`"));
+            }
+            let cond = &args[at];
+            let body = args
+                .get(at + 1)
+                .ok_or_else(|| script_err("`if` missing body"))?;
+            let substituted = self.substitute(cond, frame, depth)?;
+            let truthy = expr::eval(&substituted).map_err(|e| self.expr_trap(e))? != 0;
+            if truthy {
+                return self.eval_script(body, frame, depth);
+            }
+            match args.get(at + 2).map(String::as_str) {
+                None => return Ok(Flow::Normal(String::new())),
+                Some("elseif") => at += 3,
+                Some("else") => {
+                    let body = args
+                        .get(at + 3)
+                        .ok_or_else(|| script_err("`else` missing body"))?;
+                    return self.eval_script(body, frame, depth);
+                }
+                Some(other) => {
+                    return Err(script_err(format!(
+                        "expected `elseif` or `else`, got `{other}`"
+                    )))
+                }
+            }
+        }
+    }
+
+    fn cmd_while(
+        &mut self,
+        args: &[String],
+        frame: &mut Frame,
+        depth: usize,
+    ) -> Result<Flow, GraftError> {
+        let [cond, body] = args else {
+            return Err(script_err("usage: while cond body"));
+        };
+        loop {
+            self.burn()?;
+            let substituted = self.substitute(cond, frame, depth)?;
+            if expr::eval(&substituted).map_err(|e| self.expr_trap(e))? == 0 {
+                return Ok(Flow::Normal(String::new()));
+            }
+            match self.eval_script(body, frame, depth)? {
+                Flow::Normal(_) | Flow::Continue => {}
+                Flow::Break => return Ok(Flow::Normal(String::new())),
+                ret @ Flow::Return(_) => return Ok(ret),
+            }
+        }
+    }
+
+    fn cmd_for(
+        &mut self,
+        args: &[String],
+        frame: &mut Frame,
+        depth: usize,
+    ) -> Result<Flow, GraftError> {
+        let [init, cond, step, body] = args else {
+            return Err(script_err("usage: for init cond step body"));
+        };
+        self.eval_script(init, frame, depth)?;
+        loop {
+            self.burn()?;
+            let substituted = self.substitute(cond, frame, depth)?;
+            if expr::eval(&substituted).map_err(|e| self.expr_trap(e))? == 0 {
+                return Ok(Flow::Normal(String::new()));
+            }
+            match self.eval_script(body, frame, depth)? {
+                Flow::Normal(_) | Flow::Continue => {}
+                Flow::Break => return Ok(Flow::Normal(String::new())),
+                ret @ Flow::Return(_) => return Ok(ret),
+            }
+            self.eval_script(step, frame, depth)?;
+        }
+    }
+
+    fn cmd_incr(&mut self, args: &[String], frame: &mut Frame) -> Result<Flow, GraftError> {
+        let (name, by) = match args {
+            [name] => (name, 1),
+            [name, amount] => (name, expr::parse_int(amount).map_err(script_err)?),
+            _ => return Err(script_err("usage: incr name ?amount?")),
+        };
+        let current = self
+            .read_var(name, frame)
+            .ok_or_else(|| script_err(format!("no such variable `{name}`")))?;
+        let v = expr::parse_int(&current)
+            .map_err(script_err)?
+            .wrapping_add(by);
+        self.write_var(name, v.to_string(), frame);
+        Ok(Flow::Normal(v.to_string()))
+    }
+
+    fn cmd_proc(&mut self, args: &[String]) -> Result<Flow, GraftError> {
+        let [name, params, body] = args else {
+            return Err(script_err("usage: proc name params body"));
+        };
+        let params: Vec<String> = split_words(params)
+            .map_err(script_err)?
+            .into_iter()
+            .map(|w| w.text().to_string())
+            .collect();
+        self.procs.insert(
+            name.clone(),
+            ProcDef {
+                params,
+                body: body.clone(),
+            },
+        );
+        Ok(Flow::Normal(String::new()))
+    }
+
+    /// Invokes a user-defined procedure with already-expanded arguments.
+    pub fn call_proc(
+        &mut self,
+        name: &str,
+        args: &[String],
+        depth: usize,
+    ) -> Result<Flow, GraftError> {
+        if depth >= MAX_DEPTH {
+            return Err(Trap::StackOverflow.into());
+        }
+        let Some(def) = self.procs.get(name).cloned() else {
+            return Err(Trap::NoSuchFunction(name.to_string()).into());
+        };
+        if def.params.len() != args.len() {
+            return Err(GraftError::BadArity {
+                entry: name.to_string(),
+                expected: def.params.len(),
+                got: args.len(),
+            });
+        }
+        let mut frame = Frame::default();
+        for (p, a) in def.params.iter().zip(args) {
+            frame.vars.insert(p.clone(), a.clone());
+        }
+        match self.eval_script(&def.body, &mut frame, depth + 1)? {
+            Flow::Return(v) | Flow::Normal(v) => Ok(Flow::Normal(v)),
+            Flow::Break | Flow::Continue => {
+                Err(script_err("`break`/`continue` escaped a procedure"))
+            }
+        }
+    }
+
+    fn read_var(&self, name: &str, frame: &Frame) -> Option<String> {
+        if frame.is_global || frame.linked.contains(split_array_base(name)) {
+            self.globals.get(name).cloned()
+        } else {
+            frame.vars.get(name).cloned()
+        }
+    }
+
+    fn write_var(&mut self, name: &str, value: String, frame: &mut Frame) {
+        if frame.is_global || frame.linked.contains(split_array_base(name)) {
+            self.globals.insert(name.to_string(), value);
+        } else {
+            frame.vars.insert(name.to_string(), value);
+        }
+    }
+
+    /// Performs `$name`, `$name(index)`, and `[command]` substitution.
+    pub fn substitute(
+        &mut self,
+        text: &str,
+        frame: &mut Frame,
+        depth: usize,
+    ) -> Result<String, GraftError> {
+        let mut out = String::with_capacity(text.len());
+        let bytes = text.as_bytes();
+        let mut i = 0usize;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\\' if i + 1 < bytes.len() => {
+                    out.push(match bytes[i + 1] {
+                        b'n' => '\n',
+                        b't' => '\t',
+                        other => other as char,
+                    });
+                    i += 2;
+                }
+                b'$' => {
+                    let start = i + 1;
+                    let mut end = start;
+                    while end < bytes.len()
+                        && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_')
+                    {
+                        end += 1;
+                    }
+                    if end == start {
+                        out.push('$');
+                        i += 1;
+                        continue;
+                    }
+                    let mut name = text[start..end].to_string();
+                    i = end;
+                    // Array element: $name(indextext) with nested substitution.
+                    if bytes.get(i) == Some(&b'(') {
+                        let mut d = 1usize;
+                        let mut j = i + 1;
+                        while j < bytes.len() && d > 0 {
+                            match bytes[j] {
+                                b'(' => d += 1,
+                                b')' => d -= 1,
+                                _ => {}
+                            }
+                            j += 1;
+                        }
+                        if d != 0 {
+                            return Err(script_err("unbalanced `(` in variable reference"));
+                        }
+                        let index_text = &text[i + 1..j - 1];
+                        let index = self.substitute(index_text, frame, depth)?;
+                        name = format!("{name}({index})");
+                        i = j;
+                    }
+                    let v = self
+                        .read_var(&name, frame)
+                        .ok_or_else(|| script_err(format!("no such variable `{name}`")))?;
+                    out.push_str(&v);
+                }
+                b'[' => {
+                    let mut d = 1usize;
+                    let mut j = i + 1;
+                    while j < bytes.len() && d > 0 {
+                        match bytes[j] {
+                            b'[' => d += 1,
+                            b']' => d -= 1,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    if d != 0 {
+                        return Err(script_err("unbalanced `[` in substitution"));
+                    }
+                    let inner = &text[i + 1..j - 1];
+                    match self.eval_script(inner, frame, depth)? {
+                        Flow::Normal(v) => out.push_str(&v),
+                        _ => return Err(script_err("control flow escaped `[...]`")),
+                    }
+                    i = j;
+                }
+                c => {
+                    out.push(c as char);
+                    i += 1;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn region_arg2(&mut self, args: &[String]) -> Result<(RegionId, i64), GraftError> {
+        if args.len() < 2 {
+            return Err(script_err("usage: rload region index"));
+        }
+        let region = self.regions.id(&args[0])?;
+        let idx = expr::parse_int(&args[1]).map_err(script_err)?;
+        Ok((region, idx))
+    }
+
+    fn region_read(&self, id: RegionId, idx: i64) -> Result<i64, GraftError> {
+        let region = self.regions.region(id);
+        let spec = region.spec();
+        if spec.linked && idx == 0 {
+            return Err(Trap::NilDeref {
+                region: spec.name.clone(),
+            }
+            .into());
+        }
+        let words = region.words();
+        if (idx as u64) >= words.len() as u64 {
+            return Err(Trap::OutOfBounds {
+                region: spec.name.clone(),
+                index: idx,
+                len: words.len(),
+            }
+            .into());
+        }
+        Ok(words[idx as usize])
+    }
+
+    fn region_write(&mut self, id: RegionId, idx: i64, value: i64) -> Result<(), GraftError> {
+        let region = self.regions.region_mut(id);
+        let (linked, name, len, writable) = {
+            let spec = region.spec();
+            (spec.linked, spec.name.clone(), region.len(), spec.writable)
+        };
+        if !writable {
+            return Err(Trap::SfiViolation(format!("region `{name}` is read-only")).into());
+        }
+        if linked && idx == 0 {
+            return Err(Trap::NilDeref { region: name }.into());
+        }
+        if (idx as u64) >= len as u64 {
+            return Err(Trap::OutOfBounds {
+                region: name,
+                index: idx,
+                len,
+            }
+            .into());
+        }
+        region.words_mut()[idx as usize] = value;
+        Ok(())
+    }
+}
+
+/// Renders items as a Tcl list: space-joined, brace-quoting any item
+/// containing whitespace or braces.
+fn make_list(items: &[String]) -> String {
+    let quoted: Vec<String> = items
+        .iter()
+        .map(|i| {
+            if i.is_empty() || i.chars().any(|c| c.is_whitespace() || c == '{' || c == '}') {
+                format!("{{{i}}}")
+            } else {
+                i.clone()
+            }
+        })
+        .collect();
+    quoted.join(" ")
+}
+
+/// Splits a Tcl list into its elements (the word splitter, without
+/// substitution — a list is just a string, as in Tcl).
+fn split_list(list: &str) -> Result<Vec<String>, GraftError> {
+    Ok(crate::words::split_words(list)
+        .map_err(script_err)?
+        .into_iter()
+        .map(|w| w.text().to_string())
+        .collect())
+}
+
+/// Strips an array index from a variable name for `global` link lookup
+/// (`map(3)` links through `map`).
+fn split_array_base(name: &str) -> &str {
+    match name.find('(') {
+        Some(i) => &name[..i],
+        None => name,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graft_api::RegionSpec;
+
+    fn interp() -> Interp {
+        let regions = RegionStore::new(&[
+            RegionSpec::data("buf", 8),
+            RegionSpec::linked("queue", 8),
+        ])
+        .unwrap();
+        Interp::new(regions)
+    }
+
+    fn eval(i: &mut Interp, script: &str) -> String {
+        let mut frame = Frame::global();
+        match i.eval_script(script, &mut frame, 0).unwrap() {
+            Flow::Normal(v) | Flow::Return(v) => v,
+            other => panic!("unexpected flow {other:?}"),
+        }
+    }
+
+    #[test]
+    fn set_and_substitute() {
+        let mut i = interp();
+        assert_eq!(eval(&mut i, "set a 5\nset b $a\nexpr $a + $b"), "10");
+    }
+
+    #[test]
+    fn array_variables() {
+        let mut i = interp();
+        let out = eval(&mut i, "set i 3\nset map($i) 99\nexpr $map(3) + 1");
+        assert_eq!(out, "100");
+    }
+
+    #[test]
+    fn while_loop_reparses_body() {
+        let mut i = interp();
+        let out = eval(
+            &mut i,
+            "set s 0\nset i 0\nwhile {$i < 5} { set s [expr $s + $i]; incr i }\nset s",
+        );
+        assert_eq!(out, "10");
+    }
+
+    #[test]
+    fn for_loop_and_break_continue() {
+        let mut i = interp();
+        let out = eval(
+            &mut i,
+            r#"
+set s 0
+for {set i 0} {$i < 10} {incr i} {
+    if {$i == 3} { continue }
+    if {$i == 6} { break }
+    set s [expr $s + $i]
+}
+set s
+"#,
+        );
+        assert_eq!(out, "12"); // 0+1+2+4+5
+    }
+
+    #[test]
+    fn if_elseif_else_chain() {
+        let mut i = interp();
+        let s = "proc judge {x} { if {$x > 0} { return pos } elseif {$x < 0} { return neg } else { return zero } }";
+        eval(&mut i, s);
+        assert_eq!(eval(&mut i, "judge 5"), "pos");
+        assert_eq!(eval(&mut i, "judge -5"), "neg");
+        assert_eq!(eval(&mut i, "judge 0"), "zero");
+    }
+
+    #[test]
+    fn procs_have_local_scope_unless_global() {
+        let mut i = interp();
+        eval(&mut i, "set g 100\nproc bump {} { global g; set g [expr $g + 1]; return $g }\nproc shadow {} { set g 5; return $g }");
+        assert_eq!(eval(&mut i, "bump"), "101");
+        assert_eq!(eval(&mut i, "shadow"), "5");
+        assert_eq!(eval(&mut i, "set g"), "101");
+    }
+
+    #[test]
+    fn bracket_substitution_runs_commands() {
+        let mut i = interp();
+        eval(&mut i, "proc double {x} { return [expr $x * 2] }");
+        assert_eq!(eval(&mut i, "expr [double 21] + 0"), "42");
+    }
+
+    #[test]
+    fn region_commands_check_bounds_and_nil() {
+        let mut i = interp();
+        eval(&mut i, "rstore buf 3 77");
+        assert_eq!(eval(&mut i, "rload buf 3"), "77");
+        let mut frame = Frame::global();
+        let err = i
+            .eval_script("rload buf 99", &mut frame, 0)
+            .unwrap_err();
+        assert!(matches!(err.as_trap(), Some(Trap::OutOfBounds { .. })));
+        let err = i.eval_script("rload queue 0", &mut frame, 0).unwrap_err();
+        assert!(matches!(err.as_trap(), Some(Trap::NilDeref { .. })));
+    }
+
+    #[test]
+    fn unknown_variable_and_command_error() {
+        let mut i = interp();
+        let mut frame = Frame::global();
+        assert!(i.eval_script("expr $nope", &mut frame, 0).is_err());
+        let err = i.eval_script("warp 9", &mut frame, 0).unwrap_err();
+        assert!(matches!(err.as_trap(), Some(Trap::NoSuchFunction(_))));
+    }
+
+    #[test]
+    fn runaway_recursion_overflows() {
+        let mut i = interp();
+        eval(&mut i, "proc loop {} { return [loop] }");
+        let mut frame = Frame::global();
+        let err = i.eval_script("loop", &mut frame, 0).unwrap_err();
+        assert_eq!(err.as_trap(), Some(&Trap::StackOverflow));
+    }
+
+    #[test]
+    fn fuel_exhaustion_preempts() {
+        let mut i = interp();
+        i.fuel = 500;
+        let mut frame = Frame::global();
+        let err = i
+            .eval_script("set i 0\nwhile {1} { incr i }", &mut frame, 0)
+            .unwrap_err();
+        assert_eq!(err.as_trap(), Some(&Trap::FuelExhausted));
+    }
+
+    #[test]
+    fn escaped_dollar_is_literal() {
+        let mut i = interp();
+        assert_eq!(eval(&mut i, r"set a \$x"), "$x");
+    }
+
+    #[test]
+    fn list_commands_build_and_index() {
+        let mut i = interp();
+        assert_eq!(eval(&mut i, "set l [list a b {c d}]"), "a b {c d}");
+        assert_eq!(eval(&mut i, "llength $l"), "3");
+        assert_eq!(eval(&mut i, "lindex $l 2"), "c d");
+        assert_eq!(eval(&mut i, "lindex $l 9"), "");
+    }
+
+    #[test]
+    fn lappend_grows_a_variable() {
+        let mut i = interp();
+        eval(&mut i, "lappend acc 1\nlappend acc 2 3");
+        assert_eq!(eval(&mut i, "set acc"), "1 2 3");
+        assert_eq!(eval(&mut i, "llength $acc"), "3");
+    }
+
+    #[test]
+    fn foreach_iterates_with_break_and_continue() {
+        let mut i = interp();
+        let out = eval(
+            &mut i,
+            r#"
+set s 0
+foreach x {1 2 3 4 5 6} {
+    if {$x == 3} { continue }
+    if {$x == 5} { break }
+    set s [expr $s + $x]
+}
+set s
+"#,
+        );
+        assert_eq!(out, "7"); // 1 + 2 + 4
+    }
+
+    #[test]
+    fn foreach_burns_fuel() {
+        let mut i = interp();
+        i.fuel = 50;
+        let mut frame = Frame::global();
+        let big: String = (0..100).map(|n| format!("{n} ")).collect();
+        let err = i
+            .eval_script(&format!("foreach x {{{big}}} {{ }}"), &mut frame, 0)
+            .unwrap_err();
+        assert_eq!(err.as_trap(), Some(&Trap::FuelExhausted));
+    }
+}

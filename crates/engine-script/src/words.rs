@@ -1,0 +1,238 @@
+//! Command splitting and word parsing for Tickle.
+//!
+//! Like Tcl 7.x, a script is *text*: it is split into commands at
+//! newlines and semicolons, each command is split into words, and each
+//! word may be brace-quoted (`{...}`, no substitution), double-quoted
+//! (`"..."`, substitution), or bare (substitution). This splitting
+//! happens on **every evaluation** — loop bodies are re-parsed on every
+//! iteration — which is the fundamental cost of the source-interpreted
+//! technology the paper measures.
+
+/// A word together with its quoting kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Word {
+    /// Bare or double-quoted: substitution applies.
+    Subst(String),
+    /// Brace-quoted: taken literally.
+    Literal(String),
+}
+
+impl Word {
+    /// The raw text of the word.
+    pub fn text(&self) -> &str {
+        match self {
+            Word::Subst(s) | Word::Literal(s) => s,
+        }
+    }
+}
+
+/// Splits a script into commands, respecting brace/bracket/quote nesting
+/// and skipping `#` comment lines and blank commands.
+pub fn split_commands(script: &str) -> Result<Vec<String>, String> {
+    let mut commands = Vec::new();
+    let mut current = String::new();
+    let mut depth_brace = 0usize;
+    let mut depth_bracket = 0usize;
+    let mut in_quote = false;
+    let mut chars = script.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => {
+                current.push(c);
+                if let Some(next) = chars.next() {
+                    current.push(next);
+                }
+            }
+            '{' if !in_quote => {
+                depth_brace += 1;
+                current.push(c);
+            }
+            '}' if !in_quote => {
+                depth_brace = depth_brace
+                    .checked_sub(1)
+                    .ok_or_else(|| "unbalanced `}`".to_string())?;
+                current.push(c);
+            }
+            '[' if !in_quote && depth_brace == 0 => {
+                depth_bracket += 1;
+                current.push(c);
+            }
+            ']' if !in_quote && depth_brace == 0 => {
+                depth_bracket = depth_bracket.saturating_sub(1);
+                current.push(c);
+            }
+            '"' if depth_brace == 0 => {
+                in_quote = !in_quote;
+                current.push(c);
+            }
+            '\n' | ';' if depth_brace == 0 && depth_bracket == 0 && !in_quote => {
+                push_command(&mut commands, &mut current);
+            }
+            _ => current.push(c),
+        }
+    }
+    if depth_brace > 0 {
+        return Err("unbalanced `{`".into());
+    }
+    if in_quote {
+        return Err("unterminated `\"`".into());
+    }
+    push_command(&mut commands, &mut current);
+    Ok(commands)
+}
+
+fn push_command(commands: &mut Vec<String>, current: &mut String) {
+    let trimmed = current.trim();
+    if !trimmed.is_empty() && !trimmed.starts_with('#') {
+        commands.push(trimmed.to_string());
+    }
+    current.clear();
+}
+
+/// Splits one command into words.
+pub fn split_words(command: &str) -> Result<Vec<Word>, String> {
+    let mut words = Vec::new();
+    let mut chars = command.chars().peekable();
+    loop {
+        // Skip inter-word whitespace.
+        while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+            chars.next();
+        }
+        let Some(&c) = chars.peek() else { break };
+        if c == '{' {
+            chars.next();
+            let mut depth = 1usize;
+            let mut text = String::new();
+            for c in chars.by_ref() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        text.push(c);
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                        text.push(c);
+                    }
+                    _ => text.push(c),
+                }
+            }
+            if depth != 0 {
+                return Err("unterminated brace in word".into());
+            }
+            words.push(Word::Literal(text));
+        } else if c == '"' {
+            chars.next();
+            let mut text = String::new();
+            let mut closed = false;
+            while let Some(c) = chars.next() {
+                match c {
+                    '"' => {
+                        closed = true;
+                        break;
+                    }
+                    '\\' => {
+                        // Keep the escape pair; backslash substitution
+                        // happens in the substitution pass, as in Tcl.
+                        text.push(c);
+                        if let Some(n) = chars.next() {
+                            text.push(n);
+                        }
+                    }
+                    _ => text.push(c),
+                }
+            }
+            if !closed {
+                return Err("unterminated quote in word".into());
+            }
+            words.push(Word::Subst(text));
+        } else {
+            let mut text = String::new();
+            let mut bracket = 0usize;
+            while let Some(&c) = chars.peek() {
+                if c.is_whitespace() && bracket == 0 {
+                    break;
+                }
+                chars.next();
+                match c {
+                    '[' => {
+                        bracket += 1;
+                        text.push(c);
+                    }
+                    ']' => {
+                        bracket = bracket.saturating_sub(1);
+                        text.push(c);
+                    }
+                    '\\' => {
+                        text.push(c);
+                        if let Some(n) = chars.next() {
+                            text.push(n);
+                        }
+                    }
+                    _ => text.push(c),
+                }
+            }
+            words.push(Word::Subst(text));
+        }
+    }
+    Ok(words)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_newlines_and_semicolons() {
+        let cmds = split_commands("set a 1; set b 2\nset c 3").unwrap();
+        assert_eq!(cmds, vec!["set a 1", "set b 2", "set c 3"]);
+    }
+
+    #[test]
+    fn braces_protect_separators() {
+        let cmds = split_commands("while {$i < 3} {\n incr i; set x 1\n}").unwrap();
+        assert_eq!(cmds.len(), 1);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_dropped() {
+        let cmds = split_commands("# header\n\nset a 1\n   \n# tail").unwrap();
+        assert_eq!(cmds, vec!["set a 1"]);
+    }
+
+    #[test]
+    fn words_carry_quoting_kind() {
+        let words = split_words(r#"set msg {hello world} "a b" bare"#).unwrap();
+        assert_eq!(
+            words,
+            vec![
+                Word::Subst("set".into()),
+                Word::Subst("msg".into()),
+                Word::Literal("hello world".into()),
+                Word::Subst("a b".into()),
+                Word::Subst("bare".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_braces_stay_intact() {
+        let words = split_words("if {$x} { set y {a {b} c} }").unwrap();
+        assert_eq!(words[2].text(), " set y {a {b} c} ");
+    }
+
+    #[test]
+    fn bracket_words_hold_together() {
+        let words = split_words("set a [expr 1 + 2]").unwrap();
+        assert_eq!(words[2].text(), "[expr 1 + 2]");
+    }
+
+    #[test]
+    fn unbalanced_input_is_an_error() {
+        assert!(split_commands("set a {oops").is_err());
+        assert!(split_words(r#"set a "oops"#).is_err());
+        assert!(split_commands("}").is_err());
+    }
+}

@@ -1,0 +1,39 @@
+//! Property tests for the Tickle `expr` evaluator.
+
+use engine_script::expr;
+use proptest::prelude::*;
+
+proptest! {
+    /// Integer literals round-trip through formatting and parsing.
+    #[test]
+    fn parse_int_round_trips(v in any::<i64>()) {
+        prop_assert_eq!(expr::parse_int(&v.to_string()).unwrap(), v);
+    }
+
+    /// Binary arithmetic over rendered literals matches Rust's wrapping
+    /// semantics.
+    #[test]
+    fn arithmetic_matches_rust(a in any::<i32>(), b in any::<i32>()) {
+        let (a, b) = (a as i64, b as i64);
+        let cases: Vec<(String, i64)> = vec![
+            (format!("({a}) + ({b})"), a.wrapping_add(b)),
+            (format!("({a}) - ({b})"), a.wrapping_sub(b)),
+            (format!("({a}) * ({b})"), a.wrapping_mul(b)),
+            (format!("({a}) & ({b})"), a & b),
+            (format!("({a}) | ({b})"), a | b),
+            (format!("({a}) ^ ({b})"), a ^ b),
+            (format!("({a}) < ({b})"), (a < b) as i64),
+            (format!("({a}) >= ({b})"), (a >= b) as i64),
+        ];
+        for (text, want) in cases {
+            prop_assert_eq!(expr::eval(&text).unwrap(), want, "{}", text);
+        }
+    }
+
+    /// The evaluator never panics on arbitrary input — it either
+    /// produces a value or a clean error.
+    #[test]
+    fn eval_never_panics(s in "[ 0-9a-z+*/%()<>&|^!~=-]{0,40}") {
+        let _ = expr::eval(&s);
+    }
+}

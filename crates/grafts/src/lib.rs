@@ -1,0 +1,56 @@
+//! The benchmark grafts: the paper's three representative extensions —
+//! and several more from its taxonomy — each written once per
+//! technology.
+//!
+//! | Module | Class | Paper section | Technologies |
+//! |---|---|---|---|
+//! | [`eviction`] | Prioritization | §3.1, §5.4 (Table 2) | Grail, Tickle, native |
+//! | [`md5`] | Stream | §3.2, §5.5 (Table 5) | Grail, Tickle, native |
+//! | [`logdisk`] | Black box | §3.3, §5.6 (Table 6) | Grail, native (the paper skipped Tcl here too) |
+//! | [`acl`] | Black box | §3.3 (ACL example) | Grail, native |
+//! | [`readahead`] | Black box | §3.3 (read-ahead example) | Grail, native |
+//! | [`schedule`] | Prioritization | §3.1 (client/server scheduling) | Grail, Tickle, native |
+//! | [`stream`] | Stream | §3.2 (filter chains) | Grail, native |
+//!
+//! Each module exports a [`GraftSpec`] (the portable package: region
+//! ABI, entry points, and per-technology sources) plus kernel-side
+//! helpers for marshalling its workload. The Grail and Tickle sources
+//! are checked against the native Rust implementation as an oracle in
+//! the differential tests.
+//!
+//! [`GraftSpec`]: graft_api::GraftSpec
+
+pub mod acl;
+pub mod eviction;
+pub mod logdisk;
+pub mod md5;
+pub mod readahead;
+pub mod schedule;
+pub mod stream;
+
+/// All core benchmark specs, in the paper's order.
+pub fn paper_specs() -> Vec<graft_api::GraftSpec> {
+    vec![eviction::spec(), md5::spec(), logdisk::spec()]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn paper_specs_cover_the_three_classes() {
+        use graft_api::GraftClass;
+        let specs = super::paper_specs();
+        let classes: Vec<GraftClass> = specs.iter().map(|s| s.class).collect();
+        assert_eq!(
+            classes,
+            vec![
+                GraftClass::Prioritization,
+                GraftClass::Stream,
+                GraftClass::BlackBox
+            ]
+        );
+        for spec in &specs {
+            assert!(spec.grail.is_some(), "{} needs Grail source", spec.name);
+            assert!(spec.native.is_some(), "{} needs a native impl", spec.name);
+        }
+    }
+}

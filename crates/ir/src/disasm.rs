@@ -1,0 +1,92 @@
+//! Human-readable IR disassembly, for debugging grafts and for the SFI
+//! instrumentation tests.
+
+use std::fmt::Write as _;
+
+use crate::module::{Inst, IrFunc, MemRef, Module};
+
+/// Renders one instruction.
+pub fn inst(i: &Inst) -> String {
+    match i {
+        Inst::Const { dst, value } => format!("r{dst} = {value}"),
+        Inst::Mov { dst, src } => format!("r{dst} = r{src}"),
+        Inst::Un { op, dst, src } => format!("r{dst} = {op:?} r{src}"),
+        Inst::Bin { op, dst, a, b } => format!("r{dst} = r{a} {op:?} r{b}"),
+        Inst::Jmp { target } => format!("jmp @{target}"),
+        Inst::Br {
+            cond,
+            then_t,
+            else_t,
+        } => format!("br r{cond} ? @{then_t} : @{else_t}"),
+        Inst::Load { dst, mem, addr } => format!("r{dst} = {}[r{addr}]", mem_name(*mem)),
+        Inst::Store { mem, addr, src } => format!("{}[r{addr}] = r{src}", mem_name(*mem)),
+        Inst::GlobalGet { dst, index } => format!("r{dst} = g{index}"),
+        Inst::GlobalSet { index, src } => format!("g{index} = r{src}"),
+        Inst::Call { dst, func, args } => {
+            let args: Vec<String> = args.iter().map(|a| format!("r{a}")).collect();
+            format!("r{dst} = call f{func}({})", args.join(", "))
+        }
+        Inst::Ret { src: Some(s) } => format!("ret r{s}"),
+        Inst::Ret { src: None } => "ret".to_string(),
+        Inst::Abort { code } => format!("abort r{code}"),
+        Inst::Mask { dst, src, offset } => format!("r{dst} = sfi_mask(r{src} + {offset})"),
+        Inst::MaskedLoad { dst, addr } => format!("r{dst} = arena[r{addr}]"),
+        Inst::MaskedStore { addr, src } => format!("arena[r{addr}] = r{src}"),
+        Inst::ArenaLoad { dst, src, offset } => {
+            format!("r{dst} = arena[r{src} + {offset}] (unprotected)")
+        }
+    }
+}
+
+fn mem_name(mem: MemRef) -> String {
+    match mem {
+        MemRef::Region(r) => format!("region{r}"),
+        MemRef::Pool(p) => format!("pool{p}"),
+    }
+}
+
+/// Renders one function.
+pub fn func(f: &IrFunc) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "fn {} (arity {}, regs {}):", f.name, f.arity, f.regs);
+    for (at, i) in f.code.iter().enumerate() {
+        let _ = writeln!(out, "  @{at:<4} {}", inst(i));
+    }
+    out
+}
+
+/// Renders a whole module.
+pub fn module(m: &Module) -> String {
+    let mut out = String::new();
+    for f in &m.funcs {
+        out.push_str(&func(f));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graft_api::RegionSpec;
+
+    #[test]
+    fn disassembly_mentions_every_instruction() {
+        let hir = graft_lang::compile(
+            "var g = 0; fn f(x: int) -> int { g = x; if x > 0 { return buf[x]; } return g; }",
+            &[RegionSpec::data("buf", 8)],
+        )
+        .unwrap();
+        let m = crate::lower(&hir);
+        let text = module(&m);
+        assert!(text.contains("fn f"));
+        assert!(text.contains("region0["));
+        assert!(text.contains("br "));
+        assert!(text.contains("ret"));
+        // One line per instruction plus the header and trailing newline.
+        assert_eq!(
+            text.trim_end().lines().count(),
+            m.funcs[0].code.len() + 1
+        );
+    }
+}

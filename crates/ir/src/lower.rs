@@ -1,0 +1,418 @@
+//! Lowering from Grail HIR to register IR.
+
+use graft_lang::hir::{self, BinOp, Expr, Program, RegionRef, Stmt};
+
+use crate::module::{Inst, IrFunc, MemRef, Module, Reg};
+
+/// Lowers a checked program to an IR module.
+pub fn lower(program: &Program) -> Module {
+    let funcs = program
+        .funcs
+        .iter()
+        .map(|f| FnLower::new(f).run())
+        .collect();
+    Module {
+        funcs,
+        globals: program.globals.iter().map(|g| g.init).collect(),
+        const_pools: program.const_pools.iter().map(|p| p.values.clone()).collect(),
+        regions: program.regions.clone(),
+        func_index: program.func_index.clone(),
+    }
+}
+
+fn mem_of(region: RegionRef) -> MemRef {
+    match region {
+        RegionRef::Shared(i) => MemRef::Region(i),
+        RegionRef::Pool(i) => MemRef::Pool(i),
+    }
+}
+
+struct LoopCtx {
+    /// Instruction indexes of `Jmp`s to patch to the loop exit.
+    break_patches: Vec<usize>,
+    /// Target of `continue` (the condition re-evaluation point).
+    continue_target: u32,
+}
+
+struct FnLower<'a> {
+    func: &'a hir::Func,
+    code: Vec<Inst>,
+    /// Next free temporary register.
+    next_temp: usize,
+    /// High-water mark across the whole function.
+    regs_high: usize,
+    loops: Vec<LoopCtx>,
+}
+
+impl<'a> FnLower<'a> {
+    fn new(func: &'a hir::Func) -> Self {
+        FnLower {
+            func,
+            code: Vec::new(),
+            next_temp: func.frame_size,
+            regs_high: func.frame_size.max(1),
+            loops: Vec::new(),
+        }
+    }
+
+    fn run(mut self) -> IrFunc {
+        for stmt in &self.func.body {
+            self.stmt(stmt);
+        }
+        // Fallthrough return for void functions (unreachable when the
+        // checker proved all paths return).
+        self.code.push(Inst::Ret { src: None });
+        IrFunc {
+            name: self.func.name.clone(),
+            arity: self.func.params.len(),
+            regs: self.regs_high,
+            code: self.code,
+        }
+    }
+
+    fn fresh(&mut self) -> Reg {
+        let r = self.next_temp;
+        self.next_temp += 1;
+        self.regs_high = self.regs_high.max(self.next_temp);
+        assert!(r <= Reg::MAX as usize, "function uses too many registers");
+        r as Reg
+    }
+
+    /// Resets the temporary cursor between statements; slots below
+    /// `frame_size` are stable locals and never reused.
+    fn reset_temps(&mut self) {
+        self.next_temp = self.func.frame_size;
+    }
+
+    fn here(&self) -> u32 {
+        self.code.len() as u32
+    }
+
+    /// Emits a placeholder jump, returning its index for later patching.
+    fn emit_jmp_placeholder(&mut self) -> usize {
+        self.code.push(Inst::Jmp { target: u32::MAX });
+        self.code.len() - 1
+    }
+
+    fn patch_jmp(&mut self, at: usize, target: u32) {
+        match &mut self.code[at] {
+            Inst::Jmp { target: t } => *t = target,
+            other => panic!("patching non-jump {other:?}"),
+        }
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) {
+        self.reset_temps();
+        match stmt {
+            Stmt::Let { slot, init } | Stmt::AssignLocal { slot, value: init } => {
+                let v = self.expr(init);
+                if v != *slot as Reg {
+                    self.code.push(Inst::Mov {
+                        dst: *slot as Reg,
+                        src: v,
+                    });
+                }
+            }
+            Stmt::AssignGlobal { index, value } => {
+                let v = self.expr(value);
+                self.code.push(Inst::GlobalSet {
+                    index: *index as u16,
+                    src: v,
+                });
+            }
+            Stmt::Store {
+                region,
+                index,
+                value,
+            } => {
+                let addr = self.expr(index);
+                let src = self.expr(value);
+                self.code.push(Inst::Store {
+                    mem: mem_of(*region),
+                    addr,
+                    src,
+                });
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let c = self.expr(cond);
+                let br_at = self.code.len();
+                self.code.push(Inst::Br {
+                    cond: c,
+                    then_t: u32::MAX,
+                    else_t: u32::MAX,
+                });
+                let then_start = self.here();
+                for s in then_branch {
+                    self.stmt(s);
+                }
+                let skip_else = if else_branch.is_empty() {
+                    None
+                } else {
+                    Some(self.emit_jmp_placeholder())
+                };
+                let else_start = self.here();
+                for s in else_branch {
+                    self.stmt(s);
+                }
+                let end = self.here();
+                if let Inst::Br { then_t, else_t, .. } = &mut self.code[br_at] {
+                    *then_t = then_start;
+                    *else_t = else_start;
+                }
+                if let Some(j) = skip_else {
+                    self.patch_jmp(j, end);
+                }
+            }
+            Stmt::While { cond, body } => {
+                let cond_start = self.here();
+                let c = self.expr(cond);
+                let br_at = self.code.len();
+                self.code.push(Inst::Br {
+                    cond: c,
+                    then_t: u32::MAX,
+                    else_t: u32::MAX,
+                });
+                let body_start = self.here();
+                self.loops.push(LoopCtx {
+                    break_patches: Vec::new(),
+                    continue_target: cond_start,
+                });
+                for s in body {
+                    self.stmt(s);
+                }
+                self.code.push(Inst::Jmp { target: cond_start });
+                let end = self.here();
+                if let Inst::Br { then_t, else_t, .. } = &mut self.code[br_at] {
+                    *then_t = body_start;
+                    *else_t = end;
+                }
+                let ctx = self.loops.pop().expect("loop context");
+                for at in ctx.break_patches {
+                    self.patch_jmp(at, end);
+                }
+            }
+            Stmt::Break => {
+                let at = self.emit_jmp_placeholder();
+                self.loops
+                    .last_mut()
+                    .expect("break outside loop rejected by checker")
+                    .break_patches
+                    .push(at);
+            }
+            Stmt::Continue => {
+                let target = self
+                    .loops
+                    .last()
+                    .expect("continue outside loop rejected by checker")
+                    .continue_target;
+                self.code.push(Inst::Jmp { target });
+            }
+            Stmt::Return(value) => {
+                let src = value.as_ref().map(|v| self.expr(v));
+                self.code.push(Inst::Ret { src });
+            }
+            Stmt::Expr(e) => {
+                self.expr(e);
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) -> Reg {
+        match e {
+            Expr::Int(v) => {
+                let dst = self.fresh();
+                self.code.push(Inst::Const { dst, value: *v });
+                dst
+            }
+            Expr::Local(slot) => *slot as Reg,
+            Expr::Global(index) => {
+                let dst = self.fresh();
+                self.code.push(Inst::GlobalGet {
+                    dst,
+                    index: *index as u16,
+                });
+                dst
+            }
+            Expr::Load { region, index } => {
+                let addr = self.expr(index);
+                let dst = self.fresh();
+                self.code.push(Inst::Load {
+                    dst,
+                    mem: mem_of(*region),
+                    addr,
+                });
+                dst
+            }
+            Expr::Unary { op, expr } => {
+                let src = self.expr(expr);
+                let dst = self.fresh();
+                self.code.push(Inst::Un { op: *op, dst, src });
+                dst
+            }
+            Expr::Binary { op, lhs, rhs } => match op {
+                BinOp::LogicalAnd => self.short_circuit(lhs, rhs, true),
+                BinOp::LogicalOr => self.short_circuit(lhs, rhs, false),
+                _ => {
+                    let a = self.expr(lhs);
+                    let b = self.expr(rhs);
+                    let dst = self.fresh();
+                    self.code.push(Inst::Bin {
+                        op: *op,
+                        dst,
+                        a,
+                        b,
+                    });
+                    dst
+                }
+            },
+            Expr::Call { func, args } => {
+                let arg_regs: Box<[Reg]> = args.iter().map(|a| self.expr(a)).collect();
+                let dst = self.fresh();
+                self.code.push(Inst::Call {
+                    dst,
+                    func: *func as u32,
+                    args: arg_regs,
+                });
+                dst
+            }
+            Expr::Abort { code } => {
+                let c = self.expr(code);
+                self.code.push(Inst::Abort { code: c });
+                // Abort never returns; the register is a placeholder.
+                let dst = self.fresh();
+                self.code.push(Inst::Const { dst, value: 0 });
+                dst
+            }
+        }
+    }
+
+    /// Lowers `a && b` (`is_and`) or `a || b` with short-circuit control
+    /// flow.
+    fn short_circuit(&mut self, lhs: &Expr, rhs: &Expr, is_and: bool) -> Reg {
+        let dst = self.fresh();
+        let a = self.expr(lhs);
+        let br_at = self.code.len();
+        self.code.push(Inst::Br {
+            cond: a,
+            then_t: u32::MAX,
+            else_t: u32::MAX,
+        });
+        // Path that evaluates the right-hand side.
+        let eval_rhs = self.here();
+        let b = self.expr(rhs);
+        self.code.push(Inst::Mov { dst, src: b });
+        let done_jmp = self.emit_jmp_placeholder();
+        // Path that short-circuits to a constant.
+        let short = self.here();
+        self.code.push(Inst::Const {
+            dst,
+            value: if is_and { 0 } else { 1 },
+        });
+        let end = self.here();
+        if let Inst::Br { then_t, else_t, .. } = &mut self.code[br_at] {
+            if is_and {
+                // true → evaluate rhs, false → result 0.
+                *then_t = eval_rhs;
+                *else_t = short;
+            } else {
+                // true → result 1, false → evaluate rhs.
+                *then_t = short;
+                *else_t = eval_rhs;
+            }
+        }
+        self.patch_jmp(done_jmp, end);
+        dst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graft_api::RegionSpec;
+
+    fn lower_src(src: &str) -> Module {
+        let hir = graft_lang::compile(src, &[RegionSpec::data("buf", 8)]).unwrap();
+        lower(&hir)
+    }
+
+    #[test]
+    fn params_land_in_low_registers() {
+        let m = lower_src("fn f(a: int, b: int) -> int { return a + b; }");
+        let f = &m.funcs[0];
+        assert_eq!(f.arity, 2);
+        assert!(matches!(
+            f.code[0],
+            Inst::Bin { op: BinOp::Add, a: 0, b: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn while_loop_has_backedge() {
+        let m = lower_src("fn f() { let i = 0; while i < 3 { i = i + 1; } }");
+        let f = &m.funcs[0];
+        let has_backedge = f
+            .code
+            .iter()
+            .enumerate()
+            .any(|(at, inst)| matches!(inst, Inst::Jmp { target } if (*target as usize) < at));
+        assert!(has_backedge, "loop must produce a backward jump: {f:?}");
+    }
+
+    #[test]
+    fn break_jumps_past_loop_end() {
+        let m = lower_src("fn f() { while true { break; } buf[0] = 1; }");
+        let f = &m.funcs[0];
+        // All jump targets must be in range (the placeholder u32::MAX
+        // would blow this up if the patching missed one).
+        for inst in &f.code {
+            match inst {
+                Inst::Jmp { target } => assert!((*target as usize) <= f.code.len()),
+                Inst::Br { then_t, else_t, .. } => {
+                    assert!((*then_t as usize) <= f.code.len());
+                    assert!((*else_t as usize) <= f.code.len());
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn short_circuit_and_does_not_always_eval_rhs() {
+        let m = lower_src(
+            "fn f(x: int) -> bool { return x != 0 && buf[0] / x > 0; }",
+        );
+        let f = &m.funcs[0];
+        // Must contain a branch (short-circuit), not just a Bin for `&&`.
+        assert!(f.code.iter().any(|i| matches!(i, Inst::Br { .. })));
+        assert!(!f
+            .code
+            .iter()
+            .any(|i| matches!(i, Inst::Bin { op: BinOp::LogicalAnd, .. })));
+    }
+
+    #[test]
+    fn void_function_ends_with_ret_none() {
+        let m = lower_src("fn f() { buf[0] = 1; }");
+        assert_eq!(*m.funcs[0].code.last().unwrap(), Inst::Ret { src: None });
+    }
+
+    #[test]
+    fn globals_and_pools_carry_initial_values() {
+        let m = lower_src("const K[2] = { 5, 6 }; var g = 9; fn f() { g = K[1]; }");
+        assert_eq!(m.globals, vec![9]);
+        assert_eq!(m.const_pools, vec![vec![5, 6]]);
+    }
+
+    #[test]
+    fn temporaries_reset_between_statements() {
+        // Two statements with equally deep expressions should reuse the
+        // same temp registers rather than growing the frame.
+        let m1 = lower_src("fn f() { buf[0] = 1 + 2 * 3; }");
+        let m2 = lower_src("fn f() { buf[0] = 1 + 2 * 3; buf[1] = 4 + 5 * 6; buf[2] = 7 + 8 * 9; }");
+        assert_eq!(m1.funcs[0].regs, m2.funcs[0].regs);
+    }
+}

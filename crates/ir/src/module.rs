@@ -1,0 +1,251 @@
+//! IR data structures.
+
+use std::collections::HashMap;
+
+pub use graft_lang::hir::{BinOp, UnOp};
+use graft_api::RegionSpec;
+
+/// A virtual register index within one function frame.
+pub type Reg = u16;
+
+/// Where an indexed memory access goes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemRef {
+    /// A kernel-shared region, by ABI declaration order.
+    Region(u16),
+    /// A module-embedded read-only constant pool.
+    Pool(u16),
+}
+
+/// One IR instruction.
+///
+/// `Shared`/`Pool` accesses are expressed as a region id plus an index
+/// register; the load-time translator decides how (and whether) the index
+/// is checked. The `MaskedLoad`/`MaskedStore`/`Mask` forms never appear
+/// in lowered code — they are produced by the SFI instrumentation pass in
+/// `engine-native` and accepted by the verifier only in SFI modules.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Inst {
+    /// `dst = value`
+    Const {
+        /// Destination register.
+        dst: Reg,
+        /// Immediate value.
+        value: i64,
+    },
+    /// `dst = src`
+    Mov {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// `dst = op src`
+    Un {
+        /// Operator.
+        op: UnOp,
+        /// Destination register.
+        dst: Reg,
+        /// Operand register.
+        src: Reg,
+    },
+    /// `dst = a op b` (never a short-circuit operator).
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Reg,
+    },
+    /// Unconditional jump to an instruction index.
+    Jmp {
+        /// Target instruction index.
+        target: u32,
+    },
+    /// Conditional branch: jump to `then_t` if `cond != 0`, else `else_t`.
+    Br {
+        /// Condition register.
+        cond: Reg,
+        /// Target when true.
+        then_t: u32,
+        /// Target when false.
+        else_t: u32,
+    },
+    /// `dst = mem[addr]`
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Memory being read.
+        mem: MemRef,
+        /// Index register.
+        addr: Reg,
+    },
+    /// `mem[addr] = src`
+    Store {
+        /// Memory being written.
+        mem: MemRef,
+        /// Index register.
+        addr: Reg,
+        /// Value register.
+        src: Reg,
+    },
+    /// `dst = globals[index]`
+    GlobalGet {
+        /// Destination register.
+        dst: Reg,
+        /// Global index.
+        index: u16,
+    },
+    /// `globals[index] = src`
+    GlobalSet {
+        /// Global index.
+        index: u16,
+        /// Value register.
+        src: Reg,
+    },
+    /// `dst = funcs[func](args...)`
+    Call {
+        /// Destination register (receives 0 from void functions).
+        dst: Reg,
+        /// Callee index.
+        func: u32,
+        /// Argument registers.
+        args: Box<[Reg]>,
+    },
+    /// Return, with an optional value register.
+    Ret {
+        /// Value register, if the function returns one.
+        src: Option<Reg>,
+    },
+    /// Raise [`graft_api::Trap::Abort`] with the code in `code`.
+    Abort {
+        /// Code register.
+        code: Reg,
+    },
+
+    // ---- SFI-only instructions (inserted by instrumentation) ----
+    /// `dst = (src + offset) & arena_mask` — the explicit sandboxing
+    /// instruction of Wahbe et al.: adds the region's arena base and
+    /// masks the result into the sandbox.
+    Mask {
+        /// Destination (sandboxed address) register.
+        dst: Reg,
+        /// Raw index register.
+        src: Reg,
+        /// Arena offset of the region being accessed.
+        offset: u32,
+    },
+    /// `dst = arena[addr]` where `addr` was produced by [`Inst::Mask`]
+    /// (only when read protection is enabled; otherwise reads compile to
+    /// unmasked arena accesses via `MaskedLoad` with a pre-added base).
+    MaskedLoad {
+        /// Destination register.
+        dst: Reg,
+        /// Sandboxed address register.
+        addr: Reg,
+    },
+    /// `arena[addr] = src` where `addr` was produced by [`Inst::Mask`].
+    MaskedStore {
+        /// Sandboxed address register.
+        addr: Reg,
+        /// Value register.
+        src: Reg,
+    },
+    /// `dst = arena[src + offset]` — an *unprotected* sandbox read, used
+    /// when read protection is disabled (the omniC++ 1.0β configuration
+    /// the paper measured). The base add and wrap are fused into the
+    /// access, so it costs the same as an unchecked read; enabling read
+    /// protection replaces this with an explicit [`Inst::Mask`] +
+    /// [`Inst::MaskedLoad`] pair.
+    ArenaLoad {
+        /// Destination register.
+        dst: Reg,
+        /// Raw index register.
+        src: Reg,
+        /// Arena offset of the region being read.
+        offset: u32,
+    },
+}
+
+/// A lowered function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrFunc {
+    /// Function name.
+    pub name: String,
+    /// Number of parameters (registers `0..arity` on entry).
+    pub arity: usize,
+    /// Total virtual registers used.
+    pub regs: usize,
+    /// Flat instruction stream.
+    pub code: Vec<Inst>,
+}
+
+/// A lowered module: the downloadable unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    /// Functions, in declaration order.
+    pub funcs: Vec<IrFunc>,
+    /// Initial values of module globals.
+    pub globals: Vec<i64>,
+    /// Read-only constant pools.
+    pub const_pools: Vec<Vec<i64>>,
+    /// The shared-region ABI the module was compiled against.
+    pub regions: Vec<RegionSpec>,
+    /// Function name → index.
+    pub func_index: HashMap<String, usize>,
+}
+
+impl Module {
+    /// Looks up a function index by name.
+    pub fn func_id(&self, name: &str) -> Option<usize> {
+        self.func_index.get(name).copied()
+    }
+
+    /// Total instruction count across all functions (a code-size metric
+    /// used by the SFI expansion tests and reports).
+    pub fn code_len(&self) -> usize {
+        self.funcs.iter().map(|f| f.code.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inst_is_reasonably_small() {
+        // The dispatch loop streams these; keep them cache-friendly.
+        assert!(std::mem::size_of::<Inst>() <= 24);
+    }
+
+    #[test]
+    fn code_len_sums_functions() {
+        let m = Module {
+            funcs: vec![
+                IrFunc {
+                    name: "a".into(),
+                    arity: 0,
+                    regs: 1,
+                    code: vec![Inst::Ret { src: None }],
+                },
+                IrFunc {
+                    name: "b".into(),
+                    arity: 0,
+                    regs: 1,
+                    code: vec![
+                        Inst::Const { dst: 0, value: 1 },
+                        Inst::Ret { src: Some(0) },
+                    ],
+                },
+            ],
+            globals: vec![],
+            const_pools: vec![],
+            regions: vec![],
+            func_index: HashMap::new(),
+        };
+        assert_eq!(m.code_len(), 3);
+    }
+}

@@ -1,0 +1,318 @@
+//! Load-time IR optimization.
+//!
+//! The paper measured a *pre-release* Omniware whose translator "does
+//! not include an optimizer for the SFI instructions" (§5.2), and
+//! attributes part of its overhead to that. This module is the
+//! optimizer that system was missing: a short pipeline of classic
+//! load-time passes, safe to run before any engine translates the IR.
+//!
+//! Passes (in order, iterated to a fixed point once):
+//!
+//! 1. **constant folding** — `Bin`/`Un`/`Mov` over known constants
+//!    collapse to `Const`; trapping operations (division by a constant
+//!    zero) are deliberately *not* folded so traps still occur at run
+//!    time;
+//! 2. **branch folding** — `Br` on a known constant becomes `Jmp`;
+//! 3. **jump threading** — `Jmp`→`Jmp` chains collapse;
+//! 4. **unreachable-code elimination** — instructions no path reaches
+//!    are removed and targets remapped.
+//!
+//! The optimizer is off by default in the experiment harness (paper
+//! parity: the measured Omniware had none); the `ablation_optimizer`
+//! bench measures what it buys.
+
+use std::collections::HashMap;
+
+use graft_lang::hir::{ops, BinOp};
+
+use crate::module::{Inst, IrFunc, Module, Reg};
+
+/// Optimizes every function in the module in place.
+pub fn optimize(module: &mut Module) {
+    for func in &mut module.funcs {
+        fold_constants(func);
+        thread_jumps(func);
+        remove_unreachable(func);
+    }
+}
+
+/// Returns the set of instruction indexes that are jump targets (block
+/// leaders, where constant knowledge must be discarded).
+fn leaders(func: &IrFunc) -> Vec<bool> {
+    let mut leader = vec![false; func.code.len()];
+    for inst in &func.code {
+        match inst {
+            Inst::Jmp { target } => leader[*target as usize] = true,
+            Inst::Br { then_t, else_t, .. } => {
+                leader[*then_t as usize] = true;
+                leader[*else_t as usize] = true;
+            }
+            _ => {}
+        }
+    }
+    leader
+}
+
+/// Linear-scan constant propagation within basic blocks, plus branch
+/// folding.
+fn fold_constants(func: &mut IrFunc) {
+    let leader = leaders(func);
+    let mut known: HashMap<Reg, i64> = HashMap::new();
+    for at in 0..func.code.len() {
+        if leader[at] {
+            known.clear();
+        }
+        let replacement = match &func.code[at] {
+            Inst::Const { dst, value } => {
+                known.insert(*dst, *value);
+                None
+            }
+            Inst::Mov { dst, src } => match known.get(src).copied() {
+                Some(v) => {
+                    known.insert(*dst, v);
+                    Some(Inst::Const { dst: *dst, value: v })
+                }
+                None => {
+                    known.remove(dst);
+                    None
+                }
+            },
+            Inst::Un { op, dst, src } => match known.get(src).copied() {
+                Some(v) => {
+                    let folded = ops::unary(*op, v);
+                    known.insert(*dst, folded);
+                    Some(Inst::Const {
+                        dst: *dst,
+                        value: folded,
+                    })
+                }
+                None => {
+                    known.remove(dst);
+                    None
+                }
+            },
+            Inst::Bin { op, dst, a, b } => {
+                let folded = match (known.get(a), known.get(b)) {
+                    (Some(&a), Some(&b)) => ops::binary(*op, a, b),
+                    _ => None,
+                };
+                // `None` from a trapping op (x / 0) must keep trapping
+                // at run time, so only fold real values.
+                match folded {
+                    Some(v)
+                        if !matches!(op, BinOp::Div | BinOp::Rem)
+                            || known.get(b).copied() != Some(0) =>
+                    {
+                        known.insert(*dst, v);
+                        Some(Inst::Const {
+                            dst: *dst,
+                            value: v,
+                        })
+                    }
+                    _ => {
+                        known.remove(dst);
+                        None
+                    }
+                }
+            }
+            Inst::Br {
+                cond,
+                then_t,
+                else_t,
+            } => match known.get(cond).copied() {
+                Some(v) => Some(Inst::Jmp {
+                    target: if v != 0 { *then_t } else { *else_t },
+                }),
+                None => None,
+            },
+            // Any other writer invalidates what we knew about `dst`.
+            Inst::Load { dst, .. }
+            | Inst::GlobalGet { dst, .. }
+            | Inst::Call { dst, .. }
+            | Inst::Mask { dst, .. }
+            | Inst::MaskedLoad { dst, .. }
+            | Inst::ArenaLoad { dst, .. } => {
+                known.remove(dst);
+                None
+            }
+            _ => None,
+        };
+        if let Some(inst) = replacement {
+            func.code[at] = inst;
+        }
+    }
+}
+
+/// Collapses `Jmp`-to-`Jmp` chains (with a hop bound so degenerate
+/// cycles terminate).
+fn thread_jumps(func: &mut IrFunc) {
+    let resolve = |mut target: u32, code: &[Inst]| -> u32 {
+        for _ in 0..code.len() {
+            match &code[target as usize] {
+                Inst::Jmp { target: next } if *next != target => target = *next,
+                _ => break,
+            }
+        }
+        target
+    };
+    let code_snapshot = func.code.clone();
+    for inst in &mut func.code {
+        match inst {
+            Inst::Jmp { target } => *target = resolve(*target, &code_snapshot),
+            Inst::Br { then_t, else_t, .. } => {
+                *then_t = resolve(*then_t, &code_snapshot);
+                *else_t = resolve(*else_t, &code_snapshot);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Removes instructions unreachable from the entry and remaps targets.
+fn remove_unreachable(func: &mut IrFunc) {
+    let len = func.code.len();
+    let mut reachable = vec![false; len];
+    let mut work = vec![0usize];
+    while let Some(at) = work.pop() {
+        if at >= len || reachable[at] {
+            continue;
+        }
+        reachable[at] = true;
+        match &func.code[at] {
+            Inst::Jmp { target } => work.push(*target as usize),
+            Inst::Br { then_t, else_t, .. } => {
+                work.push(*then_t as usize);
+                work.push(*else_t as usize);
+            }
+            Inst::Ret { .. } | Inst::Abort { .. } => {}
+            _ => work.push(at + 1),
+        }
+    }
+    if reachable.iter().all(|&r| r) {
+        return;
+    }
+    // Build the old→new index map and compact.
+    let mut new_index = vec![0u32; len];
+    let mut next = 0u32;
+    for (at, &r) in reachable.iter().enumerate() {
+        new_index[at] = next;
+        if r {
+            next += 1;
+        }
+    }
+    let old = std::mem::take(&mut func.code);
+    func.code = old
+        .into_iter()
+        .enumerate()
+        .filter(|(at, _)| reachable[*at])
+        .map(|(_, mut inst)| {
+            match &mut inst {
+                Inst::Jmp { target } => *target = new_index[*target as usize],
+                Inst::Br { then_t, else_t, .. } => {
+                    *then_t = new_index[*then_t as usize];
+                    *else_t = new_index[*else_t as usize];
+                }
+                _ => {}
+            }
+            inst
+        })
+        .collect();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graft_api::RegionSpec;
+
+    fn lower(src: &str) -> Module {
+        let hir = graft_lang::compile(src, &[RegionSpec::data("buf", 8)]).unwrap();
+        crate::lower(&hir)
+    }
+
+    #[test]
+    fn folding_collapses_constant_arithmetic() {
+        let mut m = lower("fn f() -> int { return (2 + 3) * (10 - 6); }");
+        let before = m.code_len();
+        optimize(&mut m);
+        crate::verify(&m).unwrap();
+        assert!(m.code_len() < before, "{}", crate::disasm::module(&m));
+        // The whole body must now be a single constant return.
+        assert!(m.funcs[0]
+            .code
+            .iter()
+            .any(|i| matches!(i, Inst::Const { value: 20, .. })));
+        assert!(!m.funcs[0].code.iter().any(|i| matches!(i, Inst::Bin { .. })));
+    }
+
+    #[test]
+    fn constant_division_by_zero_is_not_folded() {
+        let mut m = lower("fn f() -> int { return 1 / 0; }");
+        optimize(&mut m);
+        crate::verify(&m).unwrap();
+        assert!(
+            m.funcs[0]
+                .code
+                .iter()
+                .any(|i| matches!(i, Inst::Bin { op: BinOp::Div, .. })),
+            "the trapping division must survive: {}",
+            crate::disasm::module(&m)
+        );
+    }
+
+    #[test]
+    fn branch_on_constant_folds_and_dead_branch_is_removed() {
+        let mut m = lower(
+            "fn f() -> int { if true { return 1; } else { return buf[0] + buf[1] + buf[2]; } }",
+        );
+        optimize(&mut m);
+        crate::verify(&m).unwrap();
+        // The dead else branch (three loads) must be gone.
+        assert!(
+            !m.funcs[0]
+                .code
+                .iter()
+                .any(|i| matches!(i, Inst::Load { .. })),
+            "{}",
+            crate::disasm::module(&m)
+        );
+        assert!(!m.funcs[0].code.iter().any(|i| matches!(i, Inst::Br { .. })));
+    }
+
+    #[test]
+    fn loop_code_survives_optimization_and_verifies() {
+        let src = "fn f(n: int) -> int { let s = 0; let i = 0; while i < n { s = s + i; i = i + 1; } return s; }";
+        let mut m = lower(src);
+        optimize(&mut m);
+        crate::verify(&m).unwrap();
+        // The loop condition depends on a parameter; the backedge must
+        // survive.
+        assert!(m.funcs[0].code.iter().any(|i| matches!(i, Inst::Br { .. })));
+    }
+
+    #[test]
+    fn jump_threading_eliminates_chains() {
+        let mut m = lower("fn f() -> int { while true { break; } return 9; }");
+        optimize(&mut m);
+        crate::verify(&m).unwrap();
+        // No Jmp may point at another Jmp after threading.
+        let code = &m.funcs[0].code;
+        for inst in code {
+            if let Inst::Jmp { target } = inst {
+                assert!(
+                    !matches!(code[*target as usize], Inst::Jmp { target: t } if t != *target),
+                    "unthreaded chain: {}",
+                    crate::disasm::module(&m)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn idempotent() {
+        let mut m = lower("fn f(x: int) -> int { return (x + 0) + (2 * 3); }");
+        optimize(&mut m);
+        let once = m.clone();
+        optimize(&mut m);
+        assert_eq!(m, once);
+    }
+}

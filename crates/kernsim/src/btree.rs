@@ -1,0 +1,137 @@
+//! The TPC-B database page model behind the VM page-eviction benchmark.
+//!
+//! Section 3.1 of the paper: a 1,000,000-record database in a four-level
+//! B-tree, 50% full — one root page, four second-level pages, 391
+//! third-level pages, and about 50,000 fourth-level (data) pages; each
+//! third-level page points to up to 128 leaves. During a non-keyed
+//! depth-first traversal the server reaching a third-level page knows
+//! exactly which 128 leaves it will touch next, and that set *is* the
+//! hot list the eviction graft consults.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The paper's B-tree page-structure model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BtreeModel {
+    /// Number of level-3 (internal) pages.
+    pub l3_pages: usize,
+    /// Leaves per level-3 page.
+    pub fanout: usize,
+}
+
+impl Default for BtreeModel {
+    fn default() -> Self {
+        BtreeModel {
+            l3_pages: 391,
+            fanout: 128,
+        }
+    }
+}
+
+/// Page-id layout: internal pages first, then leaves.
+impl BtreeModel {
+    /// Total leaf (data) pages — about 50,000 for the paper's tree.
+    pub fn leaf_pages(&self) -> usize {
+        self.l3_pages * self.fanout
+    }
+
+    /// Total pages in the model (root + L2 + L3 + leaves).
+    pub fn total_pages(&self) -> usize {
+        1 + 4 + self.l3_pages + self.leaf_pages()
+    }
+
+    /// First leaf page id.
+    pub fn first_leaf(&self) -> u64 {
+        (1 + 4 + self.l3_pages) as u64
+    }
+
+    /// The leaf page ids referenced by level-3 page `l3` — the hot list
+    /// the application builds when its traversal reaches that page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l3` is out of range.
+    pub fn hot_list(&self, l3: usize) -> Vec<u64> {
+        assert!(l3 < self.l3_pages, "no such level-3 page");
+        let base = self.first_leaf() + (l3 * self.fanout) as u64;
+        (0..self.fanout as u64).map(|i| base + i).collect()
+    }
+
+    /// An iterator over the leaves the full depth-first traversal
+    /// touches, grouped by level-3 page.
+    pub fn traversal(&self) -> impl Iterator<Item = (usize, Vec<u64>)> + '_ {
+        (0..self.l3_pages).map(|l3| (l3, self.hot_list(l3)))
+    }
+
+    /// A stream of random leaf faults (the scattered data-page accesses
+    /// of the TPC-B workload), deterministic in `seed`.
+    pub fn random_leaf_faults(&self, count: usize, seed: u64) -> Vec<u64> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let first = self.first_leaf();
+        let leaves = self.leaf_pages() as u64;
+        (0..count).map(|_| first + rng.gen_range(0..leaves)).collect()
+    }
+
+    /// The probability that a random resident page is on a hot list of
+    /// the given length — the paper's 1-in-781 save rate (64 / 50,000).
+    pub fn hot_probability(&self, hot_len: usize) -> f64 {
+        hot_len as f64 / self.leaf_pages() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry() {
+        let m = BtreeModel::default();
+        assert_eq!(m.leaf_pages(), 50_048); // "approximately 50,000"
+        assert_eq!(m.total_pages(), 1 + 4 + 391 + 50_048);
+    }
+
+    #[test]
+    fn hot_lists_partition_the_leaves() {
+        let m = BtreeModel {
+            l3_pages: 4,
+            fanout: 8,
+        };
+        let mut seen = std::collections::HashSet::new();
+        for (_, hot) in m.traversal() {
+            assert_eq!(hot.len(), 8);
+            for p in hot {
+                assert!(p >= m.first_leaf());
+                assert!(seen.insert(p), "leaf {p} appears twice");
+            }
+        }
+        assert_eq!(seen.len(), m.leaf_pages());
+    }
+
+    #[test]
+    fn break_even_probability_matches_paper() {
+        let m = BtreeModel::default();
+        let p = m.hot_probability(64);
+        // The paper says "roughly 64/50,000, or once every 781 times".
+        let every = 1.0 / p;
+        assert!((750.0..820.0).contains(&every), "1 in {every}");
+    }
+
+    #[test]
+    fn fault_stream_is_leaves_only_and_deterministic() {
+        let m = BtreeModel::default();
+        let a = m.random_leaf_faults(100, 5);
+        let b = m.random_leaf_faults(100, 5);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&p| p >= m.first_leaf()));
+        assert!(a
+            .iter()
+            .all(|&p| p < m.first_leaf() + m.leaf_pages() as u64));
+    }
+
+    #[test]
+    #[should_panic(expected = "no such level-3 page")]
+    fn hot_list_bounds() {
+        BtreeModel::default().hot_list(391);
+    }
+}

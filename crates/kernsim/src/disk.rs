@@ -1,0 +1,147 @@
+//! A parametric disk model.
+//!
+//! The paper converts graft compute times into verdicts by comparing
+//! them with disk costs: Table 4's write bandwidth turns into "can MD5
+//! keep up with the disk?", and Table 6's per-block overhead is judged
+//! against "1% of a typical disk seek time". This model provides those
+//! costs, either with 1996-class defaults or calibrated from the live
+//! bandwidth measurement in [`crate::measure::diskbw`].
+
+use std::time::Duration;
+
+/// Disk geometry and timing parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiskModel {
+    /// Average seek time.
+    pub avg_seek: Duration,
+    /// Average rotational delay (half a revolution).
+    pub avg_rotation: Duration,
+    /// Sequential transfer bandwidth, bytes per second.
+    pub bandwidth: f64,
+    /// Block size in bytes.
+    pub block_size: usize,
+    /// Blocks per segment (for Logical Disk batching).
+    pub segment_blocks: usize,
+}
+
+impl Default for DiskModel {
+    /// A mid-90s SCSI disk, in the range of the paper's Table 4
+    /// machines (1.7–4.4 MB/s write bandwidth).
+    fn default() -> Self {
+        DiskModel {
+            avg_seek: Duration::from_micros(9_000),
+            avg_rotation: Duration::from_micros(4_200), // 7200 RPM / 2
+            bandwidth: 3.0 * 1024.0 * 1024.0,
+            block_size: 4096,
+            segment_blocks: 16,
+        }
+    }
+}
+
+impl DiskModel {
+    /// A model calibrated to a measured bandwidth (from the Table 4
+    /// live measurement) keeping default mechanical latencies.
+    pub fn with_bandwidth(bytes_per_sec: f64) -> Self {
+        DiskModel {
+            bandwidth: bytes_per_sec,
+            ..DiskModel::default()
+        }
+    }
+
+    /// Pure transfer time for `bytes` at full bandwidth.
+    pub fn transfer(&self, bytes: usize) -> Duration {
+        Duration::from_secs_f64(bytes as f64 / self.bandwidth)
+    }
+
+    /// Time for one random-access I/O of `blocks` contiguous blocks:
+    /// seek + rotation + transfer.
+    pub fn random_io(&self, blocks: usize) -> Duration {
+        self.avg_seek + self.avg_rotation + self.transfer(blocks * self.block_size)
+    }
+
+    /// Time to write one full segment sequentially (one seek, then
+    /// streaming) — the Logical Disk's batched write.
+    pub fn segment_write(&self) -> Duration {
+        self.random_io(self.segment_blocks)
+    }
+
+    /// Time to write `n` scattered blocks individually (no batching) —
+    /// the Logical Disk's counterfactual.
+    pub fn scattered_writes(&self, n: usize) -> Duration {
+        let one = self.random_io(1);
+        one * n as u32
+    }
+
+    /// Per-block time saved by batching `segment_blocks` scattered
+    /// writes into one segment write. A Logical Disk graft breaks even
+    /// when its per-write bookkeeping is below this (§5.6).
+    pub fn batching_saving_per_block(&self) -> Duration {
+        let scattered = self.scattered_writes(self.segment_blocks);
+        let batched = self.segment_write();
+        (scattered - batched) / self.segment_blocks as u32
+    }
+
+    /// Time to access 1 MB at streaming bandwidth — Table 4's derived
+    /// column, the denominator of Table 5's MD5/disk ratio.
+    pub fn megabyte_access(&self) -> Duration {
+        self.transfer(1 << 20)
+    }
+
+    /// Hard page-fault time: fixed kernel overhead plus one random I/O
+    /// of `read_ahead` pages of `page_size` bytes (Table 3's model; the
+    /// paper's Alpha and HP-UX rows bring in 16 and 4 pages per fault).
+    pub fn page_fault(&self, soft_overhead: Duration, page_size: usize, read_ahead: usize) -> Duration {
+        let blocks = (page_size * read_ahead).div_ceil(self.block_size);
+        soft_overhead + self.random_io(blocks.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_scales_linearly() {
+        let d = DiskModel::default();
+        let one = d.transfer(1 << 20);
+        let two = d.transfer(2 << 20);
+        assert!((two.as_secs_f64() / one.as_secs_f64() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn default_megabyte_access_matches_paper_band() {
+        // The paper's Table 4: 235–604 ms per MB. Our default 3 MB/s
+        // disk gives ~333 ms.
+        let ms = DiskModel::default().megabyte_access().as_millis();
+        assert!((200..700).contains(&ms), "got {ms}ms");
+    }
+
+    #[test]
+    fn batching_saves_most_of_the_seek() {
+        let d = DiskModel::default();
+        let saving = d.batching_saving_per_block();
+        // Per scattered block we pay ~13.2ms mechanical; batched we
+        // amortize one seek over 16 blocks, so the saving approaches
+        // 15/16 of the mechanical cost.
+        assert!(saving > Duration::from_millis(10), "got {saving:?}");
+        assert!(saving < d.random_io(1));
+    }
+
+    #[test]
+    fn page_fault_grows_with_read_ahead() {
+        let d = DiskModel::default();
+        let soft = Duration::from_micros(3);
+        let one = d.page_fault(soft, 4096, 1);
+        let sixteen = d.page_fault(soft, 4096, 16);
+        assert!(sixteen > one);
+        // Read-ahead only adds transfer, not extra seeks.
+        assert!(sixteen < one * 16);
+    }
+
+    #[test]
+    fn calibration_changes_only_bandwidth() {
+        let d = DiskModel::with_bandwidth(10.0 * 1024.0 * 1024.0);
+        assert_eq!(d.avg_seek, DiskModel::default().avg_seek);
+        assert!(d.megabyte_access() < DiskModel::default().megabyte_access());
+    }
+}

@@ -1,0 +1,43 @@
+//! The simulated kernel substrate.
+//!
+//! The paper grafts extensions into real 1996 kernels and measures them
+//! against kernel-side costs: page-fault time (Table 3), disk bandwidth
+//! (Table 4), and signal/upcall delivery (Table 1, Figure 1). This crate
+//! rebuilds that substrate:
+//!
+//! * [`disk`] — a parametric disk model (seek + rotation + transfer)
+//!   with 1996-class defaults, plus hooks for measured host bandwidth;
+//! * [`vm`] — the VM paging machinery the Prioritization graft plugs
+//!   into: an intrusive LRU queue of resident pages and a pager that
+//!   consults an eviction policy on every fault;
+//! * [`btree`] — the TPC-B database page model (1 M records, four-level
+//!   B-tree: 1 root, 4 L2, 391 L3, ~50 k leaf pages) that generates the
+//!   paper's hot lists and fault streams;
+//! * [`cache`] — a buffer cache with pluggable eviction and read-ahead
+//!   policies (the other Prioritization/BlackBox graft points the paper
+//!   names);
+//! * [`sched`] — a process scheduler with a pluggable candidate-selection
+//!   hook (the third Prioritization example, §3.1);
+//! * [`upcall`] — the user-level-server transport: any
+//!   [`ExtensionEngine`] can be pushed behind a real cross-thread upcall
+//!   boundary, and the round-trip can be measured or synthesized for
+//!   the Figure 1 sweep;
+//! * [`measure`] — lmbench-style live measurements on the host: signal
+//!   delivery time (the paper's §5.3 experiment, via `fork` + 20
+//!   signals), soft page-fault latency (`lat_pagefault`), and disk
+//!   write bandwidth (`lmdd`).
+//!
+//! [`ExtensionEngine`]: graft_api::ExtensionEngine
+
+pub mod btree;
+pub mod cache;
+pub mod disk;
+pub mod measure;
+pub mod sched;
+pub mod stats;
+pub mod upcall;
+pub mod vm;
+
+pub use disk::DiskModel;
+pub use stats::Sample;
+pub use upcall::UpcallEngine;

@@ -1,0 +1,96 @@
+//! Disk write bandwidth, the Table 4 measurement.
+//!
+//! lmbench's `lmdd` writes a large file and reports bytes per second.
+//! We do the same with `fsync` so buffered writes actually reach
+//! storage. The resulting bandwidth calibrates [`crate::DiskModel`] for
+//! the MD5/disk ratio (Table 5) and the 1 MB access time (Table 4's
+//! derived column). On a container with an overlay filesystem this is
+//! the backing device's effective bandwidth, which is the honest analogue.
+
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::time::Instant;
+
+use crate::stats::Sample;
+
+/// Result of a bandwidth measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct Bandwidth {
+    /// Bytes per second.
+    pub bytes_per_sec: f64,
+    /// The per-run sample (time to write the whole buffer).
+    pub sample: Sample,
+}
+
+impl Bandwidth {
+    /// KB/s, the paper's Table 4 unit.
+    pub fn kb_per_sec(&self) -> f64 {
+        self.bytes_per_sec / 1024.0
+    }
+
+    /// Derived time to access 1 MB, Table 4's second column.
+    pub fn megabyte_access(&self) -> std::time::Duration {
+        std::time::Duration::from_secs_f64((1 << 20) as f64 / self.bytes_per_sec)
+    }
+}
+
+/// Measures sequential write bandwidth: `runs` timed writes of
+/// `total_bytes` each (in 64 KB chunks, then `fsync`), to a scratch file
+/// in the system temp directory.
+pub fn write_bandwidth(runs: usize, total_bytes: usize) -> Result<Bandwidth, String> {
+    assert!(runs > 0 && total_bytes >= 1 << 16);
+    let path = std::env::temp_dir().join(format!(
+        "graftbench-lmdd-{}.tmp",
+        std::process::id()
+    ));
+    let chunk = vec![0xA5u8; 1 << 16];
+    let mut samples = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let mut f = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)
+            .map_err(|e| format!("open scratch file: {e}"))?;
+        let start = Instant::now();
+        let mut written = 0usize;
+        while written < total_bytes {
+            let n = chunk.len().min(total_bytes - written);
+            f.write_all(&chunk[..n])
+                .map_err(|e| format!("write: {e}"))?;
+            written += n;
+        }
+        f.sync_all().map_err(|e| format!("fsync: {e}"))?;
+        samples.push(start.elapsed());
+    }
+    let _ = std::fs::remove_file(&path);
+    let sample = Sample::from_runs(&samples);
+    let secs = sample.mean_ns / 1e9;
+    Ok(Bandwidth {
+        bytes_per_sec: total_bytes as f64 / secs,
+        sample,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_is_positive_and_scratch_is_removed() {
+        let bw = write_bandwidth(2, 1 << 20).expect("measurement runs");
+        assert!(bw.bytes_per_sec > 0.0);
+        assert!(bw.kb_per_sec() > 0.0);
+        assert!(bw.megabyte_access().as_nanos() > 0);
+        let leftover: Vec<_> = std::fs::read_dir(std::env::temp_dir())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| {
+                e.file_name()
+                    .to_string_lossy()
+                    .starts_with("graftbench-lmdd")
+            })
+            .collect();
+        assert!(leftover.is_empty(), "scratch file must be cleaned up");
+    }
+}

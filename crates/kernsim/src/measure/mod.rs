@@ -1,0 +1,17 @@
+//! lmbench-style live measurements on the host.
+//!
+//! The paper grounds its break-even arithmetic in three measured
+//! quantities: signal-delivery time (Table 1, the upcall-cost proxy),
+//! page-fault time (Table 3, via lmbench `lat_pagefault`), and disk
+//! write bandwidth (Table 4, via lmbench `lmdd`). This module
+//! re-implements those measurements for the host the reproduction runs
+//! on; the experiment harness prints them next to the paper's 1996
+//! numbers.
+
+pub mod diskbw;
+pub mod pagefault;
+pub mod signals;
+
+pub use diskbw::write_bandwidth;
+pub use pagefault::soft_fault_latency;
+pub use signals::{signal_times, SignalTimes};

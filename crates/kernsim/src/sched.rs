@@ -1,0 +1,217 @@
+//! A process scheduler with a pluggable candidate-selection hook.
+//!
+//! The third Prioritization example from §3.1: "at each scheduling point
+//! the kernel has a list of candidates, and chooses one to run. No
+//! scheduling algorithm is appropriate for all application mixes." The
+//! paper sketches two application demands this substrate reproduces:
+//! round-robin fairness for interactive mixes, and gang-style
+//! client/server scheduling where the server runs only when a request
+//! is outstanding, but then ahead of any client.
+
+use std::collections::VecDeque;
+
+/// A process identifier.
+pub type Pid = u32;
+
+/// A runnable process as the scheduler sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Candidate {
+    /// Process id.
+    pub pid: Pid,
+    /// Static priority (higher runs first under the priority policy).
+    pub priority: i32,
+    /// Virtual runtime consumed so far.
+    pub vruntime: u64,
+    /// Application tag readable by policies (e.g. 1 = server).
+    pub tag: i64,
+}
+
+/// Chooses which candidate runs next.
+pub trait SchedPolicy {
+    /// Picks an index into `candidates` (non-empty).
+    fn pick(&mut self, candidates: &[Candidate]) -> usize;
+}
+
+/// Round-robin: always the longest-waiting candidate (index 0 of the
+/// queue order).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RoundRobin;
+
+impl SchedPolicy for RoundRobin {
+    fn pick(&mut self, _candidates: &[Candidate]) -> usize {
+        0
+    }
+}
+
+/// Static priority with FIFO tie-breaking.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PriorityPolicy;
+
+impl SchedPolicy for PriorityPolicy {
+    fn pick(&mut self, candidates: &[Candidate]) -> usize {
+        let mut best = 0;
+        for (i, c) in candidates.iter().enumerate() {
+            if c.priority > candidates[best].priority {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+/// The paper's client/server policy: a process tagged as the server
+/// (tag = 1) runs ahead of any client, but only while a request is
+/// outstanding (tracked by [`ClientServerPolicy::pending_requests`]).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ClientServerPolicy {
+    /// Outstanding client requests.
+    pub pending_requests: u32,
+}
+
+impl SchedPolicy for ClientServerPolicy {
+    fn pick(&mut self, candidates: &[Candidate]) -> usize {
+        if self.pending_requests > 0 {
+            if let Some(i) = candidates.iter().position(|c| c.tag == 1) {
+                return i;
+            }
+        }
+        // Otherwise: fair among clients (skip an idle server).
+        candidates
+            .iter()
+            .position(|c| c.tag != 1)
+            .unwrap_or(0)
+    }
+}
+
+/// Scheduling statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Dispatch decisions made.
+    pub dispatches: u64,
+}
+
+/// A run queue driven by a [`SchedPolicy`].
+pub struct Scheduler<P: SchedPolicy> {
+    queue: VecDeque<Candidate>,
+    policy: P,
+    stats: SchedStats,
+}
+
+impl<P: SchedPolicy> Scheduler<P> {
+    /// An empty scheduler.
+    pub fn new(policy: P) -> Self {
+        Scheduler {
+            queue: VecDeque::new(),
+            policy,
+            stats: SchedStats::default(),
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> SchedStats {
+        self.stats
+    }
+
+    /// Mutable policy access (so an application can feed it state, e.g.
+    /// outstanding requests).
+    pub fn policy_mut(&mut self) -> &mut P {
+        &mut self.policy
+    }
+
+    /// Makes a process runnable.
+    pub fn enqueue(&mut self, candidate: Candidate) {
+        self.queue.push_back(candidate);
+    }
+
+    /// Number of runnable processes.
+    pub fn runnable(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Dispatches the next process; it is removed from the queue and
+    /// returned with its virtual runtime charged `quantum`.
+    pub fn dispatch(&mut self, quantum: u64) -> Option<Candidate> {
+        if self.queue.is_empty() {
+            return None;
+        }
+        let snapshot: Vec<Candidate> = self.queue.iter().cloned().collect();
+        let mut picked = self.policy.pick(&snapshot);
+        if picked >= self.queue.len() {
+            // A buggy policy cannot crash the kernel: fall back to FIFO,
+            // the same containment stance the engines take for traps.
+            picked = 0;
+        }
+        self.stats.dispatches += 1;
+        let mut c = self.queue.remove(picked).expect("index validated");
+        c.vruntime += quantum;
+        Some(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(pid: Pid, priority: i32, tag: i64) -> Candidate {
+        Candidate {
+            pid,
+            priority,
+            vruntime: 0,
+            tag,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_fifo() {
+        let mut s = Scheduler::new(RoundRobin);
+        for pid in [1, 2, 3] {
+            s.enqueue(cand(pid, 0, 0));
+        }
+        let order: Vec<Pid> = (0..3).map(|_| s.dispatch(1).unwrap().pid).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+        assert!(s.dispatch(1).is_none());
+    }
+
+    #[test]
+    fn priority_policy_prefers_higher() {
+        let mut s = Scheduler::new(PriorityPolicy);
+        s.enqueue(cand(1, 1, 0));
+        s.enqueue(cand(2, 9, 0));
+        s.enqueue(cand(3, 5, 0));
+        assert_eq!(s.dispatch(1).unwrap().pid, 2);
+        assert_eq!(s.dispatch(1).unwrap().pid, 3);
+    }
+
+    #[test]
+    fn client_server_policy_matches_paper_description() {
+        let mut s = Scheduler::new(ClientServerPolicy::default());
+        s.enqueue(cand(10, 0, 1)); // server
+        s.enqueue(cand(20, 0, 0)); // client
+        // No outstanding request: the idle server must not be scheduled.
+        assert_eq!(s.dispatch(1).unwrap().pid, 20);
+        s.enqueue(cand(20, 0, 0));
+        // A request arrives: the server runs ahead of any client.
+        s.policy_mut().pending_requests = 1;
+        assert_eq!(s.dispatch(1).unwrap().pid, 10);
+    }
+
+    #[test]
+    fn buggy_policy_is_contained() {
+        struct WildPolicy;
+        impl SchedPolicy for WildPolicy {
+            fn pick(&mut self, _c: &[Candidate]) -> usize {
+                999_999
+            }
+        }
+        let mut s = Scheduler::new(WildPolicy);
+        s.enqueue(cand(1, 0, 0));
+        assert_eq!(s.dispatch(1).unwrap().pid, 1);
+    }
+
+    #[test]
+    fn vruntime_is_charged() {
+        let mut s = Scheduler::new(RoundRobin);
+        s.enqueue(cand(1, 0, 0));
+        assert_eq!(s.dispatch(42).unwrap().vruntime, 42);
+    }
+}

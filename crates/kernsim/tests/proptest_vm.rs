@@ -1,0 +1,92 @@
+//! Model-based property tests for the LRU queue and pager.
+
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+use kernsim::vm::{LruPolicy, LruQueue, Pager};
+
+/// Operations against the queue.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64),
+    Touch(u64),
+    Remove(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..40).prop_map(Op::Insert),
+        (0u64..40).prop_map(Op::Touch),
+        (0u64..40).prop_map(Op::Remove),
+    ]
+}
+
+/// A trivially correct model: a VecDeque with linear scans.
+#[derive(Default)]
+struct Model(VecDeque<u64>);
+
+impl Model {
+    fn insert(&mut self, p: u64) -> bool {
+        if self.0.contains(&p) {
+            self.touch(p);
+            false
+        } else {
+            self.0.push_back(p);
+            true
+        }
+    }
+    fn touch(&mut self, p: u64) -> bool {
+        if let Some(at) = self.0.iter().position(|&x| x == p) {
+            self.0.remove(at);
+            self.0.push_back(p);
+            true
+        } else {
+            false
+        }
+    }
+    fn remove(&mut self, p: u64) -> bool {
+        if let Some(at) = self.0.iter().position(|&x| x == p) {
+            self.0.remove(at);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn lru_queue_matches_a_naive_model(ops in prop::collection::vec(op_strategy(), 0..200)) {
+        let mut queue = LruQueue::new();
+        let mut model = Model::default();
+        for op in ops {
+            match op {
+                Op::Insert(p) => prop_assert_eq!(queue.insert(p), model.insert(p)),
+                Op::Touch(p) => prop_assert_eq!(queue.touch(p), model.touch(p)),
+                Op::Remove(p) => prop_assert_eq!(queue.remove(p), model.remove(p)),
+            }
+            prop_assert_eq!(queue.len(), model.0.len());
+            prop_assert_eq!(queue.head(), model.0.front().copied());
+        }
+        let order: Vec<u64> = queue.iter_lru().collect();
+        let model_order: Vec<u64> = model.0.iter().copied().collect();
+        prop_assert_eq!(order, model_order);
+    }
+
+    /// The pager never exceeds its frame count, and every access leaves
+    /// the touched page resident.
+    #[test]
+    fn pager_invariants_hold_on_random_traces(
+        frames in 1usize..12,
+        trace in prop::collection::vec(0u64..64, 1..300),
+    ) {
+        let mut pager = Pager::new(frames, LruPolicy);
+        for page in trace {
+            pager.access(page);
+            prop_assert!(pager.queue().len() <= frames);
+            prop_assert!(pager.queue().contains(page));
+        }
+        let s = pager.stats();
+        prop_assert!(s.refaults <= s.faults);
+    }
+}

@@ -1,0 +1,102 @@
+//! Cross-module kernel-substrate integration: the B-tree page model
+//! driving the pager and buffer cache against the disk model — the
+//! scaffolding every graft experiment stands on.
+
+use std::time::Duration;
+
+use kernsim::btree::BtreeModel;
+use kernsim::cache::{BufferCache, NoReadAhead, SequentialReadAhead};
+use kernsim::vm::{LruPolicy, MruPolicy, Pager};
+use kernsim::DiskModel;
+
+#[test]
+fn tpcb_traversal_behaves_like_the_paper_describes() {
+    // A depth-first traversal touches every leaf exactly once, so with
+    // any reasonable cache the hit rate is near zero — the reason the
+    // paper's server wants eviction control rather than more caching.
+    let model = BtreeModel {
+        l3_pages: 16,
+        fanout: 32,
+    };
+    let mut pager = Pager::new(64, LruPolicy);
+    for (_, leaves) in model.traversal() {
+        for leaf in leaves {
+            pager.access(leaf);
+        }
+    }
+    let s = pager.stats();
+    assert_eq!(s.faults, model.leaf_pages() as u64);
+    assert_eq!(s.hits, 0);
+    assert_eq!(s.refaults, 0, "single pass never refaults");
+}
+
+#[test]
+fn random_lookups_thrash_but_mru_does_no_better_here() {
+    // Random leaf faults have no locality; policies cannot conjure
+    // hits. This pins the property the break-even analysis relies on:
+    // savings come only from application knowledge (the hot list).
+    let model = BtreeModel::default();
+    let trace = model.random_leaf_faults(2_000, 3);
+    let mut lru = Pager::new(128, LruPolicy);
+    let mut mru = Pager::new(128, MruPolicy);
+    for &p in &trace {
+        lru.access(p);
+        mru.access(p);
+    }
+    let miss_rate = |s: kernsim::vm::PagerStats| s.faults as f64 / trace.len() as f64;
+    assert!(miss_rate(lru.stats()) > 0.95);
+    assert!(miss_rate(mru.stats()) > 0.95);
+}
+
+#[test]
+fn sequential_file_scan_rewards_read_ahead_by_the_disk_models_math() {
+    let disk = DiskModel::default();
+    let blocks = 512u64;
+
+    let mut plain = BufferCache::new(64, LruPolicy, NoReadAhead);
+    let mut ahead = BufferCache::new(64, LruPolicy, SequentialReadAhead { n: 7 });
+    for b in 0..blocks {
+        plain.access(b);
+        ahead.access(b);
+    }
+    // Demand misses translate to disk I/Os; read-ahead batches them.
+    let plain_ios = plain.stats().misses as usize;
+    let ahead_ios = ahead.stats().misses as usize;
+    assert_eq!(plain_ios, blocks as usize);
+    assert!(ahead_ios <= blocks as usize / 8 + 1);
+
+    let plain_time = disk.random_io(1) * plain_ios as u32;
+    let ahead_time = disk.random_io(8) * ahead_ios as u32;
+    assert!(
+        ahead_time < plain_time / 4,
+        "batched {ahead_time:?} vs scattered {plain_time:?}"
+    );
+}
+
+#[test]
+fn hard_fault_model_is_consistent_with_its_parts() {
+    let disk = DiskModel::default();
+    let soft = Duration::from_micros(2);
+    let fault = disk.page_fault(soft, 4096, 1);
+    assert_eq!(fault, soft + disk.random_io(1));
+    // Table 2's break-even denominator: fault time ÷ graft cost.
+    let graft = Duration::from_micros(15);
+    let be = fault.as_secs_f64() / graft.as_secs_f64();
+    assert!((500.0..2_000.0).contains(&be), "break-even {be}");
+}
+
+#[test]
+fn one_in_781_probability_feeds_the_verdict() {
+    // The model app's save rate times the compiled break-even must
+    // clear 1.0 (graft worth it), while an interpreted-script cost must
+    // not — the entire Table 2 conclusion in one inequality.
+    let model = BtreeModel::default();
+    let p_save = model.hot_probability(64);
+    let fault = DiskModel::default().page_fault(Duration::from_micros(3), 4096, 1);
+
+    let compiled_cost = Duration::from_micros(16); // measured order
+    let script_cost = Duration::from_micros(1_300); // measured order
+    let worth = |cost: Duration| fault.as_secs_f64() / cost.as_secs_f64() * p_save;
+    assert!(worth(compiled_cost) > 1.0, "compiled graft pays");
+    assert!(worth(script_cost) < 1.0, "script graft cannot pay");
+}

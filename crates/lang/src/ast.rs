@@ -1,0 +1,262 @@
+//! The Grail surface syntax tree, produced by the parser.
+//!
+//! Names are unresolved strings at this stage; the checker in
+//! [`crate::check`] resolves them and produces the typed HIR.
+
+use crate::Span;
+
+/// A surface type annotation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TypeAst {
+    /// 64-bit wrapping integer.
+    Int,
+    /// Boolean.
+    Bool,
+}
+
+/// A top-level item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// `fn name(params) -> ty { ... }`
+    Function(FunctionAst),
+    /// `var name = expr;` — a module-level mutable integer.
+    Global(GlobalAst),
+    /// `const NAME[len] = { ... };` or `const NAME = expr;`
+    Const(ConstAst),
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionAst {
+    /// Function name.
+    pub name: String,
+    /// Parameter names and types.
+    pub params: Vec<(String, TypeAst)>,
+    /// Declared return type; `None` means the function returns no value.
+    pub ret: Option<TypeAst>,
+    /// Body statements.
+    pub body: Vec<StmtAst>,
+    /// Span of the `fn name` header.
+    pub span: Span,
+}
+
+/// A module-level variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalAst {
+    /// Variable name.
+    pub name: String,
+    /// Optional initializer (must be a constant expression).
+    pub init: Option<ExprAst>,
+    /// Declaration span.
+    pub span: Span,
+}
+
+/// A constant declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstAst {
+    /// Constant name.
+    pub name: String,
+    /// `Some(values)` for a table, `None` for a scalar.
+    pub table: Option<Vec<ExprAst>>,
+    /// Scalar initializer when `table` is `None`.
+    pub scalar: Option<ExprAst>,
+    /// Declared table length, when given as `const N[len]`.
+    pub declared_len: Option<usize>,
+    /// Declaration span.
+    pub span: Span,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtAst {
+    /// `let name: ty = expr;`
+    Let {
+        /// Variable name.
+        name: String,
+        /// Optional annotation.
+        ty: Option<TypeAst>,
+        /// Initializer.
+        init: ExprAst,
+        /// Statement span.
+        span: Span,
+    },
+    /// `name = expr;` — assignment to a local or global.
+    Assign {
+        /// Target name.
+        name: String,
+        /// Value.
+        value: ExprAst,
+        /// Statement span.
+        span: Span,
+    },
+    /// `name[index] = expr;` — store into a region or const table.
+    Store {
+        /// Region name.
+        name: String,
+        /// Index expression.
+        index: ExprAst,
+        /// Value expression.
+        value: ExprAst,
+        /// Statement span.
+        span: Span,
+    },
+    /// `if cond { .. } else { .. }`
+    If {
+        /// Condition.
+        cond: ExprAst,
+        /// Then branch.
+        then_branch: Vec<StmtAst>,
+        /// Else branch (possibly empty).
+        else_branch: Vec<StmtAst>,
+        /// Statement span.
+        span: Span,
+    },
+    /// `while cond { .. }`
+    While {
+        /// Condition.
+        cond: ExprAst,
+        /// Loop body.
+        body: Vec<StmtAst>,
+        /// Statement span.
+        span: Span,
+    },
+    /// `for init; cond; step { .. }` — sugar over `while`.
+    For {
+        /// Loop variable name (declared with `let` semantics).
+        var: String,
+        /// Initial value.
+        init: ExprAst,
+        /// Condition.
+        cond: ExprAst,
+        /// Step expression assigned back to the loop variable.
+        step: ExprAst,
+        /// Loop body.
+        body: Vec<StmtAst>,
+        /// Statement span.
+        span: Span,
+    },
+    /// `break;`
+    Break(Span),
+    /// `continue;`
+    Continue(Span),
+    /// `return expr?;`
+    Return(Option<ExprAst>, Span),
+    /// An expression evaluated for its effect (a call).
+    Expr(ExprAst),
+}
+
+/// A binary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+` (wrapping)
+    Add,
+    /// `-` (wrapping)
+    Sub,
+    /// `*` (wrapping)
+    Mul,
+    /// `/` (traps on zero)
+    Div,
+    /// `%` (traps on zero)
+    Rem,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<` (amount masked to 0..63)
+    Shl,
+    /// `>>` — *logical* shift right (amount masked to 0..63)
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    LogicalAnd,
+    /// `||` (short-circuit)
+    LogicalOr,
+}
+
+/// A unary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation (wrapping).
+    Neg,
+    /// Bitwise complement.
+    BitNot,
+    /// Boolean negation.
+    Not,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprAst {
+    /// Integer literal.
+    Int(i64, Span),
+    /// Boolean literal.
+    Bool(bool, Span),
+    /// A name: local, global, or scalar const.
+    Name(String, Span),
+    /// `name[index]`: region or const-table load.
+    Index {
+        /// Region or table name.
+        name: String,
+        /// Index expression.
+        index: Box<ExprAst>,
+        /// Expression span.
+        span: Span,
+    },
+    /// `name(args)` function call.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<ExprAst>,
+        /// Expression span.
+        span: Span,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<ExprAst>,
+        /// Expression span.
+        span: Span,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<ExprAst>,
+        /// Right operand.
+        rhs: Box<ExprAst>,
+        /// Expression span.
+        span: Span,
+    },
+}
+
+impl ExprAst {
+    /// The source span of this expression.
+    pub fn span(&self) -> Span {
+        match self {
+            ExprAst::Int(_, s)
+            | ExprAst::Bool(_, s)
+            | ExprAst::Name(_, s)
+            | ExprAst::Index { span: s, .. }
+            | ExprAst::Call { span: s, .. }
+            | ExprAst::Unary { span: s, .. }
+            | ExprAst::Binary { span: s, .. } => *s,
+        }
+    }
+}

@@ -1,0 +1,867 @@
+//! Name resolution, type checking, constant folding, and desugaring.
+
+use std::collections::HashMap;
+
+use graft_api::RegionSpec;
+
+use crate::ast::{BinOp, ConstAst, ExprAst, FunctionAst, Item, StmtAst, TypeAst, UnOp};
+use crate::hir::{ops, ConstPool, Expr, Func, Global, Program, RegionRef, Stmt, Ty};
+use crate::{Diagnostic, Span};
+
+/// Checks parsed items against a region ABI, producing HIR.
+pub fn check(items: &[Item], regions: &[RegionSpec]) -> Result<Program, Diagnostic> {
+    Checker::new(regions)?.run(items)
+}
+
+fn ty_of(ast: TypeAst) -> Ty {
+    match ast {
+        TypeAst::Int => Ty::Int,
+        TypeAst::Bool => Ty::Bool,
+    }
+}
+
+/// Signature of a program function, recorded before bodies are checked so
+/// that forward calls resolve.
+struct FuncSig {
+    params: Vec<Ty>,
+    ret: Option<Ty>,
+}
+
+struct Checker<'a> {
+    regions: &'a [RegionSpec],
+    region_index: HashMap<String, u16>,
+    const_scalars: HashMap<String, i64>,
+    const_pools: Vec<ConstPool>,
+    pool_index: HashMap<String, u16>,
+    globals: Vec<Global>,
+    global_index: HashMap<String, usize>,
+    func_sigs: Vec<FuncSig>,
+    func_index: HashMap<String, usize>,
+}
+
+/// Lexical scope for locals inside one function body.
+struct Scope {
+    /// `(name, slot, ty)` triples; later entries shadow earlier ones.
+    vars: Vec<(String, usize, Ty)>,
+    /// Stack of scope start marks.
+    marks: Vec<usize>,
+    /// Next fresh slot.
+    next_slot: usize,
+}
+
+impl Scope {
+    fn new() -> Self {
+        Scope {
+            vars: Vec::new(),
+            marks: Vec::new(),
+            next_slot: 0,
+        }
+    }
+
+    fn push(&mut self) {
+        self.marks.push(self.vars.len());
+    }
+
+    fn pop(&mut self) {
+        let mark = self.marks.pop().expect("scope underflow");
+        self.vars.truncate(mark);
+    }
+
+    fn declare(&mut self, name: &str, ty: Ty) -> usize {
+        let slot = self.next_slot;
+        self.next_slot += 1;
+        self.vars.push((name.to_string(), slot, ty));
+        slot
+    }
+
+    fn lookup(&self, name: &str) -> Option<(usize, Ty)> {
+        self.vars
+            .iter()
+            .rev()
+            .find(|(n, _, _)| n == name)
+            .map(|&(_, slot, ty)| (slot, ty))
+    }
+}
+
+impl<'a> Checker<'a> {
+    fn new(regions: &'a [RegionSpec]) -> Result<Self, Diagnostic> {
+        let mut region_index = HashMap::new();
+        for (i, spec) in regions.iter().enumerate() {
+            if region_index.insert(spec.name.clone(), i as u16).is_some() {
+                return Err(Diagnostic::new(
+                    format!("duplicate region `{}` in ABI", spec.name),
+                    Span::default(),
+                ));
+            }
+        }
+        Ok(Checker {
+            regions,
+            region_index,
+            const_scalars: HashMap::new(),
+            const_pools: Vec::new(),
+            pool_index: HashMap::new(),
+            globals: Vec::new(),
+            global_index: HashMap::new(),
+            func_sigs: Vec::new(),
+            func_index: HashMap::new(),
+        })
+    }
+
+    fn run(mut self, items: &[Item]) -> Result<Program, Diagnostic> {
+        // Pass 1: consts and globals, in order (consts may reference
+        // earlier consts).
+        for item in items {
+            match item {
+                Item::Const(c) => self.declare_const(c)?,
+                Item::Global(g) => {
+                    self.check_unique(&g.name, g.span)?;
+                    let init = match &g.init {
+                        Some(e) => self.const_eval(e)?,
+                        None => 0,
+                    };
+                    self.global_index.insert(g.name.clone(), self.globals.len());
+                    self.globals.push(Global {
+                        name: g.name.clone(),
+                        init,
+                    });
+                }
+                Item::Function(_) => {}
+            }
+        }
+        // Pass 2: function signatures.
+        let mut fn_asts: Vec<&FunctionAst> = Vec::new();
+        for item in items {
+            if let Item::Function(f) = item {
+                self.check_unique(&f.name, f.span)?;
+                if f.name == "abort" {
+                    return Err(Diagnostic::new(
+                        "`abort` is a builtin and cannot be redefined",
+                        f.span,
+                    ));
+                }
+                self.func_index.insert(f.name.clone(), self.func_sigs.len());
+                self.func_sigs.push(FuncSig {
+                    params: f.params.iter().map(|(_, t)| ty_of(*t)).collect(),
+                    ret: f.ret.map(ty_of),
+                });
+                fn_asts.push(f);
+            }
+        }
+        // Pass 3: bodies.
+        let mut funcs = Vec::new();
+        for f in fn_asts {
+            funcs.push(self.check_function(f)?);
+        }
+        Ok(Program {
+            funcs,
+            globals: self.globals,
+            const_pools: self.const_pools,
+            regions: self.regions.to_vec(),
+            func_index: self.func_index,
+        })
+    }
+
+    /// Rejects reuse of a name across the module-level namespaces.
+    fn check_unique(&self, name: &str, span: Span) -> Result<(), Diagnostic> {
+        let taken = self.region_index.contains_key(name)
+            || self.const_scalars.contains_key(name)
+            || self.pool_index.contains_key(name)
+            || self.global_index.contains_key(name)
+            || self.func_index.contains_key(name);
+        if taken {
+            Err(Diagnostic::new(
+                format!("name `{name}` is already defined"),
+                span,
+            ))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn declare_const(&mut self, c: &ConstAst) -> Result<(), Diagnostic> {
+        self.check_unique(&c.name, c.span)?;
+        if let Some(values) = &c.table {
+            let folded: Vec<i64> = values
+                .iter()
+                .map(|e| self.const_eval(e))
+                .collect::<Result<_, _>>()?;
+            if let Some(decl) = c.declared_len {
+                if decl != folded.len() {
+                    return Err(Diagnostic::new(
+                        format!(
+                            "const table `{}` declares {decl} elements but initializes {}",
+                            c.name,
+                            folded.len()
+                        ),
+                        c.span,
+                    ));
+                }
+            }
+            if folded.is_empty() {
+                return Err(Diagnostic::new(
+                    format!("const table `{}` must not be empty", c.name),
+                    c.span,
+                ));
+            }
+            self.pool_index
+                .insert(c.name.clone(), self.const_pools.len() as u16);
+            self.const_pools.push(ConstPool {
+                name: c.name.clone(),
+                values: folded,
+            });
+        } else {
+            let value = self.const_eval(c.scalar.as_ref().expect("scalar const has value"))?;
+            self.const_scalars.insert(c.name.clone(), value);
+        }
+        Ok(())
+    }
+
+    /// Evaluates a constant expression (literals, earlier scalar consts,
+    /// arithmetic).
+    fn const_eval(&self, e: &ExprAst) -> Result<i64, Diagnostic> {
+        match e {
+            ExprAst::Int(v, _) => Ok(*v),
+            ExprAst::Bool(b, _) => Ok(*b as i64),
+            ExprAst::Name(name, span) => {
+                self.const_scalars.get(name).copied().ok_or_else(|| {
+                    Diagnostic::new(
+                        format!("`{name}` is not a constant known at this point"),
+                        *span,
+                    )
+                })
+            }
+            ExprAst::Unary { op, expr, .. } => Ok(ops::unary(*op, self.const_eval(expr)?)),
+            ExprAst::Binary { op, lhs, rhs, span } => {
+                let a = self.const_eval(lhs)?;
+                let b = self.const_eval(rhs)?;
+                ops::binary(*op, a, b)
+                    .ok_or_else(|| Diagnostic::new("division by zero in constant", *span))
+            }
+            other => Err(Diagnostic::new(
+                "expression is not constant",
+                other.span(),
+            )),
+        }
+    }
+
+    fn check_function(&self, f: &FunctionAst) -> Result<Func, Diagnostic> {
+        let mut scope = Scope::new();
+        scope.push();
+        for (name, ty) in &f.params {
+            if scope.lookup(name).is_some() {
+                return Err(Diagnostic::new(
+                    format!("duplicate parameter `{name}`"),
+                    f.span,
+                ));
+            }
+            scope.declare(name, ty_of(*ty));
+        }
+        let ret = f.ret.map(ty_of);
+        let mut ctx = FnCtx {
+            checker: self,
+            scope,
+            ret,
+            loop_depth: 0,
+        };
+        let body = ctx.block(&f.body)?;
+        if ret.is_some() && !always_returns(&body) {
+            return Err(Diagnostic::new(
+                format!(
+                    "function `{}` declares a return type but may fall off the end",
+                    f.name
+                ),
+                f.span,
+            ));
+        }
+        Ok(Func {
+            name: f.name.clone(),
+            params: f
+                .params
+                .iter()
+                .map(|(n, t)| (n.clone(), ty_of(*t)))
+                .collect(),
+            ret,
+            frame_size: ctx.scope.next_slot,
+            body,
+        })
+    }
+}
+
+/// Conservative all-paths-return analysis (the Java rule): a statement
+/// list returns if any statement definitely returns; `if` returns when
+/// both branches do; loops never count.
+fn always_returns(stmts: &[Stmt]) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::Return(_) => true,
+        Stmt::Expr(Expr::Abort { .. }) => true,
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => always_returns(then_branch) && always_returns(else_branch),
+        _ => false,
+    })
+}
+
+struct FnCtx<'a, 'b> {
+    checker: &'b Checker<'a>,
+    scope: Scope,
+    ret: Option<Ty>,
+    loop_depth: usize,
+}
+
+impl FnCtx<'_, '_> {
+    fn block(&mut self, stmts: &[StmtAst]) -> Result<Vec<Stmt>, Diagnostic> {
+        self.scope.push();
+        let out = stmts.iter().map(|s| self.stmt(s)).collect();
+        self.scope.pop();
+        out
+    }
+
+    fn stmt(&mut self, s: &StmtAst) -> Result<Stmt, Diagnostic> {
+        match s {
+            StmtAst::Let { name, ty, init, span } => {
+                let (init, init_ty) = self.expr(init)?;
+                if let Some(decl) = ty {
+                    let decl = ty_of(*decl);
+                    if decl != init_ty {
+                        return Err(Diagnostic::new(
+                            format!("`let {name}: {decl}` initialized with {init_ty}"),
+                            *span,
+                        ));
+                    }
+                }
+                let slot = self.scope.declare(name, init_ty);
+                Ok(Stmt::Let { slot, init })
+            }
+            StmtAst::Assign { name, value, span } => {
+                let (value, vty) = self.expr(value)?;
+                if let Some((slot, ty)) = self.scope.lookup(name) {
+                    if ty != vty {
+                        return Err(Diagnostic::new(
+                            format!("cannot assign {vty} to `{name}: {ty}`"),
+                            *span,
+                        ));
+                    }
+                    Ok(Stmt::AssignLocal { slot, value })
+                } else if let Some(&index) = self.checker.global_index.get(name) {
+                    if vty != Ty::Int {
+                        return Err(Diagnostic::new(
+                            format!("global `{name}` holds int, cannot assign {vty}"),
+                            *span,
+                        ));
+                    }
+                    Ok(Stmt::AssignGlobal { index, value })
+                } else {
+                    Err(Diagnostic::new(
+                        format!("cannot assign to unknown variable `{name}`"),
+                        *span,
+                    ))
+                }
+            }
+            StmtAst::Store {
+                name,
+                index,
+                value,
+                span,
+            } => {
+                let region = self.resolve_region(name, *span)?;
+                match region {
+                    RegionRef::Pool(_) => {
+                        return Err(Diagnostic::new(
+                            format!("cannot store into constant table `{name}`"),
+                            *span,
+                        ))
+                    }
+                    RegionRef::Shared(idx) => {
+                        if !self.checker.regions[idx as usize].writable {
+                            return Err(Diagnostic::new(
+                                format!("region `{name}` is read-only"),
+                                *span,
+                            ));
+                        }
+                    }
+                }
+                let (index, ity) = self.expr(index)?;
+                let (value, vty) = self.expr(value)?;
+                self.require(ity, Ty::Int, "region index", *span)?;
+                self.require(vty, Ty::Int, "stored value", *span)?;
+                Ok(Stmt::Store {
+                    region,
+                    index,
+                    value,
+                })
+            }
+            StmtAst::If {
+                cond,
+                then_branch,
+                else_branch,
+                span,
+            } => {
+                let (cond, cty) = self.expr(cond)?;
+                self.require(cty, Ty::Bool, "`if` condition", *span)?;
+                Ok(Stmt::If {
+                    cond,
+                    then_branch: self.block(then_branch)?,
+                    else_branch: self.block(else_branch)?,
+                })
+            }
+            StmtAst::While { cond, body, span } => {
+                let (cond, cty) = self.expr(cond)?;
+                self.require(cty, Ty::Bool, "`while` condition", *span)?;
+                self.loop_depth += 1;
+                let body = self.block(body)?;
+                self.loop_depth -= 1;
+                Ok(Stmt::While { cond, body })
+            }
+            StmtAst::For {
+                var,
+                init,
+                cond,
+                step,
+                body,
+                span,
+            } => {
+                // Desugar: { let var = init; while cond { body; var = step; } }
+                self.scope.push();
+                let (init, ity) = self.expr(init)?;
+                self.require(ity, Ty::Int, "`for` initializer", *span)?;
+                let slot = self.scope.declare(var, Ty::Int);
+                let (cond, cty) = self.expr(cond)?;
+                self.require(cty, Ty::Bool, "`for` condition", *span)?;
+                let (step, sty) = self.expr(step)?;
+                self.require(sty, Ty::Int, "`for` step", *span)?;
+                self.loop_depth += 1;
+                let mut while_body = self.block(body)?;
+                self.loop_depth -= 1;
+                self.scope.pop();
+                while_body.push(Stmt::AssignLocal { slot, value: step });
+                let desugared = Stmt::While {
+                    cond,
+                    body: while_body,
+                };
+                Ok(Stmt::If {
+                    cond: Expr::Int(1),
+                    then_branch: vec![Stmt::Let { slot, init }, desugared],
+                    else_branch: Vec::new(),
+                })
+            }
+            StmtAst::Break(span) => {
+                if self.loop_depth == 0 {
+                    return Err(Diagnostic::new("`break` outside of a loop", *span));
+                }
+                Ok(Stmt::Break)
+            }
+            StmtAst::Continue(span) => {
+                if self.loop_depth == 0 {
+                    return Err(Diagnostic::new("`continue` outside of a loop", *span));
+                }
+                Ok(Stmt::Continue)
+            }
+            StmtAst::Return(value, span) => match (self.ret, value) {
+                (None, None) => Ok(Stmt::Return(None)),
+                (None, Some(v)) => Err(Diagnostic::new(
+                    "cannot return a value from a function with no return type",
+                    v.span(),
+                )),
+                (Some(want), Some(v)) => {
+                    let (v, vty) = self.expr(v)?;
+                    if vty != want {
+                        return Err(Diagnostic::new(
+                            format!("return type mismatch: expected {want}, found {vty}"),
+                            *span,
+                        ));
+                    }
+                    Ok(Stmt::Return(Some(v)))
+                }
+                (Some(want), None) => Err(Diagnostic::new(
+                    format!("function must return a value of type {want}"),
+                    *span,
+                )),
+            },
+            StmtAst::Expr(e) => {
+                let span = e.span();
+                if !matches!(e, ExprAst::Call { .. }) {
+                    return Err(Diagnostic::new(
+                        "only calls may be used as statements",
+                        span,
+                    ));
+                }
+                let (e, _) = self.expr(e)?;
+                Ok(Stmt::Expr(e))
+            }
+        }
+    }
+
+    fn require(&self, got: Ty, want: Ty, what: &str, span: Span) -> Result<(), Diagnostic> {
+        if got == want {
+            Ok(())
+        } else {
+            Err(Diagnostic::new(
+                format!("{what} must be {want}, found {got}"),
+                span,
+            ))
+        }
+    }
+
+    fn resolve_region(&self, name: &str, span: Span) -> Result<RegionRef, Diagnostic> {
+        if let Some(&idx) = self.checker.region_index.get(name) {
+            Ok(RegionRef::Shared(idx))
+        } else if let Some(&idx) = self.checker.pool_index.get(name) {
+            Ok(RegionRef::Pool(idx))
+        } else {
+            Err(Diagnostic::new(
+                format!("`{name}` is not a region or constant table"),
+                span,
+            ))
+        }
+    }
+
+    fn expr(&mut self, e: &ExprAst) -> Result<(Expr, Ty), Diagnostic> {
+        match e {
+            ExprAst::Int(v, _) => Ok((Expr::Int(*v), Ty::Int)),
+            ExprAst::Bool(b, _) => Ok((Expr::Int(*b as i64), Ty::Bool)),
+            ExprAst::Name(name, span) => {
+                if let Some((slot, ty)) = self.scope.lookup(name) {
+                    Ok((Expr::Local(slot), ty))
+                } else if let Some(&index) = self.checker.global_index.get(name) {
+                    Ok((Expr::Global(index), Ty::Int))
+                } else if let Some(&v) = self.checker.const_scalars.get(name) {
+                    Ok((Expr::Int(v), Ty::Int))
+                } else {
+                    Err(Diagnostic::new(
+                        format!("unknown variable `{name}`"),
+                        *span,
+                    ))
+                }
+            }
+            ExprAst::Index { name, index, span } => {
+                let region = self.resolve_region(name, *span)?;
+                let (index, ity) = self.expr(index)?;
+                self.require(ity, Ty::Int, "index", *span)?;
+                Ok((
+                    Expr::Load {
+                        region,
+                        index: Box::new(index),
+                    },
+                    Ty::Int,
+                ))
+            }
+            ExprAst::Call { name, args, span } => {
+                if name == "abort" {
+                    if args.len() != 1 {
+                        return Err(Diagnostic::new("`abort` takes one argument", *span));
+                    }
+                    let (code, cty) = self.expr(&args[0])?;
+                    self.require(cty, Ty::Int, "abort code", *span)?;
+                    return Ok((
+                        Expr::Abort {
+                            code: Box::new(code),
+                        },
+                        Ty::Int,
+                    ));
+                }
+                let Some(&func) = self.checker.func_index.get(name) else {
+                    return Err(Diagnostic::new(
+                        format!("unknown function `{name}`"),
+                        *span,
+                    ));
+                };
+                let sig = &self.checker.func_sigs[func];
+                if sig.params.len() != args.len() {
+                    return Err(Diagnostic::new(
+                        format!(
+                            "`{name}` expects {} arguments, found {}",
+                            sig.params.len(),
+                            args.len()
+                        ),
+                        *span,
+                    ));
+                }
+                let mut checked = Vec::with_capacity(args.len());
+                for (arg, want) in args.iter().zip(&sig.params) {
+                    let (a, ty) = self.expr(arg)?;
+                    if ty != *want {
+                        return Err(Diagnostic::new(
+                            format!("argument type mismatch: expected {want}, found {ty}"),
+                            arg.span(),
+                        ));
+                    }
+                    checked.push(a);
+                }
+                let ret = sig.ret.unwrap_or(Ty::Int);
+                Ok((Expr::Call { func, args: checked }, ret))
+            }
+            ExprAst::Unary { op, expr, span } => {
+                let (inner, ty) = self.expr(expr)?;
+                let out = match op {
+                    UnOp::Neg | UnOp::BitNot => {
+                        self.require(ty, Ty::Int, "operand", *span)?;
+                        Ty::Int
+                    }
+                    UnOp::Not => {
+                        self.require(ty, Ty::Bool, "operand of `!`", *span)?;
+                        Ty::Bool
+                    }
+                };
+                Ok((
+                    Expr::Unary {
+                        op: *op,
+                        expr: Box::new(inner),
+                    },
+                    out,
+                ))
+            }
+            ExprAst::Binary { op, lhs, rhs, span } => {
+                let (l, lt) = self.expr(lhs)?;
+                let (r, rt) = self.expr(rhs)?;
+                let out = match op {
+                    BinOp::Add
+                    | BinOp::Sub
+                    | BinOp::Mul
+                    | BinOp::Div
+                    | BinOp::Rem
+                    | BinOp::And
+                    | BinOp::Or
+                    | BinOp::Xor
+                    | BinOp::Shl
+                    | BinOp::Shr => {
+                        self.require(lt, Ty::Int, "left operand", *span)?;
+                        self.require(rt, Ty::Int, "right operand", *span)?;
+                        Ty::Int
+                    }
+                    BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                        self.require(lt, Ty::Int, "left operand", *span)?;
+                        self.require(rt, Ty::Int, "right operand", *span)?;
+                        Ty::Bool
+                    }
+                    BinOp::Eq | BinOp::Ne => {
+                        if lt != rt {
+                            return Err(Diagnostic::new(
+                                format!("cannot compare {lt} with {rt}"),
+                                *span,
+                            ));
+                        }
+                        Ty::Bool
+                    }
+                    BinOp::LogicalAnd | BinOp::LogicalOr => {
+                        self.require(lt, Ty::Bool, "left operand", *span)?;
+                        self.require(rt, Ty::Bool, "right operand", *span)?;
+                        Ty::Bool
+                    }
+                };
+                Ok((
+                    Expr::Binary {
+                        op: *op,
+                        lhs: Box::new(l),
+                        rhs: Box::new(r),
+                    },
+                    out,
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+    use graft_api::RegionSpec;
+
+    fn regions() -> Vec<RegionSpec> {
+        vec![
+            RegionSpec::data("buf", 16),
+            RegionSpec::read_only("input", 8),
+        ]
+    }
+
+    fn ok(src: &str) -> Program {
+        compile(src, &regions()).unwrap()
+    }
+
+    fn err(src: &str) -> String {
+        compile(src, &regions()).unwrap_err().to_string()
+    }
+
+    #[test]
+    fn resolves_params_and_locals_to_slots() {
+        let p = ok("fn f(a: int, b: int) -> int { let c = a + b; return c; }");
+        let f = &p.funcs[0];
+        assert_eq!(f.frame_size, 3);
+        assert_eq!(f.body[0], Stmt::Let {
+            slot: 2,
+            init: Expr::Binary {
+                op: BinOp::Add,
+                lhs: Box::new(Expr::Local(0)),
+                rhs: Box::new(Expr::Local(1)),
+            }
+        });
+    }
+
+    #[test]
+    fn shadowing_gets_fresh_slots() {
+        let p = ok("fn f() -> int { let x = 1; if x == 1 { let x = 2; buf[0] = x; } return x; }");
+        let f = &p.funcs[0];
+        assert_eq!(f.frame_size, 2);
+        // The outer `return x` must reference slot 0.
+        assert_eq!(*f.body.last().unwrap(), Stmt::Return(Some(Expr::Local(0))));
+    }
+
+    #[test]
+    fn inner_scope_names_do_not_leak() {
+        let msg = err("fn f() { if true { let y = 1; buf[0] = y; } buf[1] = y; }");
+        assert!(msg.contains("unknown variable `y`"));
+    }
+
+    #[test]
+    fn scalar_consts_fold_into_literals() {
+        let p = ok("const N = 4 * 16; fn f() -> int { return N; }");
+        assert_eq!(p.funcs[0].body[0], Stmt::Return(Some(Expr::Int(64))));
+    }
+
+    #[test]
+    fn const_tables_become_pools() {
+        let p = ok("const K[3] = { 1, 1 + 1, 9 / 3 }; fn f() -> int { return K[0]; }");
+        assert_eq!(p.const_pools[0].values, vec![1, 2, 3]);
+        let Stmt::Return(Some(Expr::Load { region, .. })) = &p.funcs[0].body[0] else {
+            panic!()
+        };
+        assert_eq!(*region, RegionRef::Pool(0));
+    }
+
+    #[test]
+    fn const_table_length_mismatch_is_rejected() {
+        let msg = err("const K[2] = { 1, 2, 3 };");
+        assert!(msg.contains("declares 2"));
+    }
+
+    #[test]
+    fn globals_resolve_and_initialize() {
+        let p = ok("var hits = 7; fn bump() { hits = hits + 1; }");
+        assert_eq!(p.globals[0].init, 7);
+        assert!(matches!(
+            p.funcs[0].body[0],
+            Stmt::AssignGlobal { index: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn region_names_resolve_by_declaration_order() {
+        let p = ok("fn f() -> int { return buf[0] + input[1]; }");
+        let Stmt::Return(Some(Expr::Binary { lhs, rhs, .. })) = &p.funcs[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(**lhs, Expr::Load { region: RegionRef::Shared(0), .. }));
+        assert!(matches!(**rhs, Expr::Load { region: RegionRef::Shared(1), .. }));
+    }
+
+    #[test]
+    fn store_to_read_only_region_is_rejected() {
+        let msg = err("fn f() { input[0] = 1; }");
+        assert!(msg.contains("read-only"));
+    }
+
+    #[test]
+    fn store_to_const_table_is_rejected() {
+        let msg = err("const K[1] = { 5 }; fn f() { K[0] = 1; }");
+        assert!(msg.contains("constant table"));
+    }
+
+    #[test]
+    fn condition_must_be_bool() {
+        let msg = err("fn f() { if 1 { } }");
+        assert!(msg.contains("must be bool"));
+    }
+
+    #[test]
+    fn arithmetic_on_bool_is_rejected() {
+        let msg = err("fn f() -> int { return true + 1; }");
+        assert!(msg.contains("must be int"));
+    }
+
+    #[test]
+    fn eq_requires_same_types() {
+        let msg = err("fn f() -> bool { return true == 1; }");
+        assert!(msg.contains("cannot compare"));
+    }
+
+    #[test]
+    fn call_arity_and_types_checked() {
+        let msg = err("fn g(a: int) {} fn f() { g(); }");
+        assert!(msg.contains("expects 1 arguments"));
+        let msg = err("fn g(a: bool) {} fn f() { g(3); }");
+        assert!(msg.contains("argument type mismatch"));
+    }
+
+    #[test]
+    fn forward_calls_resolve() {
+        let p = ok("fn f() -> int { return g(); } fn g() -> int { return 1; }");
+        assert!(matches!(
+            p.funcs[0].body[0],
+            Stmt::Return(Some(Expr::Call { func: 1, .. }))
+        ));
+    }
+
+    #[test]
+    fn missing_return_is_rejected() {
+        let msg = err("fn f(x: int) -> int { if x > 0 { return 1; } }");
+        assert!(msg.contains("fall off the end"));
+    }
+
+    #[test]
+    fn both_branches_returning_is_accepted() {
+        ok("fn f(x: int) -> int { if x > 0 { return 1; } else { return 2; } }");
+    }
+
+    #[test]
+    fn abort_counts_as_returning() {
+        ok("fn f(x: int) -> int { if x > 0 { return 1; } abort(9); }");
+    }
+
+    #[test]
+    fn break_outside_loop_is_rejected() {
+        let msg = err("fn f() { break; }");
+        assert!(msg.contains("outside of a loop"));
+    }
+
+    #[test]
+    fn for_loop_desugars_to_while() {
+        let p = ok("fn f() -> int { let s = 0; for i = 0; i < 4; i = i + 1 { s = s + i; } return s; }");
+        // The desugaring wraps the loop in an `if true` block carrying the
+        // loop variable's scope.
+        let Stmt::If { then_branch, .. } = &p.funcs[0].body[1] else {
+            panic!("expected desugared for");
+        };
+        assert!(matches!(then_branch[1], Stmt::While { .. }));
+    }
+
+    #[test]
+    fn duplicate_names_across_namespaces_are_rejected() {
+        let msg = err("var buf = 0;");
+        assert!(msg.contains("already defined"));
+        let msg = err("const f = 1; fn f() {}");
+        assert!(msg.contains("already defined"));
+    }
+
+    #[test]
+    fn abort_cannot_be_redefined() {
+        let msg = err("fn abort(x: int) {}");
+        assert!(msg.contains("builtin"));
+    }
+
+    #[test]
+    fn non_call_expression_statement_is_rejected() {
+        // Parser already rejects bare loads; a name is caught here.
+        let msg = err("fn f() { let x = 1; x; }");
+        assert!(msg.contains("expected") || msg.contains("statement"));
+    }
+
+    #[test]
+    fn void_function_returns_are_checked() {
+        let msg = err("fn f() { return 3; }");
+        assert!(msg.contains("no return type"));
+        let msg = err("fn f() -> int { return; }");
+        assert!(msg.contains("must return a value"));
+    }
+}

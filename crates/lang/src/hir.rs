@@ -1,0 +1,310 @@
+//! The resolved, typed high-level IR produced by the checker.
+//!
+//! All names are resolved to indexes (local slots, global indexes, region
+//! ids, function ids), `for` loops are desugared to `while`, scalar
+//! constants are folded, and booleans are erased to 0/1 integers. This is
+//! the common input to both the register-IR lowering (`graft-ir`, used by
+//! the compiled technologies) and the stack-bytecode compiler
+//! (`engine-bytecode`, the Java analogue).
+
+pub use crate::ast::{BinOp, UnOp};
+use graft_api::RegionSpec;
+use std::collections::HashMap;
+
+/// A Grail type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ty {
+    /// 64-bit wrapping integer.
+    Int,
+    /// Boolean (erased to 0/1 at runtime).
+    Bool,
+}
+
+impl std::fmt::Display for Ty {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Ty::Int => "int",
+            Ty::Bool => "bool",
+        })
+    }
+}
+
+/// A checked program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// All functions, in declaration order.
+    pub funcs: Vec<Func>,
+    /// Module-level variables with their initial values.
+    pub globals: Vec<Global>,
+    /// Constant tables (`const K[n] = {..}`), folded to values.
+    pub const_pools: Vec<ConstPool>,
+    /// The shared-region ABI the program was compiled against.
+    pub regions: Vec<RegionSpec>,
+    /// Function name → index into [`Program::funcs`].
+    pub func_index: HashMap<String, usize>,
+}
+
+impl Program {
+    /// Looks up a function by name.
+    pub fn func(&self, name: &str) -> Option<&Func> {
+        self.func_index.get(name).map(|&i| &self.funcs[i])
+    }
+}
+
+/// A module-level variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Global {
+    /// Variable name.
+    pub name: String,
+    /// Initial value (constant-folded).
+    pub init: i64,
+}
+
+/// A folded constant table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstPool {
+    /// Table name.
+    pub name: String,
+    /// Table contents.
+    pub values: Vec<i64>,
+}
+
+/// A checked function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Func {
+    /// Function name.
+    pub name: String,
+    /// Parameter names and types; parameters occupy local slots
+    /// `0..params.len()`.
+    pub params: Vec<(String, Ty)>,
+    /// Return type; `None` means the function returns no value (callers
+    /// observe 0).
+    pub ret: Option<Ty>,
+    /// Total number of local slots (parameters plus `let` bindings).
+    pub frame_size: usize,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// Where an indexed load/store goes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionRef {
+    /// A kernel-shared region, by declaration order.
+    Shared(u16),
+    /// A read-only constant table embedded in the module.
+    Pool(u16),
+}
+
+/// A checked statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Bind local slot `slot` to the value of `init`.
+    Let {
+        /// Destination slot.
+        slot: usize,
+        /// Initializer.
+        init: Expr,
+    },
+    /// Assign to a local slot.
+    AssignLocal {
+        /// Destination slot.
+        slot: usize,
+        /// Value.
+        value: Expr,
+    },
+    /// Assign to a global.
+    AssignGlobal {
+        /// Global index.
+        index: usize,
+        /// Value.
+        value: Expr,
+    },
+    /// Store into a shared region (stores into pools are rejected at
+    /// check time).
+    Store {
+        /// Target region.
+        region: RegionRef,
+        /// Index expression.
+        index: Expr,
+        /// Value expression.
+        value: Expr,
+    },
+    /// Two-way conditional.
+    If {
+        /// Condition (boolean).
+        cond: Expr,
+        /// Then branch.
+        then_branch: Vec<Stmt>,
+        /// Else branch.
+        else_branch: Vec<Stmt>,
+    },
+    /// Loop while `cond` holds.
+    While {
+        /// Condition (boolean).
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// Exit the innermost loop.
+    Break,
+    /// Restart the innermost loop.
+    Continue,
+    /// Return from the function.
+    Return(Option<Expr>),
+    /// Evaluate for effect.
+    Expr(Expr),
+}
+
+/// A checked expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer (or erased boolean) literal.
+    Int(i64),
+    /// Read a local slot.
+    Local(usize),
+    /// Read a global.
+    Global(usize),
+    /// Indexed load from a region or constant pool.
+    Load {
+        /// Source region.
+        region: RegionRef,
+        /// Index expression.
+        index: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operation (`LogicalAnd`/`LogicalOr` short-circuit).
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Call a program function by index.
+    Call {
+        /// Callee index into [`Program::funcs`].
+        func: usize,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// The `abort(code)` builtin: raises [`graft_api::Trap::Abort`].
+    Abort {
+        /// Abort code.
+        code: Box<Expr>,
+    },
+}
+
+/// Evaluation helpers shared by engines: the defined semantics of Grail's
+/// operators on two's-complement 64-bit integers.
+pub mod ops {
+    use super::{BinOp, UnOp};
+
+    /// Applies a non-short-circuit binary operator.
+    ///
+    /// Returns `None` for division or remainder by zero (the caller
+    /// raises [`graft_api::Trap::DivByZero`]). Comparison and logical
+    /// results are 0/1. Shift amounts are masked to `0..=63`. `>>` is a
+    /// logical (unsigned) shift, the natural choice for the bit-twiddling
+    /// grafts the paper studies.
+    #[inline]
+    pub fn binary(op: BinOp, a: i64, b: i64) -> Option<i64> {
+        Some(match op {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::Div => {
+                if b == 0 {
+                    return None;
+                }
+                a.wrapping_div(b)
+            }
+            BinOp::Rem => {
+                if b == 0 {
+                    return None;
+                }
+                a.wrapping_rem(b)
+            }
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Shl => a.wrapping_shl(b as u32 & 63),
+            BinOp::Shr => ((a as u64).wrapping_shr(b as u32 & 63)) as i64,
+            BinOp::Eq => (a == b) as i64,
+            BinOp::Ne => (a != b) as i64,
+            BinOp::Lt => (a < b) as i64,
+            BinOp::Le => (a <= b) as i64,
+            BinOp::Gt => (a > b) as i64,
+            BinOp::Ge => (a >= b) as i64,
+            // Short-circuit forms are handled structurally by engines;
+            // when both sides are already evaluated this is the result.
+            BinOp::LogicalAnd => ((a != 0) && (b != 0)) as i64,
+            BinOp::LogicalOr => ((a != 0) || (b != 0)) as i64,
+        })
+    }
+
+    /// Applies a unary operator.
+    #[inline]
+    pub fn unary(op: UnOp, v: i64) -> i64 {
+        match op {
+            UnOp::Neg => v.wrapping_neg(),
+            UnOp::BitNot => !v,
+            UnOp::Not => (v == 0) as i64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ops::{binary, unary};
+    use super::*;
+
+    #[test]
+    fn arithmetic_wraps() {
+        assert_eq!(binary(BinOp::Add, i64::MAX, 1), Some(i64::MIN));
+        assert_eq!(binary(BinOp::Mul, i64::MAX, 2), Some(-2));
+        assert_eq!(unary(UnOp::Neg, i64::MIN), i64::MIN);
+    }
+
+    #[test]
+    fn division_by_zero_is_none() {
+        assert_eq!(binary(BinOp::Div, 1, 0), None);
+        assert_eq!(binary(BinOp::Rem, 1, 0), None);
+        assert_eq!(binary(BinOp::Div, 7, 2), Some(3));
+    }
+
+    #[test]
+    fn shift_amounts_are_masked() {
+        assert_eq!(binary(BinOp::Shl, 1, 64), Some(1));
+        assert_eq!(binary(BinOp::Shl, 1, 65), Some(2));
+        assert_eq!(binary(BinOp::Shr, -1, 32), Some(0xFFFF_FFFF));
+    }
+
+    #[test]
+    fn shr_is_logical() {
+        assert_eq!(binary(BinOp::Shr, -1, 63), Some(1));
+        assert_eq!(binary(BinOp::Shr, i64::MIN, 1), Some(1 << 62));
+    }
+
+    #[test]
+    fn comparisons_yield_zero_one() {
+        assert_eq!(binary(BinOp::Lt, 1, 2), Some(1));
+        assert_eq!(binary(BinOp::Ge, 1, 2), Some(0));
+        assert_eq!(unary(UnOp::Not, 0), 1);
+        assert_eq!(unary(UnOp::Not, 5), 0);
+    }
+
+    #[test]
+    fn md5_style_32bit_masking_works() {
+        // (0xFFFFFFFF + 1) & 0xFFFFFFFF == 0 — the Alpha Word-package
+        // idiom the paper discusses, expressible in 64-bit Grail.
+        let sum = binary(BinOp::Add, 0xFFFF_FFFF, 1).unwrap();
+        assert_eq!(binary(BinOp::And, sum, 0xFFFF_FFFF), Some(0));
+    }
+}

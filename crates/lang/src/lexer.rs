@@ -1,0 +1,263 @@
+//! The Grail lexer.
+
+use crate::token::{keyword, Token, TokenKind};
+use crate::{Diagnostic, Span};
+
+/// Tokenizes Grail source, including a trailing [`TokenKind::Eof`].
+///
+/// Comments (`// ...` and `/* ... */`) and whitespace are skipped.
+/// Integer literals may be decimal or `0x` hexadecimal; values up to
+/// `u64::MAX` are accepted and reinterpreted as two's-complement `i64`
+/// (so `0xFFFFFFFFFFFFFFFF` lexes to `-1`), matching the language's
+/// wrapping arithmetic.
+pub fn lex(source: &str) -> Result<Vec<Token>, Diagnostic> {
+    Lexer {
+        src: source.as_bytes(),
+        pos: 0,
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Result<Vec<Token>, Diagnostic> {
+        let mut tokens = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let start = self.pos;
+            let Some(&c) = self.src.get(self.pos) else {
+                tokens.push(Token::new(TokenKind::Eof, Span::new(start, start)));
+                return Ok(tokens);
+            };
+            let kind = match c {
+                b'0'..=b'9' => self.number()?,
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident(),
+                _ => self.operator()?,
+            };
+            tokens.push(Token::new(kind, Span::new(start, self.pos)));
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), Diagnostic> {
+        loop {
+            match self.src.get(self.pos) {
+                Some(c) if c.is_ascii_whitespace() => self.pos += 1,
+                Some(b'/') if self.src.get(self.pos + 1) == Some(&b'/') => {
+                    while let Some(&c) = self.src.get(self.pos) {
+                        self.pos += 1;
+                        if c == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                Some(b'/') if self.src.get(self.pos + 1) == Some(&b'*') => {
+                    let open = self.pos;
+                    self.pos += 2;
+                    loop {
+                        match (self.src.get(self.pos), self.src.get(self.pos + 1)) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.pos += 2;
+                                break;
+                            }
+                            (Some(_), _) => self.pos += 1,
+                            (None, _) => {
+                                return Err(Diagnostic::new(
+                                    "unterminated block comment",
+                                    Span::new(open, open + 2),
+                                ))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<TokenKind, Diagnostic> {
+        let start = self.pos;
+        let hex = self.src.get(self.pos) == Some(&b'0')
+            && matches!(self.src.get(self.pos + 1), Some(b'x') | Some(b'X'));
+        if hex {
+            self.pos += 2;
+        }
+        let digits_start = self.pos;
+        while let Some(&c) = self.src.get(self.pos) {
+            let ok = if hex {
+                c.is_ascii_hexdigit() || c == b'_'
+            } else {
+                c.is_ascii_digit() || c == b'_'
+            };
+            if !ok {
+                break;
+            }
+            self.pos += 1;
+        }
+        let text: String = std::str::from_utf8(&self.src[digits_start..self.pos])
+            .expect("digits are ASCII")
+            .chars()
+            .filter(|&c| c != '_')
+            .collect();
+        if text.is_empty() {
+            return Err(Diagnostic::new(
+                "integer literal has no digits",
+                Span::new(start, self.pos),
+            ));
+        }
+        let radix = if hex { 16 } else { 10 };
+        match u64::from_str_radix(&text, radix) {
+            Ok(v) => Ok(TokenKind::Int(v as i64)),
+            Err(_) => Err(Diagnostic::new(
+                "integer literal does not fit in 64 bits",
+                Span::new(start, self.pos),
+            )),
+        }
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        let start = self.pos;
+        while let Some(&c) = self.src.get(self.pos) {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .expect("identifier chars are ASCII")
+            .to_string();
+        keyword(&text).unwrap_or(TokenKind::Ident(text))
+    }
+
+    fn operator(&mut self) -> Result<TokenKind, Diagnostic> {
+        use TokenKind::*;
+        let start = self.pos;
+        let one = self.src[self.pos];
+        let two = self.src.get(self.pos + 1).copied();
+        let (kind, len) = match (one, two) {
+            (b'-', Some(b'>')) => (Arrow, 2),
+            (b'<', Some(b'<')) => (Shl, 2),
+            (b'>', Some(b'>')) => (Shr, 2),
+            (b'=', Some(b'=')) => (EqEq, 2),
+            (b'!', Some(b'=')) => (NotEq, 2),
+            (b'<', Some(b'=')) => (Le, 2),
+            (b'>', Some(b'=')) => (Ge, 2),
+            (b'&', Some(b'&')) => (AndAnd, 2),
+            (b'|', Some(b'|')) => (OrOr, 2),
+            (b'(', _) => (LParen, 1),
+            (b')', _) => (RParen, 1),
+            (b'{', _) => (LBrace, 1),
+            (b'}', _) => (RBrace, 1),
+            (b'[', _) => (LBracket, 1),
+            (b']', _) => (RBracket, 1),
+            (b',', _) => (Comma, 1),
+            (b';', _) => (Semi, 1),
+            (b':', _) => (Colon, 1),
+            (b'=', _) => (Assign, 1),
+            (b'+', _) => (Plus, 1),
+            (b'-', _) => (Minus, 1),
+            (b'*', _) => (Star, 1),
+            (b'/', _) => (Slash, 1),
+            (b'%', _) => (Percent, 1),
+            (b'&', _) => (Amp, 1),
+            (b'|', _) => (Pipe, 1),
+            (b'^', _) => (Caret, 1),
+            (b'~', _) => (Tilde, 1),
+            (b'!', _) => (Bang, 1),
+            (b'<', _) => (Lt, 1),
+            (b'>', _) => (Gt, 1),
+            (c, _) => {
+                return Err(Diagnostic::new(
+                    format!("unexpected character `{}`", c as char),
+                    Span::new(start, start + 1),
+                ))
+            }
+        };
+        self.pos += len;
+        Ok(kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenKind::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_a_function_header() {
+        assert_eq!(
+            kinds("fn f(a: int) -> bool {}"),
+            vec![
+                Fn,
+                Ident("f".into()),
+                LParen,
+                Ident("a".into()),
+                Colon,
+                TyInt,
+                RParen,
+                Arrow,
+                TyBool,
+                LBrace,
+                RBrace,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(kinds("0 42 0x2A 1_000"), vec![Int(0), Int(42), Int(42), Int(1000), Eof]);
+    }
+
+    #[test]
+    fn hex_u64_wraps_to_negative() {
+        assert_eq!(kinds("0xFFFFFFFFFFFFFFFF"), vec![Int(-1), Eof]);
+    }
+
+    #[test]
+    fn overlong_literal_is_rejected() {
+        assert!(lex("0x1FFFFFFFFFFFFFFFF").is_err());
+        assert!(lex("99999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("1 // comment\n 2 /* multi\nline */ 3"),
+            vec![Int(1), Int(2), Int(3), Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(lex("/* nope").is_err());
+    }
+
+    #[test]
+    fn two_char_operators_win_over_one_char() {
+        assert_eq!(kinds("<< <= < ->-"), vec![Shl, Le, Lt, Arrow, Minus, Eof]);
+        assert_eq!(kinds("&& & || |"), vec![AndAnd, Amp, OrOr, Pipe, Eof]);
+    }
+
+    #[test]
+    fn unexpected_character_is_reported() {
+        let err = lex("fn @").unwrap_err();
+        assert!(err.message.contains('@'));
+        assert_eq!(err.span, Span::new(3, 4));
+    }
+
+    #[test]
+    fn spans_cover_tokens() {
+        let toks = lex("let xyz").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 3));
+        assert_eq!(toks[1].span, Span::new(4, 7));
+    }
+}

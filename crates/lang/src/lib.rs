@@ -1,0 +1,170 @@
+//! **Grail** — the graftbench extension language.
+//!
+//! Grail is the C-like source language every benchmark graft is written
+//! in once and then executed under each compiled or interpreted
+//! technology (the Tcl-analogue grafts are written separately in Tickle).
+//! It corresponds to the extension source the paper feeds to `gcc -O`,
+//! the Modula-3 compiler, omniC++, and `javac`: a small, strongly typed
+//! procedural language over 64-bit integers, booleans, shared kernel
+//! regions, and constant tables.
+//!
+//! A program is a list of items:
+//!
+//! ```text
+//! const S[4] = { 7, 12, 17, 22 };     // constant table
+//! var calls = 0;                      // module-level variable
+//!
+//! fn scan(limit: int) -> int {        // function
+//!     let i = 0;
+//!     while i < limit {
+//!         if hotlist[i] == 0 { return i; }
+//!         i = i + 1;
+//!     }
+//!     calls = calls + 1;
+//!     return 0 - 1;
+//! }
+//! ```
+//!
+//! `hotlist[i]` reads the kernel-shared region named `hotlist`; regions
+//! are declared by the graft's [`RegionSpec`] list and passed to
+//! [`compile`]. Integer arithmetic wraps (two's complement); shifts mask
+//! their amount to 0..63; division by zero is a trap in every technology.
+//! 32-bit work (for example MD5) is expressed by masking to
+//! `0xFFFFFFFF`, mirroring the paper's Alpha `Word` discussion.
+//!
+//! The output of [`compile`] is a resolved, typed HIR ([`hir::Program`])
+//! consumed by the IR lowering in `graft-ir` and by the bytecode compiler
+//! in `engine-bytecode`.
+//!
+//! [`RegionSpec`]: graft_api::RegionSpec
+
+pub mod ast;
+pub mod check;
+pub mod hir;
+pub mod lexer;
+pub mod parser;
+pub mod token;
+
+use graft_api::{GraftError, RegionSpec};
+
+/// Compiles Grail source against a region ABI into checked HIR.
+///
+/// # Examples
+///
+/// ```
+/// use graft_api::RegionSpec;
+/// let program = graft_lang::compile(
+///     "fn add(a: int, b: int) -> int { return a + b; }",
+///     &[RegionSpec::data("buf", 8)],
+/// )
+/// .unwrap();
+/// assert_eq!(program.funcs.len(), 1);
+/// ```
+pub fn compile(source: &str, regions: &[RegionSpec]) -> Result<hir::Program, GraftError> {
+    let tokens = lexer::lex(source).map_err(|e| GraftError::Compile(e.render(source)))?;
+    let items = parser::parse(&tokens).map_err(|e| GraftError::Compile(e.render(source)))?;
+    check::check(&items, regions).map_err(|e| GraftError::Compile(e.render(source)))
+}
+
+/// A source location range, in byte offsets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// Builds a span covering `start..end`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+/// A compile-time diagnostic with a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// What went wrong.
+    pub message: String,
+    /// Where in the source it went wrong.
+    pub span: Span,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Renders the diagnostic as `line:col: message` against the source
+    /// it was produced from.
+    pub fn render(&self, source: &str) -> String {
+        let (line, col) = line_col(source, self.span.start);
+        format!("{line}:{col}: {}", self.message)
+    }
+}
+
+/// Computes the 1-based line and column of a byte offset.
+fn line_col(source: &str, offset: usize) -> (usize, usize) {
+    let mut line = 1;
+    let mut col = 1;
+    for (i, ch) in source.char_indices() {
+        if i >= offset {
+            break;
+        }
+        if ch == '\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    (line, col)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_merge() {
+        let a = Span::new(3, 7);
+        let b = Span::new(5, 12);
+        assert_eq!(a.to(b), Span::new(3, 12));
+        assert_eq!(b.to(a), Span::new(3, 12));
+    }
+
+    #[test]
+    fn diagnostics_render_line_and_column() {
+        let src = "fn f() {\n  oops\n}";
+        let d = Diagnostic::new("bad", Span::new(11, 15));
+        assert_eq!(d.render(src), "2:3: bad");
+    }
+
+    #[test]
+    fn compile_smoke() {
+        let p = compile("fn main() -> int { return 41 + 1; }", &[]).unwrap();
+        assert_eq!(p.funcs.len(), 1);
+        assert_eq!(p.funcs[0].name, "main");
+    }
+
+    #[test]
+    fn compile_reports_location() {
+        let err = compile("fn main() -> int { return x; }", &[]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("1:"), "error should carry a location: {msg}");
+        assert!(msg.contains('x'));
+    }
+}

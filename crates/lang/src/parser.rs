@@ -1,0 +1,659 @@
+//! Recursive-descent parser for Grail.
+
+use crate::ast::*;
+use crate::token::{Token, TokenKind};
+use crate::{Diagnostic, Span};
+
+/// Parses a token stream (as produced by [`crate::lexer::lex`]) into
+/// top-level items.
+pub fn parse(tokens: &[Token]) -> Result<Vec<Item>, Diagnostic> {
+    let mut p = Parser { tokens, pos: 0 };
+    let mut items = Vec::new();
+    while !p.at(&TokenKind::Eof) {
+        items.push(p.item()?);
+    }
+    Ok(items)
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn at(&self, kind: &TokenKind) -> bool {
+        &self.peek().kind == kind
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<Token, Diagnostic> {
+        if self.at(&kind) {
+            Ok(self.bump())
+        } else {
+            let got = self.peek();
+            Err(Diagnostic::new(
+                format!("expected {kind}, found {}", got.kind),
+                got.span,
+            ))
+        }
+    }
+
+    fn ident(&mut self) -> Result<(String, Span), Diagnostic> {
+        let t = self.peek().clone();
+        match t.kind {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok((name, t.span))
+            }
+            other => Err(Diagnostic::new(
+                format!("expected identifier, found {other}"),
+                t.span,
+            )),
+        }
+    }
+
+    fn item(&mut self) -> Result<Item, Diagnostic> {
+        let t = self.peek().clone();
+        match t.kind {
+            TokenKind::Fn => self.function().map(Item::Function),
+            TokenKind::Var => self.global().map(Item::Global),
+            TokenKind::Const => self.const_decl().map(Item::Const),
+            other => Err(Diagnostic::new(
+                format!("expected `fn`, `var`, or `const` at top level, found {other}"),
+                t.span,
+            )),
+        }
+    }
+
+    fn ty(&mut self) -> Result<TypeAst, Diagnostic> {
+        let t = self.bump();
+        match t.kind {
+            TokenKind::TyInt => Ok(TypeAst::Int),
+            TokenKind::TyBool => Ok(TypeAst::Bool),
+            other => Err(Diagnostic::new(
+                format!("expected type `int` or `bool`, found {other}"),
+                t.span,
+            )),
+        }
+    }
+
+    fn function(&mut self) -> Result<FunctionAst, Diagnostic> {
+        let start = self.expect(TokenKind::Fn)?.span;
+        let (name, name_span) = self.ident()?;
+        self.expect(TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !self.at(&TokenKind::RParen) {
+            loop {
+                let (pname, _) = self.ident()?;
+                self.expect(TokenKind::Colon)?;
+                let pty = self.ty()?;
+                params.push((pname, pty));
+                if self.at(&TokenKind::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        let ret = if self.at(&TokenKind::Arrow) {
+            self.bump();
+            Some(self.ty()?)
+        } else {
+            None
+        };
+        let body = self.block()?;
+        Ok(FunctionAst {
+            name,
+            params,
+            ret,
+            body,
+            span: start.to(name_span),
+        })
+    }
+
+    fn global(&mut self) -> Result<GlobalAst, Diagnostic> {
+        let start = self.expect(TokenKind::Var)?.span;
+        let (name, name_span) = self.ident()?;
+        let init = if self.at(&TokenKind::Assign) {
+            self.bump();
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        self.expect(TokenKind::Semi)?;
+        Ok(GlobalAst {
+            name,
+            init,
+            span: start.to(name_span),
+        })
+    }
+
+    fn const_decl(&mut self) -> Result<ConstAst, Diagnostic> {
+        let start = self.expect(TokenKind::Const)?.span;
+        let (name, name_span) = self.ident()?;
+        if self.at(&TokenKind::LBracket) {
+            self.bump();
+            let declared_len = if self.at(&TokenKind::RBracket) {
+                None
+            } else {
+                let t = self.bump();
+                match t.kind {
+                    TokenKind::Int(v) if v >= 0 => Some(v as usize),
+                    other => {
+                        return Err(Diagnostic::new(
+                            format!("expected table length, found {other}"),
+                            t.span,
+                        ))
+                    }
+                }
+            };
+            self.expect(TokenKind::RBracket)?;
+            self.expect(TokenKind::Assign)?;
+            self.expect(TokenKind::LBrace)?;
+            let mut values = Vec::new();
+            while !self.at(&TokenKind::RBrace) {
+                values.push(self.expr()?);
+                if self.at(&TokenKind::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.expect(TokenKind::RBrace)?;
+            self.expect(TokenKind::Semi)?;
+            Ok(ConstAst {
+                name,
+                table: Some(values),
+                scalar: None,
+                declared_len,
+                span: start.to(name_span),
+            })
+        } else {
+            self.expect(TokenKind::Assign)?;
+            let value = self.expr()?;
+            self.expect(TokenKind::Semi)?;
+            Ok(ConstAst {
+                name,
+                table: None,
+                scalar: Some(value),
+                declared_len: None,
+                span: start.to(name_span),
+            })
+        }
+    }
+
+    fn block(&mut self) -> Result<Vec<StmtAst>, Diagnostic> {
+        self.expect(TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.at(&TokenKind::RBrace) {
+            if self.at(&TokenKind::Eof) {
+                return Err(Diagnostic::new("unterminated block", self.peek().span));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.expect(TokenKind::RBrace)?;
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<StmtAst, Diagnostic> {
+        let t = self.peek().clone();
+        match t.kind {
+            TokenKind::Let => {
+                let start = self.bump().span;
+                let (name, _) = self.ident()?;
+                let ty = if self.at(&TokenKind::Colon) {
+                    self.bump();
+                    Some(self.ty()?)
+                } else {
+                    None
+                };
+                self.expect(TokenKind::Assign)?;
+                let init = self.expr()?;
+                let end = self.expect(TokenKind::Semi)?.span;
+                Ok(StmtAst::Let {
+                    name,
+                    ty,
+                    init,
+                    span: start.to(end),
+                })
+            }
+            TokenKind::If => self.if_stmt(),
+            TokenKind::While => {
+                let start = self.bump().span;
+                let cond = self.expr()?;
+                let body = self.block()?;
+                Ok(StmtAst::While {
+                    cond,
+                    body,
+                    span: start,
+                })
+            }
+            TokenKind::For => {
+                // `for i = e0; cond; i = step { body }`
+                let start = self.bump().span;
+                let (var, _) = self.ident()?;
+                self.expect(TokenKind::Assign)?;
+                let init = self.expr()?;
+                self.expect(TokenKind::Semi)?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::Semi)?;
+                let (var2, var2_span) = self.ident()?;
+                if var2 != var {
+                    return Err(Diagnostic::new(
+                        format!("`for` step must assign the loop variable `{var}`"),
+                        var2_span,
+                    ));
+                }
+                self.expect(TokenKind::Assign)?;
+                let step = self.expr()?;
+                let body = self.block()?;
+                Ok(StmtAst::For {
+                    var,
+                    init,
+                    cond,
+                    step,
+                    body,
+                    span: start,
+                })
+            }
+            TokenKind::Break => {
+                let span = self.bump().span;
+                self.expect(TokenKind::Semi)?;
+                Ok(StmtAst::Break(span))
+            }
+            TokenKind::Continue => {
+                let span = self.bump().span;
+                self.expect(TokenKind::Semi)?;
+                Ok(StmtAst::Continue(span))
+            }
+            TokenKind::Return => {
+                let span = self.bump().span;
+                let value = if self.at(&TokenKind::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(TokenKind::Semi)?;
+                Ok(StmtAst::Return(value, span))
+            }
+            TokenKind::Ident(_) => self.assign_or_expr_stmt(),
+            other => Err(Diagnostic::new(
+                format!("expected statement, found {other}"),
+                t.span,
+            )),
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<StmtAst, Diagnostic> {
+        let start = self.expect(TokenKind::If)?.span;
+        let cond = self.expr()?;
+        let then_branch = self.block()?;
+        let else_branch = if self.at(&TokenKind::Else) {
+            self.bump();
+            if self.at(&TokenKind::If) {
+                vec![self.if_stmt()?]
+            } else {
+                self.block()?
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(StmtAst::If {
+            cond,
+            then_branch,
+            else_branch,
+            span: start,
+        })
+    }
+
+    /// Disambiguates `name = e;`, `name[i] = e;`, and expression
+    /// statements such as `name(args);`.
+    fn assign_or_expr_stmt(&mut self) -> Result<StmtAst, Diagnostic> {
+        let (name, name_span) = self.ident()?;
+        match self.peek().kind.clone() {
+            TokenKind::Assign => {
+                self.bump();
+                let value = self.expr()?;
+                let end = self.expect(TokenKind::Semi)?.span;
+                Ok(StmtAst::Assign {
+                    name,
+                    value,
+                    span: name_span.to(end),
+                })
+            }
+            TokenKind::LBracket => {
+                self.bump();
+                let index = self.expr()?;
+                self.expect(TokenKind::RBracket)?;
+                if self.at(&TokenKind::Assign) {
+                    self.bump();
+                    let value = self.expr()?;
+                    let end = self.expect(TokenKind::Semi)?.span;
+                    Ok(StmtAst::Store {
+                        name,
+                        index,
+                        value,
+                        span: name_span.to(end),
+                    })
+                } else {
+                    // A bare `name[i]` used in a larger expression
+                    // statement, e.g. `f(name[i]);` never reaches here
+                    // (that parses through `expr`), so a lone load
+                    // statement is useless; report it.
+                    Err(Diagnostic::new(
+                        "region load used as a statement has no effect",
+                        name_span,
+                    ))
+                }
+            }
+            TokenKind::LParen => {
+                let call = self.call_tail(name, name_span)?;
+                self.expect(TokenKind::Semi)?;
+                Ok(StmtAst::Expr(call))
+            }
+            other => Err(Diagnostic::new(
+                format!("expected `=`, `[`, or `(` after identifier, found {other}"),
+                self.peek().span,
+            )),
+        }
+    }
+
+    fn call_tail(&mut self, name: String, name_span: Span) -> Result<ExprAst, Diagnostic> {
+        self.expect(TokenKind::LParen)?;
+        let mut args = Vec::new();
+        if !self.at(&TokenKind::RParen) {
+            loop {
+                args.push(self.expr()?);
+                if self.at(&TokenKind::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        let end = self.expect(TokenKind::RParen)?.span;
+        Ok(ExprAst::Call {
+            name,
+            args,
+            span: name_span.to(end),
+        })
+    }
+
+    fn expr(&mut self) -> Result<ExprAst, Diagnostic> {
+        self.binary(0)
+    }
+
+    /// Precedence-climbing binary expression parser.
+    fn binary(&mut self, min_prec: u8) -> Result<ExprAst, Diagnostic> {
+        let mut lhs = self.unary()?;
+        loop {
+            let Some((op, prec)) = binop_of(&self.peek().kind) else {
+                return Ok(lhs);
+            };
+            if prec < min_prec {
+                return Ok(lhs);
+            }
+            self.bump();
+            let rhs = self.binary(prec + 1)?;
+            let span = lhs.span().to(rhs.span());
+            lhs = ExprAst::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+    }
+
+    fn unary(&mut self) -> Result<ExprAst, Diagnostic> {
+        let t = self.peek().clone();
+        let op = match t.kind {
+            TokenKind::Minus => Some(UnOp::Neg),
+            TokenKind::Tilde => Some(UnOp::BitNot),
+            TokenKind::Bang => Some(UnOp::Not),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let expr = self.unary()?;
+            let span = t.span.to(expr.span());
+            return Ok(ExprAst::Unary {
+                op,
+                expr: Box::new(expr),
+                span,
+            });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<ExprAst, Diagnostic> {
+        let t = self.peek().clone();
+        match t.kind {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(ExprAst::Int(v, t.span))
+            }
+            TokenKind::True => {
+                self.bump();
+                Ok(ExprAst::Bool(true, t.span))
+            }
+            TokenKind::False => {
+                self.bump();
+                Ok(ExprAst::Bool(false, t.span))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let inner = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(inner)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                match self.peek().kind.clone() {
+                    TokenKind::LParen => self.call_tail(name, t.span),
+                    TokenKind::LBracket => {
+                        self.bump();
+                        let index = self.expr()?;
+                        let end = self.expect(TokenKind::RBracket)?.span;
+                        Ok(ExprAst::Index {
+                            name,
+                            index: Box::new(index),
+                            span: t.span.to(end),
+                        })
+                    }
+                    _ => Ok(ExprAst::Name(name, t.span)),
+                }
+            }
+            other => Err(Diagnostic::new(
+                format!("expected expression, found {other}"),
+                t.span,
+            )),
+        }
+    }
+}
+
+/// Returns `(operator, precedence)` for tokens that begin a binary
+/// operator; higher binds tighter.
+fn binop_of(kind: &TokenKind) -> Option<(BinOp, u8)> {
+    use TokenKind::*;
+    Some(match kind {
+        OrOr => (BinOp::LogicalOr, 1),
+        AndAnd => (BinOp::LogicalAnd, 2),
+        Pipe => (BinOp::Or, 3),
+        Caret => (BinOp::Xor, 4),
+        Amp => (BinOp::And, 5),
+        EqEq => (BinOp::Eq, 6),
+        NotEq => (BinOp::Ne, 6),
+        Lt => (BinOp::Lt, 7),
+        Le => (BinOp::Le, 7),
+        Gt => (BinOp::Gt, 7),
+        Ge => (BinOp::Ge, 7),
+        Shl => (BinOp::Shl, 8),
+        Shr => (BinOp::Shr, 8),
+        Plus => (BinOp::Add, 9),
+        Minus => (BinOp::Sub, 9),
+        Star => (BinOp::Mul, 10),
+        Slash => (BinOp::Div, 10),
+        Percent => (BinOp::Rem, 10),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Result<Vec<Item>, Diagnostic> {
+        parse(&lex(src).unwrap())
+    }
+
+    fn parse_expr(src: &str) -> ExprAst {
+        let items = parse_src(&format!("fn t() -> int {{ return {src}; }}")).unwrap();
+        let Item::Function(f) = &items[0] else {
+            panic!()
+        };
+        let StmtAst::Return(Some(e), _) = &f.body[0] else {
+            panic!()
+        };
+        e.clone()
+    }
+
+    #[test]
+    fn parses_function_with_params() {
+        let items = parse_src("fn add(a: int, b: int) -> int { return a + b; }").unwrap();
+        let Item::Function(f) = &items[0] else {
+            panic!("expected function")
+        };
+        assert_eq!(f.name, "add");
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.ret, Some(TypeAst::Int));
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let e = parse_expr("1 + 2 * 3");
+        let ExprAst::Binary { op: BinOp::Add, rhs, .. } = e else {
+            panic!("expected top-level add")
+        };
+        assert!(matches!(*rhs, ExprAst::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn precedence_shift_over_compare_over_bitand() {
+        // `a & b == c << 2` parses as `a & (b == (c << 2))`.
+        let e = parse_expr("a & b == c << 2");
+        let ExprAst::Binary { op: BinOp::And, rhs, .. } = e else {
+            panic!("expected `&` at top")
+        };
+        assert!(matches!(*rhs, ExprAst::Binary { op: BinOp::Eq, .. }));
+    }
+
+    #[test]
+    fn left_associativity() {
+        let e = parse_expr("10 - 4 - 3");
+        let ExprAst::Binary { op: BinOp::Sub, lhs, .. } = e else {
+            panic!()
+        };
+        assert!(matches!(*lhs, ExprAst::Binary { op: BinOp::Sub, .. }));
+    }
+
+    #[test]
+    fn unary_chains() {
+        let e = parse_expr("-~!x");
+        let ExprAst::Unary { op: UnOp::Neg, expr, .. } = e else {
+            panic!()
+        };
+        let ExprAst::Unary { op: UnOp::BitNot, expr, .. } = *expr else {
+            panic!()
+        };
+        assert!(matches!(*expr, ExprAst::Unary { op: UnOp::Not, .. }));
+    }
+
+    #[test]
+    fn parses_region_store_and_load() {
+        let items =
+            parse_src("fn f() { buf[0] = buf[1] + 2; }").unwrap();
+        let Item::Function(f) = &items[0] else { panic!() };
+        assert!(matches!(&f.body[0], StmtAst::Store { name, .. } if name == "buf"));
+    }
+
+    #[test]
+    fn parses_if_else_chain() {
+        let items = parse_src(
+            "fn f(x: int) -> int { if x > 0 { return 1; } else if x < 0 { return 2; } else { return 3; } }",
+        )
+        .unwrap();
+        let Item::Function(f) = &items[0] else { panic!() };
+        let StmtAst::If { else_branch, .. } = &f.body[0] else {
+            panic!()
+        };
+        assert!(matches!(&else_branch[0], StmtAst::If { .. }));
+    }
+
+    #[test]
+    fn parses_for_loop() {
+        let items =
+            parse_src("fn f() { for i = 0; i < 10; i = i + 1 { buf[i] = i; } }").unwrap();
+        let Item::Function(f) = &items[0] else { panic!() };
+        assert!(matches!(&f.body[0], StmtAst::For { var, .. } if var == "i"));
+    }
+
+    #[test]
+    fn for_loop_step_must_use_loop_var() {
+        let err = parse_src("fn f() { for i = 0; i < 10; j = j + 1 { } }").unwrap_err();
+        assert!(err.message.contains("loop variable"));
+    }
+
+    #[test]
+    fn parses_const_table() {
+        let items = parse_src("const K[3] = { 1, 2, 3 };").unwrap();
+        let Item::Const(c) = &items[0] else { panic!() };
+        assert_eq!(c.declared_len, Some(3));
+        assert_eq!(c.table.as_ref().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn parses_scalar_const_and_global() {
+        let items = parse_src("const LIMIT = 64; var count = 0;").unwrap();
+        assert!(matches!(&items[0], Item::Const(c) if c.scalar.is_some()));
+        assert!(matches!(&items[1], Item::Global(g) if g.init.is_some()));
+    }
+
+    #[test]
+    fn bare_load_statement_is_rejected() {
+        let err = parse_src("fn f() { buf[0]; }").unwrap_err();
+        assert!(err.message.contains("no effect"));
+    }
+
+    #[test]
+    fn unterminated_block_is_reported() {
+        let err = parse_src("fn f() { let x = 1;").unwrap_err();
+        assert!(err.message.contains("unterminated") || err.message.contains("expected"));
+    }
+
+    #[test]
+    fn call_statement_parses() {
+        let items = parse_src("fn f() { g(1, 2); } fn g(a: int, b: int) {}").unwrap();
+        let Item::Function(f) = &items[0] else { panic!() };
+        assert!(matches!(&f.body[0], StmtAst::Expr(ExprAst::Call { .. })));
+    }
+
+    #[test]
+    fn logical_ops_have_lowest_precedence() {
+        let e = parse_expr("a == 1 && b == 2 || c == 3");
+        assert!(matches!(e, ExprAst::Binary { op: BinOp::LogicalOr, .. }));
+    }
+}

@@ -1,0 +1,225 @@
+//! Token definitions for the Grail lexer.
+
+use crate::Span;
+use std::fmt;
+
+/// A lexical token kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Integer literal (decimal or `0x` hexadecimal), already decoded.
+    Int(i64),
+    /// Identifier or keyword candidate.
+    Ident(String),
+
+    // Keywords.
+    /// `fn`
+    Fn,
+    /// `let`
+    Let,
+    /// `var`
+    Var,
+    /// `const`
+    Const,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `for`
+    For,
+    /// `break`
+    Break,
+    /// `continue`
+    Continue,
+    /// `return`
+    Return,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `int`
+    TyInt,
+    /// `bool`
+    TyBool,
+
+    // Punctuation and operators.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `->`
+    Arrow,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `~`
+    Tilde,
+    /// `!`
+    Bang,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+
+    /// End of input sentinel.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use TokenKind::*;
+        match self {
+            Int(v) => write!(f, "integer `{v}`"),
+            Ident(s) => write!(f, "identifier `{s}`"),
+            Fn => f.write_str("`fn`"),
+            Let => f.write_str("`let`"),
+            Var => f.write_str("`var`"),
+            Const => f.write_str("`const`"),
+            If => f.write_str("`if`"),
+            Else => f.write_str("`else`"),
+            While => f.write_str("`while`"),
+            For => f.write_str("`for`"),
+            Break => f.write_str("`break`"),
+            Continue => f.write_str("`continue`"),
+            Return => f.write_str("`return`"),
+            True => f.write_str("`true`"),
+            False => f.write_str("`false`"),
+            TyInt => f.write_str("`int`"),
+            TyBool => f.write_str("`bool`"),
+            LParen => f.write_str("`(`"),
+            RParen => f.write_str("`)`"),
+            LBrace => f.write_str("`{`"),
+            RBrace => f.write_str("`}`"),
+            LBracket => f.write_str("`[`"),
+            RBracket => f.write_str("`]`"),
+            Comma => f.write_str("`,`"),
+            Semi => f.write_str("`;`"),
+            Colon => f.write_str("`:`"),
+            Arrow => f.write_str("`->`"),
+            Assign => f.write_str("`=`"),
+            Plus => f.write_str("`+`"),
+            Minus => f.write_str("`-`"),
+            Star => f.write_str("`*`"),
+            Slash => f.write_str("`/`"),
+            Percent => f.write_str("`%`"),
+            Amp => f.write_str("`&`"),
+            Pipe => f.write_str("`|`"),
+            Caret => f.write_str("`^`"),
+            Tilde => f.write_str("`~`"),
+            Bang => f.write_str("`!`"),
+            Shl => f.write_str("`<<`"),
+            Shr => f.write_str("`>>`"),
+            EqEq => f.write_str("`==`"),
+            NotEq => f.write_str("`!=`"),
+            Lt => f.write_str("`<`"),
+            Le => f.write_str("`<=`"),
+            Gt => f.write_str("`>`"),
+            Ge => f.write_str("`>=`"),
+            AndAnd => f.write_str("`&&`"),
+            OrOr => f.write_str("`||`"),
+            Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Where the token appeared.
+    pub span: Span,
+}
+
+impl Token {
+    /// Builds a token.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+}
+
+/// Maps an identifier to its keyword kind, if it is a keyword.
+pub fn keyword(ident: &str) -> Option<TokenKind> {
+    Some(match ident {
+        "fn" => TokenKind::Fn,
+        "let" => TokenKind::Let,
+        "var" => TokenKind::Var,
+        "const" => TokenKind::Const,
+        "if" => TokenKind::If,
+        "else" => TokenKind::Else,
+        "while" => TokenKind::While,
+        "for" => TokenKind::For,
+        "break" => TokenKind::Break,
+        "continue" => TokenKind::Continue,
+        "return" => TokenKind::Return,
+        "true" => TokenKind::True,
+        "false" => TokenKind::False,
+        "int" => TokenKind::TyInt,
+        "bool" => TokenKind::TyBool,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_are_recognized() {
+        assert_eq!(keyword("fn"), Some(TokenKind::Fn));
+        assert_eq!(keyword("while"), Some(TokenKind::While));
+        assert_eq!(keyword("frobnicate"), None);
+    }
+
+    #[test]
+    fn display_names_are_quoted() {
+        assert_eq!(TokenKind::Arrow.to_string(), "`->`");
+        assert_eq!(TokenKind::Int(7).to_string(), "integer `7`");
+    }
+}

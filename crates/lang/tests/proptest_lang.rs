@@ -1,0 +1,78 @@
+//! Property tests for the Grail front end.
+
+use graft_api::RegionSpec;
+use graft_lang::lexer::lex;
+use graft_lang::token::TokenKind;
+use proptest::prelude::*;
+
+proptest! {
+    /// The whole front end never panics on arbitrary input: it either
+    /// compiles or reports a located diagnostic.
+    #[test]
+    fn compile_never_panics(src in "[ -~\\n]{0,200}") {
+        let _ = graft_lang::compile(&src, &[RegionSpec::data("buf", 4)]);
+    }
+
+    /// Decimal integer literals round-trip through the lexer.
+    #[test]
+    fn decimal_literals_round_trip(v in 0i64..i64::MAX) {
+        let toks = lex(&v.to_string()).unwrap();
+        prop_assert_eq!(&toks[0].kind, &TokenKind::Int(v));
+    }
+
+    /// Hex literals round-trip (including the full u64 range, which
+    /// reinterprets as two's complement).
+    #[test]
+    fn hex_literals_round_trip(v in any::<u64>()) {
+        let toks = lex(&format!("0x{v:X}")).unwrap();
+        prop_assert_eq!(&toks[0].kind, &TokenKind::Int(v as i64));
+    }
+
+    /// Identifiers lex as single tokens with exact spans.
+    #[test]
+    fn identifiers_lex_whole(name in "[a-z_][a-z0-9_]{0,20}") {
+        prop_assume!(graft_lang::token::keyword(&name).is_none());
+        let toks = lex(&name).unwrap();
+        prop_assert_eq!(toks.len(), 2); // ident + EOF
+        prop_assert_eq!(&toks[0].kind, &TokenKind::Ident(name.clone()));
+        prop_assert_eq!(toks[0].span.end - toks[0].span.start, name.len());
+    }
+
+    /// Whitespace and comments never change the token stream.
+    #[test]
+    fn trivia_is_invisible(pad in "[ \\t\\n]{0,10}") {
+        let plain = lex("let x = 1 + 2;").unwrap();
+        let padded = lex(&format!("{pad}let{pad} x ={pad}1 /*c*/ + // c\n 2;{pad}")).unwrap();
+        let kinds = |ts: &[graft_lang::token::Token]| {
+            ts.iter().map(|t| t.kind.clone()).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(kinds(&plain), kinds(&padded));
+    }
+
+    /// Generated well-formed programs always compile, and their checked
+    /// function inventory matches the source.
+    #[test]
+    fn generated_programs_compile(
+        nfuncs in 1usize..5,
+        nlets in 0usize..4,
+    ) {
+        let mut src = String::new();
+        for f in 0..nfuncs {
+            src.push_str(&format!("fn f{f}(a: int) -> int {{\n"));
+            for l in 0..nlets {
+                src.push_str(&format!("    let v{l} = a + {l};\n"));
+            }
+            if nlets > 0 {
+                src.push_str(&format!("    return v{};\n}}\n", nlets - 1));
+            } else {
+                src.push_str("    return a;\n}\n");
+            }
+        }
+        let program = graft_lang::compile(&src, &[]).unwrap();
+        prop_assert_eq!(program.funcs.len(), nfuncs);
+        for (i, func) in program.funcs.iter().enumerate() {
+            prop_assert_eq!(&func.name, &format!("f{i}"));
+            prop_assert_eq!(func.frame_size, 1 + nlets);
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! The Logical Disk facility (de Jonge et al., SOSP '93), the paper's
+//! representative **black-box graft** workload (Sections 3.3 and 5.6).
+//!
+//! A Logical Disk sits between the filesystem and the physical disk: the
+//! filesystem reads and writes *logical* blocks, and the LD maps them to
+//! physical locations, batching incoming writes into physically
+//! contiguous segments so that random write traffic becomes sequential.
+//! The paper's simulation: a 1 GB disk of 4 KB blocks gathered into
+//! 64 KB (16-block) segments, driven by 262,144 block writes skewed so
+//! that 80% of the writes hit 20% of the blocks, with all mapping state
+//! in main memory and no cleaner.
+//!
+//! This crate is the standalone facility: [`LogicalDisk`] does the
+//! bookkeeping, [`workload`] generates the paper's skewed write stream,
+//! and [`cleaner`] adds the segment cleaner the paper explicitly left
+//! out (an extension; enabled nowhere in the Table 6 reproduction).
+//! The graft versions of the same bookkeeping — Grail, Tickle, bytecode,
+//! native — live in the `grafts` crate and are checked against this
+//! implementation as an oracle.
+
+pub mod cleaner;
+pub mod workload;
+
+/// Sentinel for "logical block never written".
+pub const UNMAPPED: i64 = -1;
+
+/// Paper defaults: 1 GB disk, 4 KB blocks, 16-block (64 KB) segments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LdConfig {
+    /// Total logical blocks (also the number of physical blocks).
+    pub blocks: usize,
+    /// Blocks per segment.
+    pub segment_blocks: usize,
+}
+
+impl Default for LdConfig {
+    fn default() -> Self {
+        LdConfig {
+            blocks: 262_144,
+            segment_blocks: 16,
+        }
+    }
+}
+
+impl LdConfig {
+    /// A small configuration for tests and quick runs.
+    pub fn small() -> Self {
+        LdConfig {
+            blocks: 1024,
+            segment_blocks: 16,
+        }
+    }
+
+    /// Number of segments on the disk.
+    pub fn segments(&self) -> usize {
+        self.blocks / self.segment_blocks
+    }
+}
+
+/// A completed segment handed to the disk: a physically contiguous run
+/// of blocks to be written with one seek.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentFlush {
+    /// First physical block of the segment.
+    pub physical_start: u64,
+    /// Logical blocks written into the segment, in order.
+    pub logical: Vec<u64>,
+}
+
+/// Statistics accumulated by a [`LogicalDisk`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LdStats {
+    /// Total block writes accepted.
+    pub writes: u64,
+    /// Writes that superseded a still-buffered copy in the open segment.
+    pub rewrites_in_segment: u64,
+    /// Segments flushed.
+    pub segments_flushed: u64,
+    /// Blocks whose previous physical copy became garbage.
+    pub dead_blocks: u64,
+}
+
+/// The Logical Disk bookkeeping engine.
+///
+/// `write` is the hot path the paper times: one map update plus segment
+/// batching per logical write. Reads translate through the map.
+#[derive(Debug, Clone)]
+pub struct LogicalDisk {
+    config: LdConfig,
+    /// logical → physical block, or [`UNMAPPED`].
+    map: Vec<i64>,
+    /// Logical blocks buffered in the currently filling segment.
+    open_segment: Vec<u64>,
+    /// Physical block cursor (wraps around the disk; reuse is the
+    /// cleaner's concern, which the paper's run sidesteps by sizing the
+    /// run to the number of blocks on the disk).
+    next_physical: u64,
+    stats: LdStats,
+}
+
+impl LogicalDisk {
+    /// Creates an empty logical disk.
+    pub fn new(config: LdConfig) -> Self {
+        assert!(config.segment_blocks > 0, "segments must hold blocks");
+        assert!(
+            config.blocks % config.segment_blocks == 0,
+            "disk size must be a whole number of segments"
+        );
+        LogicalDisk {
+            config,
+            map: vec![UNMAPPED; config.blocks],
+            open_segment: Vec::with_capacity(config.segment_blocks),
+            next_physical: 0,
+            stats: LdStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> LdConfig {
+        self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> LdStats {
+        self.stats
+    }
+
+    /// The logical→physical map (read-only view).
+    pub fn map(&self) -> &[i64] {
+        &self.map
+    }
+
+    /// Translates a logical block for a read; `None` if never written.
+    ///
+    /// Blocks still buffered in the open segment already have their
+    /// final physical address, so translation is uniform.
+    pub fn read(&self, logical: u64) -> Option<u64> {
+        match self.map.get(logical as usize) {
+            Some(&p) if p != UNMAPPED => Some(p as u64),
+            _ => None,
+        }
+    }
+
+    /// Accepts one logical block write; returns the flushed segment when
+    /// this write fills it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical` is beyond the disk (the kernel validates
+    /// block numbers before they reach the LD layer).
+    pub fn write(&mut self, logical: u64) -> Option<SegmentFlush> {
+        let slot = logical as usize;
+        assert!(slot < self.config.blocks, "logical block out of range");
+        self.stats.writes += 1;
+        let old = self.map[slot];
+        if old != UNMAPPED {
+            self.stats.dead_blocks += 1;
+            // If the previous copy is still in the open segment this is
+            // a rewrite the batching absorbs for free.
+            let seg_start = self.next_physical - self.open_segment.len() as u64;
+            if (old as u64) >= seg_start {
+                self.stats.rewrites_in_segment += 1;
+            }
+        }
+        self.map[slot] = self.next_physical as i64;
+        self.next_physical += 1;
+        self.open_segment.push(logical);
+        if self.open_segment.len() == self.config.segment_blocks {
+            let logical_blocks = std::mem::take(&mut self.open_segment);
+            self.open_segment = Vec::with_capacity(self.config.segment_blocks);
+            self.stats.segments_flushed += 1;
+            Some(SegmentFlush {
+                physical_start: self.next_physical - self.config.segment_blocks as u64,
+                logical: logical_blocks,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Blocks currently buffered and not yet flushed.
+    pub fn pending(&self) -> &[u64] {
+        &self.open_segment
+    }
+
+    /// Physical blocks consumed so far (monotone; exceeds the disk size
+    /// if the workload outruns a missing cleaner).
+    pub fn physical_used(&self) -> u64 {
+        self.next_physical
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ld() -> LogicalDisk {
+        LogicalDisk::new(LdConfig {
+            blocks: 64,
+            segment_blocks: 4,
+        })
+    }
+
+    #[test]
+    fn writes_allocate_sequential_physical_blocks() {
+        let mut d = ld();
+        // Random-looking logical blocks...
+        for logical in [40, 3, 17, 9] {
+            let flush = d.write(logical);
+            if let Some(f) = flush {
+                // ...land physically contiguous.
+                assert_eq!(f.physical_start, 0);
+                assert_eq!(f.logical, vec![40, 3, 17, 9]);
+            }
+        }
+        assert_eq!(d.read(17), Some(2));
+        assert_eq!(d.read(9), Some(3));
+    }
+
+    #[test]
+    fn unwritten_blocks_are_unmapped() {
+        let d = ld();
+        assert_eq!(d.read(5), None);
+    }
+
+    #[test]
+    fn rewrite_updates_map_and_counts_garbage() {
+        let mut d = ld();
+        d.write(7);
+        d.write(7);
+        assert_eq!(d.read(7), Some(1));
+        let s = d.stats();
+        assert_eq!(s.writes, 2);
+        assert_eq!(s.dead_blocks, 1);
+        assert_eq!(s.rewrites_in_segment, 1);
+    }
+
+    #[test]
+    fn segments_flush_every_n_writes() {
+        let mut d = ld();
+        let mut flushes = 0;
+        for i in 0..16 {
+            if d.write(i % 8).is_some() {
+                flushes += 1;
+            }
+        }
+        assert_eq!(flushes, 4);
+        assert_eq!(d.stats().segments_flushed, 4);
+        assert!(d.pending().is_empty());
+    }
+
+    #[test]
+    fn paper_configuration_shape() {
+        let c = LdConfig::default();
+        assert_eq!(c.blocks, 262_144); // 1 GB / 4 KB
+        assert_eq!(c.segment_blocks, 16); // 64 KB segments
+        assert_eq!(c.segments(), 16_384);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_block_panics() {
+        ld().write(1 << 40);
+    }
+
+    #[test]
+    fn full_paper_run_fits_exactly_without_a_cleaner() {
+        // The paper runs exactly `blocks` iterations "because our
+        // simulation does not include a cleaner".
+        let config = LdConfig::small();
+        let mut d = LogicalDisk::new(config);
+        for logical in workload::skewed(config.blocks, config.blocks as u64, 42) {
+            d.write(logical);
+        }
+        assert_eq!(d.physical_used() as usize, config.blocks);
+        assert_eq!(d.stats().segments_flushed as usize, config.segments());
+    }
+}

@@ -1,0 +1,97 @@
+//! The paper's skewed write workload: 80% of the requests target 20% of
+//! the blocks.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// An iterator of logical block numbers with the paper's 80/20 skew.
+///
+/// Hot blocks are the first 20% of the block range; each request picks a
+/// hot block with probability 0.8 and a cold one otherwise, uniformly
+/// within its class.
+pub struct SkewedWrites {
+    rng: SmallRng,
+    blocks: usize,
+    hot: usize,
+    remaining: u64,
+}
+
+/// Creates the paper's workload: `count` writes over `blocks` logical
+/// blocks, deterministic in `seed`.
+pub fn skewed(blocks: usize, count: u64, seed: u64) -> SkewedWrites {
+    assert!(blocks >= 5, "need at least 5 blocks for an 80/20 split");
+    SkewedWrites {
+        rng: SmallRng::seed_from_u64(seed),
+        blocks,
+        hot: blocks / 5,
+        remaining: count,
+    }
+}
+
+impl Iterator for SkewedWrites {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let block = if self.rng.gen_range(0..100) < 80 {
+            self.rng.gen_range(0..self.hot)
+        } else {
+            self.rng.gen_range(self.hot..self.blocks)
+        };
+        Some(block as u64)
+    }
+}
+
+impl ExactSizeIterator for SkewedWrites {
+    fn len(&self) -> usize {
+        self.remaining as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_requested_count_in_range() {
+        let blocks = 1000;
+        let all: Vec<u64> = skewed(blocks, 5000, 1).collect();
+        assert_eq!(all.len(), 5000);
+        assert!(all.iter().all(|&b| (b as usize) < blocks));
+    }
+
+    #[test]
+    fn skew_is_roughly_eighty_twenty() {
+        let blocks = 1000;
+        let hot = blocks / 5;
+        let n = 100_000;
+        let hot_hits = skewed(blocks, n, 7)
+            .filter(|&b| (b as usize) < hot)
+            .count() as f64;
+        let frac = hot_hits / n as f64;
+        assert!(
+            (0.78..0.82).contains(&frac),
+            "hot fraction {frac} outside tolerance"
+        );
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a: Vec<u64> = skewed(512, 100, 9).collect();
+        let b: Vec<u64> = skewed(512, 100, 9).collect();
+        let c: Vec<u64> = skewed(512, 100, 10).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn exact_size_is_reported() {
+        let mut it = skewed(512, 10, 1);
+        assert_eq!(it.len(), 10);
+        it.next();
+        assert_eq!(it.len(), 9);
+    }
+}

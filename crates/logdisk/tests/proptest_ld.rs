@@ -1,0 +1,64 @@
+//! Property tests for the Logical Disk facility.
+
+use logdisk::{cleaner::CleaningDisk, LdConfig, LogicalDisk, UNMAPPED};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    /// The map always reflects the most recent write of each block, and
+    /// physical addresses are handed out sequentially.
+    #[test]
+    fn map_matches_a_hashmap_model(
+        writes in prop::collection::vec(0u64..256, 0..600),
+    ) {
+        let config = LdConfig { blocks: 256, segment_blocks: 16 };
+        let mut ld = LogicalDisk::new(config);
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for (seq, &w) in writes.iter().enumerate() {
+            ld.write(w);
+            model.insert(w, seq as u64);
+        }
+        for b in 0..256u64 {
+            prop_assert_eq!(ld.read(b), model.get(&b).copied());
+        }
+        prop_assert_eq!(ld.physical_used(), writes.len() as u64);
+        // Unwritten blocks stay unmapped in the raw map too.
+        for (b, &p) in ld.map().iter().enumerate() {
+            prop_assert_eq!(p == UNMAPPED, !model.contains_key(&(b as u64)));
+        }
+    }
+
+    /// Segments flush exactly every `segment_blocks` writes.
+    #[test]
+    fn flush_cadence_is_exact(writes in prop::collection::vec(0u64..128, 0..400)) {
+        let config = LdConfig { blocks: 128, segment_blocks: 16 };
+        let mut ld = LogicalDisk::new(config);
+        let mut flushes = 0u64;
+        for (i, &w) in writes.iter().enumerate() {
+            let f = ld.write(w);
+            prop_assert_eq!(f.is_some(), (i + 1) % 16 == 0);
+            if f.is_some() {
+                flushes += 1;
+            }
+        }
+        prop_assert_eq!(ld.stats().segments_flushed, flushes);
+    }
+
+    /// With the cleaner, every written block stays readable no matter
+    /// how far the workload outruns the disk.
+    #[test]
+    fn cleaner_preserves_all_live_blocks(
+        writes in prop::collection::vec(0u64..64, 1..1500),
+    ) {
+        let config = LdConfig { blocks: 64, segment_blocks: 8 };
+        let mut disk = CleaningDisk::new(config, 2);
+        let mut written = std::collections::HashSet::new();
+        for &w in &writes {
+            disk.write(w);
+            written.insert(w);
+        }
+        for &b in &written {
+            prop_assert!(disk.disk().read(b).is_some(), "block {} lost", b);
+        }
+    }
+}

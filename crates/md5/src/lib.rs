@@ -1,0 +1,265 @@
+//! RFC 1321 MD5, implemented from scratch.
+//!
+//! MD5 is the paper's representative **stream graft** (Section 3.2): a
+//! filter inserted into the I/O path that fingerprints file data so
+//! tampering can be detected. This crate provides the reference Rust
+//! implementation used three ways in the workspace:
+//!
+//! * as the `RustNative` row of Table 5;
+//! * as the *golden oracle* against which the Grail, bytecode, and
+//!   Tickle MD5 grafts are checked word for word;
+//! * as a plain library for anyone who wants a digest.
+//!
+//! The implementation is the streaming structure of the RFC reference
+//! code: 64-byte blocks, four rounds of sixteen operations, a 64-bit
+//! message-length counter, and the standard padding. The sine-derived
+//! `T` table is spelled out as constants, exactly as in the RFC
+//! appendix.
+//!
+//! # Examples
+//!
+//! ```
+//! let digest = graft_md5::digest(b"abc");
+//! assert_eq!(graft_md5::hex(&digest), "900150983cd24fb0d6963f7d28e17f72");
+//! ```
+
+/// The per-round shift amounts (RFC 1321 §3.4).
+pub const S: [u32; 64] = [
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, // round 1
+    5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, // round 2
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, // round 3
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, // round 4
+];
+
+/// The sine-derived additive constants `T[i] = floor(2^32 * |sin(i+1)|)`
+/// (RFC 1321 §3.4).
+pub const T: [u32; 64] = [
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a, 0xa8304613,
+    0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be, 0x6b901122, 0xfd987193,
+    0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa, 0xd62f105d,
+    0x02441453, 0xd8a1e681, 0xe7d3fbc8, 0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed,
+    0xa9e3e905, 0xfcefa3f8, 0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122,
+    0xfde5380c, 0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+    0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665, 0xf4292244,
+    0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92, 0xffeff47d, 0x85845dd1,
+    0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1, 0xf7537e82, 0xbd3af235, 0x2ad7d2bb,
+    0xeb86d391,
+];
+
+/// Initial chaining values A, B, C, D (RFC 1321 §3.3).
+pub const INIT: [u32; 4] = [0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476];
+
+/// A streaming MD5 context.
+///
+/// Mirrors the RFC's `MD5_CTX`: call [`Md5::update`] any number of
+/// times, then [`Md5::finish`].
+#[derive(Debug, Clone)]
+pub struct Md5 {
+    state: [u32; 4],
+    /// Total message length in bytes.
+    len: u64,
+    /// Pending partial block.
+    buf: [u8; 64],
+    buf_len: usize,
+}
+
+impl Default for Md5 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Md5 {
+    /// Starts a new digest.
+    pub fn new() -> Self {
+        Md5 {
+            state: INIT,
+            len: 0,
+            buf: [0; 64],
+            buf_len: 0,
+        }
+    }
+
+    /// Absorbs `data` into the digest.
+    pub fn update(&mut self, data: &[u8]) {
+        self.len = self.len.wrapping_add(data.len() as u64);
+        let mut rest = data;
+        if self.buf_len > 0 {
+            let take = rest.len().min(64 - self.buf_len);
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&rest[..take]);
+            self.buf_len += take;
+            rest = &rest[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        let mut chunks = rest.chunks_exact(64);
+        for block in &mut chunks {
+            let mut b = [0u8; 64];
+            b.copy_from_slice(block);
+            self.compress(&b);
+        }
+        let tail = chunks.remainder();
+        if !tail.is_empty() {
+            self.buf[..tail.len()].copy_from_slice(tail);
+            self.buf_len = tail.len();
+        }
+    }
+
+    /// Pads and produces the 16-byte fingerprint.
+    pub fn finish(mut self) -> [u8; 16] {
+        let bit_len = self.len.wrapping_mul(8);
+        // Append 0x80 then zeros until 56 mod 64, then the length.
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0]);
+        }
+        // The length bytes must not be counted, so write them directly.
+        self.buf[56..64].copy_from_slice(&bit_len.to_le_bytes());
+        let block = self.buf;
+        self.compress(&block);
+        let mut out = [0u8; 16];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    /// The current chaining state (exposed so graft implementations can
+    /// be compared mid-stream in tests).
+    pub fn state(&self) -> [u32; 4] {
+        self.state
+    }
+
+    /// The RFC 1321 compression function over one 64-byte block.
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut m = [0u32; 16];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            m[i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        let [mut a, mut b, mut c, mut d] = self.state;
+        for i in 0..64 {
+            let (f, g) = match i / 16 {
+                0 => ((b & c) | (!b & d), i),
+                1 => ((d & b) | (!d & c), (5 * i + 1) % 16),
+                2 => (b ^ c ^ d, (3 * i + 5) % 16),
+                _ => (c ^ (b | !d), (7 * i) % 16),
+            };
+            let tmp = d;
+            d = c;
+            c = b;
+            let sum = a.wrapping_add(f).wrapping_add(T[i]).wrapping_add(m[g]);
+            b = b.wrapping_add(sum.rotate_left(S[i]));
+            a = tmp;
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+    }
+}
+
+/// One-shot digest of a byte slice.
+pub fn digest(data: &[u8]) -> [u8; 16] {
+    let mut ctx = Md5::new();
+    ctx.update(data);
+    ctx.finish()
+}
+
+/// Renders a digest as lowercase hex.
+pub fn hex(digest: &[u8; 16]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(32);
+    for b in digest {
+        let _ = write!(out, "{b:02x}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The RFC 1321 appendix A.5 test suite, verbatim.
+    #[test]
+    fn rfc1321_test_suite() {
+        let cases: [(&[u8], &str); 7] = [
+            (b"", "d41d8cd98f00b204e9800998ecf8427e"),
+            (b"a", "0cc175b9c0f1b6a831c399e269772661"),
+            (b"abc", "900150983cd24fb0d6963f7d28e17f72"),
+            (b"message digest", "f96b697d7cb7938d525a2f31aaf161d0"),
+            (
+                b"abcdefghijklmnopqrstuvwxyz",
+                "c3fcd3d76192e4007dfb496cca67e13b",
+            ),
+            (
+                b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+                "d174ab98d277d9f5a5611c2c9f419d9f",
+            ),
+            (
+                b"12345678901234567890123456789012345678901234567890123456789012345678901234567890",
+                "57edf4a22be3c955ac49da2e2107b67a",
+            ),
+        ];
+        for (input, want) in cases {
+            assert_eq!(hex(&digest(input)), want, "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn streaming_matches_one_shot_at_every_split() {
+        let data: Vec<u8> = (0..200u16).map(|i| (i * 7 % 251) as u8).collect();
+        let want = digest(&data);
+        for split in 0..data.len() {
+            let mut ctx = Md5::new();
+            ctx.update(&data[..split]);
+            ctx.update(&data[split..]);
+            assert_eq!(ctx.finish(), want, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn many_small_updates_match() {
+        let data = vec![0xABu8; 1000];
+        let want = digest(&data);
+        let mut ctx = Md5::new();
+        for b in &data {
+            ctx.update(std::slice::from_ref(b));
+        }
+        assert_eq!(ctx.finish(), want);
+    }
+
+    #[test]
+    fn block_boundary_lengths() {
+        // Lengths straddling the 56-byte padding boundary and the
+        // 64-byte block boundary are the classic bug farm.
+        for len in [55, 56, 57, 63, 64, 65, 119, 120, 128] {
+            let data = vec![b'x'; len];
+            let one = digest(&data);
+            let mut ctx = Md5::new();
+            ctx.update(&data);
+            assert_eq!(ctx.finish(), one, "len {len}");
+        }
+    }
+
+    #[test]
+    fn single_bit_change_changes_fingerprint() {
+        let a = vec![0u8; 4096];
+        let mut b = a.clone();
+        b[2048] ^= 1;
+        assert_ne!(digest(&a), digest(&b));
+    }
+
+    #[test]
+    fn split_updates_match_on_the_megabyte_workload() {
+        // Deterministic 1 MB workload used by the Table 5 harness; the
+        // same generator feeds every technology.
+        let data: Vec<u8> = (0..1 << 20).map(|i| (i % 251) as u8).collect();
+        let mut ctx = Md5::new();
+        ctx.update(&data[..500_000]);
+        ctx.update(&data[500_000..]);
+        assert_eq!(ctx.finish(), digest(&data));
+    }
+}

@@ -1,0 +1,50 @@
+//! Property tests for the MD5 reference implementation.
+
+use graft_md5::{digest, hex, Md5};
+use proptest::prelude::*;
+
+proptest! {
+    /// Streaming in arbitrary chunkings always equals the one-shot
+    /// digest.
+    #[test]
+    fn chunking_is_irrelevant(
+        data in prop::collection::vec(any::<u8>(), 0..600),
+        cuts in prop::collection::vec(any::<u16>(), 0..8),
+    ) {
+        let want = digest(&data);
+        let mut cuts: Vec<usize> = cuts
+            .into_iter()
+            .map(|c| c as usize % (data.len() + 1))
+            .collect();
+        cuts.sort_unstable();
+        let mut ctx = Md5::new();
+        let mut at = 0;
+        for cut in cuts {
+            ctx.update(&data[at..cut.max(at)]);
+            at = cut.max(at);
+        }
+        ctx.update(&data[at..]);
+        prop_assert_eq!(ctx.finish(), want);
+    }
+
+    /// Any single-bit corruption is detected.
+    #[test]
+    fn single_corruption_is_detected(
+        mut data in prop::collection::vec(any::<u8>(), 1..300),
+        at in any::<u16>(),
+        bit in 0u8..8,
+    ) {
+        let clean = digest(&data);
+        let at = at as usize % data.len();
+        data[at] ^= 1 << bit;
+        prop_assert_ne!(digest(&data), clean);
+    }
+
+    /// Hex rendering is 32 lowercase hex chars.
+    #[test]
+    fn hex_shape(data in prop::collection::vec(any::<u8>(), 0..64)) {
+        let h = hex(&digest(&data));
+        prop_assert_eq!(h.len(), 32);
+        prop_assert!(h.chars().all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
+    }
+}

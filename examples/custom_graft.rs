@@ -1,0 +1,98 @@
+//! Writing your own graft: author Grail source inline, package it,
+//! load it under several technologies, and watch the protection
+//! mechanisms contain a buggy version.
+//!
+//! Run with: `cargo run --example custom_graft`
+
+use graftbench::api::{GraftClass, GraftSpec, Motivation, RegionSpec, Technology, Trap};
+use graftbench::core::GraftManager;
+
+/// A tiny policy graft: score I/O requests by (priority << 8) - age.
+const GOOD: &str = r#"
+fn score(priority: int, age: int) -> int {
+    return (priority << 8) - age;
+}
+
+fn best(n: int) -> int {
+    // reqs holds (priority, age) pairs; return the index of the best.
+    let best_i = 0;
+    let best_s = score(reqs[0], reqs[1]);
+    let i = 1;
+    while i < n {
+        let s = score(reqs[i * 2], reqs[i * 2 + 1]);
+        if s > best_s {
+            best_s = s;
+            best_i = i;
+        }
+        i = i + 1;
+    }
+    return best_i;
+}
+"#;
+
+/// The same graft with a bug: it indexes past the marshalled requests.
+const BUGGY: &str = r#"
+fn best(n: int) -> int {
+    let i = 0;
+    let acc = 0;
+    while i <= n * 1000 {
+        acc = acc + reqs[i * 2];
+        i = i + 1;
+    }
+    return acc;
+}
+"#;
+
+fn spec_with(source: &str) -> GraftSpec {
+    GraftSpec::new("io-scheduler", GraftClass::Prioritization, Motivation::Policy)
+        .region(RegionSpec::data("reqs", 64))
+        .entry("best", 1)
+        .with_grail(source)
+}
+
+fn main() {
+    let manager = GraftManager::new();
+    let reqs: Vec<i64> = vec![
+        3, 10, // request 0: priority 3, age 10
+        9, 2, // request 1: priority 9, age 2
+        9, 90, // request 2: priority 9, but old
+        1, 0, // request 3
+    ];
+
+    println!("== well-behaved graft ==");
+    for tech in [
+        Technology::CompiledUnchecked,
+        Technology::SafeCompiled,
+        Technology::Sfi,
+        Technology::Bytecode,
+    ] {
+        let mut engine = manager.load(&spec_with(GOOD), tech).expect("load");
+        engine.load_region("reqs", 0, &reqs).expect("marshal");
+        let best = engine.invoke("best", &[4]).expect("invoke");
+        println!("{:<22} picks request {best}", tech.paper_name());
+        assert_eq!(best, 1, "priority 9, youngest");
+    }
+
+    println!("\n== buggy graft (reads far out of bounds) ==");
+    for tech in [
+        Technology::CompiledUnchecked,
+        Technology::SafeCompiled,
+        Technology::Sfi,
+        Technology::Bytecode,
+    ] {
+        let mut engine = manager.load(&spec_with(BUGGY), tech).expect("load");
+        engine.load_region("reqs", 0, &reqs).expect("marshal");
+        match engine.invoke("best", &[4]) {
+            Ok(v) => println!(
+                "{:<22} returned garbage {v} — stray reads wrapped inside its own memory",
+                tech.paper_name()
+            ),
+            Err(e) => {
+                assert!(matches!(e.as_trap(), Some(Trap::OutOfBounds { .. })));
+                println!("{:<22} trapped: {e}", tech.paper_name());
+            }
+        }
+    }
+    println!("\nUnsafe C computes nonsense; the safe technologies either confine");
+    println!("the damage (SFI) or convert it into a trap the kernel can handle.");
+}

@@ -1,0 +1,55 @@
+//! The hardware-protection alternative (§4.1): host a graft in a
+//! user-level server and measure what the upcall boundary costs.
+//!
+//! Run with: `cargo run --release --example upcall_server`
+
+use std::time::Duration;
+
+use graftbench::api::Technology;
+use graftbench::core::{breakeven, GraftManager};
+use graftbench::grafts::acl::{self, Rule, EXEC, READ, WRITE};
+use graftbench::kernsim::stats::measure_per_iter;
+
+fn main() {
+    let spec = acl::spec();
+    let rules = [
+        Rule { uid: 100, file: 1, modes: READ | WRITE },
+        Rule { uid: -1, file: 2, modes: READ },
+        Rule { uid: 100, file: 3, modes: EXEC },
+    ];
+
+    // In-kernel vs user-level hosting of the same compiled graft.
+    let manager = GraftManager::new();
+    let mut in_kernel = manager
+        .load(&spec, Technology::CompiledUnchecked)
+        .expect("in-kernel");
+    let mut served = manager.load(&spec, Technology::UserLevel).expect("server");
+    acl::load_rules(in_kernel.as_mut(), &rules).expect("marshal");
+    acl::load_rules(served.as_mut(), &rules).expect("marshal");
+
+    let fast = measure_per_iter(10, 5_000, || {
+        let _ = in_kernel.invoke("acl_check", &[100, 1, READ]);
+    });
+    let slow = measure_per_iter(10, 2_000, || {
+        let _ = served.invoke("acl_check", &[100, 1, READ]);
+    });
+    println!("ACL check, in kernel      : {}", fast.paper_style());
+    println!("ACL check, via upcall     : {}", slow.paper_style());
+    let upcall = Duration::from_nanos((slow.mean_ns - fast.mean_ns).max(0.0) as u64);
+    println!("upcall boundary costs     : ~{upcall:?} per invocation");
+
+    // The Figure 1 question: how many checks per saved event can each
+    // hosting afford, if a saved event is worth one 13 ms page fault?
+    let event = Duration::from_millis(13);
+    println!(
+        "break-even in kernel      : {:.0} calls per event saved",
+        breakeven::break_even(event, Duration::from_nanos(fast.mean_ns as u64))
+    );
+    println!(
+        "break-even via upcall     : {:.0} calls per event saved",
+        breakeven::break_even(event, Duration::from_nanos(slow.mean_ns as u64))
+    );
+    println!("\nFine-grained extensions cannot afford the boundary; coarse ones");
+    println!("(like the Logical Disk, one upcall per block write) can — the");
+    println!("paper's §6 conclusion.");
+}

@@ -1,0 +1,58 @@
+//! # graftbench
+//!
+//! A from-scratch reproduction of *"A Comparison of OS Extension
+//! Technologies"* (Christopher Small and Margo Seltzer, USENIX 1996
+//! Annual Technical Conference) as a Rust workspace.
+//!
+//! The paper asks: when an application grafts code into a running kernel,
+//! what does each *extension technology* — unsafe compiled C, a safe
+//! compiled language (Modula-3), software fault isolation (Omniware),
+//! interpreted bytecode (Java), a source-interpreted script language
+//! (Tcl), or a user-level server reached by upcall — cost, and when is a
+//! graft worth it?
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`api`] — taxonomy, technologies, the region ABI, the engine trait.
+//! * [`lang`] — Grail, the extension language grafts are written in.
+//! * [`ir`] — the machine-independent register IR for compiled engines.
+//! * [`native`] — the threaded-code engine (C / Modula-3 / Omniware
+//!   modes) with SFI instrumentation and load-time verification.
+//! * [`bytecode`] — the stack bytecode VM (Java analogue).
+//! * [`script`] — Tickle, the Tcl-analogue string interpreter.
+//! * [`kernsim`] — the simulated kernel substrate: VM paging, disk
+//!   model, upcall server, and lmbench-style live measurements.
+//! * [`md5`] — RFC 1321 MD5, the paper's stream graft workload.
+//! * [`logdisk`] — the Logical Disk facility, the black-box workload.
+//! * [`grafts`] — the benchmark grafts in every technology.
+//! * [`core`] — the `GraftManager`, break-even analysis, and the
+//!   experiment runners that regenerate each table and figure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use graftbench::api::Technology;
+//! use graftbench::core::GraftManager;
+//! use graftbench::grafts::eviction;
+//!
+//! // Load the paper's VM page-eviction graft under the Modula-3-analogue
+//! // technology and ask it to pick an eviction victim.
+//! let spec = eviction::spec();
+//! let mut engine = GraftManager::new().load(&spec, Technology::SafeCompiled).unwrap();
+//! let scenario = eviction::Scenario::example();
+//! let (lru_head, hot_head) = scenario.marshal(engine.as_mut()).unwrap();
+//! let victim = engine.invoke("select_victim", &[lru_head, hot_head]).unwrap();
+//! assert_eq!(victim as u64, scenario.reference_victim());
+//! ```
+
+pub use engine_bytecode as bytecode;
+pub use engine_native as native;
+pub use engine_script as script;
+pub use graft_api as api;
+pub use graft_core as core;
+pub use graft_ir as ir;
+pub use graft_lang as lang;
+pub use graft_md5 as md5;
+pub use grafts;
+pub use kernsim;
+pub use logdisk;

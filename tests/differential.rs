@@ -1,0 +1,213 @@
+//! Differential fuzzing across extension technologies.
+//!
+//! The paper's comparison is only meaningful if all technologies compute
+//! the *same function*; these properties generate random programs and
+//! random workloads and require every engine to agree bit for bit with
+//! a Rust evaluator.
+
+use proptest::prelude::*;
+
+use graftbench::api::{ExtensionEngine, RegionSpec};
+use graftbench::bytecode::BytecodeEngine;
+use graftbench::native::{load_grail, SafetyMode};
+use graftbench::script::ScriptEngine;
+
+/// A random arithmetic expression over three integer parameters.
+#[derive(Debug, Clone)]
+enum E {
+    Lit(i64),
+    Var(usize),
+    Bin(&'static str, Box<E>, Box<E>),
+    Neg(Box<E>),
+    BitNot(Box<E>),
+}
+
+impl E {
+    /// Reference semantics (identical to Grail's defined semantics).
+    fn eval(&self, vars: &[i64; 3]) -> i64 {
+        match self {
+            E::Lit(v) => *v,
+            E::Var(i) => vars[*i],
+            E::Neg(e) => e.eval(vars).wrapping_neg(),
+            E::BitNot(e) => !e.eval(vars),
+            E::Bin(op, a, b) => {
+                let (a, b) = (a.eval(vars), b.eval(vars));
+                match *op {
+                    "+" => a.wrapping_add(b),
+                    "-" => a.wrapping_sub(b),
+                    "*" => a.wrapping_mul(b),
+                    "&" => a & b,
+                    "|" => a | b,
+                    "^" => a ^ b,
+                    "<<" => a.wrapping_shl(b as u32 & 63),
+                    ">>" => ((a as u64).wrapping_shr(b as u32 & 63)) as i64,
+                    "/" => a.wrapping_div(b | 1),
+                    "%" => a.wrapping_rem(b | 1),
+                    other => unreachable!("{other}"),
+                }
+            }
+        }
+    }
+
+    /// Renders to a Grail expression (fully parenthesized).
+    fn grail(&self) -> String {
+        match self {
+            E::Lit(v) if *v < 0 => format!("(0 - {})", v.unsigned_abs()),
+            E::Lit(v) => v.to_string(),
+            E::Var(i) => ["a", "b", "c"][*i].to_string(),
+            E::Neg(e) => format!("(-{})", e.grail()),
+            E::BitNot(e) => format!("(~{})", e.grail()),
+            E::Bin(op, a, b) => match *op {
+                "/" | "%" => format!("({} {op} ({} | 1))", a.grail(), b.grail()),
+                _ => format!("({} {op} {})", a.grail(), b.grail()),
+            },
+        }
+    }
+
+    /// Renders to a Tickle `expr` expression.
+    fn tickle(&self) -> String {
+        match self {
+            E::Lit(v) if *v < 0 => format!("(0 - {})", v.unsigned_abs()),
+            E::Lit(v) => v.to_string(),
+            E::Var(i) => format!("${}", ["a", "b", "c"][*i]),
+            E::Neg(e) => format!("(-{})", e.tickle()),
+            E::BitNot(e) => format!("(~{})", e.tickle()),
+            E::Bin(op, a, b) => match *op {
+                "/" | "%" => format!("({} {op} ({} | 1))", a.tickle(), b.tickle()),
+                // Tickle's `>>` is logical, same as Grail's.
+                _ => format!("({} {op} {})", a.tickle(), b.tickle()),
+            },
+        }
+    }
+}
+
+fn expr_strategy() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        (-100_000i64..100_000).prop_map(E::Lit),
+        (0usize..3).prop_map(E::Var),
+    ];
+    leaf.prop_recursive(5, 32, 3, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![
+                    Just("+"),
+                    Just("-"),
+                    Just("*"),
+                    Just("&"),
+                    Just("|"),
+                    Just("^"),
+                    Just("<<"),
+                    Just(">>"),
+                    Just("/"),
+                    Just("%"),
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, a, b)| E::Bin(op, Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|e| E::Neg(Box::new(e))),
+            inner.prop_map(|e| E::BitNot(Box::new(e))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every compiled/interpreted technology computes the reference
+    /// value for arbitrary expressions — the core soundness property of
+    /// the whole comparison.
+    #[test]
+    fn engines_agree_on_random_expressions(
+        e in expr_strategy(),
+        vars in [any::<i32>(), any::<i32>(), any::<i32>()],
+    ) {
+        let vars = [vars[0] as i64, vars[1] as i64, vars[2] as i64];
+        let want = e.eval(&vars);
+
+        let grail = format!(
+            "fn f(a: int, b: int, c: int) -> int {{ return {}; }}",
+            e.grail()
+        );
+        for mode in [
+            SafetyMode::Unchecked,
+            SafetyMode::Safe { nil_checks: true },
+            SafetyMode::Sfi { read_protect: true },
+        ] {
+            let mut eng = load_grail(&grail, &[], mode).unwrap();
+            prop_assert_eq!(eng.invoke("f", &vars).unwrap(), want, "{:?}", mode);
+        }
+        let mut bc = BytecodeEngine::load_grail(&grail, &[]).unwrap();
+        prop_assert_eq!(bc.invoke("f", &vars).unwrap(), want, "bytecode");
+    }
+
+    /// The script technology agrees too (fewer cases — it is four
+    /// orders of magnitude slower, which is rather the point).
+    #[test]
+    fn tickle_agrees_on_random_expressions(
+        e in expr_strategy(),
+        vars in [any::<i16>(), any::<i16>(), any::<i16>()],
+    ) {
+        let vars = [vars[0] as i64, vars[1] as i64, vars[2] as i64];
+        let want = e.eval(&vars);
+        let tickle = format!(
+            "proc f {{a b c}} {{ return [expr {}] }}",
+            e.tickle()
+        );
+        let mut eng = ScriptEngine::load(&tickle, &[]).unwrap();
+        prop_assert_eq!(eng.invoke("f", &vars).unwrap(), want);
+    }
+
+    /// Region traffic: random store/load sequences behave like a plain
+    /// array under every technology.
+    #[test]
+    fn region_semantics_match_a_flat_array(
+        ops in prop::collection::vec((0usize..32, any::<i32>()), 1..40),
+    ) {
+        let grail = r#"
+            fn put(i: int, v: int) { buf[i] = v; }
+            fn get(i: int) -> int { return buf[i]; }
+        "#;
+        let regions = [RegionSpec::data("buf", 32)];
+        let mut engines: Vec<Box<dyn ExtensionEngine>> = vec![
+            Box::new(load_grail(grail, &regions, SafetyMode::Unchecked).unwrap()),
+            Box::new(load_grail(grail, &regions, SafetyMode::Safe { nil_checks: true }).unwrap()),
+            Box::new(load_grail(grail, &regions, SafetyMode::Sfi { read_protect: false }).unwrap()),
+            Box::new(BytecodeEngine::load_grail(grail, &regions).unwrap()),
+        ];
+        let mut model = [0i64; 32];
+        for (i, v) in ops {
+            let v = v as i64;
+            model[i] = v;
+            for eng in engines.iter_mut() {
+                eng.invoke("put", &[i as i64, v]).unwrap();
+            }
+        }
+        for i in 0..32usize {
+            for eng in engines.iter_mut() {
+                prop_assert_eq!(eng.invoke("get", &[i as i64]).unwrap(), model[i]);
+            }
+        }
+    }
+
+    /// The MD5 graft matches the reference implementation on arbitrary
+    /// inputs and chunkings.
+    #[test]
+    fn md5_graft_matches_reference_on_random_bytes(
+        data in prop::collection::vec(any::<u8>(), 0..400),
+        split in 0usize..400,
+    ) {
+        let split = split.min(data.len());
+        let spec = graftbench::grafts::md5::spec();
+        let mut eng = load_grail(
+            spec.grail.as_ref().unwrap(),
+            &spec.regions,
+            SafetyMode::Safe { nil_checks: true },
+        )
+        .unwrap();
+        let mut g = graftbench::grafts::md5::Md5Graft::start(&mut eng).unwrap();
+        g.update(&data[..split]).unwrap();
+        g.update(&data[split..]).unwrap();
+        prop_assert_eq!(g.finish().unwrap(), graftbench::md5::digest(&data));
+    }
+}

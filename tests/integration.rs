@@ -1,0 +1,163 @@
+//! Cross-crate integration: a graft actually driving kernel policy.
+//!
+//! This is the paper's whole premise exercised end to end: the kernel
+//! simulator's pager consults the eviction graft (running under a safe
+//! technology) on every eviction, and the application's hot pages stay
+//! resident where plain LRU would have evicted them.
+
+use graftbench::api::{ExtensionEngine, Technology};
+use graftbench::core::GraftManager;
+use graftbench::grafts::eviction::{self, Scenario};
+use graftbench::kernsim::vm::{EvictionPolicy, LruPolicy, LruQueue, PageId, Pager};
+
+/// An eviction policy that upcalls into a loaded graft, marshalling the
+/// kernel's LRU queue and the application's hot list on each decision.
+struct GraftPolicy {
+    engine: Box<dyn ExtensionEngine>,
+    hot: Vec<u64>,
+}
+
+impl EvictionPolicy for GraftPolicy {
+    fn select_victim(&mut self, queue: &LruQueue) -> Option<PageId> {
+        let snapshot: Vec<u64> = queue.iter_lru().collect();
+        let scenario = Scenario {
+            queue: snapshot,
+            hot: self.hot.clone(),
+        };
+        let (lru, hot) = scenario.marshal(self.engine.as_mut()).ok()?;
+        self.engine
+            .invoke("select_victim", &[lru, hot])
+            .ok()
+            .map(|v| v as u64)
+    }
+}
+
+/// A workload where hot-list protection matters: the application
+/// announces pages it will revisit, then streams through filler pages
+/// that would flush them out of a plain LRU.
+fn run_workload<P: EvictionPolicy>(pager: &mut Pager<P>) {
+    let hot: Vec<u64> = (0..8).collect();
+    // Touch the hot pages once.
+    for &p in &hot {
+        pager.access(p);
+    }
+    // Stream 3 rounds of filler, then revisit the hot set, repeatedly.
+    for round in 0..5u64 {
+        for filler in 0..24 {
+            pager.access(1000 + round * 24 + filler);
+        }
+        for &p in &hot {
+            pager.access(p);
+        }
+    }
+}
+
+#[test]
+fn graft_policy_protects_hot_pages_where_lru_thrashes() {
+    for tech in [
+        Technology::SafeCompiled,
+        Technology::Sfi,
+        Technology::RustNative,
+    ] {
+        let engine = GraftManager::new()
+            .load(&eviction::spec(), tech)
+            .expect("load eviction graft");
+        let policy = GraftPolicy {
+            engine,
+            hot: (0..8).collect(),
+        };
+        let mut grafted = Pager::new(16, policy);
+        let mut plain = Pager::new(16, LruPolicy);
+        run_workload(&mut grafted);
+        run_workload(&mut plain);
+
+        let g = grafted.stats();
+        let l = plain.stats();
+        assert!(
+            g.refaults < l.refaults,
+            "{tech}: graft refaults {} must beat LRU refaults {}",
+            g.refaults,
+            l.refaults
+        );
+    }
+}
+
+#[test]
+fn graft_policy_decisions_match_between_technologies_in_vivo() {
+    // Run the same pager workload under two technologies and require
+    // identical eviction statistics — the technologies must be
+    // behaviorally indistinguishable, only differently priced.
+    let mut stats = Vec::new();
+    for tech in [
+        Technology::CompiledUnchecked,
+        Technology::SafeCompiled,
+        Technology::Bytecode,
+        Technology::RustNative,
+    ] {
+        let engine = GraftManager::new()
+            .load(&eviction::spec(), tech)
+            .expect("load");
+        let policy = GraftPolicy {
+            engine,
+            hot: (0..8).collect(),
+        };
+        let mut pager = Pager::new(16, policy);
+        run_workload(&mut pager);
+        stats.push((tech, pager.stats()));
+    }
+    for pair in stats.windows(2) {
+        assert_eq!(
+            pair[0].1, pair[1].1,
+            "{} and {} disagree",
+            pair[0].0, pair[1].0
+        );
+    }
+}
+
+#[test]
+fn md5_graft_fingerprints_what_the_kernel_streams() {
+    // Kernel reads a "file" in odd-sized chunks and streams it through
+    // the graft; the fingerprint must match hashing the file directly.
+    let file: Vec<u8> = (0..100_000u32).map(|i| (i * 131 % 256) as u8).collect();
+    let want = graftbench::md5::digest(&file);
+    let spec = graftbench::grafts::md5::spec();
+    let mut engine = GraftManager::new()
+        .load(&spec, Technology::SafeCompiled)
+        .expect("load");
+    let mut graft = graftbench::grafts::md5::Md5Graft::start(engine.as_mut()).expect("start");
+    let mut at = 0usize;
+    let mut step = 1usize;
+    while at < file.len() {
+        let end = (at + step).min(file.len());
+        graft.update(&file[at..end]).expect("update");
+        at = end;
+        step = step % 4096 + 97; // odd, varying chunk sizes
+    }
+    assert_eq!(graft.finish().expect("finish"), want);
+}
+
+#[test]
+fn logical_disk_graft_tracks_the_reference_through_kernel_flushes() {
+    use graftbench::logdisk::{LdConfig, LogicalDisk};
+    let blocks = 2048;
+    let spec = graftbench::grafts::logdisk::spec_sized(blocks);
+    let mut engine = GraftManager::new()
+        .load(&spec, Technology::Sfi)
+        .expect("load");
+    graftbench::grafts::logdisk::init_map(engine.as_mut(), blocks).expect("init");
+    let mut reference = LogicalDisk::new(LdConfig {
+        blocks,
+        segment_blocks: 16,
+    });
+    let mut graft_flushes = 0u64;
+    for w in graftbench::logdisk::workload::skewed(blocks, 3_000, 5) {
+        let flushed = engine.invoke("ld_write", &[w as i64]).expect("write");
+        if reference.write(w).is_some() {
+            assert_eq!(flushed, 1, "flush boundaries must align");
+            graft_flushes += 1;
+        } else {
+            assert_eq!(flushed, 0);
+        }
+    }
+    assert_eq!(graft_flushes, reference.stats().segments_flushed);
+}

@@ -1,0 +1,116 @@
+//! Semantic-preservation tests for the load-time IR optimizer, run
+//! through the real engines (they live here rather than in `graft-ir`
+//! to avoid a dev-dependency cycle with the engines).
+
+use graftbench::api::{ExtensionEngine, RegionSpec, Technology, Trap};
+use graftbench::ir;
+use graftbench::native::{CompiledEngine, SafetyMode};
+use proptest::prelude::*;
+
+fn lower(src: &str) -> ir::Module {
+    let hir = graftbench::lang::compile(src, &[RegionSpec::data("buf", 8)]).unwrap();
+    ir::lower(&hir)
+}
+
+fn run(module: ir::Module, mode: SafetyMode, entry: &str, args: &[i64]) -> i64 {
+    let mut e = CompiledEngine::load(module, mode).unwrap();
+    e.invoke(entry, args).unwrap()
+}
+
+#[test]
+fn optimizer_preserves_a_representative_program() {
+    let src = r#"
+        var acc = 0;
+        fn helper(x: int) -> int { return x * 2 + 1; }
+        fn f(n: int) -> int {
+            acc = 0;
+            let i = 0;
+            while i < n {
+                buf[i & 7] = helper(i);
+                acc = acc + buf[i & 7];
+                i = i + 1;
+            }
+            if n > 100 { return 0 - acc; }
+            return acc;
+        }
+    "#;
+    let plain = lower(src);
+    let mut opt = plain.clone();
+    ir::optimize(&mut opt);
+    ir::verify(&opt).unwrap();
+    for n in [0i64, 1, 7, 20, 150] {
+        for mode in [
+            SafetyMode::Unchecked,
+            SafetyMode::Safe { nil_checks: true },
+            SafetyMode::Sfi { read_protect: true },
+        ] {
+            assert_eq!(
+                run(plain.clone(), mode, "f", &[n]),
+                run(opt.clone(), mode, "f", &[n]),
+                "n = {n}, {mode:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn optimizer_keeps_constant_division_trapping() {
+    let mut m = lower("fn f() -> int { return 1 / 0; }");
+    ir::optimize(&mut m);
+    let mut e = CompiledEngine::load(m, SafetyMode::Unchecked).unwrap();
+    assert_eq!(
+        e.invoke("f", &[]).unwrap_err().as_trap(),
+        Some(&Trap::DivByZero)
+    );
+}
+
+#[test]
+fn manager_optimize_flag_is_transparent() {
+    let spec = graftbench::grafts::eviction::spec();
+    let scenario = graftbench::grafts::eviction::Scenario::paper_default(5);
+    for optimize in [false, true] {
+        let manager = graftbench::core::GraftManager {
+            optimize,
+            ..graftbench::core::GraftManager::new()
+        };
+        for tech in [
+            Technology::CompiledUnchecked,
+            Technology::SafeCompiled,
+            Technology::Sfi,
+        ] {
+            let mut e = manager.load(&spec, tech).unwrap();
+            let (lru, hot) = scenario.marshal(e.as_mut()).unwrap();
+            assert_eq!(
+                e.invoke("select_victim", &[lru, hot]).unwrap(),
+                scenario.reference_victim() as i64,
+                "optimize={optimize}, {tech}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random straight-line arithmetic: optimized and unoptimized code
+    /// agree on every engine mode.
+    #[test]
+    fn optimizer_preserves_random_arithmetic(
+        a in -1000i64..1000,
+        b in -1000i64..1000,
+        x in any::<i16>(),
+    ) {
+        let src = format!(
+            "fn f(x: int) -> int {{ let t = {a} * 3 + {b}; return (x ^ t) + (t >> 2) - (x & {a}); }}"
+        );
+        let plain = lower(&src);
+        let mut opt = plain.clone();
+        ir::optimize(&mut opt);
+        ir::verify(&opt).unwrap();
+        let args = [x as i64];
+        prop_assert_eq!(
+            run(plain, SafetyMode::Unchecked, "f", &args),
+            run(opt, SafetyMode::Unchecked, "f", &args)
+        );
+    }
+}

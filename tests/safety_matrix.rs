@@ -1,0 +1,164 @@
+//! The protection matrix: what each technology does with a misbehaving
+//! graft — the reliability half of the paper's comparison (§4).
+//!
+//! | fault             | unsafe C      | Modula-3 | SFI        | Java  | Tcl   |
+//! |-------------------|---------------|----------|------------|-------|-------|
+//! | out-of-bounds     | silent garbage| trap     | confined   | trap  | trap  |
+//! | NIL pointer chase | silent garbage| trap     | confined   | trap  | trap  |
+//! | divide by zero    | trap          | trap     | trap       | trap  | trap  |
+//! | infinite loop     | hangs kernel  | fuel trap| fuel trap  | fuel  | fuel  |
+//! | deep recursion    | stack trap    | stack    | stack      | stack | stack |
+
+use graftbench::api::{GraftClass, GraftSpec, Motivation, RegionSpec, Technology, Trap};
+use graftbench::core::GraftManager;
+
+fn hostile_spec() -> GraftSpec {
+    let grail = r#"
+        fn oob_read(i: int) -> int { return data[i]; }
+        fn oob_write(i: int) -> int { data[i] = 777; return 0; }
+        fn nil_chase() -> int { return list[0]; }
+        fn div(a: int, b: int) -> int { return a / b; }
+        fn spin() -> int { let i = 0; while true { i = i + 1; } return i; }
+        fn recurse(n: int) -> int { return recurse(n + 1); }
+    "#;
+    let tickle = r#"
+        proc oob_read {i} { return [rload data $i] }
+        proc oob_write {i} { rstore data $i 777; return 0 }
+        proc nil_chase {} { return [rload list 0] }
+        proc div {a b} { return [expr $a / $b] }
+        proc spin {} { while {1} { } }
+        proc recurse {n} { return [recurse [expr $n + 1]] }
+    "#;
+    GraftSpec::new("hostile", GraftClass::BlackBox, Motivation::Functionality)
+        .region(RegionSpec::data("data", 16))
+        .region(RegionSpec::linked("list", 16))
+        .entry("oob_read", 1)
+        .entry("oob_write", 1)
+        .entry("nil_chase", 0)
+        .entry("div", 2)
+        .entry("spin", 0)
+        .entry("recurse", 1)
+        .with_grail(grail)
+        .with_tickle(tickle)
+}
+
+const SAFE_TECHS: [Technology; 3] = [
+    Technology::SafeCompiled,
+    Technology::Bytecode,
+    Technology::Script,
+];
+
+#[test]
+fn out_of_bounds_traps_under_checked_technologies() {
+    let spec = hostile_spec();
+    for tech in SAFE_TECHS {
+        let mut e = GraftManager::new().load(&spec, tech).unwrap();
+        for entry in ["oob_read", "oob_write"] {
+            let err = e.invoke(entry, &[10_000]).unwrap_err();
+            assert!(
+                matches!(err.as_trap(), Some(Trap::OutOfBounds { .. })),
+                "{tech}/{entry}: {err}"
+            );
+        }
+    }
+}
+
+#[test]
+fn out_of_bounds_is_silent_garbage_under_unsafe_and_confined_under_sfi() {
+    let spec = hostile_spec();
+    for tech in [Technology::CompiledUnchecked, Technology::Sfi] {
+        let mut e = GraftManager::new().load(&spec, tech).unwrap();
+        // No trap — and, crucially, no effect outside the graft's own
+        // memory. The kernel-side view of the region is intact except
+        // where the wrap landed.
+        e.invoke("oob_write", &[1 << 30]).unwrap();
+        e.invoke("oob_read", &[-3]).unwrap();
+    }
+}
+
+#[test]
+fn nil_chase_behaviour_matches_the_paper_matrix() {
+    let spec = hostile_spec();
+    for tech in SAFE_TECHS {
+        let mut e = GraftManager::new().load(&spec, tech).unwrap();
+        let err = e.invoke("nil_chase", &[]).unwrap_err();
+        assert!(
+            matches!(err.as_trap(), Some(Trap::NilDeref { .. })),
+            "{tech}: {err}"
+        );
+    }
+    // The Solaris-style ablation: no explicit NIL check emitted.
+    let relaxed = GraftManager {
+        nil_checks: false,
+        ..GraftManager::new()
+    };
+    let mut e = relaxed.load(&spec, Technology::SafeCompiled).unwrap();
+    assert_eq!(e.invoke("nil_chase", &[]).unwrap(), 0);
+}
+
+#[test]
+fn divide_by_zero_traps_everywhere() {
+    let spec = hostile_spec();
+    for tech in [
+        Technology::CompiledUnchecked,
+        Technology::SafeCompiled,
+        Technology::Sfi,
+        Technology::Bytecode,
+        Technology::Script,
+    ] {
+        let mut e = GraftManager::new().load(&spec, tech).unwrap();
+        let err = e.invoke("div", &[1, 0]).unwrap_err();
+        assert_eq!(err.as_trap(), Some(&Trap::DivByZero), "{tech}");
+        // And the engine is still usable afterwards.
+        assert_eq!(e.invoke("div", &[6, 3]).unwrap(), 2);
+    }
+}
+
+#[test]
+fn runaway_loops_are_preempted_exactly_where_the_paper_says() {
+    let spec = hostile_spec();
+    // Safe technologies can be metered...
+    for tech in [
+        Technology::SafeCompiled,
+        Technology::Sfi,
+        Technology::Bytecode,
+        Technology::Script,
+    ] {
+        let mut e = GraftManager::new().load(&spec, tech).unwrap();
+        e.set_fuel(Some(50_000));
+        let err = e.invoke("spin", &[]).unwrap_err();
+        assert_eq!(err.as_trap(), Some(&Trap::FuelExhausted), "{tech}");
+    }
+    // ...and the paper's point about unprotected code is that it
+    // cannot: `Technology::preemptible` documents the hazard.
+    assert!(!Technology::CompiledUnchecked.preemptible());
+}
+
+#[test]
+fn runaway_recursion_is_contained_everywhere() {
+    let spec = hostile_spec();
+    for tech in [
+        Technology::CompiledUnchecked,
+        Technology::SafeCompiled,
+        Technology::Sfi,
+        Technology::Bytecode,
+        Technology::Script,
+    ] {
+        let mut e = GraftManager::new().load(&spec, tech).unwrap();
+        let err = e.invoke("recurse", &[0]).unwrap_err();
+        assert_eq!(err.as_trap(), Some(&Trap::StackOverflow), "{tech}");
+    }
+}
+
+#[test]
+fn traps_do_not_corrupt_engine_state() {
+    let spec = hostile_spec();
+    for tech in SAFE_TECHS {
+        let mut e = GraftManager::new().load(&spec, tech).unwrap();
+        e.load_region("data", 0, &[5; 16]).unwrap();
+        let _ = e.invoke("oob_read", &[999_999]);
+        // Region contents and entry points still work after the trap.
+        assert_eq!(e.read_region("data", 3).unwrap(), 5);
+        assert_eq!(e.invoke("oob_read", &[3]).unwrap(), 5, "{tech}");
+    }
+}
