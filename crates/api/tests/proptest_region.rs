@@ -1,59 +1,63 @@
 //! Model-based property tests for the region store (the kernel/graft
-//! shared-memory ABI).
+//! shared-memory ABI), driven by a seeded RNG (no network deps).
 
 use graft_api::{RegionSpec, RegionStore};
-use proptest::prelude::*;
+use graft_rng::{Rng, SmallRng};
 
-proptest! {
-    /// Kernel-side writes and reads behave like a flat array, and every
-    /// out-of-range access is rejected without mutating anything.
-    #[test]
-    fn region_store_matches_a_vec_model(
-        len in 1usize..64,
-        ops in prop::collection::vec((any::<u8>(), any::<i64>()), 0..100),
-    ) {
+/// Kernel-side writes and reads behave like a flat array, and every
+/// out-of-range access is rejected without mutating anything.
+#[test]
+fn region_store_matches_a_vec_model() {
+    let mut rng = SmallRng::seed_from_u64(0xA110);
+    for _case in 0..64 {
+        let len = rng.gen_range(1usize..64);
+        let nops = rng.gen_range(0usize..100);
         let mut store = RegionStore::new(&[RegionSpec::data("r", len)]).unwrap();
         let mut model = vec![0i64; len];
-        for (idx, value) in ops {
-            let idx = idx as usize;
+        for _ in 0..nops {
+            let idx = (rng.next_u64() & 0xFF) as usize;
+            let value = rng.next_u64() as i64;
             let result = store.write("r", idx, value);
             if idx < len {
-                prop_assert!(result.is_ok());
+                assert!(result.is_ok());
                 model[idx] = value;
             } else {
-                prop_assert!(result.is_err());
+                assert!(result.is_err());
             }
         }
         for (i, &want) in model.iter().enumerate() {
-            prop_assert_eq!(store.read("r", i).unwrap(), want);
+            assert_eq!(store.read("r", i).unwrap(), want);
         }
         // Bulk read agrees with the model too.
         let mut out = vec![0i64; len];
         store.read_slice("r", 0, &mut out).unwrap();
-        prop_assert_eq!(out, model);
+        assert_eq!(out, model);
     }
+}
 
-    /// Bulk loads land exactly where requested and nowhere else.
-    #[test]
-    fn bulk_load_is_exact(
-        len in 8usize..64,
-        offset in 0usize..64,
-        data in prop::collection::vec(any::<i64>(), 0..64),
-    ) {
+/// Bulk loads land exactly where requested and nowhere else.
+#[test]
+fn bulk_load_is_exact() {
+    let mut rng = SmallRng::seed_from_u64(0xB01D);
+    for _case in 0..128 {
+        let len = rng.gen_range(8usize..64);
+        let offset = rng.gen_range(0usize..64);
+        let dlen = rng.gen_range(0usize..64);
+        let data: Vec<i64> = (0..dlen).map(|_| rng.next_u64() as i64).collect();
         let mut store = RegionStore::new(&[RegionSpec::data("r", len)]).unwrap();
         let fits = offset.checked_add(data.len()).map_or(false, |e| e <= len);
         let result = store.load("r", offset, &data);
-        prop_assert_eq!(result.is_ok(), fits);
+        assert_eq!(result.is_ok(), fits);
         if fits {
             for (i, &v) in data.iter().enumerate() {
-                prop_assert_eq!(store.read("r", offset + i).unwrap(), v);
+                assert_eq!(store.read("r", offset + i).unwrap(), v);
             }
             // Words outside the written window are still zero.
             for i in 0..offset {
-                prop_assert_eq!(store.read("r", i).unwrap(), 0);
+                assert_eq!(store.read("r", i).unwrap(), 0);
             }
             for i in offset + data.len()..len {
-                prop_assert_eq!(store.read("r", i).unwrap(), 0);
+                assert_eq!(store.read("r", i).unwrap(), 0);
             }
         }
     }

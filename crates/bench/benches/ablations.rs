@@ -6,16 +6,23 @@
 //! * Logical Disk with and without the cleaner extension;
 //! * the load-time IR optimizer on/off (the optimizer omniC++ 1.0β was
 //!   measured without).
+//!
+//! Self-timing plain binary: `kernsim::stats` does the repetition and
+//! statistics work (no external bench harness, which would need the
+//! network to resolve).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use engine_native::{load_grail, SafetyMode};
 use grafts::eviction;
+use kernsim::stats::{measure, measure_per_iter, Sample};
 use logdisk::{cleaner::CleaningDisk, LdConfig, LogicalDisk};
 
-fn nil_checks(c: &mut Criterion) {
+fn report(group: &str, label: &str, s: &Sample) {
+    println!("{group}/{label:<18} {}", s.robust_style());
+}
+
+fn nil_checks() {
     let spec = eviction::spec();
     let scenario = eviction::Scenario::paper_default(42);
-    let mut group = c.benchmark_group("ablation_nil_checks");
     for (label, nil) in [("nil_checks_on", true), ("nil_checks_off", false)] {
         let mut engine = load_grail(
             spec.grail.as_ref().unwrap(),
@@ -24,20 +31,17 @@ fn nil_checks(c: &mut Criterion) {
         )
         .unwrap();
         let (lru, hot) = scenario.marshal(&mut engine).unwrap();
-        group.bench_function(label, |b| {
-            b.iter(|| {
-                graft_api::ExtensionEngine::invoke(&mut engine, "select_victim", &[lru, hot])
-                    .unwrap()
-            })
+        let s = measure_per_iter(30, 2_000, || {
+            graft_api::ExtensionEngine::invoke(&mut engine, "select_victim", &[lru, hot])
+                .unwrap();
         });
+        report("ablation_nil_checks", label, &s);
     }
-    group.finish();
 }
 
-fn sfi_read_protect(c: &mut Criterion) {
+fn sfi_read_protect() {
     let spec = grafts::md5::spec();
     let data = graft_core::experiment::md5_workload(4096);
-    let mut group = c.benchmark_group("ablation_sfi_read");
     for (label, prot) in [("read_protect_off", false), ("read_protect_on", true)] {
         let mut engine = load_grail(
             spec.grail.as_ref().unwrap(),
@@ -45,46 +49,40 @@ fn sfi_read_protect(c: &mut Criterion) {
             SafetyMode::Sfi { read_protect: prot },
         )
         .unwrap();
-        group.sample_size(20);
-        group.bench_function(label, |b| {
-            b.iter(|| grafts::md5::digest_via(&mut engine, &data).unwrap())
+        let s = measure(20, || {
+            grafts::md5::digest_via(&mut engine, &data).unwrap();
         });
+        report("ablation_sfi_read", label, &s);
     }
-    group.finish();
 }
 
-fn ld_cleaner(c: &mut Criterion) {
+fn ld_cleaner() {
     let config = LdConfig {
         blocks: 1024,
         segment_blocks: 16,
     };
     let writes: Vec<u64> = logdisk::workload::skewed(config.blocks, 1024, 7).collect();
-    let mut group = c.benchmark_group("ablation_ld_cleaner");
-    group.bench_function("no_cleaner", |b| {
-        b.iter(|| {
-            let mut d = LogicalDisk::new(config);
-            for &w in &writes {
-                d.write(w);
-            }
-            d.stats().segments_flushed
-        })
+    let s = measure(30, || {
+        let mut d = LogicalDisk::new(config);
+        for &w in &writes {
+            d.write(w);
+        }
+        std::hint::black_box(d.stats().segments_flushed);
     });
-    group.bench_function("with_cleaner", |b| {
-        b.iter(|| {
-            let mut d = CleaningDisk::new(config, 4);
-            for &w in &writes {
-                d.write(w);
-            }
-            d.stats().segments_reclaimed
-        })
+    report("ablation_ld_cleaner", "no_cleaner", &s);
+    let s = measure(30, || {
+        let mut d = CleaningDisk::new(config, 4);
+        for &w in &writes {
+            d.write(w);
+        }
+        std::hint::black_box(d.stats().segments_reclaimed);
     });
-    group.finish();
+    report("ablation_ld_cleaner", "with_cleaner", &s);
 }
 
-fn load_time_optimizer(c: &mut Criterion) {
+fn load_time_optimizer() {
     let spec = grafts::md5::spec();
     let data = graft_core::experiment::md5_workload(4096);
-    let mut group = c.benchmark_group("ablation_optimizer");
     for (label, optimize) in [("optimizer_off", false), ("optimizer_on", true)] {
         let manager = graft_core::GraftManager {
             optimize,
@@ -93,13 +91,16 @@ fn load_time_optimizer(c: &mut Criterion) {
         let mut engine = manager
             .load(&spec, graft_api::Technology::CompiledUnchecked)
             .unwrap();
-        group.sample_size(20);
-        group.bench_function(label, |b| {
-            b.iter(|| grafts::md5::digest_via(engine.as_mut(), &data).unwrap())
+        let s = measure(20, || {
+            grafts::md5::digest_via(engine.as_mut(), &data).unwrap();
         });
+        report("ablation_optimizer", label, &s);
     }
-    group.finish();
 }
 
-criterion_group!(benches, nil_checks, sfi_read_protect, ld_cleaner, load_time_optimizer);
-criterion_main!(benches);
+fn main() {
+    nil_checks();
+    sfi_read_protect();
+    ld_cleaner();
+    load_time_optimizer();
+}

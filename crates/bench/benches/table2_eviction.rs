@@ -1,30 +1,23 @@
-//! Criterion bench for Table 2: one `select_victim` invocation per
-//! technology on the paper's 64-entry hot-list scenario.
+//! Table 2 bench: one `select_victim` invocation per technology on the
+//! paper's 64-entry hot-list scenario. Self-timing plain binary over
+//! `kernsim::stats` (no external harness).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use graft_api::Technology;
 use graft_core::GraftManager;
 use grafts::eviction;
+use kernsim::stats::measure_per_iter;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let spec = eviction::spec();
     let scenario = eviction::Scenario::paper_default(42);
     let manager = GraftManager::new();
-    let mut group = c.benchmark_group("table2_eviction");
     for tech in graft_core::experiment::tables::ROW_ORDER {
         let mut engine = manager.load(&spec, tech).unwrap();
         let (lru, hot) = scenario.marshal(engine.as_mut()).unwrap();
-        if tech == Technology::Script {
-            group.sample_size(10);
-        } else {
-            group.sample_size(60);
-        }
-        group.bench_function(tech.to_string(), |b| {
-            b.iter(|| engine.invoke("select_victim", &[lru, hot]).unwrap())
+        let iters = if tech == Technology::Script { 50 } else { 2_000 };
+        let s = measure_per_iter(30, iters, || {
+            engine.invoke("select_victim", &[lru, hot]).unwrap();
         });
+        println!("table2_eviction/{tech:<24} {}", s.robust_style());
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,27 +1,26 @@
-//! Criterion bench for Table 5: MD5 of a fixed buffer per technology
-//! (16 KB compiled/bytecode, 512 B script — normalize per byte).
+//! Table 5 bench: MD5 of a fixed buffer per technology (16 KB
+//! compiled/bytecode, 512 B script — normalize per byte). Self-timing
+//! plain binary over `kernsim::stats` (no external harness).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use graft_api::Technology;
 use graft_core::GraftManager;
 use grafts::md5 as md5_graft;
+use kernsim::stats::measure;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let spec = md5_graft::spec();
     let manager = GraftManager::new();
-    let mut group = c.benchmark_group("table5_md5");
     for tech in graft_core::experiment::tables::ROW_ORDER {
         let bytes = if tech == Technology::Script { 512 } else { 16_384 };
         let data = graft_core::experiment::md5_workload(bytes);
         let mut engine = manager.load(&spec, tech).unwrap();
-        group.throughput(Throughput::Bytes(bytes as u64));
-        group.sample_size(10);
-        group.bench_function(tech.to_string(), |b| {
-            b.iter(|| md5_graft::digest_via(engine.as_mut(), &data).unwrap())
+        let s = measure(10, || {
+            md5_graft::digest_via(engine.as_mut(), &data).unwrap();
         });
+        let per_byte = s.best_ns() / bytes as f64;
+        println!(
+            "table5_md5/{tech:<24} {}  ({per_byte:.1}ns/B over {bytes}B)",
+            s.robust_style()
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,37 +1,34 @@
-//! Criterion bench for Table 6: Logical Disk bookkeeping per write.
+//! Table 6 bench: Logical Disk bookkeeping per write. Self-timing plain
+//! binary over `kernsim::stats` (no external harness).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use graft_api::Technology;
 use graft_core::GraftManager;
 use grafts::logdisk as ld_graft;
+use kernsim::stats::measure;
 
 const BLOCKS: usize = 4096;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let spec = ld_graft::spec_sized(BLOCKS);
     let manager = GraftManager::new();
     let writes: Vec<i64> = logdisk::workload::skewed(BLOCKS, 1024, 42)
         .map(|w| w as i64)
         .collect();
-    let mut group = c.benchmark_group("table6_logdisk");
-    group.throughput(Throughput::Elements(writes.len() as u64));
     for tech in graft_core::experiment::tables::ROW_ORDER {
         if tech == Technology::Script {
             continue; // as in the paper
         }
         let mut engine = manager.load(&spec, tech).unwrap();
         ld_graft::init_map(engine.as_mut(), BLOCKS).unwrap();
-        group.sample_size(20);
-        group.bench_function(tech.to_string(), |b| {
-            b.iter(|| {
-                for &w in &writes {
-                    engine.invoke("ld_write", &[w]).unwrap();
-                }
-            })
+        let s = measure(20, || {
+            for &w in &writes {
+                engine.invoke("ld_write", &[w]).unwrap();
+            }
         });
+        let per_write = s.best_ns() / writes.len() as f64;
+        println!(
+            "table6_logdisk/{tech:<24} {}  ({per_write:.1}ns/write)",
+            s.robust_style()
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

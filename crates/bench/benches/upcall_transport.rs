@@ -1,15 +1,15 @@
-//! The in-text upcall measurement: bare cross-domain round trip, and a
-//! graft invocation through the boundary vs. in-kernel.
+//! The in-text upcall measurement: a graft invocation through the
+//! user-level-server boundary vs. in-kernel. Self-timing plain binary
+//! over `kernsim::stats` (no external harness).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use graft_api::Technology;
 use graft_core::GraftManager;
 use grafts::acl::{self, Rule, READ};
+use kernsim::stats::measure_per_iter;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let spec = acl::spec();
     let manager = GraftManager::new();
-    let mut group = c.benchmark_group("upcall_transport");
     for tech in [Technology::CompiledUnchecked, Technology::UserLevel] {
         let mut engine = manager.load(&spec, tech).unwrap();
         acl::load_rules(
@@ -17,12 +17,9 @@ fn bench(c: &mut Criterion) {
             &[Rule { uid: 1, file: 2, modes: READ }],
         )
         .unwrap();
-        group.bench_function(format!("acl_check_{tech}"), |b| {
-            b.iter(|| engine.invoke("acl_check", &[1, 2, READ]).unwrap())
+        let s = measure_per_iter(30, 1_000, || {
+            engine.invoke("acl_check", &[1, 2, READ]).unwrap();
         });
+        println!("upcall_transport/acl_check_{tech:<14} {}", s.robust_style());
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,31 +1,43 @@
 //! Regenerates every table and figure in paper order.
 
+use graft_core::artifact::{self, RunArtifact};
 use graft_core::{experiment, report};
 
 fn main() {
-    let cfg = graft_bench::config_from_args();
+    let cli = graft_bench::cli_from_args();
+    let cfg = cli.config;
     eprintln!("# running with {cfg:?}");
+    let mut art = RunArtifact::begin(&cfg);
 
     let t1 = experiment::table1(&cfg).expect("table 1");
     print!("{}\n", report::render_table1(&t1));
+    art.add_table("table1", artifact::table1_json(&t1));
 
     let t3 = experiment::table3(&cfg, kernsim::DiskModel::default());
     print!("{}\n", report::render_table3(&t3));
+    art.add_table("table3", artifact::table3_json(&t3));
 
     let fault = t3.hard_single_page();
     let t2 = experiment::table2(&cfg, fault).expect("table 2");
     print!("{}\n", report::render_table2(&t2));
+    art.add_table("table2", artifact::table2_json(&t2));
 
     let t4 = experiment::table4(&cfg, false);
     print!("{}\n", report::render_table4(&t4));
+    art.add_table("table4", artifact::table4_json(&t4));
 
     let t5 = experiment::table5(&cfg, t4.megabyte_access()).expect("table 5");
     print!("{}\n", report::render_table5(&t5));
+    art.add_table("table5", artifact::table5_json(&t5));
 
     let t6 = experiment::table6(&cfg, &t4.model).expect("table 6");
     print!("{}\n", report::render_table6(&t6));
+    art.add_table("table6", artifact::table6_json(&t6));
 
     let measured = std::time::Duration::from_nanos(t1.upcall_roundtrip.mean_ns as u64);
     let fig = experiment::figure1(&t2, Some(measured));
     print!("{}", report::render_figure1(&fig));
+    art.add_table("figure1", artifact::figure1_json(&fig));
+
+    graft_bench::maybe_write_artifact(&cli, &mut art);
 }

@@ -1,12 +1,18 @@
 //! Regenerates Figure 1: break-even vs upcall time (CSV on stdout).
 
+use graft_core::artifact::{self, RunArtifact};
+
 fn main() {
-    let cfg = graft_bench::config_from_args();
-    let fault = graft_bench::fault_time(&cfg);
-    let t2 = graft_core::experiment::table2(&cfg, fault).expect("table 2 runs");
-    let t1 = graft_core::experiment::table1(&cfg).expect("table 1 runs");
+    let cli = graft_bench::cli_from_args();
+    let fault = graft_bench::fault_time(&cli.config);
+    let t2 = graft_core::experiment::table2(&cli.config, fault).expect("table 2 runs");
+    let t1 = graft_core::experiment::table1(&cli.config).expect("table 1 runs");
     let measured =
         std::time::Duration::from_nanos(t1.upcall_roundtrip.mean_ns as u64);
     let fig = graft_core::experiment::figure1(&t2, Some(measured));
     print!("{}", graft_core::report::render_figure1(&fig));
+    let mut art = RunArtifact::begin(&cli.config);
+    art.add_table("table2", artifact::table2_json(&t2));
+    art.add_table("figure1", artifact::figure1_json(&fig));
+    graft_bench::maybe_write_artifact(&cli, &mut art);
 }

@@ -1,0 +1,299 @@
+//! `graftstat`: summarize or diff the JSON run artifacts that the
+//! table/figure binaries write with `--json`.
+//!
+//! With one artifact it prints a summary (tables, sample count, distinct
+//! metrics, wall clock). With two it diffs them per indexed sample
+//! (robust `min_ns` estimates) and per counter, and declares drift when
+//! any sample moved by more than the threshold.
+
+use graft_core::artifact::RunArtifact;
+use graft_telemetry::json::Json;
+
+const USAGE: &str = "usage: graftstat <baseline.json> [candidate.json] [--threshold <pct>]";
+
+/// Relative change of one indexed sample between two artifacts.
+#[derive(Debug, Clone, PartialEq)]
+struct SampleDelta {
+    key: String,
+    base_ns: f64,
+    cand_ns: f64,
+}
+
+impl SampleDelta {
+    /// Percent change candidate-over-baseline; 0 when the baseline is 0.
+    fn pct(&self) -> f64 {
+        if self.base_ns == 0.0 {
+            0.0
+        } else {
+            (self.cand_ns - self.base_ns) / self.base_ns * 100.0
+        }
+    }
+}
+
+/// The full comparison of two artifacts.
+#[derive(Debug, Clone, Default)]
+struct Report {
+    /// Per-sample deltas for keys present in both artifacts.
+    samples: Vec<SampleDelta>,
+    /// Sample keys present in only one side: `(key, in_baseline)`.
+    missing: Vec<(String, bool)>,
+    /// Counters whose value changed: `(name, baseline, candidate)`.
+    counters: Vec<(String, u64, u64)>,
+}
+
+impl Report {
+    /// True when nothing moved at all — the self-diff invariant.
+    fn zero_drift(&self) -> bool {
+        self.missing.is_empty()
+            && self.counters.is_empty()
+            && self.samples.iter().all(|d| d.pct() == 0.0)
+    }
+
+    /// Samples that moved by more than `threshold` percent (absolute).
+    fn drifted(&self, threshold: f64) -> Vec<&SampleDelta> {
+        self.samples
+            .iter()
+            .filter(|d| d.pct().abs() > threshold)
+            .collect()
+    }
+}
+
+/// Counter names and values of one artifact, for the diff.
+fn counters_of(a: &RunArtifact) -> Vec<(String, u64)> {
+    a.metrics
+        .get("counters")
+        .and_then(Json::as_obj)
+        .map(|m| {
+            m.iter()
+                .filter_map(|(k, v)| v.as_u64().map(|n| (k.clone(), n)))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Diffs two artifacts structurally: shared sample keys become deltas,
+/// one-sided keys are reported as missing, and counters are compared by
+/// name.
+fn diff(base: &RunArtifact, cand: &RunArtifact) -> Report {
+    let mut report = Report::default();
+    for (key, _) in &base.samples {
+        match (base.sample_best_ns(key), cand.sample_best_ns(key)) {
+            (Some(b), Some(c)) => report.samples.push(SampleDelta {
+                key: key.clone(),
+                base_ns: b,
+                cand_ns: c,
+            }),
+            _ => report.missing.push((key.clone(), true)),
+        }
+    }
+    for (key, _) in &cand.samples {
+        if !base.samples.contains_key(key) {
+            report.missing.push((key.clone(), false));
+        }
+    }
+    let base_counters = counters_of(base);
+    let cand_counters = counters_of(cand);
+    let mut names: Vec<&String> = base_counters.iter().map(|(k, _)| k).collect();
+    names.extend(cand_counters.iter().map(|(k, _)| k));
+    names.sort();
+    names.dedup();
+    let value = |set: &[(String, u64)], name: &str| {
+        set.iter().find(|(k, _)| k == name).map(|&(_, v)| v).unwrap_or(0)
+    };
+    for name in names {
+        let (b, c) = (value(&base_counters, name), value(&cand_counters, name));
+        if b != c {
+            report.counters.push((name.clone(), b, c));
+        }
+    }
+    report
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// One-artifact mode: a human summary of what the run recorded.
+fn summarize(path: &str, a: &RunArtifact) {
+    println!("artifact {path}");
+    println!("  tables:   {}", {
+        let names: Vec<&str> = a.tables.keys().map(String::as_str).collect();
+        names.join(", ")
+    });
+    println!("  samples:  {}", a.samples.len());
+    println!("  metrics:  {} distinct", a.distinct_metrics());
+    println!(
+        "  wall:     {}",
+        fmt_ns(a.wall_clock.as_nanos() as f64)
+    );
+    let mut keyed: Vec<(&String, f64)> = a
+        .samples
+        .keys()
+        .filter_map(|k| a.sample_best_ns(k).map(|ns| (k, ns)))
+        .collect();
+    keyed.sort_by(|x, y| x.0.cmp(y.0));
+    for (key, ns) in keyed {
+        println!("  {key:<44} {:>12}", fmt_ns(ns));
+    }
+}
+
+/// Two-artifact mode: the rendered diff. Returns the process exit code
+/// (0 when within threshold, 1 when drift was detected).
+fn render_diff(base_path: &str, cand_path: &str, report: &Report, threshold: f64) -> i32 {
+    println!("# graftstat: {base_path} -> {cand_path} (threshold {threshold}%)");
+    for d in &report.samples {
+        println!(
+            "  {:<44} {:>12} -> {:>12}  {:>+8.2}%",
+            d.key,
+            fmt_ns(d.base_ns),
+            fmt_ns(d.cand_ns),
+            d.pct()
+        );
+    }
+    for (key, in_base) in &report.missing {
+        let side = if *in_base { "baseline" } else { "candidate" };
+        println!("  {key:<44} only in {side}");
+    }
+    for (name, b, c) in &report.counters {
+        println!("  counter {name:<36} {b:>12} -> {c:>12}");
+    }
+    if report.zero_drift() {
+        println!("zero drift: artifacts are metrically identical");
+        return 0;
+    }
+    let drifted = report.drifted(threshold);
+    if drifted.is_empty() && report.missing.is_empty() {
+        println!(
+            "no drift beyond {threshold}% across {} samples",
+            report.samples.len()
+        );
+        0
+    } else {
+        println!(
+            "drift: {} of {} samples moved more than {threshold}%, {} keys one-sided",
+            drifted.len(),
+            report.samples.len(),
+            report.missing.len()
+        );
+        1
+    }
+}
+
+fn load(path: &str) -> RunArtifact {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(err) => {
+            eprintln!("error: cannot read {path}: {err}");
+            std::process::exit(2);
+        }
+    };
+    match RunArtifact::from_json_str(&text) {
+        Ok(a) => a,
+        Err(err) => {
+            eprintln!("error: {path}: {err}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let mut paths: Vec<String> = Vec::new();
+    let mut threshold = 5.0_f64;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                std::process::exit(0);
+            }
+            "--threshold" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(t) => threshold = t,
+                None => {
+                    eprintln!("--threshold needs a number\n{USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            other => paths.push(other.to_string()),
+        }
+    }
+    match paths.as_slice() {
+        [one] => summarize(one, &load(one)),
+        [base, cand] => {
+            let report = diff(&load(base), &load(cand));
+            std::process::exit(render_diff(base, cand, &report, threshold));
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graft_core::artifact::{sample_json, table3_json, RunArtifact};
+    use graft_core::experiment::{table3, RunConfig};
+    use kernsim::stats::Sample;
+    use kernsim::DiskModel;
+    use std::time::Duration;
+
+    fn artifact() -> RunArtifact {
+        let cfg = RunConfig::offline();
+        let mut art = RunArtifact::begin(&cfg);
+        let t3 = table3(&cfg, DiskModel::default());
+        art.add_table("table3", table3_json(&t3));
+        // Offline Table 3 carries no measured samples, so index a
+        // synthetic one to exercise the sample-diff path.
+        let runs = [Duration::from_micros(10), Duration::from_micros(12)];
+        art.samples
+            .insert("synthetic/sample".into(), sample_json(&Sample::from_runs(&runs)));
+        art.finish(&graft_telemetry::snapshot());
+        art
+    }
+
+    #[test]
+    fn self_diff_is_zero_drift() {
+        let art = artifact();
+        let back = RunArtifact::from_json_str(&art.to_pretty_string()).unwrap();
+        let report = diff(&back, &back);
+        assert!(report.zero_drift(), "{report:?}");
+        assert!(report.drifted(0.0).is_empty());
+    }
+
+    #[test]
+    fn sample_movement_is_measured_in_percent() {
+        let d = SampleDelta {
+            key: "k".into(),
+            base_ns: 100.0,
+            cand_ns: 110.0,
+        };
+        assert!((d.pct() - 10.0).abs() < 1e-9);
+        let zero = SampleDelta {
+            key: "z".into(),
+            base_ns: 0.0,
+            cand_ns: 5.0,
+        };
+        assert_eq!(zero.pct(), 0.0);
+    }
+
+    #[test]
+    fn one_sided_keys_are_reported_missing() {
+        let a = artifact();
+        let mut b = artifact();
+        b.samples.clear();
+        let report = diff(&a, &b);
+        assert!(!report.zero_drift());
+        assert!(report.missing.iter().all(|(_, in_base)| *in_base));
+        assert!(!report.missing.is_empty());
+    }
+}

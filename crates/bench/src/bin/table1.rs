@@ -1,7 +1,12 @@
 //! Regenerates Table 1: signal handling time and the upcall round trip.
 
+use graft_core::artifact::{self, RunArtifact};
+
 fn main() {
-    let cfg = graft_bench::config_from_args();
-    let t = graft_core::experiment::table1(&cfg).expect("table 1 runs");
+    let cli = graft_bench::cli_from_args();
+    let t = graft_core::experiment::table1(&cli.config).expect("table 1 runs");
     print!("{}", graft_core::report::render_table1(&t));
+    let mut art = RunArtifact::begin(&cli.config);
+    art.add_table("table1", artifact::table1_json(&t));
+    graft_bench::maybe_write_artifact(&cli, &mut art);
 }

@@ -1,8 +1,13 @@
 //! Regenerates Table 2: the VM page-eviction graft across technologies.
 
+use graft_core::artifact::{self, RunArtifact};
+
 fn main() {
-    let cfg = graft_bench::config_from_args();
-    let fault = graft_bench::fault_time(&cfg);
-    let t = graft_core::experiment::table2(&cfg, fault).expect("table 2 runs");
+    let cli = graft_bench::cli_from_args();
+    let fault = graft_bench::fault_time(&cli.config);
+    let t = graft_core::experiment::table2(&cli.config, fault).expect("table 2 runs");
     print!("{}", graft_core::report::render_table2(&t));
+    let mut art = RunArtifact::begin(&cli.config);
+    art.add_table("table2", artifact::table2_json(&t));
+    graft_bench::maybe_write_artifact(&cli, &mut art);
 }

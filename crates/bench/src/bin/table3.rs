@@ -1,7 +1,12 @@
 //! Regenerates Table 3: page-fault time (measured soft, modeled hard).
 
+use graft_core::artifact::{self, RunArtifact};
+
 fn main() {
-    let cfg = graft_bench::config_from_args();
-    let t = graft_core::experiment::table3(&cfg, kernsim::DiskModel::default());
+    let cli = graft_bench::cli_from_args();
+    let t = graft_core::experiment::table3(&cli.config, kernsim::DiskModel::default());
     print!("{}", graft_core::report::render_table3(&t));
+    let mut art = RunArtifact::begin(&cli.config);
+    art.add_table("table3", artifact::table3_json(&t));
+    graft_bench::maybe_write_artifact(&cli, &mut art);
 }

@@ -1,7 +1,12 @@
 //! Regenerates Table 4: disk write bandwidth and 1 MB access time.
 
+use graft_core::artifact::{self, RunArtifact};
+
 fn main() {
-    let cfg = graft_bench::config_from_args();
-    let t = graft_core::experiment::table4(&cfg, false);
+    let cli = graft_bench::cli_from_args();
+    let t = graft_core::experiment::table4(&cli.config, false);
     print!("{}", graft_core::report::render_table4(&t));
+    let mut art = RunArtifact::begin(&cli.config);
+    art.add_table("table4", artifact::table4_json(&t));
+    graft_bench::maybe_write_artifact(&cli, &mut art);
 }

@@ -1,9 +1,16 @@
 //! Regenerates Table 5: MD5 fingerprinting across technologies.
 
+use graft_core::artifact::{self, RunArtifact};
+
 fn main() {
-    let cfg = graft_bench::config_from_args();
-    let t4 = graft_core::experiment::table4(&cfg, false);
-    let t = graft_core::experiment::table5(&cfg, t4.megabyte_access()).expect("table 5 runs");
+    let cli = graft_bench::cli_from_args();
+    let t4 = graft_core::experiment::table4(&cli.config, false);
+    let t = graft_core::experiment::table5(&cli.config, t4.megabyte_access())
+        .expect("table 5 runs");
     print!("{}", graft_core::report::render_table4(&t4));
     print!("{}", graft_core::report::render_table5(&t));
+    let mut art = RunArtifact::begin(&cli.config);
+    art.add_table("table4", artifact::table4_json(&t4));
+    art.add_table("table5", artifact::table5_json(&t));
+    graft_bench::maybe_write_artifact(&cli, &mut art);
 }

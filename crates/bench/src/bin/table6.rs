@@ -1,8 +1,13 @@
 //! Regenerates Table 6: Logical Disk bookkeeping across technologies.
 
+use graft_core::artifact::{self, RunArtifact};
+
 fn main() {
-    let cfg = graft_bench::config_from_args();
+    let cli = graft_bench::cli_from_args();
     let model = kernsim::DiskModel::default();
-    let t = graft_core::experiment::table6(&cfg, &model).expect("table 6 runs");
+    let t = graft_core::experiment::table6(&cli.config, &model).expect("table 6 runs");
     print!("{}", graft_core::report::render_table6(&t));
+    let mut art = RunArtifact::begin(&cli.config);
+    art.add_table("table6", artifact::table6_json(&t));
+    graft_bench::maybe_write_artifact(&cli, &mut art);
 }

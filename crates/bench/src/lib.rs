@@ -12,36 +12,132 @@
 //! | `table6` | Table 6 (Logical Disk) |
 //! | `figure1` | Figure 1 (break-even vs upcall time, CSV) |
 //! | `all` | everything, in paper order |
+//! | `graftstat` | diff two `--json` run artifacts |
 //!
-//! All accept `--quick` (default), `--full` (paper-scale counts), and
-//! `--offline` (skip live host measurements).
+//! All accept `--quick` (default), `--full` (paper-scale counts),
+//! `--offline` (skip live host measurements), `--json <path>` (write
+//! the machine-readable run artifact), and `--no-telemetry` (disable
+//! metric recording at runtime, for observer-effect checks).
 
+use std::path::PathBuf;
+
+use graft_core::artifact::RunArtifact;
 use graft_core::experiment::RunConfig;
 
-/// Parses the common CLI flags into a [`RunConfig`].
-pub fn config_from_args() -> RunConfig {
-    config_from(&std::env::args().skip(1).collect::<Vec<_>>())
+/// Usage string shared by `--help` and error reporting.
+pub const USAGE: &str =
+    "usage: [--quick|--full] [--offline] [--json <path>] [--no-telemetry]";
+
+/// Parsed command line: the run configuration plus artifact options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// Iteration counts and live-measurement switches.
+    pub config: RunConfig,
+    /// Where to write the JSON run artifact, when requested.
+    pub json: Option<PathBuf>,
+    /// Whether telemetry recording stays enabled (`--no-telemetry`
+    /// turns the runtime toggle off).
+    pub telemetry: bool,
 }
 
-/// Parses flags from an explicit argument list.
-pub fn config_from(args: &[String]) -> RunConfig {
-    let mut cfg = RunConfig::quick();
-    for arg in args {
-        match arg.as_str() {
-            "--full" => cfg = RunConfig::full(),
-            "--quick" => cfg = RunConfig::quick(),
-            "--offline" => cfg.live = false,
-            "--help" | "-h" => {
-                eprintln!("usage: [--quick|--full] [--offline]");
-                std::process::exit(0);
+/// A CLI parse outcome that is not a runnable configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// `--help`/`-h`: the caller should print [`USAGE`] and exit 0.
+    Help,
+    /// An unrecognized flag.
+    Unknown(String),
+    /// A flag that requires a value did not get one.
+    MissingValue(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Help => write!(f, "{USAGE}"),
+            CliError::Unknown(flag) => {
+                write!(f, "unknown flag `{flag}` (try --help)\n{USAGE}")
             }
-            other => {
-                eprintln!("unknown flag `{other}` (try --help)");
-                std::process::exit(2);
+            CliError::MissingValue(flag) => {
+                write!(f, "flag `{flag}` needs a value\n{USAGE}")
             }
         }
     }
-    cfg
+}
+
+impl std::error::Error for CliError {}
+
+/// Parses flags from an explicit argument list. Pure: no process exit,
+/// no I/O — errors come back as values so they are testable.
+pub fn parse_cli(args: &[String]) -> Result<Cli, CliError> {
+    let mut cli = Cli {
+        config: RunConfig::quick(),
+        json: None,
+        telemetry: true,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--full" => cli.config = RunConfig::full(),
+            "--quick" => cli.config = RunConfig::quick(),
+            "--offline" => cli.config.live = false,
+            "--no-telemetry" => cli.telemetry = false,
+            "--json" => {
+                let path = it
+                    .next()
+                    .ok_or_else(|| CliError::MissingValue("--json".into()))?;
+                cli.json = Some(PathBuf::from(path));
+            }
+            "--help" | "-h" => return Err(CliError::Help),
+            other => return Err(CliError::Unknown(other.to_string())),
+        }
+    }
+    Ok(cli)
+}
+
+/// Parses the common flags into a [`RunConfig`], ignoring artifact
+/// options (kept for callers that only need iteration counts).
+pub fn config_from(args: &[String]) -> Result<RunConfig, CliError> {
+    parse_cli(args).map(|cli| cli.config)
+}
+
+/// Parses the process's own arguments, applying the telemetry toggle;
+/// on `--help` prints usage and exits 0, on bad flags exits 2. This is
+/// the only place the CLI layer touches the process.
+pub fn cli_from_args() -> Cli {
+    match parse_cli(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        Ok(cli) => {
+            graft_telemetry::set_enabled(cli.telemetry);
+            cli
+        }
+        Err(CliError::Help) => {
+            eprintln!("{USAGE}");
+            std::process::exit(0);
+        }
+        Err(err) => {
+            eprintln!("{err}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Back-compat wrapper: parse the process arguments into a config.
+pub fn config_from_args() -> RunConfig {
+    cli_from_args().config
+}
+
+/// Writes the run artifact if `--json` was given; reports the path on
+/// stderr so table output on stdout stays clean.
+pub fn maybe_write_artifact(cli: &Cli, artifact: &mut RunArtifact) {
+    let Some(path) = &cli.json else { return };
+    artifact.finish(&graft_telemetry::snapshot());
+    match artifact.write_file(path) {
+        Ok(()) => eprintln!("# wrote run artifact to {}", path.display()),
+        Err(err) => {
+            eprintln!("error: cannot write {}: {err}", path.display());
+            std::process::exit(1);
+        }
+    }
 }
 
 /// The fault time Table 2's break-even uses: the modeled single-page
@@ -61,16 +157,52 @@ mod tests {
 
     #[test]
     fn default_is_quick_and_live() {
-        let cfg = config_from(&[]);
-        assert_eq!(cfg.runs, RunConfig::quick().runs);
-        assert!(cfg.live);
+        let cli = parse_cli(&[]).unwrap();
+        assert_eq!(cli.config.runs, RunConfig::quick().runs);
+        assert!(cli.config.live);
+        assert!(cli.telemetry);
+        assert!(cli.json.is_none());
     }
 
     #[test]
     fn full_and_offline_compose() {
-        let cfg = config_from(&strings(&["--full", "--offline"]));
+        let cfg = config_from(&strings(&["--full", "--offline"])).unwrap();
         assert_eq!(cfg.runs, RunConfig::full().runs);
         assert!(!cfg.live);
+    }
+
+    #[test]
+    fn json_flag_takes_a_path() {
+        let cli = parse_cli(&strings(&["--offline", "--json", "out.json"])).unwrap();
+        assert_eq!(cli.json.as_deref(), Some(std::path::Path::new("out.json")));
+        assert!(!cli.config.live);
+    }
+
+    #[test]
+    fn json_without_path_is_an_error_value() {
+        assert_eq!(
+            parse_cli(&strings(&["--json"])),
+            Err(CliError::MissingValue("--json".into()))
+        );
+    }
+
+    #[test]
+    fn unknown_flags_are_error_values_not_exits() {
+        let err = parse_cli(&strings(&["--frobnicate"])).unwrap_err();
+        assert_eq!(err, CliError::Unknown("--frobnicate".into()));
+        assert!(err.to_string().contains("usage:"));
+    }
+
+    #[test]
+    fn help_is_a_distinguished_error() {
+        assert_eq!(parse_cli(&strings(&["-h"])), Err(CliError::Help));
+        assert_eq!(parse_cli(&strings(&["--help"])), Err(CliError::Help));
+    }
+
+    #[test]
+    fn no_telemetry_flag_parses() {
+        let cli = parse_cli(&strings(&["--no-telemetry"])).unwrap();
+        assert!(!cli.telemetry);
     }
 
     #[test]

@@ -1,0 +1,560 @@
+//! The machine-readable run artifact (`--json`).
+//!
+//! A [`RunArtifact`] freezes one experiment run — host facts, the
+//! [`RunConfig`] it ran under, every table and figure as structured
+//! rows, a flattened index of every timing sample, the full telemetry
+//! [`MetricsSnapshot`], and the wall-clock cost of producing it all —
+//! into a deterministic JSON document. Two artifacts from different
+//! commits (or different hosts) can then be compared mechanically by
+//! `graftstat` instead of by eyeballing table printouts.
+//!
+//! The schema is versioned ([`SCHEMA`]) and serialization is key-sorted
+//! (see [`graft_telemetry::json`]), so artifact diffs are stable.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use graft_telemetry::json::{self, Json};
+use graft_telemetry::MetricsSnapshot;
+use kernsim::stats::Sample;
+
+use crate::experiment::{
+    Figure1, RunConfig, Table1, Table2, Table3, Table4, Table5, Table6,
+};
+
+/// Schema identifier embedded in every artifact.
+pub const SCHEMA: &str = "graft-run-artifact/v1";
+
+/// One run's worth of results, ready to serialize.
+#[derive(Debug, Clone)]
+pub struct RunArtifact {
+    /// Host facts: os, arch, cores, build profile, telemetry state.
+    pub host: Json,
+    /// The configuration the run used.
+    pub config: RunConfig,
+    /// Table/figure name → structured result rows.
+    pub tables: BTreeMap<String, Json>,
+    /// Flattened `table/row/...` → timing-sample index (see
+    /// [`RunArtifact::add_table`]); the uniform surface `graftstat`
+    /// diffs.
+    pub samples: BTreeMap<String, Json>,
+    /// The telemetry snapshot taken at [`RunArtifact::finish`].
+    pub metrics: Json,
+    /// Wall-clock time from [`RunArtifact::begin`] to
+    /// [`RunArtifact::finish`].
+    pub wall_clock: Duration,
+    started: Option<Instant>,
+}
+
+/// Captures the host facts an artifact records.
+fn host_json() -> Json {
+    let mut host = Json::object();
+    host.set("os", std::env::consts::OS)
+        .set("arch", std::env::consts::ARCH)
+        .set(
+            "cores",
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+        .set(
+            "profile",
+            if cfg!(debug_assertions) { "debug" } else { "release" },
+        )
+        .set("telemetry", graft_telemetry::enabled());
+    host
+}
+
+impl RunArtifact {
+    /// Starts an artifact: captures host facts and the wall clock.
+    pub fn begin(config: &RunConfig) -> Self {
+        RunArtifact {
+            host: host_json(),
+            config: *config,
+            tables: BTreeMap::new(),
+            samples: BTreeMap::new(),
+            metrics: Json::object(),
+            wall_clock: Duration::ZERO,
+            started: Some(Instant::now()),
+        }
+    }
+
+    /// Adds one table/figure result and indexes every timing sample in
+    /// it under `table/row-path` keys.
+    ///
+    /// The sample scan is structural: any nested object carrying both
+    /// `mean_ns` and `runs` is a [`Sample`]. Path components come from
+    /// object keys; rows (array elements) contribute their `tech` name
+    /// when they have one, their index otherwise.
+    pub fn add_table(&mut self, name: &str, table: Json) {
+        collect_samples(name, &table, &mut self.samples);
+        self.tables.insert(name.to_string(), table);
+    }
+
+    /// Seals the artifact: records wall clock and the metrics snapshot.
+    pub fn finish(&mut self, metrics: &MetricsSnapshot) {
+        self.wall_clock = self.started.map(|t| t.elapsed()).unwrap_or_default();
+        self.metrics = metrics_json(metrics);
+    }
+
+    /// The complete JSON document.
+    pub fn to_json(&self) -> Json {
+        let mut doc = Json::object();
+        doc.set("schema", SCHEMA)
+            .set("host", self.host.clone())
+            .set("config", config_json(&self.config))
+            .set("tables", Json::Obj(self.tables.clone()))
+            .set("samples", Json::Obj(self.samples.clone()))
+            .set("metrics", self.metrics.clone())
+            .set("wall_clock_ns", self.wall_clock.as_nanos().min(u64::MAX as u128) as u64);
+        doc
+    }
+
+    /// Pretty-printed document, what `--json <path>` writes.
+    pub fn to_pretty_string(&self) -> String {
+        self.to_json().to_string_pretty()
+    }
+
+    /// Writes the artifact to a file.
+    pub fn write_file(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_pretty_string())
+    }
+
+    /// Parses an artifact back from JSON text (as written by
+    /// [`RunArtifact::to_pretty_string`]).
+    pub fn from_json_str(text: &str) -> Result<RunArtifact, String> {
+        let doc = json::parse(text).map_err(|e| e.to_string())?;
+        let schema = doc
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("missing `schema`")?;
+        if schema != SCHEMA {
+            return Err(format!("unsupported schema `{schema}` (want `{SCHEMA}`)"));
+        }
+        let tables = doc
+            .get("tables")
+            .and_then(Json::as_obj)
+            .cloned()
+            .ok_or("missing `tables`")?;
+        let samples = doc
+            .get("samples")
+            .and_then(Json::as_obj)
+            .cloned()
+            .ok_or("missing `samples`")?;
+        Ok(RunArtifact {
+            host: doc.get("host").cloned().unwrap_or_else(Json::object),
+            config: config_from_json(doc.get("config").ok_or("missing `config`")?)?,
+            tables,
+            samples,
+            metrics: doc.get("metrics").cloned().unwrap_or_else(Json::object),
+            wall_clock: Duration::from_nanos(
+                doc.get("wall_clock_ns").and_then(Json::as_u64).unwrap_or(0),
+            ),
+            started: None,
+        })
+    }
+
+    /// The `min_ns` (robust estimate) of an indexed sample.
+    pub fn sample_best_ns(&self, key: &str) -> Option<f64> {
+        self.samples.get(key)?.get("min_ns")?.as_f64()
+    }
+
+    /// The value of a recorded counter, 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.metrics
+            .get_path("counters")
+            .and_then(|c| c.get(name))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    }
+
+    /// Number of counters/histograms that recorded data.
+    pub fn distinct_metrics(&self) -> usize {
+        let counters = self
+            .metrics
+            .get("counters")
+            .and_then(Json::as_obj)
+            .map(|m| m.values().filter(|v| v.as_u64().unwrap_or(0) > 0).count())
+            .unwrap_or(0);
+        let histograms = self
+            .metrics
+            .get("histograms")
+            .and_then(Json::as_arr)
+            .map(|a| {
+                a.iter()
+                    .filter(|h| h.get("count").and_then(Json::as_u64).unwrap_or(0) > 0)
+                    .count()
+            })
+            .unwrap_or(0);
+        counters + histograms
+    }
+}
+
+/// Walks `node`, indexing every [`Sample`]-shaped object under
+/// slash-joined paths into `out`.
+fn collect_samples(path: &str, node: &Json, out: &mut BTreeMap<String, Json>) {
+    match node {
+        Json::Obj(map) => {
+            if map.contains_key("mean_ns") && map.contains_key("runs") {
+                out.insert(path.to_string(), node.clone());
+                return;
+            }
+            for (k, v) in map {
+                collect_samples(&format!("{path}/{k}"), v, out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                let label = item
+                    .get("tech")
+                    .and_then(Json::as_str)
+                    .map(|s| s.to_string())
+                    .unwrap_or_else(|| i.to_string());
+                collect_samples(&format!("{path}/{label}"), item, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// A [`Sample`] as JSON.
+pub fn sample_json(s: &Sample) -> Json {
+    let mut obj = Json::object();
+    obj.set("mean_ns", s.mean_ns)
+        .set("std_pct", s.std_pct)
+        .set("min_ns", s.min_ns)
+        .set("median_ns", s.median_ns)
+        .set("runs", s.runs);
+    obj
+}
+
+fn dur_ns(d: Duration) -> Json {
+    Json::from(d.as_nanos().min(u64::MAX as u128) as u64)
+}
+
+/// [`RunConfig`] as JSON.
+pub fn config_json(c: &RunConfig) -> Json {
+    let mut obj = Json::object();
+    obj.set("runs", c.runs)
+        .set("evict_iters", c.evict_iters)
+        .set("script_evict_iters", c.script_evict_iters)
+        .set("md5_bytes", c.md5_bytes)
+        .set("script_md5_bytes", c.script_md5_bytes)
+        .set("ld_writes", c.ld_writes)
+        .set("ld_blocks", c.ld_blocks)
+        .set("live", c.live);
+    obj
+}
+
+fn config_from_json(j: &Json) -> Result<RunConfig, String> {
+    let field = |name: &str| -> Result<u64, String> {
+        j.get(name)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("config missing `{name}`"))
+    };
+    Ok(RunConfig {
+        runs: field("runs")? as usize,
+        evict_iters: field("evict_iters")? as usize,
+        script_evict_iters: field("script_evict_iters")? as usize,
+        md5_bytes: field("md5_bytes")? as usize,
+        script_md5_bytes: field("script_md5_bytes")? as usize,
+        ld_writes: field("ld_writes")? as usize,
+        ld_blocks: field("ld_blocks")? as usize,
+        live: j
+            .get("live")
+            .and_then(Json::as_bool)
+            .ok_or("config missing `live`")?,
+    })
+}
+
+/// [`MetricsSnapshot`] as JSON: counters object, histogram array with
+/// derived mean/p50/p99, recent span events.
+pub fn metrics_json(m: &MetricsSnapshot) -> Json {
+    let mut counters = Json::object();
+    for (name, value) in &m.counters {
+        counters.set(name, *value);
+    }
+    let histograms: Vec<Json> = m
+        .histograms
+        .iter()
+        .map(|h| {
+            let mut obj = Json::object();
+            obj.set("name", h.name.as_str())
+                .set("count", h.count)
+                .set("sum", h.sum)
+                .set("mean", h.mean())
+                .set("p50", h.quantile(0.5))
+                .set("p99", h.quantile(0.99))
+                .set(
+                    "buckets",
+                    h.buckets
+                        .iter()
+                        .map(|&(b, n)| Json::Arr(vec![Json::from(b), Json::from(n)]))
+                        .collect::<Vec<_>>(),
+                );
+            obj
+        })
+        .collect();
+    let spans: Vec<Json> = m
+        .spans
+        .iter()
+        .map(|s| {
+            let mut obj = Json::object();
+            obj.set("name", s.name)
+                .set("start_ns", s.start_ns)
+                .set("duration_ns", s.duration_ns);
+            obj
+        })
+        .collect();
+    let mut out = Json::object();
+    out.set("counters", counters)
+        .set("histograms", histograms)
+        .set("spans", spans);
+    out
+}
+
+/// Table 1 as JSON.
+pub fn table1_json(t: &Table1) -> Json {
+    let mut obj = Json::object();
+    match &t.signals {
+        Some(s) => {
+            let mut sig = Json::object();
+            sig.set("handled", sample_json(&s.handled))
+                .set("ignored", sample_json(&s.ignored))
+                .set("per_signal_us", s.per_signal_us);
+            obj.set("signals", sig);
+        }
+        None => {
+            obj.set("signals", Json::Null);
+        }
+    }
+    obj.set("upcall_roundtrip", sample_json(&t.upcall_roundtrip));
+    obj
+}
+
+/// Table 2 as JSON.
+pub fn table2_json(t: &Table2) -> Json {
+    let rows: Vec<Json> = t
+        .rows
+        .iter()
+        .map(|r| {
+            let mut row = Json::object();
+            row.set("tech", r.tech.paper_name())
+                .set("sample", sample_json(&r.sample))
+                .set("normalized", r.normalized)
+                .set("vs_native", r.vs_native)
+                .set("break_even", r.break_even)
+                .set("reduced_iters", r.reduced_iters);
+            row
+        })
+        .collect();
+    let mut obj = Json::object();
+    obj.set("rows", rows)
+        .set("fault_ns", dur_ns(t.fault))
+        .set("invocations_per_save", t.invocations_per_save);
+    obj
+}
+
+/// Table 3 as JSON.
+pub fn table3_json(t: &Table3) -> Json {
+    let mut obj = Json::object();
+    match &t.soft {
+        Some(s) => obj.set("soft", sample_json(s)),
+        None => obj.set("soft", Json::Null),
+    };
+    obj.set(
+        "hard",
+        t.hard
+            .iter()
+            .map(|&(pages, d)| {
+                let mut row = Json::object();
+                row.set("pages", pages).set("time_ns", dur_ns(d));
+                row
+            })
+            .collect::<Vec<_>>(),
+    );
+    obj
+}
+
+/// Table 4 as JSON.
+pub fn table4_json(t: &Table4) -> Json {
+    let mut obj = Json::object();
+    match &t.measured {
+        Some(bw) => {
+            let mut m = Json::object();
+            m.set("bytes_per_sec", bw.bytes_per_sec)
+                .set("megabyte_access_ns", dur_ns(bw.megabyte_access()))
+                .set("sample", sample_json(&bw.sample));
+            obj.set("measured", m)
+        }
+        None => obj.set("measured", Json::Null),
+    };
+    let mut model = Json::object();
+    model
+        .set("bandwidth_bytes_per_sec", t.model.bandwidth)
+        .set("avg_seek_ns", dur_ns(t.model.avg_seek))
+        .set("avg_rotation_ns", dur_ns(t.model.avg_rotation))
+        .set("block_size", t.model.block_size)
+        .set("segment_blocks", t.model.segment_blocks)
+        .set("megabyte_access_ns", dur_ns(t.model.megabyte_access()));
+    obj.set("model", model);
+    obj
+}
+
+/// Table 5 as JSON.
+pub fn table5_json(t: &Table5) -> Json {
+    let rows: Vec<Json> = t
+        .rows
+        .iter()
+        .map(|r| {
+            let mut row = Json::object();
+            row.set("tech", r.tech.paper_name())
+                .set("per_mb_ns", dur_ns(r.per_mb))
+                .set("sample", sample_json(&r.sample))
+                .set("normalized", r.normalized)
+                .set("vs_native", r.vs_native)
+                .set("md5_over_disk", r.md5_over_disk)
+                .set("bytes", r.bytes);
+            row
+        })
+        .collect();
+    let mut obj = Json::object();
+    obj.set("rows", rows).set("disk_mb_ns", dur_ns(t.disk_mb));
+    obj
+}
+
+/// Table 6 as JSON.
+pub fn table6_json(t: &Table6) -> Json {
+    let rows: Vec<Json> = t
+        .rows
+        .iter()
+        .map(|r| {
+            let mut row = Json::object();
+            row.set("tech", r.tech.paper_name())
+                .set("sample", sample_json(&r.total))
+                .set("normalized", r.normalized)
+                .set("vs_native", r.vs_native)
+                .set("per_block_ns", dur_ns(r.per_block))
+                .set("pays_off", r.pays_off);
+            row
+        })
+        .collect();
+    let mut obj = Json::object();
+    obj.set("rows", rows)
+        .set("writes", t.writes)
+        .set("saving_per_block_ns", dur_ns(t.saving_per_block));
+    obj
+}
+
+/// Figure 1 as JSON.
+pub fn figure1_json(f: &Figure1) -> Json {
+    let series: Vec<Json> = f
+        .series
+        .iter()
+        .map(|p| {
+            let mut pt = Json::object();
+            pt.set("upcall_ns", dur_ns(p.upcall))
+                .set("user_level_break_even", p.user_level_break_even);
+            pt
+        })
+        .collect();
+    let mut obj = Json::object();
+    obj.set("series", series)
+        .set("safe_line", f.safe_line)
+        .set("sfi_line", f.sfi_line)
+        .set("bytecode_line", f.bytecode_line);
+    match f.competitive_upcall {
+        Some(d) => obj.set("competitive_upcall_ns", dur_ns(d)),
+        None => obj.set("competitive_upcall_ns", Json::Null),
+    };
+    match f.measured_upcall {
+        Some(d) => obj.set("measured_upcall_ns", dur_ns(d)),
+        None => obj.set("measured_upcall_ns", Json::Null),
+    };
+    obj
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{figure1, table2, table3, table4, table5, table6};
+    use kernsim::DiskModel;
+
+    fn tiny() -> RunConfig {
+        RunConfig {
+            runs: 2,
+            evict_iters: 30,
+            script_evict_iters: 3,
+            md5_bytes: 128,
+            script_md5_bytes: 128,
+            ld_writes: 64,
+            ld_blocks: 64,
+            live: false,
+        }
+    }
+
+    fn tiny_artifact() -> RunArtifact {
+        let cfg = tiny();
+        let mut art = RunArtifact::begin(&cfg);
+        let t3 = table3(&cfg, DiskModel::default());
+        let fault = t3.hard_single_page();
+        let t2 = table2(&cfg, fault).unwrap();
+        let t4 = table4(&cfg, false);
+        let t5 = table5(&cfg, t4.megabyte_access()).unwrap();
+        let t6 = table6(&cfg, &t4.model).unwrap();
+        let fig = figure1(&t2, None);
+        art.add_table("table2", table2_json(&t2));
+        art.add_table("table3", table3_json(&t3));
+        art.add_table("table4", table4_json(&t4));
+        art.add_table("table5", table5_json(&t5));
+        art.add_table("table6", table6_json(&t6));
+        art.add_table("figure1", figure1_json(&fig));
+        art.finish(&graft_telemetry::snapshot());
+        art
+    }
+
+    #[test]
+    fn artifact_round_trips_through_json() {
+        let art = tiny_artifact();
+        let text = art.to_pretty_string();
+        let back = RunArtifact::from_json_str(&text).unwrap();
+        assert_eq!(back.to_json(), art.to_json());
+        assert_eq!(back.config.runs, art.config.runs);
+        assert_eq!(back.tables.len(), art.tables.len());
+        assert_eq!(back.samples, art.samples);
+    }
+
+    #[test]
+    fn samples_are_indexed_by_table_and_technology() {
+        let art = tiny_artifact();
+        assert!(
+            art.sample_best_ns("table2/rows/C/sample").is_some(),
+            "keys: {:?}",
+            art.samples.keys().collect::<Vec<_>>()
+        );
+        assert!(art.sample_best_ns("table6/rows/Modula-3/sample").is_some());
+        // Nested sample objects inside rows are found too.
+        assert!(art
+            .samples
+            .keys()
+            .any(|k| k.starts_with("table5/rows/")));
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let err = RunArtifact::from_json_str(r#"{"schema":"other/v9"}"#).unwrap_err();
+        assert!(err.contains("unsupported schema"), "{err}");
+        assert!(RunArtifact::from_json_str("not json").is_err());
+    }
+
+    #[test]
+    fn config_round_trips_exactly() {
+        for cfg in [RunConfig::full(), RunConfig::quick(), RunConfig::offline()] {
+            let back = config_from_json(&config_json(&cfg)).unwrap();
+            assert_eq!(back.runs, cfg.runs);
+            assert_eq!(back.evict_iters, cfg.evict_iters);
+            assert_eq!(back.ld_writes, cfg.ld_writes);
+            assert_eq!(back.live, cfg.live);
+        }
+    }
+}

@@ -30,6 +30,7 @@ pub struct Figure1 {
 
 /// Derives Figure 1 from a Table 2 result.
 pub fn figure1(table2: &Table2, measured_upcall: Option<Duration>) -> Figure1 {
+    let _span = graft_telemetry::span!("figure1_breakeven");
     let c = table2
         .row(Technology::CompiledUnchecked)
         .expect("Table 2 has a C row");

@@ -25,6 +25,8 @@ pub struct Table1 {
 
 /// Runs the Table 1 experiment.
 pub fn table1(cfg: &RunConfig) -> Result<Table1, GraftError> {
+    // Span-timed so the run artifact shows per-table wall-clock.
+    let _span = graft_telemetry::span!("table1_signals");
     let sig = if cfg.live {
         signals::signal_times(cfg.runs.min(10), 200).ok()
     } else {
@@ -78,6 +80,7 @@ impl Table3 {
 /// Runs the Table 3 experiment against a (possibly calibrated) disk
 /// model.
 pub fn table3(cfg: &RunConfig, model: DiskModel) -> Table3 {
+    let _span = graft_telemetry::span!("table3_pagefault");
     let soft = if cfg.live {
         pagefault::soft_fault_latency(cfg.runs.min(10), 1024).ok()
     } else {
@@ -129,6 +132,7 @@ impl Table4 {
 /// bandwidth (useful when later tables should be judged against this
 /// host's disk rather than a 1996 disk).
 pub fn table4(cfg: &RunConfig, calibrate: bool) -> Table4 {
+    let _span = graft_telemetry::span!("table4_diskbw");
     let measured = if cfg.live {
         diskbw::write_bandwidth(cfg.runs.min(5), 8 << 20).ok()
     } else {

@@ -13,7 +13,7 @@ pub use micro::{table1, table3, table4, Table1, Table3, Table4};
 pub use tables::{table2, table5, table6, Table2, Table2Row, Table5, Table5Row, Table6, Table6Row};
 
 /// Iteration counts and workload sizes for a whole experiment run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunConfig {
     /// Timed repetitions per measurement (the paper uses 30).
     pub runs: usize,

@@ -68,6 +68,8 @@ impl Table2 {
 
 /// Runs the Table 2 experiment.
 pub fn table2(cfg: &RunConfig, fault: Duration) -> Result<Table2, GraftError> {
+    // Span-timed so the run artifact shows per-table wall-clock.
+    let _span = graft_telemetry::span!("table2_eviction");
     let spec = eviction::spec();
     let scenario = eviction::Scenario::paper_default(42);
     let manager = GraftManager::new();
@@ -164,6 +166,7 @@ impl Table5 {
 
 /// Runs the Table 5 experiment.
 pub fn table5(cfg: &RunConfig, disk_mb: Duration) -> Result<Table5, GraftError> {
+    let _span = graft_telemetry::span!("table5_md5");
     let spec = md5_graft::spec();
     let manager = GraftManager::new();
     let mut rows = Vec::new();
@@ -259,6 +262,7 @@ impl Table6 {
 
 /// Runs the Table 6 experiment.
 pub fn table6(cfg: &RunConfig, model: &DiskModel) -> Result<Table6, GraftError> {
+    let _span = graft_telemetry::span!("table6_logdisk");
     let spec = ld_graft::spec_sized(cfg.ld_blocks);
     let manager = GraftManager::new();
     let writes: Vec<i64> = logdisk::workload::skewed(cfg.ld_blocks, cfg.ld_writes as u64, 42)

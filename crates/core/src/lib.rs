@@ -15,11 +15,15 @@
 //! * [`experiment`] regenerates every table and figure of Section 5 as
 //!   typed results;
 //! * [`report`] renders them in the paper's format (means with relative
-//!   standard deviations in parentheses, normalized-to-C rows).
+//!   standard deviations in parentheses, normalized-to-C rows);
+//! * [`artifact`] freezes a whole run — host, config, every table,
+//!   every sample, and the telemetry snapshot — into the versioned JSON
+//!   document `--json` writes and `graftstat` diffs.
 //!
 //! [`GraftSpec`]: graft_api::GraftSpec
 //! [`Technology`]: graft_api::Technology
 
+pub mod artifact;
 pub mod breakeven;
 pub mod experiment;
 pub mod manager;

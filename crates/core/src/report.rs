@@ -290,6 +290,54 @@ mod tests {
     }
 
     #[test]
+    fn offline_tables_render_the_unavailable_branches() {
+        let cfg = tiny();
+        // Offline: no live signal or bandwidth measurement exists, so
+        // the renderers must take their "(unavailable)" arms.
+        let t1 = table1(&cfg).unwrap();
+        assert!(t1.signals.is_none());
+        assert!(render_table1(&t1).contains("unavailable"));
+
+        let t3 = table3(&cfg, DiskModel::default());
+        assert!(t3.soft.is_none());
+        assert!(render_table3(&t3).contains("(unavailable)"));
+
+        let t4 = table4(&cfg, false);
+        assert!(t4.measured.is_none());
+        assert!(render_table4(&t4).contains("unavailable"));
+        // The model row still prints the Table 5 denominator.
+        assert!(render_table4(&t4).contains("denominator"));
+    }
+
+    #[test]
+    fn table5_renders_rows_and_ratios() {
+        let cfg = tiny();
+        let t4 = table4(&cfg, false);
+        let t5 = crate::experiment::table5(&cfg, t4.megabyte_access()).unwrap();
+        let s = render_table5(&t5);
+        assert!(s.contains("MD5 Fingerprinting"));
+        assert!(s.contains("MD5/disk"));
+        assert!(s.contains("Modula-3"));
+        assert!(s.contains("hashed bytes"));
+    }
+
+    #[test]
+    fn figure1_csv_carries_the_annotations_and_51_points() {
+        let cfg = tiny();
+        let t2 = table2(&cfg, Duration::from_millis(13)).unwrap();
+        let fig = figure1(&t2, Some(Duration::from_micros(7)));
+        let s = render_figure1(&fig);
+        assert!(s.contains("# lines:"));
+        assert!(s.contains("measured upcall round trip"));
+        // Header + comment lines + exactly one CSV row per µs 0..=50.
+        let csv_rows = s
+            .lines()
+            .filter(|l| l.chars().next().is_some_and(|c| c.is_ascii_digit()))
+            .count();
+        assert_eq!(csv_rows, 51);
+    }
+
+    #[test]
     fn duration_formatting_picks_units() {
         assert_eq!(dur(Duration::from_nanos(500)), "500ns");
         assert_eq!(dur(Duration::from_micros(25)), "25.0µs");

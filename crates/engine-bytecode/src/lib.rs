@@ -88,6 +88,12 @@ impl ExtensionEngine for BytecodeEngine {
         };
         let result = vm::call(&mut st, &module, func, args, 0);
         self.last_fuel_used = fuel - st.fuel;
+        // Telemetry flush point: the interpreter burns one fuel unit per
+        // dispatched instruction, so the per-invoke dispatch count falls
+        // out of the fuel ledger for free — no per-instruction atomics
+        // in the dispatch loop.
+        graft_telemetry::counter!("vm.invocations").incr();
+        graft_telemetry::counter!("vm.dispatch").add(self.last_fuel_used);
         result
     }
 

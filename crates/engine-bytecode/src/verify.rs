@@ -16,10 +16,17 @@ use crate::opcode::{self as op, fetch, operand_len, stack_effect};
 
 /// Verifies every function in a module.
 pub fn verify(module: &BcModule) -> Result<(), GraftError> {
+    // Span-timed: verification is the load-time cost the bytecode
+    // technology pays for its runtime simplicity, and the artifact
+    // reports it next to the runtime numbers.
+    let _span = graft_telemetry::span!("bc_verify");
     for func in &module.funcs {
         verify_func(module, func)
             .map_err(|msg| GraftError::Verify(format!("{}: {msg}", func.name)))?;
+        graft_telemetry::counter!("verify.funcs").incr();
+        graft_telemetry::counter!("verify.code_bytes").add(func.code.len() as u64);
     }
+    graft_telemetry::counter!("verify.modules").incr();
     Ok(())
 }
 

@@ -1,12 +1,12 @@
-//! Property tests for the bytecode verifier: arbitrary bytes never
-//! panic it, and verified modules never hit interpreter integrity
-//! errors.
+//! Property tests for the bytecode verifier, driven by a seeded RNG (no
+//! network deps): arbitrary bytes never panic it, and verified modules
+//! never hit interpreter integrity errors.
 
 use std::collections::HashMap;
 
 use engine_bytecode::{compile::BcFunc, verify, BcModule, BytecodeEngine};
 use graft_api::{ExtensionEngine, RegionSpec};
-use proptest::prelude::*;
+use graft_rng::{Rng, SmallRng};
 
 fn module_of(code: Vec<u8>, locals: usize) -> BcModule {
     let mut func_index = HashMap::new();
@@ -26,20 +26,29 @@ fn module_of(code: Vec<u8>, locals: usize) -> BcModule {
     }
 }
 
-proptest! {
-    /// Fuzzing the verifier with random byte strings: it must reject or
-    /// accept, never panic.
-    #[test]
-    fn verifier_never_panics_on_garbage(code in prop::collection::vec(any::<u8>(), 1..80)) {
-        let _ = verify::verify(&module_of(code, 4));
-    }
+fn random_code(rng: &mut SmallRng, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_range(1usize..max_len);
+    (0..len).map(|_| rng.next_u64() as u8).collect()
+}
 
-    /// Whatever the verifier accepts, the interpreter runs without
-    /// integrity violations: with a fuel bound, the only outcomes are a
-    /// value or a well-formed trap.
-    #[test]
-    fn accepted_modules_execute_cleanly(code in prop::collection::vec(any::<u8>(), 1..60)) {
-        let module = module_of(code, 4);
+/// Fuzzing the verifier with random byte strings: it must reject or
+/// accept, never panic.
+#[test]
+fn verifier_never_panics_on_garbage() {
+    let mut rng = SmallRng::seed_from_u64(0xF422);
+    for _case in 0..512 {
+        let _ = verify::verify(&module_of(random_code(&mut rng, 80), 4));
+    }
+}
+
+/// Whatever the verifier accepts, the interpreter runs without
+/// integrity violations: with a fuel bound, the only outcomes are a
+/// value or a well-formed trap.
+#[test]
+fn accepted_modules_execute_cleanly() {
+    let mut rng = SmallRng::seed_from_u64(0xACCE);
+    for _case in 0..512 {
+        let module = module_of(random_code(&mut rng, 60), 4);
         if verify::verify(&module).is_ok() {
             let mut engine = BytecodeEngine::load(module).unwrap();
             engine.set_fuel(Some(10_000));
@@ -48,7 +57,7 @@ proptest! {
                 Err(e) => {
                     // Any trap is fine; a Verify error here would mean
                     // the verifier let something unsound through.
-                    prop_assert!(
+                    assert!(
                         e.as_trap().is_some(),
                         "non-trap failure after verification: {e}"
                     );
@@ -56,16 +65,25 @@ proptest! {
             }
         }
     }
+}
 
-    /// Compiler output always verifies and computes sane results for a
-    /// family of generated programs.
-    #[test]
-    fn generated_loops_verify_and_run(n in 0i64..50, step in 1i64..5) {
+/// Compiler output always verifies and computes sane results for a
+/// family of generated programs.
+#[test]
+fn generated_loops_verify_and_run() {
+    let mut rng = SmallRng::seed_from_u64(0x100B);
+    for _case in 0..40 {
+        let n = rng.gen_range(0i64..50);
+        let step = rng.gen_range(1i64..5);
         let src = format!(
             "fn f(x: int) -> int {{ let s = 0; let i = 0; while i < {n} {{ s = s + x; i = i + {step}; }} return s; }}"
         );
         let mut engine = BytecodeEngine::load_grail(&src, &[]).unwrap();
-        let want = (0..).step_by(step as usize).take_while(|&i| i < n).count() as i64 * 3;
-        prop_assert_eq!(engine.invoke("f", &[3]).unwrap(), want);
+        let want = (0..)
+            .step_by(step as usize)
+            .take_while(|&i| i < n)
+            .count() as i64
+            * 3;
+        assert_eq!(engine.invoke("f", &[3]).unwrap(), want);
     }
 }

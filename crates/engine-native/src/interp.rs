@@ -247,7 +247,12 @@ fn call(
             Inst::Abort { code } => {
                 return Err(Trap::Abort(reg!(*code)).into());
             }
+            // The four SFI-only arms bump plain per-invoke tally words on
+            // the engine (flushed to telemetry counters once per invoke by
+            // `CompiledEngine::invoke`). Non-SFI modes never reach these
+            // arms and pay nothing.
             Inst::Mask { dst, src, offset } => {
+                engine.sfi_tally.masks += 1;
                 let Memory::Arena(arena) = &engine.memory else {
                     return Err(GraftError::Verify("Mask outside SFI engine".into()));
                 };
@@ -256,6 +261,7 @@ fn call(
                 pc += 1;
             }
             Inst::MaskedLoad { dst, addr } => {
+                engine.sfi_tally.masked_loads += 1;
                 let Memory::Arena(arena) = &engine.memory else {
                     return Err(GraftError::Verify("MaskedLoad outside SFI engine".into()));
                 };
@@ -263,6 +269,7 @@ fn call(
                 pc += 1;
             }
             Inst::MaskedStore { addr, src } => {
+                engine.sfi_tally.masked_stores += 1;
                 let value = reg!(*src);
                 let at = reg!(*addr);
                 let Memory::Arena(arena) = &mut engine.memory else {
@@ -272,6 +279,7 @@ fn call(
                 pc += 1;
             }
             Inst::ArenaLoad { dst, src, offset } => {
+                engine.sfi_tally.arena_loads += 1;
                 let Memory::Arena(arena) = &engine.memory else {
                     return Err(GraftError::Verify("ArenaLoad outside SFI engine".into()));
                 };

@@ -82,6 +82,25 @@ impl SafetyMode {
     }
 }
 
+/// Per-invoke SFI operation tally.
+///
+/// Plain (non-atomic) words bumped only from the four SFI-only dispatch
+/// arms in [`interp`], so the Unchecked and Safe modes never touch them
+/// and pay nothing. [`CompiledEngine::invoke`] zeroes the tally before
+/// each run and flushes it to `graft-telemetry` counters afterwards —
+/// one flush per invocation, no atomics in the dispatch loop.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SfiTally {
+    /// `Mask` instructions executed (address sandboxing ops).
+    pub masks: u64,
+    /// `MaskedLoad`s executed (read protection on).
+    pub masked_loads: u64,
+    /// `MaskedStore`s executed (write protection, always on under SFI).
+    pub masked_stores: u64,
+    /// Fused `ArenaLoad`s executed (read protection off).
+    pub arena_loads: u64,
+}
+
 /// A graft module loaded under one of the compiled technologies.
 pub struct CompiledEngine {
     module: Arc<Module>,
@@ -93,6 +112,7 @@ pub struct CompiledEngine {
     metered: bool,
     fuel_limit: u64,
     last_fuel_used: u64,
+    pub(crate) sfi_tally: SfiTally,
 }
 
 impl CompiledEngine {
@@ -134,6 +154,7 @@ impl CompiledEngine {
             metered: false,
             fuel_limit: 0,
             last_fuel_used: 0,
+            sfi_tally: SfiTally::default(),
         })
     }
 
@@ -178,12 +199,23 @@ impl ExtensionEngine for CompiledEngine {
         // `Technology::preemptible`.
         let metered = self.metered && self.mode != SafetyMode::Unchecked;
         self.fuel = if metered { self.fuel_limit } else { u64::MAX };
+        self.sfi_tally = SfiTally::default();
         let result = interp::run(self, &module, func, args);
         self.last_fuel_used = if metered {
             self.fuel_limit - self.fuel
         } else {
             0
         };
+        // Telemetry flush point: the dispatch loop only bumps plain
+        // locals on the engine; the counter atomics happen once per
+        // invocation, and only under the SFI technology.
+        if matches!(self.mode, SafetyMode::Sfi { .. }) && graft_telemetry::enabled() {
+            let t = self.sfi_tally;
+            graft_telemetry::counter!("sfi.mask_ops").add(t.masks);
+            graft_telemetry::counter!("sfi.masked_loads").add(t.masked_loads);
+            graft_telemetry::counter!("sfi.masked_stores").add(t.masked_stores);
+            graft_telemetry::counter!("sfi.arena_loads").add(t.arena_loads);
+        }
         result
     }
 

@@ -59,6 +59,11 @@ impl ArenaLayout {
 /// Each function gains one dedicated sandbox register (the new highest
 /// register). Returns the arena layout the rewritten code assumes.
 pub fn instrument(module: &mut Module, read_protect: bool) -> ArenaLayout {
+    // Span-timed: SFI rewriting is the load-time cost of the Omniware
+    // technology, reported in the run artifact next to runtime numbers.
+    let _span = graft_telemetry::span!("sfi_instrument");
+    let mut mask_sites = 0u64;
+    let mut fused_load_sites = 0u64;
     let layout = ArenaLayout::for_module(module);
     for func in &mut module.funcs {
         let sbx = func.regs as u16;
@@ -73,6 +78,7 @@ pub fn instrument(module: &mut Module, read_protect: bool) -> ArenaLayout {
                 Inst::Load { dst, mem, addr } => {
                     let (base, _) = layout.place(*mem);
                     if read_protect {
+                        mask_sites += 1;
                         new_code.push(Inst::Mask {
                             dst: sbx,
                             src: *addr,
@@ -83,6 +89,7 @@ pub fn instrument(module: &mut Module, read_protect: bool) -> ArenaLayout {
                             addr: sbx,
                         });
                     } else {
+                        fused_load_sites += 1;
                         new_code.push(Inst::ArenaLoad {
                             dst: *dst,
                             src: *addr,
@@ -92,6 +99,7 @@ pub fn instrument(module: &mut Module, read_protect: bool) -> ArenaLayout {
                 }
                 Inst::Store { mem, addr, src } => {
                     let (base, _) = layout.place(*mem);
+                    mask_sites += 1;
                     new_code.push(Inst::Mask {
                         dst: sbx,
                         src: *addr,
@@ -118,6 +126,9 @@ pub fn instrument(module: &mut Module, read_protect: bool) -> ArenaLayout {
         }
         func.code = new_code;
     }
+    graft_telemetry::counter!("sfi.modules_instrumented").incr();
+    graft_telemetry::counter!("sfi.mask_sites").add(mask_sites);
+    graft_telemetry::counter!("sfi.fused_load_sites").add(fused_load_sites);
     layout
 }
 

@@ -24,8 +24,7 @@ use graft_api::{
     RegionStore,
 };
 use kernsim::btree::BtreeModel;
-use rand::rngs::SmallRng;
-use rand::{seq::SliceRandom, Rng, SeedableRng};
+use graft_rng::{Rng, SliceRandom, SmallRng};
 
 /// Maximum LRU queue nodes the marshalled region can hold.
 pub const MAX_QUEUE: usize = 4096;

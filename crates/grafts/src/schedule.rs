@@ -232,9 +232,9 @@ mod tests {
     fn graft_decisions_match_kernsim_builtin_policy() {
         // The downloadable policy must agree with the kernel's built-in
         // ClientServerPolicy on random mixes.
+        use graft_rng::{Rng, SmallRng};
         use kernsim::sched::ClientServerPolicy;
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(9);
+        let mut rng = SmallRng::seed_from_u64(9);
         let spec = spec();
         let engine = load_grail(
             spec.grail.as_ref().unwrap(),

@@ -8,8 +8,7 @@
 //! exactly which 128 leaves it will touch next, and that set *is* the
 //! hot list the eviction graft consults.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use graft_rng::{Rng, SmallRng};
 
 /// The paper's B-tree page-structure model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

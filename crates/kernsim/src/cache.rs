@@ -108,6 +108,22 @@ impl<E: EvictionPolicy, R: ReadAhead> BufferCache<E, R> {
         false
     }
 
+    /// Flushes accumulated statistics into the global telemetry
+    /// counters. Called from `Drop`, so `access` — the measured path —
+    /// never touches an atomic; each cache contributes its totals
+    /// exactly once, when it is torn down.
+    fn publish_telemetry(&self) {
+        if !graft_telemetry::enabled() {
+            return;
+        }
+        let s = self.stats;
+        graft_telemetry::counter!("cache.hits").add(s.hits);
+        graft_telemetry::counter!("cache.misses").add(s.misses);
+        graft_telemetry::counter!("cache.prefetched").add(s.prefetched);
+        graft_telemetry::counter!("cache.prefetch_hits").add(s.prefetch_hits);
+        graft_telemetry::counter!("cache.evictions").add(s.evictions);
+    }
+
     fn insert(&mut self, block: PageId, is_prefetch: bool) {
         while self.queue.len() >= self.capacity {
             let victim = self
@@ -124,6 +140,12 @@ impl<E: EvictionPolicy, R: ReadAhead> BufferCache<E, R> {
         if is_prefetch {
             self.prefetched.insert(block);
         }
+    }
+}
+
+impl<E: EvictionPolicy, R: ReadAhead> Drop for BufferCache<E, R> {
+    fn drop(&mut self) {
+        self.publish_telemetry();
     }
 }
 

@@ -55,13 +55,20 @@ impl DiskModel {
 
     /// Time for one random-access I/O of `blocks` contiguous blocks:
     /// seek + rotation + transfer.
+    ///
+    /// Model accounting: every random I/O the cost model charges is
+    /// counted, so a run artifact records how much simulated disk work
+    /// each experiment's verdicts rest on.
     pub fn random_io(&self, blocks: usize) -> Duration {
+        graft_telemetry::counter!("disk.model_ios").incr();
+        graft_telemetry::counter!("disk.model_blocks").add(blocks as u64);
         self.avg_seek + self.avg_rotation + self.transfer(blocks * self.block_size)
     }
 
     /// Time to write one full segment sequentially (one seek, then
     /// streaming) — the Logical Disk's batched write.
     pub fn segment_write(&self) -> Duration {
+        graft_telemetry::counter!("disk.model_segment_writes").incr();
         self.random_io(self.segment_blocks)
     }
 
@@ -91,6 +98,7 @@ impl DiskModel {
     /// of `read_ahead` pages of `page_size` bytes (Table 3's model; the
     /// paper's Alpha and HP-UX rows bring in 16 and 4 pages per fault).
     pub fn page_fault(&self, soft_overhead: Duration, page_size: usize, read_ahead: usize) -> Duration {
+        graft_telemetry::counter!("disk.model_page_faults").incr();
         let blocks = (page_size * read_ahead).div_ceil(self.block_size);
         soft_overhead + self.random_io(blocks.max(1))
     }

@@ -11,6 +11,7 @@
 pub mod diskbw;
 pub mod pagefault;
 pub mod signals;
+pub mod sys;
 
 pub use diskbw::write_bandwidth;
 pub use pagefault::soft_fault_latency;

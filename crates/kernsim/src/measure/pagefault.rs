@@ -8,53 +8,59 @@
 //! read and its read-ahead) is reconstructed by the Table 3 harness as
 //! `soft fault + DiskModel::page_fault(...)`, and both variants feed
 //! the break-even columns of Table 2.
+//!
+//! `mmap` comes from the hand-declared prototypes in [`super::sys`]; on
+//! targets that module does not cover, the measurement reports
+//! unavailable and the harness uses the `--offline` model defaults.
 
 use std::time::Instant;
 
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use graft_rng::{SliceRandom, SmallRng};
 
+use super::sys;
 use crate::stats::Sample;
 
 /// Host page size in bytes.
 pub fn page_size() -> usize {
-    // SAFETY: sysconf with a valid name has no preconditions.
-    let sz = unsafe { libc::sysconf(libc::_SC_PAGESIZE) };
-    if sz <= 0 {
-        4096
-    } else {
-        sz as usize
+    #[cfg(all(target_os = "linux", target_arch = "x86_64", target_env = "gnu"))]
+    {
+        // SAFETY: sysconf with a valid name has no preconditions.
+        let sz = unsafe { sys::sysconf(sys::_SC_PAGESIZE) };
+        if sz > 0 {
+            return sz as usize;
+        }
     }
+    4096
 }
 
 /// Measures minor-fault latency: maps `pages` anonymous pages, touches
 /// them in random order (every touch is a fault), repeats `runs` times
 /// with a fresh mapping, and reports the per-fault time.
+#[cfg(all(target_os = "linux", target_arch = "x86_64", target_env = "gnu"))]
 pub fn soft_fault_latency(runs: usize, pages: usize) -> Result<Sample, String> {
     assert!(runs > 0 && pages > 0);
     let psz = page_size();
     let len = pages * psz;
     let mut order: Vec<usize> = (0..pages).collect();
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(0x9E3779B9);
+    let mut rng = SmallRng::seed_from_u64(0x9E3779B9);
     let mut samples = Vec::with_capacity(runs);
     for _ in 0..runs {
         order.shuffle(&mut rng);
         // SAFETY: anonymous private mapping of a computed length; the
         // result is checked against MAP_FAILED before use.
         let base = unsafe {
-            libc::mmap(
+            sys::mmap(
                 std::ptr::null_mut(),
                 len,
-                libc::PROT_READ | libc::PROT_WRITE,
-                libc::MAP_PRIVATE | libc::MAP_ANONYMOUS,
+                sys::PROT_READ | sys::PROT_WRITE,
+                sys::MAP_PRIVATE | sys::MAP_ANONYMOUS,
                 -1,
                 0,
             )
         };
-        if base == libc::MAP_FAILED {
+        if base == sys::MAP_FAILED {
             return Err("mmap failed".into());
         }
-        let base = base as *mut u8;
         let start = Instant::now();
         let mut sink = 0u8;
         for &p in &order {
@@ -65,10 +71,18 @@ pub fn soft_fault_latency(runs: usize, pages: usize) -> Result<Sample, String> {
         let elapsed = start.elapsed();
         std::hint::black_box(sink);
         // SAFETY: unmapping the exact region mapped above.
-        unsafe { libc::munmap(base.cast(), len) };
+        unsafe { sys::munmap(base, len) };
         samples.push(elapsed / pages as u32);
     }
     Ok(Sample::from_runs(&samples))
+}
+
+/// Fallback for targets without the hand-declared FFI: always `Err`, so
+/// the harness reports "(unavailable)" and uses model defaults.
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64", target_env = "gnu")))]
+pub fn soft_fault_latency(_runs: usize, _pages: usize) -> Result<Sample, String> {
+    let _ = sys::AVAILABLE;
+    Err("live page-fault measurement unavailable on this target (run --offline)".into())
 }
 
 #[cfg(test)]
@@ -81,6 +95,7 @@ mod tests {
         assert!(p >= 4096 && p.is_power_of_two());
     }
 
+    #[cfg(all(target_os = "linux", target_arch = "x86_64", target_env = "gnu"))]
     #[test]
     fn soft_faults_cost_time_but_not_much() {
         let s = soft_fault_latency(3, 512).expect("measurement runs");

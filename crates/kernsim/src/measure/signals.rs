@@ -12,10 +12,10 @@
 //! suspend/notify dance uses a pipe rendezvous rather than
 //! `SIGTSTP`/`SIGCHLD` job control, which behaves identically for
 //! timing purposes and is reliable inside containers.
-
-use std::io::{Read, Write};
-use std::sync::atomic::{AtomicU32, Ordering};
-use std::time::Instant;
+//!
+//! The raw syscalls come from the hand-declared prototypes in
+//! [`super::sys`]; on targets that module does not cover, the measurement
+//! reports unavailable and the harness uses the `--offline` model path.
 
 use crate::stats::Sample;
 
@@ -33,18 +33,11 @@ pub struct SignalTimes {
     pub per_signal_us: f64,
 }
 
-static HANDLED: AtomicU32 = AtomicU32::new(0);
-
-/// Signal handler: counts deliveries. Only async-signal-safe work.
-extern "C" fn count_handler(_sig: libc::c_int) {
-    HANDLED.fetch_add(1, Ordering::SeqCst);
-}
-
 /// Runs the paper's signal experiment: `runs` timed repetitions of
 /// `iters` group deliveries each.
 pub fn signal_times(runs: usize, iters: usize) -> Result<SignalTimes, String> {
-    let handled = grouped_delivery(runs, iters, true)?;
-    let ignored = grouped_delivery(runs, iters, false)?;
+    let handled = imp::grouped_delivery(runs, iters, true)?;
+    let ignored = imp::grouped_delivery(runs, iters, false)?;
     let per_signal_us =
         (handled.mean_us() - ignored.mean_us()).max(0.0) / GROUP as f64;
     Ok(SignalTimes {
@@ -54,159 +47,203 @@ pub fn signal_times(runs: usize, iters: usize) -> Result<SignalTimes, String> {
     })
 }
 
-fn rt_signal(i: usize) -> libc::c_int {
-    libc::SIGRTMIN() + i as libc::c_int
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64", target_env = "gnu")))]
+mod imp {
+    use crate::stats::Sample;
+
+    pub fn grouped_delivery(
+        _runs: usize,
+        _iters: usize,
+        _handle: bool,
+    ) -> Result<Sample, String> {
+        Err("live signal measurement unavailable on this target (run --offline)".into())
+    }
 }
 
-fn grouped_delivery(runs: usize, iters: usize, handle: bool) -> Result<Sample, String> {
-    // Parent-to-child and child-to-parent rendezvous pipes.
-    let mut to_child = [0 as libc::c_int; 2];
-    let mut to_parent = [0 as libc::c_int; 2];
-    // SAFETY: `pipe` writes two fds into the provided array.
-    if unsafe { libc::pipe(to_child.as_mut_ptr()) } != 0
-        || unsafe { libc::pipe(to_parent.as_mut_ptr()) } != 0
-    {
-        return Err("pipe() failed".into());
-    }
-    // SAFETY: fork() has no memory-safety preconditions; the child only
-    // calls async-signal-safe functions (read/write/sigaction/_exit).
-    let pid = unsafe { libc::fork() };
-    if pid < 0 {
-        return Err("fork() failed".into());
-    }
-    if pid == 0 {
-        // ---- Child ----
-        child_loop(to_child[0], to_parent[1], handle);
-        // SAFETY: terminating the child without running parent-inherited
-        // destructors is exactly what `_exit` is for post-fork.
-        unsafe { libc::_exit(0) };
-    }
-    // ---- Parent ----
-    // SAFETY: closing the child's ends in the parent.
-    unsafe {
-        libc::close(to_child[0]);
-        libc::close(to_parent[1]);
-    }
-    let mut child_says = ReadFd(to_parent[0]);
-    let mut tell_child = WriteFd(to_child[1]);
+#[cfg(all(target_os = "linux", target_arch = "x86_64", target_env = "gnu"))]
+mod imp {
+    use std::io::{Read, Write};
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::time::Instant;
 
-    // Wait for the child to report "armed".
-    child_says.read_byte()?;
+    use super::super::sys;
+    use super::GROUP;
+    use crate::stats::Sample;
 
-    let mut samples = Vec::with_capacity(runs);
-    for _ in 0..runs {
-        let start = Instant::now();
-        for _ in 0..iters {
-            for i in 0..GROUP {
-                // SAFETY: posting a signal to our own child.
-                let rc = unsafe { libc::kill(pid, rt_signal(i)) };
-                if rc != 0 {
-                    return Err("kill() failed".into());
+    static HANDLED: AtomicU32 = AtomicU32::new(0);
+
+    /// Signal handler: counts deliveries. Only async-signal-safe work.
+    extern "C" fn count_handler(_sig: sys::c_int) {
+        HANDLED.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn rt_signal(i: usize) -> sys::c_int {
+        // SAFETY: pure query of glibc's reserved-RT-signal floor.
+        unsafe { sys::sigrtmin() + i as sys::c_int }
+    }
+
+    pub fn grouped_delivery(
+        runs: usize,
+        iters: usize,
+        handle: bool,
+    ) -> Result<Sample, String> {
+        // Parent-to-child and child-to-parent rendezvous pipes.
+        let mut to_child = [0 as sys::c_int; 2];
+        let mut to_parent = [0 as sys::c_int; 2];
+        // SAFETY: `pipe` writes two fds into the provided array.
+        if unsafe { sys::pipe(to_child.as_mut_ptr()) } != 0
+            || unsafe { sys::pipe(to_parent.as_mut_ptr()) } != 0
+        {
+            return Err("pipe() failed".into());
+        }
+        // SAFETY: fork() has no memory-safety preconditions; the child
+        // only calls async-signal-safe functions
+        // (read/write/sigaction/_exit).
+        let pid = unsafe { sys::fork() };
+        if pid < 0 {
+            return Err("fork() failed".into());
+        }
+        if pid == 0 {
+            // ---- Child ----
+            child_loop(to_child[0], to_parent[1], handle);
+            // SAFETY: terminating the child without running
+            // parent-inherited destructors is exactly what `_exit` is
+            // for post-fork.
+            unsafe { sys::_exit(0) };
+        }
+        // ---- Parent ----
+        // SAFETY: closing the child's ends in the parent.
+        unsafe {
+            sys::close(to_child[0]);
+            sys::close(to_parent[1]);
+        }
+        let mut child_says = ReadFd(to_parent[0]);
+        let mut tell_child = WriteFd(to_child[1]);
+
+        // Wait for the child to report "armed".
+        child_says.read_byte()?;
+
+        let mut samples = Vec::with_capacity(runs);
+        for _ in 0..runs {
+            let start = Instant::now();
+            for _ in 0..iters {
+                for i in 0..GROUP {
+                    // SAFETY: posting a signal to our own child.
+                    let rc = unsafe { sys::kill(pid, rt_signal(i)) };
+                    if rc != 0 {
+                        return Err("kill() failed".into());
+                    }
+                }
+                if handle {
+                    // Tell the child a group is complete; it replies
+                    // once it has handled all twenty.
+                    tell_child.write_byte(b'g')?;
+                    child_says.read_byte()?;
                 }
             }
-            if handle {
-                // Tell the child a group is complete; it replies once
-                // it has handled all twenty.
-                tell_child.write_byte(b'g')?;
-                child_says.read_byte()?;
+            samples.push(start.elapsed() / iters as u32);
+        }
+        // Shut the child down and reap it.
+        tell_child.write_byte(b'q')?;
+        // SAFETY: waiting on our own child pid.
+        unsafe {
+            let mut status = 0;
+            sys::waitpid(pid, &mut status, 0);
+            sys::close(to_child[1]);
+            sys::close(to_parent[0]);
+        }
+        Ok(Sample::from_runs(&samples))
+    }
+
+    /// Child body: arm handlers (or ignores), signal readiness, then
+    /// serve group-acknowledgement requests until told to quit.
+    fn child_loop(from_parent: sys::c_int, to_parent: sys::c_int, handle: bool) {
+        for i in 0..GROUP {
+            // SAFETY: installing a handler (or SIG_IGN) for a valid RT
+            // signal with a zeroed mask; the handler is
+            // async-signal-safe.
+            unsafe {
+                let mut sa: sys::sigaction = std::mem::zeroed();
+                // sa_mask is already empty (zeroed).
+                sa.sa_handler = if handle {
+                    count_handler as extern "C" fn(sys::c_int) as *const () as usize
+                } else {
+                    sys::SIG_IGN
+                };
+                sys::sigaction(rt_signal(i), &sa, std::ptr::null_mut());
             }
         }
-        samples.push(start.elapsed() / iters as u32);
+        let mut rd = ReadFd(from_parent);
+        let mut wr = WriteFd(to_parent);
+        let _ = wr.write_byte(b'R');
+        loop {
+            let Ok(cmd) = rd.read_byte() else { return };
+            if cmd == b'q' {
+                return;
+            }
+            // Wait until all twenty queued RT signals have been handled.
+            while HANDLED.load(Ordering::SeqCst) < GROUP as u32 {
+                std::hint::spin_loop();
+            }
+            HANDLED.store(0, Ordering::SeqCst);
+            if wr.write_byte(b'd').is_err() {
+                return;
+            }
+        }
     }
-    // Shut the child down and reap it.
-    tell_child.write_byte(b'q')?;
-    // SAFETY: waiting on our own child pid.
-    unsafe {
-        let mut status = 0;
-        libc::waitpid(pid, &mut status, 0);
-        libc::close(to_child[1]);
-        libc::close(to_parent[0]);
-    }
-    Ok(Sample::from_runs(&samples))
-}
 
-/// Child body: arm handlers (or ignores), signal readiness, then serve
-/// group-acknowledgement requests until told to quit.
-fn child_loop(from_parent: libc::c_int, to_parent: libc::c_int, handle: bool) {
-    for i in 0..GROUP {
-        // SAFETY: installing a handler (or SIG_IGN) for a valid RT
-        // signal with a zeroed mask; the handler is async-signal-safe.
-        unsafe {
-            let mut sa: libc::sigaction = std::mem::zeroed();
-            libc::sigemptyset(&mut sa.sa_mask);
-            sa.sa_sigaction = if handle {
-                count_handler as *const fn(libc::c_int) as libc::sighandler_t
+    struct ReadFd(sys::c_int);
+    struct WriteFd(sys::c_int);
+
+    impl ReadFd {
+        fn read_byte(&mut self) -> Result<u8, String> {
+            let mut b = [0u8; 1];
+            self.read_exact(&mut b).map_err(|e| e.to_string())?;
+            Ok(b[0])
+        }
+    }
+
+    impl Read for ReadFd {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            // SAFETY: reading into a valid buffer through an open fd.
+            let n = unsafe { sys::read(self.0, buf.as_mut_ptr(), buf.len()) };
+            if n < 0 {
+                Err(std::io::Error::last_os_error())
             } else {
-                libc::SIG_IGN
-            };
-            libc::sigaction(rt_signal(i), &sa, std::ptr::null_mut());
+                Ok(n as usize)
+            }
         }
     }
-    let mut rd = ReadFd(from_parent);
-    let mut wr = WriteFd(to_parent);
-    let _ = wr.write_byte(b'R');
-    loop {
-        let Ok(cmd) = rd.read_byte() else { return };
-        if cmd == b'q' {
-            return;
-        }
-        // Wait until all twenty queued RT signals have been handled.
-        while HANDLED.load(Ordering::SeqCst) < GROUP as u32 {
-            std::hint::spin_loop();
-        }
-        HANDLED.store(0, Ordering::SeqCst);
-        if wr.write_byte(b'd').is_err() {
-            return;
+
+    impl WriteFd {
+        fn write_byte(&mut self, b: u8) -> Result<(), String> {
+            self.write_all(&[b]).map_err(|e| e.to_string())
         }
     }
-}
 
-struct ReadFd(libc::c_int);
-struct WriteFd(libc::c_int);
+    impl Write for WriteFd {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            // SAFETY: writing from a valid buffer through an open fd.
+            let n = unsafe { sys::write(self.0, buf.as_ptr(), buf.len()) };
+            if n < 0 {
+                Err(std::io::Error::last_os_error())
+            } else {
+                Ok(n as usize)
+            }
+        }
 
-impl ReadFd {
-    fn read_byte(&mut self) -> Result<u8, String> {
-        let mut b = [0u8; 1];
-        self.read_exact(&mut b).map_err(|e| e.to_string())?;
-        Ok(b[0])
-    }
-}
-
-impl Read for ReadFd {
-    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-        // SAFETY: reading into a valid buffer through an open fd.
-        let n = unsafe { libc::read(self.0, buf.as_mut_ptr().cast(), buf.len()) };
-        if n < 0 {
-            Err(std::io::Error::last_os_error())
-        } else {
-            Ok(n as usize)
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
         }
     }
 }
 
-impl WriteFd {
-    fn write_byte(&mut self, b: u8) -> Result<(), String> {
-        self.write_all(&[b]).map_err(|e| e.to_string())
-    }
-}
-
-impl Write for WriteFd {
-    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-        // SAFETY: writing from a valid buffer through an open fd.
-        let n = unsafe { libc::write(self.0, buf.as_ptr().cast(), buf.len()) };
-        if n < 0 {
-            Err(std::io::Error::last_os_error())
-        } else {
-            Ok(n as usize)
-        }
-    }
-
-    fn flush(&mut self) -> std::io::Result<()> {
-        Ok(())
-    }
-}
-
-#[cfg(test)]
+#[cfg(all(
+    test,
+    target_os = "linux",
+    target_arch = "x86_64",
+    target_env = "gnu"
+))]
 mod tests {
     use super::*;
 

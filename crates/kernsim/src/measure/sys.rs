@@ -1,0 +1,115 @@
+//! Hand-declared libc prototypes for the live host measurements.
+//!
+//! The offline build cannot depend on the `libc` crate, but every Rust
+//! program on `*-linux-gnu` already links glibc, so the handful of
+//! syscall wrappers the measurements need — `fork`/`pipe`/`kill` for
+//! the signal experiment, `mmap` for the page-fault experiment — can be
+//! declared directly. Only the x86-64 glibc ABI is covered; on other
+//! targets the live measurements report "unavailable" and the harness
+//! falls back to the 1996-style model numbers (the documented
+//! `--offline` path).
+
+#![allow(non_camel_case_types)]
+
+/// C `int`.
+pub type c_int = i32;
+/// `pid_t` on Linux.
+pub type pid_t = i32;
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64", target_env = "gnu"))]
+mod linux_gnu {
+    use super::{c_int, pid_t};
+
+    /// glibc's `struct sigaction` on x86-64: handler pointer, 1024-bit
+    /// signal mask, flags, restorer. `#[repr(C)]` inserts the same
+    /// 4-byte pad after `sa_flags` that the C layout has.
+    #[repr(C)]
+    pub struct sigaction {
+        pub sa_handler: usize,
+        pub sa_mask: [u64; 16],
+        pub sa_flags: c_int,
+        pub sa_restorer: usize,
+    }
+
+    /// `SIG_IGN`.
+    pub const SIG_IGN: usize = 1;
+    /// `PROT_READ`.
+    pub const PROT_READ: c_int = 1;
+    /// `PROT_WRITE`.
+    pub const PROT_WRITE: c_int = 2;
+    /// `MAP_PRIVATE`.
+    pub const MAP_PRIVATE: c_int = 0x02;
+    /// `MAP_ANONYMOUS`.
+    pub const MAP_ANONYMOUS: c_int = 0x20;
+    /// `MAP_FAILED`.
+    pub const MAP_FAILED: *mut u8 = usize::MAX as *mut u8;
+    /// `_SC_PAGESIZE`.
+    pub const _SC_PAGESIZE: c_int = 30;
+
+    extern "C" {
+        pub fn fork() -> pid_t;
+        pub fn pipe(fds: *mut c_int) -> c_int;
+        pub fn close(fd: c_int) -> c_int;
+        pub fn read(fd: c_int, buf: *mut u8, count: usize) -> isize;
+        pub fn write(fd: c_int, buf: *const u8, count: usize) -> isize;
+        pub fn kill(pid: pid_t, sig: c_int) -> c_int;
+        pub fn waitpid(pid: pid_t, status: *mut c_int, options: c_int) -> pid_t;
+        pub fn _exit(status: c_int) -> !;
+        pub fn sigaction(
+            signum: c_int,
+            act: *const sigaction,
+            oldact: *mut sigaction,
+        ) -> c_int;
+        /// glibc reserves the low RT signals for NPTL; this returns the
+        /// first one applications may use (what the `SIGRTMIN` macro
+        /// expands to).
+        #[link_name = "__libc_current_sigrtmin"]
+        pub fn sigrtmin() -> c_int;
+        pub fn mmap(
+            addr: *mut u8,
+            length: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut u8;
+        pub fn munmap(addr: *mut u8, length: usize) -> c_int;
+        pub fn sysconf(name: c_int) -> i64;
+    }
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64", target_env = "gnu"))]
+pub use linux_gnu::*;
+
+/// Whether the live-measurement FFI is available on this target.
+pub const AVAILABLE: bool =
+    cfg!(all(target_os = "linux", target_arch = "x86_64", target_env = "gnu"));
+
+#[cfg(all(
+    test,
+    target_os = "linux",
+    target_arch = "x86_64",
+    target_env = "gnu"
+))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigaction_layout_matches_glibc() {
+        // glibc's struct sigaction is 152 bytes on x86-64.
+        assert_eq!(std::mem::size_of::<sigaction>(), 152);
+        assert_eq!(std::mem::align_of::<sigaction>(), 8);
+    }
+
+    #[test]
+    fn sysconf_pagesize_works() {
+        let ps = unsafe { sysconf(_SC_PAGESIZE) };
+        assert!(ps >= 4096, "{ps}");
+    }
+
+    #[test]
+    fn sigrtmin_is_in_posix_range() {
+        let m = unsafe { sigrtmin() };
+        assert!((32..=64).contains(&m), "{m}");
+    }
+}

@@ -169,6 +169,55 @@ mod tests {
     }
 
     #[test]
+    fn single_run_is_its_own_mean_min_and_median() {
+        let s = Sample::from_runs(&[Duration::from_micros(7)]);
+        assert_eq!(s.runs, 1);
+        assert_eq!(s.mean_ns, 7_000.0);
+        assert_eq!(s.min_ns, 7_000.0);
+        assert_eq!(s.median_ns, 7_000.0);
+        assert_eq!(s.std_pct, 0.0);
+        assert_eq!(s.best(), Duration::from_micros(7));
+    }
+
+    #[test]
+    fn zero_duration_runs_do_not_divide_by_zero() {
+        // A sub-resolution measurement (all zeros) must not make
+        // std_pct NaN: the mean-is-zero guard pins it to 0.
+        let s = Sample::from_runs(&[Duration::ZERO; 4]);
+        assert_eq!(s.mean_ns, 0.0);
+        assert_eq!(s.std_pct, 0.0);
+        assert!(!s.std_pct.is_nan());
+        assert_eq!(s.best(), Duration::ZERO);
+    }
+
+    #[test]
+    fn std_pct_stays_finite_for_mixed_zero_and_nonzero() {
+        let s = Sample::from_runs(&[Duration::ZERO, Duration::from_nanos(2)]);
+        assert!(s.std_pct.is_finite());
+        assert_eq!(s.min_ns, 0.0);
+        assert_eq!(s.runs, 2);
+    }
+
+    #[test]
+    fn fmt_ns_covers_every_unit_band() {
+        assert_eq!(fmt_ns(999.0), "999.0ns");
+        assert_eq!(fmt_ns(25_800.0), "25.8µs");
+        assert_eq!(fmt_ns(25_100_000.0), "25.1ms");
+        assert_eq!(fmt_ns(2_500_000_000.0), "2.50s");
+    }
+
+    #[test]
+    fn robust_style_leads_with_the_minimum() {
+        let s = Sample::from_runs(&[
+            Duration::from_micros(10),
+            Duration::from_micros(500),
+        ]);
+        let text = s.robust_style();
+        assert!(text.starts_with("10.0µs [mean "), "{text}");
+        assert!(text.contains('%'), "{text}");
+    }
+
+    #[test]
     fn measure_runs_the_closure() {
         let mut count = 0;
         let s = measure(3, || count += 1);

@@ -14,10 +14,13 @@
 //! microkernel. A configurable synthetic latency can be added per
 //! invocation for sweeps.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, Receiver, Sender};
 use graft_api::{ExtensionEngine, GraftError, Technology};
+use graft_telemetry::{counter, histogram};
 
 enum Request {
     Ping,
@@ -40,18 +43,24 @@ enum Reply {
 
 /// An extension hosted in a user-level server, reached by upcall.
 pub struct UpcallEngine {
-    tx: Sender<Request>,
+    tx: SyncSender<Request>,
     rx: Receiver<Reply>,
     server: Option<std::thread::JoinHandle<()>>,
     synthetic_latency: Duration,
     inner_technology: Technology,
+    /// Requests posted but not yet answered (the transport's queue
+    /// depth; 0 or 1 for a rendezvous channel, recorded for telemetry).
+    in_flight: Arc<AtomicUsize>,
 }
 
 impl UpcallEngine {
     /// Moves `engine` behind the upcall boundary.
     pub fn new(engine: Box<dyn ExtensionEngine>) -> Self {
-        let (req_tx, req_rx) = bounded::<Request>(0);
-        let (rep_tx, rep_rx) = bounded::<Reply>(0);
+        // Rendezvous channels: a zero-capacity `sync_channel` blocks the
+        // sender until the server thread arrives, which is the faithful
+        // stand-in for a synchronous protection-domain crossing.
+        let (req_tx, req_rx) = sync_channel::<Request>(0);
+        let (rep_tx, rep_rx) = sync_channel::<Reply>(0);
         let inner_technology = engine.technology();
         let server = std::thread::Builder::new()
             .name("graft-upcall-server".into())
@@ -63,6 +72,7 @@ impl UpcallEngine {
             server: Some(server),
             synthetic_latency: Duration::ZERO,
             inner_technology,
+            in_flight: Arc::new(AtomicUsize::new(0)),
         }
     }
 
@@ -85,8 +95,19 @@ impl UpcallEngine {
                 std::hint::spin_loop();
             }
         }
+        if !graft_telemetry::enabled() {
+            self.tx.send(req).expect("upcall server alive");
+            return self.rx.recv().expect("upcall server replies");
+        }
+        counter!("upcall.roundtrips").incr();
+        histogram!("upcall.queue_depth")
+            .record(self.in_flight.fetch_add(1, Ordering::Relaxed) as u64);
+        let start = Instant::now();
         self.tx.send(req).expect("upcall server alive");
-        self.rx.recv().expect("upcall server replies")
+        let reply = self.rx.recv().expect("upcall server replies");
+        histogram!("upcall.wait_ns").record_duration(start.elapsed());
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        reply
     }
 
     /// Measures the bare transport round trip (no engine work): the
@@ -111,7 +132,7 @@ impl Drop for UpcallEngine {
 fn serve(
     mut engine: Box<dyn ExtensionEngine>,
     rx: Receiver<Request>,
-    tx: Sender<Reply>,
+    tx: SyncSender<Reply>,
 ) {
     while let Ok(req) = rx.recv() {
         let reply = match req {

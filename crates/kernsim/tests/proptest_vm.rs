@@ -1,8 +1,9 @@
-//! Model-based property tests for the LRU queue and pager.
+//! Model-based property tests for the LRU queue and pager, driven by a
+//! seeded RNG (no network deps).
 
-use proptest::prelude::*;
 use std::collections::VecDeque;
 
+use graft_rng::{Rng, SmallRng};
 use kernsim::vm::{LruPolicy, LruQueue, Pager};
 
 /// Operations against the queue.
@@ -13,12 +14,13 @@ enum Op {
     Remove(u64),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u64..40).prop_map(Op::Insert),
-        (0u64..40).prop_map(Op::Touch),
-        (0u64..40).prop_map(Op::Remove),
-    ]
+fn random_op(rng: &mut SmallRng) -> Op {
+    let p = rng.gen_range(0u64..40);
+    match rng.gen_range(0u32..3) {
+        0 => Op::Insert(p),
+        1 => Op::Touch(p),
+        _ => Op::Remove(p),
+    }
 }
 
 /// A trivially correct model: a VecDeque with linear scans.
@@ -54,39 +56,44 @@ impl Model {
     }
 }
 
-proptest! {
-    #[test]
-    fn lru_queue_matches_a_naive_model(ops in prop::collection::vec(op_strategy(), 0..200)) {
+#[test]
+fn lru_queue_matches_a_naive_model() {
+    let mut rng = SmallRng::seed_from_u64(0x14AB);
+    for _case in 0..64 {
+        let nops = rng.gen_range(0usize..200);
         let mut queue = LruQueue::new();
         let mut model = Model::default();
-        for op in ops {
-            match op {
-                Op::Insert(p) => prop_assert_eq!(queue.insert(p), model.insert(p)),
-                Op::Touch(p) => prop_assert_eq!(queue.touch(p), model.touch(p)),
-                Op::Remove(p) => prop_assert_eq!(queue.remove(p), model.remove(p)),
+        for _ in 0..nops {
+            match random_op(&mut rng) {
+                Op::Insert(p) => assert_eq!(queue.insert(p), model.insert(p)),
+                Op::Touch(p) => assert_eq!(queue.touch(p), model.touch(p)),
+                Op::Remove(p) => assert_eq!(queue.remove(p), model.remove(p)),
             }
-            prop_assert_eq!(queue.len(), model.0.len());
-            prop_assert_eq!(queue.head(), model.0.front().copied());
+            assert_eq!(queue.len(), model.0.len());
+            assert_eq!(queue.head(), model.0.front().copied());
         }
         let order: Vec<u64> = queue.iter_lru().collect();
         let model_order: Vec<u64> = model.0.iter().copied().collect();
-        prop_assert_eq!(order, model_order);
+        assert_eq!(order, model_order);
     }
+}
 
-    /// The pager never exceeds its frame count, and every access leaves
-    /// the touched page resident.
-    #[test]
-    fn pager_invariants_hold_on_random_traces(
-        frames in 1usize..12,
-        trace in prop::collection::vec(0u64..64, 1..300),
-    ) {
+/// The pager never exceeds its frame count, and every access leaves the
+/// touched page resident.
+#[test]
+fn pager_invariants_hold_on_random_traces() {
+    let mut rng = SmallRng::seed_from_u64(0x9A6E);
+    for _case in 0..48 {
+        let frames = rng.gen_range(1usize..12);
+        let steps = rng.gen_range(1usize..300);
         let mut pager = Pager::new(frames, LruPolicy);
-        for page in trace {
+        for _ in 0..steps {
+            let page = rng.gen_range(0u64..64);
             pager.access(page);
-            prop_assert!(pager.queue().len() <= frames);
-            prop_assert!(pager.queue().contains(page));
+            assert!(pager.queue().len() <= frames);
+            assert!(pager.queue().contains(page));
         }
         let s = pager.stats();
-        prop_assert!(s.refaults <= s.faults);
+        assert!(s.refaults <= s.faults);
     }
 }

@@ -1,61 +1,109 @@
-//! Property tests for the Grail front end.
+//! Property tests for the Grail front end, driven by a seeded RNG (no
+//! network deps).
 
 use graft_api::RegionSpec;
 use graft_lang::lexer::lex;
 use graft_lang::token::TokenKind;
-use proptest::prelude::*;
+use graft_rng::{Rng, SmallRng};
 
-proptest! {
-    /// The whole front end never panics on arbitrary input: it either
-    /// compiles or reports a located diagnostic.
-    #[test]
-    fn compile_never_panics(src in "[ -~\\n]{0,200}") {
+/// The whole front end never panics on arbitrary input: it either
+/// compiles or reports a located diagnostic.
+#[test]
+fn compile_never_panics() {
+    let mut rng = SmallRng::seed_from_u64(0xF0);
+    for _case in 0..256 {
+        let len = rng.gen_range(0usize..200);
+        // Printable ASCII plus newline, as the original generator drew.
+        let src: String = (0..len)
+            .map(|_| {
+                let c = rng.gen_range(0u32..96);
+                if c == 95 {
+                    '\n'
+                } else {
+                    char::from_u32(0x20 + c).unwrap()
+                }
+            })
+            .collect();
         let _ = graft_lang::compile(&src, &[RegionSpec::data("buf", 4)]);
     }
+}
 
-    /// Decimal integer literals round-trip through the lexer.
-    #[test]
-    fn decimal_literals_round_trip(v in 0i64..i64::MAX) {
+/// Decimal integer literals round-trip through the lexer.
+#[test]
+fn decimal_literals_round_trip() {
+    let mut rng = SmallRng::seed_from_u64(0xDEC);
+    let mut cases: Vec<i64> = (0..100).map(|_| rng.gen_range(0i64..i64::MAX)).collect();
+    cases.extend([0, 1, i64::MAX]);
+    for v in cases {
         let toks = lex(&v.to_string()).unwrap();
-        prop_assert_eq!(&toks[0].kind, &TokenKind::Int(v));
+        assert_eq!(&toks[0].kind, &TokenKind::Int(v));
     }
+}
 
-    /// Hex literals round-trip (including the full u64 range, which
-    /// reinterprets as two's complement).
-    #[test]
-    fn hex_literals_round_trip(v in any::<u64>()) {
+/// Hex literals round-trip (including the full u64 range, which
+/// reinterprets as two's complement).
+#[test]
+fn hex_literals_round_trip() {
+    let mut rng = SmallRng::seed_from_u64(0x4E);
+    let mut cases: Vec<u64> = (0..100).map(|_| rng.next_u64()).collect();
+    cases.extend([0, 1, u64::MAX]);
+    for v in cases {
         let toks = lex(&format!("0x{v:X}")).unwrap();
-        prop_assert_eq!(&toks[0].kind, &TokenKind::Int(v as i64));
+        assert_eq!(&toks[0].kind, &TokenKind::Int(v as i64));
     }
+}
 
-    /// Identifiers lex as single tokens with exact spans.
-    #[test]
-    fn identifiers_lex_whole(name in "[a-z_][a-z0-9_]{0,20}") {
-        prop_assume!(graft_lang::token::keyword(&name).is_none());
+/// Identifiers lex as single tokens with exact spans.
+#[test]
+fn identifiers_lex_whole() {
+    let mut rng = SmallRng::seed_from_u64(0x1D);
+    const FIRST: &[u8] = b"abcdefghijklmnopqrstuvwxyz_";
+    const REST: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_";
+    for _case in 0..200 {
+        let len = rng.gen_range(0usize..21);
+        let mut name = String::new();
+        name.push(FIRST[rng.gen_range(0usize..FIRST.len())] as char);
+        for _ in 0..len {
+            name.push(REST[rng.gen_range(0usize..REST.len())] as char);
+        }
+        if graft_lang::token::keyword(&name).is_some() {
+            continue;
+        }
         let toks = lex(&name).unwrap();
-        prop_assert_eq!(toks.len(), 2); // ident + EOF
-        prop_assert_eq!(&toks[0].kind, &TokenKind::Ident(name.clone()));
-        prop_assert_eq!(toks[0].span.end - toks[0].span.start, name.len());
+        assert_eq!(toks.len(), 2); // ident + EOF
+        assert_eq!(&toks[0].kind, &TokenKind::Ident(name.clone()));
+        assert_eq!(toks[0].span.end - toks[0].span.start, name.len());
     }
+}
 
-    /// Whitespace and comments never change the token stream.
-    #[test]
-    fn trivia_is_invisible(pad in "[ \\t\\n]{0,10}") {
+/// Whitespace and comments never change the token stream.
+#[test]
+fn trivia_is_invisible() {
+    let mut rng = SmallRng::seed_from_u64(0x7121);
+    const PAD: &[u8] = b" \t\n";
+    for _case in 0..64 {
+        let len = rng.gen_range(0usize..10);
+        let pad: String = (0..len)
+            .map(|_| PAD[rng.gen_range(0usize..PAD.len())] as char)
+            .collect();
         let plain = lex("let x = 1 + 2;").unwrap();
-        let padded = lex(&format!("{pad}let{pad} x ={pad}1 /*c*/ + // c\n 2;{pad}")).unwrap();
+        let padded =
+            lex(&format!("{pad}let{pad} x ={pad}1 /*c*/ + // c\n 2;{pad}")).unwrap();
         let kinds = |ts: &[graft_lang::token::Token]| {
             ts.iter().map(|t| t.kind.clone()).collect::<Vec<_>>()
         };
-        prop_assert_eq!(kinds(&plain), kinds(&padded));
+        assert_eq!(kinds(&plain), kinds(&padded));
     }
+}
 
-    /// Generated well-formed programs always compile, and their checked
-    /// function inventory matches the source.
-    #[test]
-    fn generated_programs_compile(
-        nfuncs in 1usize..5,
-        nlets in 0usize..4,
-    ) {
+/// Generated well-formed programs always compile, and their checked
+/// function inventory matches the source.
+#[test]
+fn generated_programs_compile() {
+    let mut rng = SmallRng::seed_from_u64(0x6E4);
+    for _case in 0..40 {
+        let nfuncs = rng.gen_range(1usize..5);
+        let nlets = rng.gen_range(0usize..4);
         let mut src = String::new();
         for f in 0..nfuncs {
             src.push_str(&format!("fn f{f}(a: int) -> int {{\n"));
@@ -69,10 +117,10 @@ proptest! {
             }
         }
         let program = graft_lang::compile(&src, &[]).unwrap();
-        prop_assert_eq!(program.funcs.len(), nfuncs);
+        assert_eq!(program.funcs.len(), nfuncs);
         for (i, func) in program.funcs.iter().enumerate() {
-            prop_assert_eq!(&func.name, &format!("f{i}"));
-            prop_assert_eq!(func.frame_size, 1 + nlets);
+            assert_eq!(&func.name, &format!("f{i}"));
+            assert_eq!(func.frame_size, 1 + nlets);
         }
     }
 }

@@ -101,6 +101,9 @@ impl CleaningDisk {
     /// One greedy cleaning pass: reclaim the emptiest flushed segments
     /// until the reserve is met.
     fn clean(&mut self, flushes: &mut Vec<SegmentFlush>) {
+        // Span-timed: a run artifact shows what fraction of wall-clock
+        // the cleaner (which the paper's simulation omits) would cost.
+        let _span = graft_telemetry::span!("ld_clean_pass");
         self.stats.passes += 1;
         // Reclaim up to a quarter of the disk per pass.
         let target = self.reserve_segments.max(self.config.segments() / 4);
@@ -134,6 +137,20 @@ impl CleaningDisk {
             .filter(|&(_, &p)| p != UNMAPPED && p >= lo && p < hi)
             .map(|(l, _)| l as u64)
             .collect()
+    }
+}
+
+impl Drop for CleaningDisk {
+    /// Flushes cleaner statistics to the global telemetry counters at
+    /// teardown (the write path itself stays atomic-free).
+    fn drop(&mut self) {
+        if !graft_telemetry::enabled() {
+            return;
+        }
+        let s = self.stats;
+        graft_telemetry::counter!("cleaner.passes").add(s.passes);
+        graft_telemetry::counter!("cleaner.live_copied").add(s.live_copied);
+        graft_telemetry::counter!("cleaner.segments_reclaimed").add(s.segments_reclaimed);
     }
 }
 

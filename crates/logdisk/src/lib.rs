@@ -190,6 +190,24 @@ impl LogicalDisk {
     }
 }
 
+impl Drop for LogicalDisk {
+    /// Flushes accumulated statistics to the global telemetry counters.
+    ///
+    /// Done at teardown, never per write: `write` is the hot path the
+    /// Table 6 experiment times, so it must not touch an atomic. Each
+    /// disk (including clones) contributes its totals exactly once.
+    fn drop(&mut self) {
+        if !graft_telemetry::enabled() {
+            return;
+        }
+        let s = self.stats;
+        graft_telemetry::counter!("ld.writes").add(s.writes);
+        graft_telemetry::counter!("ld.rewrites_in_segment").add(s.rewrites_in_segment);
+        graft_telemetry::counter!("ld.segments_flushed").add(s.segments_flushed);
+        graft_telemetry::counter!("ld.dead_blocks").add(s.dead_blocks);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,8 +1,7 @@
 //! The paper's skewed write workload: 80% of the requests target 20% of
 //! the blocks.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use graft_rng::{Rng, SmallRng};
 
 /// An iterator of logical block numbers with the paper's 80/20 skew.
 ///

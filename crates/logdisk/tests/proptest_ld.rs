@@ -1,16 +1,19 @@
-//! Property tests for the Logical Disk facility.
+//! Property tests for the Logical Disk facility, driven by a seeded RNG
+//! (no network deps).
 
-use logdisk::{cleaner::CleaningDisk, LdConfig, LogicalDisk, UNMAPPED};
-use proptest::prelude::*;
 use std::collections::HashMap;
 
-proptest! {
-    /// The map always reflects the most recent write of each block, and
-    /// physical addresses are handed out sequentially.
-    #[test]
-    fn map_matches_a_hashmap_model(
-        writes in prop::collection::vec(0u64..256, 0..600),
-    ) {
+use graft_rng::{Rng, SmallRng};
+use logdisk::{cleaner::CleaningDisk, LdConfig, LogicalDisk, UNMAPPED};
+
+/// The map always reflects the most recent write of each block, and
+/// physical addresses are handed out sequentially.
+#[test]
+fn map_matches_a_hashmap_model() {
+    let mut rng = SmallRng::seed_from_u64(0x10D);
+    for _case in 0..32 {
+        let nwrites = rng.gen_range(0usize..600);
+        let writes: Vec<u64> = (0..nwrites).map(|_| rng.gen_range(0u64..256)).collect();
         let config = LdConfig { blocks: 256, segment_blocks: 16 };
         let mut ld = LogicalDisk::new(config);
         let mut model: HashMap<u64, u64> = HashMap::new();
@@ -19,46 +22,53 @@ proptest! {
             model.insert(w, seq as u64);
         }
         for b in 0..256u64 {
-            prop_assert_eq!(ld.read(b), model.get(&b).copied());
+            assert_eq!(ld.read(b), model.get(&b).copied());
         }
-        prop_assert_eq!(ld.physical_used(), writes.len() as u64);
+        assert_eq!(ld.physical_used(), writes.len() as u64);
         // Unwritten blocks stay unmapped in the raw map too.
         for (b, &p) in ld.map().iter().enumerate() {
-            prop_assert_eq!(p == UNMAPPED, !model.contains_key(&(b as u64)));
+            assert_eq!(p == UNMAPPED, !model.contains_key(&(b as u64)));
         }
     }
+}
 
-    /// Segments flush exactly every `segment_blocks` writes.
-    #[test]
-    fn flush_cadence_is_exact(writes in prop::collection::vec(0u64..128, 0..400)) {
+/// Segments flush exactly every `segment_blocks` writes.
+#[test]
+fn flush_cadence_is_exact() {
+    let mut rng = SmallRng::seed_from_u64(0xF1);
+    for _case in 0..32 {
+        let nwrites = rng.gen_range(0usize..400);
         let config = LdConfig { blocks: 128, segment_blocks: 16 };
         let mut ld = LogicalDisk::new(config);
         let mut flushes = 0u64;
-        for (i, &w) in writes.iter().enumerate() {
-            let f = ld.write(w);
-            prop_assert_eq!(f.is_some(), (i + 1) % 16 == 0);
+        for i in 0..nwrites {
+            let f = ld.write(rng.gen_range(0u64..128));
+            assert_eq!(f.is_some(), (i + 1) % 16 == 0);
             if f.is_some() {
                 flushes += 1;
             }
         }
-        prop_assert_eq!(ld.stats().segments_flushed, flushes);
+        assert_eq!(ld.stats().segments_flushed, flushes);
     }
+}
 
-    /// With the cleaner, every written block stays readable no matter
-    /// how far the workload outruns the disk.
-    #[test]
-    fn cleaner_preserves_all_live_blocks(
-        writes in prop::collection::vec(0u64..64, 1..1500),
-    ) {
+/// With the cleaner, every written block stays readable no matter how
+/// far the workload outruns the disk.
+#[test]
+fn cleaner_preserves_all_live_blocks() {
+    let mut rng = SmallRng::seed_from_u64(0xC1EA);
+    for _case in 0..24 {
+        let nwrites = rng.gen_range(1usize..1500);
         let config = LdConfig { blocks: 64, segment_blocks: 8 };
         let mut disk = CleaningDisk::new(config, 2);
         let mut written = std::collections::HashSet::new();
-        for &w in &writes {
+        for _ in 0..nwrites {
+            let w = rng.gen_range(0u64..64);
             disk.write(w);
             written.insert(w);
         }
         for &b in &written {
-            prop_assert!(disk.disk().read(b).is_some(), "block {} lost", b);
+            assert!(disk.disk().read(b).is_some(), "block {} lost", b);
         }
     }
 }

@@ -1,20 +1,24 @@
-//! Property tests for the MD5 reference implementation.
+//! Property tests for the MD5 reference implementation, driven by a
+//! seeded RNG (no network deps).
 
 use graft_md5::{digest, hex, Md5};
-use proptest::prelude::*;
+use graft_rng::{Rng, SmallRng};
 
-proptest! {
-    /// Streaming in arbitrary chunkings always equals the one-shot
-    /// digest.
-    #[test]
-    fn chunking_is_irrelevant(
-        data in prop::collection::vec(any::<u8>(), 0..600),
-        cuts in prop::collection::vec(any::<u16>(), 0..8),
-    ) {
+fn random_bytes(rng: &mut SmallRng, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_range(0usize..max_len);
+    (0..len).map(|_| rng.next_u64() as u8).collect()
+}
+
+/// Streaming in arbitrary chunkings always equals the one-shot digest.
+#[test]
+fn chunking_is_irrelevant() {
+    let mut rng = SmallRng::seed_from_u64(0x3D5);
+    for _case in 0..128 {
+        let data = random_bytes(&mut rng, 600);
+        let ncuts = rng.gen_range(0usize..8);
         let want = digest(&data);
-        let mut cuts: Vec<usize> = cuts
-            .into_iter()
-            .map(|c| c as usize % (data.len() + 1))
+        let mut cuts: Vec<usize> = (0..ncuts)
+            .map(|_| rng.gen_range(0usize..data.len() + 1))
             .collect();
         cuts.sort_unstable();
         let mut ctx = Md5::new();
@@ -24,27 +28,37 @@ proptest! {
             at = cut.max(at);
         }
         ctx.update(&data[at..]);
-        prop_assert_eq!(ctx.finish(), want);
+        assert_eq!(ctx.finish(), want);
     }
+}
 
-    /// Any single-bit corruption is detected.
-    #[test]
-    fn single_corruption_is_detected(
-        mut data in prop::collection::vec(any::<u8>(), 1..300),
-        at in any::<u16>(),
-        bit in 0u8..8,
-    ) {
+/// Any single-bit corruption is detected.
+#[test]
+fn single_corruption_is_detected() {
+    let mut rng = SmallRng::seed_from_u64(0xC0);
+    for _case in 0..256 {
+        let mut data = random_bytes(&mut rng, 300);
+        if data.is_empty() {
+            data.push(rng.next_u64() as u8);
+        }
+        let at = rng.gen_range(0usize..data.len());
+        let bit = rng.gen_range(0u8..8);
         let clean = digest(&data);
-        let at = at as usize % data.len();
         data[at] ^= 1 << bit;
-        prop_assert_ne!(digest(&data), clean);
+        assert_ne!(digest(&data), clean);
     }
+}
 
-    /// Hex rendering is 32 lowercase hex chars.
-    #[test]
-    fn hex_shape(data in prop::collection::vec(any::<u8>(), 0..64)) {
+/// Hex rendering is 32 lowercase hex chars.
+#[test]
+fn hex_shape() {
+    let mut rng = SmallRng::seed_from_u64(0x4e);
+    for _case in 0..64 {
+        let data = random_bytes(&mut rng, 64);
         let h = hex(&digest(&data));
-        prop_assert_eq!(h.len(), 32);
-        prop_assert!(h.chars().all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
+        assert_eq!(h.len(), 32);
+        assert!(h
+            .chars()
+            .all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
     }
 }

@@ -1,0 +1,290 @@
+//! A dependency-free deterministic random number generator.
+//!
+//! The reproduction must build with **no network and no crates.io
+//! cache**, so it cannot depend on the `rand` crate. This crate provides
+//! the small slice of `rand`'s API the workspace actually uses —
+//! `SmallRng::seed_from_u64`, `gen_range`, `gen_bool`, and slice
+//! shuffling — over a xoshiro256++ core seeded by SplitMix64 (the
+//! reference initialization from Blackman & Vigna). Determinism in the
+//! seed is part of the contract: workloads such as
+//! `logdisk::workload::skewed` must replay identically across runs so
+//! that run artifacts from different PRs are comparable.
+//!
+//! The trait names (`Rng`, `SeedableRng`, `SliceRandom`) deliberately
+//! mirror `rand` so call sites read identically; this is a vendoring
+//! shim, not a new design.
+
+pub mod rngs {
+    //! Mirror of `rand::rngs` naming.
+    pub use crate::SmallRng;
+}
+
+pub mod seq {
+    //! Mirror of `rand::seq` naming.
+    pub use crate::SliceRandom;
+}
+
+/// A small, fast, deterministic RNG (xoshiro256++).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SmallRng {
+    /// Seeds the generator from a single `u64` via SplitMix64, as
+    /// `rand::SeedableRng::seed_from_u64` does.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        // xoshiro must not start in the all-zero state; SplitMix64 of
+        // any seed cannot produce four zeros, but keep the guard anyway.
+        if s == [0; 4] {
+            return SmallRng { s: [1, 2, 3, 4] };
+        }
+        SmallRng { s }
+    }
+
+    /// The next 64 random bits (xoshiro256++).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.s;
+        let result = s0
+            .wrapping_add(s3)
+            .rotate_left(23)
+            .wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.s = s;
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)` using the top 53 bits.
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform `u64` below `bound` (Lemire-style rejection to avoid
+    /// modulo bias).
+    #[inline]
+    pub fn bounded_u64(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty range");
+        loop {
+            let x = self.next_u64();
+            let hi = ((x as u128 * bound as u128) >> 64) as u64;
+            let lo = x.wrapping_mul(bound);
+            if lo >= bound || lo >= bound.wrapping_neg() % bound {
+                return hi;
+            }
+        }
+    }
+}
+
+/// The slice of `rand::Rng` the workspace uses.
+pub trait Rng {
+    /// A uniform value in `range` (half-open).
+    fn gen_range<T: RangeSample>(&mut self, range: std::ops::Range<T>) -> T;
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool;
+    /// A uniform `f64` in `[0, 1)`.
+    fn gen(&mut self) -> f64;
+}
+
+impl Rng for SmallRng {
+    #[inline]
+    fn gen_range<T: RangeSample>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample(self, range.start, range.end)
+    }
+
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    #[inline]
+    fn gen(&mut self) -> f64 {
+        self.gen_f64()
+    }
+}
+
+/// Mirror of `rand::SeedableRng` for call-site compatibility.
+pub trait SeedableRng: Sized {
+    /// Seeds from a single `u64`.
+    fn from_seed_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for SmallRng {
+    fn from_seed_u64(seed: u64) -> Self {
+        SmallRng::seed_from_u64(seed)
+    }
+}
+
+/// Types `gen_range` can produce.
+pub trait RangeSample: Copy {
+    /// A uniform sample in `[lo, hi)`.
+    fn sample(rng: &mut SmallRng, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl RangeSample for $t {
+            #[inline]
+            fn sample(rng: &mut SmallRng, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty range");
+                lo + rng.bounded_u64((hi - lo) as u64) as $t
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl RangeSample for $t {
+            #[inline]
+            fn sample(rng: &mut SmallRng, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                (lo as i128 + rng.bounded_u64(span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+/// Mirror of `rand::seq::SliceRandom` for the one method used.
+pub trait SliceRandom {
+    /// Item type.
+    type Item;
+    /// Fisher–Yates shuffle.
+    fn shuffle(&mut self, rng: &mut SmallRng);
+    /// A uniformly random element, `None` when empty.
+    fn choose<'a>(&'a self, rng: &mut SmallRng) -> Option<&'a Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle(&mut self, rng: &mut SmallRng) {
+        for i in (1..self.len()).rev() {
+            let j = rng.bounded_u64((i + 1) as u64) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<'a>(&'a self, rng: &mut SmallRng) -> Option<&'a T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.bounded_u64(self.len() as u64) as usize])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a: Vec<u64> = {
+            let mut r = SmallRng::seed_from_u64(42);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SmallRng::seed_from_u64(42);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = SmallRng::seed_from_u64(43);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gen_range_stays_in_range_for_all_widths() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let u: usize = r.gen_range(3..17);
+            assert!((3..17).contains(&u));
+            let i: i64 = r.gen_range(-5..5);
+            assert!((-5..5).contains(&i));
+            let w: u64 = r.gen_range(0..1);
+            assert_eq!(w, 0);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_the_whole_range() {
+        let mut r = SmallRng::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[r.gen_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn uniformity_is_rough_but_unmistakable() {
+        let mut r = SmallRng::seed_from_u64(5);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| r.gen_range(0..100u32) < 80).count();
+        let frac = hits as f64 / n as f64;
+        assert!((0.79..0.81).contains(&frac), "{frac}");
+    }
+
+    #[test]
+    fn gen_f64_is_in_unit_interval() {
+        let mut r = SmallRng::seed_from_u64(11);
+        let mean: f64 = (0..10_000).map(|_| r.gen_f64()).sum::<f64>() / 10_000.0;
+        assert!((0.48..0.52).contains(&mean), "{mean}");
+    }
+
+    #[test]
+    fn shuffle_permutes_without_loss() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut r);
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "overwhelmingly unlikely");
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_returns_none_only_when_empty() {
+        let mut r = SmallRng::seed_from_u64(9);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut r).is_none());
+        assert!([1, 2, 3].choose(&mut r).is_some());
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = SmallRng::seed_from_u64(13);
+        let hits = (0..50_000).filter(|_| r.gen_bool(0.25)).count();
+        let frac = hits as f64 / 50_000.0;
+        assert!((0.23..0.27).contains(&frac), "{frac}");
+    }
+}

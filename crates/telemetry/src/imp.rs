@@ -1,0 +1,481 @@
+//! The real implementation, compiled only with the `telemetry` feature.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::{HistogramSnapshot, MetricsSnapshot, SpanEvent};
+
+/// Shards per counter. Eight 64-byte lines absorb contention from the
+/// upcall server thread without bloating the (few dozen) counters.
+const SHARDS: usize = 8;
+
+/// Capacity of the span event ring.
+const RING_CAPACITY: usize = 1024;
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Turns recording on or off at runtime (`--no-telemetry`). Counters
+/// keep their accumulated values; they simply stop moving.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether recording is currently enabled.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// A 64-byte-aligned atomic so neighbouring shards never share a line.
+#[repr(align(64))]
+struct PaddedU64(AtomicU64);
+
+impl PaddedU64 {
+    const fn new() -> Self {
+        PaddedU64(AtomicU64::new(0))
+    }
+}
+
+/// A sharded, monotonically increasing counter.
+pub struct Counter {
+    name: &'static str,
+    shards: [PaddedU64; SHARDS],
+}
+
+thread_local! {
+    static SHARD_HINT: std::cell::Cell<usize> =
+        const { std::cell::Cell::new(usize::MAX) };
+}
+
+fn shard_index() -> usize {
+    SHARD_HINT.with(|hint| {
+        let cached = hint.get();
+        if cached != usize::MAX {
+            return cached;
+        }
+        // Derive a stable per-thread shard from this thread's TLS slot
+        // address — different threads get different TLS blocks.
+        let idx = (hint as *const _ as usize >> 6) % SHARDS;
+        hint.set(idx);
+        idx
+    })
+}
+
+impl Counter {
+    const fn new(name: &'static str) -> Self {
+        Counter {
+            name,
+            shards: [
+                PaddedU64::new(),
+                PaddedU64::new(),
+                PaddedU64::new(),
+                PaddedU64::new(),
+                PaddedU64::new(),
+                PaddedU64::new(),
+                PaddedU64::new(),
+                PaddedU64::new(),
+            ],
+        }
+    }
+
+    /// Metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds `n`. One relaxed fetch-add on this thread's shard; a no-op
+    /// when recording is disabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if !enabled() || n == 0 {
+            return;
+        }
+        self.shards[shard_index()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current total across shards.
+    pub fn value(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// Number of log₂ buckets: covers 1 ns .. 2⁶³ ns.
+pub const HIST_BUCKETS: usize = 64;
+
+/// A log₂-bucketed histogram (values in nanoseconds by convention).
+pub struct Histogram {
+    name: &'static str,
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Histogram {
+    const fn new(name: &'static str) -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            name,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: [ZERO; HIST_BUCKETS],
+        }
+    }
+
+    /// Metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Records one value. Three relaxed atomics; no-op when disabled.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if !enabled() {
+            return;
+        }
+        let bucket = 63 - (value | 1).leading_zeros() as usize;
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a [`std::time::Duration`] as nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Freezes this histogram.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((i as u32, n))
+            })
+            .collect();
+        HistogramSnapshot {
+            name: self.name.to_string(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------
+
+struct Registry {
+    counters: Mutex<Vec<&'static Counter>>,
+    histograms: Mutex<Vec<&'static Histogram>>,
+    ring: Mutex<SpanRing>,
+    epoch: Instant,
+}
+
+struct SpanRing {
+    events: Vec<SpanEvent>,
+    next: usize,
+    wrapped: bool,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        counters: Mutex::new(Vec::new()),
+        histograms: Mutex::new(Vec::new()),
+        ring: Mutex::new(SpanRing {
+            events: Vec::with_capacity(RING_CAPACITY),
+            next: 0,
+            wrapped: false,
+        }),
+        epoch: Instant::now(),
+    })
+}
+
+/// Lazily-registered counter cell; use via [`counter!`].
+pub struct LazyCounter {
+    name: &'static str,
+    cell: OnceLock<&'static Counter>,
+}
+
+impl LazyCounter {
+    /// Creates an unregistered cell (registration happens on first use).
+    pub const fn new(name: &'static str) -> Self {
+        LazyCounter {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The underlying counter, registering it on first access.
+    #[inline]
+    pub fn get(&self) -> &'static Counter {
+        self.cell.get_or_init(|| {
+            let c: &'static Counter = Box::leak(Box::new(Counter::new(self.name)));
+            registry().counters.lock().unwrap().push(c);
+            c
+        })
+    }
+}
+
+/// Lazily-registered histogram cell; use via [`histogram!`].
+pub struct LazyHistogram {
+    name: &'static str,
+    cell: OnceLock<&'static Histogram>,
+}
+
+impl LazyHistogram {
+    /// Creates an unregistered cell (registration happens on first use).
+    pub const fn new(name: &'static str) -> Self {
+        LazyHistogram {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The underlying histogram, registering it on first access.
+    #[inline]
+    pub fn get(&self) -> &'static Histogram {
+        self.cell.get_or_init(|| {
+            let h: &'static Histogram = Box::leak(Box::new(Histogram::new(self.name)));
+            registry().histograms.lock().unwrap().push(h);
+            h
+        })
+    }
+}
+
+/// A static sharded counter, registered on first use:
+/// `counter!("vm.dispatch").add(n)`.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static __GRAFT_COUNTER: $crate::LazyCounter = $crate::LazyCounter::new($name);
+        __GRAFT_COUNTER.get()
+    }};
+}
+
+/// A static log₂ histogram, registered on first use:
+/// `histogram!("upcall.wait_ns").record(ns)`.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static __GRAFT_HISTOGRAM: $crate::LazyHistogram = $crate::LazyHistogram::new($name);
+        __GRAFT_HISTOGRAM.get()
+    }};
+}
+
+/// An RAII span: `let _g = span!("evict");` times the enclosing scope
+/// into histogram `span.<name>` and the bounded event ring.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::SpanGuard::enter($name, $crate::histogram!(concat!("span.", $name)))
+    };
+}
+
+/// Live RAII guard produced by [`span!`].
+pub struct SpanGuard {
+    name: &'static str,
+    hist: &'static Histogram,
+    start: Option<Instant>,
+}
+
+impl SpanGuard {
+    /// Begins a span (records nothing if telemetry is off right now).
+    #[inline]
+    pub fn enter(name: &'static str, hist: &'static Histogram) -> Self {
+        SpanGuard {
+            name,
+            hist,
+            start: enabled().then(Instant::now),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let duration = start.elapsed();
+        self.hist.record_duration(duration);
+        let reg = registry();
+        let start_ns = start
+            .saturating_duration_since(reg.epoch)
+            .as_nanos()
+            .min(u64::MAX as u128) as u64;
+        let event = SpanEvent {
+            name: self.name,
+            start_ns,
+            duration_ns: duration.as_nanos().min(u64::MAX as u128) as u64,
+        };
+        let mut ring = reg.ring.lock().unwrap();
+        if ring.events.len() < RING_CAPACITY {
+            ring.events.push(event);
+        } else {
+            let at = ring.next;
+            ring.events[at] = event;
+            ring.wrapped = true;
+        }
+        ring.next = (ring.next + 1) % RING_CAPACITY;
+    }
+}
+
+/// Freezes every registered metric into a [`MetricsSnapshot`].
+///
+/// The `counter!`/`histogram!` macros register one cell *per call
+/// site*, so the same logical metric recorded from several places
+/// appears several times in the registry; the snapshot merges entries
+/// that share a name.
+pub fn snapshot() -> MetricsSnapshot {
+    use std::collections::BTreeMap;
+    let reg = registry();
+    let mut by_name: BTreeMap<String, u64> = BTreeMap::new();
+    for c in reg.counters.lock().unwrap().iter() {
+        *by_name.entry(c.name.to_string()).or_insert(0) += c.value();
+    }
+    let counters: Vec<(String, u64)> = by_name.into_iter().collect();
+    let mut hist_by_name: BTreeMap<String, HistogramSnapshot> = BTreeMap::new();
+    for h in reg.histograms.lock().unwrap().iter() {
+        let snap = h.snapshot();
+        match hist_by_name.entry(snap.name.clone()) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(snap);
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                let merged = e.get_mut();
+                merged.count += snap.count;
+                merged.sum += snap.sum;
+                let mut buckets: BTreeMap<u32, u64> =
+                    merged.buckets.iter().copied().collect();
+                for (b, n) in snap.buckets {
+                    *buckets.entry(b).or_insert(0) += n;
+                }
+                merged.buckets = buckets.into_iter().collect();
+            }
+        }
+    }
+    let histograms: Vec<HistogramSnapshot> = hist_by_name.into_values().collect();
+    let ring = reg.ring.lock().unwrap();
+    let spans = if ring.wrapped {
+        let mut v = Vec::with_capacity(ring.events.len());
+        v.extend_from_slice(&ring.events[ring.next..]);
+        v.extend_from_slice(&ring.events[..ring.next]);
+        v
+    } else {
+        ring.events.clone()
+    };
+    MetricsSnapshot {
+        counters,
+        histograms,
+        spans,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // These tests share global state: distinct metric names avoid
+    // cross-talk in the registry, and a lock serializes the tests that
+    // flip the global `ENABLED` toggle (the harness runs tests on
+    // several threads).
+    static TOGGLE: Mutex<()> = Mutex::new(());
+
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        TOGGLE.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let _s = serial();
+        set_enabled(true);
+        counter!("test.alpha").add(3);
+        counter!("test.alpha").incr();
+        let snap = snapshot();
+        assert_eq!(snap.counter("test.alpha"), 4);
+        assert_eq!(snap.counter("test.never"), 0);
+    }
+
+    #[test]
+    fn runtime_toggle_stops_recording() {
+        let _s = serial();
+        set_enabled(true);
+        counter!("test.toggle").add(5);
+        set_enabled(false);
+        counter!("test.toggle").add(100);
+        set_enabled(true);
+        assert_eq!(snapshot().counter("test.toggle"), 5);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let _s = serial();
+        set_enabled(true);
+        let h = histogram!("test.hist");
+        h.record(1); // bucket 0
+        h.record(1024); // bucket 10
+        h.record(1500); // bucket 10
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum, 1 + 1024 + 1500);
+        assert_eq!(s.buckets, vec![(0, 1), (10, 2)]);
+        assert!(s.mean() > 800.0);
+        assert!(s.quantile(0.99) >= 1024.0);
+    }
+
+    #[test]
+    fn spans_feed_histogram_and_ring() {
+        let _s = serial();
+        set_enabled(true);
+        {
+            let _g = span!("test_scope");
+            std::hint::black_box(42);
+        }
+        let snap = snapshot();
+        let h = snap.histogram("span.test_scope").expect("span histogram");
+        assert!(h.count >= 1);
+        assert!(snap.spans.iter().any(|e| e.name == "test_scope"));
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let _s = serial();
+        set_enabled(true);
+        for _ in 0..(RING_CAPACITY + 50) {
+            let _g = span!("test_ring_flood");
+        }
+        assert!(snapshot().spans.len() <= RING_CAPACITY);
+    }
+
+    #[test]
+    fn sharded_counts_survive_threads() {
+        let _s = serial();
+        set_enabled(true);
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for _ in 0..1000 {
+                        counter!("test.mt").incr();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(snapshot().counter("test.mt"), 4000);
+    }
+}

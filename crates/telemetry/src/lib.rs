@@ -1,0 +1,132 @@
+//! Observability for the graft stack: near-zero-cost counters,
+//! log-scaled latency histograms, RAII span timing, and the
+//! machine-readable run-artifact encoding.
+//!
+//! # Design
+//!
+//! The paper's argument is quantitative, so the instrumentation must not
+//! disturb the numbers it reports. Three layers keep it honest:
+//!
+//! 1. **Compile-time:** everything is behind the `telemetry` cargo
+//!    feature. With the feature off, [`counter!`], [`histogram!`], and
+//!    [`span!`] expand to no-ops and the whole crate is a handful of
+//!    empty inline functions — the dispatch loops compile exactly as
+//!    they would without this crate.
+//! 2. **Runtime:** a global toggle ([`set_enabled`]) gates every record
+//!    on one relaxed atomic load, so `--no-telemetry` runs pay a
+//!    predictable, branch-predicted test and nothing else.
+//! 3. **Hot-path discipline:** per-iteration work (bytecode dispatch,
+//!    SFI masked accesses) is accumulated in plain locals by the engines
+//!    and *flushed* to the sharded counters once per invocation, never
+//!    per instruction.
+//!
+//! Counters are sharded across cache-line-padded atomics to keep
+//! cross-thread increments (the upcall server) from bouncing a single
+//! line. Histograms use log₂ buckets over nanoseconds — 1 ns to ~584
+//! years in 64 buckets. Spans time a scope via RAII and feed both a
+//! histogram (`span.<name>`) and a bounded in-memory event ring for
+//! post-mortem inspection.
+//!
+//! [`snapshot`] freezes everything into a [`MetricsSnapshot`] that the
+//! run-artifact writer embeds in its JSON output; [`json`] is the
+//! hand-rolled (dependency-free) JSON used for that artifact.
+
+pub mod json;
+
+#[cfg(feature = "telemetry")]
+mod imp;
+
+#[cfg(feature = "telemetry")]
+pub use imp::*;
+
+#[cfg(not(feature = "telemetry"))]
+mod noop;
+
+#[cfg(not(feature = "telemetry"))]
+pub use noop::*;
+
+/// A frozen view of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Total recorded values.
+    pub count: u64,
+    /// Sum of recorded values (ns for latency histograms).
+    pub sum: u64,
+    /// Non-empty log₂ buckets as `(bucket_index, count)`; a value `v`
+    /// lands in bucket `64 - (v|1).leading_zeros() - 1` (i.e. ⌊log₂ v⌋).
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean recorded value, 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile (`q` in 0..=1) from the bucket midpoints.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for &(bucket, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                // Midpoint of [2^b, 2^(b+1)).
+                return 1.5 * (1u64 << bucket) as f64;
+            }
+        }
+        1.5 * (1u64 << self.buckets.last().map(|b| b.0).unwrap_or(0)) as f64
+    }
+}
+
+/// One recorded span event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Span name.
+    pub name: &'static str,
+    /// Start, nanoseconds since process start (monotonic).
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub duration_ns: u64,
+}
+
+/// A frozen view of every metric: what the run artifact embeds.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` for every registered counter, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// Every registered histogram, name-sorted.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// The most recent span events, oldest first.
+    pub spans: Vec<SpanEvent>,
+}
+
+impl MetricsSnapshot {
+    /// The value of a counter, 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    }
+
+    /// The snapshot of a histogram, `None` when absent.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Number of distinct metrics (counters + histograms) carrying data.
+    pub fn distinct_nonzero(&self) -> usize {
+        self.counters.iter().filter(|&&(_, v)| v > 0).count()
+            + self.histograms.iter().filter(|h| h.count > 0).count()
+    }
+}

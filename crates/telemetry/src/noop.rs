@@ -1,0 +1,121 @@
+//! The no-op implementation, compiled when the `telemetry` feature is
+//! off. Every type is a ZST and every method an empty `#[inline]` body,
+//! so the optimizer erases instrumentation entirely — the acceptance
+//! criterion's "no observer effect" configuration.
+
+use crate::MetricsSnapshot;
+
+/// No-op: recording cannot be enabled without the `telemetry` feature.
+pub fn set_enabled(_on: bool) {}
+
+/// Always `false` without the `telemetry` feature.
+#[inline(always)]
+pub fn enabled() -> bool {
+    false
+}
+
+/// No-op counter.
+pub struct Counter;
+
+impl Counter {
+    /// No-op.
+    #[inline(always)]
+    pub fn add(&self, _n: u64) {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn incr(&self) {}
+
+    /// Always 0.
+    #[inline(always)]
+    pub fn value(&self) -> u64 {
+        0
+    }
+}
+
+/// No-op histogram.
+pub struct Histogram;
+
+impl Histogram {
+    /// No-op.
+    #[inline(always)]
+    pub fn record(&self, _value: u64) {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn record_duration(&self, _d: std::time::Duration) {}
+}
+
+/// No-op counter cell.
+pub struct LazyCounter;
+
+impl LazyCounter {
+    /// No-op.
+    pub const fn new(_name: &'static str) -> Self {
+        LazyCounter
+    }
+
+    /// The shared no-op counter.
+    #[inline(always)]
+    pub fn get(&self) -> &'static Counter {
+        &Counter
+    }
+}
+
+/// No-op histogram cell.
+pub struct LazyHistogram;
+
+impl LazyHistogram {
+    /// No-op.
+    pub const fn new(_name: &'static str) -> Self {
+        LazyHistogram
+    }
+
+    /// The shared no-op histogram.
+    #[inline(always)]
+    pub fn get(&self) -> &'static Histogram {
+        &Histogram
+    }
+}
+
+/// No-op span guard.
+pub struct SpanGuard;
+
+impl SpanGuard {
+    /// No-op.
+    #[inline(always)]
+    pub fn enter(_name: &'static str, _hist: &'static Histogram) -> Self {
+        SpanGuard
+    }
+}
+
+/// No-op counter macro.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static __GRAFT_COUNTER: $crate::LazyCounter = $crate::LazyCounter::new($name);
+        __GRAFT_COUNTER.get()
+    }};
+}
+
+/// No-op histogram macro.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static __GRAFT_HISTOGRAM: $crate::LazyHistogram = $crate::LazyHistogram::new($name);
+        __GRAFT_HISTOGRAM.get()
+    }};
+}
+
+/// No-op span macro.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::SpanGuard::enter($name, $crate::histogram!(concat!("span.", $name)))
+    };
+}
+
+/// Always the empty snapshot without the `telemetry` feature.
+pub fn snapshot() -> MetricsSnapshot {
+    MetricsSnapshot::default()
+}

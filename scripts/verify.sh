@@ -1,0 +1,40 @@
+#!/bin/sh
+# One-command verification of the whole reproduction:
+#   build (offline), test, emit a quick run artifact, self-diff it.
+#
+# Usage: scripts/verify.sh [--full]
+#   --full   use paper-scale iteration counts for the artifact run
+#
+# Exits nonzero on the first failure. Safe on an air-gapped machine:
+# the workspace has no external dependencies.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+MODE=--quick
+if [ "${1:-}" = "--full" ]; then
+    MODE=--full
+fi
+
+ART=$(mktemp /tmp/graft-verify-XXXXXX.json)
+trap 'rm -f "$ART"' EXIT
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test --offline --workspace"
+cargo test -q --offline --workspace
+
+echo "==> regenerate all tables ($MODE --offline) with run artifact"
+cargo run --release --offline -q -p graft-bench --bin all -- \
+    "$MODE" --offline --json "$ART" > /dev/null
+
+echo "==> graftstat self-diff (must report zero drift)"
+cargo run --release --offline -q -p graft-bench --bin graftstat -- \
+    "$ART" "$ART" | tail -1
+
+echo "==> graftstat summary"
+cargo run --release --offline -q -p graft-bench --bin graftstat -- "$ART" \
+    | head -5
+
+echo "verify: OK"

@@ -1,11 +1,11 @@
 //! Differential fuzzing across extension technologies.
 //!
 //! The paper's comparison is only meaningful if all technologies compute
-//! the *same function*; these properties generate random programs and
-//! random workloads and require every engine to agree bit for bit with
-//! a Rust evaluator.
+//! the *same function*; these tests generate random programs and random
+//! workloads from a seeded RNG and require every engine to agree bit for
+//! bit with a Rust evaluator.
 
-use proptest::prelude::*;
+use graft_rng::{Rng, SmallRng};
 
 use graftbench::api::{ExtensionEngine, RegionSpec};
 use graftbench::bytecode::BytecodeEngine;
@@ -20,6 +20,29 @@ enum E {
     Bin(&'static str, Box<E>, Box<E>),
     Neg(Box<E>),
     BitNot(Box<E>),
+}
+
+const OPS: [&str; 10] = ["+", "-", "*", "&", "|", "^", "<<", ">>", "/", "%"];
+
+/// Draws a random expression with bounded depth, the moral equivalent
+/// of the old `prop_recursive` strategy.
+fn random_expr(rng: &mut SmallRng, depth: usize) -> E {
+    if depth == 0 || rng.gen_bool(0.3) {
+        return if rng.gen_bool(0.5) {
+            E::Lit(rng.gen_range(-100_000i64..100_000))
+        } else {
+            E::Var(rng.gen_range(0usize..3))
+        };
+    }
+    match rng.gen_range(0u32..4) {
+        0 | 1 => E::Bin(
+            OPS[rng.gen_range(0usize..OPS.len())],
+            Box::new(random_expr(rng, depth - 1)),
+            Box::new(random_expr(rng, depth - 1)),
+        ),
+        2 => E::Neg(Box::new(random_expr(rng, depth - 1))),
+        _ => E::BitNot(Box::new(random_expr(rng, depth - 1))),
+    }
 }
 
 impl E {
@@ -81,48 +104,19 @@ impl E {
     }
 }
 
-fn expr_strategy() -> impl Strategy<Value = E> {
-    let leaf = prop_oneof![
-        (-100_000i64..100_000).prop_map(E::Lit),
-        (0usize..3).prop_map(E::Var),
-    ];
-    leaf.prop_recursive(5, 32, 3, |inner| {
-        prop_oneof![
-            (
-                prop_oneof![
-                    Just("+"),
-                    Just("-"),
-                    Just("*"),
-                    Just("&"),
-                    Just("|"),
-                    Just("^"),
-                    Just("<<"),
-                    Just(">>"),
-                    Just("/"),
-                    Just("%"),
-                ],
-                inner.clone(),
-                inner.clone()
-            )
-                .prop_map(|(op, a, b)| E::Bin(op, Box::new(a), Box::new(b))),
-            inner.clone().prop_map(|e| E::Neg(Box::new(e))),
-            inner.prop_map(|e| E::BitNot(Box::new(e))),
-        ]
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every compiled/interpreted technology computes the reference
-    /// value for arbitrary expressions — the core soundness property of
-    /// the whole comparison.
-    #[test]
-    fn engines_agree_on_random_expressions(
-        e in expr_strategy(),
-        vars in [any::<i32>(), any::<i32>(), any::<i32>()],
-    ) {
-        let vars = [vars[0] as i64, vars[1] as i64, vars[2] as i64];
+/// Every compiled/interpreted technology computes the reference value
+/// for arbitrary expressions — the core soundness property of the whole
+/// comparison.
+#[test]
+fn engines_agree_on_random_expressions() {
+    let mut rng = SmallRng::seed_from_u64(0xD1FF);
+    for _case in 0..64 {
+        let e = random_expr(&mut rng, 5);
+        let vars = [
+            rng.next_u64() as u32 as i32 as i64,
+            rng.next_u64() as u32 as i32 as i64,
+            rng.next_u64() as u32 as i32 as i64,
+        ];
         let want = e.eval(&vars);
 
         let grail = format!(
@@ -135,35 +129,38 @@ proptest! {
             SafetyMode::Sfi { read_protect: true },
         ] {
             let mut eng = load_grail(&grail, &[], mode).unwrap();
-            prop_assert_eq!(eng.invoke("f", &vars).unwrap(), want, "{:?}", mode);
+            assert_eq!(eng.invoke("f", &vars).unwrap(), want, "{:?}", mode);
         }
         let mut bc = BytecodeEngine::load_grail(&grail, &[]).unwrap();
-        prop_assert_eq!(bc.invoke("f", &vars).unwrap(), want, "bytecode");
+        assert_eq!(bc.invoke("f", &vars).unwrap(), want, "bytecode");
     }
+}
 
-    /// The script technology agrees too (fewer cases — it is four
-    /// orders of magnitude slower, which is rather the point).
-    #[test]
-    fn tickle_agrees_on_random_expressions(
-        e in expr_strategy(),
-        vars in [any::<i16>(), any::<i16>(), any::<i16>()],
-    ) {
-        let vars = [vars[0] as i64, vars[1] as i64, vars[2] as i64];
+/// The script technology agrees too (fewer cases — it is four orders of
+/// magnitude slower, which is rather the point).
+#[test]
+fn tickle_agrees_on_random_expressions() {
+    let mut rng = SmallRng::seed_from_u64(0x71C);
+    for _case in 0..32 {
+        let e = random_expr(&mut rng, 4);
+        let vars = [
+            rng.next_u64() as u16 as i16 as i64,
+            rng.next_u64() as u16 as i16 as i64,
+            rng.next_u64() as u16 as i16 as i64,
+        ];
         let want = e.eval(&vars);
-        let tickle = format!(
-            "proc f {{a b c}} {{ return [expr {}] }}",
-            e.tickle()
-        );
+        let tickle = format!("proc f {{a b c}} {{ return [expr {}] }}", e.tickle());
         let mut eng = ScriptEngine::load(&tickle, &[]).unwrap();
-        prop_assert_eq!(eng.invoke("f", &vars).unwrap(), want);
+        assert_eq!(eng.invoke("f", &vars).unwrap(), want);
     }
+}
 
-    /// Region traffic: random store/load sequences behave like a plain
-    /// array under every technology.
-    #[test]
-    fn region_semantics_match_a_flat_array(
-        ops in prop::collection::vec((0usize..32, any::<i32>()), 1..40),
-    ) {
+/// Region traffic: random store/load sequences behave like a plain
+/// array under every technology.
+#[test]
+fn region_semantics_match_a_flat_array() {
+    let mut rng = SmallRng::seed_from_u64(0x4E6);
+    for _case in 0..16 {
         let grail = r#"
             fn put(i: int, v: int) { buf[i] = v; }
             fn get(i: int) -> int { return buf[i]; }
@@ -176,8 +173,10 @@ proptest! {
             Box::new(BytecodeEngine::load_grail(grail, &regions).unwrap()),
         ];
         let mut model = [0i64; 32];
-        for (i, v) in ops {
-            let v = v as i64;
+        let nops = rng.gen_range(1usize..40);
+        for _ in 0..nops {
+            let i = rng.gen_range(0usize..32);
+            let v = rng.next_u64() as u32 as i32 as i64;
             model[i] = v;
             for eng in engines.iter_mut() {
                 eng.invoke("put", &[i as i64, v]).unwrap();
@@ -185,19 +184,21 @@ proptest! {
         }
         for i in 0..32usize {
             for eng in engines.iter_mut() {
-                prop_assert_eq!(eng.invoke("get", &[i as i64]).unwrap(), model[i]);
+                assert_eq!(eng.invoke("get", &[i as i64]).unwrap(), model[i]);
             }
         }
     }
+}
 
-    /// The MD5 graft matches the reference implementation on arbitrary
-    /// inputs and chunkings.
-    #[test]
-    fn md5_graft_matches_reference_on_random_bytes(
-        data in prop::collection::vec(any::<u8>(), 0..400),
-        split in 0usize..400,
-    ) {
-        let split = split.min(data.len());
+/// The MD5 graft matches the reference implementation on arbitrary
+/// inputs and chunkings.
+#[test]
+fn md5_graft_matches_reference_on_random_bytes() {
+    let mut rng = SmallRng::seed_from_u64(0x3D55);
+    for _case in 0..24 {
+        let len = rng.gen_range(0usize..400);
+        let data: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        let split = rng.gen_range(0usize..400).min(data.len());
         let spec = graftbench::grafts::md5::spec();
         let mut eng = load_grail(
             spec.grail.as_ref().unwrap(),
@@ -208,6 +209,6 @@ proptest! {
         let mut g = graftbench::grafts::md5::Md5Graft::start(&mut eng).unwrap();
         g.update(&data[..split]).unwrap();
         g.update(&data[split..]).unwrap();
-        prop_assert_eq!(g.finish().unwrap(), graftbench::md5::digest(&data));
+        assert_eq!(g.finish().unwrap(), graftbench::md5::digest(&data));
     }
 }

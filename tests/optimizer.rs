@@ -2,10 +2,10 @@
 //! through the real engines (they live here rather than in `graft-ir`
 //! to avoid a dev-dependency cycle with the engines).
 
+use graft_rng::{Rng, SmallRng};
 use graftbench::api::{ExtensionEngine, RegionSpec, Technology, Trap};
 use graftbench::ir;
 use graftbench::native::{CompiledEngine, SafetyMode};
-use proptest::prelude::*;
 
 fn lower(src: &str) -> ir::Module {
     let hir = graftbench::lang::compile(src, &[RegionSpec::data("buf", 8)]).unwrap();
@@ -89,17 +89,15 @@ fn manager_optimize_flag_is_transparent() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Random straight-line arithmetic: optimized and unoptimized code
-    /// agree on every engine mode.
-    #[test]
-    fn optimizer_preserves_random_arithmetic(
-        a in -1000i64..1000,
-        b in -1000i64..1000,
-        x in any::<i16>(),
-    ) {
+/// Random straight-line arithmetic: optimized and unoptimized code
+/// agree on every engine mode.
+#[test]
+fn optimizer_preserves_random_arithmetic() {
+    let mut rng = SmallRng::seed_from_u64(0x0B7);
+    for _case in 0..48 {
+        let a = rng.gen_range(-1000i64..1000);
+        let b = rng.gen_range(-1000i64..1000);
+        let x = rng.next_u64() as u16 as i16;
         let src = format!(
             "fn f(x: int) -> int {{ let t = {a} * 3 + {b}; return (x ^ t) + (t >> 2) - (x & {a}); }}"
         );
@@ -108,7 +106,7 @@ proptest! {
         ir::optimize(&mut opt);
         ir::verify(&opt).unwrap();
         let args = [x as i64];
-        prop_assert_eq!(
+        assert_eq!(
             run(plain, SafetyMode::Unchecked, "f", &args),
             run(opt, SafetyMode::Unchecked, "f", &args)
         );
