@@ -1,48 +1,207 @@
 //! The engine trait all extension technologies implement, plus the native
 //! (hand-written Rust) engine.
+//!
+//! # Two-phase bind/invoke ABI
+//!
+//! The graft ABI is split into a *bind* phase and an *invoke* phase,
+//! mirroring how production extension runtimes (eBPF helper/map
+//! relocation, safe-language kernel extensions) push name resolution to
+//! load time:
+//!
+//! - **Bind (load time, cold):** [`bind_entry`] and [`bind_region`]
+//!   resolve a name to a dense handle ([`EntryId`], [`RegionId`]) once
+//!   per graft. Unknown names fail *here*, deterministically.
+//! - **Invoke (steady state, hot):** [`invoke_id`], [`invoke_batch`] and
+//!   the `*_region_id` family are pure index operations — zero hashing,
+//!   zero string compares, zero allocation on the hot path. Stale or
+//!   out-of-range handles trap with [`Trap::BadHandle`]; they never
+//!   panic and never touch out-of-bounds memory.
+//!
+//! The historical one-phase string API ([`invoke`], [`load_region`],
+//! …) survives as a thin compat shim: provided trait methods that bind
+//! and then delegate. It is deprecated for hot paths — every table in
+//! the repro now measures the handle-based path.
+//!
+//! [`bind_entry`]: ExtensionEngine::bind_entry
+//! [`bind_region`]: ExtensionEngine::bind_region
+//! [`invoke_id`]: ExtensionEngine::invoke_id
+//! [`invoke_batch`]: ExtensionEngine::invoke_batch
+//! [`invoke`]: ExtensionEngine::invoke
+//! [`load_region`]: ExtensionEngine::load_region
+//! [`Trap::BadHandle`]: crate::error::Trap::BadHandle
+
+use std::collections::HashMap;
 
 use crate::error::{GraftError, Trap};
-use crate::region::{RegionSpec, RegionStore};
+use crate::region::{RegionId, RegionSpec, RegionStore};
+use crate::spec::EntryPoint;
 use crate::tech::Technology;
+
+/// Handle to a bound entry point within one graft instance.
+///
+/// Issued by [`ExtensionEngine::bind_entry`]; only meaningful to the
+/// engine that issued it. The raw value is an engine-private dense
+/// index (function table slot, proc slot, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EntryId(pub u32);
+
+impl EntryId {
+    /// The entry's index into its engine's function table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
 
 /// A loaded, executable graft under some extension technology.
 ///
 /// The kernel drives every technology through the same interface:
 ///
-/// 1. marshal input into the graft's regions ([`load_region`] and
+/// 1. **bind** the entry points and regions it will use
+///    ([`bind_entry`], [`bind_region`]) — once, at load time;
+/// 2. marshal input into the graft's regions ([`load_region_id`] and
 ///    friends);
-/// 2. [`invoke`] an entry point with scalar arguments;
-/// 3. read results back out of the regions.
+/// 3. [`invoke_id`] an entry point with scalar arguments (or
+///    [`invoke_batch`] many calls at once);
+/// 4. read results back out of the regions.
 ///
 /// Implementations must be [`Send`] so a graft can be pushed behind the
 /// user-level upcall boundary.
 ///
-/// [`load_region`]: ExtensionEngine::load_region
-/// [`invoke`]: ExtensionEngine::invoke
+/// [`bind_entry`]: ExtensionEngine::bind_entry
+/// [`bind_region`]: ExtensionEngine::bind_region
+/// [`load_region_id`]: ExtensionEngine::load_region_id
+/// [`invoke_id`]: ExtensionEngine::invoke_id
+/// [`invoke_batch`]: ExtensionEngine::invoke_batch
 pub trait ExtensionEngine: Send {
     /// The technology this engine implements.
     fn technology(&self) -> Technology;
 
+    /// Resolves an entry-point name to a handle, once, at load time.
+    ///
+    /// Fails with a deterministic error when the graft declares no such
+    /// entry. Binding the same name twice returns the same handle.
+    fn bind_entry(&mut self, entry: &str) -> Result<EntryId, GraftError>;
+
+    /// Resolves a region name to a handle, once, at load time.
+    fn bind_region(&self, name: &str) -> Result<RegionId, GraftError>;
+
+    /// Runs a pre-bound entry point with the given scalar arguments and
+    /// returns its scalar result. The steady-state hot path: no string
+    /// lookup, no allocation.
+    fn invoke_id(&mut self, entry: EntryId, args: &[i64]) -> Result<i64, GraftError>;
+
+    /// Runs `calls` invocations of one pre-bound entry point in a
+    /// single request, appending each scalar result to `out`.
+    ///
+    /// `args_flat` carries the arguments for all calls back to back;
+    /// its length must be an exact multiple of `calls` (the per-call
+    /// arity is inferred as `args_flat.len() / calls`). On a trap the
+    /// batch stops at the faulting call: `out` holds the results
+    /// completed so far and the error is returned.
+    ///
+    /// The default implementation loops [`invoke_id`]; transports with a
+    /// per-call boundary cost (the user-level upcall engine) override it
+    /// to amortize round-trips — the paper's Logical-Disk batching
+    /// argument applied to our own boundary.
+    ///
+    /// [`invoke_id`]: ExtensionEngine::invoke_id
+    fn invoke_batch(
+        &mut self,
+        entry: EntryId,
+        calls: usize,
+        args_flat: &[i64],
+        out: &mut Vec<i64>,
+    ) -> Result<(), GraftError> {
+        let arity = batch_arity(calls, args_flat.len())?;
+        out.reserve(calls);
+        if arity == 0 {
+            for _ in 0..calls {
+                out.push(self.invoke_id(entry, &[])?);
+            }
+        } else {
+            for chunk in args_flat.chunks_exact(arity) {
+                out.push(self.invoke_id(entry, chunk)?);
+            }
+        }
+        Ok(())
+    }
+
+    /// Kernel-side bulk marshal into a pre-bound region at a word
+    /// offset.
+    fn load_region_id(
+        &mut self,
+        id: RegionId,
+        offset: usize,
+        data: &[i64],
+    ) -> Result<(), GraftError>;
+
+    /// Kernel-side single-word read from a pre-bound region.
+    fn read_region_id(&self, id: RegionId, index: usize) -> Result<i64, GraftError>;
+
+    /// Kernel-side single-word write into a pre-bound region.
+    fn write_region_id(&mut self, id: RegionId, index: usize, value: i64)
+        -> Result<(), GraftError>;
+
+    /// Kernel-side bulk read from a pre-bound region at a word offset.
+    fn read_region_slice_id(
+        &self,
+        id: RegionId,
+        offset: usize,
+        out: &mut [i64],
+    ) -> Result<(), GraftError>;
+
     /// Runs the entry point `entry` with the given scalar arguments and
     /// returns its scalar result.
-    fn invoke(&mut self, entry: &str, args: &[i64]) -> Result<i64, GraftError>;
+    ///
+    /// One-phase compat shim: binds by name on every call, then
+    /// delegates to [`invoke_id`]. Hot paths should bind once instead.
+    ///
+    /// [`invoke_id`]: ExtensionEngine::invoke_id
+    fn invoke(&mut self, entry: &str, args: &[i64]) -> Result<i64, GraftError> {
+        let id = self.bind_entry(entry)?;
+        self.invoke_id(id, args)
+    }
 
-    /// Kernel-side bulk marshal into a region at a word offset.
-    fn load_region(&mut self, name: &str, offset: usize, data: &[i64]) -> Result<(), GraftError>;
+    /// Kernel-side bulk marshal into a region at a word offset
+    /// (name-keyed compat shim over [`load_region_id`]).
+    ///
+    /// [`load_region_id`]: ExtensionEngine::load_region_id
+    fn load_region(&mut self, name: &str, offset: usize, data: &[i64]) -> Result<(), GraftError> {
+        let id = self.bind_region(name)?;
+        self.load_region_id(id, offset, data)
+    }
 
-    /// Kernel-side single-word read from a region.
-    fn read_region(&self, name: &str, index: usize) -> Result<i64, GraftError>;
+    /// Kernel-side single-word read from a region (name-keyed compat
+    /// shim over [`read_region_id`]).
+    ///
+    /// [`read_region_id`]: ExtensionEngine::read_region_id
+    fn read_region(&self, name: &str, index: usize) -> Result<i64, GraftError> {
+        let id = self.bind_region(name)?;
+        self.read_region_id(id, index)
+    }
 
-    /// Kernel-side single-word write into a region.
-    fn write_region(&mut self, name: &str, index: usize, value: i64) -> Result<(), GraftError>;
+    /// Kernel-side single-word write into a region (name-keyed compat
+    /// shim over [`write_region_id`]).
+    ///
+    /// [`write_region_id`]: ExtensionEngine::write_region_id
+    fn write_region(&mut self, name: &str, index: usize, value: i64) -> Result<(), GraftError> {
+        let id = self.bind_region(name)?;
+        self.write_region_id(id, index, value)
+    }
 
-    /// Kernel-side bulk read from a region at a word offset.
+    /// Kernel-side bulk read from a region at a word offset (name-keyed
+    /// compat shim over [`read_region_slice_id`]).
+    ///
+    /// [`read_region_slice_id`]: ExtensionEngine::read_region_slice_id
     fn read_region_slice(
         &self,
         name: &str,
         offset: usize,
         out: &mut [i64],
-    ) -> Result<(), GraftError>;
+    ) -> Result<(), GraftError> {
+        let id = self.bind_region(name)?;
+        self.read_region_slice_id(id, offset, out)
+    }
 
     /// Sets the execution budget for subsequent invocations.
     ///
@@ -55,6 +214,28 @@ pub trait ExtensionEngine: Send {
     fn fuel_used(&self) -> Option<u64> {
         None
     }
+}
+
+/// Validates a batch shape and returns the per-call arity.
+///
+/// Shared by every `invoke_batch` implementation so the shape error is
+/// identical across engines and across the upcall boundary.
+pub fn batch_arity(calls: usize, args_len: usize) -> Result<usize, GraftError> {
+    if calls == 0 {
+        return if args_len == 0 {
+            Ok(0)
+        } else {
+            Err(GraftError::Verify(format!(
+                "invoke_batch: {args_len} args for 0 calls"
+            )))
+        };
+    }
+    if !args_len.is_multiple_of(calls) {
+        return Err(GraftError::Verify(format!(
+            "invoke_batch: {args_len} args do not split evenly into {calls} calls"
+        )));
+    }
+    Ok(args_len / calls)
 }
 
 /// A hand-written Rust graft body (the paper's "code compiled into the
@@ -90,18 +271,63 @@ where
 }
 
 /// Engine wrapper that runs a [`NativeGraft`] over a [`RegionStore`].
+///
+/// Native graft bodies dispatch on the entry *name* internally (they
+/// are ordinary Rust match arms), so the engine maintains an intern
+/// table mapping [`EntryId`] back to the bound name. With a declared
+/// entry manifest ([`NativeEngine::with_entries`]) binding an unknown
+/// name fails at bind time, like every other technology; without one
+/// (the open-world [`NativeEngine::new`] constructor used by ad-hoc
+/// closures) any name binds and the graft body itself rejects unknown
+/// entries at call time.
 pub struct NativeEngine {
     regions: RegionStore,
     graft: Box<dyn NativeGraft>,
+    /// Interned entry names, indexed by `EntryId`.
+    entries: Vec<String>,
+    entry_ids: HashMap<String, EntryId>,
+    /// Whether `entries` is a closed manifest (bind rejects unknowns).
+    sealed: bool,
 }
 
 impl NativeEngine {
-    /// Builds a native engine with zeroed regions.
+    /// Builds a native engine with zeroed regions and an *open* entry
+    /// namespace: any name binds, and unknown entries are rejected by
+    /// the graft body at call time.
     pub fn new(specs: &[RegionSpec], graft: Box<dyn NativeGraft>) -> Result<Self, GraftError> {
         Ok(NativeEngine {
             regions: RegionStore::new(specs)?,
             graft,
+            entries: Vec::new(),
+            entry_ids: HashMap::new(),
+            sealed: false,
         })
+    }
+
+    /// Builds a native engine with a *closed* entry manifest: binding a
+    /// name outside `entries` fails deterministically at bind time,
+    /// matching the compiled/bytecode/script technologies.
+    pub fn with_entries(
+        specs: &[RegionSpec],
+        entries: &[EntryPoint],
+        graft: Box<dyn NativeGraft>,
+    ) -> Result<Self, GraftError> {
+        let mut engine = NativeEngine::new(specs, graft)?;
+        for entry in entries {
+            engine.intern(&entry.name);
+        }
+        engine.sealed = true;
+        Ok(engine)
+    }
+
+    fn intern(&mut self, name: &str) -> EntryId {
+        if let Some(&id) = self.entry_ids.get(name) {
+            return id;
+        }
+        let id = EntryId(self.entries.len() as u32);
+        self.entries.push(name.to_string());
+        self.entry_ids.insert(name.to_string(), id);
+        id
     }
 }
 
@@ -110,29 +336,55 @@ impl ExtensionEngine for NativeEngine {
         Technology::RustNative
     }
 
-    fn invoke(&mut self, entry: &str, args: &[i64]) -> Result<i64, GraftError> {
-        self.graft.call(entry, args, &mut self.regions)
+    fn bind_entry(&mut self, entry: &str) -> Result<EntryId, GraftError> {
+        match self.entry_ids.get(entry) {
+            Some(&id) => Ok(id),
+            None if self.sealed => Err(no_such_entry(entry)),
+            None => Ok(self.intern(entry)),
+        }
     }
 
-    fn load_region(&mut self, name: &str, offset: usize, data: &[i64]) -> Result<(), GraftError> {
-        self.regions.load(name, offset, data)
+    fn bind_region(&self, name: &str) -> Result<RegionId, GraftError> {
+        self.regions.id(name)
     }
 
-    fn read_region(&self, name: &str, index: usize) -> Result<i64, GraftError> {
-        self.regions.read(name, index)
+    fn invoke_id(&mut self, entry: EntryId, args: &[i64]) -> Result<i64, GraftError> {
+        let name = self
+            .entries
+            .get(entry.index())
+            .ok_or(GraftError::bad_handle("entry", entry.0))?;
+        self.graft.call(name, args, &mut self.regions)
     }
 
-    fn write_region(&mut self, name: &str, index: usize, value: i64) -> Result<(), GraftError> {
-        self.regions.write(name, index, value)
+    fn load_region_id(
+        &mut self,
+        id: RegionId,
+        offset: usize,
+        data: &[i64],
+    ) -> Result<(), GraftError> {
+        self.regions.load_id(id, offset, data)
     }
 
-    fn read_region_slice(
+    fn read_region_id(&self, id: RegionId, index: usize) -> Result<i64, GraftError> {
+        self.regions.read_id(id, index)
+    }
+
+    fn write_region_id(
+        &mut self,
+        id: RegionId,
+        index: usize,
+        value: i64,
+    ) -> Result<(), GraftError> {
+        self.regions.write_id(id, index, value)
+    }
+
+    fn read_region_slice_id(
         &self,
-        name: &str,
+        id: RegionId,
         offset: usize,
         out: &mut [i64],
     ) -> Result<(), GraftError> {
-        self.regions.read_slice(name, offset, out)
+        self.regions.read_slice_id(id, offset, out)
     }
 
     fn set_fuel(&mut self, _fuel: Option<u64>) {
@@ -151,9 +403,10 @@ pub fn no_such_entry(entry: &str) -> GraftError {
 mod tests {
     use super::*;
     use crate::region::RegionSpec;
+    use crate::spec::EntryPoint;
 
-    fn doubling_engine() -> NativeEngine {
-        let graft = |entry: &str, args: &[i64], regions: &mut RegionStore| {
+    fn doubling_graft() -> Box<dyn NativeGraft> {
+        Box::new(|entry: &str, args: &[i64], regions: &mut RegionStore| {
             match entry {
                 "double" => Ok(args[0] * 2),
                 "sum_buf" => {
@@ -162,8 +415,11 @@ mod tests {
                 }
                 other => Err(no_such_entry(other)),
             }
-        };
-        NativeEngine::new(&[RegionSpec::data("buf", 4)], Box::new(graft)).unwrap()
+        })
+    }
+
+    fn doubling_engine() -> NativeEngine {
+        NativeEngine::new(&[RegionSpec::data("buf", 4)], doubling_graft()).unwrap()
     }
 
     #[test]
@@ -194,5 +450,77 @@ mod tests {
         let e = doubling_engine();
         assert_eq!(e.technology(), Technology::RustNative);
         assert_eq!(e.fuel_used(), None);
+    }
+
+    #[test]
+    fn bind_then_invoke_matches_string_invoke() {
+        let mut e = doubling_engine();
+        let id = e.bind_entry("double").unwrap();
+        assert_eq!(e.bind_entry("double").unwrap(), id, "binding is stable");
+        assert_eq!(e.invoke_id(id, &[21]).unwrap(), 42);
+        assert_eq!(e.invoke("double", &[21]).unwrap(), 42);
+    }
+
+    #[test]
+    fn bound_regions_take_the_id_fast_path() {
+        let mut e = doubling_engine();
+        let buf = e.bind_region("buf").unwrap();
+        e.load_region_id(buf, 0, &[5, 6]).unwrap();
+        assert_eq!(e.read_region_id(buf, 1).unwrap(), 6);
+        e.write_region_id(buf, 2, 7).unwrap();
+        let mut out = [0; 3];
+        e.read_region_slice_id(buf, 0, &mut out).unwrap();
+        assert_eq!(out, [5, 6, 7]);
+        assert!(e.bind_region("nope").is_err());
+    }
+
+    #[test]
+    fn sealed_manifest_rejects_unknown_names_at_bind() {
+        let mut e = NativeEngine::with_entries(
+            &[RegionSpec::data("buf", 4)],
+            &[EntryPoint::new("double", 1)],
+            doubling_graft(),
+        )
+        .unwrap();
+        assert!(e.bind_entry("double").is_ok());
+        let err = e.bind_entry("nope").unwrap_err();
+        assert!(matches!(err.as_trap(), Some(Trap::NoSuchFunction(_))));
+    }
+
+    #[test]
+    fn stale_entry_id_traps_deterministically() {
+        let mut e = doubling_engine();
+        let err = e.invoke_id(EntryId(999), &[1]).unwrap_err();
+        assert!(matches!(
+            err.as_trap(),
+            Some(Trap::BadHandle { kind: "entry", id: 999 })
+        ));
+    }
+
+    #[test]
+    fn default_invoke_batch_loops_and_stops_on_trap() {
+        let mut e = doubling_engine();
+        let id = e.bind_entry("double").unwrap();
+        let mut out = Vec::new();
+        e.invoke_batch(id, 3, &[1, 2, 3], &mut out).unwrap();
+        assert_eq!(out, [2, 4, 6]);
+
+        // Shape errors are rejected before any call runs.
+        let mut out2 = Vec::new();
+        assert!(e.invoke_batch(id, 2, &[1, 2, 3], &mut out2).is_err());
+        assert!(out2.is_empty());
+
+        // Zero calls is a no-op.
+        e.invoke_batch(id, 0, &[], &mut out2).unwrap();
+        assert!(out2.is_empty());
+    }
+
+    #[test]
+    fn batch_arity_contract() {
+        assert_eq!(batch_arity(4, 8).unwrap(), 2);
+        assert_eq!(batch_arity(3, 0).unwrap(), 0);
+        assert_eq!(batch_arity(0, 0).unwrap(), 0);
+        assert!(batch_arity(0, 2).is_err());
+        assert!(batch_arity(2, 3).is_err());
     }
 }

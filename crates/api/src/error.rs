@@ -38,6 +38,16 @@ pub enum Trap {
     StackOverflow,
     /// The graft called an entry point or function that does not exist.
     NoSuchFunction(String),
+    /// A pre-bound handle (an `EntryId` or `RegionId`) was presented to an
+    /// engine that never issued it, or is out of range for the loaded
+    /// graft. Stale handles must trap deterministically — never index
+    /// out of bounds, never panic.
+    BadHandle {
+        /// Which namespace the handle belongs to: `"entry"` or `"region"`.
+        kind: &'static str,
+        /// The raw handle value.
+        id: u32,
+    },
     /// An explicit abort raised by the graft itself.
     Abort(i64),
 }
@@ -55,6 +65,9 @@ impl fmt::Display for Trap {
             Trap::TypeError(msg) => write!(f, "type error: {msg}"),
             Trap::StackOverflow => f.write_str("graft call stack overflow"),
             Trap::NoSuchFunction(name) => write!(f, "no such function `{name}`"),
+            Trap::BadHandle { kind, id } => {
+                write!(f, "stale or unknown {kind} handle {id}")
+            }
             Trap::Abort(code) => write!(f, "graft aborted with code {code}"),
         }
     }
@@ -109,6 +122,11 @@ impl GraftError {
             GraftError::Trap(t) => Some(t),
             _ => None,
         }
+    }
+
+    /// The deterministic error for a stale or out-of-range handle.
+    pub fn bad_handle(kind: &'static str, id: u32) -> GraftError {
+        GraftError::Trap(Trap::BadHandle { kind, id })
     }
 }
 
@@ -170,5 +188,17 @@ mod tests {
     fn compile_errors_are_not_traps() {
         let err = GraftError::Compile("unexpected token".into());
         assert!(err.as_trap().is_none());
+    }
+
+    #[test]
+    fn bad_handle_is_a_deterministic_trap() {
+        let err = GraftError::bad_handle("entry", 7);
+        assert!(matches!(
+            err.as_trap(),
+            Some(Trap::BadHandle { kind: "entry", id: 7 })
+        ));
+        let msg = err.to_string();
+        assert!(msg.contains("entry"));
+        assert!(msg.contains('7'));
     }
 }

@@ -18,7 +18,7 @@ pub mod spec;
 pub mod taxonomy;
 pub mod tech;
 
-pub use engine::{ExtensionEngine, NativeEngine, NativeGraft};
+pub use engine::{EntryId, ExtensionEngine, NativeEngine, NativeGraft};
 pub use error::{GraftError, Trap};
 pub use region::{Region, RegionId, RegionSpec, RegionStore};
 pub use spec::{EntryPoint, GraftSpec};

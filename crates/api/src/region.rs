@@ -186,11 +186,26 @@ impl RegionStore {
             .map(|(i, r)| (RegionId(i as u16), r))
     }
 
-    /// Kernel-side bulk marshal: copies `data` into the region starting at
-    /// word `offset`.
-    pub fn load(&mut self, name: &str, offset: usize, data: &[i64]) -> Result<(), GraftError> {
-        let id = self.id(name)?;
-        let region = &mut self.regions[id.index()];
+    /// Validates that `id` was issued by this store, returning the
+    /// deterministic bad-handle trap otherwise.
+    fn checked(&self, id: RegionId) -> Result<&Region, GraftError> {
+        self.regions
+            .get(id.index())
+            .ok_or(GraftError::bad_handle("region", u32::from(id.0)))
+    }
+
+    /// Mutable twin of [`Self::checked`].
+    fn checked_mut(&mut self, id: RegionId) -> Result<&mut Region, GraftError> {
+        self.regions
+            .get_mut(id.index())
+            .ok_or(GraftError::bad_handle("region", u32::from(id.0)))
+    }
+
+    /// Kernel-side bulk marshal by pre-bound id: copies `data` into the
+    /// region starting at word `offset`. No hashing, no string compare;
+    /// the region name is only touched on the error path.
+    pub fn load_id(&mut self, id: RegionId, offset: usize, data: &[i64]) -> Result<(), GraftError> {
+        let region = self.checked_mut(id)?;
         let end = offset.checked_add(data.len()).filter(|&e| e <= region.len());
         match end {
             Some(end) => {
@@ -198,32 +213,30 @@ impl RegionStore {
                 Ok(())
             }
             None => Err(GraftError::RegionRange {
-                region: name.to_string(),
+                region: region.spec.name.clone(),
                 index: offset.saturating_add(data.len()),
                 len: region.len(),
             }),
         }
     }
 
-    /// Kernel-side read of a single word.
-    pub fn read(&self, name: &str, index: usize) -> Result<i64, GraftError> {
-        let id = self.id(name)?;
-        let region = &self.regions[id.index()];
+    /// Kernel-side read of a single word by pre-bound id.
+    pub fn read_id(&self, id: RegionId, index: usize) -> Result<i64, GraftError> {
+        let region = self.checked(id)?;
         region
             .data
             .get(index)
             .copied()
             .ok_or_else(|| GraftError::RegionRange {
-                region: name.to_string(),
+                region: region.spec.name.clone(),
                 index,
                 len: region.len(),
             })
     }
 
-    /// Kernel-side write of a single word.
-    pub fn write(&mut self, name: &str, index: usize, value: i64) -> Result<(), GraftError> {
-        let id = self.id(name)?;
-        let region = &mut self.regions[id.index()];
+    /// Kernel-side write of a single word by pre-bound id.
+    pub fn write_id(&mut self, id: RegionId, index: usize, value: i64) -> Result<(), GraftError> {
+        let region = self.checked_mut(id)?;
         let len = region.len();
         match region.data.get_mut(index) {
             Some(slot) => {
@@ -231,18 +244,22 @@ impl RegionStore {
                 Ok(())
             }
             None => Err(GraftError::RegionRange {
-                region: name.to_string(),
+                region: region.spec.name.clone(),
                 index,
                 len,
             }),
         }
     }
 
-    /// Kernel-side bulk read: copies `out.len()` words starting at
-    /// `offset` into `out`.
-    pub fn read_slice(&self, name: &str, offset: usize, out: &mut [i64]) -> Result<(), GraftError> {
-        let id = self.id(name)?;
-        let region = &self.regions[id.index()];
+    /// Kernel-side bulk read by pre-bound id: copies `out.len()` words
+    /// starting at `offset` into `out`.
+    pub fn read_slice_id(
+        &self,
+        id: RegionId,
+        offset: usize,
+        out: &mut [i64],
+    ) -> Result<(), GraftError> {
+        let region = self.checked(id)?;
         let end = offset.checked_add(out.len()).filter(|&e| e <= region.len());
         match end {
             Some(end) => {
@@ -250,11 +267,38 @@ impl RegionStore {
                 Ok(())
             }
             None => Err(GraftError::RegionRange {
-                region: name.to_string(),
+                region: region.spec.name.clone(),
                 index: offset.saturating_add(out.len()),
                 len: region.len(),
             }),
         }
+    }
+
+    /// Kernel-side bulk marshal: copies `data` into the region starting at
+    /// word `offset`. Name-keyed compat path; hot code should
+    /// [`Self::id`] once and use [`Self::load_id`].
+    pub fn load(&mut self, name: &str, offset: usize, data: &[i64]) -> Result<(), GraftError> {
+        let id = self.id(name)?;
+        self.load_id(id, offset, data)
+    }
+
+    /// Kernel-side read of a single word (name-keyed compat path).
+    pub fn read(&self, name: &str, index: usize) -> Result<i64, GraftError> {
+        let id = self.id(name)?;
+        self.read_id(id, index)
+    }
+
+    /// Kernel-side write of a single word (name-keyed compat path).
+    pub fn write(&mut self, name: &str, index: usize, value: i64) -> Result<(), GraftError> {
+        let id = self.id(name)?;
+        self.write_id(id, index, value)
+    }
+
+    /// Kernel-side bulk read: copies `out.len()` words starting at
+    /// `offset` into `out` (name-keyed compat path).
+    pub fn read_slice(&self, name: &str, offset: usize, out: &mut [i64]) -> Result<(), GraftError> {
+        let id = self.id(name)?;
+        self.read_slice_id(id, offset, out)
     }
 }
 
@@ -317,6 +361,36 @@ mod tests {
             s.read("nope", 0),
             Err(GraftError::NoSuchRegion(_))
         ));
+    }
+
+    #[test]
+    fn id_paths_match_name_paths() {
+        let mut s = store();
+        let buf = s.id("buf").unwrap();
+        s.load_id(buf, 1, &[7, 8]).unwrap();
+        assert_eq!(s.read_id(buf, 1).unwrap(), 7);
+        assert_eq!(s.read("buf", 2).unwrap(), 8);
+        s.write_id(buf, 3, 9).unwrap();
+        let mut out = [0; 3];
+        s.read_slice_id(buf, 1, &mut out).unwrap();
+        assert_eq!(out, [7, 8, 9]);
+    }
+
+    #[test]
+    fn stale_region_id_traps_deterministically() {
+        let mut s = store();
+        let stale = RegionId(100);
+        for err in [
+            s.read_id(stale, 0).unwrap_err(),
+            s.load_id(stale, 0, &[1]).unwrap_err(),
+            s.write_id(stale, 0, 1).unwrap_err(),
+            s.read_slice_id(stale, 0, &mut [0]).unwrap_err(),
+        ] {
+            assert!(matches!(
+                err.as_trap(),
+                Some(crate::error::Trap::BadHandle { kind: "region", id: 100 })
+            ));
+        }
     }
 
     #[test]

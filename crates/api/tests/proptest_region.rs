@@ -45,7 +45,7 @@ fn bulk_load_is_exact() {
         let dlen = rng.gen_range(0usize..64);
         let data: Vec<i64> = (0..dlen).map(|_| rng.next_u64() as i64).collect();
         let mut store = RegionStore::new(&[RegionSpec::data("r", len)]).unwrap();
-        let fits = offset.checked_add(data.len()).map_or(false, |e| e <= len);
+        let fits = offset.checked_add(data.len()).is_some_and(|e| e <= len);
         let result = store.load("r", offset, &data);
         assert_eq!(result.is_ok(), fits);
         if fits {

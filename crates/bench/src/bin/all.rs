@@ -10,28 +10,28 @@ fn main() {
     let mut art = RunArtifact::begin(&cfg);
 
     let t1 = experiment::table1(&cfg).expect("table 1");
-    print!("{}\n", report::render_table1(&t1));
+    println!("{}", report::render_table1(&t1));
     art.add_table("table1", artifact::table1_json(&t1));
 
     let t3 = experiment::table3(&cfg, kernsim::DiskModel::default());
-    print!("{}\n", report::render_table3(&t3));
+    println!("{}", report::render_table3(&t3));
     art.add_table("table3", artifact::table3_json(&t3));
 
     let fault = t3.hard_single_page();
     let t2 = experiment::table2(&cfg, fault).expect("table 2");
-    print!("{}\n", report::render_table2(&t2));
+    println!("{}", report::render_table2(&t2));
     art.add_table("table2", artifact::table2_json(&t2));
 
     let t4 = experiment::table4(&cfg, false);
-    print!("{}\n", report::render_table4(&t4));
+    println!("{}", report::render_table4(&t4));
     art.add_table("table4", artifact::table4_json(&t4));
 
     let t5 = experiment::table5(&cfg, t4.megabyte_access()).expect("table 5");
-    print!("{}\n", report::render_table5(&t5));
+    println!("{}", report::render_table5(&t5));
     art.add_table("table5", artifact::table5_json(&t5));
 
     let t6 = experiment::table6(&cfg, &t4.model).expect("table 6");
-    print!("{}\n", report::render_table6(&t6));
+    println!("{}", report::render_table6(&t6));
     art.add_table("table6", artifact::table6_json(&t6));
 
     let measured = std::time::Duration::from_nanos(t1.upcall_roundtrip.mean_ns as u64);

@@ -6,8 +6,16 @@
 //! (robust `min_ns` estimates) and per counter, and declares drift when
 //! any sample moved by more than the threshold.
 
+use std::fmt::Write as _;
+
 use graft_core::artifact::RunArtifact;
 use graft_telemetry::json::Json;
+
+/// Writes to stdout, ignoring EPIPE (e.g. when piped through `head`).
+fn emit(text: &str) {
+    use std::io::Write as _;
+    let _ = std::io::stdout().write_all(text.as_bytes());
+}
 
 const USAGE: &str = "usage: graftstat <baseline.json> [candidate.json] [--threshold <pct>]";
 
@@ -76,7 +84,7 @@ fn counters_of(a: &RunArtifact) -> Vec<(String, u64)> {
 /// name.
 fn diff(base: &RunArtifact, cand: &RunArtifact) -> Report {
     let mut report = Report::default();
-    for (key, _) in &base.samples {
+    for key in base.samples.keys() {
         match (base.sample_best_ns(key), cand.sample_best_ns(key)) {
             (Some(b), Some(c)) => report.samples.push(SampleDelta {
                 key: key.clone(),
@@ -86,7 +94,7 @@ fn diff(base: &RunArtifact, cand: &RunArtifact) -> Report {
             _ => report.missing.push((key.clone(), true)),
         }
     }
-    for (key, _) in &cand.samples {
+    for key in cand.samples.keys() {
         if !base.samples.contains_key(key) {
             report.missing.push((key.clone(), false));
         }
@@ -122,18 +130,16 @@ fn fmt_ns(ns: f64) -> String {
 }
 
 /// One-artifact mode: a human summary of what the run recorded.
-fn summarize(path: &str, a: &RunArtifact) {
-    println!("artifact {path}");
-    println!("  tables:   {}", {
+fn summarize(path: &str, a: &RunArtifact) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "artifact {path}");
+    let _ = writeln!(out, "  tables:   {}", {
         let names: Vec<&str> = a.tables.keys().map(String::as_str).collect();
         names.join(", ")
     });
-    println!("  samples:  {}", a.samples.len());
-    println!("  metrics:  {} distinct", a.distinct_metrics());
-    println!(
-        "  wall:     {}",
-        fmt_ns(a.wall_clock.as_nanos() as f64)
-    );
+    let _ = writeln!(out, "  samples:  {}", a.samples.len());
+    let _ = writeln!(out, "  metrics:  {} distinct", a.distinct_metrics());
+    let _ = writeln!(out, "  wall:     {}", fmt_ns(a.wall_clock.as_nanos() as f64));
     let mut keyed: Vec<(&String, f64)> = a
         .samples
         .keys()
@@ -141,16 +147,46 @@ fn summarize(path: &str, a: &RunArtifact) {
         .collect();
     keyed.sort_by(|x, y| x.0.cmp(y.0));
     for (key, ns) in keyed {
-        println!("  {key:<44} {:>12}", fmt_ns(ns));
+        let _ = writeln!(out, "  {key:<44} {:>12}", fmt_ns(ns));
     }
+    // The ABI-level counters — bind cache behaviour, batching, and
+    // buffer reuse on the upcall transport — plus everything else the
+    // telemetry registry recorded during the run.
+    let mut counters = counters_of(a);
+    counters.sort();
+    if !counters.is_empty() {
+        let _ = writeln!(out, "  counters:");
+        for (name, v) in &counters {
+            let _ = writeln!(out, "    {name:<42} {v:>12}");
+        }
+    }
+    if let Some(hists) = a.metrics.get("histograms").and_then(Json::as_arr) {
+        for h in hists {
+            let (Some(name), Some(count)) = (
+                h.get("name").and_then(Json::as_str),
+                h.get("count").and_then(Json::as_u64),
+            ) else {
+                continue;
+            };
+            let mean = h.get("mean").and_then(Json::as_f64).unwrap_or(0.0);
+            let p50 = h.get("p50").and_then(Json::as_f64).unwrap_or(0.0);
+            let _ = writeln!(out, "    hist {name:<37} n={count} mean={mean:.1} p50={p50:.0}");
+        }
+    }
+    out
 }
 
-/// Two-artifact mode: the rendered diff. Returns the process exit code
+/// Two-artifact mode: the rendered diff plus the process exit code
 /// (0 when within threshold, 1 when drift was detected).
-fn render_diff(base_path: &str, cand_path: &str, report: &Report, threshold: f64) -> i32 {
-    println!("# graftstat: {base_path} -> {cand_path} (threshold {threshold}%)");
+fn render_diff(base_path: &str, cand_path: &str, report: &Report, threshold: f64) -> (String, i32) {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# graftstat: {base_path} -> {cand_path} (threshold {threshold}%)"
+    );
     for d in &report.samples {
-        println!(
+        let _ = writeln!(
+            out,
             "  {:<44} {:>12} -> {:>12}  {:>+8.2}%",
             d.key,
             fmt_ns(d.base_ns),
@@ -160,31 +196,34 @@ fn render_diff(base_path: &str, cand_path: &str, report: &Report, threshold: f64
     }
     for (key, in_base) in &report.missing {
         let side = if *in_base { "baseline" } else { "candidate" };
-        println!("  {key:<44} only in {side}");
+        let _ = writeln!(out, "  {key:<44} only in {side}");
     }
     for (name, b, c) in &report.counters {
-        println!("  counter {name:<36} {b:>12} -> {c:>12}");
+        let _ = writeln!(out, "  counter {name:<36} {b:>12} -> {c:>12}");
     }
     if report.zero_drift() {
-        println!("zero drift: artifacts are metrically identical");
-        return 0;
+        let _ = writeln!(out, "zero drift: artifacts are metrically identical");
+        return (out, 0);
     }
     let drifted = report.drifted(threshold);
-    if drifted.is_empty() && report.missing.is_empty() {
-        println!(
+    let code = if drifted.is_empty() && report.missing.is_empty() {
+        let _ = writeln!(
+            out,
             "no drift beyond {threshold}% across {} samples",
             report.samples.len()
         );
         0
     } else {
-        println!(
+        let _ = writeln!(
+            out,
             "drift: {} of {} samples moved more than {threshold}%, {} keys one-sided",
             drifted.len(),
             report.samples.len(),
             report.missing.len()
         );
         1
-    }
+    };
+    (out, code)
 }
 
 fn load(path: &str) -> RunArtifact {
@@ -226,10 +265,12 @@ fn main() {
         }
     }
     match paths.as_slice() {
-        [one] => summarize(one, &load(one)),
+        [one] => emit(&summarize(one, &load(one))),
         [base, cand] => {
             let report = diff(&load(base), &load(cand));
-            std::process::exit(render_diff(base, cand, &report, threshold));
+            let (text, code) = render_diff(base, cand, &report, threshold);
+            emit(&text);
+            std::process::exit(code);
         }
         _ => {
             eprintln!("{USAGE}");

@@ -329,6 +329,8 @@ pub fn table1_json(t: &Table1) -> Json {
         }
     }
     obj.set("upcall_roundtrip", sample_json(&t.upcall_roundtrip));
+    obj.set("upcall_batched", sample_json(&t.upcall_batched));
+    obj.set("batch", t.batch);
     obj
 }
 

@@ -2,7 +2,7 @@
 
 use std::time::Duration;
 
-use graft_api::{GraftError, NativeEngine, RegionSpec, RegionStore};
+use graft_api::{ExtensionEngine, GraftError, NativeEngine, RegionSpec, RegionStore};
 use kernsim::measure::{diskbw, pagefault, signals};
 use kernsim::stats::Sample;
 use kernsim::upcall::UpcallEngine;
@@ -10,14 +10,23 @@ use kernsim::DiskModel;
 
 use super::RunConfig;
 
+/// Calls per round trip in the Table 1 batched-upcall harness.
+pub const UPCALL_BATCH: usize = 32;
+
 /// Table 1: signal handling time, plus the in-text upcall measurement.
 #[derive(Debug, Clone)]
 pub struct Table1 {
     /// The fork-and-twenty-signals experiment (None when live
     /// measurement is disabled or unavailable).
     pub signals: Option<signals::SignalTimes>,
-    /// Round-trip time of the real cross-thread upcall transport.
+    /// Round-trip time of the real cross-thread upcall transport (one
+    /// call per crossing).
     pub upcall_roundtrip: Sample,
+    /// Per-call time of the batched invoke path: [`UPCALL_BATCH`] calls
+    /// amortized over one crossing.
+    pub upcall_batched: Sample,
+    /// Calls per round trip in the batched measurement.
+    pub batch: usize,
     /// The paper's per-signal numbers for its four platforms, for the
     /// side-by-side in EXPERIMENTS.md (µs).
     pub paper_us: [(&'static str, f64); 4],
@@ -37,11 +46,18 @@ pub fn table1(cfg: &RunConfig) -> Result<Table1, GraftError> {
         &[RegionSpec::data("scratch", 1)],
         Box::new(|_: &str, _: &[i64], _: &mut RegionStore| Ok(0i64)),
     )?;
-    let server = UpcallEngine::new(Box::new(noop));
+    let mut server = UpcallEngine::new(Box::new(noop));
     let upcall_roundtrip = server.measure_roundtrip(1_000);
+    // The batched path: bind once, then UPCALL_BATCH calls per
+    // rendezvous — the Logical-Disk batching argument applied to the
+    // transport itself.
+    let noop_id = server.bind_entry("noop")?;
+    let upcall_batched = server.measure_batched(noop_id, UPCALL_BATCH, 1_000 / UPCALL_BATCH + 1);
     Ok(Table1 {
         signals: sig,
         upcall_roundtrip,
+        upcall_batched,
+        batch: UPCALL_BATCH,
         paper_us: [
             ("Alpha", 19.5),
             ("HP-UX", 25.8),
@@ -183,6 +199,17 @@ mod tests {
         let t = table1(&RunConfig::offline()).unwrap();
         assert!(t.signals.is_none());
         assert!(t.upcall_roundtrip.mean_ns > 0.0);
+        assert!(t.upcall_batched.mean_ns > 0.0);
+        assert_eq!(t.batch, UPCALL_BATCH);
+        assert!(t.batch >= 16, "Table 1 must batch many calls per crossing");
+        // Batching must amortize the rendezvous: per-call time strictly
+        // below the single-call round trip.
+        assert!(
+            t.upcall_batched.min_ns < t.upcall_roundtrip.min_ns,
+            "batched={} single={}",
+            t.upcall_batched.min_ns,
+            t.upcall_roundtrip.min_ns
+        );
     }
 
     #[test]

@@ -7,6 +7,7 @@ use grafts::{eviction, logdisk as ld_graft, md5 as md5_graft};
 use kernsim::stats::{measure, measure_per_iter, Sample};
 use kernsim::DiskModel;
 
+use super::micro::UPCALL_BATCH;
 use super::{md5_workload, RunConfig};
 use crate::breakeven::break_even;
 use crate::manager::GraftManager;
@@ -77,8 +78,11 @@ pub fn table2(cfg: &RunConfig, fault: Duration) -> Result<Table2, GraftError> {
     for tech in ROW_ORDER {
         let mut engine = manager.load(&spec, tech)?;
         let (lru, hot) = scenario.marshal(engine.as_mut())?;
+        // Two-phase ABI: resolve the entry name once at load time; the
+        // measured loop below runs entirely on the pre-bound handle.
+        let victim = engine.bind_entry("select_victim")?;
         // Sanity before timing: the graft must answer correctly.
-        let got = engine.invoke("select_victim", &[lru, hot])?;
+        let got = engine.invoke_id(victim, &[lru, hot])?;
         debug_assert_eq!(got, scenario.reference_victim() as i64);
         let reduced = tech == Technology::Script;
         let iters = if reduced {
@@ -92,7 +96,7 @@ pub fn table2(cfg: &RunConfig, fault: Duration) -> Result<Table2, GraftError> {
             cfg.evict_iters
         };
         let sample = measure_per_iter(cfg.runs, iters, || {
-            let _ = engine.invoke("select_victim", &[lru, hot]);
+            let _ = engine.invoke_id(victim, &[lru, hot]);
         });
         rows.push(Table2Row {
             tech,
@@ -274,18 +278,26 @@ pub fn table6(cfg: &RunConfig, model: &DiskModel) -> Result<Table6, GraftError> 
             continue; // the paper took no Tcl measurements here
         }
         let mut engine = manager.load(&spec, tech)?;
-        // The upcall row pays ~50µs per write; two runs suffice.
+        let ld_write = engine.bind_entry("ld_write")?;
+        // Batching is now part of the measured workload itself: the
+        // write stream goes through `invoke_batch` in UPCALL_BATCH-call
+        // chunks. In-process engines loop over `invoke_id` (the default
+        // impl), while the user-level row amortizes one upcall
+        // rendezvous over the whole chunk — the Logical-Disk batching
+        // argument applied at the ABI layer.
         let runs = if tech == Technology::UserLevel {
             cfg.runs.min(2)
         } else {
             cfg.runs.min(10)
         };
         let mut samples = Vec::with_capacity(runs);
+        let mut results = Vec::with_capacity(UPCALL_BATCH);
         for _ in 0..runs {
             ld_graft::init_map(engine.as_mut(), cfg.ld_blocks)?;
             let start = std::time::Instant::now();
-            for &w in &writes {
-                let _ = engine.invoke("ld_write", &[w]);
+            for chunk in writes.chunks(UPCALL_BATCH) {
+                results.clear();
+                engine.invoke_batch(ld_write, chunk.len(), chunk, &mut results)?;
             }
             samples.push(start.elapsed());
         }

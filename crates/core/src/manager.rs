@@ -61,7 +61,14 @@ impl GraftManager {
                     .native
                     .as_ref()
                     .ok_or_else(|| Self::missing(spec, "native implementation"))?;
-                Ok(Box::new(NativeEngine::new(&spec.regions, factory())?))
+                // Seal the native engine to the spec's declared entry
+                // manifest so binding an undeclared name fails at bind
+                // time, exactly like the other technologies.
+                Ok(Box::new(NativeEngine::with_entries(
+                    &spec.regions,
+                    &spec.entries,
+                    factory(),
+                )?))
             }
             Technology::CompiledUnchecked => {
                 Ok(Box::new(self.load_compiled(spec, SafetyMode::Unchecked)?))
@@ -141,6 +148,34 @@ mod tests {
         };
         let engine = manager.load(&spec, Technology::UserLevel).unwrap();
         assert_eq!(engine.technology(), Technology::UserLevel);
+    }
+
+    #[test]
+    fn manager_loaded_engines_bind_declared_entries_only() {
+        // For every technology the ACL graft supports, bind of a
+        // declared entry succeeds and bind of an undeclared name is a
+        // deterministic load-time failure — including RustNative, whose
+        // engine is sealed to the spec's manifest.
+        let spec = grafts::acl::spec();
+        let manager = GraftManager::new();
+        for tech in [
+            Technology::CompiledUnchecked,
+            Technology::SafeCompiled,
+            Technology::Sfi,
+            Technology::Bytecode,
+            Technology::RustNative,
+            Technology::UserLevel,
+        ] {
+            let mut engine = manager.load(&spec, tech).unwrap();
+            let declared = &spec.entries[0].name;
+            engine
+                .bind_entry(declared)
+                .unwrap_or_else(|e| panic!("{tech:?}: bind {declared}: {e}"));
+            assert!(
+                engine.bind_entry("definitely_not_declared").is_err(),
+                "{tech:?} must reject undeclared entry at bind"
+            );
+        }
     }
 
     #[test]

@@ -49,6 +49,12 @@ pub fn render_table1(t: &Table1) -> String {
         "  upcall    : {} round trip through the user-level server transport",
         t.upcall_roundtrip.paper_style()
     );
+    let _ = writeln!(
+        out,
+        "  batched   : {} per call with {} calls per round trip",
+        t.upcall_batched.paper_style(),
+        t.batch
+    );
     out.push_str("  paper     : ");
     for (name, us) in t.paper_us {
         let _ = write!(out, "{name} {us}\u{00b5}s  ");

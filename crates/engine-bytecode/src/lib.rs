@@ -21,7 +21,9 @@ pub mod opcode;
 pub mod verify;
 pub mod vm;
 
-use graft_api::{ExtensionEngine, GraftError, RegionSpec, RegionStore, Technology};
+use graft_api::{
+    EntryId, ExtensionEngine, GraftError, RegionId, RegionSpec, RegionStore, Technology,
+};
 
 pub use compile::{compile, BcFunc, BcModule};
 
@@ -67,16 +69,27 @@ impl ExtensionEngine for BytecodeEngine {
         Technology::Bytecode
     }
 
-    fn invoke(&mut self, entry: &str, args: &[i64]) -> Result<i64, GraftError> {
+    fn bind_entry(&mut self, entry: &str) -> Result<EntryId, GraftError> {
+        match self.module.func_index.get(entry) {
+            Some(&func) => Ok(EntryId(func as u32)),
+            None => Err(graft_api::engine::no_such_entry(entry)),
+        }
+    }
+
+    fn bind_region(&self, name: &str) -> Result<RegionId, GraftError> {
+        self.regions.id(name)
+    }
+
+    fn invoke_id(&mut self, entry: EntryId, args: &[i64]) -> Result<i64, GraftError> {
         let module = std::sync::Arc::clone(&self.module);
-        let Some(&func) = module.func_index.get(entry) else {
-            return Err(graft_api::engine::no_such_entry(entry));
+        let func = entry.index();
+        let Some(decl) = module.funcs.get(func) else {
+            return Err(GraftError::bad_handle("entry", entry.0));
         };
-        let arity = module.funcs[func].arity;
-        if arity != args.len() {
+        if decl.arity != args.len() {
             return Err(GraftError::BadArity {
-                entry: entry.to_string(),
-                expected: arity,
+                entry: decl.name.clone(),
+                expected: decl.arity,
                 got: args.len(),
             });
         }
@@ -97,25 +110,35 @@ impl ExtensionEngine for BytecodeEngine {
         result
     }
 
-    fn load_region(&mut self, name: &str, offset: usize, data: &[i64]) -> Result<(), GraftError> {
-        self.regions.load(name, offset, data)
+    fn load_region_id(
+        &mut self,
+        id: RegionId,
+        offset: usize,
+        data: &[i64],
+    ) -> Result<(), GraftError> {
+        self.regions.load_id(id, offset, data)
     }
 
-    fn read_region(&self, name: &str, index: usize) -> Result<i64, GraftError> {
-        self.regions.read(name, index)
+    fn read_region_id(&self, id: RegionId, index: usize) -> Result<i64, GraftError> {
+        self.regions.read_id(id, index)
     }
 
-    fn write_region(&mut self, name: &str, index: usize, value: i64) -> Result<(), GraftError> {
-        self.regions.write(name, index, value)
+    fn write_region_id(
+        &mut self,
+        id: RegionId,
+        index: usize,
+        value: i64,
+    ) -> Result<(), GraftError> {
+        self.regions.write_id(id, index, value)
     }
 
-    fn read_region_slice(
+    fn read_region_slice_id(
         &self,
-        name: &str,
+        id: RegionId,
         offset: usize,
         out: &mut [i64],
     ) -> Result<(), GraftError> {
-        self.regions.read_slice(name, offset, out)
+        self.regions.read_slice_id(id, offset, out)
     }
 
     fn set_fuel(&mut self, fuel: Option<u64>) {
@@ -264,6 +287,48 @@ mod tests {
             e.invoke("f", &[]).unwrap_err().as_trap(),
             Some(&Trap::Abort(7))
         );
+    }
+
+    #[test]
+    fn bind_then_invoke_matches_string_invoke() {
+        let src = "fn add(a: int, b: int) -> int { return a + b; }";
+        let mut e = engine(src, &[RegionSpec::data("buf", 4)]);
+        let id = e.bind_entry("add").unwrap();
+        assert_eq!(e.bind_entry("add").unwrap(), id);
+        assert_eq!(e.invoke_id(id, &[40, 2]).unwrap(), 42);
+        assert_eq!(e.invoke("add", &[40, 2]).unwrap(), 42);
+        assert!(e.bind_entry("missing").is_err());
+
+        let buf = e.bind_region("buf").unwrap();
+        e.load_region_id(buf, 0, &[1, 2]).unwrap();
+        assert_eq!(e.read_region_id(buf, 1).unwrap(), 2);
+        assert!(e.bind_region("nope").is_err());
+    }
+
+    #[test]
+    fn stale_handles_trap_deterministically() {
+        let src = "fn f() -> int { return 1; }";
+        let mut e = engine(src, &[RegionSpec::data("buf", 4)]);
+        let err = e.invoke_id(graft_api::EntryId(9), &[]).unwrap_err();
+        assert!(matches!(
+            err.as_trap(),
+            Some(Trap::BadHandle { kind: "entry", id: 9 })
+        ));
+        let err = e.read_region_id(graft_api::RegionId(9), 0).unwrap_err();
+        assert!(matches!(
+            err.as_trap(),
+            Some(Trap::BadHandle { kind: "region", id: 9 })
+        ));
+    }
+
+    #[test]
+    fn invoke_batch_loops_the_vm() {
+        let src = "var acc = 0; fn bump(d: int) -> int { acc = acc + d; return acc; }";
+        let mut e = engine(src, &[]);
+        let id = e.bind_entry("bump").unwrap();
+        let mut out = Vec::new();
+        e.invoke_batch(id, 3, &[5, 6, 7], &mut out).unwrap();
+        assert_eq!(out, [5, 11, 18]);
     }
 
     #[test]

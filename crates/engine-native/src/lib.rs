@@ -36,7 +36,7 @@ pub mod sfi;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use graft_api::{ExtensionEngine, GraftError, Technology};
+use graft_api::{EntryId, ExtensionEngine, GraftError, RegionId, Technology};
 use graft_ir::Module;
 
 /// Load-time translation mode: which technology the engine realizes.
@@ -169,11 +169,13 @@ impl CompiledEngine {
         &self.module
     }
 
-    fn region_id(&self, name: &str) -> Result<u16, GraftError> {
-        self.region_ids
-            .get(name)
-            .copied()
-            .ok_or_else(|| GraftError::NoSuchRegion(name.to_string()))
+    /// Validates a pre-bound region handle and returns its raw index
+    /// plus the region name (for error construction only).
+    fn checked_region(&self, id: RegionId) -> Result<(u16, &str), GraftError> {
+        match self.module.regions.get(id.index()) {
+            Some(region) => Ok((id.0, &region.name)),
+            None => Err(GraftError::bad_handle("region", u32::from(id.0))),
+        }
     }
 }
 
@@ -182,16 +184,31 @@ impl ExtensionEngine for CompiledEngine {
         self.mode.technology()
     }
 
-    fn invoke(&mut self, entry: &str, args: &[i64]) -> Result<i64, GraftError> {
+    fn bind_entry(&mut self, entry: &str) -> Result<EntryId, GraftError> {
+        match self.module.func_id(entry) {
+            Some(func) => Ok(EntryId(func as u32)),
+            None => Err(graft_api::engine::no_such_entry(entry)),
+        }
+    }
+
+    fn bind_region(&self, name: &str) -> Result<RegionId, GraftError> {
+        self.region_ids
+            .get(name)
+            .copied()
+            .map(RegionId)
+            .ok_or_else(|| GraftError::NoSuchRegion(name.to_string()))
+    }
+
+    fn invoke_id(&mut self, entry: EntryId, args: &[i64]) -> Result<i64, GraftError> {
         let module = Arc::clone(&self.module);
-        let func = module
-            .func_id(entry)
-            .ok_or_else(|| graft_api::engine::no_such_entry(entry))?;
-        let arity = module.funcs[func].arity;
-        if arity != args.len() {
+        let func = entry.index();
+        let Some(decl) = module.funcs.get(func) else {
+            return Err(GraftError::bad_handle("entry", entry.0));
+        };
+        if decl.arity != args.len() {
             return Err(GraftError::BadArity {
-                entry: entry.to_string(),
-                expected: arity,
+                entry: decl.name.clone(),
+                expected: decl.arity,
                 got: args.len(),
             });
         }
@@ -219,29 +236,47 @@ impl ExtensionEngine for CompiledEngine {
         result
     }
 
-    fn load_region(&mut self, name: &str, offset: usize, data: &[i64]) -> Result<(), GraftError> {
-        let id = self.region_id(name)?;
-        self.memory.kernel_load(id, name, offset, data)
+    fn load_region_id(
+        &mut self,
+        id: RegionId,
+        offset: usize,
+        data: &[i64],
+    ) -> Result<(), GraftError> {
+        // Clone the Arc (one refcount bump, no allocation) so the region
+        // name borrows the module, not `self`, freeing `memory` for `&mut`.
+        let module = Arc::clone(&self.module);
+        let Some(region) = module.regions.get(id.index()) else {
+            return Err(GraftError::bad_handle("region", u32::from(id.0)));
+        };
+        self.memory.kernel_load(id.0, &region.name, offset, data)
     }
 
-    fn read_region(&self, name: &str, index: usize) -> Result<i64, GraftError> {
-        let id = self.region_id(name)?;
-        self.memory.kernel_read(id, name, index)
+    fn read_region_id(&self, id: RegionId, index: usize) -> Result<i64, GraftError> {
+        let (raw, name) = self.checked_region(id)?;
+        self.memory.kernel_read(raw, name, index)
     }
 
-    fn write_region(&mut self, name: &str, index: usize, value: i64) -> Result<(), GraftError> {
-        let id = self.region_id(name)?;
-        self.memory.kernel_write(id, name, index, value)
+    fn write_region_id(
+        &mut self,
+        id: RegionId,
+        index: usize,
+        value: i64,
+    ) -> Result<(), GraftError> {
+        let module = Arc::clone(&self.module);
+        let Some(region) = module.regions.get(id.index()) else {
+            return Err(GraftError::bad_handle("region", u32::from(id.0)));
+        };
+        self.memory.kernel_write(id.0, &region.name, index, value)
     }
 
-    fn read_region_slice(
+    fn read_region_slice_id(
         &self,
-        name: &str,
+        id: RegionId,
         offset: usize,
         out: &mut [i64],
     ) -> Result<(), GraftError> {
-        let id = self.region_id(name)?;
-        self.memory.kernel_read_slice(id, name, offset, out)
+        let (raw, name) = self.checked_region(id)?;
+        self.memory.kernel_read_slice(raw, name, offset, out)
     }
 
     fn set_fuel(&mut self, fuel: Option<u64>) {
@@ -479,6 +514,75 @@ mod tests {
             prot.module().code_len() > unprot.module().code_len(),
             "read protection must insert mask instructions"
         );
+    }
+
+    #[test]
+    fn bind_then_invoke_matches_string_invoke_in_every_mode() {
+        let src = "fn add(a: int, b: int) -> int { return a + b; }";
+        for &mode in &MODES {
+            let mut e = load_grail(src, &[], mode).unwrap();
+            let id = e.bind_entry("add").unwrap();
+            assert_eq!(e.bind_entry("add").unwrap(), id);
+            assert_eq!(e.invoke_id(id, &[20, 22]).unwrap(), 42);
+            assert_eq!(e.invoke("add", &[20, 22]).unwrap(), 42);
+            assert!(e.bind_entry("missing").is_err());
+        }
+    }
+
+    #[test]
+    fn region_handles_work_in_every_mode() {
+        let src = "fn get(i: int) -> int { return buf[i]; }";
+        let regions = [RegionSpec::data("buf", 8)];
+        for &mode in &MODES {
+            let mut e = load_grail(src, &regions, mode).unwrap();
+            let buf = e.bind_region("buf").unwrap();
+            e.load_region_id(buf, 0, &[4, 5, 6]).unwrap();
+            e.write_region_id(buf, 3, 7).unwrap();
+            assert_eq!(e.read_region_id(buf, 1).unwrap(), 5, "{mode:?}");
+            let mut out = [0i64; 2];
+            e.read_region_slice_id(buf, 2, &mut out).unwrap();
+            assert_eq!(out, [6, 7]);
+            assert_eq!(e.invoke("get", &[3]).unwrap(), 7);
+            assert!(e.bind_region("nope").is_err());
+        }
+    }
+
+    #[test]
+    fn stale_handles_trap_deterministically_in_every_mode() {
+        let src = "fn f() -> int { return 1; }";
+        let regions = [RegionSpec::data("buf", 4)];
+        for &mode in &MODES {
+            let mut e = load_grail(src, &regions, mode).unwrap();
+            let err = e.invoke_id(graft_api::EntryId(77), &[]).unwrap_err();
+            assert!(matches!(
+                err.as_trap(),
+                Some(Trap::BadHandle { kind: "entry", id: 77 })
+            ));
+            let stale = graft_api::RegionId(55);
+            for err in [
+                e.read_region_id(stale, 0).unwrap_err(),
+                e.load_region_id(stale, 0, &[1]).unwrap_err(),
+                e.write_region_id(stale, 0, 1).unwrap_err(),
+                e.read_region_slice_id(stale, 0, &mut [0]).unwrap_err(),
+            ] {
+                assert!(matches!(
+                    err.as_trap(),
+                    Some(Trap::BadHandle { kind: "region", id: 55 })
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn invoke_batch_runs_many_calls_in_every_mode() {
+        let src = "var acc = 0; fn bump(d: int) -> int { acc = acc + d; return acc; }";
+        for &mode in &MODES {
+            let mut e = load_grail(src, &[], mode).unwrap();
+            let id = e.bind_entry("bump").unwrap();
+            let mut out = Vec::new();
+            e.invoke_batch(id, 4, &[1, 2, 3, 4], &mut out).unwrap();
+            assert_eq!(out, [1, 3, 6, 10], "{mode:?}");
+        }
     }
 
     #[test]

@@ -26,6 +26,53 @@ pub struct ProcDef {
     pub body: String,
 }
 
+/// Defined procedures, stored in stable slots.
+///
+/// `proc` redefinition overwrites a slot in place, so a slot bound at
+/// load time ([`crate::ScriptEngine`]'s `bind_entry`) stays valid for
+/// the life of the interpreter and always dispatches to the *latest*
+/// definition — the Tcl semantics.
+#[derive(Debug, Default)]
+pub struct ProcTable {
+    names: Vec<String>,
+    defs: Vec<ProcDef>,
+    by_name: HashMap<String, usize>,
+}
+
+impl ProcTable {
+    /// The slot of a defined proc, if any.
+    pub fn slot(&self, name: &str) -> Option<usize> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The definition in `slot`, if the slot exists.
+    pub fn get_slot(&self, slot: usize) -> Option<&ProcDef> {
+        self.defs.get(slot)
+    }
+
+    /// The name that owns `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` was not issued by this table.
+    pub fn name_of(&self, slot: usize) -> &str {
+        &self.names[slot]
+    }
+
+    /// Defines (or redefines, keeping the slot) a proc.
+    pub fn define(&mut self, name: &str, def: ProcDef) {
+        match self.by_name.get(name) {
+            Some(&slot) => self.defs[slot] = def,
+            None => {
+                let slot = self.defs.len();
+                self.names.push(name.to_string());
+                self.defs.push(def);
+                self.by_name.insert(name.to_string(), slot);
+            }
+        }
+    }
+}
+
 /// Control flow out of a command or script.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Flow {
@@ -60,8 +107,8 @@ impl Frame {
 
 /// The interpreter state owned by the script engine.
 pub struct Interp {
-    /// Defined procedures.
-    pub procs: HashMap<String, ProcDef>,
+    /// Defined procedures (slot-stable; see [`ProcTable`]).
+    pub procs: ProcTable,
     /// Global variables.
     pub globals: HashMap<String, String>,
     /// Kernel-shared regions.
@@ -78,7 +125,7 @@ impl Interp {
     /// Creates an interpreter over the given regions.
     pub fn new(regions: RegionStore) -> Self {
         Interp {
-            procs: HashMap::new(),
+            procs: ProcTable::default(),
             globals: HashMap::new(),
             regions,
             fuel: u64::MAX,
@@ -268,7 +315,7 @@ impl Interp {
     ) -> Result<Flow, GraftError> {
         let mut at = 0usize;
         loop {
-            if at + 1 >= args.len() + 1 {
+            if at >= args.len() {
                 return Err(script_err("malformed `if`"));
             }
             let cond = &args[at];
@@ -371,8 +418,8 @@ impl Interp {
             .into_iter()
             .map(|w| w.text().to_string())
             .collect();
-        self.procs.insert(
-            name.clone(),
+        self.procs.define(
+            name,
             ProcDef {
                 params,
                 body: body.clone(),
@@ -388,19 +435,34 @@ impl Interp {
         args: &[String],
         depth: usize,
     ) -> Result<Flow, GraftError> {
+        let Some(slot) = self.procs.slot(name) else {
+            return Err(Trap::NoSuchFunction(name.to_string()).into());
+        };
+        self.call_proc_slot(slot, args, depth)
+    }
+
+    /// Invokes the procedure in a pre-bound slot — the engine-boundary
+    /// fast path: no name lookup, deterministic trap on a stale slot.
+    pub fn call_proc_slot(
+        &mut self,
+        slot: usize,
+        args: &[String],
+        depth: usize,
+    ) -> Result<Flow, GraftError> {
         if depth >= MAX_DEPTH {
             return Err(Trap::StackOverflow.into());
         }
-        let Some(def) = self.procs.get(name).cloned() else {
-            return Err(Trap::NoSuchFunction(name.to_string()).into());
+        let Some(def) = self.procs.get_slot(slot) else {
+            return Err(GraftError::bad_handle("entry", slot as u32));
         };
         if def.params.len() != args.len() {
             return Err(GraftError::BadArity {
-                entry: name.to_string(),
+                entry: self.procs.name_of(slot).to_string(),
                 expected: def.params.len(),
                 got: args.len(),
             });
         }
+        let def = def.clone();
         let mut frame = Frame::default();
         for (p, a) in def.params.iter().zip(args) {
             frame.vars.insert(p.clone(), a.clone());

@@ -17,7 +17,9 @@ pub mod expr;
 pub mod interp;
 pub mod words;
 
-use graft_api::{ExtensionEngine, GraftError, RegionSpec, RegionStore, Technology};
+use graft_api::{
+    EntryId, ExtensionEngine, GraftError, RegionId, RegionSpec, RegionStore, Technology,
+};
 
 use interp::{Flow, Frame, Interp};
 
@@ -63,11 +65,26 @@ impl ExtensionEngine for ScriptEngine {
         Technology::Script
     }
 
-    fn invoke(&mut self, entry: &str, args: &[i64]) -> Result<i64, GraftError> {
+    fn bind_entry(&mut self, entry: &str) -> Result<EntryId, GraftError> {
+        match self.interp.procs.slot(entry) {
+            Some(slot) => Ok(EntryId(slot as u32)),
+            None => Err(graft_api::engine::no_such_entry(entry)),
+        }
+    }
+
+    fn bind_region(&self, name: &str) -> Result<RegionId, GraftError> {
+        self.interp.regions.id(name)
+    }
+
+    fn invoke_id(&mut self, entry: EntryId, args: &[i64]) -> Result<i64, GraftError> {
         let fuel = self.fuel_limit.unwrap_or(u64::MAX);
         self.interp.fuel = fuel;
+        // The i64 → string argument marshal is the technology itself:
+        // Tcl's calling convention *is* strings. The engine boundary no
+        // longer looks the proc up by name, but what happens inside is
+        // direct source interpretation, unchanged.
         let argv: Vec<String> = args.iter().map(|a| a.to_string()).collect();
-        let result = self.interp.call_proc(entry, &argv, 0);
+        let result = self.interp.call_proc_slot(entry.index(), &argv, 0);
         self.last_fuel_used = fuel - self.interp.fuel;
         match result? {
             Flow::Normal(v) | Flow::Return(v) => {
@@ -75,8 +92,9 @@ impl ExtensionEngine for ScriptEngine {
                     Ok(0)
                 } else {
                     expr::parse_int(&v).map_err(|e| {
+                        let name = self.interp.procs.name_of(entry.index());
                         GraftError::Trap(graft_api::Trap::TypeError(format!(
-                            "entry `{entry}` returned non-integer: {e}"
+                            "entry `{name}` returned non-integer: {e}"
                         )))
                     })
                 }
@@ -85,25 +103,35 @@ impl ExtensionEngine for ScriptEngine {
         }
     }
 
-    fn load_region(&mut self, name: &str, offset: usize, data: &[i64]) -> Result<(), GraftError> {
-        self.interp.regions.load(name, offset, data)
+    fn load_region_id(
+        &mut self,
+        id: RegionId,
+        offset: usize,
+        data: &[i64],
+    ) -> Result<(), GraftError> {
+        self.interp.regions.load_id(id, offset, data)
     }
 
-    fn read_region(&self, name: &str, index: usize) -> Result<i64, GraftError> {
-        self.interp.regions.read(name, index)
+    fn read_region_id(&self, id: RegionId, index: usize) -> Result<i64, GraftError> {
+        self.interp.regions.read_id(id, index)
     }
 
-    fn write_region(&mut self, name: &str, index: usize, value: i64) -> Result<(), GraftError> {
-        self.interp.regions.write(name, index, value)
+    fn write_region_id(
+        &mut self,
+        id: RegionId,
+        index: usize,
+        value: i64,
+    ) -> Result<(), GraftError> {
+        self.interp.regions.write_id(id, index, value)
     }
 
-    fn read_region_slice(
+    fn read_region_slice_id(
         &self,
-        name: &str,
+        id: RegionId,
         offset: usize,
         out: &mut [i64],
     ) -> Result<(), GraftError> {
-        self.interp.regions.read_slice(name, offset, out)
+        self.interp.regions.read_slice_id(id, offset, out)
     }
 
     fn set_fuel(&mut self, fuel: Option<u64>) {
@@ -197,6 +225,50 @@ proc mul {x} { global scale; return [expr $x * $scale] }
         let src = "proc f {} { set x 1; return }";
         let mut e = engine(src, &[]);
         assert_eq!(e.invoke("f", &[]).unwrap(), 0);
+    }
+
+    #[test]
+    fn bind_then_invoke_matches_string_invoke() {
+        let src = "proc add {a b} { return [expr $a + $b] }";
+        let mut e = engine(src, &[RegionSpec::data("buf", 4)]);
+        let id = e.bind_entry("add").unwrap();
+        assert_eq!(e.bind_entry("add").unwrap(), id);
+        assert_eq!(e.invoke_id(id, &[40, 2]).unwrap(), 42);
+        assert_eq!(e.invoke("add", &[40, 2]).unwrap(), 42);
+        assert!(e.bind_entry("missing").is_err());
+
+        let buf = e.bind_region("buf").unwrap();
+        e.load_region_id(buf, 0, &[3, 4]).unwrap();
+        assert_eq!(e.read_region_id(buf, 1).unwrap(), 4);
+        assert!(e.bind_region("nope").is_err());
+    }
+
+    #[test]
+    fn stale_handles_trap_deterministically() {
+        let mut e = engine("proc f {} { return 0 }", &[RegionSpec::data("buf", 2)]);
+        let err = e.invoke_id(graft_api::EntryId(12), &[]).unwrap_err();
+        assert!(matches!(
+            err.as_trap(),
+            Some(Trap::BadHandle { kind: "entry", id: 12 })
+        ));
+        let err = e.read_region_id(graft_api::RegionId(8), 0).unwrap_err();
+        assert!(matches!(
+            err.as_trap(),
+            Some(Trap::BadHandle { kind: "region", id: 8 })
+        ));
+    }
+
+    #[test]
+    fn bound_slot_survives_proc_redefinition() {
+        // Tcl semantics: `proc` redefinition replaces the body but a
+        // pre-bound handle keeps working and sees the new definition.
+        let src = "proc f {} { return 1 }";
+        let mut e = engine(src, &[]);
+        let id = e.bind_entry("f").unwrap();
+        assert_eq!(e.invoke_id(id, &[]).unwrap(), 1);
+        e.eval("proc f {} { return 2 }").unwrap();
+        assert_eq!(e.bind_entry("f").unwrap(), id, "slot is stable");
+        assert_eq!(e.invoke_id(id, &[]).unwrap(), 2);
     }
 
     #[test]

@@ -151,7 +151,7 @@ impl Scenario {
     /// one level-3 B-tree page. The queue head is guaranteed not hot,
     /// the common case whose cost Table 2 reports.
     pub fn from_btree(model: &BtreeModel, resident: usize, hot_len: usize, seed: u64) -> Self {
-        assert!(resident >= 1 && resident <= MAX_QUEUE);
+        assert!((1..=MAX_QUEUE).contains(&resident));
         assert!(hot_len <= MAX_HOT);
         let mut rng = SmallRng::seed_from_u64(seed);
         let l3 = rng.gen_range(0..model.l3_pages);
@@ -201,8 +201,12 @@ impl Scenario {
     pub fn marshal(&self, engine: &mut dyn ExtensionEngine) -> Result<(i64, i64), GraftError> {
         let lru = linked_words(&self.queue, MAX_QUEUE);
         let hot = linked_words(&self.hot, MAX_HOT);
-        engine.load_region("lru", 0, &lru)?;
-        engine.load_region("hot", 0, &hot)?;
+        // Two-phase ABI: resolve region names to handles, then bulk-load
+        // by id (one upcall each under the user-level technology).
+        let lru_id = engine.bind_region("lru")?;
+        let hot_id = engine.bind_region("hot")?;
+        engine.load_region_id(lru_id, 0, &lru)?;
+        engine.load_region_id(hot_id, 0, &hot)?;
         Ok((head_ptr(&self.queue), head_ptr(&self.hot)))
     }
 

@@ -148,8 +148,12 @@ pub fn spec_sized(blocks: usize) -> GraftSpec {
 /// Marshals the initial "all unmapped" state into an engine.
 pub fn init_map(engine: &mut dyn ExtensionEngine, blocks: usize) -> Result<(), GraftError> {
     let unmapped = vec![-1i64; blocks];
-    engine.load_region("map", 0, &unmapped)?;
-    engine.invoke("ld_init", &[]).map(|_| ())
+    // Two-phase ABI: one bind each, then the bulk load and init call go
+    // through handles (one upcall apiece under the user-level row).
+    let map = engine.bind_region("map")?;
+    let init = engine.bind_entry("ld_init")?;
+    engine.load_region_id(map, 0, &unmapped)?;
+    engine.invoke_id(init, &[]).map(|_| ())
 }
 
 #[cfg(test)]

@@ -20,8 +20,8 @@
 //! bytes in `msg`), `md5_state(i)` (read chaining word *i*).
 
 use graft_api::{
-    ExtensionEngine, GraftClass, GraftError, GraftSpec, Motivation, NativeGraft, RegionSpec,
-    RegionStore,
+    EntryId, ExtensionEngine, GraftClass, GraftError, GraftSpec, Motivation, NativeGraft,
+    RegionId, RegionSpec, RegionStore,
 };
 
 /// Bytes marshalled per `md5_blocks` call (must be a multiple of 64).
@@ -257,19 +257,10 @@ proc md5_state {{i}} {{
 }
 
 /// Native implementation of the same ABI (regions in, state in fields).
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct NativeMd5 {
     state: [u64; 4],
     total: u64,
-}
-
-impl Default for NativeMd5 {
-    fn default() -> Self {
-        NativeMd5 {
-            state: [0; 4],
-            total: 0,
-        }
-    }
 }
 
 impl NativeMd5 {
@@ -379,16 +370,32 @@ pub struct Md5Graft<'e> {
     /// Tail bytes not yet forming a whole 64-byte block.
     pending: Vec<u8>,
     words: Vec<i64>,
+    /// Pre-bound handles (two-phase ABI): names are resolved once in
+    /// [`Md5Graft::start`]; the streaming hot path below is entirely
+    /// id-based — no string lookup per chunk.
+    msg: RegionId,
+    e_blocks: EntryId,
+    e_final: EntryId,
+    e_state: EntryId,
 }
 
 impl<'e> Md5Graft<'e> {
     /// Starts a fingerprint on `engine` (which must host the MD5 graft).
     pub fn start(engine: &'e mut dyn ExtensionEngine) -> Result<Self, GraftError> {
-        engine.invoke("md5_init", &[])?;
+        let msg = engine.bind_region("msg")?;
+        let e_init = engine.bind_entry("md5_init")?;
+        let e_blocks = engine.bind_entry("md5_blocks")?;
+        let e_final = engine.bind_entry("md5_final")?;
+        let e_state = engine.bind_entry("md5_state")?;
+        engine.invoke_id(e_init, &[])?;
         Ok(Md5Graft {
             engine,
             pending: Vec::with_capacity(64),
             words: vec![0i64; CHUNK],
+            msg,
+            e_blocks,
+            e_final,
+            e_state,
         })
     }
 
@@ -419,12 +426,14 @@ impl<'e> Md5Graft<'e> {
     }
 
     fn feed_blocks(&mut self, bytes: &[u8]) -> Result<(), GraftError> {
-        debug_assert!(bytes.len() % 64 == 0 && bytes.len() <= CHUNK);
+        debug_assert!(bytes.len().is_multiple_of(64) && bytes.len() <= CHUNK);
         for (w, &b) in self.words.iter_mut().zip(bytes) {
             *w = b as i64;
         }
-        self.engine.load_region("msg", 0, &self.words[..bytes.len()])?;
-        self.engine.invoke("md5_blocks", &[(bytes.len() / 64) as i64])
+        self.engine
+            .load_region_id(self.msg, 0, &self.words[..bytes.len()])?;
+        self.engine
+            .invoke_id(self.e_blocks, &[(bytes.len() / 64) as i64])
             .map(|_| ())
     }
 
@@ -432,11 +441,11 @@ impl<'e> Md5Graft<'e> {
     pub fn finish(self) -> Result<[u8; 16], GraftError> {
         let rem = self.pending.len();
         let tail: Vec<i64> = self.pending.iter().map(|&b| b as i64).collect();
-        self.engine.load_region("msg", 0, &tail)?;
-        self.engine.invoke("md5_final", &[rem as i64])?;
+        self.engine.load_region_id(self.msg, 0, &tail)?;
+        self.engine.invoke_id(self.e_final, &[rem as i64])?;
         let mut out = [0u8; 16];
         for i in 0..4 {
-            let w = self.engine.invoke("md5_state", &[i as i64])? as u32;
+            let w = self.engine.invoke_id(self.e_state, &[i as i64])? as u32;
             out[i * 4..i * 4 + 4].copy_from_slice(&w.to_le_bytes());
         }
         Ok(out)

@@ -58,8 +58,8 @@ fn leaders(func: &IrFunc) -> Vec<bool> {
 fn fold_constants(func: &mut IrFunc) {
     let leader = leaders(func);
     let mut known: HashMap<Reg, i64> = HashMap::new();
-    for at in 0..func.code.len() {
-        if leader[at] {
+    for (at, &is_leader) in leader.iter().enumerate() {
+        if is_leader {
             known.clear();
         }
         let replacement = match &func.code[at] {
@@ -119,12 +119,9 @@ fn fold_constants(func: &mut IrFunc) {
                 cond,
                 then_t,
                 else_t,
-            } => match known.get(cond).copied() {
-                Some(v) => Some(Inst::Jmp {
-                    target: if v != 0 { *then_t } else { *else_t },
-                }),
-                None => None,
-            },
+            } => known.get(cond).copied().map(|v| Inst::Jmp {
+                target: if v != 0 { *then_t } else { *else_t },
+            }),
             // Any other writer invalidates what we knew about `dst`.
             Inst::Load { dst, .. }
             | Inst::GlobalGet { dst, .. }

@@ -102,7 +102,7 @@ fn verify_func(module: &Module, func: &IrFunc, allow_masked: bool) -> Result<(),
                 }
                 reg_ok(*dst) && args.iter().all(|a| reg_ok(*a))
             }
-            Inst::Ret { src } => src.map_or(true, reg_ok),
+            Inst::Ret { src } => src.is_none_or(reg_ok),
             Inst::Abort { code } => reg_ok(*code),
             Inst::Mask { dst, src, .. } => {
                 if !allow_masked {

@@ -54,6 +54,21 @@ impl Sample {
         Duration::from_nanos(self.min_ns as u64)
     }
 
+    /// Rescales the sample to a per-sub-iteration cost: when each timed
+    /// iteration performed `n` inner operations (a batched round trip of
+    /// `n` calls, say), `per(n)` reports the cost of one operation. The
+    /// relative deviation is unchanged by the rescale.
+    pub fn per(self, n: usize) -> Sample {
+        assert!(n > 0);
+        let d = n as f64;
+        Sample {
+            mean_ns: self.mean_ns / d,
+            min_ns: self.min_ns / d,
+            median_ns: self.median_ns / d,
+            ..self
+        }
+    }
+
     /// Mean in microseconds.
     pub fn mean_us(&self) -> f64 {
         self.mean_ns / 1_000.0

@@ -13,22 +13,70 @@
 //! domain-crossing cost on a machine we cannot equip with a 1996
 //! microkernel. A configurable synthetic latency can be added per
 //! invocation for sweeps.
+//!
+//! # Two-phase wire protocol
+//!
+//! The transport speaks the bind/invoke ABI natively: names cross the
+//! boundary only during `bind_entry`/`bind_region` (cached client-side,
+//! so each name crosses once); every steady-state request carries
+//! pre-bound ids. Request payload buffers (`Vec<i64>`) are *round-
+//! tripped* — the server hands each buffer back in its reply and the
+//! client pools it for the next request — so the steady state allocates
+//! nothing on either side of the boundary. [`invoke_batch`] ships many
+//! calls in one rendezvous, amortizing the domain-crossing cost exactly
+//! the way the paper's Logical-Disk graft amortizes disk writes.
+//!
+//! [`invoke_batch`]: ExtensionEngine::invoke_batch
 
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use graft_api::{ExtensionEngine, GraftError, Technology};
+use graft_api::{EntryId, ExtensionEngine, GraftError, RegionId, Technology};
 use graft_telemetry::{counter, histogram};
+
+/// Most buffers the client keeps pooled; beyond this they are dropped.
+const BUF_POOL_CAP: usize = 4;
 
 enum Request {
     Ping,
-    Invoke { entry: String, args: Vec<i64> },
-    LoadRegion { name: String, offset: usize, data: Vec<i64> },
-    ReadRegion { name: String, index: usize },
-    WriteRegion { name: String, index: usize, value: i64 },
-    ReadSlice { name: String, offset: usize, len: usize },
+    /// Load-time name resolution (the only requests carrying strings).
+    BindEntry(String),
+    BindRegion(String),
+    /// Steady-state, id-based operations. Each `Vec` is a pooled buffer
+    /// the server must hand back in its reply.
+    InvokeId {
+        entry: EntryId,
+        args: Vec<i64>,
+    },
+    InvokeBatch {
+        entry: EntryId,
+        calls: usize,
+        args: Vec<i64>,
+        results: Vec<i64>,
+    },
+    LoadRegionId {
+        id: RegionId,
+        offset: usize,
+        data: Vec<i64>,
+    },
+    ReadRegionId {
+        id: RegionId,
+        index: usize,
+    },
+    WriteRegionId {
+        id: RegionId,
+        index: usize,
+        value: i64,
+    },
+    ReadSliceId {
+        id: RegionId,
+        offset: usize,
+        buf: Vec<i64>,
+    },
     SetFuel(Option<u64>),
     FuelUsed,
     Shutdown,
@@ -37,7 +85,18 @@ enum Request {
 enum Reply {
     Unit(Result<(), GraftError>),
     Int(Result<i64, GraftError>),
-    Slice(Result<Vec<i64>, GraftError>),
+    /// Result plus the round-tripped request buffer.
+    IntBuf(Result<i64, GraftError>, Vec<i64>),
+    UnitBuf(Result<(), GraftError>, Vec<i64>),
+    /// `read_region_slice_id`: the buffer comes back filled on success.
+    SliceBuf(Result<(), GraftError>, Vec<i64>),
+    Batch {
+        result: Result<(), GraftError>,
+        args: Vec<i64>,
+        results: Vec<i64>,
+    },
+    Entry(Result<EntryId, GraftError>),
+    Region(Result<RegionId, GraftError>),
     Fuel(Option<u64>),
 }
 
@@ -51,6 +110,14 @@ pub struct UpcallEngine {
     /// Requests posted but not yet answered (the transport's queue
     /// depth; 0 or 1 for a rendezvous channel, recorded for telemetry).
     in_flight: Arc<AtomicUsize>,
+    /// Client-side bind caches: each name crosses the boundary once.
+    /// `RefCell` because reads (`bind_region`, `read_region`) arrive
+    /// through `&self`; the engine is `Send` but not `Sync`, matching
+    /// the trait contract.
+    entry_cache: RefCell<HashMap<String, EntryId>>,
+    region_cache: RefCell<HashMap<String, RegionId>>,
+    /// Pooled request buffers, round-tripped through the server.
+    buf_pool: RefCell<Vec<Vec<i64>>>,
 }
 
 impl UpcallEngine {
@@ -73,6 +140,9 @@ impl UpcallEngine {
             synthetic_latency: Duration::ZERO,
             inner_technology,
             in_flight: Arc::new(AtomicUsize::new(0)),
+            entry_cache: RefCell::new(HashMap::new()),
+            region_cache: RefCell::new(HashMap::new()),
+            buf_pool: RefCell::new(Vec::new()),
         }
     }
 
@@ -86,6 +156,29 @@ impl UpcallEngine {
     /// The technology of the engine hosted inside the server.
     pub fn inner_technology(&self) -> Technology {
         self.inner_technology
+    }
+
+    /// Takes a pooled request buffer (empty, capacity retained) or a
+    /// fresh one when the pool is dry.
+    fn take_buf(&self) -> Vec<i64> {
+        match self.buf_pool.borrow_mut().pop() {
+            Some(buf) => {
+                if graft_telemetry::enabled() {
+                    counter!("upcall.allocs_saved").incr();
+                }
+                buf
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Returns a round-tripped buffer to the pool.
+    fn give_buf(&self, mut buf: Vec<i64>) {
+        buf.clear();
+        let mut pool = self.buf_pool.borrow_mut();
+        if pool.len() < BUF_POOL_CAP {
+            pool.push(buf);
+        }
     }
 
     fn rpc(&self, req: Request) -> Reply {
@@ -118,6 +211,25 @@ impl UpcallEngine {
             let _ = self.rpc(Request::Ping);
         })
     }
+
+    /// Measures the *per-call* cost of the batched invoke path: each
+    /// timed round trip carries `batch` calls of the pre-bound `entry`
+    /// (arity 0). Reported per call, directly comparable with
+    /// [`Self::measure_roundtrip`].
+    pub fn measure_batched(
+        &mut self,
+        entry: EntryId,
+        batch: usize,
+        roundtrips: usize,
+    ) -> crate::stats::Sample {
+        assert!(batch > 0 && roundtrips > 0);
+        let mut out = Vec::with_capacity(batch);
+        crate::stats::measure_per_iter(10, roundtrips, || {
+            out.clear();
+            let _ = self.invoke_batch(entry, batch, &[], &mut out);
+        })
+        .per(batch)
+    }
 }
 
 impl Drop for UpcallEngine {
@@ -129,29 +241,44 @@ impl Drop for UpcallEngine {
     }
 }
 
-fn serve(
-    mut engine: Box<dyn ExtensionEngine>,
-    rx: Receiver<Request>,
-    tx: SyncSender<Reply>,
-) {
+fn serve(mut engine: Box<dyn ExtensionEngine>, rx: Receiver<Request>, tx: SyncSender<Reply>) {
     while let Ok(req) = rx.recv() {
         let reply = match req {
             Request::Ping => Reply::Unit(Ok(())),
-            Request::Invoke { entry, args } => Reply::Int(engine.invoke(&entry, &args)),
-            Request::LoadRegion { name, offset, data } => {
-                Reply::Unit(engine.load_region(&name, offset, &data))
+            Request::BindEntry(name) => Reply::Entry(engine.bind_entry(&name)),
+            Request::BindRegion(name) => Reply::Region(engine.bind_region(&name)),
+            Request::InvokeId { entry, args } => {
+                let r = engine.invoke_id(entry, &args);
+                Reply::IntBuf(r, args)
             }
-            Request::ReadRegion { name, index } => Reply::Int(engine.read_region(&name, index)),
-            Request::WriteRegion { name, index, value } => {
-                Reply::Unit(engine.write_region(&name, index, value))
+            Request::InvokeBatch {
+                entry,
+                calls,
+                args,
+                mut results,
+            } => {
+                let result = engine.invoke_batch(entry, calls, &args, &mut results);
+                Reply::Batch {
+                    result,
+                    args,
+                    results,
+                }
             }
-            Request::ReadSlice { name, offset, len } => {
-                let mut out = vec![0i64; len];
-                Reply::Slice(
-                    engine
-                        .read_region_slice(&name, offset, &mut out)
-                        .map(|()| out),
-                )
+            Request::LoadRegionId { id, offset, data } => {
+                let r = engine.load_region_id(id, offset, &data);
+                Reply::UnitBuf(r, data)
+            }
+            Request::ReadRegionId { id, index } => Reply::Int(engine.read_region_id(id, index)),
+            Request::WriteRegionId { id, index, value } => {
+                Reply::Unit(engine.write_region_id(id, index, value))
+            }
+            Request::ReadSliceId {
+                id,
+                offset,
+                mut buf,
+            } => {
+                let r = engine.read_region_slice_id(id, offset, &mut buf);
+                Reply::SliceBuf(r, buf)
             }
             Request::SetFuel(f) => {
                 engine.set_fuel(f);
@@ -175,64 +302,158 @@ impl ExtensionEngine for UpcallEngine {
         Technology::UserLevel
     }
 
-    fn invoke(&mut self, entry: &str, args: &[i64]) -> Result<i64, GraftError> {
-        match self.rpc(Request::Invoke {
-            entry: entry.to_string(),
-            args: args.to_vec(),
-        }) {
-            Reply::Int(r) => r,
+    fn bind_entry(&mut self, entry: &str) -> Result<EntryId, GraftError> {
+        if let Some(&id) = self.entry_cache.borrow().get(entry) {
+            if graft_telemetry::enabled() {
+                counter!("upcall.bind_cache_hits").incr();
+            }
+            return Ok(id);
+        }
+        if graft_telemetry::enabled() {
+            counter!("upcall.bind_cache_misses").incr();
+        }
+        match self.rpc(Request::BindEntry(entry.to_string())) {
+            Reply::Entry(Ok(id)) => {
+                self.entry_cache
+                    .borrow_mut()
+                    .insert(entry.to_string(), id);
+                Ok(id)
+            }
+            Reply::Entry(Err(e)) => Err(e),
             _ => Err(transport_err()),
         }
     }
 
-    fn load_region(&mut self, name: &str, offset: usize, data: &[i64]) -> Result<(), GraftError> {
-        match self.rpc(Request::LoadRegion {
-            name: name.to_string(),
+    fn bind_region(&self, name: &str) -> Result<RegionId, GraftError> {
+        if let Some(&id) = self.region_cache.borrow().get(name) {
+            if graft_telemetry::enabled() {
+                counter!("upcall.bind_cache_hits").incr();
+            }
+            return Ok(id);
+        }
+        if graft_telemetry::enabled() {
+            counter!("upcall.bind_cache_misses").incr();
+        }
+        match self.rpc(Request::BindRegion(name.to_string())) {
+            Reply::Region(Ok(id)) => {
+                self.region_cache
+                    .borrow_mut()
+                    .insert(name.to_string(), id);
+                Ok(id)
+            }
+            Reply::Region(Err(e)) => Err(e),
+            _ => Err(transport_err()),
+        }
+    }
+
+    fn invoke_id(&mut self, entry: EntryId, args: &[i64]) -> Result<i64, GraftError> {
+        let mut buf = self.take_buf();
+        buf.extend_from_slice(args);
+        match self.rpc(Request::InvokeId { entry, args: buf }) {
+            Reply::IntBuf(r, buf) => {
+                self.give_buf(buf);
+                r
+            }
+            _ => Err(transport_err()),
+        }
+    }
+
+    fn invoke_batch(
+        &mut self,
+        entry: EntryId,
+        calls: usize,
+        args_flat: &[i64],
+        out: &mut Vec<i64>,
+    ) -> Result<(), GraftError> {
+        // Validate the shape before crossing the boundary so malformed
+        // batches fail identically to the in-process engines.
+        graft_api::engine::batch_arity(calls, args_flat.len())?;
+        let mut args = self.take_buf();
+        args.extend_from_slice(args_flat);
+        let results = self.take_buf();
+        if graft_telemetry::enabled() {
+            counter!("upcall.batches").incr();
+            counter!("upcall.batch_calls").add(calls as u64);
+            histogram!("upcall.batch_size").record(calls as u64);
+        }
+        match self.rpc(Request::InvokeBatch {
+            entry,
+            calls,
+            args,
+            results,
+        }) {
+            Reply::Batch {
+                result,
+                args,
+                results,
+            } => {
+                // Even on a mid-batch trap the completed prefix comes
+                // back, matching the in-process `invoke_batch` contract.
+                out.extend_from_slice(&results);
+                self.give_buf(args);
+                self.give_buf(results);
+                result
+            }
+            _ => Err(transport_err()),
+        }
+    }
+
+    fn load_region_id(
+        &mut self,
+        id: RegionId,
+        offset: usize,
+        data: &[i64],
+    ) -> Result<(), GraftError> {
+        let mut buf = self.take_buf();
+        buf.extend_from_slice(data);
+        match self.rpc(Request::LoadRegionId {
+            id,
             offset,
-            data: data.to_vec(),
+            data: buf,
         }) {
-            Reply::Unit(r) => r,
+            Reply::UnitBuf(r, buf) => {
+                self.give_buf(buf);
+                r
+            }
             _ => Err(transport_err()),
         }
     }
 
-    fn read_region(&self, name: &str, index: usize) -> Result<i64, GraftError> {
-        match self.rpc(Request::ReadRegion {
-            name: name.to_string(),
-            index,
-        }) {
+    fn read_region_id(&self, id: RegionId, index: usize) -> Result<i64, GraftError> {
+        match self.rpc(Request::ReadRegionId { id, index }) {
             Reply::Int(r) => r,
             _ => Err(transport_err()),
         }
     }
 
-    fn write_region(&mut self, name: &str, index: usize, value: i64) -> Result<(), GraftError> {
-        match self.rpc(Request::WriteRegion {
-            name: name.to_string(),
-            index,
-            value,
-        }) {
+    fn write_region_id(
+        &mut self,
+        id: RegionId,
+        index: usize,
+        value: i64,
+    ) -> Result<(), GraftError> {
+        match self.rpc(Request::WriteRegionId { id, index, value }) {
             Reply::Unit(r) => r,
             _ => Err(transport_err()),
         }
     }
 
-    fn read_region_slice(
+    fn read_region_slice_id(
         &self,
-        name: &str,
+        id: RegionId,
         offset: usize,
         out: &mut [i64],
     ) -> Result<(), GraftError> {
-        match self.rpc(Request::ReadSlice {
-            name: name.to_string(),
-            offset,
-            len: out.len(),
-        }) {
-            Reply::Slice(Ok(data)) => {
-                out.copy_from_slice(&data);
-                Ok(())
+        let mut buf = self.take_buf();
+        buf.resize(out.len(), 0);
+        match self.rpc(Request::ReadSliceId { id, offset, buf }) {
+            Reply::SliceBuf(r, buf) => {
+                if r.is_ok() {
+                    out.copy_from_slice(&buf);
+                }
+                self.give_buf(buf);
+                r
             }
-            Reply::Slice(Err(e)) => Err(e),
             _ => Err(transport_err()),
         }
     }
@@ -253,7 +474,7 @@ impl ExtensionEngine for UpcallEngine {
 mod tests {
     use super::*;
     use engine_native::{load_grail, SafetyMode};
-    use graft_api::RegionSpec;
+    use graft_api::{RegionSpec, Trap};
 
     fn upcalled() -> UpcallEngine {
         let src = "fn add(a: int, b: int) -> int { buf[0] = a + b; return a + b; }\n\
@@ -320,5 +541,99 @@ mod tests {
             slow.mean_ns,
             fast.mean_ns
         );
+    }
+
+    #[test]
+    fn bind_then_invoke_matches_string_invoke_across_the_boundary() {
+        let mut e = upcalled();
+        let id = e.bind_entry("add").unwrap();
+        assert_eq!(e.bind_entry("add").unwrap(), id, "cached bind is stable");
+        assert_eq!(e.invoke_id(id, &[20, 22]).unwrap(), 42);
+        assert_eq!(e.invoke("add", &[20, 22]).unwrap(), 42);
+        assert!(e.bind_entry("missing").is_err());
+
+        let buf = e.bind_region("buf").unwrap();
+        assert_eq!(e.bind_region("buf").unwrap(), buf);
+        e.load_region_id(buf, 1, &[5, 6]).unwrap();
+        assert_eq!(e.read_region_id(buf, 2).unwrap(), 6);
+        e.write_region_id(buf, 3, 7).unwrap();
+        let mut out = [0i64; 3];
+        e.read_region_slice_id(buf, 1, &mut out).unwrap();
+        assert_eq!(out, [5, 6, 7]);
+        assert!(e.bind_region("nope").is_err());
+    }
+
+    #[test]
+    fn stale_handles_trap_across_the_boundary() {
+        let mut e = upcalled();
+        let err = e.invoke_id(EntryId(44), &[]).unwrap_err();
+        assert!(matches!(
+            err.as_trap(),
+            Some(Trap::BadHandle { kind: "entry", id: 44 })
+        ));
+        let err = e.read_region_id(RegionId(33), 0).unwrap_err();
+        assert!(matches!(
+            err.as_trap(),
+            Some(Trap::BadHandle { kind: "region", id: 33 })
+        ));
+    }
+
+    #[test]
+    fn batched_invoke_runs_many_calls_per_round_trip() {
+        let mut e = upcalled();
+        let id = e.bind_entry("add").unwrap();
+        let mut out = Vec::new();
+        e.invoke_batch(id, 3, &[1, 2, 10, 20, 100, 200], &mut out)
+            .unwrap();
+        assert_eq!(out, [3, 30, 300]);
+        // A malformed shape fails on the client side without crossing.
+        let mut out2 = Vec::new();
+        assert!(e.invoke_batch(id, 2, &[1, 2, 3], &mut out2).is_err());
+        assert!(out2.is_empty());
+    }
+
+    #[test]
+    fn batched_invoke_returns_the_completed_prefix_on_trap() {
+        let src = "fn inv(d: int) -> int { return 100 / d; }";
+        let inner = load_grail(src, &[], SafetyMode::Safe { nil_checks: true }).unwrap();
+        let mut e = UpcallEngine::new(Box::new(inner));
+        let id = e.bind_entry("inv").unwrap();
+        let mut out = Vec::new();
+        let err = e.invoke_batch(id, 4, &[1, 2, 0, 4], &mut out).unwrap_err();
+        assert_eq!(err.as_trap(), Some(&Trap::DivByZero));
+        assert_eq!(out, [100, 50], "prefix before the faulting call");
+    }
+
+    #[test]
+    fn batched_measurement_is_cheaper_per_call_than_single() {
+        let mut e = upcalled();
+        let id = e.bind_entry("spin").unwrap();
+        let single = e.measure_roundtrip(400);
+        let batched = e.measure_batched_noop(id, 64, 400);
+        assert!(
+            batched.min_ns < single.min_ns,
+            "batching must amortize the round trip: batched={} single={}",
+            batched.min_ns,
+            single.min_ns
+        );
+    }
+
+    impl UpcallEngine {
+        /// Test helper: batched measurement against `spin(0)`-style
+        /// 1-arg entry with constant argument 0.
+        fn measure_batched_noop(
+            &mut self,
+            entry: EntryId,
+            batch: usize,
+            roundtrips: usize,
+        ) -> crate::stats::Sample {
+            let args = vec![0i64; batch];
+            let mut out = Vec::with_capacity(batch);
+            crate::stats::measure_per_iter(10, roundtrips, || {
+                out.clear();
+                let _ = self.invoke_batch(entry, batch, &args, &mut out);
+            })
+            .per(batch)
+        }
     }
 }

@@ -103,7 +103,7 @@ impl LogicalDisk {
     pub fn new(config: LdConfig) -> Self {
         assert!(config.segment_blocks > 0, "segments must hold blocks");
         assert!(
-            config.blocks % config.segment_blocks == 0,
+            config.blocks.is_multiple_of(config.segment_blocks),
             "disk size must be a whole number of segments"
         );
         LogicalDisk {

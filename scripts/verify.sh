@@ -22,6 +22,9 @@ trap 'rm -f "$ART"' EXIT
 echo "==> cargo build --release --offline"
 cargo build --release --offline
 
+echo "==> cargo clippy --workspace (warnings are errors)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
 echo "==> cargo test --offline --workspace"
 cargo test -q --offline --workspace
 
@@ -36,5 +39,27 @@ cargo run --release --offline -q -p graft-bench --bin graftstat -- \
 echo "==> graftstat summary"
 cargo run --release --offline -q -p graft-bench --bin graftstat -- "$ART" \
     | head -5
+
+# Regression gate: fresh quick run vs the committed seed baseline.
+# Shared-container timing is noisy, so the gate is generous (200%):
+# it exists to catch order-of-magnitude regressions (a string lookup
+# sneaking back onto a hot path), not scheduler jitter. One-sided keys
+# alone (new samples such as the batched-upcall figure, absent from
+# baselines that predate an ABI change) are reported but tolerated.
+if [ -f BENCH_seed.json ]; then
+    echo "==> graftstat regression gate vs BENCH_seed.json (threshold 200%)"
+    GATE=$(cargo run --release --offline -q -p graft-bench --bin graftstat -- \
+        BENCH_seed.json "$ART" --threshold 200) || {
+        case "$GATE" in
+            *"drift: 0 of"*) : ;; # no shared sample moved; only one-sided keys
+            *)
+                echo "$GATE"
+                echo "regression gate FAILED"
+                exit 1
+                ;;
+        esac
+    }
+    echo "$GATE" | tail -1
+fi
 
 echo "verify: OK"

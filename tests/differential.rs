@@ -182,11 +182,180 @@ fn region_semantics_match_a_flat_array() {
                 eng.invoke("put", &[i as i64, v]).unwrap();
             }
         }
-        for i in 0..32usize {
+        for (i, &want) in model.iter().enumerate() {
             for eng in engines.iter_mut() {
-                assert_eq!(eng.invoke("get", &[i as i64]).unwrap(), model[i]);
+                assert_eq!(eng.invoke("get", &[i as i64]).unwrap(), want);
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Two-phase ABI conformance: for every technology and graft, the
+// bind-then-invoke fast path must compute exactly what the legacy
+// string-keyed path computes, and bad handles must fail deterministically
+// (a trap, never UB or a panic).
+// ---------------------------------------------------------------------
+
+use graftbench::api::{EntryId, GraftError, RegionId, Technology, Trap};
+use graftbench::core::GraftManager;
+
+/// Engines for every technology that can host `spec` (missing sources
+/// are skipped, mirroring the paper's blank table cells).
+fn engines_for(spec: &graftbench::api::GraftSpec) -> Vec<(Technology, Box<dyn ExtensionEngine>)> {
+    let manager = GraftManager::new();
+    Technology::ALL
+        .into_iter()
+        .filter_map(|tech| match manager.load(spec, tech) {
+            Ok(engine) => Some((tech, engine)),
+            Err(GraftError::Unavailable { .. }) => None,
+            Err(err) => panic!("{tech:?}: unexpected load failure: {err}"),
+        })
+        .collect()
+}
+
+/// Property: `bind_entry` + `invoke_id` ≡ string `invoke`, and
+/// `invoke_batch` ≡ the same calls one by one — for every technology,
+/// on the paper's eviction graft.
+#[test]
+fn bind_then_invoke_matches_string_invoke_on_every_technology() {
+    let spec = graftbench::grafts::eviction::spec();
+    let scenario = graftbench::grafts::eviction::Scenario::paper_default(9);
+    for (tech, mut engine) in engines_for(&spec) {
+        let (lru, hot) = scenario.marshal(engine.as_mut()).unwrap();
+        let via_string = engine.invoke("select_victim", &[lru, hot]).unwrap();
+        let id = engine.bind_entry("select_victim").unwrap();
+        assert_eq!(
+            engine.bind_entry("select_victim").unwrap(),
+            id,
+            "{tech:?}: bind must be idempotent"
+        );
+        let via_id = engine.invoke_id(id, &[lru, hot]).unwrap();
+        assert_eq!(via_id, via_string, "{tech:?}: handle path diverged");
+        assert_eq!(via_id, scenario.reference_victim() as i64, "{tech:?}");
+
+        // A batch of four identical calls returns four identical results.
+        let args = [lru, hot, lru, hot, lru, hot, lru, hot];
+        let mut out = Vec::new();
+        engine.invoke_batch(id, 4, &args, &mut out).unwrap();
+        assert_eq!(out, vec![via_id; 4], "{tech:?}: batch diverged");
+    }
+}
+
+/// Property: the logdisk write stream produces identical bookkeeping
+/// whether driven by string invokes or by handle-based batches.
+#[test]
+fn batched_writes_match_string_driven_writes() {
+    let spec = graftbench::grafts::logdisk::spec_sized(512);
+    let writes: Vec<i64> = graftbench::logdisk::workload::skewed(512, 512, 3)
+        .map(|w| w as i64)
+        .collect();
+    for (tech, mut by_name) in engines_for(&spec) {
+        let mut by_id = GraftManager::new().load(&spec, tech).unwrap();
+        graftbench::grafts::logdisk::init_map(by_name.as_mut(), 512).unwrap();
+        graftbench::grafts::logdisk::init_map(by_id.as_mut(), 512).unwrap();
+        let mut flushes_name = 0i64;
+        for &w in &writes {
+            flushes_name += by_name.invoke("ld_write", &[w]).unwrap();
+        }
+        let wr = by_id.bind_entry("ld_write").unwrap();
+        let mut out = Vec::new();
+        for chunk in writes.chunks(32) {
+            by_id.invoke_batch(wr, chunk.len(), chunk, &mut out).unwrap();
+        }
+        let flushes_id: i64 = out.iter().sum();
+        assert_eq!(flushes_id, flushes_name, "{tech:?}: flush counts differ");
+        for stat in 0..3 {
+            assert_eq!(
+                by_id.invoke("ld_stat", &[stat]).unwrap(),
+                by_name.invoke("ld_stat", &[stat]).unwrap(),
+                "{tech:?}: ld_stat({stat}) differs"
+            );
+        }
+    }
+}
+
+/// Property: region handles and region names address the same storage.
+#[test]
+fn region_handles_alias_region_names_on_every_technology() {
+    let spec = graftbench::grafts::md5::spec();
+    for (tech, mut engine) in engines_for(&spec) {
+        let msg = engine.bind_region("msg").unwrap();
+        engine.load_region_id(msg, 0, &[7, 8, 9]).unwrap();
+        assert_eq!(engine.read_region("msg", 1).unwrap(), 8, "{tech:?}");
+        engine.write_region("msg", 1, 80).unwrap();
+        assert_eq!(engine.read_region_id(msg, 1).unwrap(), 80, "{tech:?}");
+        let mut out = [0i64; 3];
+        engine.read_region_slice_id(msg, 0, &mut out).unwrap();
+        assert_eq!(out, [7, 80, 9], "{tech:?}");
+        assert!(engine.bind_region("no_such_region").is_err(), "{tech:?}");
+    }
+}
+
+/// Negative: binding an undeclared entry fails at bind time — load-time
+/// name resolution is part of the safety story for every technology.
+#[test]
+fn unknown_entries_fail_at_bind_on_every_technology() {
+    let spec = graftbench::grafts::eviction::spec();
+    for (tech, mut engine) in engines_for(&spec) {
+        let err = engine
+            .bind_entry("definitely_not_an_entry")
+            .expect_err(&format!("{tech:?}: bind of unknown entry must fail"));
+        assert!(
+            matches!(
+                err.as_trap(),
+                Some(Trap::NoSuchFunction(_)) | Some(Trap::BadHandle { .. })
+            ),
+            "{tech:?}: wrong error: {err}"
+        );
+    }
+}
+
+/// Negative: stale or forged handles trap deterministically — the same
+/// `BadHandle` shape on every technology, in-process or across the
+/// upcall boundary. Never UB, never a panic.
+#[test]
+fn stale_handles_trap_deterministically_on_every_technology() {
+    let spec = graftbench::grafts::eviction::spec();
+    for (tech, mut engine) in engines_for(&spec) {
+        let err = engine.invoke_id(EntryId(4_000), &[]).unwrap_err();
+        assert!(
+            matches!(err.as_trap(), Some(Trap::BadHandle { kind: "entry", .. })),
+            "{tech:?}: invoke_id: {err}"
+        );
+        let mut out = Vec::new();
+        let err = engine.invoke_batch(EntryId(4_000), 1, &[0], &mut out).unwrap_err();
+        assert!(
+            matches!(err.as_trap(), Some(Trap::BadHandle { kind: "entry", .. })),
+            "{tech:?}: invoke_batch: {err}"
+        );
+        let err = engine.read_region_id(RegionId(9_999), 0).unwrap_err();
+        assert!(
+            matches!(err.as_trap(), Some(Trap::BadHandle { kind: "region", .. })),
+            "{tech:?}: read_region_id: {err}"
+        );
+        let err = engine.write_region_id(RegionId(9_999), 0, 1).unwrap_err();
+        assert!(
+            matches!(err.as_trap(), Some(Trap::BadHandle { kind: "region", .. })),
+            "{tech:?}: write_region_id: {err}"
+        );
+    }
+}
+
+/// Negative: a malformed batch (argument count not divisible by the
+/// call count) is rejected before any call runs.
+#[test]
+fn malformed_batches_are_rejected_up_front() {
+    let spec = graftbench::grafts::eviction::spec();
+    for (tech, mut engine) in engines_for(&spec) {
+        let id = engine.bind_entry("select_victim").unwrap();
+        let mut out = Vec::new();
+        let err = engine.invoke_batch(id, 3, &[1, 2, 3, 4], &mut out).unwrap_err();
+        assert!(
+            matches!(err, GraftError::Verify(_)),
+            "{tech:?}: expected shape error, got {err}"
+        );
+        assert!(out.is_empty(), "{tech:?}: no call may have run");
     }
 }
 
