@@ -1,0 +1,275 @@
+//! Host-side vocabulary for multi-tenant extension hosting.
+//!
+//! The kernel crate (`graft-kernel`) hosts *chains* of grafts at typed
+//! attach points. The types here are the shared contract between the
+//! host and everything that observes it: the per-invocation [`Verdict`]
+//! a chained graft returns, the coarse [`TrapKind`] taxonomy used for
+//! per-graft accounting, and the [`GraftLedger`] that feeds the
+//! quarantine supervisor.
+//!
+//! They live in `graft-api` (not the kernel crate) so that engines,
+//! substrates, and report code can speak them without depending on the
+//! host implementation.
+
+use crate::error::Trap;
+use std::fmt;
+
+/// The outcome of asking one chained graft for its opinion.
+///
+/// Attach points dispatch through an ordered chain. Each graft either
+/// declines (`Continue` — ask the next graft, or fall back to the
+/// built-in kernel policy when the chain is exhausted) or decides
+/// (`Override` — use this value, stop walking the chain).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// No opinion; defer to the rest of the chain or the kernel default.
+    Continue,
+    /// A decision: the attach point interprets the payload (a victim
+    /// page, a read-ahead block, a candidate index, a flush count, ...).
+    Override(i64),
+}
+
+impl Verdict {
+    /// True when this verdict decides the dispatch.
+    pub fn is_override(&self) -> bool {
+        matches!(self, Verdict::Override(_))
+    }
+
+    /// The payload of an `Override`, if any.
+    pub fn value(&self) -> Option<i64> {
+        match self {
+            Verdict::Override(v) => Some(*v),
+            Verdict::Continue => None,
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Continue => f.write_str("continue"),
+            Verdict::Override(v) => write!(f, "override({v})"),
+        }
+    }
+}
+
+/// Coarse classification of a [`Trap`] for fixed-size accounting.
+///
+/// The ledger counts traps by kind rather than by value so that a
+/// hostile graft cannot inflate kernel memory by trapping with a
+/// different payload each time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum TrapKind {
+    /// [`Trap::OutOfBounds`].
+    OutOfBounds = 0,
+    /// [`Trap::NilDeref`].
+    NilDeref = 1,
+    /// [`Trap::DivByZero`].
+    DivByZero = 2,
+    /// [`Trap::FuelExhausted`].
+    FuelExhausted = 3,
+    /// [`Trap::SfiViolation`].
+    SfiViolation = 4,
+    /// [`Trap::TypeError`].
+    TypeError = 5,
+    /// [`Trap::StackOverflow`].
+    StackOverflow = 6,
+    /// [`Trap::NoSuchFunction`].
+    NoSuchFunction = 7,
+    /// [`Trap::BadHandle`].
+    BadHandle = 8,
+    /// [`Trap::Abort`].
+    Abort = 9,
+}
+
+impl TrapKind {
+    /// Number of kinds; the length of [`TrapCounts`]' backing array.
+    pub const COUNT: usize = 10;
+
+    /// All kinds, in `repr` order.
+    pub const ALL: [TrapKind; TrapKind::COUNT] = [
+        TrapKind::OutOfBounds,
+        TrapKind::NilDeref,
+        TrapKind::DivByZero,
+        TrapKind::FuelExhausted,
+        TrapKind::SfiViolation,
+        TrapKind::TypeError,
+        TrapKind::StackOverflow,
+        TrapKind::NoSuchFunction,
+        TrapKind::BadHandle,
+        TrapKind::Abort,
+    ];
+
+    /// A short stable name, used as a telemetry/report label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TrapKind::OutOfBounds => "out_of_bounds",
+            TrapKind::NilDeref => "nil_deref",
+            TrapKind::DivByZero => "div_by_zero",
+            TrapKind::FuelExhausted => "fuel_exhausted",
+            TrapKind::SfiViolation => "sfi_violation",
+            TrapKind::TypeError => "type_error",
+            TrapKind::StackOverflow => "stack_overflow",
+            TrapKind::NoSuchFunction => "no_such_function",
+            TrapKind::BadHandle => "bad_handle",
+            TrapKind::Abort => "abort",
+        }
+    }
+}
+
+impl Trap {
+    /// The coarse kind of this trap, for ledger accounting.
+    pub fn kind(&self) -> TrapKind {
+        match self {
+            Trap::OutOfBounds { .. } => TrapKind::OutOfBounds,
+            Trap::NilDeref { .. } => TrapKind::NilDeref,
+            Trap::DivByZero => TrapKind::DivByZero,
+            Trap::FuelExhausted => TrapKind::FuelExhausted,
+            Trap::SfiViolation(_) => TrapKind::SfiViolation,
+            Trap::TypeError(_) => TrapKind::TypeError,
+            Trap::StackOverflow => TrapKind::StackOverflow,
+            Trap::NoSuchFunction(_) => TrapKind::NoSuchFunction,
+            Trap::BadHandle { .. } => TrapKind::BadHandle,
+            Trap::Abort(_) => TrapKind::Abort,
+        }
+    }
+}
+
+/// Fixed-size per-kind trap counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrapCounts {
+    counts: [u64; TrapKind::COUNT],
+}
+
+impl TrapCounts {
+    /// Record one trap of the given kind.
+    pub fn record(&mut self, kind: TrapKind) {
+        self.counts[kind as usize] += 1;
+    }
+
+    /// Number of traps of one kind.
+    pub fn get(&self, kind: TrapKind) -> u64 {
+        self.counts[kind as usize]
+    }
+
+    /// Total traps across all kinds.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Iterate over `(kind, count)` pairs with nonzero counts.
+    pub fn nonzero(&self) -> impl Iterator<Item = (TrapKind, u64)> + '_ {
+        TrapKind::ALL
+            .iter()
+            .map(|&k| (k, self.get(k)))
+            .filter(|&(_, n)| n > 0)
+    }
+}
+
+/// Per-graft resource accounting, maintained by the host on every
+/// dispatch through the graft.
+///
+/// This is the runtime half of the safety story: load-time checks keep a
+/// graft from corrupting memory, the ledger keeps it from monopolizing
+/// the processor or failing silently forever. The quarantine supervisor
+/// reads the ledger after every invocation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GraftLedger {
+    /// Completed invocations (successful or trapped).
+    pub invocations: u64,
+    /// Invocations that ended in a runtime trap.
+    pub traps: u64,
+    /// Cumulative wall-clock nanoseconds spent inside the graft.
+    pub cum_ns: u64,
+    /// Cumulative fuel consumed, when the engine meters it.
+    pub fuel_used: u64,
+    /// Traps broken down by [`TrapKind`].
+    pub trap_counts: TrapCounts,
+}
+
+impl GraftLedger {
+    /// Record one successful invocation.
+    pub fn record_ok(&mut self, ns: u64, fuel: Option<u64>) {
+        self.invocations += 1;
+        self.cum_ns += ns;
+        self.fuel_used += fuel.unwrap_or(0);
+    }
+
+    /// Record one trapped invocation.
+    pub fn record_trap(&mut self, ns: u64, fuel: Option<u64>, trap: &Trap) {
+        self.invocations += 1;
+        self.traps += 1;
+        self.cum_ns += ns;
+        self.fuel_used += fuel.unwrap_or(0);
+        self.trap_counts.record(trap.kind());
+    }
+
+    /// Mean nanoseconds per invocation, or 0 for an idle ledger.
+    pub fn mean_ns(&self) -> f64 {
+        if self.invocations == 0 {
+            0.0
+        } else {
+            self.cum_ns as f64 / self.invocations as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_trap_maps_to_its_kind() {
+        let traps: Vec<Trap> = vec![
+            Trap::OutOfBounds {
+                region: "r".into(),
+                index: 1,
+                len: 0,
+            },
+            Trap::NilDeref { region: "r".into() },
+            Trap::DivByZero,
+            Trap::FuelExhausted,
+            Trap::SfiViolation("x".into()),
+            Trap::TypeError("x".into()),
+            Trap::StackOverflow,
+            Trap::NoSuchFunction("f".into()),
+            Trap::BadHandle { kind: "entry", id: 0 },
+            Trap::Abort(1),
+        ];
+        let kinds: Vec<TrapKind> = traps.iter().map(Trap::kind).collect();
+        assert_eq!(kinds, TrapKind::ALL.to_vec());
+        // Names are distinct (they become telemetry labels).
+        let mut names: Vec<&str> = TrapKind::ALL.iter().map(TrapKind::name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), TrapKind::COUNT);
+    }
+
+    #[test]
+    fn ledger_accumulates_ok_and_trap() {
+        let mut ledger = GraftLedger::default();
+        ledger.record_ok(100, Some(7));
+        ledger.record_trap(50, None, &Trap::DivByZero);
+        ledger.record_trap(50, Some(3), &Trap::FuelExhausted);
+        assert_eq!(ledger.invocations, 3);
+        assert_eq!(ledger.traps, 2);
+        assert_eq!(ledger.cum_ns, 200);
+        assert_eq!(ledger.fuel_used, 10);
+        assert_eq!(ledger.trap_counts.get(TrapKind::DivByZero), 1);
+        assert_eq!(ledger.trap_counts.get(TrapKind::FuelExhausted), 1);
+        assert_eq!(ledger.trap_counts.total(), 2);
+        assert!((ledger.mean_ns() - 200.0 / 3.0).abs() < 1e-9);
+        assert_eq!(ledger.trap_counts.nonzero().count(), 2);
+    }
+
+    #[test]
+    fn verdict_accessors() {
+        assert!(Verdict::Override(5).is_override());
+        assert_eq!(Verdict::Override(5).value(), Some(5));
+        assert!(!Verdict::Continue.is_override());
+        assert_eq!(Verdict::Continue.value(), None);
+        assert_eq!(Verdict::Override(-1).to_string(), "override(-1)");
+        assert_eq!(Verdict::Continue.to_string(), "continue");
+    }
+}

@@ -13,6 +13,7 @@
 
 pub mod engine;
 pub mod error;
+pub mod host;
 pub mod region;
 pub mod spec;
 pub mod taxonomy;
@@ -20,6 +21,7 @@ pub mod tech;
 
 pub use engine::{EntryId, ExtensionEngine, NativeEngine, NativeGraft};
 pub use error::{GraftError, Trap};
+pub use host::{GraftLedger, TrapCounts, TrapKind, Verdict};
 pub use region::{Region, RegionId, RegionSpec, RegionStore};
 pub use spec::{EntryPoint, GraftSpec};
 pub use taxonomy::{GraftClass, Motivation};

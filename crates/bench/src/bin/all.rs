@@ -34,6 +34,10 @@ fn main() {
     println!("{}", report::render_table6(&t6));
     art.add_table("table6", artifact::table6_json(&t6));
 
+    let t7 = experiment::table7(&cfg).expect("table 7");
+    println!("{}", report::render_table7(&t7));
+    art.add_table("table7", artifact::table7_json(&t7));
+
     let measured = std::time::Duration::from_nanos(t1.upcall_roundtrip.mean_ns as u64);
     let fig = experiment::figure1(&t2, Some(measured));
     print!("{}", report::render_figure1(&fig));

@@ -173,6 +173,79 @@ fn summarize(path: &str, a: &RunArtifact) -> String {
             let _ = writeln!(out, "    hist {name:<37} n={count} mean={mean:.1} p50={p50:.0}");
         }
     }
+    out.push_str(&summarize_kernel(a));
+    out
+}
+
+/// The graft-host section of the summary: dispatch volume, the verdict
+/// mix, supervisor activity, and the chain-depth histogram, all from
+/// the `kernel.*` telemetry namespace. Empty when the run never touched
+/// a host.
+fn summarize_kernel(a: &RunArtifact) -> String {
+    let mut out = String::new();
+    let dispatches = a.counter("kernel.dispatches");
+    if dispatches == 0 {
+        return out;
+    }
+    let pct = |n: u64| n as f64 * 100.0 / dispatches as f64;
+    let (over, cont, def) = (
+        a.counter("kernel.verdict_override"),
+        a.counter("kernel.verdict_continue"),
+        a.counter("kernel.verdict_default"),
+    );
+    let _ = writeln!(out, "  graft-host:");
+    let _ = writeln!(
+        out,
+        "    dispatches {dispatches}  invocations {}  traps {}",
+        a.counter("kernel.invocations"),
+        a.counter("kernel.traps"),
+    );
+    let _ = writeln!(
+        out,
+        "    verdict mix: override {over} ({:.1}%)  continue {cont} ({:.1}%)  default {def} ({:.1}%)",
+        pct(over),
+        pct(cont),
+        pct(def),
+    );
+    let _ = writeln!(
+        out,
+        "    supervisor: quarantine trips {}  readmits {}  installs {}  uninstalls {}  marshal failures {}",
+        a.counter("kernel.quarantine_trips"),
+        a.counter("kernel.readmits"),
+        a.counter("kernel.installs"),
+        a.counter("kernel.uninstalls"),
+        a.counter("kernel.marshal_failures"),
+    );
+    let depth = a
+        .metrics
+        .get("histograms")
+        .and_then(Json::as_arr)
+        .and_then(|hs| {
+            hs.iter()
+                .find(|h| h.get("name").and_then(Json::as_str) == Some("kernel.chain_depth"))
+        });
+    if let Some(h) = depth {
+        let mean = h.get("mean").and_then(Json::as_f64).unwrap_or(0.0);
+        let p99 = h.get("p99").and_then(Json::as_f64).unwrap_or(0.0);
+        let buckets: Vec<String> = h
+            .get("buckets")
+            .and_then(Json::as_arr)
+            .map(|bs| {
+                bs.iter()
+                    .filter_map(|b| {
+                        let arr = b.as_arr()?;
+                        let (lo, n) = (arr.first()?.as_u64()?, arr.get(1)?.as_u64()?);
+                        (n > 0).then(|| format!("\u{2265}{lo}:{n}"))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "    chain depth: mean={mean:.2} p99={p99:.0}  [{}]",
+            buckets.join(" ")
+        );
+    }
     out
 }
 
@@ -325,6 +398,53 @@ mod tests {
             cand_ns: 5.0,
         };
         assert_eq!(zero.pct(), 0.0);
+    }
+
+    #[test]
+    fn kernel_section_summarizes_verdict_mix_and_chain_depth() {
+        let mut art = artifact();
+        // A run that never touched a host prints no graft-host section.
+        assert!(!summarize("x.json", &art).contains("graft-host:"));
+
+        let mut counters = Json::object();
+        counters
+            .set("kernel.dispatches", 100u64)
+            .set("kernel.invocations", 120u64)
+            .set("kernel.traps", 3u64)
+            .set("kernel.verdict_override", 60u64)
+            .set("kernel.verdict_continue", 30u64)
+            .set("kernel.verdict_default", 10u64)
+            .set("kernel.quarantine_trips", 1u64)
+            .set("kernel.installs", 2u64);
+        let mut depth = Json::object();
+        depth
+            .set("name", "kernel.chain_depth")
+            .set("count", 100u64)
+            .set("mean", 1.4)
+            .set("p50", 1.0)
+            .set("p99", 2.0)
+            .set(
+                "buckets",
+                vec![
+                    Json::Arr(vec![Json::from(1u64), Json::from(60u64)]),
+                    Json::Arr(vec![Json::from(2u64), Json::from(40u64)]),
+                ],
+            );
+        let mut metrics = Json::object();
+        metrics
+            .set("counters", counters)
+            .set("histograms", vec![depth]);
+        art.metrics = metrics;
+
+        let text = summarize("x.json", &art);
+        assert!(text.contains("graft-host:"), "{text}");
+        assert!(
+            text.contains("override 60 (60.0%)  continue 30 (30.0%)  default 10 (10.0%)"),
+            "{text}"
+        );
+        assert!(text.contains("quarantine trips 1"), "{text}");
+        assert!(text.contains("chain depth: mean=1.40 p99=2"), "{text}");
+        assert!(text.contains("\u{2265}1:60 \u{2265}2:40"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,14 @@
+//! Regenerates Table 7: multi-tenant churn under the graft-host kernel
+//! (per-technology throughput around a mid-run quarantine, plus the
+//! empty-chain / hosted-dispatch overhead against the bare fast path).
+
+use graft_core::artifact::{self, RunArtifact};
+
+fn main() {
+    let cli = graft_bench::cli_from_args();
+    let t = graft_core::experiment::table7(&cli.config).expect("table 7 runs");
+    print!("{}", graft_core::report::render_table7(&t));
+    let mut art = RunArtifact::begin(&cli.config);
+    art.add_table("table7", artifact::table7_json(&t));
+    graft_bench::maybe_write_artifact(&cli, &mut art);
+}

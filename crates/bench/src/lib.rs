@@ -10,6 +10,7 @@
 //! | `table4` | Table 4 (disk I/O time) |
 //! | `table5` | Table 5 (MD5 fingerprinting) |
 //! | `table6` | Table 6 (Logical Disk) |
+//! | `table7` | Table 7 (ours: multi-tenant churn under graft-host) |
 //! | `figure1` | Figure 1 (break-even vs upcall time, CSV) |
 //! | `all` | everything, in paper order |
 //! | `graftstat` | diff two `--json` run artifacts |

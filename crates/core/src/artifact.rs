@@ -19,7 +19,7 @@ use graft_telemetry::MetricsSnapshot;
 use kernsim::stats::Sample;
 
 use crate::experiment::{
-    Figure1, RunConfig, Table1, Table2, Table3, Table4, Table5, Table6,
+    Figure1, RunConfig, Table1, Table2, Table3, Table4, Table5, Table6, Table7,
 };
 
 /// Schema identifier embedded in every artifact.
@@ -448,6 +448,44 @@ pub fn table6_json(t: &Table6) -> Json {
     obj
 }
 
+/// Table 7 as JSON.
+pub fn table7_json(t: &Table7) -> Json {
+    let rows: Vec<Json> = t
+        .rows
+        .iter()
+        .map(|r| {
+            let mut row = Json::object();
+            row.set("tech", r.tech.paper_name())
+                .set("baseline", sample_json(&r.baseline))
+                .set("post", sample_json(&r.post))
+                .set("post_over_baseline", r.post_over_baseline)
+                .set("quarantined", r.quarantined)
+                .set(
+                    "quarantined_by",
+                    match r.quarantined_by {
+                        Some(kind) => Json::from(kind.name()),
+                        None => Json::Null,
+                    },
+                )
+                .set("trapped_invocations", r.trapped_invocations)
+                .set("quarantine_latency_ns", dur_ns(r.quarantine_latency))
+                .set("churn_accesses", r.churn_accesses);
+            row
+        })
+        .collect();
+    let mut overhead = Json::object();
+    overhead
+        .set("direct", sample_json(&t.direct))
+        .set("hosted", sample_json(&t.hosted))
+        .set("empty_chain", sample_json(&t.empty_chain));
+    let mut obj = Json::object();
+    obj.set("rows", rows)
+        .set("overhead", overhead)
+        .set("trap_threshold", t.trap_threshold)
+        .set("accesses", t.accesses);
+    obj
+}
+
 /// Figure 1 as JSON.
 pub fn figure1_json(f: &Figure1) -> Json {
     let series: Vec<Json> = f
@@ -479,7 +517,7 @@ pub fn figure1_json(f: &Figure1) -> Json {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::experiment::{figure1, table2, table3, table4, table5, table6};
+    use crate::experiment::{figure1, table2, table3, table4, table5, table6, table7};
     use kernsim::DiskModel;
 
     fn tiny() -> RunConfig {
@@ -504,12 +542,14 @@ mod tests {
         let t4 = table4(&cfg, false);
         let t5 = table5(&cfg, t4.megabyte_access()).unwrap();
         let t6 = table6(&cfg, &t4.model).unwrap();
+        let t7 = table7(&cfg).unwrap();
         let fig = figure1(&t2, None);
         art.add_table("table2", table2_json(&t2));
         art.add_table("table3", table3_json(&t3));
         art.add_table("table4", table4_json(&t4));
         art.add_table("table5", table5_json(&t5));
         art.add_table("table6", table6_json(&t6));
+        art.add_table("table7", table7_json(&t7));
         art.add_table("figure1", figure1_json(&fig));
         art.finish(&graft_telemetry::snapshot());
         art
@@ -540,6 +580,10 @@ mod tests {
             .samples
             .keys()
             .any(|k| k.starts_with("table5/rows/")));
+        // The churn table indexes both its per-technology phases and
+        // the host-machinery overhead samples.
+        assert!(art.sample_best_ns("table7/rows/Modula-3/baseline").is_some());
+        assert!(art.sample_best_ns("table7/overhead/empty_chain").is_some());
     }
 
     #[test]

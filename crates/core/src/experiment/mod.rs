@@ -6,10 +6,12 @@
 
 pub mod figure;
 pub mod micro;
+pub mod table7;
 pub mod tables;
 
 pub use figure::{figure1, Figure1};
 pub use micro::{table1, table3, table4, Table1, Table3, Table4};
+pub use table7::{table7, Table7, Table7Row};
 pub use tables::{table2, table5, table6, Table2, Table2Row, Table5, Table5Row, Table6, Table6Row};
 
 /// Iteration counts and workload sizes for a whole experiment run.

@@ -6,7 +6,7 @@
 use std::fmt::Write as _;
 use std::time::Duration;
 
-use crate::experiment::{Figure1, Table1, Table2, Table3, Table4, Table5, Table6};
+use crate::experiment::{Figure1, Table1, Table2, Table3, Table4, Table5, Table6, Table7};
 
 fn dur(d: Duration) -> String {
     let ns = d.as_nanos() as f64;
@@ -211,6 +211,62 @@ pub fn render_table6(t: &Table6) -> String {
             &widths,
         );
     }
+    out
+}
+
+/// Renders Table 7, the multi-tenant churn benchmark.
+pub fn render_table7(t: &Table7) -> String {
+    let widths = [20, 26, 26, 10, 12, 12, 14];
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 7. Multi-Tenant Churn (quarantine after {} traps; {} accesses/phase)",
+        t.trap_threshold, t.accesses
+    );
+    line(
+        &mut out,
+        &[
+            "technology",
+            "baseline/access",
+            "post-quarantine",
+            "post/base",
+            "trapped",
+            "detach in",
+            "detach after",
+        ],
+        &widths,
+    );
+    for row in &t.rows {
+        line(
+            &mut out,
+            &[
+                row.tech.paper_name(),
+                &row.baseline.robust_style(),
+                &row.post.robust_style(),
+                &format!("{:.2}", row.post_over_baseline),
+                &format!(
+                    "{} ({})",
+                    row.trapped_invocations,
+                    row.quarantined_by.map(|k| k.name()).unwrap_or("-")
+                ),
+                &dur(row.quarantine_latency),
+                &format!("{} accesses", row.churn_accesses),
+            ],
+            &widths,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  host machinery: direct invoke {}  |  hosted chain-of-1 {}  |  empty chain {}",
+        t.direct.robust_style(),
+        t.hosted.robust_style(),
+        t.empty_chain.robust_style()
+    );
+    let _ = writeln!(
+        out,
+        "  chain overhead vs direct: {:.0}ns/dispatch",
+        t.chain_overhead_ns()
+    );
     out
 }
 

@@ -1,0 +1,470 @@
+//! Substrate adapters: plugging a shared [`GraftHost`] into the kernsim
+//! policy seams.
+//!
+//! Each adapter implements the substrate's policy trait (or, for the
+//! disk write path, wraps the reference facility) and forwards every
+//! decision through [`GraftHost::dispatch`] at the matching
+//! [`AttachPoint`]. A `Continue` verdict — empty chain, every graft
+//! declining, or every graft quarantined — falls back to the built-in
+//! kernel policy, which is exactly the supervisor's containment story:
+//! detaching a hostile graft restores stock kernel behaviour without
+//! restarting the substrate.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use graft_api::Verdict;
+use grafts::eviction::{Scenario, MAX_HOT, MAX_QUEUE};
+use grafts::schedule::MAX_CANDS;
+use kernsim::cache::ReadAhead;
+use kernsim::sched::{Candidate, SchedPolicy};
+use kernsim::vm::{EvictionPolicy, LruQueue, PageId};
+use logdisk::{LdConfig, LogicalDisk};
+
+use crate::host::GraftHost;
+use crate::point::AttachPoint;
+
+/// A host shared between several substrate adapters (and the control
+/// plane that injects or quarantines tenants mid-run).
+pub type SharedHost = Rc<RefCell<GraftHost>>;
+
+/// Wraps a host for sharing across adapters.
+pub fn shared(host: GraftHost) -> SharedHost {
+    Rc::new(RefCell::new(host))
+}
+
+/// [`AttachPoint::VmEvict`] (and [`AttachPoint::CacheEvict`]) adapter:
+/// an [`EvictionPolicy`] that marshals the resident queue plus the
+/// application's hot list into each chained graft and asks for a
+/// victim.
+pub struct HostedEviction {
+    host: SharedHost,
+    point: AttachPoint,
+    hot: Vec<u64>,
+}
+
+impl HostedEviction {
+    /// An adapter for the VM pager eviction point.
+    pub fn new(host: SharedHost) -> Self {
+        Self::at(host, AttachPoint::VmEvict)
+    }
+
+    /// An adapter for an explicit eviction-shaped point
+    /// (`VmEvict` or `CacheEvict`).
+    pub fn at(host: SharedHost, point: AttachPoint) -> Self {
+        assert_eq!(point.entry(), "select_victim", "not an eviction point");
+        HostedEviction {
+            host,
+            point,
+            hot: Vec::new(),
+        }
+    }
+
+    /// Publishes the application's hot list (pages it will need soon).
+    pub fn set_hot(&mut self, mut hot: Vec<u64>) {
+        hot.truncate(MAX_HOT);
+        self.hot = hot;
+    }
+}
+
+impl EvictionPolicy for HostedEviction {
+    fn select_victim(&mut self, queue: &LruQueue) -> Option<PageId> {
+        let resident: Vec<u64> = queue.iter_lru().take(MAX_QUEUE).collect();
+        if resident.is_empty() {
+            return None;
+        }
+        let sc = Scenario {
+            queue: resident,
+            hot: self.hot.clone(),
+        };
+        match self.host.borrow_mut().dispatch(self.point, |engine| {
+            let (lru, hot) = sc.marshal(engine)?;
+            Ok(vec![lru, hot])
+        }) {
+            // The substrate validates the victim is resident and falls
+            // back to the LRU head otherwise — a wild page id cannot
+            // corrupt the pager.
+            Verdict::Override(page) => Some(page as u64),
+            Verdict::Continue => None,
+        }
+    }
+}
+
+/// [`AttachPoint::CacheReadAhead`] adapter: a [`ReadAhead`] strategy
+/// that chains the graft's prediction up to `depth` blocks, falling
+/// back to a sequential window of `fallback` blocks when no graft has
+/// an opinion.
+pub struct HostedReadAhead {
+    host: SharedHost,
+    depth: usize,
+    fallback: usize,
+}
+
+impl HostedReadAhead {
+    /// An adapter with a 4-block window and no heuristic fallback.
+    pub fn new(host: SharedHost) -> Self {
+        HostedReadAhead {
+            host,
+            depth: 4,
+            fallback: 0,
+        }
+    }
+
+    /// Sets the prefetch window.
+    pub fn with_depth(mut self, depth: usize) -> Self {
+        self.depth = depth.max(1);
+        self
+    }
+
+    /// Sets the built-in sequential fallback used when the chain
+    /// declines (0 = no prefetch, the kernel's conservative default).
+    pub fn with_fallback(mut self, n: usize) -> Self {
+        self.fallback = n;
+        self
+    }
+}
+
+impl ReadAhead for HostedReadAhead {
+    fn prefetch(&mut self, block: PageId) -> Vec<PageId> {
+        let mut host = self.host.borrow_mut();
+        let mut out = Vec::with_capacity(self.depth);
+        let mut at = block as i64;
+        for _ in 0..self.depth {
+            match host.dispatch(AttachPoint::CacheReadAhead, |_| Ok(vec![at])) {
+                Verdict::Override(next) => {
+                    out.push(next as u64);
+                    at = next;
+                }
+                Verdict::Continue => break,
+            }
+        }
+        if out.is_empty() {
+            // Built-in kernel policy: a sequential window (possibly
+            // empty) — the state the substrate returns to after a
+            // quarantine.
+            return (1..=self.fallback as u64).map(|i| block + i).collect();
+        }
+        out
+    }
+}
+
+/// [`AttachPoint::SchedPick`] adapter: a [`SchedPolicy`] that marshals
+/// the run queue and application state into each chained graft. A
+/// declining (or empty, or quarantined) chain falls back to FIFO —
+/// round-robin, the kernel default.
+pub struct HostedSched {
+    host: SharedHost,
+    /// Outstanding client requests, mirrored into `appst[0]`.
+    pub pending_requests: i64,
+}
+
+impl HostedSched {
+    /// A scheduling adapter over `host`.
+    pub fn new(host: SharedHost) -> Self {
+        HostedSched {
+            host,
+            pending_requests: 0,
+        }
+    }
+}
+
+impl SchedPolicy for HostedSched {
+    fn pick(&mut self, candidates: &[Candidate]) -> usize {
+        let n = candidates.len().min(MAX_CANDS);
+        let mut words = vec![0i64; 1 + 3 * n];
+        words[0] = n as i64;
+        for (i, c) in candidates.iter().take(n).enumerate() {
+            words[1 + i * 3] = c.pid as i64;
+            words[1 + i * 3 + 1] = c.priority as i64;
+            words[1 + i * 3 + 2] = c.tag;
+        }
+        let pending = self.pending_requests;
+        match self.host.borrow_mut().dispatch(AttachPoint::SchedPick, |engine| {
+            let cands = engine.bind_region("cands")?;
+            let appst = engine.bind_region("appst")?;
+            engine.load_region_id(cands, 0, &words)?;
+            engine.write_region_id(appst, 0, pending)?;
+            Ok(vec![n as i64])
+        }) {
+            Verdict::Override(i) if (i as usize) < candidates.len() => i as usize,
+            // Wild index or no opinion: FIFO, the kernel default.
+            _ => 0,
+        }
+    }
+}
+
+/// [`AttachPoint::DiskWrite`] adapter: the logical-disk write path.
+///
+/// Every block write is offered to the chain (`ld_write(logical)`,
+/// whose return value says whether a segment just filled and must be
+/// flushed). With no graft deciding — including after a quarantine —
+/// the write is handled by the in-kernel reference facility, so the
+/// disk keeps absorbing writes no matter what the tenants do.
+pub struct HostedWritePath {
+    host: SharedHost,
+    fallback: LogicalDisk,
+    /// Writes decided by a graft.
+    pub graft_writes: u64,
+    /// Writes handled by the in-kernel fallback facility.
+    pub fallback_writes: u64,
+}
+
+impl HostedWritePath {
+    /// A write path over `host` with an in-kernel facility sized for
+    /// `blocks` logical blocks.
+    pub fn new(host: SharedHost, blocks: usize) -> Self {
+        HostedWritePath {
+            host,
+            fallback: LogicalDisk::new(LdConfig {
+                blocks,
+                segment_blocks: grafts::logdisk::SEGMENT_BLOCKS as usize,
+            }),
+            graft_writes: 0,
+            fallback_writes: 0,
+        }
+    }
+
+    /// Writes one logical block; returns whether a segment flushed.
+    pub fn write(&mut self, logical: u64) -> bool {
+        match self
+            .host
+            .borrow_mut()
+            .dispatch(AttachPoint::DiskWrite, |_| Ok(vec![logical as i64]))
+        {
+            Verdict::Override(flushed) => {
+                self.graft_writes += 1;
+                flushed == 1
+            }
+            Verdict::Continue => {
+                self.fallback_writes += 1;
+                self.fallback.write(logical).is_some()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::{GraftId, HostConfig};
+    use engine_native::{load_grail, SafetyMode};
+    use graft_api::{ExtensionEngine, GraftError, Technology, Trap};
+    use kernsim::cache::BufferCache;
+    use kernsim::sched::Scheduler;
+    use kernsim::vm::{LruPolicy, Pager};
+
+    fn eviction_engine() -> Box<dyn ExtensionEngine> {
+        let spec = grafts::eviction::spec();
+        Box::new(
+            load_grail(
+                spec.grail.as_ref().unwrap(),
+                &spec.regions,
+                SafetyMode::Safe { nil_checks: true },
+            )
+            .unwrap(),
+        )
+    }
+
+    /// A hostile eviction graft: same region/entry ABI, but its body
+    /// divides by zero — the one trap every safe technology raises.
+    fn hostile_eviction_engine() -> Box<dyn ExtensionEngine> {
+        let spec = grafts::eviction::spec();
+        let grail = "fn select_victim(a: int, b: int) -> int { return a / (b - b); }";
+        Box::new(
+            load_grail(grail, &spec.regions, SafetyMode::Safe { nil_checks: true }).unwrap(),
+        )
+    }
+
+    #[test]
+    fn hosted_eviction_keeps_hot_pages_resident() {
+        let host = shared(GraftHost::new());
+        host.borrow_mut()
+            .install(AttachPoint::VmEvict, "eviction", eviction_engine())
+            .unwrap();
+        let mut policy = HostedEviction::new(host.clone());
+        policy.set_hot(vec![0, 1, 2, 3]);
+        let mut pager = Pager::new(8, policy);
+        // Touch the hot set once, then stream cold pages through.
+        for p in 0..4u64 {
+            pager.access(p);
+        }
+        for p in 100..140u64 {
+            pager.access(p);
+        }
+        // Hot pages survived the cold stream.
+        for p in 0..4u64 {
+            assert!(pager.queue().contains(p), "hot page {p} was evicted");
+        }
+        assert!(host.borrow().stats().overrides > 0);
+    }
+
+    #[test]
+    fn quarantine_mid_run_falls_back_to_lru_and_keeps_serving() {
+        let host = shared(GraftHost::new());
+        let bad = host
+            .borrow_mut()
+            .install(AttachPoint::VmEvict, "hostile", hostile_eviction_engine())
+            .unwrap();
+        let mut pager = Pager::new(4, HostedEviction::new(host.clone()));
+        for p in 0..32u64 {
+            pager.access(p);
+        }
+        // The hostile graft tripped the supervisor after 3 traps...
+        assert!(host.borrow().is_quarantined(bad));
+        assert_eq!(host.borrow().ledger(bad).unwrap().traps, 3);
+        // ...and the pager behaved exactly like stock LRU throughout
+        // (every dispatch fell back to the queue head).
+        assert_eq!(pager.stats().faults, 32);
+        assert_eq!(pager.stats().evictions, 28);
+    }
+
+    #[test]
+    fn hosted_sched_matches_builtin_client_server_policy() {
+        use graft_rng::{Rng, SmallRng};
+        use kernsim::sched::ClientServerPolicy;
+        let spec = grafts::schedule::spec();
+        let host = shared(GraftHost::new());
+        host.borrow_mut()
+            .install(
+                AttachPoint::SchedPick,
+                "client-server",
+                Box::new(
+                    load_grail(
+                        spec.grail.as_ref().unwrap(),
+                        &spec.regions,
+                        SafetyMode::Safe { nil_checks: true },
+                    )
+                    .unwrap(),
+                ),
+            )
+            .unwrap();
+        let mut hosted = HostedSched::new(host);
+        let mut builtin = ClientServerPolicy::default();
+        let mut rng = SmallRng::seed_from_u64(17);
+        for _ in 0..100 {
+            let n = rng.gen_range(1..8);
+            let cands: Vec<Candidate> = (0..n)
+                .map(|i| Candidate {
+                    pid: i as u32 + 1,
+                    priority: 0,
+                    vruntime: 0,
+                    tag: rng.gen_range(0..2),
+                })
+                .collect();
+            let pending = rng.gen_range(0..3u32);
+            hosted.pending_requests = pending as i64;
+            builtin.pending_requests = pending;
+            assert_eq!(hosted.pick(&cands), builtin.pick(&cands));
+        }
+    }
+
+    #[test]
+    fn hosted_sched_empty_chain_is_fifo() {
+        let host = shared(GraftHost::new());
+        let mut sched = Scheduler::new(HostedSched::new(host));
+        for pid in [1, 2, 3] {
+            sched.enqueue(Candidate {
+                pid,
+                priority: 0,
+                vruntime: 0,
+                tag: 0,
+            });
+        }
+        let order: Vec<u32> = (0..3).map(|_| sched.dispatch(1).unwrap().pid).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn hosted_read_ahead_follows_the_plan_and_falls_back() {
+        let spec = grafts::readahead::spec();
+        let mut engine: Box<dyn ExtensionEngine> = Box::new(
+            load_grail(
+                spec.grail.as_ref().unwrap(),
+                &spec.regions,
+                SafetyMode::Safe { nil_checks: true },
+            )
+            .unwrap(),
+        );
+        let plan: Vec<i64> = (0..8).chain(1000..1008).collect();
+        grafts::readahead::load_plan(engine.as_mut(), &plan).unwrap();
+        let host = shared(GraftHost::new());
+        let id = host
+            .borrow_mut()
+            .install(AttachPoint::CacheReadAhead, "plan", engine)
+            .unwrap();
+        let ra = HostedReadAhead::new(host.clone()).with_depth(2).with_fallback(1);
+        let mut cache = BufferCache::new(64, LruPolicy, ra);
+        for &b in plan.iter() {
+            cache.access(b as u64);
+        }
+        // The graft predicted the jump to 1000.
+        assert!(cache.stats().prefetch_hits > 0);
+        assert!(cache.stats().misses < plan.len() as u64);
+        host.borrow_mut().uninstall(id);
+        // Chain now empty: the sequential fallback still prefetches.
+        let mut ra2 = HostedReadAhead::new(host).with_fallback(2);
+        assert_eq!(ra2.prefetch(10), vec![11, 12]);
+    }
+
+    #[test]
+    fn hosted_write_path_survives_quarantine_with_fallback_facility() {
+        let blocks = 256usize;
+        let spec = grafts::logdisk::spec_sized(blocks);
+        // A hostile tenant on the write path: `ld_write` spins forever,
+        // so its very first invocation exhausts the fuel budget — the
+        // supervisor's instant-detach trigger.
+        let grail = "fn ld_write(logical: int) -> int { let i = 0; while true { i = i + 1; } return i; }";
+        let engine: Box<dyn ExtensionEngine> = Box::new(
+            load_grail(grail, &spec.regions, SafetyMode::Safe { nil_checks: true }).unwrap(),
+        );
+        let host = shared(GraftHost::with_config(HostConfig {
+            trap_threshold: 3,
+            fuel_budget: Some(10_000),
+            probation_clean: 4,
+        }));
+        let id = host
+            .borrow_mut()
+            .install(AttachPoint::DiskWrite, "spinner", engine)
+            .unwrap();
+        let mut path = HostedWritePath::new(host.clone(), blocks);
+        let mut flushes = 0u64;
+        for w in 0..64u64 {
+            if path.write(w % blocks as u64) {
+                flushes += 1;
+            }
+        }
+        // The graft burned out on write #1; the facility kept the disk
+        // going and flushed every full segment.
+        assert!(host.borrow().is_quarantined(id));
+        assert_eq!(
+            host.borrow().state(id),
+            Some(crate::host::GraftState::Quarantined {
+                by: graft_api::TrapKind::FuelExhausted
+            })
+        );
+        assert_eq!(host.borrow().ledger(id).unwrap().traps, 1);
+        assert!(host.borrow().ledger(id).unwrap().fuel_used >= 10_000);
+        assert_eq!(path.fallback_writes, 64);
+        assert_eq!(path.graft_writes, 0, "the trapped write decided nothing");
+        assert_eq!(flushes, 4, "64 fallback writes fill exactly 4 segments");
+    }
+
+    #[test]
+    fn technologies_report_through_host_accessors() {
+        let host = shared(GraftHost::new());
+        let id = host
+            .borrow_mut()
+            .install(AttachPoint::VmEvict, "eviction", eviction_engine())
+            .unwrap();
+        let h = host.borrow();
+        assert_eq!(h.technology(id), Some(Technology::SafeCompiled));
+        assert_eq!(h.name(id), Some("eviction"));
+        assert_eq!(h.technology(GraftId(999)), None);
+        drop(h);
+        // Direct invoke through the host still traps deterministically
+        // on bad arguments (a NIL chase via head pointer 0 is the
+        // fallback-to-head branch, so use a wild pointer instead).
+        let err = host.borrow_mut().invoke(id, &[9_999_999, 0]);
+        assert!(matches!(err, Err(GraftError::Trap(Trap::OutOfBounds { .. }))));
+    }
+}

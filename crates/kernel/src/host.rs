@@ -1,0 +1,685 @@
+//! The multi-tenant graft host: chains, ledgers, and the quarantine
+//! supervisor.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use graft_api::{
+    EntryId, ExtensionEngine, GraftError, GraftLedger, Technology, Trap, TrapKind, Verdict,
+};
+
+use crate::point::AttachPoint;
+
+/// Chain depths recorded in the `kernel.chain_depth` histogram are
+/// clamped to this many slots (depth 16+ shares the last slot).
+const DEPTH_SLOTS: usize = 17;
+
+/// Supervisor policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostConfig {
+    /// Trapped invocations before a graft is quarantined (the paper's
+    /// "unload the extension" containment response). A single
+    /// [`Trap::FuelExhausted`] quarantines immediately regardless.
+    pub trap_threshold: u32,
+    /// Execution budget applied to every installed engine that meters
+    /// fuel (`None` leaves engines unmetered).
+    pub fuel_budget: Option<u64>,
+    /// Clean invocations a re-admitted graft must complete on probation
+    /// before returning to full `Active` standing. Any trap while on
+    /// probation re-quarantines instantly.
+    pub probation_clean: u64,
+}
+
+impl Default for HostConfig {
+    fn default() -> Self {
+        HostConfig {
+            trap_threshold: 3,
+            fuel_budget: Some(4_000_000),
+            probation_clean: 8,
+        }
+    }
+}
+
+/// Lifecycle state of one installed graft.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraftState {
+    /// In the chain, dispatching normally.
+    Active,
+    /// Re-admitted after quarantine; dispatching, but one more trap
+    /// detaches it immediately.
+    Probation {
+        /// Clean invocations still required to regain `Active`.
+        remaining_clean: u64,
+    },
+    /// Detached by the supervisor; skipped by dispatch, and direct
+    /// invocation returns a deterministic [`GraftError::Unavailable`].
+    Quarantined {
+        /// The kind of trap that tripped the supervisor.
+        by: TrapKind,
+    },
+}
+
+/// Handle to one installed graft.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GraftId(pub u64);
+
+/// Aggregate host statistics (flushed to `kernel.*` telemetry counters
+/// when the host is dropped).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HostStats {
+    /// Chain dispatches requested by substrates.
+    pub dispatches: u64,
+    /// Graft invocations performed (successful or trapped).
+    pub invocations: u64,
+    /// Invocations that ended in a trap.
+    pub traps: u64,
+    /// Dispatches decided by a graft's `Override`.
+    pub overrides: u64,
+    /// Per-graft `Continue` verdicts (the chain kept walking).
+    pub continues: u64,
+    /// Dispatches that fell through to the built-in kernel policy.
+    pub defaults: u64,
+    /// Quarantine trips.
+    pub quarantine_trips: u64,
+    /// Grafts installed.
+    pub installs: u64,
+    /// Grafts uninstalled.
+    pub uninstalls: u64,
+    /// Quarantined grafts re-admitted on probation.
+    pub readmits: u64,
+    /// Marshalling or non-trap framework failures skipped over.
+    pub marshal_failures: u64,
+}
+
+struct InstalledGraft {
+    name: String,
+    tech: Technology,
+    engine: Box<dyn ExtensionEngine>,
+    entry: EntryId,
+    ledger: GraftLedger,
+    state: GraftState,
+    /// Trapped invocations since the last (re-)admission.
+    strikes: u32,
+}
+
+impl InstalledGraft {
+    fn dispatchable(&self) -> bool {
+        !matches!(self.state, GraftState::Quarantined { .. })
+    }
+
+    fn note_clean(&mut self) {
+        if let GraftState::Probation { remaining_clean } = &mut self.state {
+            *remaining_clean = remaining_clean.saturating_sub(1);
+            if *remaining_clean == 0 {
+                self.state = GraftState::Active;
+            }
+        }
+    }
+
+    /// Accounts one trap against this graft; returns `true` when it
+    /// trips the quarantine supervisor.
+    fn note_trap(&mut self, trap: &Trap, threshold: u32) -> bool {
+        self.strikes += 1;
+        let instant = trap.kind() == TrapKind::FuelExhausted
+            || matches!(self.state, GraftState::Probation { .. });
+        if instant || self.strikes >= threshold {
+            self.state = GraftState::Quarantined { by: trap.kind() };
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// The extension kernel: a registry of attach-point chains over
+/// installed, individually-accounted grafts.
+///
+/// Dispatch walks a point's chain in install order. Each graft is
+/// marshalled and invoked through its pre-bound [`EntryId`]; the first
+/// `Override` wins, traps are charged to the offending graft's ledger
+/// (and only that graft), and a chain that declines entirely yields
+/// [`Verdict::Continue`] so the substrate's built-in policy applies.
+pub struct GraftHost {
+    config: HostConfig,
+    grafts: BTreeMap<u64, InstalledGraft>,
+    chains: [Vec<u64>; AttachPoint::COUNT],
+    next_id: u64,
+    stats: HostStats,
+    depth_counts: [u64; DEPTH_SLOTS],
+}
+
+impl Default for GraftHost {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GraftHost {
+    /// A host with the default supervisor policy (3-trap threshold).
+    pub fn new() -> Self {
+        Self::with_config(HostConfig::default())
+    }
+
+    /// A host with an explicit supervisor policy.
+    pub fn with_config(config: HostConfig) -> Self {
+        GraftHost {
+            config,
+            grafts: BTreeMap::new(),
+            chains: std::array::from_fn(|_| Vec::new()),
+            next_id: 1,
+            stats: HostStats::default(),
+            depth_counts: [0; DEPTH_SLOTS],
+        }
+    }
+
+    /// The supervisor policy in force.
+    pub fn config(&self) -> HostConfig {
+        self.config
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> HostStats {
+        self.stats
+    }
+
+    /// Installs `engine` at the end of `point`'s chain, binding the
+    /// point's entry and applying the fuel budget. The engine's regions
+    /// should already be marshalled with any install-time state (access
+    /// plans, logical-disk maps, ...).
+    pub fn install(
+        &mut self,
+        point: AttachPoint,
+        name: &str,
+        engine: Box<dyn ExtensionEngine>,
+    ) -> Result<GraftId, GraftError> {
+        self.install_at(point, name, engine, usize::MAX)
+    }
+
+    /// Installs at the *front* of the chain — the hot-install path a
+    /// hostile tenant would take to shadow everyone else.
+    pub fn install_front(
+        &mut self,
+        point: AttachPoint,
+        name: &str,
+        engine: Box<dyn ExtensionEngine>,
+    ) -> Result<GraftId, GraftError> {
+        self.install_at(point, name, engine, 0)
+    }
+
+    fn install_at(
+        &mut self,
+        point: AttachPoint,
+        name: &str,
+        mut engine: Box<dyn ExtensionEngine>,
+        at: usize,
+    ) -> Result<GraftId, GraftError> {
+        // Bind once, up front: dispatch never does a string lookup.
+        let entry = engine.bind_entry(point.entry())?;
+        engine.set_fuel(self.config.fuel_budget);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.grafts.insert(
+            id,
+            InstalledGraft {
+                name: name.to_string(),
+                tech: engine.technology(),
+                engine,
+                entry,
+                ledger: GraftLedger::default(),
+                state: GraftState::Active,
+                strikes: 0,
+            },
+        );
+        let chain = &mut self.chains[point as usize];
+        chain.insert(at.min(chain.len()), id);
+        self.stats.installs += 1;
+        Ok(GraftId(id))
+    }
+
+    /// Removes a graft from its chain and drops its engine. Returns
+    /// `false` for an unknown id.
+    pub fn uninstall(&mut self, id: GraftId) -> bool {
+        if self.grafts.remove(&id.0).is_none() {
+            return false;
+        }
+        for chain in &mut self.chains {
+            chain.retain(|&g| g != id.0);
+        }
+        self.stats.uninstalls += 1;
+        true
+    }
+
+    /// Re-admits a quarantined graft on probation. Returns `false`
+    /// unless the graft exists and is currently quarantined.
+    pub fn readmit(&mut self, id: GraftId) -> bool {
+        let Some(g) = self.grafts.get_mut(&id.0) else {
+            return false;
+        };
+        if !matches!(g.state, GraftState::Quarantined { .. }) {
+            return false;
+        }
+        g.strikes = 0;
+        g.state = GraftState::Probation {
+            remaining_clean: self.config.probation_clean.max(1),
+        };
+        self.stats.readmits += 1;
+        true
+    }
+
+    /// The ledger of one graft.
+    pub fn ledger(&self, id: GraftId) -> Option<&GraftLedger> {
+        self.grafts.get(&id.0).map(|g| &g.ledger)
+    }
+
+    /// The lifecycle state of one graft.
+    pub fn state(&self, id: GraftId) -> Option<GraftState> {
+        self.grafts.get(&id.0).map(|g| g.state)
+    }
+
+    /// Whether the supervisor has detached this graft.
+    pub fn is_quarantined(&self, id: GraftId) -> bool {
+        matches!(self.state(id), Some(GraftState::Quarantined { .. }))
+    }
+
+    /// The technology a graft was installed under.
+    pub fn technology(&self, id: GraftId) -> Option<Technology> {
+        self.grafts.get(&id.0).map(|g| g.tech)
+    }
+
+    /// The name a graft was installed under.
+    pub fn name(&self, id: GraftId) -> Option<&str> {
+        self.grafts.get(&id.0).map(|g| g.name.as_str())
+    }
+
+    /// Direct engine access, e.g. to re-marshal state after re-admission.
+    pub fn engine_mut(&mut self, id: GraftId) -> Option<&mut (dyn ExtensionEngine + '_)> {
+        self.grafts.get_mut(&id.0).map(|g| g.engine.as_mut() as _)
+    }
+
+    /// The chain installed at `point`, in dispatch order.
+    pub fn chain(&self, point: AttachPoint) -> Vec<GraftId> {
+        self.chains[point as usize].iter().map(|&id| GraftId(id)).collect()
+    }
+
+    /// Grafts at `point` that dispatch would actually consult.
+    pub fn active_len(&self, point: AttachPoint) -> usize {
+        self.chains[point as usize]
+            .iter()
+            .filter(|id| self.grafts[id].dispatchable())
+            .count()
+    }
+
+    /// Walks `point`'s chain: marshals each non-quarantined graft with
+    /// `marshal` (which loads the graft's regions and returns the
+    /// argument vector), invokes it through the pre-bound handle, and
+    /// returns the first `Override`. Traps and marshalling failures are
+    /// charged to the offending graft and the walk continues — one bad
+    /// tenant never takes the attach point down.
+    pub fn dispatch<F>(&mut self, point: AttachPoint, mut marshal: F) -> Verdict
+    where
+        F: FnMut(&mut dyn ExtensionEngine) -> Result<Vec<i64>, GraftError>,
+    {
+        let p = point as usize;
+        self.stats.dispatches += 1;
+        let depth = self.active_len(point);
+        self.depth_counts[depth.min(DEPTH_SLOTS - 1)] += 1;
+        for i in 0..self.chains[p].len() {
+            let id = self.chains[p][i];
+            let Some(g) = self.grafts.get_mut(&id) else {
+                continue;
+            };
+            if !g.dispatchable() {
+                continue;
+            }
+            let started = Instant::now();
+            let args = match marshal(g.engine.as_mut()) {
+                Ok(args) => args,
+                Err(_) => {
+                    // Kernel-side marshalling failed for this tenant
+                    // (e.g. a dead upcall transport). Skip it; do not
+                    // charge its ledger for a fault that is not its
+                    // code's.
+                    self.stats.marshal_failures += 1;
+                    continue;
+                }
+            };
+            let result = g.engine.invoke_id(g.entry, &args);
+            let ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            let fuel = g.engine.fuel_used();
+            match result {
+                Ok(ret) => {
+                    g.ledger.record_ok(ns, fuel);
+                    g.note_clean();
+                    self.stats.invocations += 1;
+                    match point.decode(ret) {
+                        v @ Verdict::Override(_) => {
+                            self.stats.overrides += 1;
+                            return v;
+                        }
+                        Verdict::Continue => self.stats.continues += 1,
+                    }
+                }
+                Err(GraftError::Trap(trap)) => {
+                    g.ledger.record_trap(ns, fuel, &trap);
+                    self.stats.invocations += 1;
+                    self.stats.traps += 1;
+                    if g.note_trap(&trap, self.config.trap_threshold) {
+                        self.stats.quarantine_trips += 1;
+                    }
+                }
+                Err(_) => {
+                    // Non-trap framework error: skip, keep serving.
+                    self.stats.marshal_failures += 1;
+                }
+            }
+        }
+        self.stats.defaults += 1;
+        Verdict::Continue
+    }
+
+    /// Invokes one graft directly through the host, with full ledger
+    /// accounting and the quarantine gate: a detached graft returns a
+    /// deterministic [`GraftError::Unavailable`], never a panic.
+    pub fn invoke(&mut self, id: GraftId, args: &[i64]) -> Result<i64, GraftError> {
+        let Some(g) = self.grafts.get_mut(&id.0) else {
+            return Err(GraftError::Unavailable {
+                graft: format!("graft#{}", id.0),
+                missing: "installation (no such graft)".into(),
+            });
+        };
+        if let GraftState::Quarantined { .. } = g.state {
+            return Err(GraftError::Unavailable {
+                graft: g.name.clone(),
+                missing: "detached by quarantine supervisor".into(),
+            });
+        }
+        let started = Instant::now();
+        let result = g.engine.invoke_id(g.entry, args);
+        let ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let fuel = g.engine.fuel_used();
+        self.stats.invocations += 1;
+        match &result {
+            Ok(_) => {
+                g.ledger.record_ok(ns, fuel);
+                g.note_clean();
+            }
+            Err(GraftError::Trap(trap)) => {
+                g.ledger.record_trap(ns, fuel, trap);
+                self.stats.traps += 1;
+                if g.note_trap(trap, self.config.trap_threshold) {
+                    self.stats.quarantine_trips += 1;
+                }
+            }
+            Err(_) => self.stats.marshal_failures += 1,
+        }
+        result
+    }
+
+    /// Flushes accumulated statistics into the global telemetry
+    /// counters. Called from `Drop`, so dispatch — the measured path —
+    /// never touches an atomic; each host contributes its totals
+    /// exactly once, when it is torn down.
+    fn publish_telemetry(&self) {
+        if !graft_telemetry::enabled() {
+            return;
+        }
+        let s = self.stats;
+        graft_telemetry::counter!("kernel.dispatches").add(s.dispatches);
+        graft_telemetry::counter!("kernel.invocations").add(s.invocations);
+        graft_telemetry::counter!("kernel.traps").add(s.traps);
+        graft_telemetry::counter!("kernel.verdict_override").add(s.overrides);
+        graft_telemetry::counter!("kernel.verdict_continue").add(s.continues);
+        graft_telemetry::counter!("kernel.verdict_default").add(s.defaults);
+        graft_telemetry::counter!("kernel.quarantine_trips").add(s.quarantine_trips);
+        graft_telemetry::counter!("kernel.installs").add(s.installs);
+        graft_telemetry::counter!("kernel.uninstalls").add(s.uninstalls);
+        graft_telemetry::counter!("kernel.readmits").add(s.readmits);
+        graft_telemetry::counter!("kernel.marshal_failures").add(s.marshal_failures);
+        let depth = graft_telemetry::histogram!("kernel.chain_depth");
+        for (d, &n) in self.depth_counts.iter().enumerate() {
+            depth.record_n(d as u64, n);
+        }
+    }
+}
+
+impl Drop for GraftHost {
+    fn drop(&mut self) {
+        self.publish_telemetry();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graft_api::{EntryPoint, NativeEngine, RegionSpec, RegionStore};
+
+    /// A tiny native engine exporting `select_victim/2` whose body is
+    /// the given closure.
+    fn victim_engine<F>(body: F) -> Box<dyn ExtensionEngine>
+    where
+        F: FnMut(&str, &[i64], &mut RegionStore) -> Result<i64, GraftError> + Send + 'static,
+    {
+        let specs = [RegionSpec::data("scratch", 8)];
+        let entries = [EntryPoint {
+            name: "select_victim".into(),
+            arity: 2,
+        }];
+        Box::new(NativeEngine::with_entries(&specs, &entries, Box::new(body)).unwrap())
+    }
+
+    fn constant(v: i64) -> Box<dyn ExtensionEngine> {
+        victim_engine(move |_, _, _| Ok(v))
+    }
+
+    fn declining() -> Box<dyn ExtensionEngine> {
+        victim_engine(|_, _, _| Ok(-1))
+    }
+
+    fn trapping() -> Box<dyn ExtensionEngine> {
+        victim_engine(|_, _, _| Err(Trap::DivByZero.into()))
+    }
+
+    fn dispatch_once(host: &mut GraftHost) -> Verdict {
+        host.dispatch(AttachPoint::VmEvict, |_| Ok(vec![0, 0]))
+    }
+
+    #[test]
+    fn empty_chain_yields_continue() {
+        let mut host = GraftHost::new();
+        assert_eq!(dispatch_once(&mut host), Verdict::Continue);
+        assert_eq!(host.stats().defaults, 1);
+        assert_eq!(host.active_len(AttachPoint::VmEvict), 0);
+    }
+
+    #[test]
+    fn first_override_wins_in_chain_order() {
+        let mut host = GraftHost::new();
+        let a = host.install(AttachPoint::VmEvict, "decline", declining()).unwrap();
+        let b = host.install(AttachPoint::VmEvict, "forty-two", constant(42)).unwrap();
+        let c = host.install(AttachPoint::VmEvict, "seven", constant(7)).unwrap();
+        assert_eq!(host.chain(AttachPoint::VmEvict), vec![a, b, c]);
+        assert_eq!(dispatch_once(&mut host), Verdict::Override(42));
+        // The decliner was consulted, the shadowed graft was not.
+        assert_eq!(host.ledger(a).unwrap().invocations, 1);
+        assert_eq!(host.ledger(b).unwrap().invocations, 1);
+        assert_eq!(host.ledger(c).unwrap().invocations, 0);
+        assert_eq!(host.stats().overrides, 1);
+        assert_eq!(host.stats().continues, 1);
+    }
+
+    #[test]
+    fn install_front_shadows_and_uninstall_restores() {
+        let mut host = GraftHost::new();
+        let back = host.install(AttachPoint::VmEvict, "back", constant(1)).unwrap();
+        let front = host.install_front(AttachPoint::VmEvict, "front", constant(2)).unwrap();
+        assert_eq!(host.chain(AttachPoint::VmEvict), vec![front, back]);
+        assert_eq!(dispatch_once(&mut host), Verdict::Override(2));
+        assert!(host.uninstall(front));
+        assert!(!host.uninstall(front));
+        assert_eq!(dispatch_once(&mut host), Verdict::Override(1));
+    }
+
+    #[test]
+    fn supervisor_quarantines_after_threshold_traps() {
+        let mut host = GraftHost::new();
+        let bad = host.install(AttachPoint::VmEvict, "hostile", trapping()).unwrap();
+        let good = host.install(AttachPoint::VmEvict, "good", constant(9)).unwrap();
+        for _ in 0..5 {
+            // The hostile front graft traps, the chain still serves.
+            assert_eq!(dispatch_once(&mut host), Verdict::Override(9));
+        }
+        assert!(host.is_quarantined(bad));
+        assert_eq!(
+            host.state(bad),
+            Some(GraftState::Quarantined {
+                by: TrapKind::DivByZero
+            })
+        );
+        // Exactly trap_threshold trapped invocations before detach.
+        assert_eq!(host.ledger(bad).unwrap().traps, 3);
+        assert_eq!(host.ledger(bad).unwrap().invocations, 3);
+        assert_eq!(host.stats().quarantine_trips, 1);
+        // The well-behaved tenant is untouched.
+        assert_eq!(host.state(good), Some(GraftState::Active));
+        assert_eq!(host.ledger(good).unwrap().invocations, 5);
+    }
+
+    #[test]
+    fn quarantined_graft_invoked_directly_is_a_deterministic_error() {
+        let mut host = GraftHost::new();
+        let bad = host.install(AttachPoint::VmEvict, "hostile", trapping()).unwrap();
+        for _ in 0..3 {
+            let _ = host.invoke(bad, &[0, 0]);
+        }
+        assert!(host.is_quarantined(bad));
+        let err = host.invoke(bad, &[0, 0]).unwrap_err();
+        match err {
+            GraftError::Unavailable { graft, missing } => {
+                assert_eq!(graft, "hostile");
+                assert!(missing.contains("quarantine"));
+            }
+            other => panic!("expected Unavailable, got {other}"),
+        }
+        // The gate holds on repeat.
+        assert!(matches!(
+            host.invoke(bad, &[0, 0]),
+            Err(GraftError::Unavailable { .. })
+        ));
+    }
+
+    #[test]
+    fn fuel_exhaustion_quarantines_immediately() {
+        let mut host = GraftHost::new();
+        let bad = host
+            .install(
+                AttachPoint::VmEvict,
+                "spinner",
+                victim_engine(|_, _, _| Err(Trap::FuelExhausted.into())),
+            )
+            .unwrap();
+        assert_eq!(dispatch_once(&mut host), Verdict::Continue);
+        assert!(host.is_quarantined(bad), "one FuelExhausted must detach");
+        assert_eq!(host.ledger(bad).unwrap().traps, 1);
+        assert_eq!(
+            host.ledger(bad)
+                .unwrap()
+                .trap_counts
+                .get(TrapKind::FuelExhausted),
+            1
+        );
+    }
+
+    #[test]
+    fn probation_readmits_and_one_more_trap_detaches() {
+        let mut host = GraftHost::new();
+        // Trap twice, then behave — below threshold, never quarantined.
+        let mut calls = 0;
+        let flaky = victim_engine(move |_, _, _| {
+            calls += 1;
+            if calls <= 3 {
+                Err(Trap::DivByZero.into())
+            } else {
+                Ok(5)
+            }
+        });
+        let id = host.install(AttachPoint::VmEvict, "flaky", flaky).unwrap();
+        for _ in 0..3 {
+            dispatch_once(&mut host);
+        }
+        assert!(host.is_quarantined(id));
+        assert!(!host.readmit(GraftId(999)), "unknown id");
+        assert!(host.readmit(id));
+        assert!(!host.readmit(id), "only quarantined grafts re-admit");
+        assert_eq!(
+            host.state(id),
+            Some(GraftState::Probation { remaining_clean: 8 })
+        );
+        // Clean invocations walk it back to Active.
+        for _ in 0..8 {
+            assert_eq!(dispatch_once(&mut host), Verdict::Override(5));
+        }
+        assert_eq!(host.state(id), Some(GraftState::Active));
+    }
+
+    #[test]
+    fn trap_on_probation_requarantines_instantly() {
+        let mut host = GraftHost::new();
+        let id = host.install(AttachPoint::VmEvict, "hostile", trapping()).unwrap();
+        for _ in 0..3 {
+            dispatch_once(&mut host);
+        }
+        assert!(host.is_quarantined(id));
+        assert!(host.readmit(id));
+        dispatch_once(&mut host);
+        assert!(host.is_quarantined(id), "probation tolerates zero traps");
+        assert_eq!(host.stats().quarantine_trips, 2);
+        assert_eq!(host.stats().readmits, 1);
+    }
+
+    #[test]
+    fn chains_are_per_attach_point() {
+        let mut host = GraftHost::new();
+        host.install(AttachPoint::VmEvict, "evict", constant(1)).unwrap();
+        assert_eq!(host.active_len(AttachPoint::VmEvict), 1);
+        assert_eq!(host.active_len(AttachPoint::SchedPick), 0);
+        assert_eq!(
+            host.dispatch(AttachPoint::SchedPick, |_| Ok(vec![1])),
+            Verdict::Continue
+        );
+    }
+
+    #[test]
+    fn install_rejects_missing_entry_at_bind_time() {
+        let mut host = GraftHost::new();
+        let specs = [RegionSpec::data("scratch", 8)];
+        let entries = [EntryPoint {
+            name: "something_else".into(),
+            arity: 0,
+        }];
+        let engine: Box<dyn ExtensionEngine> = Box::new(
+            NativeEngine::with_entries(&specs, &entries, Box::new(|_: &str, _: &[i64], _: &mut RegionStore| Ok(0)))
+                .unwrap(),
+        );
+        let err = host.install(AttachPoint::VmEvict, "bad", engine);
+        assert!(err.is_err(), "binding select_victim must fail");
+        assert_eq!(host.active_len(AttachPoint::VmEvict), 0);
+    }
+
+    #[test]
+    fn marshal_failure_skips_tenant_without_charging_it() {
+        let mut host = GraftHost::new();
+        let a = host.install(AttachPoint::VmEvict, "a", constant(3)).unwrap();
+        let mut first = true;
+        let verdict = host.dispatch(AttachPoint::VmEvict, move |_| {
+            if first {
+                first = false;
+                Err(GraftError::UpcallFailed("dead transport".into()))
+            } else {
+                Ok(vec![0, 0])
+            }
+        });
+        assert_eq!(verdict, Verdict::Continue);
+        assert_eq!(host.ledger(a).unwrap().invocations, 0);
+        assert_eq!(host.stats().marshal_failures, 1);
+    }
+}

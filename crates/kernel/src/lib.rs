@@ -1,0 +1,40 @@
+//! graft-host: a multi-tenant extension kernel.
+//!
+//! The paper (Small & Seltzer, USENIX 1996) measures one graft at a
+//! time, but its premise — §2's downloadable kernel extensions, §4's
+//! safety requirements — is a kernel that *hosts* many untrusted
+//! extensions concurrently and survives the bad ones. This crate is
+//! that runtime layer, built on the two-phase bind/invoke ABI:
+//!
+//! * **Attach points** ([`AttachPoint`]) are the typed seams where the
+//!   kernsim substrates consult extensions: VM pager eviction, buffer
+//!   cache eviction and read-ahead, scheduler candidate pick, and the
+//!   logical-disk write path.
+//! * **Chains**: each attach point hosts an ordered chain of installed
+//!   grafts (any [`graft_api::Technology`], pre-bound to an `EntryId`
+//!   at install time). Dispatch walks the chain with Continue/Override
+//!   verdict semantics ([`graft_api::Verdict`]): the first graft to
+//!   decide wins; if every graft declines, the built-in kernel policy
+//!   applies. Grafts can be installed and uninstalled while the
+//!   substrate is under load.
+//! * **Per-graft ledgers** ([`graft_api::GraftLedger`]): invocations,
+//!   cumulative nanoseconds, fuel, and traps by kind, maintained by the
+//!   host on every dispatch.
+//! * **The quarantine supervisor**: a graft that traps
+//!   [`HostConfig::trap_threshold`] times — or exhausts its fuel budget
+//!   even once — is atomically detached; the substrate falls back to
+//!   the built-in policy and the kernel keeps serving. A quarantined
+//!   graft can be re-admitted on probation, where a single further trap
+//!   detaches it again.
+//!
+//! The [`adapters`] module plugs a shared host into the kernsim
+//! substrates (`Pager`, `BufferCache`, `Scheduler`, and the
+//! logical-disk write path) through their policy traits.
+
+pub mod adapters;
+pub mod host;
+pub mod point;
+
+pub use adapters::{shared, HostedEviction, HostedReadAhead, HostedSched, HostedWritePath, SharedHost};
+pub use host::{GraftHost, GraftId, GraftState, HostConfig, HostStats};
+pub use point::AttachPoint;

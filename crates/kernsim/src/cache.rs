@@ -15,6 +15,15 @@ pub trait ReadAhead {
     fn prefetch(&mut self, block: PageId) -> Vec<PageId>;
 }
 
+/// Boxed strategies forward, so a [`BufferCache`] can host a strategy
+/// chosen at run time (the graft-host attach point installs through
+/// this seam).
+impl<T: ReadAhead + ?Sized> ReadAhead for Box<T> {
+    fn prefetch(&mut self, block: PageId) -> Vec<PageId> {
+        (**self).prefetch(block)
+    }
+}
+
 /// The kernel heuristic: fetch the next `n` sequential blocks.
 #[derive(Debug, Clone, Copy)]
 pub struct SequentialReadAhead {

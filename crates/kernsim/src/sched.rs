@@ -32,6 +32,15 @@ pub trait SchedPolicy {
     fn pick(&mut self, candidates: &[Candidate]) -> usize;
 }
 
+/// Boxed policies forward, so a [`Scheduler`] can host a policy chosen
+/// at run time (the graft-host attach point installs through this
+/// seam).
+impl<T: SchedPolicy + ?Sized> SchedPolicy for Box<T> {
+    fn pick(&mut self, candidates: &[Candidate]) -> usize {
+        (**self).pick(candidates)
+    }
+}
+
 /// Round-robin: always the longest-waiting candidate (index 0 of the
 /// queue order).
 #[derive(Debug, Default, Clone, Copy)]
@@ -193,6 +202,63 @@ mod tests {
         // A request arrives: the server runs ahead of any client.
         s.policy_mut().pending_requests = 1;
         assert_eq!(s.dispatch(1).unwrap().pid, 10);
+    }
+
+    #[test]
+    fn gang_client_server_trace_runs_server_only_under_load_then_first() {
+        // The paper's gang policy over a whole request lifecycle: three
+        // clients and one server. While no request is outstanding the
+        // server is never dispatched, even from the queue head; the
+        // moment one is, the server runs ahead of every client — from
+        // any queue position — until the request count drains to zero.
+        let mut s = Scheduler::new(ClientServerPolicy::default());
+        s.enqueue(cand(10, 0, 1)); // server, deliberately at the head
+        for pid in [20, 21, 22] {
+            s.enqueue(cand(pid, 0, 0)); // clients
+        }
+
+        // Phase 1 — idle server: clients run round-robin past it.
+        let mut client_order = Vec::new();
+        for _ in 0..3 {
+            let c = s.dispatch(1).unwrap();
+            assert_ne!(c.tag, 1, "idle server was scheduled");
+            client_order.push(c.pid);
+            s.enqueue(c); // client keeps running, re-joins the queue
+        }
+        assert_eq!(client_order, vec![20, 21, 22], "clients lost FIFO order");
+
+        // Phase 2 — client 20 issues two requests: the server runs
+        // ahead of all clients until both are answered, even though
+        // clients are ahead of it in queue order after re-enqueueing.
+        s.policy_mut().pending_requests = 2;
+        for _ in 0..2 {
+            let c = s.dispatch(1).unwrap();
+            assert_eq!(c.pid, 10, "server did not run ahead of clients");
+            s.policy_mut().pending_requests -= 1;
+            s.enqueue(c);
+        }
+
+        // Phase 3 — requests drained: the server goes back to waiting
+        // and the clients resume their fair rotation.
+        assert_eq!(s.policy_mut().pending_requests, 0);
+        for _ in 0..4 {
+            let c = s.dispatch(1).unwrap();
+            assert_ne!(c.tag, 1, "server ran with no request outstanding");
+            s.enqueue(c);
+        }
+        assert_eq!(s.stats().dispatches, 9);
+    }
+
+    #[test]
+    fn client_server_policy_with_only_the_server_runnable() {
+        // Degenerate mix: if the server is the only runnable process the
+        // policy still returns a valid index (the scheduler must make
+        // progress), request outstanding or not.
+        let mut p = ClientServerPolicy::default();
+        let only_server = [cand(10, 0, 1)];
+        assert_eq!(p.pick(&only_server), 0);
+        p.pending_requests = 1;
+        assert_eq!(p.pick(&only_server), 0);
     }
 
     #[test]

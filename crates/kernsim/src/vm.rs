@@ -165,6 +165,14 @@ pub trait EvictionPolicy {
     fn select_victim(&mut self, queue: &LruQueue) -> Option<PageId>;
 }
 
+/// Boxed policies forward, so a [`Pager`] can host a policy chosen at
+/// run time (the graft-host attach point installs through this seam).
+impl<T: EvictionPolicy + ?Sized> EvictionPolicy for Box<T> {
+    fn select_victim(&mut self, queue: &LruQueue) -> Option<PageId> {
+        (**self).select_victim(queue)
+    }
+}
+
 /// The kernel default: evict the LRU head.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct LruPolicy;

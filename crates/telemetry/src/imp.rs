@@ -155,6 +155,20 @@ impl Histogram {
         self.record(d.as_nanos().min(u64::MAX as u128) as u64);
     }
 
+    /// Records `n` occurrences of `value` with three relaxed atomics
+    /// regardless of `n` — for hosts that accumulate per-value counts
+    /// locally and flush once at teardown.
+    #[inline]
+    pub fn record_n(&self, value: u64, n: u64) {
+        if !enabled() || n == 0 {
+            return;
+        }
+        let bucket = 63 - (value | 1).leading_zeros() as usize;
+        self.count.fetch_add(n, Ordering::Relaxed);
+        self.sum.fetch_add(value.saturating_mul(n), Ordering::Relaxed);
+        self.buckets[bucket].fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Freezes this histogram.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let buckets = self

@@ -44,6 +44,10 @@ impl Histogram {
     /// No-op.
     #[inline(always)]
     pub fn record_duration(&self, _d: std::time::Duration) {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn record_n(&self, _value: u64, _n: u64) {}
 }
 
 /// No-op counter cell.

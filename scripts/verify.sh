@@ -17,7 +17,8 @@ if [ "${1:-}" = "--full" ]; then
 fi
 
 ART=$(mktemp /tmp/graft-verify-XXXXXX.json)
-trap 'rm -f "$ART"' EXIT
+T7ART=$(mktemp /tmp/graft-table7-XXXXXX.json)
+trap 'rm -f "$ART" "$T7ART"' EXIT
 
 echo "==> cargo build --release --offline"
 cargo build --release --offline
@@ -55,6 +56,33 @@ if [ -f BENCH_seed.json ]; then
             *)
                 echo "$GATE"
                 echo "regression gate FAILED"
+                exit 1
+                ;;
+        esac
+    }
+    echo "$GATE" | tail -1
+fi
+
+# Graft-host containment gate: a fresh Table 7 churn run must keep its
+# shared samples (per-technology baseline/post throughput, host
+# machinery probes) within the same generous 200% envelope against the
+# committed kernel baseline. Table 7 samples are absent from artifacts
+# that predate the graft-host subsystem (BENCH_seed.json,
+# BENCH_abi.json), so those keys show up one-sided above and are
+# tolerated; this step is where they get real shared-sample gating.
+echo "==> table7 churn run ($MODE --offline) with run artifact"
+cargo run --release --offline -q -p graft-bench --bin table7 -- \
+    "$MODE" --offline --json "$T7ART" > /dev/null
+
+if [ -f BENCH_kernel.json ]; then
+    echo "==> graftstat regression gate vs BENCH_kernel.json (threshold 200%)"
+    GATE=$(cargo run --release --offline -q -p graft-bench --bin graftstat -- \
+        BENCH_kernel.json "$T7ART" --threshold 200) || {
+        case "$GATE" in
+            *"drift: 0 of"*) : ;; # no shared sample moved; only one-sided keys
+            *)
+                echo "$GATE"
+                echo "table7 regression gate FAILED"
                 exit 1
                 ;;
         esac

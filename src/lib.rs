@@ -25,6 +25,9 @@
 //! * [`md5`] — RFC 1321 MD5, the paper's stream graft workload.
 //! * [`logdisk`] — the Logical Disk facility, the black-box workload.
 //! * [`grafts`] — the benchmark grafts in every technology.
+//! * [`kernel`] — graft-host, the multi-tenant extension kernel:
+//!   attach points, chained grafts, per-graft ledgers, and the
+//!   quarantine supervisor.
 //! * [`core`] — the `GraftManager`, break-even analysis, and the
 //!   experiment runners that regenerate each table and figure.
 //!
@@ -51,6 +54,7 @@ pub use engine_script as script;
 pub use graft_api as api;
 pub use graft_core as core;
 pub use graft_ir as ir;
+pub use graft_kernel as kernel;
 pub use graft_lang as lang;
 pub use graft_md5 as md5;
 pub use grafts;

@@ -9,8 +9,10 @@
 //! | infinite loop     | hangs kernel  | fuel trap| fuel trap  | fuel  | fuel  |
 //! | deep recursion    | stack trap    | stack    | stack      | stack | stack |
 
-use graftbench::api::{GraftClass, GraftSpec, Motivation, RegionSpec, Technology, Trap};
+use graftbench::api::{GraftClass, GraftError, GraftSpec, Motivation, RegionSpec, Technology, Trap};
 use graftbench::core::GraftManager;
+use graftbench::kernel::{shared, AttachPoint, GraftHost, HostedEviction};
+use graftbench::kernsim::vm::Pager;
 
 fn hostile_spec() -> GraftSpec {
     let grail = r#"
@@ -135,6 +137,49 @@ fn runaway_loops_are_preempted_exactly_where_the_paper_says() {
 }
 
 #[test]
+fn fuel_reporting_is_conformant_across_metered_technologies() {
+    // Every engine that accepts a meter must also report through it:
+    // after `set_fuel(Some(_))`, `fuel_used()` is `Some(_)` whether the
+    // invocation ran to completion or was preempted — including through
+    // the user-level upcall boundary, where the reading is an RPC to
+    // the server-side engine.
+    let spec = hostile_spec();
+    let mgr = GraftManager {
+        user_level_inner: Technology::SafeCompiled,
+        ..GraftManager::new()
+    };
+    for tech in [
+        Technology::SafeCompiled,
+        Technology::Sfi,
+        Technology::Bytecode,
+        Technology::Script,
+        Technology::UserLevel,
+    ] {
+        let mut e = mgr.load(&spec, tech).unwrap();
+        e.set_fuel(Some(50_000));
+
+        // A successful metered invocation reports a reading.
+        assert_eq!(e.invoke("div", &[10, 2]).unwrap(), 5);
+        let calm = e.fuel_used();
+        assert!(calm.is_some(), "{tech}: no fuel reading after metered call");
+
+        // A preempted invocation reports (roughly) the whole budget.
+        let err = e.invoke("spin", &[]).unwrap_err();
+        assert_eq!(err.as_trap(), Some(&Trap::FuelExhausted), "{tech}");
+        let spent = e.fuel_used();
+        assert!(
+            spent.unwrap_or(0) >= 50_000,
+            "{tech}: preempted run reported {spent:?} of a 50k budget"
+        );
+
+        // Withdrawing the meter withdraws the claim.
+        e.set_fuel(None);
+        assert_eq!(e.invoke("div", &[10, 2]).unwrap(), 5);
+        assert_eq!(e.fuel_used(), None, "{tech}: unmetered reading");
+    }
+}
+
+#[test]
 fn runaway_recursion_is_contained_everywhere() {
     let spec = hostile_spec();
     for tech in [
@@ -147,6 +192,70 @@ fn runaway_recursion_is_contained_everywhere() {
         let mut e = GraftManager::new().load(&spec, tech).unwrap();
         let err = e.invoke("recurse", &[0]).unwrap_err();
         assert_eq!(err.as_trap(), Some(&Trap::StackOverflow), "{tech}");
+    }
+}
+
+/// An eviction-shaped graft (same region/entry ABI as the paper's VM
+/// graft) whose body divides by zero — the one fault every safe
+/// technology turns into a trap.
+fn saboteur_spec() -> GraftSpec {
+    use graftbench::grafts::eviction::{MAX_HOT, MAX_QUEUE};
+    let grail = "fn select_victim(a: int, b: int) -> int { return a / (b - b); }";
+    let tickle = "proc select_victim {a b} { return [expr $a / ($b - $b)] }";
+    GraftSpec::new("saboteur", GraftClass::Prioritization, Motivation::Policy)
+        .region(RegionSpec::linked("lru", 1 + 2 * MAX_QUEUE))
+        .region(RegionSpec::linked("hot", 1 + 2 * MAX_HOT))
+        .entry("select_victim", 2)
+        .with_grail(grail)
+        .with_tickle(tickle)
+}
+
+#[test]
+fn quarantine_row_detach_serve_and_deterministic_refusal() {
+    // The multi-tenant row of the matrix: under every safe technology a
+    // hostile graft is detached by the quarantine supervisor after N
+    // trapped invocations, the substrate keeps serving on the built-in
+    // policy, and re-invoking the detached graft through the host is a
+    // deterministic error — never a panic, never a hung kernel.
+    let spec = saboteur_spec();
+    for tech in SAFE_TECHS {
+        let engine = GraftManager::new().load(&spec, tech).unwrap();
+        let host = shared(GraftHost::new());
+        let threshold = host.borrow().config().trap_threshold as u64;
+        let id = host
+            .borrow_mut()
+            .install(AttachPoint::VmEvict, "saboteur", engine)
+            .unwrap();
+
+        let mut pager = Pager::new(4, HostedEviction::new(host.clone()));
+        for p in 0..32u64 {
+            pager.access(p);
+        }
+
+        // Detached after exactly `trap_threshold` trapped invocations.
+        assert!(host.borrow().is_quarantined(id), "{tech}: not quarantined");
+        {
+            let h = host.borrow();
+            let ledger = h.ledger(id).unwrap();
+            assert_eq!(ledger.traps, threshold, "{tech}");
+            assert_eq!(ledger.invocations, threshold, "{tech}");
+        }
+
+        // The pager behaved exactly like stock LRU throughout: every
+        // dispatch fell back to the built-in policy (the queue head).
+        assert_eq!(pager.stats().faults, 32, "{tech}");
+        assert_eq!(pager.stats().evictions, 28, "{tech}");
+
+        // Re-invoking the detached graft refuses deterministically.
+        let err = host.borrow_mut().invoke(id, &[0, 0]).unwrap_err();
+        assert!(
+            matches!(&err, GraftError::Unavailable { .. }),
+            "{tech}: {err}"
+        );
+        let again = host.borrow_mut().invoke(id, &[0, 0]).unwrap_err();
+        assert_eq!(err.to_string(), again.to_string(), "{tech}");
+        // And the refusal did not charge the ledger.
+        assert_eq!(host.borrow().ledger(id).unwrap().invocations, threshold);
     }
 }
 
