@@ -34,7 +34,7 @@ use std::collections::HashMap;
 
 use crate::error::{GraftError, Trap};
 use crate::region::{RegionId, RegionSpec, RegionStore};
-use crate::spec::EntryPoint;
+use crate::spec::{EntryPoint, SharedNativeFactory};
 use crate::tech::Technology;
 
 /// Handle to a bound entry point within one graft instance.
@@ -214,6 +214,32 @@ pub trait ExtensionEngine: Send {
     fn fuel_used(&self) -> Option<u64> {
         None
     }
+
+    /// Produces a fresh, thread-confined replica of this engine for
+    /// worker shard `shard` (the eBPF per-CPU-program idea applied to
+    /// grafts).
+    ///
+    /// The replica shares immutable code (modules, proc tables, native
+    /// factories) with its parent but owns a private copy of all mutable
+    /// state — regions and globals are *snapshotted* at fork time, so
+    /// state marshalled at install time (read-ahead plans, scheduler
+    /// tables) propagates to every shard, while steady-state writes
+    /// stay shard-local. Fuel accounting starts fresh; the caller
+    /// re-applies its budget via [`set_fuel`].
+    ///
+    /// Engines that cannot replicate themselves (an engine already
+    /// hosting live kernel-side state it cannot share) return a
+    /// deterministic [`GraftError::Unavailable`]; the sharded host
+    /// refuses the install rather than falling back to a lock.
+    ///
+    /// [`set_fuel`]: ExtensionEngine::set_fuel
+    fn fork_for_shard(&self, shard: usize) -> Result<Box<dyn ExtensionEngine>, GraftError> {
+        let _ = shard;
+        Err(GraftError::Unavailable {
+            graft: format!("{:?}", self.technology()),
+            missing: "fork_for_shard support".to_string(),
+        })
+    }
 }
 
 /// Validates a batch shape and returns the per-call arity.
@@ -288,6 +314,11 @@ pub struct NativeEngine {
     entry_ids: HashMap<String, EntryId>,
     /// Whether `entries` is a closed manifest (bind rejects unknowns).
     sealed: bool,
+    /// Factory that minted `graft`, when known. Required for
+    /// [`ExtensionEngine::fork_for_shard`]: native graft bodies are
+    /// opaque `FnMut` state, so the only way to replicate one is to
+    /// mint a fresh instance from the same factory.
+    factory: Option<SharedNativeFactory>,
 }
 
 impl NativeEngine {
@@ -301,6 +332,7 @@ impl NativeEngine {
             entries: Vec::new(),
             entry_ids: HashMap::new(),
             sealed: false,
+            factory: None,
         })
     }
 
@@ -317,6 +349,20 @@ impl NativeEngine {
             engine.intern(&entry.name);
         }
         engine.sealed = true;
+        Ok(engine)
+    }
+
+    /// Builds a sealed native engine from a shared factory, keeping the
+    /// factory so the engine can later [`fork_for_shard`] itself.
+    ///
+    /// [`fork_for_shard`]: ExtensionEngine::fork_for_shard
+    pub fn from_factory(
+        specs: &[RegionSpec],
+        entries: &[EntryPoint],
+        factory: SharedNativeFactory,
+    ) -> Result<Self, GraftError> {
+        let mut engine = NativeEngine::with_entries(specs, entries, factory())?;
+        engine.factory = Some(factory);
         Ok(engine)
     }
 
@@ -391,6 +437,23 @@ impl ExtensionEngine for NativeEngine {
         // Native code cannot be metered without compiler support; this is
         // precisely the reliability hazard the paper attributes to
         // unprotected technologies.
+    }
+
+    fn fork_for_shard(&self, _shard: usize) -> Result<Box<dyn ExtensionEngine>, GraftError> {
+        let factory = self.factory.as_ref().ok_or_else(|| GraftError::Unavailable {
+            graft: "native".to_string(),
+            missing: "a shared factory (built via NativeEngine::from_factory)".to_string(),
+        })?;
+        Ok(Box::new(NativeEngine {
+            // Snapshot current region contents, not the zeroed initial
+            // state: install-time marshalling must reach every shard.
+            regions: self.regions.clone(),
+            graft: factory(),
+            entries: self.entries.clone(),
+            entry_ids: self.entry_ids.clone(),
+            sealed: self.sealed,
+            factory: Some(factory.clone()),
+        }))
     }
 }
 
@@ -513,6 +576,42 @@ mod tests {
         // Zero calls is a no-op.
         e.invoke_batch(id, 0, &[], &mut out2).unwrap();
         assert!(out2.is_empty());
+    }
+
+    #[test]
+    fn fork_without_factory_is_a_deterministic_refusal() {
+        let e = doubling_engine();
+        let err = match e.fork_for_shard(0) {
+            Err(err) => err,
+            Ok(_) => panic!("factory-less fork must refuse"),
+        };
+        assert!(matches!(err, GraftError::Unavailable { .. }));
+    }
+
+    #[test]
+    fn fork_from_factory_snapshots_regions_and_isolates_writes() {
+        let factory: SharedNativeFactory = std::sync::Arc::new(|| doubling_graft());
+        let mut parent = NativeEngine::from_factory(
+            &[RegionSpec::data("buf", 4)],
+            &[EntryPoint::new("double", 1), EntryPoint::new("sum_buf", 0)],
+            factory,
+        )
+        .unwrap();
+        parent.load_region("buf", 0, &[1, 2, 3, 4]).unwrap();
+
+        let mut child = parent.fork_for_shard(3).unwrap();
+        // Install-time marshalled state propagates...
+        assert_eq!(child.invoke("sum_buf", &[]).unwrap(), 10);
+        // ...handles keep the same meaning in the replica...
+        let id = parent.bind_entry("double").unwrap();
+        assert_eq!(child.invoke_id(id, &[21]).unwrap(), 42);
+        // ...the manifest stays sealed...
+        assert!(child.invoke("nope", &[]).is_err());
+        // ...and post-fork writes stay shard-local.
+        child.write_region("buf", 0, 100).unwrap();
+        assert_eq!(parent.read_region("buf", 0).unwrap(), 1);
+        // Grandchildren fork too (the factory travels with the replica).
+        assert!(child.fork_for_shard(1).is_ok());
     }
 
     #[test]

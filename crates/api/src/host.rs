@@ -148,6 +148,12 @@ impl TrapCounts {
         self.counts[kind as usize] += 1;
     }
 
+    /// Record `n` traps of the given kind (bulk merge of per-shard
+    /// ledgers into a shared total).
+    pub fn add(&mut self, kind: TrapKind, n: u64) {
+        self.counts[kind as usize] += n;
+    }
+
     /// Number of traps of one kind.
     pub fn get(&self, kind: TrapKind) -> u64 {
         self.counts[kind as usize]

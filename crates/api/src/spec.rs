@@ -5,6 +5,8 @@
 //! technology's input language. The `GraftManager` in `graft-core`
 //! compiles the appropriate source for the technology the kernel selects.
 
+use std::sync::Arc;
+
 use crate::engine::NativeGraft;
 use crate::region::RegionSpec;
 use crate::taxonomy::{GraftClass, Motivation};
@@ -31,6 +33,13 @@ impl EntryPoint {
 /// Factory producing a fresh native (Rust) implementation of a graft.
 pub type NativeFactory = Box<dyn Fn() -> Box<dyn NativeGraft> + Send + Sync>;
 
+/// Shared, clonable handle to a native factory.
+///
+/// Stored in [`GraftSpec`] (and threaded into `NativeEngine`) as an
+/// `Arc` so a sharded host can mint one fresh graft instance per worker
+/// shard from the same factory.
+pub type SharedNativeFactory = Arc<dyn Fn() -> Box<dyn NativeGraft> + Send + Sync>;
+
 /// A technology-independent graft package.
 pub struct GraftSpec {
     /// Human-readable graft name.
@@ -49,7 +58,7 @@ pub struct GraftSpec {
     /// Tickle source (script technology).
     pub tickle: Option<String>,
     /// Native Rust implementation factory.
-    pub native: Option<NativeFactory>,
+    pub native: Option<SharedNativeFactory>,
 }
 
 impl GraftSpec {
@@ -94,7 +103,7 @@ impl GraftSpec {
 
     /// Attaches a native implementation factory.
     pub fn with_native(mut self, factory: NativeFactory) -> Self {
-        self.native = Some(factory);
+        self.native = Some(Arc::from(factory));
         self
     }
 

@@ -38,6 +38,14 @@ fn main() {
     println!("{}", report::render_table7(&t7));
     art.add_table("table7", artifact::table7_json(&t7));
 
+    let ladder: Vec<usize> = match cli.shards {
+        Some(s) => vec![s],
+        None => experiment::LADDER.to_vec(),
+    };
+    let t8 = experiment::table8(&cfg, &ladder).expect("table 8");
+    println!("{}", report::render_table8(&t8));
+    art.add_table("table8", artifact::table8_json(&t8));
+
     let measured = std::time::Duration::from_nanos(t1.upcall_roundtrip.mean_ns as u64);
     let fig = experiment::figure1(&t2, Some(measured));
     print!("{}", report::render_figure1(&fig));

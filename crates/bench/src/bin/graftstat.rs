@@ -174,6 +174,64 @@ fn summarize(path: &str, a: &RunArtifact) -> String {
         }
     }
     out.push_str(&summarize_kernel(a));
+    out.push_str(&summarize_shards(a));
+    out
+}
+
+/// The sharded-kernel section: per-shard dispatch volume, epoch/mailbox
+/// control-plane traffic, and shard balance from the `kernel.shard.*`
+/// namespace. Empty when the run never used a [`ShardedHost`].
+fn summarize_shards(a: &RunArtifact) -> String {
+    let mut out = String::new();
+    let dispatches = a.counter("kernel.shard.dispatches");
+    if dispatches == 0 {
+        return out;
+    }
+    let _ = writeln!(out, "  graft-host (sharded):");
+    let _ = writeln!(
+        out,
+        "    shards {}  dispatches {dispatches}  invocations {}  traps {}  detaches {}",
+        a.counter("kernel.shard.count"),
+        a.counter("kernel.shard.invocations"),
+        a.counter("kernel.shard.traps"),
+        a.counter("kernel.shard.detaches"),
+    );
+    let _ = writeln!(
+        out,
+        "    control plane: installs {}  uninstalls {}  readmits {}  epoch {}  epoch syncs {}  mailbox ops {}  flushes {}",
+        a.counter("kernel.shard.installs"),
+        a.counter("kernel.shard.uninstalls"),
+        a.counter("kernel.shard.readmits"),
+        a.counter("kernel.shard.epoch"),
+        a.counter("kernel.shard.epoch_syncs"),
+        a.counter("kernel.shard.mailbox_ops"),
+        a.counter("kernel.shard.flushes"),
+    );
+    let hist = |name: &str| {
+        a.metrics
+            .get("histograms")
+            .and_then(Json::as_arr)
+            .and_then(|hs| {
+                hs.iter()
+                    .find(|h| h.get("name").and_then(Json::as_str) == Some(name))
+            })
+    };
+    if let Some(h) = hist("kernel.shard.load") {
+        let mean = h.get("mean").and_then(Json::as_f64).unwrap_or(0.0);
+        let count = h.get("count").and_then(Json::as_u64).unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "    shard load: {count} shard lifetimes, mean {mean:.0} dispatches each"
+        );
+    }
+    if let Some(h) = hist("kernel.shard.imbalance_pct") {
+        let mean = h.get("mean").and_then(Json::as_f64).unwrap_or(0.0);
+        let p99 = h.get("p99").and_then(Json::as_f64).unwrap_or(0.0);
+        let _ = writeln!(
+            out,
+            "    imbalance (max-min)/mean: mean={mean:.1}% p99={p99:.0}%"
+        );
+    }
     out
 }
 
@@ -445,6 +503,54 @@ mod tests {
         assert!(text.contains("quarantine trips 1"), "{text}");
         assert!(text.contains("chain depth: mean=1.40 p99=2"), "{text}");
         assert!(text.contains("\u{2265}1:60 \u{2265}2:40"), "{text}");
+    }
+
+    #[test]
+    fn shard_section_summarizes_load_and_imbalance() {
+        let mut art = artifact();
+        assert!(!summarize("x.json", &art).contains("graft-host (sharded):"));
+
+        let mut counters = Json::object();
+        counters
+            .set("kernel.shard.count", 4u64)
+            .set("kernel.shard.dispatches", 400u64)
+            .set("kernel.shard.invocations", 380u64)
+            .set("kernel.shard.traps", 3u64)
+            .set("kernel.shard.detaches", 1u64)
+            .set("kernel.shard.installs", 2u64)
+            .set("kernel.shard.epoch", 3u64)
+            .set("kernel.shard.epoch_syncs", 12u64)
+            .set("kernel.shard.mailbox_ops", 8u64)
+            .set("kernel.shard.flushes", 4u64);
+        let mut load = Json::object();
+        load.set("name", "kernel.shard.load")
+            .set("count", 4u64)
+            .set("mean", 100.0)
+            .set("p50", 100.0)
+            .set("p99", 101.0)
+            .set("buckets", Vec::<Json>::new());
+        let mut imb = Json::object();
+        imb.set("name", "kernel.shard.imbalance_pct")
+            .set("count", 1u64)
+            .set("mean", 2.0)
+            .set("p50", 2.0)
+            .set("p99", 2.0)
+            .set("buckets", Vec::<Json>::new());
+        let mut metrics = Json::object();
+        metrics
+            .set("counters", counters)
+            .set("histograms", vec![load, imb]);
+        art.metrics = metrics;
+
+        let text = summarize("x.json", &art);
+        assert!(text.contains("graft-host (sharded):"), "{text}");
+        assert!(
+            text.contains("shards 4  dispatches 400  invocations 380  traps 3  detaches 1"),
+            "{text}"
+        );
+        assert!(text.contains("epoch syncs 12"), "{text}");
+        assert!(text.contains("4 shard lifetimes, mean 100 dispatches"), "{text}");
+        assert!(text.contains("imbalance (max-min)/mean: mean=2.0% p99=2%"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,20 @@
+//! Regenerates Table 8: sharded multi-core graft dispatch — aggregate
+//! throughput per technology across the shard ladder (1/2/4/8 by
+//! default, or a single count via `--shards N`), measured over the
+//! critical path (see `docs/kernel.md`).
+
+use graft_core::artifact::{self, RunArtifact};
+use graft_core::experiment::LADDER;
+
+fn main() {
+    let cli = graft_bench::cli_from_args();
+    let ladder: Vec<usize> = match cli.shards {
+        Some(s) => vec![s],
+        None => LADDER.to_vec(),
+    };
+    let t = graft_core::experiment::table8(&cli.config, &ladder).expect("table 8 runs");
+    print!("{}", graft_core::report::render_table8(&t));
+    let mut art = RunArtifact::begin(&cli.config);
+    art.add_table("table8", artifact::table8_json(&t));
+    graft_bench::maybe_write_artifact(&cli, &mut art);
+}

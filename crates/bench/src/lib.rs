@@ -11,6 +11,7 @@
 //! | `table5` | Table 5 (MD5 fingerprinting) |
 //! | `table6` | Table 6 (Logical Disk) |
 //! | `table7` | Table 7 (ours: multi-tenant churn under graft-host) |
+//! | `table8` | Table 8 (ours: sharded multi-core dispatch scaling) |
 //! | `figure1` | Figure 1 (break-even vs upcall time, CSV) |
 //! | `all` | everything, in paper order |
 //! | `graftstat` | diff two `--json` run artifacts |
@@ -27,7 +28,7 @@ use graft_core::experiment::RunConfig;
 
 /// Usage string shared by `--help` and error reporting.
 pub const USAGE: &str =
-    "usage: [--quick|--full] [--offline] [--json <path>] [--no-telemetry]";
+    "usage: [--quick|--full] [--offline] [--json <path>] [--no-telemetry] [--shards <n>]";
 
 /// Parsed command line: the run configuration plus artifact options.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,6 +40,9 @@ pub struct Cli {
     /// Whether telemetry recording stays enabled (`--no-telemetry`
     /// turns the runtime toggle off).
     pub telemetry: bool,
+    /// `--shards <n>`: pin the sharded-dispatch experiment (Table 8)
+    /// to one shard count instead of the default 1/2/4/8 ladder.
+    pub shards: Option<usize>,
 }
 
 /// A CLI parse outcome that is not a runnable configuration.
@@ -50,6 +54,8 @@ pub enum CliError {
     Unknown(String),
     /// A flag that requires a value did not get one.
     MissingValue(String),
+    /// A flag value that did not parse (e.g. `--shards zero`).
+    BadValue(String, String),
 }
 
 impl std::fmt::Display for CliError {
@@ -61,6 +67,9 @@ impl std::fmt::Display for CliError {
             }
             CliError::MissingValue(flag) => {
                 write!(f, "flag `{flag}` needs a value\n{USAGE}")
+            }
+            CliError::BadValue(flag, value) => {
+                write!(f, "flag `{flag}` got unusable value `{value}`\n{USAGE}")
             }
         }
     }
@@ -75,6 +84,7 @@ pub fn parse_cli(args: &[String]) -> Result<Cli, CliError> {
         config: RunConfig::quick(),
         json: None,
         telemetry: true,
+        shards: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -88,6 +98,17 @@ pub fn parse_cli(args: &[String]) -> Result<Cli, CliError> {
                     .next()
                     .ok_or_else(|| CliError::MissingValue("--json".into()))?;
                 cli.json = Some(PathBuf::from(path));
+            }
+            "--shards" => {
+                let n = it
+                    .next()
+                    .ok_or_else(|| CliError::MissingValue("--shards".into()))?;
+                let parsed: usize = n
+                    .parse()
+                    .ok()
+                    .filter(|&v| (1..=64).contains(&v))
+                    .ok_or_else(|| CliError::BadValue("--shards".into(), n.clone()))?;
+                cli.shards = Some(parsed);
             }
             "--help" | "-h" => return Err(CliError::Help),
             other => return Err(CliError::Unknown(other.to_string())),
@@ -204,6 +225,25 @@ mod tests {
     fn no_telemetry_flag_parses() {
         let cli = parse_cli(&strings(&["--no-telemetry"])).unwrap();
         assert!(!cli.telemetry);
+    }
+
+    #[test]
+    fn shards_flag_parses_and_validates() {
+        assert_eq!(parse_cli(&strings(&[])).unwrap().shards, None);
+        let cli = parse_cli(&strings(&["--shards", "4"])).unwrap();
+        assert_eq!(cli.shards, Some(4));
+        assert_eq!(
+            parse_cli(&strings(&["--shards"])),
+            Err(CliError::MissingValue("--shards".into()))
+        );
+        assert_eq!(
+            parse_cli(&strings(&["--shards", "0"])),
+            Err(CliError::BadValue("--shards".into(), "0".into()))
+        );
+        assert_eq!(
+            parse_cli(&strings(&["--shards", "many"])),
+            Err(CliError::BadValue("--shards".into(), "many".into()))
+        );
     }
 
     #[test]

@@ -19,7 +19,7 @@ use graft_telemetry::MetricsSnapshot;
 use kernsim::stats::Sample;
 
 use crate::experiment::{
-    Figure1, RunConfig, Table1, Table2, Table3, Table4, Table5, Table6, Table7,
+    Figure1, RunConfig, Table1, Table2, Table3, Table4, Table5, Table6, Table7, Table8,
 };
 
 /// Schema identifier embedded in every artifact.
@@ -483,6 +483,41 @@ pub fn table7_json(t: &Table7) -> Json {
         .set("overhead", overhead)
         .set("trap_threshold", t.trap_threshold)
         .set("accesses", t.accesses);
+    obj
+}
+
+/// Table 8 as JSON. Each technology row carries one object per ladder
+/// rung keyed `s<N>`, whose `per_access` sample (critical-path ns per
+/// aggregate access) lands in the flattened sample index — the surface
+/// the shard-scaling CI gate diffs.
+pub fn table8_json(t: &Table8) -> Json {
+    let rows: Vec<Json> = t
+        .rows
+        .iter()
+        .map(|r| {
+            let mut row = Json::object();
+            row.set("tech", r.tech.paper_name());
+            for c in &r.cells {
+                let mut cell = Json::object();
+                cell.set("shards", c.shards)
+                    .set("per_access", sample_json(&c.per_access))
+                    .set("throughput_m", c.throughput_m)
+                    .set("efficiency", c.efficiency)
+                    .set("accesses", c.accesses);
+                row.set(&format!("s{}", c.shards), cell);
+            }
+            let top = *t.ladder.last().expect("non-empty ladder");
+            row.set("top_speedup", r.speedup(top).unwrap_or(f64::NAN));
+            row
+        })
+        .collect();
+    let mut obj = Json::object();
+    obj.set("rows", rows)
+        .set(
+            "ladder",
+            t.ladder.iter().map(|&s| Json::from(s as u64)).collect::<Vec<_>>(),
+        )
+        .set("runs", t.runs);
     obj
 }
 

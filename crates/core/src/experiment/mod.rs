@@ -7,11 +7,13 @@
 pub mod figure;
 pub mod micro;
 pub mod table7;
+pub mod table8;
 pub mod tables;
 
 pub use figure::{figure1, Figure1};
 pub use micro::{table1, table3, table4, Table1, Table3, Table4};
 pub use table7::{table7, Table7, Table7Row};
+pub use table8::{table8, Table8, Table8Cell, Table8Row, LADDER};
 pub use tables::{table2, table5, table6, Table2, Table2Row, Table5, Table5Row, Table6, Table6Row};
 
 /// Iteration counts and workload sizes for a whole experiment run.

@@ -63,11 +63,13 @@ impl GraftManager {
                     .ok_or_else(|| Self::missing(spec, "native implementation"))?;
                 // Seal the native engine to the spec's declared entry
                 // manifest so binding an undeclared name fails at bind
-                // time, exactly like the other technologies.
-                Ok(Box::new(NativeEngine::with_entries(
+                // time, exactly like the other technologies. The shared
+                // factory travels with the engine so a sharded host can
+                // fork one replica per worker shard.
+                Ok(Box::new(NativeEngine::from_factory(
                     &spec.regions,
                     &spec.entries,
-                    factory(),
+                    factory.clone(),
                 )?))
             }
             Technology::CompiledUnchecked => {

@@ -6,7 +6,7 @@
 use std::fmt::Write as _;
 use std::time::Duration;
 
-use crate::experiment::{Figure1, Table1, Table2, Table3, Table4, Table5, Table6, Table7};
+use crate::experiment::{Figure1, Table1, Table2, Table3, Table4, Table5, Table6, Table7, Table8};
 
 fn dur(d: Duration) -> String {
     let ns = d.as_nanos() as f64;
@@ -266,6 +266,52 @@ pub fn render_table7(t: &Table7) -> String {
         out,
         "  chain overhead vs direct: {:.0}ns/dispatch",
         t.chain_overhead_ns()
+    );
+    out
+}
+
+/// Renders Table 8: per-technology aggregate dispatch throughput (in
+/// million accesses/second over the critical path) across the shard
+/// ladder, with the top rung's speedup and scaling efficiency.
+pub fn render_table8(t: &Table8) -> String {
+    let mut out = String::new();
+    let top = *t.ladder.last().expect("non-empty ladder");
+    let _ = writeln!(
+        out,
+        "Table 8. Sharded Dispatch Throughput (M accesses/s over the critical path; {} runs/cell)",
+        t.runs
+    );
+    let mut widths = vec![20usize];
+    widths.extend(t.ladder.iter().map(|_| 12usize));
+    widths.extend([12usize, 12usize]);
+    let shard_headers: Vec<String> = t.ladder.iter().map(|s| format!("{s} shard(s)")).collect();
+    let mut headers: Vec<&str> = vec!["technology"];
+    headers.extend(shard_headers.iter().map(String::as_str));
+    let speedup_h = format!("x{top}/x{}", t.ladder[0]);
+    headers.push(&speedup_h);
+    headers.push("efficiency");
+    line(&mut out, &headers, &widths);
+    for row in &t.rows {
+        let cells: Vec<String> = row
+            .cells
+            .iter()
+            .map(|c| format!("{:.3}", c.throughput_m))
+            .collect();
+        let speedup = row.speedup(top).unwrap_or(f64::NAN);
+        let eff = row
+            .cell(top)
+            .map(|c| c.efficiency)
+            .unwrap_or(f64::NAN);
+        let mut cols: Vec<&str> = vec![row.tech.paper_name()];
+        cols.extend(cells.iter().map(String::as_str));
+        let speedup_s = format!("{speedup:.2}x");
+        let eff_s = format!("{:.0}%", eff * 100.0);
+        cols.push(&speedup_s);
+        cols.push(&eff_s);
+        line(&mut out, &cols, &widths);
+    }
+    out.push_str(
+        "  (shards measured one at a time; critical path = slowest shard, i.e. the wall\n   clock on a machine with enough idle cores. See docs/kernel.md.)\n",
     );
     out
 }

@@ -148,6 +148,18 @@ impl ExtensionEngine for BytecodeEngine {
     fn fuel_used(&self) -> Option<u64> {
         self.fuel_limit.map(|_| self.last_fuel_used)
     }
+
+    fn fork_for_shard(&self, _shard: usize) -> Result<Box<dyn ExtensionEngine>, GraftError> {
+        // The verified module is shared by `Arc`; regions and globals
+        // are snapshotted; fuel accounting starts fresh.
+        Ok(Box::new(BytecodeEngine {
+            module: std::sync::Arc::clone(&self.module),
+            regions: self.regions.clone(),
+            globals: self.globals.clone(),
+            fuel_limit: None,
+            last_fuel_used: 0,
+        }))
+    }
 }
 
 #[cfg(test)]

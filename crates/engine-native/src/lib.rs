@@ -298,6 +298,25 @@ impl ExtensionEngine for CompiledEngine {
             None
         }
     }
+
+    fn fork_for_shard(&self, _shard: usize) -> Result<Box<dyn ExtensionEngine>, GraftError> {
+        // Share the translated (and, under SFI, instrumented + verified)
+        // module via its `Arc`; re-running `load` here would instrument
+        // twice. Memory and globals are snapshotted so install-time
+        // marshalling propagates; fuel accounting starts fresh.
+        Ok(Box::new(CompiledEngine {
+            module: Arc::clone(&self.module),
+            mode: self.mode,
+            memory: self.memory.clone(),
+            globals: self.globals.clone(),
+            region_ids: self.region_ids.clone(),
+            fuel: u64::MAX,
+            metered: false,
+            fuel_limit: 0,
+            last_fuel_used: 0,
+            sfi_tally: SfiTally::default(),
+        }))
+    }
 }
 
 /// Convenience: compile Grail source and load it in one step.

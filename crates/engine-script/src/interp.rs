@@ -32,7 +32,7 @@ pub struct ProcDef {
 /// load time ([`crate::ScriptEngine`]'s `bind_entry`) stays valid for
 /// the life of the interpreter and always dispatches to the *latest*
 /// definition — the Tcl semantics.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ProcTable {
     names: Vec<String>,
     defs: Vec<ProcDef>,
@@ -106,6 +106,7 @@ impl Frame {
 }
 
 /// The interpreter state owned by the script engine.
+#[derive(Debug, Clone)]
 pub struct Interp {
     /// Defined procedures (slot-stable; see [`ProcTable`]).
     pub procs: ProcTable,

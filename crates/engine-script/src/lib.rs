@@ -141,6 +141,18 @@ impl ExtensionEngine for ScriptEngine {
     fn fuel_used(&self) -> Option<u64> {
         self.fuel_limit.map(|_| self.last_fuel_used)
     }
+
+    fn fork_for_shard(&self, _shard: usize) -> Result<Box<dyn ExtensionEngine>, GraftError> {
+        // The interpreter is a deep value: proc table, globals, and
+        // regions all clone, which both replays the top-level `proc`
+        // definitions (slot-stable, so parent-issued `EntryId`s remain
+        // valid in the replica) and snapshots install-time state.
+        Ok(Box::new(ScriptEngine {
+            interp: self.interp.clone(),
+            fuel_limit: None,
+            last_fuel_used: 0,
+        }))
+    }
 }
 
 #[cfg(test)]

@@ -1,14 +1,21 @@
-//! Substrate adapters: plugging a shared [`GraftHost`] into the kernsim
-//! policy seams.
+//! Substrate adapters: plugging a graft host into the kernsim policy
+//! seams.
 //!
 //! Each adapter implements the substrate's policy trait (or, for the
 //! disk write path, wraps the reference facility) and forwards every
-//! decision through [`GraftHost::dispatch`] at the matching
+//! decision through [`ChainDispatch::dispatch_chain`] at the matching
 //! [`AttachPoint`]. A `Continue` verdict — empty chain, every graft
 //! declining, or every graft quarantined — falls back to the built-in
 //! kernel policy, which is exactly the supervisor's containment story:
 //! detaching a hostile graft restores stock kernel behaviour without
 //! restarting the substrate.
+//!
+//! The adapters are generic over the [`ChainDispatch`] seam, defaulting
+//! to the single-threaded [`SharedHost`]; handing them a
+//! [`ShardHandle`](crate::shard::ShardHandle) (or an
+//! `Rc<RefCell<ShardHandle>>`) instead puts the same substrate on one
+//! shard of a [`ShardedHost`](crate::shard::ShardedHost), dispatching
+//! through that shard's thread-confined engine replicas.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -23,6 +30,7 @@ use logdisk::{LdConfig, LogicalDisk};
 
 use crate::host::GraftHost;
 use crate::point::AttachPoint;
+use crate::shard::ChainDispatch;
 
 /// A host shared between several substrate adapters (and the control
 /// plane that injects or quarantines tenants mid-run).
@@ -37,21 +45,21 @@ pub fn shared(host: GraftHost) -> SharedHost {
 /// an [`EvictionPolicy`] that marshals the resident queue plus the
 /// application's hot list into each chained graft and asks for a
 /// victim.
-pub struct HostedEviction {
-    host: SharedHost,
+pub struct HostedEviction<D: ChainDispatch = SharedHost> {
+    host: D,
     point: AttachPoint,
     hot: Vec<u64>,
 }
 
-impl HostedEviction {
+impl<D: ChainDispatch> HostedEviction<D> {
     /// An adapter for the VM pager eviction point.
-    pub fn new(host: SharedHost) -> Self {
+    pub fn new(host: D) -> Self {
         Self::at(host, AttachPoint::VmEvict)
     }
 
     /// An adapter for an explicit eviction-shaped point
     /// (`VmEvict` or `CacheEvict`).
-    pub fn at(host: SharedHost, point: AttachPoint) -> Self {
+    pub fn at(host: D, point: AttachPoint) -> Self {
         assert_eq!(point.entry(), "select_victim", "not an eviction point");
         HostedEviction {
             host,
@@ -67,7 +75,7 @@ impl HostedEviction {
     }
 }
 
-impl EvictionPolicy for HostedEviction {
+impl<D: ChainDispatch> EvictionPolicy for HostedEviction<D> {
     fn select_victim(&mut self, queue: &LruQueue) -> Option<PageId> {
         let resident: Vec<u64> = queue.iter_lru().take(MAX_QUEUE).collect();
         if resident.is_empty() {
@@ -77,7 +85,7 @@ impl EvictionPolicy for HostedEviction {
             queue: resident,
             hot: self.hot.clone(),
         };
-        match self.host.borrow_mut().dispatch(self.point, |engine| {
+        match self.host.dispatch_chain(self.point, &mut |engine| {
             let (lru, hot) = sc.marshal(engine)?;
             Ok(vec![lru, hot])
         }) {
@@ -94,15 +102,15 @@ impl EvictionPolicy for HostedEviction {
 /// that chains the graft's prediction up to `depth` blocks, falling
 /// back to a sequential window of `fallback` blocks when no graft has
 /// an opinion.
-pub struct HostedReadAhead {
-    host: SharedHost,
+pub struct HostedReadAhead<D: ChainDispatch = SharedHost> {
+    host: D,
     depth: usize,
     fallback: usize,
 }
 
-impl HostedReadAhead {
+impl<D: ChainDispatch> HostedReadAhead<D> {
     /// An adapter with a 4-block window and no heuristic fallback.
-    pub fn new(host: SharedHost) -> Self {
+    pub fn new(host: D) -> Self {
         HostedReadAhead {
             host,
             depth: 4,
@@ -124,13 +132,15 @@ impl HostedReadAhead {
     }
 }
 
-impl ReadAhead for HostedReadAhead {
+impl<D: ChainDispatch> ReadAhead for HostedReadAhead<D> {
     fn prefetch(&mut self, block: PageId) -> Vec<PageId> {
-        let mut host = self.host.borrow_mut();
         let mut out = Vec::with_capacity(self.depth);
         let mut at = block as i64;
         for _ in 0..self.depth {
-            match host.dispatch(AttachPoint::CacheReadAhead, |_| Ok(vec![at])) {
+            match self
+                .host
+                .dispatch_chain(AttachPoint::CacheReadAhead, &mut |_| Ok(vec![at]))
+            {
                 Verdict::Override(next) => {
                     out.push(next as u64);
                     at = next;
@@ -152,15 +162,15 @@ impl ReadAhead for HostedReadAhead {
 /// the run queue and application state into each chained graft. A
 /// declining (or empty, or quarantined) chain falls back to FIFO —
 /// round-robin, the kernel default.
-pub struct HostedSched {
-    host: SharedHost,
+pub struct HostedSched<D: ChainDispatch = SharedHost> {
+    host: D,
     /// Outstanding client requests, mirrored into `appst[0]`.
     pub pending_requests: i64,
 }
 
-impl HostedSched {
+impl<D: ChainDispatch> HostedSched<D> {
     /// A scheduling adapter over `host`.
-    pub fn new(host: SharedHost) -> Self {
+    pub fn new(host: D) -> Self {
         HostedSched {
             host,
             pending_requests: 0,
@@ -168,7 +178,7 @@ impl HostedSched {
     }
 }
 
-impl SchedPolicy for HostedSched {
+impl<D: ChainDispatch> SchedPolicy for HostedSched<D> {
     fn pick(&mut self, candidates: &[Candidate]) -> usize {
         let n = candidates.len().min(MAX_CANDS);
         let mut words = vec![0i64; 1 + 3 * n];
@@ -179,7 +189,7 @@ impl SchedPolicy for HostedSched {
             words[1 + i * 3 + 2] = c.tag;
         }
         let pending = self.pending_requests;
-        match self.host.borrow_mut().dispatch(AttachPoint::SchedPick, |engine| {
+        match self.host.dispatch_chain(AttachPoint::SchedPick, &mut |engine| {
             let cands = engine.bind_region("cands")?;
             let appst = engine.bind_region("appst")?;
             engine.load_region_id(cands, 0, &words)?;
@@ -200,8 +210,8 @@ impl SchedPolicy for HostedSched {
 /// flushed). With no graft deciding — including after a quarantine —
 /// the write is handled by the in-kernel reference facility, so the
 /// disk keeps absorbing writes no matter what the tenants do.
-pub struct HostedWritePath {
-    host: SharedHost,
+pub struct HostedWritePath<D: ChainDispatch = SharedHost> {
+    host: D,
     fallback: LogicalDisk,
     /// Writes decided by a graft.
     pub graft_writes: u64,
@@ -209,10 +219,10 @@ pub struct HostedWritePath {
     pub fallback_writes: u64,
 }
 
-impl HostedWritePath {
+impl<D: ChainDispatch> HostedWritePath<D> {
     /// A write path over `host` with an in-kernel facility sized for
     /// `blocks` logical blocks.
-    pub fn new(host: SharedHost, blocks: usize) -> Self {
+    pub fn new(host: D, blocks: usize) -> Self {
         HostedWritePath {
             host,
             fallback: LogicalDisk::new(LdConfig {
@@ -228,8 +238,7 @@ impl HostedWritePath {
     pub fn write(&mut self, logical: u64) -> bool {
         match self
             .host
-            .borrow_mut()
-            .dispatch(AttachPoint::DiskWrite, |_| Ok(vec![logical as i64]))
+            .dispatch_chain(AttachPoint::DiskWrite, &mut |_| Ok(vec![logical as i64]))
         {
             Verdict::Override(flushed) => {
                 self.graft_writes += 1;
@@ -447,6 +456,51 @@ mod tests {
         assert_eq!(path.fallback_writes, 64);
         assert_eq!(path.graft_writes, 0, "the trapped write decided nothing");
         assert_eq!(flushes, 4, "64 fallback writes fill exactly 4 segments");
+    }
+
+    #[test]
+    fn sharded_handles_drive_the_same_adapters() {
+        use crate::shard::ShardedHost;
+        use graft_api::spec::SharedNativeFactory;
+        use graft_api::{EntryPoint, NativeEngine, RegionSpec, RegionStore};
+        use std::sync::Arc;
+
+        // A forkable native eviction graft that always nominates the
+        // LRU head (arg 0 is the marshalled lru handle, which the
+        // closure ignores; it returns a fixed resident page).
+        let specs = [
+            RegionSpec::linked("lru", 1 + 2 * MAX_QUEUE),
+            RegionSpec::linked("hot", 1 + 2 * MAX_HOT),
+        ];
+        let entries = [EntryPoint {
+            name: "select_victim".into(),
+            arity: 2,
+        }];
+        let factory: SharedNativeFactory = Arc::new(|| {
+            Box::new(|_: &str, _: &[i64], _: &mut RegionStore| Ok(7))
+        });
+        let engine: Box<dyn graft_api::ExtensionEngine> =
+            Box::new(NativeEngine::from_factory(&specs, &entries, factory).unwrap());
+
+        let mut host = ShardedHost::new(2);
+        let id = host.install(AttachPoint::VmEvict, "head", engine).unwrap();
+        // Each shard handle runs its own pager through the *same*
+        // adapter type the single-threaded host uses.
+        for handle in host.take_handles() {
+            let handle = Rc::new(RefCell::new(handle));
+            let policy = HostedEviction::new(handle.clone());
+            let mut pager = Pager::new(4, policy);
+            for p in 0..12u64 {
+                pager.access(p);
+            }
+            // Page 7 was nominated whenever resident; the pager
+            // validated it and fell back to LRU otherwise.
+            assert!(pager.stats().evictions > 0);
+            drop(pager);
+            // Last Rc drops here → the handle flushes its ledgers.
+        }
+        assert!(host.ledger(id).unwrap().invocations > 0);
+        assert_eq!(host.stats().overrides + host.stats().defaults, host.stats().dispatches);
     }
 
     #[test]

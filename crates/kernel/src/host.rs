@@ -12,7 +12,7 @@ use crate::point::AttachPoint;
 
 /// Chain depths recorded in the `kernel.chain_depth` histogram are
 /// clamped to this many slots (depth 16+ shares the last slot).
-const DEPTH_SLOTS: usize = 17;
+pub(crate) const DEPTH_SLOTS: usize = 17;
 
 /// Supervisor policy knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,7 +64,7 @@ pub enum GraftState {
 pub struct GraftId(pub u64);
 
 /// Aggregate host statistics (flushed to `kernel.*` telemetry counters
-/// when the host is dropped).
+/// by [`GraftHost::flush`], and on drop for whatever remains).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HostStats {
     /// Chain dispatches requested by substrates.
@@ -89,6 +89,41 @@ pub struct HostStats {
     pub readmits: u64,
     /// Marshalling or non-trap framework failures skipped over.
     pub marshal_failures: u64,
+}
+
+impl HostStats {
+    /// Field-by-field saturating difference (`self - prev`), used to
+    /// publish only the counts not yet flushed to telemetry.
+    pub fn delta_since(&self, prev: &HostStats) -> HostStats {
+        HostStats {
+            dispatches: self.dispatches.saturating_sub(prev.dispatches),
+            invocations: self.invocations.saturating_sub(prev.invocations),
+            traps: self.traps.saturating_sub(prev.traps),
+            overrides: self.overrides.saturating_sub(prev.overrides),
+            continues: self.continues.saturating_sub(prev.continues),
+            defaults: self.defaults.saturating_sub(prev.defaults),
+            quarantine_trips: self.quarantine_trips.saturating_sub(prev.quarantine_trips),
+            installs: self.installs.saturating_sub(prev.installs),
+            uninstalls: self.uninstalls.saturating_sub(prev.uninstalls),
+            readmits: self.readmits.saturating_sub(prev.readmits),
+            marshal_failures: self.marshal_failures.saturating_sub(prev.marshal_failures),
+        }
+    }
+
+    /// Field-by-field accumulation.
+    pub fn merge(&mut self, other: &HostStats) {
+        self.dispatches += other.dispatches;
+        self.invocations += other.invocations;
+        self.traps += other.traps;
+        self.overrides += other.overrides;
+        self.continues += other.continues;
+        self.defaults += other.defaults;
+        self.quarantine_trips += other.quarantine_trips;
+        self.installs += other.installs;
+        self.uninstalls += other.uninstalls;
+        self.readmits += other.readmits;
+        self.marshal_failures += other.marshal_failures;
+    }
 }
 
 struct InstalledGraft {
@@ -146,6 +181,10 @@ pub struct GraftHost {
     next_id: u64,
     stats: HostStats,
     depth_counts: [u64; DEPTH_SLOTS],
+    /// Counts already pushed to telemetry by [`GraftHost::flush`];
+    /// subtracted on the next flush so nothing is double-counted.
+    published: HostStats,
+    published_depth: [u64; DEPTH_SLOTS],
 }
 
 impl Default for GraftHost {
@@ -169,6 +208,8 @@ impl GraftHost {
             next_id: 1,
             stats: HostStats::default(),
             depth_counts: [0; DEPTH_SLOTS],
+            published: HostStats::default(),
+            published_depth: [0; DEPTH_SLOTS],
         }
     }
 
@@ -415,15 +456,28 @@ impl GraftHost {
         result
     }
 
-    /// Flushes accumulated statistics into the global telemetry
-    /// counters. Called from `Drop`, so dispatch — the measured path —
-    /// never touches an atomic; each host contributes its totals
-    /// exactly once, when it is torn down.
-    fn publish_telemetry(&self) {
+    /// Flushes statistics accumulated since the last flush into the
+    /// global telemetry counters.
+    ///
+    /// Dispatch — the measured path — never touches an atomic; counts
+    /// accumulate in plain fields and reach telemetry only here.
+    /// Historically this ran *only* from `Drop`, which silently lost
+    /// every count when a host was leaked (`std::mem::forget`, an
+    /// `Rc` cycle) — and left nothing persisted if a run aborted after
+    /// hours of dispatching. `flush` is idempotent (it publishes only
+    /// the delta since the previous flush, and `Drop` publishes only
+    /// what an explicit flush has not already pushed), so callers can
+    /// checkpoint at will: call it before a risky section, before
+    /// snapshotting telemetry, or never — `Drop` still covers the
+    /// normal teardown *and* unwinding out of a panicking dispatch.
+    pub fn flush(&mut self) {
+        let s = self.stats.delta_since(&self.published);
+        self.published = self.stats;
+        let depth_prev = self.published_depth;
+        self.published_depth = self.depth_counts;
         if !graft_telemetry::enabled() {
             return;
         }
-        let s = self.stats;
         graft_telemetry::counter!("kernel.dispatches").add(s.dispatches);
         graft_telemetry::counter!("kernel.invocations").add(s.invocations);
         graft_telemetry::counter!("kernel.traps").add(s.traps);
@@ -436,15 +490,18 @@ impl GraftHost {
         graft_telemetry::counter!("kernel.readmits").add(s.readmits);
         graft_telemetry::counter!("kernel.marshal_failures").add(s.marshal_failures);
         let depth = graft_telemetry::histogram!("kernel.chain_depth");
-        for (d, &n) in self.depth_counts.iter().enumerate() {
-            depth.record_n(d as u64, n);
+        for (d, (&n, &p)) in self.depth_counts.iter().zip(depth_prev.iter()).enumerate() {
+            depth.record_n(d as u64, n.saturating_sub(p));
         }
     }
 }
 
 impl Drop for GraftHost {
     fn drop(&mut self) {
-        self.publish_telemetry();
+        // Publishes only what explicit flushes have not already pushed;
+        // this also runs while unwinding out of a panicking dispatch,
+        // so counts up to the fault survive into telemetry.
+        self.flush();
     }
 }
 
@@ -681,5 +738,58 @@ mod tests {
         assert_eq!(verdict, Verdict::Continue);
         assert_eq!(host.ledger(a).unwrap().invocations, 0);
         assert_eq!(host.stats().marshal_failures, 1);
+    }
+
+    #[test]
+    fn flush_is_idempotent_and_survives_mem_forget() {
+        // The regression this guards: telemetry used to publish *only*
+        // from `Drop`, so a leaked host (`std::mem::forget`, an `Rc`
+        // cycle) silently lost every count. An explicit `flush()`
+        // checkpoints the counts; a later flush or drop publishes only
+        // the delta, never double-counting.
+        let before = graft_telemetry::snapshot().counter("kernel.dispatches");
+        let mut host = GraftHost::new();
+        host.install(AttachPoint::VmEvict, "c", constant(4)).unwrap();
+        for _ in 0..5 {
+            dispatch_once(&mut host);
+        }
+        host.flush();
+        // Everything accumulated so far is now published: the pending
+        // delta is zero, so a second flush (or Drop) adds nothing.
+        assert_eq!(host.stats.delta_since(&host.published), HostStats::default());
+        host.flush();
+        assert_eq!(host.published.dispatches, 5);
+        // Leak the host. Without the explicit flush above these five
+        // dispatches would never reach telemetry.
+        std::mem::forget(host);
+        if graft_telemetry::enabled() {
+            let after = graft_telemetry::snapshot().counter("kernel.dispatches");
+            // Other tests run in parallel and also publish, so the
+            // global counter is only monotonically bounded below.
+            assert!(after >= before + 5, "flushed counts lost: {before} -> {after}");
+        }
+    }
+
+    #[test]
+    fn drop_during_panic_unwind_publishes_counts() {
+        let before = graft_telemetry::snapshot().counter("kernel.dispatches");
+        let result = std::panic::catch_unwind(|| {
+            let mut host = GraftHost::new();
+            host.install(AttachPoint::VmEvict, "c", constant(4)).unwrap();
+            for _ in 0..7 {
+                dispatch_once(&mut host);
+            }
+            // The eighth dispatch faults in kernel-side marshalling
+            // code; the host unwinds out of `dispatch` and its Drop
+            // impl must still publish all eight dispatch counts.
+            host.dispatch(AttachPoint::VmEvict, |_| -> Result<Vec<i64>, GraftError> {
+                panic!("marshal bug")
+            });
+        });
+        assert!(result.is_err(), "the marshal closure must have panicked");
+        if graft_telemetry::enabled() {
+            let after = graft_telemetry::snapshot().counter("kernel.dispatches");
+            assert!(after >= before + 8, "counts lost on unwind: {before} -> {after}");
+        }
     }
 }

@@ -34,7 +34,9 @@
 pub mod adapters;
 pub mod host;
 pub mod point;
+pub mod shard;
 
 pub use adapters::{shared, HostedEviction, HostedReadAhead, HostedSched, HostedWritePath, SharedHost};
 pub use host::{GraftHost, GraftId, GraftState, HostConfig, HostStats};
 pub use point::AttachPoint;
+pub use shard::{AtomicLedger, ChainDispatch, MarshalFn, ShardHandle, ShardedHost, VirtualShards};

@@ -1,0 +1,1338 @@
+//! Sharded multi-core graft dispatch: per-shard engine replicas, a
+//! cross-shard quarantine supervisor, and lock-free ledger merging.
+//!
+//! The single-threaded [`GraftHost`] serializes every dispatch through
+//! one set of engines. Production extension runtimes don't: eBPF scales
+//! by giving every CPU its own program state and per-CPU maps, so the
+//! hot path never takes a cross-CPU lock. [`ShardedHost`] applies the
+//! same shape to grafts:
+//!
+//! * **Thread-confined replicas.** `install` binds the attach point's
+//!   entry once, then clones the engine per worker shard via
+//!   [`ExtensionEngine::fork_for_shard`]. Each shard owns its replicas
+//!   outright — dispatch touches no lock, ever.
+//! * **Shard handles.** Workers receive a [`ShardHandle`] (it is
+//!   `Send`; move it into a `std::thread`) and dispatch inline on their
+//!   own thread, exactly like per-CPU program invocation.
+//! * **Hot install/uninstall.** The control plane stays usable while
+//!   shards dispatch: membership ops are queued to per-shard mailboxes
+//!   and stamped with a bumped *epoch*. A dispatching shard pays one
+//!   relaxed epoch load when nothing changed, and drains its mailbox
+//!   only when the epoch moved.
+//! * **One supervisor, all shards.** Strikes are a single shared atomic
+//!   per graft, so "3 traps or one `FuelExhausted`" means three traps
+//!   *anywhere*, same as the single-shard host. The losing CAS never
+//!   double-detaches; the winning shard stamps the graft's detach
+//!   epoch, and every shard's next dispatch observes the quarantine
+//!   before invoking — a detached graft never runs again.
+//! * **Lock-free ledger merge.** Each shard accounts into a private,
+//!   plain-field [`GraftLedger`]; [`ShardHandle::flush`] folds it into
+//!   the graft's shared [`AtomicLedger`] with `fetch_add` — no mutex on
+//!   either side, and totals equal the single-shard host's exactly.
+//!
+//! For deterministic concurrency testing there is a *virtual scheduler*
+//! ([`VirtualShards`]): all shard handles held on one thread and
+//! stepped in a seeded, reshuffled round-robin, so cross-shard
+//! quarantine races replay exactly from a seed in CI.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use graft_api::{
+    EntryId, ExtensionEngine, GraftError, GraftLedger, Technology, TrapKind, Verdict,
+};
+use graft_rng::{SliceRandom, SmallRng};
+
+use crate::host::{GraftHost, GraftId, GraftState, HostConfig, HostStats, DEPTH_SLOTS};
+use crate::point::AttachPoint;
+
+const STATE_ACTIVE: u32 = 0;
+const STATE_PROBATION: u32 = 1;
+const STATE_QUARANTINED: u32 = 2;
+
+/// A [`GraftLedger`] whose fields are atomics: the merge target shared
+/// by every shard's private ledger. `fetch_add`-only, so merging is
+/// lock-free and totals are exact.
+#[derive(Debug, Default)]
+pub struct AtomicLedger {
+    invocations: AtomicU64,
+    traps: AtomicU64,
+    cum_ns: AtomicU64,
+    fuel_used: AtomicU64,
+    trap_counts: [AtomicU64; TrapKind::COUNT],
+}
+
+impl AtomicLedger {
+    /// Folds one shard's private ledger into the shared totals.
+    pub fn merge(&self, local: &GraftLedger) {
+        if local.invocations == 0 && local.traps == 0 {
+            return;
+        }
+        self.invocations.fetch_add(local.invocations, Ordering::Relaxed);
+        self.traps.fetch_add(local.traps, Ordering::Relaxed);
+        self.cum_ns.fetch_add(local.cum_ns, Ordering::Relaxed);
+        self.fuel_used.fetch_add(local.fuel_used, Ordering::Relaxed);
+        for kind in TrapKind::ALL {
+            let n = local.trap_counts.get(kind);
+            if n > 0 {
+                self.trap_counts[kind as usize].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// A plain-field snapshot of the merged totals.
+    pub fn snapshot(&self) -> GraftLedger {
+        let mut ledger = GraftLedger {
+            invocations: self.invocations.load(Ordering::Relaxed),
+            traps: self.traps.load(Ordering::Relaxed),
+            cum_ns: self.cum_ns.load(Ordering::Relaxed),
+            fuel_used: self.fuel_used.load(Ordering::Relaxed),
+            ..GraftLedger::default()
+        };
+        for kind in TrapKind::ALL {
+            let n = self.trap_counts[kind as usize].load(Ordering::Relaxed);
+            if n > 0 {
+                ledger.trap_counts.add(kind, n);
+            }
+        }
+        ledger
+    }
+}
+
+/// The cross-shard face of one installed graft: supervisor state and
+/// merged accounting. Everything here is atomic; nothing on the
+/// dispatch path takes a lock.
+struct SharedGraft {
+    id: u64,
+    name: String,
+    tech: Technology,
+    /// Install generation: the global epoch when this graft was
+    /// (re-)admitted. A detach stamps the epoch *at detach time*, so
+    /// `detach_epoch > generation` always identifies the incarnation
+    /// that was detached — a stale observation of a previous
+    /// incarnation can never quarantine a re-admitted graft.
+    generation: AtomicU64,
+    /// Trapped invocations since (re-)admission, summed over shards.
+    strikes: AtomicU32,
+    state: AtomicU32,
+    /// Clean invocations still required while on probation.
+    remaining_clean: AtomicU64,
+    /// `TrapKind as u32` of the trap that tripped the supervisor.
+    quarantined_by: AtomicU32,
+    /// Global epoch stamped by the winning detach.
+    detach_epoch: AtomicU64,
+    ledger: AtomicLedger,
+}
+
+impl SharedGraft {
+    fn new(id: u64, name: &str, tech: Technology, generation: u64) -> Self {
+        SharedGraft {
+            id,
+            name: name.to_string(),
+            tech,
+            generation: AtomicU64::new(generation),
+            strikes: AtomicU32::new(0),
+            state: AtomicU32::new(STATE_ACTIVE),
+            remaining_clean: AtomicU64::new(0),
+            quarantined_by: AtomicU32::new(0),
+            detach_epoch: AtomicU64::new(0),
+            ledger: AtomicLedger::default(),
+        }
+    }
+
+    fn is_quarantined(&self) -> bool {
+        self.state.load(Ordering::Acquire) == STATE_QUARANTINED
+    }
+
+    fn state(&self) -> GraftState {
+        match self.state.load(Ordering::Acquire) {
+            STATE_ACTIVE => GraftState::Active,
+            STATE_PROBATION => GraftState::Probation {
+                remaining_clean: self.remaining_clean.load(Ordering::Acquire),
+            },
+            _ => GraftState::Quarantined {
+                by: TrapKind::ALL[self.quarantined_by.load(Ordering::Acquire) as usize
+                    % TrapKind::COUNT],
+            },
+        }
+    }
+
+    /// One clean invocation: walk probation back toward `Active`.
+    fn note_clean(&self) {
+        if self.state.load(Ordering::Acquire) != STATE_PROBATION {
+            return;
+        }
+        // Decrement-if-positive, so concurrent clean invocations from
+        // several shards never wrap below zero.
+        let mut left = self.remaining_clean.load(Ordering::Acquire);
+        while left > 0 {
+            match self.remaining_clean.compare_exchange_weak(
+                left,
+                left - 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    if left == 1 {
+                        // Last required clean call: back to full standing.
+                        let _ = self.state.compare_exchange(
+                            STATE_PROBATION,
+                            STATE_ACTIVE,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        );
+                    }
+                    return;
+                }
+                Err(now) => left = now,
+            }
+        }
+    }
+
+    /// Accounts one trap; returns `true` when *this* call wins the
+    /// detach (exactly one caller across all shards does).
+    fn note_trap(&self, kind: TrapKind, threshold: u32, epoch: &AtomicU64) -> bool {
+        let strikes = self.strikes.fetch_add(1, Ordering::AcqRel) + 1;
+        let instant = kind == TrapKind::FuelExhausted
+            || self.state.load(Ordering::Acquire) == STATE_PROBATION;
+        if instant || strikes >= threshold {
+            self.detach(kind, epoch)
+        } else {
+            false
+        }
+    }
+
+    /// Atomically quarantines the graft across all shards. The single
+    /// winning transition stamps a freshly bumped global epoch, so the
+    /// detach is totally ordered against install/uninstall traffic.
+    fn detach(&self, kind: TrapKind, epoch: &AtomicU64) -> bool {
+        if self.state.swap(STATE_QUARANTINED, Ordering::AcqRel) == STATE_QUARANTINED {
+            return false; // another shard already won
+        }
+        self.quarantined_by.store(kind as u32, Ordering::Release);
+        self.detach_epoch
+            .store(epoch.fetch_add(1, Ordering::AcqRel) + 1, Ordering::Release);
+        true
+    }
+}
+
+/// Membership traffic from the control plane to one shard.
+enum ShardOp {
+    Install {
+        shared: Arc<SharedGraft>,
+        engine: Box<dyn ExtensionEngine>,
+        entry: EntryId,
+        point: AttachPoint,
+        at: usize,
+    },
+    Uninstall(u64),
+}
+
+/// `HostStats`' dispatch-path fields as shared atomics, merged into by
+/// shard flushes.
+#[derive(Default)]
+struct AtomicStats {
+    dispatches: AtomicU64,
+    invocations: AtomicU64,
+    traps: AtomicU64,
+    overrides: AtomicU64,
+    continues: AtomicU64,
+    defaults: AtomicU64,
+    quarantine_trips: AtomicU64,
+    marshal_failures: AtomicU64,
+}
+
+impl AtomicStats {
+    fn merge(&self, s: &HostStats) {
+        self.dispatches.fetch_add(s.dispatches, Ordering::Relaxed);
+        self.invocations.fetch_add(s.invocations, Ordering::Relaxed);
+        self.traps.fetch_add(s.traps, Ordering::Relaxed);
+        self.overrides.fetch_add(s.overrides, Ordering::Relaxed);
+        self.continues.fetch_add(s.continues, Ordering::Relaxed);
+        self.defaults.fetch_add(s.defaults, Ordering::Relaxed);
+        self.quarantine_trips.fetch_add(s.quarantine_trips, Ordering::Relaxed);
+        self.marshal_failures.fetch_add(s.marshal_failures, Ordering::Relaxed);
+    }
+}
+
+/// Control-plane state shared by the [`ShardedHost`] and every
+/// [`ShardHandle`].
+struct Control {
+    config: HostConfig,
+    shards: usize,
+    /// Membership epoch: bumped after every install/uninstall/readmit
+    /// and by every winning detach. The only thing a dispatching shard
+    /// reads when nothing changed.
+    epoch: AtomicU64,
+    next_id: AtomicU64,
+    registry: Mutex<BTreeMap<u64, Arc<SharedGraft>>>,
+    mailboxes: Mutex<Vec<Sender<ShardOp>>>,
+    stats: AtomicStats,
+    /// Per-shard dispatch totals (merged on flush), for the
+    /// shard-imbalance histogram.
+    shard_dispatches: Vec<AtomicU64>,
+    installs: AtomicU64,
+    uninstalls: AtomicU64,
+    readmits: AtomicU64,
+}
+
+/// The sharded extension kernel: the [`GraftHost`] chains replicated
+/// over N worker shards.
+///
+/// `ShardedHost` is the control plane: install, uninstall, readmit,
+/// and observe. Dispatch happens on [`ShardHandle`]s, taken once with
+/// [`take_handles`](ShardedHost::take_handles) and moved onto worker
+/// threads (or driven cooperatively through [`VirtualShards`]).
+/// Control-plane calls take `&self` and stay fully usable while every
+/// shard is dispatching.
+pub struct ShardedHost {
+    inner: Arc<Control>,
+    handles: Vec<Option<ShardHandle>>,
+    published: bool,
+}
+
+impl ShardedHost {
+    /// A host with `shards` worker shards and the default supervisor
+    /// policy.
+    pub fn new(shards: usize) -> Self {
+        Self::with_config(shards, HostConfig::default())
+    }
+
+    /// A host with `shards` worker shards and an explicit policy.
+    pub fn with_config(shards: usize, config: HostConfig) -> Self {
+        let shards = shards.max(1);
+        let mut senders = Vec::with_capacity(shards);
+        let mut receivers = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = channel();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let inner = Arc::new(Control {
+            config,
+            shards,
+            epoch: AtomicU64::new(0),
+            next_id: AtomicU64::new(1),
+            registry: Mutex::new(BTreeMap::new()),
+            mailboxes: Mutex::new(senders),
+            stats: AtomicStats::default(),
+            shard_dispatches: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            installs: AtomicU64::new(0),
+            uninstalls: AtomicU64::new(0),
+            readmits: AtomicU64::new(0),
+        });
+        let handles = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(shard, rx)| {
+                Some(ShardHandle {
+                    shard,
+                    control: Arc::clone(&inner),
+                    rx,
+                    seen_epoch: 0,
+                    grafts: BTreeMap::new(),
+                    chains: std::array::from_fn(|_| Vec::new()),
+                    stats: HostStats::default(),
+                    published: HostStats::default(),
+                    depth_counts: [0; DEPTH_SLOTS],
+                    published_depth: [0; DEPTH_SLOTS],
+                    epoch_syncs: 0,
+                    mailbox_ops: 0,
+                    flushes: 0,
+                })
+            })
+            .collect();
+        ShardedHost {
+            inner,
+            handles,
+            published: false,
+        }
+    }
+
+    /// Number of worker shards.
+    pub fn shards(&self) -> usize {
+        self.inner.shards
+    }
+
+    /// The supervisor policy in force.
+    pub fn config(&self) -> HostConfig {
+        self.inner.config
+    }
+
+    /// Takes ownership of one shard's handle (at most once per shard).
+    pub fn take_handle(&mut self, shard: usize) -> Option<ShardHandle> {
+        self.handles.get_mut(shard).and_then(Option::take)
+    }
+
+    /// Takes every remaining handle, in shard order.
+    pub fn take_handles(&mut self) -> Vec<ShardHandle> {
+        self.handles.iter_mut().filter_map(Option::take).collect()
+    }
+
+    /// Installs `engine` at the end of `point`'s chain on every shard.
+    ///
+    /// Binds the point's entry once on the source engine, forks one
+    /// thread-confined replica per additional shard (shard 0 receives
+    /// the source itself), and queues the install to every shard's
+    /// mailbox under a bumped epoch. Shards pick it up at their next
+    /// dispatch — the chain stays hot throughout. Fails atomically: if
+    /// any fork fails, nothing is installed anywhere.
+    pub fn install(
+        &self,
+        point: AttachPoint,
+        name: &str,
+        engine: Box<dyn ExtensionEngine>,
+    ) -> Result<GraftId, GraftError> {
+        self.install_at(point, name, engine, usize::MAX)
+    }
+
+    /// Installs at the *front* of every shard's chain.
+    pub fn install_front(
+        &self,
+        point: AttachPoint,
+        name: &str,
+        engine: Box<dyn ExtensionEngine>,
+    ) -> Result<GraftId, GraftError> {
+        self.install_at(point, name, engine, 0)
+    }
+
+    fn install_at(
+        &self,
+        point: AttachPoint,
+        name: &str,
+        mut engine: Box<dyn ExtensionEngine>,
+        at: usize,
+    ) -> Result<GraftId, GraftError> {
+        let entry = engine.bind_entry(point.entry())?;
+        // Fork all replicas *before* registering anything, so a
+        // non-forkable engine fails the install cleanly on every shard.
+        let mut engines: Vec<Box<dyn ExtensionEngine>> = Vec::with_capacity(self.inner.shards);
+        for shard in 1..self.inner.shards {
+            engines.push(engine.fork_for_shard(shard)?);
+        }
+        engine.set_fuel(self.inner.config.fuel_budget);
+        for replica in &mut engines {
+            replica.set_fuel(self.inner.config.fuel_budget);
+        }
+        engines.insert(0, engine);
+
+        let id = self.inner.next_id.fetch_add(1, Ordering::AcqRel);
+        let generation = self.inner.epoch.load(Ordering::Acquire);
+        let shared = Arc::new(SharedGraft::new(id, name, engines[0].technology(), generation));
+        self.inner
+            .registry
+            .lock()
+            .expect("registry lock")
+            .insert(id, Arc::clone(&shared));
+        {
+            let mailboxes = self.inner.mailboxes.lock().expect("mailbox lock");
+            for (tx, replica) in mailboxes.iter().zip(engines) {
+                // A send only fails when the shard handle is gone; the
+                // remaining shards still serve.
+                let _ = tx.send(ShardOp::Install {
+                    shared: Arc::clone(&shared),
+                    engine: replica,
+                    entry,
+                    point,
+                    at,
+                });
+            }
+        }
+        self.inner.installs.fetch_add(1, Ordering::Relaxed);
+        self.inner.epoch.fetch_add(1, Ordering::AcqRel);
+        Ok(GraftId(id))
+    }
+
+    /// Uninstalls a graft from every shard. Returns `false` for an
+    /// unknown id. Shards drop their replicas (merging any unflushed
+    /// ledger counts) at their next dispatch.
+    pub fn uninstall(&self, id: GraftId) -> bool {
+        if self
+            .inner
+            .registry
+            .lock()
+            .expect("registry lock")
+            .remove(&id.0)
+            .is_none()
+        {
+            return false;
+        }
+        {
+            let mailboxes = self.inner.mailboxes.lock().expect("mailbox lock");
+            for tx in mailboxes.iter() {
+                let _ = tx.send(ShardOp::Uninstall(id.0));
+            }
+        }
+        self.inner.uninstalls.fetch_add(1, Ordering::Relaxed);
+        self.inner.epoch.fetch_add(1, Ordering::AcqRel);
+        true
+    }
+
+    /// Re-admits a quarantined graft on probation, across all shards at
+    /// once (shards read the shared supervisor state inline, so the
+    /// re-admission is visible at every shard's very next dispatch).
+    pub fn readmit(&self, id: GraftId) -> bool {
+        let registry = self.inner.registry.lock().expect("registry lock");
+        let Some(g) = registry.get(&id.0) else {
+            return false;
+        };
+        if g.state.load(Ordering::Acquire) != STATE_QUARANTINED {
+            return false;
+        }
+        g.strikes.store(0, Ordering::Release);
+        g.remaining_clean
+            .store(self.inner.config.probation_clean.max(1), Ordering::Release);
+        // New incarnation: a detach observed after this point must have
+        // been won against the probation state, not the old one.
+        g.generation
+            .store(self.inner.epoch.load(Ordering::Acquire), Ordering::Release);
+        g.state.store(STATE_PROBATION, Ordering::Release);
+        drop(registry);
+        self.inner.readmits.fetch_add(1, Ordering::Relaxed);
+        self.inner.epoch.fetch_add(1, Ordering::AcqRel);
+        true
+    }
+
+    /// Merged cross-shard ledger of one graft. Complete once shards
+    /// have flushed (a [`ShardHandle`] flushes explicitly or on drop).
+    pub fn ledger(&self, id: GraftId) -> Option<GraftLedger> {
+        self.inner
+            .registry
+            .lock()
+            .expect("registry lock")
+            .get(&id.0)
+            .map(|g| g.ledger.snapshot())
+    }
+
+    /// The lifecycle state of one graft.
+    pub fn state(&self, id: GraftId) -> Option<GraftState> {
+        self.inner
+            .registry
+            .lock()
+            .expect("registry lock")
+            .get(&id.0)
+            .map(|g| g.state())
+    }
+
+    /// Whether the supervisor has detached this graft (on all shards —
+    /// detach is global by construction).
+    pub fn is_quarantined(&self, id: GraftId) -> bool {
+        matches!(self.state(id), Some(GraftState::Quarantined { .. }))
+    }
+
+    /// The epoch stamped by the supervisor when it detached this graft
+    /// (0 if never detached). Strictly greater than the graft's install
+    /// generation, and totally ordered against membership changes.
+    pub fn detach_epoch(&self, id: GraftId) -> Option<u64> {
+        self.inner
+            .registry
+            .lock()
+            .expect("registry lock")
+            .get(&id.0)
+            .map(|g| g.detach_epoch.load(Ordering::Acquire))
+    }
+
+    /// The current membership epoch.
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch.load(Ordering::Acquire)
+    }
+
+    /// The technology a graft was installed under.
+    pub fn technology(&self, id: GraftId) -> Option<Technology> {
+        self.inner
+            .registry
+            .lock()
+            .expect("registry lock")
+            .get(&id.0)
+            .map(|g| g.tech)
+    }
+
+    /// The name a graft was installed under.
+    pub fn name(&self, id: GraftId) -> Option<String> {
+        self.inner
+            .registry
+            .lock()
+            .expect("registry lock")
+            .get(&id.0)
+            .map(|g| g.name.clone())
+    }
+
+    /// Aggregate statistics: control-plane counts plus everything the
+    /// shards have flushed so far.
+    pub fn stats(&self) -> HostStats {
+        let s = &self.inner.stats;
+        HostStats {
+            dispatches: s.dispatches.load(Ordering::Relaxed),
+            invocations: s.invocations.load(Ordering::Relaxed),
+            traps: s.traps.load(Ordering::Relaxed),
+            overrides: s.overrides.load(Ordering::Relaxed),
+            continues: s.continues.load(Ordering::Relaxed),
+            defaults: s.defaults.load(Ordering::Relaxed),
+            quarantine_trips: s.quarantine_trips.load(Ordering::Relaxed),
+            installs: self.inner.installs.load(Ordering::Relaxed),
+            uninstalls: self.inner.uninstalls.load(Ordering::Relaxed),
+            readmits: self.inner.readmits.load(Ordering::Relaxed),
+            marshal_failures: s.marshal_failures.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Per-shard dispatch totals flushed so far, in shard order.
+    pub fn shard_loads(&self) -> Vec<u64> {
+        self.inner
+            .shard_dispatches
+            .iter()
+            .map(|d| d.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Publishes control-plane telemetry: `kernel.shard.*` counters and
+    /// the shard-imbalance histogram. Idempotent-by-construction only
+    /// for the imbalance snapshot; called once from `Drop`.
+    fn publish_telemetry(&mut self) {
+        if self.published || !graft_telemetry::enabled() {
+            return;
+        }
+        self.published = true;
+        graft_telemetry::counter!("kernel.shard.count").add(self.inner.shards as u64);
+        graft_telemetry::counter!("kernel.shard.installs")
+            .add(self.inner.installs.load(Ordering::Relaxed));
+        graft_telemetry::counter!("kernel.shard.uninstalls")
+            .add(self.inner.uninstalls.load(Ordering::Relaxed));
+        graft_telemetry::counter!("kernel.shard.readmits")
+            .add(self.inner.readmits.load(Ordering::Relaxed));
+        graft_telemetry::counter!("kernel.shard.epoch")
+            .add(self.inner.epoch.load(Ordering::Acquire));
+        let loads = self.shard_loads();
+        let total: u64 = loads.iter().sum();
+        if total > 0 && loads.len() > 1 {
+            let max = *loads.iter().max().unwrap();
+            let min = *loads.iter().min().unwrap();
+            let mean = total as f64 / loads.len() as f64;
+            // Spread of per-shard load around the mean, in percent:
+            // 0 = perfectly balanced, 100 = the busiest shard saw one
+            // mean-load more than the idlest.
+            let imbalance = ((max - min) as f64 / mean * 100.0).round() as u64;
+            graft_telemetry::histogram!("kernel.shard.imbalance_pct").record(imbalance);
+        }
+    }
+}
+
+impl Drop for ShardedHost {
+    fn drop(&mut self) {
+        // Drop any never-taken handles first so their ledgers and
+        // shard counters flush before the imbalance snapshot.
+        for h in &mut self.handles {
+            h.take();
+        }
+        self.publish_telemetry();
+    }
+}
+
+/// One worker shard's thread-confined half of a [`ShardedHost`].
+///
+/// `Send` but not `Sync`: move it into the worker thread that owns the
+/// shard, then dispatch inline. All engines reached through a handle
+/// are private to it; the only shared traffic is the per-graft atomic
+/// supervisor state, one epoch load per dispatch, and the mailbox drain
+/// when membership changed.
+pub struct ShardHandle {
+    shard: usize,
+    control: Arc<Control>,
+    rx: Receiver<ShardOp>,
+    seen_epoch: u64,
+    grafts: BTreeMap<u64, ShardGraft>,
+    chains: [Vec<u64>; AttachPoint::COUNT],
+    stats: HostStats,
+    published: HostStats,
+    depth_counts: [u64; DEPTH_SLOTS],
+    published_depth: [u64; DEPTH_SLOTS],
+    epoch_syncs: u64,
+    mailbox_ops: u64,
+    flushes: u64,
+}
+
+struct ShardGraft {
+    shared: Arc<SharedGraft>,
+    engine: Box<dyn ExtensionEngine>,
+    entry: EntryId,
+    /// Private per-shard accounting, merged on flush.
+    local: GraftLedger,
+}
+
+impl ShardHandle {
+    /// This handle's shard index.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Catches up with membership: one epoch load when nothing
+    /// changed; otherwise drain the mailbox.
+    fn sync(&mut self) {
+        let epoch = self.control.epoch.load(Ordering::Acquire);
+        if epoch == self.seen_epoch {
+            return;
+        }
+        self.seen_epoch = epoch;
+        self.epoch_syncs += 1;
+        while let Ok(op) = self.rx.try_recv() {
+            self.mailbox_ops += 1;
+            match op {
+                ShardOp::Install {
+                    shared,
+                    engine,
+                    entry,
+                    point,
+                    at,
+                } => {
+                    let id = shared.id;
+                    self.grafts.insert(
+                        id,
+                        ShardGraft {
+                            shared,
+                            engine,
+                            entry,
+                            local: GraftLedger::default(),
+                        },
+                    );
+                    let chain = &mut self.chains[point as usize];
+                    let at = at.min(chain.len());
+                    chain.insert(at, id);
+                }
+                ShardOp::Uninstall(id) => {
+                    if let Some(g) = self.grafts.remove(&id) {
+                        // Merge before dropping so no counts are lost.
+                        g.shared.ledger.merge(&g.local);
+                        for chain in &mut self.chains {
+                            chain.retain(|&x| x != id);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The chain this shard would dispatch at `point`, in order.
+    pub fn chain(&mut self, point: AttachPoint) -> Vec<GraftId> {
+        self.sync();
+        self.chains[point as usize].iter().map(|&id| GraftId(id)).collect()
+    }
+
+    /// Grafts at `point` this shard's dispatch would actually consult.
+    pub fn active_len(&mut self, point: AttachPoint) -> usize {
+        self.sync();
+        self.chains[point as usize]
+            .iter()
+            .filter(|id| !self.grafts[id].shared.is_quarantined())
+            .count()
+    }
+
+    /// This shard's replica engine for a graft (e.g. to marshal
+    /// shard-local state after install).
+    pub fn engine_mut(&mut self, id: GraftId) -> Option<&mut (dyn ExtensionEngine + '_)> {
+        self.sync();
+        self.grafts.get_mut(&id.0).map(|g| g.engine.as_mut() as _)
+    }
+
+    /// This shard's private (unflushed) ledger for a graft.
+    pub fn local_ledger(&self, id: GraftId) -> Option<&GraftLedger> {
+        self.grafts.get(&id.0).map(|g| &g.local)
+    }
+
+    /// This shard's dispatch-path statistics (unflushed view).
+    pub fn stats(&self) -> HostStats {
+        self.stats
+    }
+
+    /// Walks `point`'s chain on this shard — the same verdict, ledger,
+    /// and supervisor semantics as [`GraftHost::dispatch`], with the
+    /// quarantine gate read from the *shared* supervisor state so a
+    /// detach by any shard suppresses invocation here immediately.
+    pub fn dispatch<F>(&mut self, point: AttachPoint, mut marshal: F) -> Verdict
+    where
+        F: FnMut(&mut dyn ExtensionEngine) -> Result<Vec<i64>, GraftError>,
+    {
+        self.sync();
+        let p = point as usize;
+        self.stats.dispatches += 1;
+        let depth = self.chains[p]
+            .iter()
+            .filter(|id| !self.grafts[id].shared.is_quarantined())
+            .count();
+        self.depth_counts[depth.min(DEPTH_SLOTS - 1)] += 1;
+        for i in 0..self.chains[p].len() {
+            let id = self.chains[p][i];
+            let Some(g) = self.grafts.get_mut(&id) else {
+                continue;
+            };
+            // The cross-shard quarantine gate: one Acquire load.
+            if g.shared.is_quarantined() {
+                continue;
+            }
+            let started = Instant::now();
+            let args = match marshal(g.engine.as_mut()) {
+                Ok(args) => args,
+                Err(_) => {
+                    self.stats.marshal_failures += 1;
+                    continue;
+                }
+            };
+            let result = g.engine.invoke_id(g.entry, &args);
+            let ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            let fuel = g.engine.fuel_used();
+            match result {
+                Ok(ret) => {
+                    g.local.record_ok(ns, fuel);
+                    g.shared.note_clean();
+                    self.stats.invocations += 1;
+                    match point.decode(ret) {
+                        v @ Verdict::Override(_) => {
+                            self.stats.overrides += 1;
+                            return v;
+                        }
+                        Verdict::Continue => self.stats.continues += 1,
+                    }
+                }
+                Err(GraftError::Trap(trap)) => {
+                    g.local.record_trap(ns, fuel, &trap);
+                    self.stats.invocations += 1;
+                    self.stats.traps += 1;
+                    if g.shared.note_trap(
+                        trap.kind(),
+                        self.control.config.trap_threshold,
+                        &self.control.epoch,
+                    ) {
+                        self.stats.quarantine_trips += 1;
+                        // The winning detach bumped the epoch; our next
+                        // sync is a (cheap, empty) mailbox drain.
+                    }
+                }
+                Err(_) => {
+                    self.stats.marshal_failures += 1;
+                }
+            }
+        }
+        self.stats.defaults += 1;
+        Verdict::Continue
+    }
+
+    /// Invokes one graft directly on this shard's replica, with ledger
+    /// accounting and the shared quarantine gate: a detached graft
+    /// deterministically returns [`GraftError::Unavailable`] — on every
+    /// shard, not just the one that observed the traps.
+    pub fn invoke(&mut self, id: GraftId, args: &[i64]) -> Result<i64, GraftError> {
+        self.sync();
+        let Some(g) = self.grafts.get_mut(&id.0) else {
+            return Err(GraftError::Unavailable {
+                graft: format!("graft#{}", id.0),
+                missing: "installation (no such graft)".into(),
+            });
+        };
+        if g.shared.is_quarantined() {
+            return Err(GraftError::Unavailable {
+                graft: g.shared.name.clone(),
+                missing: "detached by quarantine supervisor".into(),
+            });
+        }
+        let started = Instant::now();
+        let result = g.engine.invoke_id(g.entry, args);
+        let ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let fuel = g.engine.fuel_used();
+        self.stats.invocations += 1;
+        match &result {
+            Ok(_) => {
+                g.local.record_ok(ns, fuel);
+                g.shared.note_clean();
+            }
+            Err(GraftError::Trap(trap)) => {
+                g.local.record_trap(ns, fuel, trap);
+                self.stats.traps += 1;
+                if g.shared.note_trap(
+                    trap.kind(),
+                    self.control.config.trap_threshold,
+                    &self.control.epoch,
+                ) {
+                    self.stats.quarantine_trips += 1;
+                }
+            }
+            Err(_) => self.stats.marshal_failures += 1,
+        }
+        result
+    }
+
+    /// Merges this shard's private ledgers and statistics into the
+    /// shared totals (pure `fetch_add` — lock-free on both sides) and
+    /// publishes `kernel.shard.*` telemetry deltas. Idempotent: each
+    /// count merges exactly once, and `Drop` flushes whatever remains,
+    /// including when the worker thread unwinds out of a panic.
+    pub fn flush(&mut self) {
+        self.flushes += 1;
+        for g in self.grafts.values_mut() {
+            g.shared.ledger.merge(&g.local);
+            g.local = GraftLedger::default();
+        }
+        let delta = self.stats.delta_since(&self.published);
+        self.published = self.stats;
+        self.control.stats.merge(&delta);
+        self.control.shard_dispatches[self.shard].fetch_add(delta.dispatches, Ordering::Relaxed);
+        if !graft_telemetry::enabled() {
+            self.published_depth = self.depth_counts;
+            return;
+        }
+        graft_telemetry::counter!("kernel.shard.dispatches").add(delta.dispatches);
+        graft_telemetry::counter!("kernel.shard.invocations").add(delta.invocations);
+        graft_telemetry::counter!("kernel.shard.traps").add(delta.traps);
+        graft_telemetry::counter!("kernel.shard.detaches").add(delta.quarantine_trips);
+        graft_telemetry::counter!("kernel.shard.marshal_failures").add(delta.marshal_failures);
+        graft_telemetry::counter!("kernel.shard.epoch_syncs").add(self.epoch_syncs);
+        graft_telemetry::counter!("kernel.shard.mailbox_ops").add(self.mailbox_ops);
+        graft_telemetry::counter!("kernel.shard.flushes").incr();
+        self.epoch_syncs = 0;
+        self.mailbox_ops = 0;
+        let depth = graft_telemetry::histogram!("kernel.chain_depth");
+        for (d, (&n, &p)) in self
+            .depth_counts
+            .iter()
+            .zip(self.published_depth.iter())
+            .enumerate()
+        {
+            depth.record_n(d as u64, n.saturating_sub(p));
+        }
+        self.published_depth = self.depth_counts;
+    }
+}
+
+impl Drop for ShardHandle {
+    fn drop(&mut self) {
+        self.flush();
+        if graft_telemetry::enabled() {
+            // Lifetime per-shard load, one histogram entry per shard:
+            // the distribution graftstat summarizes as shard balance.
+            graft_telemetry::histogram!("kernel.shard.load").record(self.stats.dispatches);
+        }
+    }
+}
+
+/// Deterministic cooperative driver for a [`ShardedHost`]'s handles —
+/// the loom-style interleaving mode.
+///
+/// All shard handles are held on one thread and stepped in a seeded
+/// round-robin: each full round visits every shard once, in an order
+/// reshuffled from the seed, so cross-shard supervisor races (two
+/// shards observing a graft's third strike, a detach landing between
+/// another shard's gate check and its invoke, ...) are explored
+/// *deterministically* — the same seed replays the same interleaving,
+/// which is what CI needs.
+pub struct VirtualShards {
+    handles: Vec<ShardHandle>,
+    order: Vec<usize>,
+    cursor: usize,
+    rng: SmallRng,
+}
+
+impl VirtualShards {
+    /// Takes every remaining handle from `host` and builds a seeded
+    /// driver over them.
+    pub fn new(host: &mut ShardedHost, seed: u64) -> Self {
+        let handles = host.take_handles();
+        assert!(!handles.is_empty(), "all shard handles already taken");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut order: Vec<usize> = (0..handles.len()).collect();
+        order.shuffle(&mut rng);
+        VirtualShards {
+            handles,
+            order,
+            cursor: 0,
+            rng,
+        }
+    }
+
+    /// Number of shards driven.
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// True when driving no shards (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// The next shard in the seeded round-robin (reshuffles the visit
+    /// order at the end of each round).
+    pub fn next_shard(&mut self) -> &mut ShardHandle {
+        if self.cursor >= self.order.len() {
+            self.cursor = 0;
+            self.order.shuffle(&mut self.rng);
+        }
+        let idx = self.order[self.cursor];
+        self.cursor += 1;
+        &mut self.handles[idx]
+    }
+
+    /// A specific shard, for tests that script exact placements.
+    pub fn shard_mut(&mut self, shard: usize) -> &mut ShardHandle {
+        &mut self.handles[shard]
+    }
+
+    /// Dispatches on the next shard in the seeded rotation.
+    pub fn dispatch<F>(&mut self, point: AttachPoint, marshal: F) -> Verdict
+    where
+        F: FnMut(&mut dyn ExtensionEngine) -> Result<Vec<i64>, GraftError>,
+    {
+        self.next_shard().dispatch(point, marshal)
+    }
+
+    /// Flushes every shard's ledgers and statistics.
+    pub fn flush_all(&mut self) {
+        for h in &mut self.handles {
+            h.flush();
+        }
+    }
+}
+
+/// Object-safe chain-dispatch seam: what a substrate adapter needs from
+/// "something that hosts graft chains". Implemented by the single-
+/// threaded [`SharedHost`](crate::adapters::SharedHost), by a bare
+/// [`GraftHost`], and by [`ShardHandle`] (each worker thread's shard),
+/// so the same adapters serve both the scalar and the sharded kernels.
+pub trait ChainDispatch {
+    /// Walks the chain at `point`; see [`GraftHost::dispatch`].
+    fn dispatch_chain(&mut self, point: AttachPoint, marshal: &mut MarshalFn<'_>) -> Verdict;
+}
+
+/// The kernel-side marshalling callback a chain walk applies to each
+/// engine before invoking it: loads the graft's regions and returns
+/// the argument vector (or a kernel-side failure, charged to the
+/// host's failure counter, not the graft).
+pub type MarshalFn<'a> = dyn FnMut(&mut dyn ExtensionEngine) -> Result<Vec<i64>, GraftError> + 'a;
+
+impl ChainDispatch for GraftHost {
+    fn dispatch_chain(
+        &mut self,
+        point: AttachPoint,
+        marshal: &mut MarshalFn<'_>,
+    ) -> Verdict {
+        self.dispatch(point, marshal)
+    }
+}
+
+impl ChainDispatch for ShardHandle {
+    fn dispatch_chain(
+        &mut self,
+        point: AttachPoint,
+        marshal: &mut MarshalFn<'_>,
+    ) -> Verdict {
+        self.dispatch(point, marshal)
+    }
+}
+
+/// Shared single-threaded handles (`Rc<RefCell<GraftHost>>` — the
+/// [`SharedHost`](crate::adapters::SharedHost) alias — and
+/// `Rc<RefCell<ShardHandle>>`) dispatch through a runtime borrow, so
+/// several substrate adapters can take turns on one host.
+impl<T: ChainDispatch> ChainDispatch for std::rc::Rc<std::cell::RefCell<T>> {
+    fn dispatch_chain(
+        &mut self,
+        point: AttachPoint,
+        marshal: &mut MarshalFn<'_>,
+    ) -> Verdict {
+        self.borrow_mut().dispatch_chain(point, marshal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graft_api::Trap;
+    use graft_api::{EntryPoint, NativeEngine, RegionSpec, RegionStore};
+    use graft_api::spec::SharedNativeFactory;
+
+    /// A forkable native engine exporting `select_victim/2` built from
+    /// a shared factory (every shard gets a fresh closure instance).
+    fn victim_engine_factory<F>(make: F) -> Box<dyn ExtensionEngine>
+    where
+        F: Fn() -> Box<dyn graft_api::NativeGraft> + Send + Sync + 'static,
+    {
+        let specs = [RegionSpec::data("scratch", 8)];
+        let entries = [EntryPoint {
+            name: "select_victim".into(),
+            arity: 2,
+        }];
+        let factory: SharedNativeFactory = Arc::new(make);
+        Box::new(NativeEngine::from_factory(&specs, &entries, factory).unwrap())
+    }
+
+    fn constant(v: i64) -> Box<dyn ExtensionEngine> {
+        victim_engine_factory(move || {
+            Box::new(move |_: &str, _: &[i64], _: &mut RegionStore| Ok(v))
+        })
+    }
+
+    fn trapping() -> Box<dyn ExtensionEngine> {
+        victim_engine_factory(|| {
+            Box::new(|_: &str, _: &[i64], _: &mut RegionStore| {
+                Err(Trap::DivByZero.into())
+            })
+        })
+    }
+
+    #[test]
+    fn install_replicates_to_every_shard_and_dispatch_is_local() {
+        let mut host = ShardedHost::new(4);
+        let id = host
+            .install(AttachPoint::VmEvict, "forty-two", constant(42))
+            .unwrap();
+        let mut shards = VirtualShards::new(&mut host, 7);
+        for _ in 0..12 {
+            assert_eq!(
+                shards.dispatch(AttachPoint::VmEvict, |_| Ok(vec![0, 0])),
+                Verdict::Override(42)
+            );
+        }
+        shards.flush_all();
+        let ledger = host.ledger(id).unwrap();
+        assert_eq!(ledger.invocations, 12);
+        assert_eq!(host.stats().dispatches, 12);
+        assert_eq!(host.stats().overrides, 12);
+        // Round-robin: every shard saw exactly 3 of the 12 dispatches.
+        assert_eq!(host.shard_loads(), vec![3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn third_trap_on_any_shard_detaches_globally() {
+        let mut host = ShardedHost::new(4);
+        let bad = host
+            .install(AttachPoint::VmEvict, "hostile", trapping())
+            .unwrap();
+        let good = host
+            .install(AttachPoint::VmEvict, "good", constant(9))
+            .unwrap();
+        let epoch_before = host.epoch();
+        let mut shards = VirtualShards::new(&mut host, 3);
+        // Traps land on *different* shards; the third — wherever it
+        // lands — detaches the graft for everyone.
+        for _ in 0..3 {
+            assert_eq!(
+                shards.dispatch(AttachPoint::VmEvict, |_| Ok(vec![0, 0])),
+                Verdict::Override(9)
+            );
+        }
+        assert!(host.is_quarantined(bad));
+        assert!(host.detach_epoch(bad).unwrap() > epoch_before);
+        // No shard invokes it afterwards: ledger total stays at 3.
+        for _ in 0..8 {
+            shards.dispatch(AttachPoint::VmEvict, |_| Ok(vec![0, 0]));
+        }
+        shards.flush_all();
+        assert_eq!(host.ledger(bad).unwrap().traps, 3);
+        assert_eq!(host.ledger(bad).unwrap().invocations, 3);
+        assert_eq!(host.stats().quarantine_trips, 1);
+        assert_eq!(host.state(good), Some(GraftState::Active));
+        // Every shard refuses a direct re-invoke deterministically.
+        for s in 0..4 {
+            let err = shards.shard_mut(s).invoke(bad, &[0, 0]).unwrap_err();
+            assert!(matches!(err, GraftError::Unavailable { .. }));
+        }
+    }
+
+    #[test]
+    fn hot_install_and_uninstall_under_dispatch() {
+        let mut host = ShardedHost::new(2);
+        let mut shards = VirtualShards::new(&mut host, 11);
+        // Chain empty on both shards.
+        assert_eq!(
+            shards.dispatch(AttachPoint::VmEvict, |_| Ok(vec![0, 0])),
+            Verdict::Continue
+        );
+        // Install lands while shards keep dispatching.
+        let id = host.install(AttachPoint::VmEvict, "late", constant(5)).unwrap();
+        for _ in 0..4 {
+            assert_eq!(
+                shards.dispatch(AttachPoint::VmEvict, |_| Ok(vec![0, 0])),
+                Verdict::Override(5)
+            );
+        }
+        assert!(host.uninstall(id));
+        assert!(!host.uninstall(id));
+        for _ in 0..4 {
+            assert_eq!(
+                shards.dispatch(AttachPoint::VmEvict, |_| Ok(vec![0, 0])),
+                Verdict::Continue
+            );
+        }
+        shards.flush_all();
+        assert_eq!(host.stats().installs, 1);
+        assert_eq!(host.stats().uninstalls, 1);
+    }
+
+    #[test]
+    fn readmit_probation_is_global_and_requarantines() {
+        let mut host = ShardedHost::with_config(
+            2,
+            HostConfig {
+                trap_threshold: 3,
+                fuel_budget: None,
+                probation_clean: 2,
+            },
+        );
+        let id = host.install(AttachPoint::VmEvict, "hostile", trapping()).unwrap();
+        let mut shards = VirtualShards::new(&mut host, 5);
+        for _ in 0..3 {
+            shards.dispatch(AttachPoint::VmEvict, |_| Ok(vec![0, 0]));
+        }
+        assert!(host.is_quarantined(id));
+        let first_detach = host.detach_epoch(id).unwrap();
+        assert!(host.readmit(id));
+        assert!(!host.readmit(id), "only quarantined grafts re-admit");
+        assert!(matches!(
+            host.state(id),
+            Some(GraftState::Probation { remaining_clean: 2 })
+        ));
+        // One further trap — observed by whichever shard dispatches
+        // next — re-quarantines instantly, with a later detach epoch.
+        shards.dispatch(AttachPoint::VmEvict, |_| Ok(vec![0, 0]));
+        assert!(host.is_quarantined(id));
+        assert!(host.detach_epoch(id).unwrap() > first_detach);
+        shards.flush_all();
+        assert_eq!(host.stats().readmits, 1);
+        assert_eq!(host.stats().quarantine_trips, 2);
+    }
+
+    #[test]
+    fn real_threads_smoke_concurrent_dispatch_and_detach() {
+        // The non-virtual path: four OS threads dispatch concurrently
+        // while a saboteur trips the supervisor on some shard; totals
+        // still merge exactly and the detach is globally visible.
+        let shards_n = 4;
+        let per_shard = 200u64;
+        let mut host = ShardedHost::new(shards_n);
+        // The saboteur goes first in the chain: it declines (-1) except
+        // on arg 13, where it traps; the well-behaved tenant behind it
+        // serves every dispatch.
+        let bad = host
+            .install(
+                AttachPoint::VmEvict,
+                "hostile",
+                victim_engine_factory(|| {
+                    Box::new(|_: &str, args: &[i64], _: &mut RegionStore| {
+                        if args[0] == 13 {
+                            Err(Trap::DivByZero.into())
+                        } else {
+                            Ok(-1)
+                        }
+                    })
+                }),
+            )
+            .unwrap();
+        let good = host.install(AttachPoint::VmEvict, "good", constant(1)).unwrap();
+        let handles = host.take_handles();
+        let workers: Vec<_> = handles
+            .into_iter()
+            .map(|mut h| {
+                std::thread::spawn(move || {
+                    for i in 0..per_shard {
+                        // arg 13 traps; each shard raises it a few times.
+                        let arg = (i % 20) as i64;
+                        h.dispatch(AttachPoint::VmEvict, |_| Ok(vec![arg, 0]));
+                    }
+                    // handle drops here → flush
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert!(host.is_quarantined(bad));
+        let bad_ledger = host.ledger(bad).unwrap();
+        // At least the three strikes landed; after the detach became
+        // visible no shard invoked it again (visibility is immediate in
+        // program order per shard, so the count is bounded by one
+        // in-flight invocation per shard).
+        assert!(bad_ledger.traps >= 3);
+        assert!(bad_ledger.traps <= 3 + shards_n as u64);
+        // Before detach the saboteur also declined a lot; every one of
+        // those invocations was accounted.
+        assert!(bad_ledger.invocations >= bad_ledger.traps);
+        assert!(bad_ledger.invocations <= shards_n as u64 * per_shard);
+        assert_eq!(host.stats().dispatches, shards_n as u64 * per_shard);
+        assert_eq!(host.stats().quarantine_trips, 1);
+        // The well-behaved tenant served every dispatch.
+        assert_eq!(
+            host.ledger(good).unwrap().invocations,
+            shards_n as u64 * per_shard
+        );
+        let loads = host.shard_loads();
+        assert_eq!(loads, vec![per_shard; shards_n]);
+    }
+
+    #[test]
+    fn install_fails_atomically_when_fork_is_refused() {
+        let mut host = ShardedHost::new(2);
+        // NativeEngine::with_entries has no factory → fork refuses.
+        let specs = [RegionSpec::data("scratch", 8)];
+        let entries = [EntryPoint {
+            name: "select_victim".into(),
+            arity: 2,
+        }];
+        let engine: Box<dyn ExtensionEngine> = Box::new(
+            NativeEngine::with_entries(
+                &specs,
+                &entries,
+                Box::new(|_: &str, _: &[i64], _: &mut RegionStore| Ok(0)),
+            )
+            .unwrap(),
+        );
+        let err = host.install(AttachPoint::VmEvict, "unforkable", engine);
+        assert!(matches!(err, Err(GraftError::Unavailable { .. })));
+        let mut shards = VirtualShards::new(&mut host, 1);
+        assert_eq!(shards.shard_mut(0).active_len(AttachPoint::VmEvict), 0);
+        assert_eq!(shards.shard_mut(1).active_len(AttachPoint::VmEvict), 0);
+        assert_eq!(host.stats().installs, 0);
+    }
+
+    #[test]
+    fn one_shard_host_matches_single_host_semantics_without_forking() {
+        // shards=1 never calls fork_for_shard, so even a factory-less
+        // engine installs (parity with GraftHost for the scalar case).
+        let specs = [RegionSpec::data("scratch", 8)];
+        let entries = [EntryPoint {
+            name: "select_victim".into(),
+            arity: 2,
+        }];
+        let engine: Box<dyn ExtensionEngine> = Box::new(
+            NativeEngine::with_entries(
+                &specs,
+                &entries,
+                Box::new(|_: &str, _: &[i64], _: &mut RegionStore| Ok(7)),
+            )
+            .unwrap(),
+        );
+        let mut host = ShardedHost::new(1);
+        host.install(AttachPoint::VmEvict, "scalar", engine).unwrap();
+        let mut shards = VirtualShards::new(&mut host, 0);
+        assert_eq!(
+            shards.dispatch(AttachPoint::VmEvict, |_| Ok(vec![0, 0])),
+            Verdict::Override(7)
+        );
+    }
+
+    #[test]
+    fn virtual_scheduler_is_deterministic_per_seed() {
+        let run = |seed: u64| -> Vec<usize> {
+            let mut host = ShardedHost::new(4);
+            let mut shards = VirtualShards::new(&mut host, seed);
+            (0..16).map(|_| shards.next_shard().shard()).collect()
+        };
+        assert_eq!(run(42), run(42), "same seed, same interleaving");
+        assert_ne!(run(42), run(43), "different seed explores differently");
+        // Every round visits each shard exactly once.
+        let order = run(9);
+        for round in order.chunks(4) {
+            let mut sorted = round.to_vec();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3]);
+        }
+    }
+}

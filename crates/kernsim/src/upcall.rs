@@ -79,6 +79,9 @@ enum Request {
     },
     SetFuel(Option<u64>),
     FuelUsed,
+    /// Fork the server's inner engine for worker shard `n`; the replica
+    /// crosses back over the reply channel (engines are `Send`).
+    Fork(usize),
     Shutdown,
 }
 
@@ -98,6 +101,7 @@ enum Reply {
     Entry(Result<EntryId, GraftError>),
     Region(Result<RegionId, GraftError>),
     Fuel(Option<u64>),
+    Forked(Result<Box<dyn ExtensionEngine>, GraftError>),
 }
 
 /// An extension hosted in a user-level server, reached by upcall.
@@ -285,6 +289,7 @@ fn serve(mut engine: Box<dyn ExtensionEngine>, rx: Receiver<Request>, tx: SyncSe
                 Reply::Unit(Ok(()))
             }
             Request::FuelUsed => Reply::Fuel(engine.fuel_used()),
+            Request::Fork(shard) => Reply::Forked(engine.fork_for_shard(shard)),
             Request::Shutdown => break,
         };
         if tx.send(reply).is_err() {
@@ -468,6 +473,30 @@ impl ExtensionEngine for UpcallEngine {
             _ => None,
         }
     }
+
+    fn fork_for_shard(&self, shard: usize) -> Result<Box<dyn ExtensionEngine>, GraftError> {
+        // Ask the server to fork its inner engine; the replica crosses
+        // back over the reply channel and is re-hosted behind a *fresh*
+        // server thread, so each shard owns a private protection-domain
+        // boundary (no cross-shard serialization through one server).
+        let inner = match self.rpc(Request::Fork(shard)) {
+            Reply::Forked(r) => r?,
+            _ => return Err(transport_err()),
+        };
+        let engine = UpcallEngine::new(inner).with_synthetic_latency(self.synthetic_latency);
+        // The replica preserves handle meaning, so the warmed-up bind
+        // caches carry over — names still cross each boundary only once
+        // per graft, not once per shard fork.
+        engine
+            .entry_cache
+            .borrow_mut()
+            .clone_from(&self.entry_cache.borrow());
+        engine
+            .region_cache
+            .borrow_mut()
+            .clone_from(&self.region_cache.borrow());
+        Ok(Box::new(engine))
+    }
 }
 
 #[cfg(test)]
@@ -602,6 +631,26 @@ mod tests {
         let err = e.invoke_batch(id, 4, &[1, 2, 0, 4], &mut out).unwrap_err();
         assert_eq!(err.as_trap(), Some(&Trap::DivByZero));
         assert_eq!(out, [100, 50], "prefix before the faulting call");
+    }
+
+    #[test]
+    fn fork_rehosts_a_replica_behind_its_own_server() {
+        let mut parent = upcalled();
+        let add = parent.bind_entry("add").unwrap();
+        parent.load_region("buf", 1, &[7]).unwrap();
+
+        let mut child = parent.fork_for_shard(2).unwrap();
+        assert_eq!(child.technology(), Technology::UserLevel);
+        // Parent-issued handles keep their meaning in the replica.
+        assert_eq!(child.invoke_id(add, &[40, 2]).unwrap(), 42);
+        // Install-time marshalled state propagated across the fork...
+        assert_eq!(child.read_region("buf", 1).unwrap(), 7);
+        // ...and post-fork writes are shard-local (the `add` above wrote
+        // buf[0]=42 in the child only).
+        assert_eq!(parent.read_region("buf", 0).unwrap(), 0);
+        // Both boundaries stay live and independent.
+        assert_eq!(parent.invoke("add", &[1, 2]).unwrap(), 3);
+        assert_eq!(child.invoke("add", &[2, 3]).unwrap(), 5);
     }
 
     #[test]

@@ -18,7 +18,9 @@ fi
 
 ART=$(mktemp /tmp/graft-verify-XXXXXX.json)
 T7ART=$(mktemp /tmp/graft-table7-XXXXXX.json)
-trap 'rm -f "$ART" "$T7ART"' EXIT
+T8ART=$(mktemp /tmp/graft-table8-XXXXXX.json)
+T8OUT=$(mktemp /tmp/graft-table8-XXXXXX.txt)
+trap 'rm -f "$ART" "$T7ART" "$T8ART" "$T8OUT"' EXIT
 
 echo "==> cargo build --release --offline"
 cargo build --release --offline
@@ -83,6 +85,43 @@ if [ -f BENCH_kernel.json ]; then
             *)
                 echo "$GATE"
                 echo "table7 regression gate FAILED"
+                exit 1
+                ;;
+        esac
+    }
+    echo "$GATE" | tail -1
+fi
+
+# Sharded-dispatch gate: a fresh Table 8 run over the full shard
+# ladder must (a) keep its shared samples within the 200% envelope
+# against the committed shard baseline and (b) reproduce the headline:
+# the in-kernel native row's aggregate throughput at 4 shards beats
+# 1 shard by at least 2.5x (critical-path measurement; see
+# docs/kernel.md "Sharded dispatch").
+echo "==> table8 sharded-dispatch run ($MODE --offline) with run artifact"
+cargo run --release --offline -q -p graft-bench --bin table8 -- \
+    "$MODE" --offline --json "$T8ART" > "$T8OUT"
+
+echo "==> native 4-shard speedup gate (>= 2.5x over 1 shard)"
+awk '/in-kernel native/ {
+         found = 1; s1 = $3; s4 = $5
+         printf "    native: %.3f -> %.3f M accesses/s (%.2fx)\n", s1, s4, s4 / s1
+         if (s4 / s1 < 2.5) bad = 1
+     }
+     END { exit (bad || !found) }' "$T8OUT" || {
+    echo "table8 native speedup gate FAILED"
+    exit 1
+}
+
+if [ -f BENCH_shard.json ]; then
+    echo "==> graftstat regression gate vs BENCH_shard.json (threshold 200%)"
+    GATE=$(cargo run --release --offline -q -p graft-bench --bin graftstat -- \
+        BENCH_shard.json "$T8ART" --threshold 200) || {
+        case "$GATE" in
+            *"drift: 0 of"*) : ;; # no shared sample moved; only one-sided keys
+            *)
+                echo "$GATE"
+                echo "table8 regression gate FAILED"
                 exit 1
                 ;;
         esac

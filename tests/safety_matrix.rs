@@ -260,6 +260,78 @@ fn quarantine_row_detach_serve_and_deterministic_refusal() {
 }
 
 #[test]
+fn quarantine_row_holds_under_sharded_dispatch() {
+    // The same row, multi-core: the saboteur is installed in a
+    // 4-shard host (one engine replica per shard) and each shard runs
+    // its own pager. The supervisor's strikes accumulate *globally*,
+    // so whichever shard observes the third trap detaches the graft on
+    // every shard at once; the remaining pagers never invoke it, serve
+    // stock LRU throughout, and re-invocation refuses deterministically
+    // on every shard.
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    use graftbench::kernel::ShardedHost;
+
+    const SHARDS: usize = 4;
+    let spec = saboteur_spec();
+    for tech in SAFE_TECHS {
+        let engine = GraftManager::new().load(&spec, tech).unwrap();
+        let mut host = ShardedHost::new(SHARDS);
+        let threshold = host.config().trap_threshold as u64;
+        let id = host.install(AttachPoint::VmEvict, "saboteur", engine).unwrap();
+
+        let handles: Vec<_> = host
+            .take_handles()
+            .into_iter()
+            .map(|h| Rc::new(RefCell::new(h)))
+            .collect();
+        let mut pagers: Vec<_> = handles
+            .iter()
+            .map(|h| Pager::new(4, HostedEviction::new(h.clone())))
+            .collect();
+
+        // Shard 0's pager alone supplies the three strikes; by the
+        // time the other shards run, the graft is already detached
+        // globally and their pagers never reach it.
+        for (s, pager) in pagers.iter_mut().enumerate() {
+            for p in 0..32u64 {
+                pager.access(p);
+            }
+            assert!(host.is_quarantined(id), "{tech}: shard {s} left it attached");
+            // Every shard's pager behaved exactly like stock LRU.
+            assert_eq!(pager.stats().faults, 32, "{tech} shard {s}");
+            assert_eq!(pager.stats().evictions, 28, "{tech} shard {s}");
+        }
+
+        // Deterministic refusal on every shard, with one message.
+        let mut messages = Vec::new();
+        for (s, h) in handles.iter().enumerate() {
+            let err = h.borrow_mut().invoke(id, &[0, 0]).unwrap_err();
+            let again = h.borrow_mut().invoke(id, &[0, 0]).unwrap_err();
+            assert!(
+                matches!(&err, GraftError::Unavailable { .. }),
+                "{tech} shard {s}: {err}"
+            );
+            assert_eq!(err.to_string(), again.to_string(), "{tech} shard {s}");
+            messages.push(err.to_string());
+        }
+        messages.dedup();
+        assert_eq!(messages.len(), 1, "{tech}: refusals differ across shards");
+
+        // Tear down (pager -> handle) so every shard's private ledger
+        // merges, then check the global totals: exactly `threshold`
+        // trapped invocations, all charged by shard 0, none by the
+        // refusals above.
+        drop(pagers);
+        drop(handles);
+        let ledger = host.ledger(id).unwrap();
+        assert_eq!(ledger.traps, threshold, "{tech}");
+        assert_eq!(ledger.invocations, threshold, "{tech}");
+    }
+}
+
+#[test]
 fn traps_do_not_corrupt_engine_state() {
     let spec = hostile_spec();
     for tech in SAFE_TECHS {

@@ -1,0 +1,514 @@
+//! Property harness for the sharded extension kernel: for every
+//! technology, a `ShardedHost` driven through [`VirtualShards`] (the
+//! deterministic loom-style interleaving mode) must be observationally
+//! equivalent to a single [`GraftHost`] fed the same operation
+//! sequence — same verdicts, same ledger totals, same quarantine
+//! decisions, same control-plane statistics.
+//!
+//! Each interleaving is a short random program over the host API
+//! (install at either chain end, uninstall, readmit, chain dispatch,
+//! direct invoke, marshalling failure) generated from a seeded
+//! [`SmallRng`], so every run of the suite replays the exact same
+//! programs — the property is checked over >= 200 interleavings per
+//! technology and stays reproducible in CI.
+//!
+//! The second half is the fault-injection harness: an rng-scheduled
+//! saboteur traps on chosen (shard, invocation) slots, and the suite
+//! asserts the quarantine detach propagates to every shard (no
+//! post-detach invocations anywhere, deterministic `Unavailable` on
+//! re-invoke, epoch stamped against the membership order).
+
+use graft_rng::SmallRng;
+use graftbench::api::{
+    GraftClass, GraftError, GraftSpec, Motivation, RegionStore, Technology, Trap, Verdict,
+};
+use graftbench::core::GraftManager;
+use graftbench::kernel::{
+    AttachPoint, GraftHost, GraftId, HostConfig, ShardedHost, VirtualShards,
+};
+
+const POINT: AttachPoint = AttachPoint::VmEvict;
+
+/// Every technology row of the paper's tables.
+const ALL_TECHS: [Technology; 7] = [
+    Technology::CompiledUnchecked,
+    Technology::SafeCompiled,
+    Technology::Sfi,
+    Technology::Bytecode,
+    Technology::Script,
+    Technology::RustNative,
+    Technology::UserLevel,
+];
+
+/// A *pure* graft: `select_victim(a, b)` depends only on its arguments,
+/// so a per-shard replica computes exactly what the scalar host's
+/// single engine computes — the precondition for sharded/scalar
+/// equivalence. `b == 0` divides by zero (the one trap every safe
+/// technology and the unchecked one agree on); `b < 0` spins until the
+/// fuel meter preempts it (only dispatched by the metered fault tests).
+fn pure_spec() -> GraftSpec {
+    let grail = r#"
+        fn select_victim(a: int, b: int) -> int {
+            if b == 0 { return a / b; }
+            if b < 0 { let i = 0; while true { i = i + 1; } return i; }
+            return (a + b) % 7 - 3;
+        }
+    "#;
+    let tickle = r#"
+        proc select_victim {a b} {
+            if {$b == 0} { return [expr $a / $b] }
+            if {$b < 0} { while {1} { } }
+            return [expr ($a + $b) % 7 - 3]
+        }
+    "#;
+    GraftSpec::new("pure-pick", GraftClass::Prioritization, Motivation::Policy)
+        .entry("select_victim", 2)
+        .with_grail(grail)
+        .with_tickle(tickle)
+        .with_native(Box::new(|| {
+            Box::new(
+                |entry: &str, args: &[i64], _regions: &mut RegionStore| {
+                    if entry != "select_victim" {
+                        return Err(GraftError::Unavailable {
+                            graft: "pure-pick".into(),
+                            missing: format!("entry {entry}"),
+                        });
+                    }
+                    let (a, b) = (args[0], args[1]);
+                    if b == 0 {
+                        return Err(GraftError::Trap(Trap::DivByZero));
+                    }
+                    if b < 0 {
+                        return Err(GraftError::Trap(Trap::FuelExhausted));
+                    }
+                    Ok((a + b) % 7 - 3)
+                },
+            )
+        }))
+}
+
+fn marshal_err() -> GraftError {
+    GraftError::Unavailable {
+        graft: "pure-pick".into(),
+        missing: "kernel-side marshalling (injected)".into(),
+    }
+}
+
+/// Flattens a verdict into the replay trace.
+fn encode_verdict(v: Verdict) -> i64 {
+    match v {
+        Verdict::Continue => -500,
+        Verdict::Override(x) => x,
+    }
+}
+
+/// Flattens an invoke result into the replay trace.
+fn encode_result(r: &Result<i64, GraftError>) -> i64 {
+    match r {
+        Ok(v) => *v,
+        Err(e) => match e.as_trap() {
+            Some(t) => -1000 - t.kind() as i64,
+            None => -2000,
+        },
+    }
+}
+
+/// Errors compare by observable class: same trap kind, or both
+/// `Unavailable` (the ids embedded in the messages legitimately differ
+/// between the two hosts).
+fn same_error(a: &GraftError, b: &GraftError) -> bool {
+    match (a.as_trap(), b.as_trap()) {
+        (Some(x), Some(y)) => x.kind() == y.kind(),
+        (None, None) => {
+            matches!(a, GraftError::Unavailable { .. })
+                == matches!(b, GraftError::Unavailable { .. })
+        }
+        _ => false,
+    }
+}
+
+/// Runs one random interleaving of host operations against both a
+/// scalar `GraftHost` and a `ShardedHost` with 1-4 shards, asserting
+/// observational equivalence at every step and over the final ledgers,
+/// states, and statistics. Returns the replay trace so the determinism
+/// test can compare two runs of the same seed.
+fn check_one(manager: &GraftManager, spec: &GraftSpec, tech: Technology, seed: u64) -> Vec<i64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let shards = 1 + rng.bounded_u64(4) as usize;
+    let mut single = GraftHost::new();
+    let mut sharded = ShardedHost::new(shards);
+    let mut vs = VirtualShards::new(&mut sharded, seed ^ 0xA5A5_5A5A);
+    // Parallel id map: (scalar id, sharded id), in install order.
+    let mut installed: Vec<(GraftId, GraftId)> = Vec::new();
+    let mut trace = vec![shards as i64];
+    let ctx = |seed: u64| format!("{tech} seed {seed:#x}");
+
+    let ops = 12 + rng.bounded_u64(20) as usize;
+    for _ in 0..ops {
+        let roll = if installed.is_empty() {
+            0
+        } else {
+            rng.bounded_u64(100)
+        };
+        if roll < 15 && installed.len() < 3 {
+            // Install the same pure graft into both hosts, at the same
+            // chain end.
+            let e1 = manager.load(spec, tech).expect("scalar load");
+            let e2 = manager.load(spec, tech).expect("sharded load");
+            let front = rng.bounded_u64(2) == 0;
+            let pair = if front {
+                let a = single.install_front(POINT, "pure", e1).expect("install");
+                let b = vs_install_front(&sharded, e2);
+                installed.insert(0, (a, b));
+                (a, b)
+            } else {
+                let a = single.install(POINT, "pure", e1).expect("install");
+                let b = sharded.install(POINT, "pure", e2).expect("install");
+                installed.push((a, b));
+                (a, b)
+            };
+            trace.push(100 + pair.0 .0 as i64);
+        } else if roll < 25 {
+            let k = rng.bounded_u64(installed.len() as u64) as usize;
+            let (a, b) = installed.remove(k);
+            assert_eq!(
+                single.uninstall(a),
+                sharded.uninstall(b),
+                "uninstall parity, {}",
+                ctx(seed)
+            );
+            trace.push(200);
+        } else if roll < 33 {
+            let k = rng.bounded_u64(installed.len() as u64) as usize;
+            let (a, b) = installed[k];
+            assert_eq!(
+                single.readmit(a),
+                sharded.readmit(b),
+                "readmit parity, {}",
+                ctx(seed)
+            );
+            trace.push(300);
+        } else if roll < 43 {
+            // Direct invocation through the host, on whichever shard
+            // the rotation lands on.
+            let k = rng.bounded_u64(installed.len() as u64) as usize;
+            let (a, b) = installed[k];
+            let aa = rng.bounded_u64(1000) as i64;
+            let bb = rng.bounded_u64(4) as i64;
+            let r1 = single.invoke(a, &[aa, bb]);
+            let r2 = vs.next_shard().invoke(b, &[aa, bb]);
+            match (&r1, &r2) {
+                (Ok(x), Ok(y)) => assert_eq!(x, y, "invoke value, {}", ctx(seed)),
+                (Err(x), Err(y)) => {
+                    assert!(same_error(x, y), "invoke error {x} vs {y}, {}", ctx(seed))
+                }
+                _ => panic!("invoke divergence {r1:?} vs {r2:?}, {}", ctx(seed)),
+            }
+            trace.push(encode_result(&r1));
+        } else if roll < 48 {
+            // Kernel-side marshalling failure: charged to the host's
+            // failure counter, never to the graft.
+            let v1 = single.dispatch(POINT, |_| Err(marshal_err()));
+            let v2 = vs.dispatch(POINT, |_| Err(marshal_err()));
+            assert_eq!(v1, v2, "marshal-failure verdict, {}", ctx(seed));
+            trace.push(400);
+        } else {
+            let aa = rng.bounded_u64(1000) as i64;
+            let bb = rng.bounded_u64(5) as i64;
+            let v1 = single.dispatch(POINT, |_| Ok(vec![aa, bb]));
+            let v2 = vs.dispatch(POINT, |_| Ok(vec![aa, bb]));
+            assert_eq!(v1, v2, "dispatch verdict ({aa},{bb}), {}", ctx(seed));
+            trace.push(encode_verdict(v1));
+        }
+    }
+
+    // Merge every shard's private ledgers before reading the totals.
+    vs.flush_all();
+
+    // Control-plane statistics agree exactly, field for field.
+    assert_eq!(single.stats(), sharded.stats(), "host stats, {}", ctx(seed));
+
+    // Per-graft ledgers and lifecycle states agree for every graft
+    // still installed (wall-clock ns is the one legitimately
+    // machine-dependent field; everything countable must match).
+    for &(a, b) in &installed {
+        let l1 = *single.ledger(a).expect("scalar ledger");
+        let l2 = sharded.ledger(b).expect("sharded ledger");
+        assert_eq!(l1.invocations, l2.invocations, "invocations, {}", ctx(seed));
+        assert_eq!(l1.traps, l2.traps, "traps, {}", ctx(seed));
+        assert_eq!(l1.fuel_used, l2.fuel_used, "fuel, {}", ctx(seed));
+        assert_eq!(l1.trap_counts, l2.trap_counts, "trap kinds, {}", ctx(seed));
+        assert_eq!(single.state(a), sharded.state(b), "state, {}", ctx(seed));
+        trace.push(l1.invocations as i64);
+        trace.push(l1.traps as i64);
+    }
+
+    // Every shard sees the same membership as the scalar host.
+    for s in 0..vs.len() {
+        assert_eq!(
+            single.active_len(POINT),
+            vs.shard_mut(s).active_len(POINT),
+            "shard {s} active chain, {}",
+            ctx(seed)
+        );
+        assert_eq!(
+            single.chain(POINT).len(),
+            vs.shard_mut(s).chain(POINT).len(),
+            "shard {s} chain length, {}",
+            ctx(seed)
+        );
+    }
+    trace
+}
+
+/// `ShardedHost::install_front` with the same shape as the scalar call.
+fn vs_install_front(host: &ShardedHost, engine: Box<dyn graftbench::api::ExtensionEngine>) -> GraftId {
+    host.install_front(POINT, "pure", engine).expect("install front")
+}
+
+/// >= 200 seeded interleavings for one technology.
+fn run_equivalence(tech: Technology, base_seed: u64) {
+    const INTERLEAVINGS: usize = 200;
+    let manager = GraftManager::new();
+    let spec = pure_spec();
+    for i in 0..INTERLEAVINGS {
+        let seed = base_seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        check_one(&manager, &spec, tech, seed);
+    }
+}
+
+#[test]
+fn sharded_matches_scalar_compiled_unchecked() {
+    run_equivalence(Technology::CompiledUnchecked, 0xC0);
+}
+
+#[test]
+fn sharded_matches_scalar_safe_compiled() {
+    run_equivalence(Technology::SafeCompiled, 0x53);
+}
+
+#[test]
+fn sharded_matches_scalar_sfi() {
+    run_equivalence(Technology::Sfi, 0x5F1);
+}
+
+#[test]
+fn sharded_matches_scalar_bytecode() {
+    run_equivalence(Technology::Bytecode, 0xB1);
+}
+
+#[test]
+fn sharded_matches_scalar_script() {
+    run_equivalence(Technology::Script, 0x7C1);
+}
+
+#[test]
+fn sharded_matches_scalar_rust_native() {
+    run_equivalence(Technology::RustNative, 0x4A);
+}
+
+#[test]
+fn sharded_matches_scalar_user_level() {
+    run_equivalence(Technology::UserLevel, 0x0E);
+}
+
+#[test]
+fn interleavings_replay_identically_from_the_same_seed() {
+    // The harness is only as good as its reproducibility: the same
+    // seed must replay the same program with the same observable
+    // outcomes, or a CI failure could never be investigated.
+    let manager = GraftManager::new();
+    let spec = pure_spec();
+    for i in 0..32u64 {
+        let seed = 0xD00D_F00D ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let first = check_one(&manager, &spec, Technology::SafeCompiled, seed);
+        let again = check_one(&manager, &spec, Technology::SafeCompiled, seed);
+        assert_eq!(first, again, "seed {seed:#x} did not replay");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault injection: rng-scheduled saboteur on (shard, invocation) slots.
+// ---------------------------------------------------------------------
+
+#[test]
+fn scheduled_saboteur_detach_propagates_to_every_shard() {
+    const SHARDS: usize = 4;
+    const ROUNDS: usize = 12;
+    let manager = GraftManager::new();
+    let spec = pure_spec();
+    for tech in ALL_TECHS {
+        let mut rng = SmallRng::seed_from_u64(0xFA01_7000 + tech as u64);
+        let mut host = ShardedHost::new(SHARDS);
+        let threshold = host.config().trap_threshold as u64;
+        let engine = manager.load(&spec, tech).expect("load saboteur");
+        let id = host.install(POINT, "saboteur", engine).expect("install");
+        let epoch_at_install = host.epoch();
+        let mut vs = VirtualShards::new(&mut host, 0xBEEF);
+
+        // The trap schedule: exactly `threshold` distinct
+        // (shard, round) slots drawn from the seeded rng. Every other
+        // slot dispatches clean arguments that decode to Continue, so
+        // the chain keeps being consulted until the supervisor trips.
+        let mut plan = [[false; ROUNDS]; SHARDS];
+        let mut placed = 0;
+        while placed < threshold {
+            let s = rng.bounded_u64(SHARDS as u64) as usize;
+            let k = rng.bounded_u64(ROUNDS as u64) as usize;
+            if !plan[s][k] {
+                plan[s][k] = true;
+                placed += 1;
+            }
+        }
+
+        let mut expected_invocations = 0u64;
+        let mut expected_traps = 0u64;
+        for k in 0..ROUNDS {
+            for (s, shard_plan) in plan.iter().enumerate() {
+                let live = !host.is_quarantined(id);
+                let b = if shard_plan[k] { 0 } else { 1 };
+                if live {
+                    expected_invocations += 1;
+                    if b == 0 {
+                        expected_traps += 1;
+                    }
+                }
+                let v = vs.shard_mut(s).dispatch(POINT, |_| Ok(vec![7, b]));
+                // (7 + 1) % 7 - 3 = -2: the graft always declines, so
+                // every dispatch falls through to the kernel default.
+                assert_eq!(v, Verdict::Continue, "{tech} shard {s} round {k}");
+            }
+        }
+
+        // The third scheduled trap detached the graft — globally.
+        assert!(host.is_quarantined(id), "{tech}: saboteur still attached");
+        assert_eq!(expected_traps, threshold, "{tech}: schedule under-fired");
+        let detach = host.detach_epoch(id).expect("detach epoch");
+        assert!(
+            detach >= epoch_at_install && detach <= host.epoch(),
+            "{tech}: detach epoch {detach} outside [{epoch_at_install}, {}]",
+            host.epoch()
+        );
+
+        // Ledger totals match the deterministic schedule exactly.
+        vs.flush_all();
+        let ledger = host.ledger(id).expect("ledger");
+        assert_eq!(ledger.traps, threshold, "{tech}");
+        assert_eq!(ledger.invocations, expected_invocations, "{tech}");
+
+        // No post-detach invocation on *any* shard: more dispatches
+        // leave the ledger untouched and the active chain empty.
+        for s in 0..SHARDS {
+            for _ in 0..3 {
+                let v = vs.shard_mut(s).dispatch(POINT, |_| Ok(vec![7, 1]));
+                assert_eq!(v, Verdict::Continue, "{tech} shard {s}");
+            }
+            assert_eq!(vs.shard_mut(s).active_len(POINT), 0, "{tech} shard {s}");
+        }
+        vs.flush_all();
+        assert_eq!(
+            host.ledger(id).expect("ledger").invocations,
+            expected_invocations,
+            "{tech}: a detached graft was invoked"
+        );
+
+        // Re-invoking the detached graft refuses deterministically on
+        // every shard, with the same message everywhere, and the
+        // refusal is never charged to the ledger.
+        let mut messages = Vec::new();
+        for s in 0..SHARDS {
+            let e1 = vs.shard_mut(s).invoke(id, &[1, 1]).unwrap_err();
+            let e2 = vs.shard_mut(s).invoke(id, &[1, 1]).unwrap_err();
+            assert!(
+                matches!(&e1, GraftError::Unavailable { .. }),
+                "{tech} shard {s}: {e1}"
+            );
+            assert_eq!(e1.to_string(), e2.to_string(), "{tech} shard {s}");
+            messages.push(e1.to_string());
+        }
+        messages.dedup();
+        assert_eq!(messages.len(), 1, "{tech}: refusals differ across shards");
+        vs.flush_all();
+        assert_eq!(
+            host.ledger(id).expect("ledger").invocations,
+            expected_invocations,
+            "{tech}: refusal charged the ledger"
+        );
+    }
+}
+
+#[test]
+fn scheduled_saboteur_replays_identically() {
+    // Same seed, same schedule, same detach point: run the scheduled
+    // saboteur twice and compare where the supervisor tripped.
+    let manager = GraftManager::new();
+    let spec = pure_spec();
+    let run = |seed: u64| -> (u64, u64) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut host = ShardedHost::new(3);
+        let id = host
+            .install(POINT, "saboteur", manager.load(&spec, Technology::Bytecode).unwrap())
+            .unwrap();
+        let mut vs = VirtualShards::new(&mut host, seed);
+        let mut step = 0u64;
+        let mut tripped_at = 0u64;
+        while !host.is_quarantined(id) {
+            step += 1;
+            let b = i64::from(rng.bounded_u64(3) != 0);
+            vs.dispatch(POINT, |_| Ok(vec![7, b]));
+            tripped_at = step;
+            assert!(step < 10_000, "saboteur never tripped");
+        }
+        vs.flush_all();
+        (tripped_at, host.ledger(id).unwrap().invocations)
+    };
+    for seed in [1u64, 0xFEED, 0x1234_5678] {
+        assert_eq!(run(seed), run(seed), "seed {seed:#x}");
+    }
+}
+
+#[test]
+fn one_fuel_exhaustion_detaches_globally() {
+    // FuelExhausted is a single-strike offence: one preempted
+    // invocation on one shard detaches the graft everywhere, even
+    // though the trap threshold has not been reached.
+    let cfg = HostConfig {
+        fuel_budget: Some(20_000),
+        ..HostConfig::default()
+    };
+    let manager = GraftManager::new();
+    let spec = pure_spec();
+    for tech in [
+        Technology::SafeCompiled,
+        Technology::Sfi,
+        Technology::Bytecode,
+        Technology::Script,
+    ] {
+        let mut host = ShardedHost::with_config(4, cfg);
+        let engine = manager.load(&spec, tech).expect("load");
+        let id = host.install(POINT, "spinner", engine).expect("install");
+        let mut vs = VirtualShards::new(&mut host, 0x10E1);
+
+        // A clean dispatch on every shard first: all attached.
+        for s in 0..4 {
+            vs.shard_mut(s).dispatch(POINT, |_| Ok(vec![7, 1]));
+            assert_eq!(vs.shard_mut(s).active_len(POINT), 1, "{tech} shard {s}");
+        }
+        assert!(!host.is_quarantined(id), "{tech}");
+
+        // One runaway invocation on shard 2.
+        let v = vs.shard_mut(2).dispatch(POINT, |_| Ok(vec![7, -1]));
+        assert_eq!(v, Verdict::Continue, "{tech}");
+        assert!(host.is_quarantined(id), "{tech}: fuel trap did not detach");
+
+        // Every shard observes the detach at its very next dispatch.
+        for s in 0..4 {
+            vs.shard_mut(s).dispatch(POINT, |_| Ok(vec![7, 1]));
+            assert_eq!(vs.shard_mut(s).active_len(POINT), 0, "{tech} shard {s}");
+        }
+        vs.flush_all();
+        let ledger = host.ledger(id).expect("ledger");
+        assert_eq!(ledger.traps, 1, "{tech}");
+        assert_eq!(ledger.invocations, 5, "{tech}");
+    }
+}
