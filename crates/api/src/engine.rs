@@ -150,6 +150,58 @@ pub trait ExtensionEngine: Send {
         out: &mut [i64],
     ) -> Result<(), GraftError>;
 
+    /// Length (in words) of a pre-bound region.
+    ///
+    /// The sizing half of the state-salvage seam: the supervisor asks
+    /// how big a region is before snapshotting it, so the default
+    /// [`snapshot_region`] can allocate exactly once.
+    ///
+    /// [`snapshot_region`]: ExtensionEngine::snapshot_region
+    fn region_len(&self, id: RegionId) -> Result<usize, GraftError>;
+
+    /// Copies a pre-bound region's entire contents out of the graft —
+    /// the state-salvage seam.
+    ///
+    /// The quarantine supervisor calls this at detach time to rescue
+    /// critical kernel state (a Logical Disk map, a scheduler table)
+    /// that lives *inside* a black-box graft, so degraded mode can keep
+    /// serving with the salvaged state instead of an empty one. It is a
+    /// cold-path operation: one allocation per region, sized by
+    /// [`region_len`].
+    ///
+    /// Transports with a per-call boundary cost (the user-level upcall
+    /// engine) override this to ship the whole region in one round
+    /// trip.
+    ///
+    /// [`region_len`]: ExtensionEngine::region_len
+    fn snapshot_region(&self, id: RegionId) -> Result<Vec<i64>, GraftError> {
+        let len = self.region_len(id)?;
+        let mut out = vec![0i64; len];
+        self.read_region_slice_id(id, 0, &mut out)?;
+        Ok(out)
+    }
+
+    /// Overwrites a pre-bound region's entire contents — the re-seed
+    /// half of the state-salvage seam.
+    ///
+    /// `words` must be exactly the region's length; a partial restore
+    /// is rejected *before any word is written*, so a failed restore
+    /// never leaves the region half-seeded. Used to hand a salvaged
+    /// snapshot to a replacement graft (possibly under a different
+    /// technology, or a [`fork_for_shard`] replica).
+    ///
+    /// [`fork_for_shard`]: ExtensionEngine::fork_for_shard
+    fn restore_region(&mut self, id: RegionId, words: &[i64]) -> Result<(), GraftError> {
+        let len = self.region_len(id)?;
+        if words.len() != len {
+            return Err(GraftError::Verify(format!(
+                "restore_region: {} words for a region of {len}",
+                words.len()
+            )));
+        }
+        self.load_region_id(id, 0, words)
+    }
+
     /// Runs the entry point `entry` with the given scalar arguments and
     /// returns its scalar result.
     ///
@@ -433,6 +485,10 @@ impl ExtensionEngine for NativeEngine {
         self.regions.read_slice_id(id, offset, out)
     }
 
+    fn region_len(&self, id: RegionId) -> Result<usize, GraftError> {
+        self.regions.len_id(id)
+    }
+
     fn set_fuel(&mut self, _fuel: Option<u64>) {
         // Native code cannot be metered without compiler support; this is
         // precisely the reliability hazard the paper attributes to
@@ -612,6 +668,31 @@ mod tests {
         assert_eq!(parent.read_region("buf", 0).unwrap(), 1);
         // Grandchildren fork too (the factory travels with the replica).
         assert!(child.fork_for_shard(1).is_ok());
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_bit_exact() {
+        let mut e = doubling_engine();
+        let buf = e.bind_region("buf").unwrap();
+        e.load_region_id(buf, 0, &[9, -8, 7, i64::MIN]).unwrap();
+        assert_eq!(e.region_len(buf).unwrap(), 4);
+
+        let snap = e.snapshot_region(buf).unwrap();
+        assert_eq!(snap, [9, -8, 7, i64::MIN]);
+
+        // Scribble, then restore: contents come back bit-exact.
+        e.load_region_id(buf, 0, &[0; 4]).unwrap();
+        e.restore_region(buf, &snap).unwrap();
+        assert_eq!(e.snapshot_region(buf).unwrap(), snap);
+
+        // A partial restore is rejected before any word is written.
+        let err = e.restore_region(buf, &[1, 2]).unwrap_err();
+        assert!(matches!(err, GraftError::Verify(_)));
+        assert_eq!(e.snapshot_region(buf).unwrap(), snap);
+
+        // Stale handles trap deterministically.
+        assert!(e.region_len(RegionId(99)).is_err());
+        assert!(e.snapshot_region(RegionId(99)).is_err());
     }
 
     #[test]

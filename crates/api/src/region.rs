@@ -274,6 +274,11 @@ impl RegionStore {
         }
     }
 
+    /// Length (in words) of a region by pre-bound id.
+    pub fn len_id(&self, id: RegionId) -> Result<usize, GraftError> {
+        Ok(self.checked(id)?.len())
+    }
+
     /// Kernel-side bulk marshal: copies `data` into the region starting at
     /// word `offset`. Name-keyed compat path; hot code should
     /// [`Self::id`] once and use [`Self::load_id`].

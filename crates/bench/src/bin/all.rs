@@ -46,6 +46,10 @@ fn main() {
     println!("{}", report::render_table8(&t8));
     art.add_table("table8", artifact::table8_json(&t8));
 
+    let t9 = experiment::table9(&cfg).expect("table 9");
+    println!("{}", report::render_table9(&t9));
+    art.add_table("table9", artifact::table9_json(&t9));
+
     let measured = std::time::Duration::from_nanos(t1.upcall_roundtrip.mean_ns as u64);
     let fig = experiment::figure1(&t2, Some(measured));
     print!("{}", report::render_figure1(&fig));

@@ -175,6 +175,47 @@ fn summarize(path: &str, a: &RunArtifact) -> String {
     }
     out.push_str(&summarize_kernel(a));
     out.push_str(&summarize_shards(a));
+    out.push_str(&summarize_recovery(a));
+    out
+}
+
+/// The recovery section: supervisor salvage activity, fault-injection
+/// accounting, and Logical Disk crash/rebuild traffic from the
+/// `kernel.recovery.*`, `disk.faults.*`, and `ld.*` namespaces. Empty
+/// when the run neither salvaged nor injected nor crashed.
+fn summarize_recovery(a: &RunArtifact) -> String {
+    let mut out = String::new();
+    let salvages = a.counter("kernel.recovery.salvages");
+    let injected = a.counter("disk.faults.injected");
+    let crashes = a.counter("ld.crashes") + a.counter("disk.faults.crashes");
+    if salvages == 0 && injected == 0 && crashes == 0 {
+        return out;
+    }
+    let _ = writeln!(out, "  recovery:");
+    let _ = writeln!(
+        out,
+        "    salvages {salvages}  salvaged words {}  lost mappings {}  auto-readmits {}  bans {}",
+        a.counter("kernel.recovery.salvaged_words"),
+        a.counter("kernel.recovery.lost_mappings"),
+        a.counter("kernel.recovery.auto_readmits"),
+        a.counter("kernel.recovery.bans"),
+    );
+    let _ = writeln!(
+        out,
+        "    fault injection: ios {}  injected {injected}  retries {}  torn writes {}  exhausted {}  crashes {}",
+        a.counter("disk.faulty_ios"),
+        a.counter("disk.retries"),
+        a.counter("disk.torn_writes"),
+        a.counter("disk.faults.exhausted"),
+        a.counter("disk.faults.crashes"),
+    );
+    let _ = writeln!(
+        out,
+        "    logical disk: crashes {}  rebuilds {}  replayed mappings {}",
+        a.counter("ld.crashes"),
+        a.counter("ld.rebuilds"),
+        a.counter("ld.rebuilt_mappings"),
+    );
     out
 }
 
@@ -551,6 +592,50 @@ mod tests {
         assert!(text.contains("epoch syncs 12"), "{text}");
         assert!(text.contains("4 shard lifetimes, mean 100 dispatches"), "{text}");
         assert!(text.contains("imbalance (max-min)/mean: mean=2.0% p99=2%"), "{text}");
+    }
+
+    #[test]
+    fn recovery_section_summarizes_salvage_and_fault_accounting() {
+        let mut art = artifact();
+        // A clean run prints no recovery section.
+        assert!(!summarize("x.json", &art).contains("recovery:"));
+
+        let mut counters = Json::object();
+        counters
+            .set("kernel.recovery.salvages", 6u64)
+            .set("kernel.recovery.salvaged_words", 1536u64)
+            .set("kernel.recovery.lost_mappings", 0u64)
+            .set("kernel.recovery.auto_readmits", 1u64)
+            .set("kernel.recovery.bans", 0u64)
+            .set("disk.faulty_ios", 32u64)
+            .set("disk.faults.injected", 3u64)
+            .set("disk.retries", 3u64)
+            .set("disk.torn_writes", 1u64)
+            .set("disk.faults.exhausted", 0u64)
+            .set("disk.faults.crashes", 1u64)
+            .set("ld.crashes", 1u64)
+            .set("ld.rebuilds", 3u64)
+            .set("ld.rebuilt_mappings", 240u64);
+        let mut metrics = Json::object();
+        metrics
+            .set("counters", counters)
+            .set("histograms", Vec::<Json>::new());
+        art.metrics = metrics;
+
+        let text = summarize("x.json", &art);
+        assert!(text.contains("recovery:"), "{text}");
+        assert!(
+            text.contains("salvages 6  salvaged words 1536  lost mappings 0"),
+            "{text}"
+        );
+        assert!(
+            text.contains("ios 32  injected 3  retries 3  torn writes 1  exhausted 0  crashes 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("logical disk: crashes 1  rebuilds 3  replayed mappings 240"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -1,0 +1,15 @@
+//! Regenerates Table 9: graft recovery — crash-consistent state
+//! salvage per technology, plus a fault-injected crash/rebuild drill
+//! on the Logical Disk. Accepts `--faults <seed>` / `--fault-rate
+//! <permille>` to override the drill's default chaos plan.
+
+use graft_core::artifact::{self, RunArtifact};
+
+fn main() {
+    let cli = graft_bench::cli_from_args();
+    let t = graft_core::experiment::table9(&cli.config).expect("table 9 runs");
+    print!("{}", graft_core::report::render_table9(&t));
+    let mut art = RunArtifact::begin(&cli.config);
+    art.add_table("table9", artifact::table9_json(&t));
+    graft_bench::maybe_write_artifact(&cli, &mut art);
+}

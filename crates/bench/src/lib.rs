@@ -12,6 +12,7 @@
 //! | `table6` | Table 6 (Logical Disk) |
 //! | `table7` | Table 7 (ours: multi-tenant churn under graft-host) |
 //! | `table8` | Table 8 (ours: sharded multi-core dispatch scaling) |
+//! | `table9` | Table 9 (ours: graft recovery under fault injection) |
 //! | `figure1` | Figure 1 (break-even vs upcall time, CSV) |
 //! | `all` | everything, in paper order |
 //! | `graftstat` | diff two `--json` run artifacts |
@@ -20,6 +21,12 @@
 //! `--offline` (skip live host measurements), `--json <path>` (write
 //! the machine-readable run artifact), and `--no-telemetry` (disable
 //! metric recording at runtime, for observer-effect checks).
+//! Fault injection is opt-in via `--faults <seed>` (a seeded
+//! [`kernsim::FaultPlan::chaos`] plan) and `--fault-rate <permille>`
+//! (override the transient I/O-error rate; torn writes run at half
+//! that); any experiment that prices disk work routes it through a
+//! `FaultyDisk` under the plan, and Table 9's drill adopts it for its
+//! seeded crash.
 
 use std::path::PathBuf;
 
@@ -27,8 +34,7 @@ use graft_core::artifact::RunArtifact;
 use graft_core::experiment::RunConfig;
 
 /// Usage string shared by `--help` and error reporting.
-pub const USAGE: &str =
-    "usage: [--quick|--full] [--offline] [--json <path>] [--no-telemetry] [--shards <n>]";
+pub const USAGE: &str = "usage: [--quick|--full] [--offline] [--json <path>] [--no-telemetry] [--shards <n>] [--faults <seed>] [--fault-rate <permille>]";
 
 /// Parsed command line: the run configuration plus artifact options.
 #[derive(Debug, Clone, PartialEq)]
@@ -109,6 +115,38 @@ pub fn parse_cli(args: &[String]) -> Result<Cli, CliError> {
                     .filter(|&v| (1..=64).contains(&v))
                     .ok_or_else(|| CliError::BadValue("--shards".into(), n.clone()))?;
                 cli.shards = Some(parsed);
+            }
+            "--faults" => {
+                let n = it
+                    .next()
+                    .ok_or_else(|| CliError::MissingValue("--faults".into()))?;
+                let seed: u64 = n
+                    .parse()
+                    .map_err(|_| CliError::BadValue("--faults".into(), n.clone()))?;
+                // Keep rates a prior --fault-rate configured; re-seed.
+                cli.config.faults = Some(match cli.config.faults {
+                    Some(plan) => kernsim::FaultPlan { seed, ..plan },
+                    None => kernsim::FaultPlan::chaos(seed),
+                });
+            }
+            "--fault-rate" => {
+                let n = it
+                    .next()
+                    .ok_or_else(|| CliError::MissingValue("--fault-rate".into()))?;
+                let permille: u16 = n
+                    .parse()
+                    .ok()
+                    .filter(|&v| v <= 1000)
+                    .ok_or_else(|| CliError::BadValue("--fault-rate".into(), n.clone()))?;
+                let plan = cli
+                    .config
+                    .faults
+                    .unwrap_or_else(|| kernsim::FaultPlan::chaos(42));
+                cli.config.faults = Some(kernsim::FaultPlan {
+                    io_error_permille: permille,
+                    torn_permille: permille / 2,
+                    ..plan
+                });
             }
             "--help" | "-h" => return Err(CliError::Help),
             other => return Err(CliError::Unknown(other.to_string())),
@@ -243,6 +281,40 @@ mod tests {
         assert_eq!(
             parse_cli(&strings(&["--shards", "many"])),
             Err(CliError::BadValue("--shards".into(), "many".into()))
+        );
+    }
+
+    #[test]
+    fn faults_flag_arms_a_seeded_chaos_plan() {
+        assert_eq!(parse_cli(&strings(&[])).unwrap().config.faults, None);
+        let cli = parse_cli(&strings(&["--faults", "7"])).unwrap();
+        assert_eq!(cli.config.faults, Some(kernsim::FaultPlan::chaos(7)));
+        assert_eq!(
+            parse_cli(&strings(&["--faults"])),
+            Err(CliError::MissingValue("--faults".into()))
+        );
+        assert_eq!(
+            parse_cli(&strings(&["--faults", "lots"])),
+            Err(CliError::BadValue("--faults".into(), "lots".into()))
+        );
+    }
+
+    #[test]
+    fn fault_rate_overrides_rates_in_any_flag_order() {
+        let cli = parse_cli(&strings(&["--faults", "7", "--fault-rate", "100"])).unwrap();
+        let plan = cli.config.faults.unwrap();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.io_error_permille, 100);
+        assert_eq!(plan.torn_permille, 50);
+        // Rate first, then seed: the rate survives the re-seed.
+        let cli = parse_cli(&strings(&["--fault-rate", "100", "--faults", "7"])).unwrap();
+        assert_eq!(cli.config.faults.unwrap(), plan);
+        // Rate alone defaults the seed.
+        let cli = parse_cli(&strings(&["--fault-rate", "8"])).unwrap();
+        assert_eq!(cli.config.faults.unwrap().seed, 42);
+        assert_eq!(
+            parse_cli(&strings(&["--fault-rate", "1001"])),
+            Err(CliError::BadValue("--fault-rate".into(), "1001".into()))
         );
     }
 

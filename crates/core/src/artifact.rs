@@ -19,7 +19,7 @@ use graft_telemetry::MetricsSnapshot;
 use kernsim::stats::Sample;
 
 use crate::experiment::{
-    Figure1, RunConfig, Table1, Table2, Table3, Table4, Table5, Table6, Table7, Table8,
+    Figure1, RunConfig, Table1, Table2, Table3, Table4, Table5, Table6, Table7, Table8, Table9,
 };
 
 /// Schema identifier embedded in every artifact.
@@ -243,6 +243,20 @@ pub fn config_json(c: &RunConfig) -> Json {
         .set("ld_writes", c.ld_writes)
         .set("ld_blocks", c.ld_blocks)
         .set("live", c.live);
+    // The fault plan is optional *on disk* too: clean-run artifacts
+    // (and every artifact committed before fault injection existed)
+    // simply omit the key.
+    if let Some(p) = &c.faults {
+        let mut plan = Json::object();
+        plan.set("seed", p.seed)
+            .set("io_error_permille", u64::from(p.io_error_permille))
+            .set("torn_permille", u64::from(p.torn_permille))
+            .set("max_retries", u64::from(p.max_retries));
+        if let Some(n) = p.crash_after_ios {
+            plan.set("crash_after_ios", n);
+        }
+        obj.set("faults", plan);
+    }
     obj
 }
 
@@ -264,6 +278,23 @@ fn config_from_json(j: &Json) -> Result<RunConfig, String> {
             .get("live")
             .and_then(Json::as_bool)
             .ok_or("config missing `live`")?,
+        faults: match j.get("faults") {
+            None => None, // pre-fault-injection artifacts omit the key
+            Some(p) => {
+                let pf = |name: &str| -> Result<u64, String> {
+                    p.get(name)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("fault plan missing `{name}`"))
+                };
+                Some(kernsim::FaultPlan {
+                    seed: pf("seed")?,
+                    io_error_permille: pf("io_error_permille")? as u16,
+                    torn_permille: pf("torn_permille")? as u16,
+                    crash_after_ios: p.get("crash_after_ios").and_then(Json::as_u64),
+                    max_retries: pf("max_retries")? as u32,
+                })
+            }
+        },
     })
 }
 
@@ -521,6 +552,58 @@ pub fn table8_json(t: &Table8) -> Json {
     obj
 }
 
+/// Table 9 as JSON. Each row's `snapshot`/`salvage_detach`/`restore`
+/// samples land in the flattened index (the surface the recovery CI
+/// gate diffs); `lost_mappings` is the hard-zero correctness field the
+/// verify script asserts on.
+pub fn table9_json(t: &Table9) -> Json {
+    let rows: Vec<Json> = t
+        .rows
+        .iter()
+        .map(|r| {
+            let mut row = Json::object();
+            row.set("tech", r.tech.paper_name())
+                .set("snapshot", sample_json(&r.snapshot))
+                .set("salvage_detach", sample_json(&r.salvage_detach))
+                .set("restore", sample_json(&r.restore))
+                .set("recovery_ns", dur_ns(r.recovery))
+                .set("salvaged_words", r.salvaged_words)
+                .set("lost_mappings", r.lost_mappings)
+                .set("post_over_base", r.post_over_base)
+                .set("populated", r.populated);
+            row
+        })
+        .collect();
+    let mut crash = Json::object();
+    crash
+        .set("crash_after_ios", t.crash.crash_after_ios)
+        .set("rebuild", sample_json(&t.crash.rebuild))
+        .set("time_to_recovery_ns", dur_ns(t.crash.time_to_recovery))
+        .set("replayed", t.crash.replayed)
+        .set("redone", t.crash.redone)
+        .set("lost_mappings", t.crash.lost_mappings)
+        .set("ios", t.crash.faults.ios)
+        .set("injected", t.crash.faults.injected)
+        .set("retries", t.crash.faults.retries)
+        .set("torn_writes", t.crash.faults.torn_writes)
+        .set("exhausted", t.crash.faults.exhausted)
+        .set("crashes", t.crash.faults.crashes);
+    let mut plan = Json::object();
+    plan.set("seed", t.plan.seed)
+        .set("io_error_permille", u64::from(t.plan.io_error_permille))
+        .set("torn_permille", u64::from(t.plan.torn_permille))
+        .set("max_retries", u64::from(t.plan.max_retries));
+    let mut obj = Json::object();
+    obj.set("rows", rows)
+        .set("crash", crash)
+        .set("plan", plan)
+        .set("writes", t.writes)
+        .set("blocks", t.blocks)
+        .set("lost_total", t.lost_total())
+        .set("runs", t.runs);
+    obj
+}
+
 /// Figure 1 as JSON.
 pub fn figure1_json(f: &Figure1) -> Json {
     let series: Vec<Json> = f
@@ -565,6 +648,7 @@ mod tests {
             ld_writes: 64,
             ld_blocks: 64,
             live: false,
+            faults: None,
         }
     }
 

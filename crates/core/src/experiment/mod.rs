@@ -8,12 +8,15 @@ pub mod figure;
 pub mod micro;
 pub mod table7;
 pub mod table8;
+pub mod table9;
 pub mod tables;
 
 pub use figure::{figure1, Figure1};
+pub use kernsim::FaultPlan;
 pub use micro::{table1, table3, table4, Table1, Table3, Table4};
 pub use table7::{table7, Table7, Table7Row};
 pub use table8::{table8, Table8, Table8Cell, Table8Row, LADDER};
+pub use table9::{table9, Table9, Table9Crash, Table9Row};
 pub use tables::{table2, table5, table6, Table2, Table2Row, Table5, Table5Row, Table6, Table6Row};
 
 /// Iteration counts and workload sizes for a whole experiment run.
@@ -39,6 +42,12 @@ pub struct RunConfig {
     /// Run live host measurements (signals, page faults, disk
     /// bandwidth); when false, 1996-style model defaults are used.
     pub live: bool,
+    /// Optional fault-injection plan (from `--faults`/`--fault-rate`):
+    /// experiments that price disk work route it through a
+    /// [`kernsim::FaultyDisk`] under this plan. `None` runs clean.
+    /// Table 9 always injects: it uses this plan when set, or
+    /// [`FaultPlan::chaos`] with its default seed otherwise.
+    pub faults: Option<FaultPlan>,
 }
 
 impl RunConfig {
@@ -53,6 +62,7 @@ impl RunConfig {
             ld_writes: 262_144,
             ld_blocks: 262_144,
             live: true,
+            faults: None,
         }
     }
 
@@ -68,6 +78,7 @@ impl RunConfig {
             ld_writes: 8_192,
             ld_blocks: 8_192,
             live: true,
+            faults: None,
         }
     }
 

@@ -263,6 +263,7 @@ mod tests {
             ld_writes: 64,
             ld_blocks: 64,
             live: false,
+            faults: None,
         }
     }
 

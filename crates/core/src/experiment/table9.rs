@@ -1,0 +1,529 @@
+//! Table 9 (ours): graft recovery — crash-consistent state salvage,
+//! map rebuild, and time-to-recovery under fault injection.
+//!
+//! The paper's containment story ends at detach: unload the extension
+//! and keep going. For the **black box** class that is not enough —
+//! the Logical Disk's logical→physical map lives *inside* the graft,
+//! so a bare detach corrupts the kernel's view of the disk. This
+//! experiment prices the full recovery path, per technology:
+//!
+//! 1. **snapshot** — an explicit live checkpoint of the graft's
+//!    salvage plan ([`GraftHost::salvage_now`]): the cost of lifting
+//!    the map out of a healthy engine through the `snapshot_region`
+//!    seam.
+//! 2. **salvage-detach** — a time-bomb Logical Disk graft
+//!    ([`grafts::logdisk::spec_bomb_sized`]) traps mid-run; we time
+//!    the whole supervisor response: trap → quarantine → salvage →
+//!    [`GraftHost::take_salvage`].
+//! 3. **restore** — re-seeding a fresh replacement engine from the
+//!    salvaged state ([`SalvagedState::restore_into`]).
+//! 4. **degraded mode** — the built-in [`LogicalDisk`] adopts the
+//!    salvaged map ([`LogicalDisk::with_map`]) and serves the rest of
+//!    the write stream. Correctness is absolute: block-for-block
+//!    equality against an oracle that never crashed (`lost_mappings`
+//!    must be 0), and a degraded-mode service cost — priced through
+//!    the deterministic [`DiskModel`], one modeled segment write per
+//!    flush — within 5% of a built-in that never failed over
+//!    (`post_over_base`).
+//!
+//! Alongside the rows, one technology-independent **crash drill**
+//! routes the segment writes through a seeded [`FaultyDisk`] that
+//! injects transient I/O errors, torn writes, and one mid-run crash.
+//! The crash interrupts a segment write, so that segment's summary
+//! block never becomes durable: recovery discards it
+//! ([`LogicalDisk::crash_with_unpersisted`]), replays the surviving
+//! summaries ([`LogicalDisk::rebuild_map`]), and redoes the lost
+//! writes. The drill reports the rebuild cost, the end-to-end
+//! time-to-recovery, and — again — zero lost mappings against the
+//! no-crash oracle.
+//!
+//! [`GraftHost::salvage_now`]: graft_kernel::GraftHost::salvage_now
+//! [`GraftHost::take_salvage`]: graft_kernel::GraftHost::take_salvage
+//! [`SalvagedState::restore_into`]: graft_kernel::SalvagedState::restore_into
+//! [`LogicalDisk`]: logdisk::LogicalDisk
+//! [`LogicalDisk::with_map`]: logdisk::LogicalDisk::with_map
+//! [`LogicalDisk::crash_with_unpersisted`]: logdisk::LogicalDisk::crash_with_unpersisted
+//! [`LogicalDisk::rebuild_map`]: logdisk::LogicalDisk::rebuild_map
+//! [`FaultyDisk`]: kernsim::FaultyDisk
+
+use std::time::{Duration, Instant};
+
+use graft_api::{GraftError, Technology};
+use graft_kernel::{AttachPoint, GraftHost, HostConfig};
+use grafts::logdisk as ld_graft;
+use kernsim::stats::Sample;
+use kernsim::{DiskFault, DiskModel, FaultPlan, FaultStats, FaultyDisk};
+use logdisk::{LdConfig, LogicalDisk};
+
+use super::micro::UPCALL_BATCH;
+use super::tables::ROW_ORDER;
+use super::RunConfig;
+use crate::manager::GraftManager;
+
+/// One technology's recovery measurements.
+#[derive(Debug, Clone)]
+pub struct Table9Row {
+    /// Technology hosting the Logical Disk graft.
+    pub tech: Technology,
+    /// Live checkpoint: `salvage_now` on a healthy graft.
+    pub snapshot: Sample,
+    /// Trap → quarantine → salvage → `take_salvage`, end to end.
+    pub salvage_detach: Sample,
+    /// Re-seeding a fresh replacement engine from the salvaged state.
+    pub restore: Sample,
+    /// Salvage-detach plus the built-in's adoption of the map: the
+    /// wall-clock from the trap to degraded-mode service.
+    pub recovery: Duration,
+    /// Words lifted out of the trapped engine per salvage.
+    pub salvaged_words: usize,
+    /// Blocks where the degraded-mode map diverges from the no-crash
+    /// oracle after serving the rest of the stream. Must be 0.
+    pub lost_mappings: u64,
+    /// Degraded-mode service cost relative to the never-failed
+    /// built-in, priced through the deterministic [`DiskModel`] (one
+    /// modeled segment write per flush while serving the identical
+    /// tail). 1.0 is a perfect hand-off; below 1.0 the adopted state
+    /// costs more to serve. Deterministic under seed replay.
+    pub post_over_base: f64,
+    /// Writes the graft bookkept before the bomb went off.
+    pub populated: usize,
+}
+
+/// The technology-independent crash drill.
+#[derive(Debug, Clone)]
+pub struct Table9Crash {
+    /// Charged I/Os after which the injected crash fired.
+    pub crash_after_ios: u64,
+    /// `rebuild_map` cost at the crash-time summary population.
+    pub rebuild: Sample,
+    /// Crash → discard torn segment → rebuild → redo, end to end.
+    pub time_to_recovery: Duration,
+    /// Mapping entries replayed from durable summary blocks.
+    pub replayed: u64,
+    /// Writes redone because their segment never became durable.
+    pub redone: usize,
+    /// Blocks diverging from the no-crash oracle at end of run. Must
+    /// be 0.
+    pub lost_mappings: u64,
+    /// Fault-injection accounting for the whole drill.
+    pub faults: FaultStats,
+}
+
+/// Table 9: per-technology recovery rows plus the crash drill.
+#[derive(Debug, Clone)]
+pub struct Table9 {
+    /// Rows, in [`ROW_ORDER`] (no script row, as in Table 6).
+    pub rows: Vec<Table9Row>,
+    /// The fault-injected crash/rebuild drill.
+    pub crash: Table9Crash,
+    /// Write-stream length per row (base technologies).
+    pub writes: usize,
+    /// Logical blocks on the disk (= salvaged map words).
+    pub blocks: usize,
+    /// The fault plan the drill ran under.
+    pub plan: FaultPlan,
+    /// Timed repetitions per measurement.
+    pub runs: usize,
+}
+
+impl Table9 {
+    /// The row for a technology.
+    pub fn row(&self, tech: Technology) -> Option<&Table9Row> {
+        self.rows.iter().find(|r| r.tech == tech)
+    }
+
+    /// Total mappings lost across all rows and the drill (the
+    /// verify-script gate: must be 0).
+    pub fn lost_total(&self) -> u64 {
+        self.rows.iter().map(|r| r.lost_mappings).sum::<u64>() + self.crash.lost_mappings
+    }
+}
+
+/// Writes the graft bookkeeps before the bomb goes off, segment-aligned
+/// so the salvaged map hands over on a clean segment boundary (and the
+/// user-level row keeps its upcall count civil).
+fn populate_for(cfg: &RunConfig, tech: Technology) -> usize {
+    let writes = if tech == Technology::UserLevel {
+        (cfg.ld_writes / 20).max(32)
+    } else {
+        cfg.ld_writes / 2
+    };
+    (writes / 16).max(1) * 16
+}
+
+fn recovery_row(
+    cfg: &RunConfig,
+    manager: &GraftManager,
+    tech: Technology,
+    stream: &[i64],
+) -> Result<Table9Row, GraftError> {
+    let blocks = cfg.ld_blocks;
+    let spec = ld_graft::spec_bomb_sized(blocks);
+    let mut engine = manager.load(&spec, tech)?;
+    ld_graft::init_map(engine.as_mut(), blocks)?;
+
+    // Populate: the graft bookkeeps the first half of the stream
+    // (batched, so the user-level row amortizes its upcalls).
+    let half = populate_for(cfg, tech).min(stream.len());
+    let ld_write = engine.bind_entry("ld_write")?;
+    let mut results = Vec::with_capacity(UPCALL_BATCH);
+    for chunk in stream[..half].chunks(UPCALL_BATCH) {
+        results.clear();
+        engine.invoke_batch(ld_write, chunk.len(), chunk, &mut results)?;
+    }
+
+    // Install under a hair-trigger supervisor: the bomb is the third
+    // strike all by itself.
+    let mut host = GraftHost::with_config(HostConfig {
+        trap_threshold: 1,
+        ..HostConfig::default()
+    });
+    let id = host.install(AttachPoint::DiskWrite, "logical-disk", engine)?;
+    host.set_salvage_plan(id, &["map"])?;
+
+    let runs = if tech == Technology::UserLevel {
+        cfg.runs.clamp(1, 2)
+    } else {
+        cfg.runs.clamp(1, 5)
+    };
+
+    // Phase 1 — live checkpoint of a healthy graft.
+    let mut snaps = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        let s = host.salvage_now(id).expect("live salvage succeeds");
+        snaps.push(t0.elapsed());
+        debug_assert_eq!(s.words(), blocks);
+    }
+    let snapshot = Sample::from_runs(&snaps);
+
+    // Phase 2 — the bomb goes off; time the supervisor's whole
+    // response. The trap fires *before* any bookkeeping, so the map the
+    // supervisor lifts out is exactly the populate-time state — which
+    // is why the runs can repeat after a readmit.
+    let mut detaches = Vec::with_capacity(runs);
+    let mut salvage = None;
+    for run in 0..runs {
+        if run > 0 {
+            assert!(host.readmit(id), "{tech}: readmit from quarantine");
+        }
+        host.engine_mut(id)
+            .expect("graft installed")
+            .invoke("ld_arm", &[1])?;
+        let next = stream[half % stream.len()];
+        let t0 = Instant::now();
+        let err = host.invoke(id, &[next]);
+        let s = host.take_salvage(id);
+        detaches.push(t0.elapsed());
+        assert!(
+            matches!(err, Err(GraftError::Trap(_))),
+            "{tech}: bomb must trap, got {err:?}"
+        );
+        assert!(host.is_quarantined(id), "{tech}: supervisor must detach");
+        salvage = Some(s.expect("supervisor salvaged the map"));
+    }
+    let salvage_detach = Sample::from_runs(&detaches);
+    let salvage = salvage.expect("at least one run");
+    let salvaged_words = salvage.words();
+
+    // Phase 3 — re-seed a fresh replacement engine from the salvage.
+    let mut replacement = manager.load(&ld_graft::spec_sized(blocks), tech)?;
+    ld_graft::init_map(replacement.as_mut(), blocks)?;
+    let mut restores = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        salvage.restore_into(replacement.as_mut())?;
+        restores.push(t0.elapsed());
+    }
+    let restore = Sample::from_runs(&restores);
+    debug_assert_eq!(replacement.invoke("ld_lookup", &[stream[0]])?, {
+        let map = salvage.region("map").expect("map salvaged");
+        map[stream[0] as usize]
+    });
+
+    // Phase 4 — degraded mode: the built-in adopts the salvaged map
+    // and serves the rest of the stream.
+    let config = LdConfig {
+        blocks,
+        segment_blocks: 16,
+    };
+    let map = salvage.region("map").expect("map salvaged");
+    let t0 = Instant::now();
+    let adopted = LogicalDisk::with_map(config, map);
+    let adoption = t0.elapsed();
+    let recovery = salvage_detach.best() + adoption;
+
+    // The oracle never crashed: the same built-in fed the full stream.
+    let mut oracle = LogicalDisk::new(config);
+    for &w in stream {
+        oracle.write(w as u64);
+    }
+    // Baseline built-in at the hand-off point, for the throughput
+    // race. It adopts its *own* half-time map through the same
+    // `with_map` constructor, so the two contenders are structurally
+    // identical (map contents aside: theirs is native, ours salvaged)
+    // and the race prices exactly the hand-off, not vector-capacity
+    // accidents.
+    let mut base_native = LogicalDisk::new(config);
+    for &w in &stream[..half] {
+        base_native.write(w as u64);
+    }
+    let base = LogicalDisk::with_map(config, base_native.map());
+
+    let mut degraded = adopted.clone();
+    for &w in &stream[half..] {
+        degraded.write(w as u64);
+    }
+    let lost_mappings = degraded
+        .map()
+        .iter()
+        .zip(oracle.map().iter())
+        .filter(|(a, b)| a != b)
+        .count() as u64;
+
+    // Throughput: serve the identical tail on the adopted disk vs the
+    // never-failed baseline, and price the service through the same
+    // deterministic [`DiskModel`] the other tables use. Wall-clock is
+    // the wrong instrument here — the two contenders run the *same*
+    // built-in write loop, so any wall-clock delta is scheduler noise —
+    // while the quantity the gate actually guards (does the hand-off
+    // leave the built-in with a state that costs more to serve?) is
+    // exactly what the model prices: every segment flush pays one
+    // modeled segment write. A hand-off that desynchronized the
+    // segment fill, doubled the flush rate, or forced extra I/O shows
+    // up directly in the ratio — and the ratio is deterministic under
+    // seed replay, as a recovery drill must be.
+    let tail = &stream[half..];
+    let model = DiskModel::default();
+    let service_cost = |disk: &LogicalDisk| -> Duration {
+        let mut d = disk.clone();
+        let mut flushes = 0u32;
+        for &w in tail {
+            if d.write(w as u64).is_some() {
+                flushes += 1;
+            }
+        }
+        model.segment_write() * flushes
+    };
+    let post_cost = service_cost(&adopted);
+    let base_cost = service_cost(&base);
+    let post_over_base = if post_cost.is_zero() {
+        1.0
+    } else {
+        base_cost.as_secs_f64() / post_cost.as_secs_f64()
+    };
+
+    Ok(Table9Row {
+        tech,
+        snapshot,
+        salvage_detach,
+        restore,
+        recovery,
+        salvaged_words,
+        lost_mappings,
+        post_over_base,
+        populated: half,
+    })
+}
+
+/// The fault-injected crash drill: run the built-in Logical Disk over
+/// the full stream with segment writes priced through a [`FaultyDisk`]
+/// armed to crash mid-run, recover, and prove nothing was lost.
+fn crash_drill(cfg: &RunConfig, plan: FaultPlan, stream: &[i64]) -> Table9Crash {
+    let config = LdConfig {
+        blocks: cfg.ld_blocks,
+        segment_blocks: 16,
+    };
+    // Crash halfway through the expected segment flushes.
+    let crash_after = ((stream.len() / 16) as u64 / 2).max(1);
+    let mut faulty = FaultyDisk::new(DiskModel::default(), plan.with_crash_after(crash_after));
+
+    let mut oracle = LogicalDisk::new(config);
+    let mut ld = LogicalDisk::new(config);
+    let mut time_to_recovery = Duration::ZERO;
+    let mut replayed = 0u64;
+    let mut redone = 0usize;
+
+    for &w in stream {
+        oracle.write(w as u64);
+        if ld.write(w as u64).is_none() {
+            continue;
+        }
+        // A segment filled: issue its write (and the summary block that
+        // rides along) until it sticks.
+        loop {
+            match faulty.segment_write() {
+                Ok(_) => break,
+                Err(DiskFault::RetriesExhausted { .. }) => continue, // reissue
+                Err(DiskFault::Crashed) => {
+                    // The crash interrupted this very segment write, so
+                    // its summary block never became durable either.
+                    let t0 = Instant::now();
+                    let redo = ld.crash_with_unpersisted(1);
+                    faulty.recover();
+                    replayed += ld.rebuild_map();
+                    redone += redo.len();
+                    for r in redo {
+                        if ld.write(r).is_some() {
+                            // Post-recovery flushes still pay the disk
+                            // (transients may remain; the crash point
+                            // is disarmed).
+                            while let Err(DiskFault::RetriesExhausted { .. }) =
+                                faulty.segment_write()
+                            {}
+                        }
+                    }
+                    time_to_recovery = t0.elapsed();
+                    break;
+                }
+            }
+        }
+    }
+
+    let lost_mappings = ld
+        .map()
+        .iter()
+        .zip(oracle.map().iter())
+        .filter(|(a, b)| a != b)
+        .count() as u64;
+
+    // Price the rebuild itself at the end-of-run summary population
+    // (each run on a fresh clone; rebuild_map is idempotent over the
+    // flushed state).
+    let runs = cfg.runs.clamp(2, 10);
+    let mut rebuilds = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let mut probe = ld.clone();
+        let t0 = Instant::now();
+        let n = probe.rebuild_map();
+        rebuilds.push(t0.elapsed());
+        debug_assert!(n > 0);
+    }
+
+    Table9Crash {
+        crash_after_ios: crash_after,
+        rebuild: Sample::from_runs(&rebuilds),
+        time_to_recovery,
+        replayed,
+        redone,
+        lost_mappings,
+        faults: faulty.stats(),
+    }
+}
+
+/// Runs the Table 9 experiment.
+pub fn table9(cfg: &RunConfig) -> Result<Table9, GraftError> {
+    let _span = graft_telemetry::span!("table9_recovery");
+    let plan = cfg.faults.unwrap_or_else(|| FaultPlan::chaos(42));
+    let stream: Vec<i64> = logdisk::workload::skewed(cfg.ld_blocks, cfg.ld_writes as u64, 42)
+        .map(|w| w as i64)
+        .collect();
+    let manager = GraftManager::new();
+    let mut rows = Vec::new();
+    for tech in ROW_ORDER {
+        if tech == Technology::Script {
+            continue; // no Tcl Logical Disk, as in Table 6
+        }
+        rows.push(recovery_row(cfg, &manager, tech, &stream)?);
+    }
+    let crash = crash_drill(cfg, plan, &stream);
+    if graft_telemetry::enabled() {
+        graft_telemetry::counter!("kernel.recovery.lost_mappings")
+            .add(rows.iter().map(|r| r.lost_mappings).sum::<u64>() + crash.lost_mappings);
+    }
+    Ok(Table9 {
+        rows,
+        crash,
+        writes: stream.len(),
+        blocks: cfg.ld_blocks,
+        plan,
+        runs: cfg.runs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> RunConfig {
+        RunConfig {
+            runs: 2,
+            evict_iters: 50,
+            script_evict_iters: 5,
+            md5_bytes: 128,
+            script_md5_bytes: 128,
+            ld_writes: 512,
+            ld_blocks: 256,
+            live: false,
+            faults: None,
+        }
+    }
+
+    #[test]
+    fn every_row_recovers_without_losing_a_mapping() {
+        let t = table9(&tiny()).unwrap();
+        assert_eq!(t.rows.len(), ROW_ORDER.len() - 1);
+        assert!(t.row(Technology::Script).is_none());
+        for row in &t.rows {
+            assert_eq!(row.lost_mappings, 0, "{}: degraded mode lost blocks", row.tech);
+            assert_eq!(
+                row.salvaged_words, t.blocks,
+                "{}: salvage must lift the whole map",
+                row.tech
+            );
+            assert!(row.populated.is_multiple_of(16), "{}", row.tech);
+            assert!(row.snapshot.best_ns() > 0.0, "{}", row.tech);
+            assert!(row.salvage_detach.best_ns() > 0.0, "{}", row.tech);
+            assert!(row.restore.best_ns() > 0.0, "{}", row.tech);
+            assert!(row.recovery > Duration::ZERO, "{}", row.tech);
+            // The hand-off cost is priced through the deterministic
+            // DiskModel, so the acceptance gate holds exactly, even in
+            // tiny test configurations.
+            assert!(
+                row.post_over_base >= 0.95,
+                "{}: post/base = {:.3}",
+                row.tech,
+                row.post_over_base
+            );
+        }
+        assert_eq!(t.lost_total(), 0);
+    }
+
+    #[test]
+    fn crash_drill_rebuilds_bit_exact_under_chaos() {
+        let t = table9(&tiny()).unwrap();
+        let c = &t.crash;
+        assert_eq!(c.lost_mappings, 0, "crash recovery lost mappings");
+        assert_eq!(c.faults.crashes, 1, "exactly one injected crash");
+        assert!(c.replayed > 0, "summaries replayed");
+        // The torn segment (16 blocks) is redone; the open segment at
+        // crash time is empty because the crash fires on a flush.
+        assert_eq!(c.redone, 16);
+        assert!(c.time_to_recovery > Duration::ZERO);
+        assert!(c.rebuild.best_ns() > 0.0);
+    }
+
+    #[test]
+    fn the_drill_is_deterministic_in_the_seed() {
+        let cfg = tiny();
+        let a = table9(&cfg).unwrap();
+        let b = table9(&cfg).unwrap();
+        assert_eq!(a.crash.replayed, b.crash.replayed);
+        assert_eq!(a.crash.redone, b.crash.redone);
+        assert_eq!(a.crash.faults, b.crash.faults);
+        assert_eq!(a.plan, b.plan);
+    }
+
+    #[test]
+    fn a_custom_fault_plan_is_honored() {
+        let mut cfg = tiny();
+        cfg.faults = Some(FaultPlan::quiet(7));
+        let t = table9(&cfg).unwrap();
+        assert_eq!(t.plan, FaultPlan::quiet(7));
+        // Quiet plan: no transient injections, but the drill's crash
+        // still fires (it is armed by the drill, not the plan).
+        assert_eq!(t.crash.faults.injected, 0);
+        assert_eq!(t.crash.faults.crashes, 1);
+        assert_eq!(t.crash.lost_mappings, 0);
+    }
+}

@@ -349,6 +349,7 @@ mod tests {
             ld_writes: 256,
             ld_blocks: 256,
             live: false,
+            faults: None,
         }
     }
 

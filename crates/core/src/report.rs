@@ -6,7 +6,9 @@
 use std::fmt::Write as _;
 use std::time::Duration;
 
-use crate::experiment::{Figure1, Table1, Table2, Table3, Table4, Table5, Table6, Table7, Table8};
+use crate::experiment::{
+    Figure1, Table1, Table2, Table3, Table4, Table5, Table6, Table7, Table8, Table9,
+};
 
 fn dur(d: Duration) -> String {
     let ns = d.as_nanos() as f64;
@@ -316,6 +318,72 @@ pub fn render_table8(t: &Table8) -> String {
     out
 }
 
+/// Renders Table 9: per-technology recovery costs plus the
+/// fault-injected crash drill.
+pub fn render_table9(t: &Table9) -> String {
+    let widths = [20, 16, 18, 16, 12, 10, 10];
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 9. Graft Recovery ({} writes over {} blocks; {} map words salvaged/row)",
+        t.writes, t.blocks, t.blocks
+    );
+    line(
+        &mut out,
+        &[
+            "technology",
+            "snapshot",
+            "salvage-detach",
+            "restore",
+            "recovery",
+            "lost",
+            "post/base",
+        ],
+        &widths,
+    );
+    for row in &t.rows {
+        line(
+            &mut out,
+            &[
+                row.tech.paper_name(),
+                &row.snapshot.robust_style(),
+                &row.salvage_detach.robust_style(),
+                &row.restore.robust_style(),
+                &dur(row.recovery),
+                &row.lost_mappings.to_string(),
+                &format!("{:.2}", row.post_over_base),
+            ],
+            &widths,
+        );
+    }
+    let c = &t.crash;
+    let _ = writeln!(
+        out,
+        "  crash drill (seed {}, {}\u{2030} io-err, {}\u{2030} torn): crash at flush #{}, \
+         rebuilt {} mappings in {}, redid {} writes, recovery {}",
+        t.plan.seed,
+        t.plan.io_error_permille,
+        t.plan.torn_permille,
+        c.crash_after_ios,
+        c.replayed,
+        c.rebuild.robust_style(),
+        c.redone,
+        dur(c.time_to_recovery)
+    );
+    let _ = writeln!(
+        out,
+        "  fault accounting: {} ios, {} injected, {} retries, {} torn, {} exhausted, {} crash(es); lost mappings total: {}",
+        c.faults.ios,
+        c.faults.injected,
+        c.faults.retries,
+        c.faults.torn_writes,
+        c.faults.exhausted,
+        c.faults.crashes,
+        t.lost_total()
+    );
+    out
+}
+
 /// Renders Figure 1 as a CSV series plus the horizontal lines.
 pub fn render_figure1(f: &Figure1) -> String {
     let mut out = String::new();
@@ -364,6 +432,7 @@ mod tests {
             ld_writes: 64,
             ld_blocks: 64,
             live: false,
+            faults: None,
         }
     }
 

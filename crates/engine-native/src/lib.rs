@@ -279,6 +279,13 @@ impl ExtensionEngine for CompiledEngine {
         self.memory.kernel_read_slice(raw, name, offset, out)
     }
 
+    fn region_len(&self, id: RegionId) -> Result<usize, GraftError> {
+        match self.module.regions.get(id.index()) {
+            Some(region) => Ok(region.len),
+            None => Err(GraftError::bad_handle("region", u32::from(id.0))),
+        }
+    }
+
     fn set_fuel(&mut self, fuel: Option<u64>) {
         match fuel {
             Some(f) => {

@@ -134,6 +134,10 @@ impl ExtensionEngine for ScriptEngine {
         self.interp.regions.read_slice_id(id, offset, out)
     }
 
+    fn region_len(&self, id: RegionId) -> Result<usize, GraftError> {
+        self.interp.regions.len_id(id)
+    }
+
     fn set_fuel(&mut self, fuel: Option<u64>) {
         self.fuel_limit = fuel;
     }

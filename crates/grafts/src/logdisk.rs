@@ -75,6 +75,64 @@ fn ld_stat(i: int) -> int {
 }
 "#;
 
+/// Grail source for the **time-bomb** Logical Disk graft: identical
+/// bookkeeping, plus an `ld_arm(n)` fuse. Once armed, the n-th
+/// subsequent `ld_write` divides by zero *before* touching the map —
+/// the one trap every technology turns into a fault (as Table 7's
+/// saboteur), raised with the region state still consistent. Table 9
+/// uses it to price salvage-at-detach: the supervisor must lift the
+/// intact map out of the trapped graft.
+pub const GRAIL_BOMB: &str = r#"
+var nextp = 0;
+var segfill = 0;
+var flushes = 0;
+var dead = 0;
+var fuse = 0;
+
+fn ld_init() {
+    nextp = 0;
+    segfill = 0;
+    flushes = 0;
+    dead = 0;
+    fuse = 0;
+}
+
+fn ld_arm(n: int) {
+    fuse = n;
+}
+
+fn ld_write(logical: int) -> int {
+    if fuse > 0 {
+        fuse = fuse - 1;
+        if fuse == 0 {
+            return logical / (fuse - fuse);
+        }
+    }
+    if map[logical] >= 0 {
+        dead = dead + 1;
+    }
+    map[logical] = nextp;
+    nextp = nextp + 1;
+    segfill = segfill + 1;
+    if segfill == 16 {
+        segfill = 0;
+        flushes = flushes + 1;
+        return 1;
+    }
+    return 0;
+}
+
+fn ld_lookup(logical: int) -> int {
+    return map[logical];
+}
+
+fn ld_stat(i: int) -> int {
+    if i == 0 { return nextp; }
+    if i == 1 { return flushes; }
+    return dead;
+}
+"#;
+
 /// Native implementation of the same ABI.
 #[derive(Debug, Default)]
 pub struct NativeLogDisk {
@@ -128,6 +186,43 @@ impl NativeGraft for NativeLogDisk {
     }
 }
 
+/// Native time-bomb: [`NativeLogDisk`] behind an `ld_arm` fuse.
+#[derive(Debug, Default)]
+pub struct NativeLogDiskBomb {
+    inner: NativeLogDisk,
+    fuse: i64,
+}
+
+impl NativeGraft for NativeLogDiskBomb {
+    fn call(
+        &mut self,
+        entry: &str,
+        args: &[i64],
+        regions: &mut RegionStore,
+    ) -> Result<i64, GraftError> {
+        match entry {
+            "ld_init" => {
+                self.fuse = 0;
+                self.inner.call(entry, args, regions)
+            }
+            "ld_arm" => {
+                self.fuse = args[0];
+                Ok(0)
+            }
+            "ld_write" if self.fuse > 0 => {
+                self.fuse -= 1;
+                if self.fuse == 0 {
+                    // The same fault the Grail body raises: a division
+                    // by zero before any region write.
+                    return Err(GraftError::Trap(graft_api::Trap::DivByZero));
+                }
+                self.inner.call(entry, args, regions)
+            }
+            other => self.inner.call(other, args, regions),
+        }
+    }
+}
+
 /// The portable graft package (map sized for the paper's 1 GB disk).
 pub fn spec() -> GraftSpec {
     spec_sized(BLOCKS)
@@ -143,6 +238,20 @@ pub fn spec_sized(blocks: usize) -> GraftSpec {
         .entry("ld_stat", 1)
         .with_grail(GRAIL)
         .with_native(Box::new(|| Box::<NativeLogDisk>::default()))
+}
+
+/// The time-bomb package: the same bookkeeping ABI plus `ld_arm(n)`
+/// (see [`GRAIL_BOMB`]). Like the plain spec it ships no Tickle.
+pub fn spec_bomb_sized(blocks: usize) -> GraftSpec {
+    GraftSpec::new("logical-disk-bomb", GraftClass::BlackBox, Motivation::Performance)
+        .region(RegionSpec::data("map", blocks))
+        .entry("ld_init", 0)
+        .entry("ld_arm", 1)
+        .entry("ld_write", 1)
+        .entry("ld_lookup", 1)
+        .entry("ld_stat", 1)
+        .with_grail(GRAIL_BOMB)
+        .with_native(Box::new(|| Box::<NativeLogDiskBomb>::default()))
 }
 
 /// Marshals the initial "all unmapped" state into an engine.
@@ -226,6 +335,53 @@ mod tests {
     #[test]
     fn tickle_is_unavailable_like_the_paper() {
         assert!(spec().tickle.is_none());
+        assert!(spec_bomb_sized(SMALL).tickle.is_none());
+    }
+
+    fn bomb_engines() -> Vec<Box<dyn ExtensionEngine>> {
+        let spec = spec_bomb_sized(SMALL);
+        let grail = spec.grail.as_ref().unwrap();
+        vec![
+            Box::new(load_grail(grail, &spec.regions, SafetyMode::Unchecked).unwrap()),
+            Box::new(
+                load_grail(grail, &spec.regions, SafetyMode::Safe { nil_checks: true }).unwrap(),
+            ),
+            Box::new(
+                load_grail(grail, &spec.regions, SafetyMode::Sfi { read_protect: false })
+                    .unwrap(),
+            ),
+            Box::new(BytecodeEngine::load_grail(grail, &spec.regions).unwrap()),
+            Box::new(
+                graft_api::NativeEngine::new(&spec.regions, (spec.native.as_ref().unwrap())())
+                    .unwrap(),
+            ),
+        ]
+    }
+
+    /// The bomb behaves exactly like the plain graft until armed; then
+    /// the fused write divides by zero with the map untouched.
+    #[test]
+    fn bomb_bookkeeps_normally_then_traps_cleanly_when_armed() {
+        for engine in bomb_engines().iter_mut() {
+            let tech = engine.technology();
+            init_map(engine.as_mut(), SMALL).unwrap();
+            for w in 0..20 {
+                engine.invoke("ld_write", &[w]).unwrap();
+            }
+            assert_eq!(engine.invoke("ld_lookup", &[7]).unwrap(), 7, "{tech:?}");
+            engine.invoke("ld_arm", &[3]).unwrap();
+            engine.invoke("ld_write", &[30]).unwrap();
+            engine.invoke("ld_write", &[31]).unwrap();
+            let err = engine.invoke("ld_write", &[32]).unwrap_err();
+            assert!(
+                matches!(err, GraftError::Trap(_)),
+                "{tech:?}: expected a trap, got {err:?}"
+            );
+            // The trap fired before any bookkeeping: block 32 is
+            // unmapped and the cursor still shows 22 allocations.
+            assert_eq!(engine.invoke("ld_lookup", &[32]).unwrap(), -1, "{tech:?}");
+            assert_eq!(engine.invoke("ld_stat", &[0]).unwrap(), 22, "{tech:?}");
+        }
     }
 
     #[test]

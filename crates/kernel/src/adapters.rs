@@ -430,6 +430,7 @@ mod tests {
             trap_threshold: 3,
             fuel_budget: Some(10_000),
             probation_clean: 4,
+            ..HostConfig::default()
         }));
         let id = host
             .borrow_mut()

@@ -9,6 +9,7 @@ use graft_api::{
 };
 
 use crate::point::AttachPoint;
+use crate::recovery::{self, SalvagedState};
 
 /// Chain depths recorded in the `kernel.chain_depth` histogram are
 /// clamped to this many slots (depth 16+ shares the last slot).
@@ -28,6 +29,17 @@ pub struct HostConfig {
     /// before returning to full `Active` standing. Any trap while on
     /// probation re-quarantines instantly.
     pub probation_clean: u64,
+    /// Exponential-backoff re-admission: after its first quarantine a
+    /// graft is automatically re-admitted (on probation) once this many
+    /// dispatches have been served *without* it — the clean built-in
+    /// window. The window doubles on each re-quarantine. `0` disables
+    /// automatic re-admission entirely (the default): detach is final
+    /// until an explicit [`GraftHost::readmit`].
+    pub backoff_base: u64,
+    /// Quarantine trips after which a graft on the backoff ladder is
+    /// permanently banned instead of re-admitted. Only consulted when
+    /// `backoff_base > 0`.
+    pub ban_ceiling: u32,
 }
 
 impl Default for HostConfig {
@@ -36,6 +48,8 @@ impl Default for HostConfig {
             trap_threshold: 3,
             fuel_budget: Some(4_000_000),
             probation_clean: 8,
+            backoff_base: 0,
+            ban_ceiling: 5,
         }
     }
 }
@@ -57,6 +71,10 @@ pub enum GraftState {
         /// The kind of trap that tripped the supervisor.
         by: TrapKind,
     },
+    /// Hit the backoff ladder's permanent-ban ceiling: detached for
+    /// good — never auto-readmitted, and [`GraftHost::readmit`]
+    /// refuses it.
+    Banned,
 }
 
 /// Handle to one installed graft.
@@ -89,6 +107,16 @@ pub struct HostStats {
     pub readmits: u64,
     /// Marshalling or non-trap framework failures skipped over.
     pub marshal_failures: u64,
+    /// Detaches at which the supervisor salvaged the graft's planned
+    /// regions into a [`SalvagedState`](crate::recovery::SalvagedState).
+    pub salvages: u64,
+    /// Total words lifted out of trapped grafts by salvage.
+    pub salvaged_words: u64,
+    /// Re-admissions performed by the backoff ladder (a subset of
+    /// `readmits`).
+    pub auto_readmits: u64,
+    /// Grafts permanently banned at the backoff ceiling.
+    pub bans: u64,
 }
 
 impl HostStats {
@@ -107,6 +135,10 @@ impl HostStats {
             uninstalls: self.uninstalls.saturating_sub(prev.uninstalls),
             readmits: self.readmits.saturating_sub(prev.readmits),
             marshal_failures: self.marshal_failures.saturating_sub(prev.marshal_failures),
+            salvages: self.salvages.saturating_sub(prev.salvages),
+            salvaged_words: self.salvaged_words.saturating_sub(prev.salvaged_words),
+            auto_readmits: self.auto_readmits.saturating_sub(prev.auto_readmits),
+            bans: self.bans.saturating_sub(prev.bans),
         }
     }
 
@@ -123,6 +155,10 @@ impl HostStats {
         self.uninstalls += other.uninstalls;
         self.readmits += other.readmits;
         self.marshal_failures += other.marshal_failures;
+        self.salvages += other.salvages;
+        self.salvaged_words += other.salvaged_words;
+        self.auto_readmits += other.auto_readmits;
+        self.bans += other.bans;
     }
 }
 
@@ -135,11 +171,23 @@ struct InstalledGraft {
     state: GraftState,
     /// Trapped invocations since the last (re-)admission.
     strikes: u32,
+    /// Region names the supervisor must salvage at detach time.
+    salvage_plan: Vec<String>,
+    /// State salvaged at the most recent detach, if any.
+    salvage: Option<SalvagedState>,
+    /// Lifetime quarantine trips (the backoff ladder's rung).
+    quarantines: u32,
+    /// Dispatches still to be served without this graft before the
+    /// backoff ladder re-admits it (0 = not armed).
+    backoff_remaining: u64,
 }
 
 impl InstalledGraft {
     fn dispatchable(&self) -> bool {
-        !matches!(self.state, GraftState::Quarantined { .. })
+        !matches!(
+            self.state,
+            GraftState::Quarantined { .. } | GraftState::Banned
+        )
     }
 
     fn note_clean(&mut self) {
@@ -162,6 +210,34 @@ impl InstalledGraft {
             true
         } else {
             false
+        }
+    }
+}
+
+/// Post-detach bookkeeping shared by `dispatch` and `invoke`: salvage
+/// the planned regions out of the still-reachable engine, then arm the
+/// backoff ladder (or ban at the ceiling). A free function because the
+/// callers hold a mutable borrow of the graft alongside the host's
+/// stats field.
+fn on_quarantine_trip(config: &HostConfig, stats: &mut HostStats, g: &mut InstalledGraft) {
+    stats.quarantine_trips += 1;
+    g.quarantines = g.quarantines.saturating_add(1);
+    if !g.salvage_plan.is_empty() {
+        if let Some(s) = recovery::salvage(&g.name, g.tech, g.engine.as_ref(), &g.salvage_plan) {
+            stats.salvages += 1;
+            stats.salvaged_words += s.words() as u64;
+            g.salvage = Some(s);
+        }
+    }
+    if config.backoff_base > 0 {
+        if g.quarantines >= config.ban_ceiling.max(1) {
+            g.state = GraftState::Banned;
+            stats.bans += 1;
+        } else {
+            // Window doubles with each trip: base << (trips - 1).
+            g.backoff_remaining = config
+                .backoff_base
+                .saturating_mul(1u64 << u64::from(g.quarantines - 1).min(62));
         }
     }
 }
@@ -269,6 +345,10 @@ impl GraftHost {
                 ledger: GraftLedger::default(),
                 state: GraftState::Active,
                 strikes: 0,
+                salvage_plan: Vec::new(),
+                salvage: None,
+                quarantines: 0,
+                backoff_remaining: 0,
             },
         );
         let chain = &mut self.chains[point as usize];
@@ -300,11 +380,60 @@ impl GraftHost {
             return false;
         }
         g.strikes = 0;
+        g.backoff_remaining = 0;
         g.state = GraftState::Probation {
             remaining_clean: self.config.probation_clean.max(1),
         };
         self.stats.readmits += 1;
         true
+    }
+
+    /// Registers the regions the supervisor must salvage out of this
+    /// graft when it detaches it (the Logical Disk graft's `map`, for
+    /// example). Each name is validated against the engine now, so a
+    /// typo fails at configure time, not at detach time.
+    pub fn set_salvage_plan(&mut self, id: GraftId, regions: &[&str]) -> Result<(), GraftError> {
+        let Some(g) = self.grafts.get_mut(&id.0) else {
+            return Err(GraftError::Unavailable {
+                graft: format!("graft#{}", id.0),
+                missing: "installation (no such graft)".into(),
+            });
+        };
+        for name in regions {
+            g.engine.bind_region(name)?;
+        }
+        g.salvage_plan = regions.iter().map(|s| s.to_string()).collect();
+        Ok(())
+    }
+
+    /// The state salvaged at this graft's most recent detach, if the
+    /// supervisor managed to lift it out.
+    pub fn salvage_ref(&self, id: GraftId) -> Option<&SalvagedState> {
+        self.grafts.get(&id.0).and_then(|g| g.salvage.as_ref())
+    }
+
+    /// Takes ownership of the salvaged state (e.g. to re-seed a
+    /// replacement graft or the built-in policy).
+    pub fn take_salvage(&mut self, id: GraftId) -> Option<SalvagedState> {
+        self.grafts.get_mut(&id.0).and_then(|g| g.salvage.take())
+    }
+
+    /// Snapshots the graft's salvage plan from its *live* engine right
+    /// now, without detaching — an explicit checkpoint.
+    pub fn salvage_now(&mut self, id: GraftId) -> Option<SalvagedState> {
+        let g = self.grafts.get(&id.0)?;
+        if g.salvage_plan.is_empty() {
+            return None;
+        }
+        let s = recovery::salvage(&g.name, g.tech, g.engine.as_ref(), &g.salvage_plan)?;
+        self.stats.salvages += 1;
+        self.stats.salvaged_words += s.words() as u64;
+        Some(s)
+    }
+
+    /// Lifetime quarantine trips for one graft (the backoff rung).
+    pub fn quarantine_count(&self, id: GraftId) -> Option<u32> {
+        self.grafts.get(&id.0).map(|g| g.quarantines)
     }
 
     /// The ledger of one graft.
@@ -370,6 +499,22 @@ impl GraftHost {
                 continue;
             };
             if !g.dispatchable() {
+                // Backoff re-admission: every dispatch the chain serves
+                // *without* this graft counts toward its clean built-in
+                // window; at zero the ladder re-admits it on probation.
+                if g.backoff_remaining > 0
+                    && matches!(g.state, GraftState::Quarantined { .. })
+                {
+                    g.backoff_remaining -= 1;
+                    if g.backoff_remaining == 0 {
+                        g.strikes = 0;
+                        g.state = GraftState::Probation {
+                            remaining_clean: self.config.probation_clean.max(1),
+                        };
+                        self.stats.readmits += 1;
+                        self.stats.auto_readmits += 1;
+                    }
+                }
                 continue;
             }
             let started = Instant::now();
@@ -405,7 +550,7 @@ impl GraftHost {
                     self.stats.invocations += 1;
                     self.stats.traps += 1;
                     if g.note_trap(&trap, self.config.trap_threshold) {
-                        self.stats.quarantine_trips += 1;
+                        on_quarantine_trip(&self.config, &mut self.stats, g);
                     }
                 }
                 Err(_) => {
@@ -428,11 +573,20 @@ impl GraftHost {
                 missing: "installation (no such graft)".into(),
             });
         };
-        if let GraftState::Quarantined { .. } = g.state {
-            return Err(GraftError::Unavailable {
-                graft: g.name.clone(),
-                missing: "detached by quarantine supervisor".into(),
-            });
+        match g.state {
+            GraftState::Quarantined { .. } => {
+                return Err(GraftError::Unavailable {
+                    graft: g.name.clone(),
+                    missing: "detached by quarantine supervisor".into(),
+                });
+            }
+            GraftState::Banned => {
+                return Err(GraftError::Unavailable {
+                    graft: g.name.clone(),
+                    missing: "permanently banned at the backoff ceiling".into(),
+                });
+            }
+            _ => {}
         }
         let started = Instant::now();
         let result = g.engine.invoke_id(g.entry, args);
@@ -448,7 +602,7 @@ impl GraftHost {
                 g.ledger.record_trap(ns, fuel, trap);
                 self.stats.traps += 1;
                 if g.note_trap(trap, self.config.trap_threshold) {
-                    self.stats.quarantine_trips += 1;
+                    on_quarantine_trip(&self.config, &mut self.stats, g);
                 }
             }
             Err(_) => self.stats.marshal_failures += 1,
@@ -489,6 +643,10 @@ impl GraftHost {
         graft_telemetry::counter!("kernel.uninstalls").add(s.uninstalls);
         graft_telemetry::counter!("kernel.readmits").add(s.readmits);
         graft_telemetry::counter!("kernel.marshal_failures").add(s.marshal_failures);
+        graft_telemetry::counter!("kernel.recovery.salvages").add(s.salvages);
+        graft_telemetry::counter!("kernel.recovery.salvaged_words").add(s.salvaged_words);
+        graft_telemetry::counter!("kernel.recovery.auto_readmits").add(s.auto_readmits);
+        graft_telemetry::counter!("kernel.recovery.bans").add(s.bans);
         let depth = graft_telemetry::histogram!("kernel.chain_depth");
         for (d, (&n, &p)) in self.depth_counts.iter().zip(depth_prev.iter()).enumerate() {
             depth.record_n(d as u64, n.saturating_sub(p));
@@ -738,6 +896,133 @@ mod tests {
         assert_eq!(verdict, Verdict::Continue);
         assert_eq!(host.ledger(a).unwrap().invocations, 0);
         assert_eq!(host.stats().marshal_failures, 1);
+    }
+
+    #[test]
+    fn detach_salvages_the_planned_regions() {
+        let mut host = GraftHost::new();
+        // The saboteur maintains state in `scratch`, then starts
+        // trapping: the supervisor must lift the pre-trap state out.
+        let mut calls = 0;
+        let engine = victim_engine(move |_, _, regions: &mut RegionStore| {
+            calls += 1;
+            if calls <= 2 {
+                let id = regions.id("scratch").unwrap();
+                regions.write_id(id, 0, 40 + calls)?;
+                Ok(-1)
+            } else {
+                Err(Trap::DivByZero.into())
+            }
+        });
+        let id = host.install(AttachPoint::VmEvict, "stateful", engine).unwrap();
+        assert!(host.set_salvage_plan(id, &["nope"]).is_err(), "typo fails early");
+        host.set_salvage_plan(id, &["scratch"]).unwrap();
+        for _ in 0..5 {
+            dispatch_once(&mut host);
+        }
+        assert!(host.is_quarantined(id));
+        let s = host.salvage_ref(id).expect("salvaged at detach");
+        assert_eq!(s.graft, "stateful");
+        assert_eq!(s.region("scratch").unwrap()[0], 42, "last pre-trap state");
+        assert_eq!(host.stats().salvages, 1);
+        assert_eq!(host.stats().salvaged_words, 8);
+        let taken = host.take_salvage(id).unwrap();
+        assert_eq!(taken.region("scratch").unwrap()[0], 42);
+        assert!(host.take_salvage(id).is_none(), "taken once");
+    }
+
+    #[test]
+    fn salvage_now_checkpoints_without_detaching() {
+        let mut host = GraftHost::new();
+        let engine = victim_engine(|_, _, regions: &mut RegionStore| {
+            let id = regions.id("scratch").unwrap();
+            regions.write_id(id, 1, 7)?;
+            Ok(-1)
+        });
+        let id = host.install(AttachPoint::VmEvict, "live", engine).unwrap();
+        assert!(host.salvage_now(id).is_none(), "no plan, no checkpoint");
+        host.set_salvage_plan(id, &["scratch"]).unwrap();
+        dispatch_once(&mut host);
+        let s = host.salvage_now(id).unwrap();
+        assert_eq!(s.region("scratch").unwrap()[1], 7);
+        assert_eq!(host.state(id), Some(GraftState::Active));
+    }
+
+    #[test]
+    fn backoff_ladder_readmits_after_clean_window_and_doubles() {
+        let mut host = GraftHost::with_config(HostConfig {
+            backoff_base: 4,
+            ban_ceiling: 3,
+            probation_clean: 1,
+            ..HostConfig::default()
+        });
+        // Traps on its first three calls after each re-admission, then
+        // behaves — so every incarnation is re-quarantined until the
+        // ladder runs out.
+        let id = host.install(AttachPoint::VmEvict, "flaky", trapping()).unwrap();
+        host.install(AttachPoint::VmEvict, "good", constant(1)).unwrap();
+        for _ in 0..3 {
+            dispatch_once(&mut host);
+        }
+        assert!(host.is_quarantined(id));
+        assert_eq!(host.quarantine_count(id), Some(1));
+        // First window: 4 dispatches served without it, then probation.
+        for _ in 0..3 {
+            dispatch_once(&mut host);
+            assert!(host.is_quarantined(id));
+        }
+        dispatch_once(&mut host);
+        assert!(matches!(
+            host.state(id),
+            Some(GraftState::Probation { .. })
+        ));
+        assert_eq!(host.stats().auto_readmits, 1);
+        // Second strike: probation tolerates zero traps → trip #2,
+        // window doubles to 8.
+        dispatch_once(&mut host);
+        assert!(host.is_quarantined(id));
+        assert_eq!(host.quarantine_count(id), Some(2));
+        for _ in 0..7 {
+            dispatch_once(&mut host);
+            assert!(host.is_quarantined(id));
+        }
+        dispatch_once(&mut host);
+        assert!(matches!(
+            host.state(id),
+            Some(GraftState::Probation { .. })
+        ));
+        assert_eq!(host.stats().auto_readmits, 2);
+        // Third strike hits the ceiling: permanent ban.
+        dispatch_once(&mut host);
+        assert_eq!(host.state(id), Some(GraftState::Banned));
+        assert_eq!(host.stats().bans, 1);
+        assert!(!host.readmit(id), "banned grafts never re-admit");
+        for _ in 0..64 {
+            dispatch_once(&mut host);
+        }
+        assert_eq!(host.state(id), Some(GraftState::Banned));
+        let err = host.invoke(id, &[0, 0]).unwrap_err();
+        match err {
+            GraftError::Unavailable { missing, .. } => {
+                assert!(missing.contains("banned"), "{missing}");
+            }
+            other => panic!("expected Unavailable, got {other}"),
+        }
+    }
+
+    #[test]
+    fn backoff_disabled_by_default_keeps_detach_final() {
+        let mut host = GraftHost::new();
+        let id = host.install(AttachPoint::VmEvict, "hostile", trapping()).unwrap();
+        for _ in 0..3 {
+            dispatch_once(&mut host);
+        }
+        assert!(host.is_quarantined(id));
+        for _ in 0..200 {
+            dispatch_once(&mut host);
+        }
+        assert!(host.is_quarantined(id), "no ladder unless configured");
+        assert_eq!(host.stats().auto_readmits, 0);
     }
 
     #[test]

@@ -26,6 +26,14 @@
 //!   the built-in policy and the kernel keeps serving. A quarantined
 //!   graft can be re-admitted on probation, where a single further trap
 //!   detaches it again.
+//! * **Recovery** ([`recovery`]): grafts that carry kernel-critical
+//!   state (the paper's *black box* class) register a salvage plan; at
+//!   detach the supervisor lifts those regions into a
+//!   [`SalvagedState`] and the kernel re-seeds a replacement graft or
+//!   its built-in policy. An optional exponential-backoff ladder
+//!   ([`HostConfig::backoff_base`]) re-admits detached grafts after a
+//!   clean built-in window that doubles per re-quarantine, up to a
+//!   permanent-ban ceiling.
 //!
 //! The [`adapters`] module plugs a shared host into the kernsim
 //! substrates (`Pager`, `BufferCache`, `Scheduler`, and the
@@ -34,9 +42,11 @@
 pub mod adapters;
 pub mod host;
 pub mod point;
+pub mod recovery;
 pub mod shard;
 
 pub use adapters::{shared, HostedEviction, HostedReadAhead, HostedSched, HostedWritePath, SharedHost};
 pub use host::{GraftHost, GraftId, GraftState, HostConfig, HostStats};
 pub use point::AttachPoint;
+pub use recovery::SalvagedState;
 pub use shard::{AtomicLedger, ChainDispatch, MarshalFn, ShardHandle, ShardedHost, VirtualShards};

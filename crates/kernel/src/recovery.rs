@@ -1,0 +1,146 @@
+//! Crash-consistent graft state: salvage at detach, re-seed on
+//! recovery.
+//!
+//! The paper's hardest taxonomy class is the **black box** graft: the
+//! Logical Disk map is critical kernel state that lives *inside* the
+//! extension, so a bare quarantine detach throws the logical→physical
+//! map away and the kernel keeps serving on a corrupt view of the
+//! disk. Rex frames the requirement as *graceful exit with
+//! kernel-resource cleanup*; production extension hosts (the eBPF
+//! runtime paper) pair runtime traps with recovery paths rather than
+//! bare detach. This module is that recovery path for grafts:
+//!
+//! * A graft is installed with a **salvage plan** — the region names
+//!   that hold kernel-critical state (for the Logical Disk graft, the
+//!   `map` region).
+//! * When the quarantine supervisor detaches the graft, it first lifts
+//!   the planned regions out of the trapped engine through the
+//!   [`snapshot_region`] seam into a [`SalvagedState`].
+//! * The kernel then re-seeds either a **replacement graft** (via
+//!   [`SalvagedState::restore_into`]) or the **built-in policy** (by
+//!   reading the salvaged words directly) — degraded mode keeps
+//!   serving with the salvaged map instead of an empty one.
+//!
+//! Snapshotting a *trapped* engine is sound for every technology in
+//! the comparison: traps unwind before any partially-applied region
+//! write (safe-compiled bounds checks and SFI masks fault before the
+//! store retires; the interpreter and bytecode VM check before
+//! writing; the upcall server survives its client's trap), so the
+//! regions hold the last consistent pre-trap state.
+//!
+//! [`snapshot_region`]: ExtensionEngine::snapshot_region
+
+use graft_api::{ExtensionEngine, GraftError, Technology};
+
+/// Region contents lifted out of a graft's engine by the quarantine
+/// supervisor at detach time (or explicitly, for checkpointing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SalvagedState {
+    /// Name of the graft the state was salvaged from.
+    pub graft: String,
+    /// Technology the graft ran under.
+    pub tech: Technology,
+    /// `(region name, contents)` pairs, in salvage-plan order.
+    pub regions: Vec<(String, Vec<i64>)>,
+}
+
+impl SalvagedState {
+    /// The salvaged contents of one region, by name.
+    pub fn region(&self, name: &str) -> Option<&[i64]> {
+        self.regions
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, words)| words.as_slice())
+    }
+
+    /// Total salvaged words across all regions.
+    pub fn words(&self) -> usize {
+        self.regions.iter().map(|(_, w)| w.len()).sum()
+    }
+
+    /// Re-seeds a replacement engine: binds each salvaged region by
+    /// name and restores its contents bit-exact. Fails without partial
+    /// effect on the *current* region (`restore_region` rejects length
+    /// mismatches before any write), so a replacement whose region
+    /// layout diverged is detected, not silently corrupted.
+    pub fn restore_into(&self, engine: &mut dyn ExtensionEngine) -> Result<(), GraftError> {
+        for (name, words) in &self.regions {
+            let id = engine.bind_region(name)?;
+            engine.restore_region(id, words)?;
+        }
+        Ok(())
+    }
+}
+
+/// Lifts the planned regions out of `engine`. Returns `None` when any
+/// region fails to snapshot — a half-salvage is worse than none,
+/// because the caller would re-seed a *mixed* state; on `None` the
+/// kernel falls back to rebuilding from durable summaries instead.
+pub(crate) fn salvage(
+    graft: &str,
+    tech: Technology,
+    engine: &dyn ExtensionEngine,
+    plan: &[String],
+) -> Option<SalvagedState> {
+    let mut regions = Vec::with_capacity(plan.len());
+    for name in plan {
+        let id = engine.bind_region(name).ok()?;
+        let words = engine.snapshot_region(id).ok()?;
+        regions.push((name.clone(), words));
+    }
+    Some(SalvagedState {
+        graft: graft.to_string(),
+        tech,
+        regions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graft_api::{NativeEngine, RegionSpec, RegionStore};
+
+    fn engine(specs: &[RegionSpec]) -> NativeEngine {
+        NativeEngine::new(
+            specs,
+            Box::new(|_: &str, _: &[i64], _: &mut RegionStore| Ok(0)),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn salvage_then_restore_round_trips() {
+        let specs = [RegionSpec::data("map", 4), RegionSpec::data("aux", 2)];
+        let mut donor = engine(&specs);
+        donor.load_region("map", 0, &[7, -1, 9, i64::MIN]).unwrap();
+        donor.load_region("aux", 0, &[5, 6]).unwrap();
+        let plan = vec!["map".to_string(), "aux".to_string()];
+        let s = salvage("donor", Technology::RustNative, &donor, &plan).unwrap();
+        assert_eq!(s.region("map").unwrap(), &[7, -1, 9, i64::MIN]);
+        assert_eq!(s.region("aux").unwrap(), &[5, 6]);
+        assert_eq!(s.words(), 6);
+        assert!(s.region("nope").is_none());
+
+        let mut replacement = engine(&specs);
+        s.restore_into(&mut replacement).unwrap();
+        assert_eq!(replacement.read_region("map", 3).unwrap(), i64::MIN);
+        assert_eq!(replacement.read_region("aux", 1).unwrap(), 6);
+    }
+
+    #[test]
+    fn salvage_is_all_or_nothing() {
+        let donor = engine(&[RegionSpec::data("map", 4)]);
+        let plan = vec!["map".to_string(), "missing".to_string()];
+        assert!(salvage("donor", Technology::RustNative, &donor, &plan).is_none());
+    }
+
+    #[test]
+    fn restore_into_mismatched_layout_fails_cleanly() {
+        let donor = engine(&[RegionSpec::data("map", 4)]);
+        let plan = vec!["map".to_string()];
+        let s = salvage("donor", Technology::RustNative, &donor, &plan).unwrap();
+        // Replacement declares a shorter map: rejected before any write.
+        let mut replacement = engine(&[RegionSpec::data("map", 2)]);
+        assert!(s.restore_into(&mut replacement).is_err());
+    }
+}

@@ -48,10 +48,12 @@ use graft_rng::{SliceRandom, SmallRng};
 
 use crate::host::{GraftHost, GraftId, GraftState, HostConfig, HostStats, DEPTH_SLOTS};
 use crate::point::AttachPoint;
+use crate::recovery::{self, SalvagedState};
 
 const STATE_ACTIVE: u32 = 0;
 const STATE_PROBATION: u32 = 1;
 const STATE_QUARANTINED: u32 = 2;
+const STATE_BANNED: u32 = 3;
 
 /// A [`GraftLedger`] whose fields are atomics: the merge target shared
 /// by every shard's private ledger. `fetch_add`-only, so merging is
@@ -125,10 +127,29 @@ struct SharedGraft {
     /// Global epoch stamped by the winning detach.
     detach_epoch: AtomicU64,
     ledger: AtomicLedger,
+    /// Region names the winning detach shard must salvage out of its
+    /// replica (fixed at install; empty = nothing to salvage).
+    salvage_plan: Vec<String>,
+    /// State salvaged by the most recent winning detach. Mutex, not an
+    /// atomic: only the winning shard writes it, only the control plane
+    /// reads it — strictly off the dispatch path.
+    salvage: Mutex<Option<SalvagedState>>,
+    /// Lifetime quarantine trips (the backoff ladder's rung).
+    quarantines: AtomicU32,
+    /// Dispatches still to be served without this graft before the
+    /// ladder re-admits it (0 = not armed). Shards CAS-decrement; the
+    /// shard that moves 1 → 0 performs the atomic re-admission.
+    backoff_remaining: AtomicU64,
 }
 
 impl SharedGraft {
-    fn new(id: u64, name: &str, tech: Technology, generation: u64) -> Self {
+    fn new(
+        id: u64,
+        name: &str,
+        tech: Technology,
+        generation: u64,
+        salvage_plan: Vec<String>,
+    ) -> Self {
         SharedGraft {
             id,
             name: name.to_string(),
@@ -140,11 +161,17 @@ impl SharedGraft {
             quarantined_by: AtomicU32::new(0),
             detach_epoch: AtomicU64::new(0),
             ledger: AtomicLedger::default(),
+            salvage_plan,
+            salvage: Mutex::new(None),
+            quarantines: AtomicU32::new(0),
+            backoff_remaining: AtomicU64::new(0),
         }
     }
 
-    fn is_quarantined(&self) -> bool {
-        self.state.load(Ordering::Acquire) == STATE_QUARANTINED
+    /// Detached for any reason (quarantined or banned): the dispatch
+    /// gate, one Acquire load.
+    fn is_detached(&self) -> bool {
+        self.state.load(Ordering::Acquire) >= STATE_QUARANTINED
     }
 
     fn state(&self) -> GraftState {
@@ -153,6 +180,7 @@ impl SharedGraft {
             STATE_PROBATION => GraftState::Probation {
                 remaining_clean: self.remaining_clean.load(Ordering::Acquire),
             },
+            STATE_BANNED => GraftState::Banned,
             _ => GraftState::Quarantined {
                 by: TrapKind::ALL[self.quarantined_by.load(Ordering::Acquire) as usize
                     % TrapKind::COUNT],
@@ -208,9 +236,23 @@ impl SharedGraft {
     /// Atomically quarantines the graft across all shards. The single
     /// winning transition stamps a freshly bumped global epoch, so the
     /// detach is totally ordered against install/uninstall traffic.
+    /// A CAS loop (not a bare swap) so a late trap racing a permanent
+    /// ban can never demote `Banned` back to `Quarantined`.
     fn detach(&self, kind: TrapKind, epoch: &AtomicU64) -> bool {
-        if self.state.swap(STATE_QUARANTINED, Ordering::AcqRel) == STATE_QUARANTINED {
-            return false; // another shard already won
+        let mut cur = self.state.load(Ordering::Acquire);
+        loop {
+            if cur >= STATE_QUARANTINED {
+                return false; // another shard already won (or banned)
+            }
+            match self.state.compare_exchange_weak(
+                cur,
+                STATE_QUARANTINED,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(now) => cur = now,
+            }
         }
         self.quarantined_by.store(kind as u32, Ordering::Release);
         self.detach_epoch
@@ -243,6 +285,10 @@ struct AtomicStats {
     defaults: AtomicU64,
     quarantine_trips: AtomicU64,
     marshal_failures: AtomicU64,
+    salvages: AtomicU64,
+    salvaged_words: AtomicU64,
+    auto_readmits: AtomicU64,
+    bans: AtomicU64,
 }
 
 impl AtomicStats {
@@ -255,6 +301,10 @@ impl AtomicStats {
         self.defaults.fetch_add(s.defaults, Ordering::Relaxed);
         self.quarantine_trips.fetch_add(s.quarantine_trips, Ordering::Relaxed);
         self.marshal_failures.fetch_add(s.marshal_failures, Ordering::Relaxed);
+        self.salvages.fetch_add(s.salvages, Ordering::Relaxed);
+        self.salvaged_words.fetch_add(s.salvaged_words, Ordering::Relaxed);
+        self.auto_readmits.fetch_add(s.auto_readmits, Ordering::Relaxed);
+        self.bans.fetch_add(s.bans, Ordering::Relaxed);
     }
 }
 
@@ -399,12 +449,41 @@ impl ShardedHost {
         self.install_at(point, name, engine, 0)
     }
 
+    /// Installs with a salvage plan: when the supervisor detaches this
+    /// graft, the winning shard lifts the named regions out of *its*
+    /// replica into a [`SalvagedState`] (readable via
+    /// [`take_salvage`](Self::take_salvage)). Region names are
+    /// validated against the engine before anything is forked.
+    pub fn install_with_salvage(
+        &self,
+        point: AttachPoint,
+        name: &str,
+        engine: Box<dyn ExtensionEngine>,
+        salvage_regions: &[&str],
+    ) -> Result<GraftId, GraftError> {
+        for region in salvage_regions {
+            engine.bind_region(region)?;
+        }
+        self.install_full(point, name, engine, usize::MAX, salvage_regions)
+    }
+
     fn install_at(
+        &self,
+        point: AttachPoint,
+        name: &str,
+        engine: Box<dyn ExtensionEngine>,
+        at: usize,
+    ) -> Result<GraftId, GraftError> {
+        self.install_full(point, name, engine, at, &[])
+    }
+
+    fn install_full(
         &self,
         point: AttachPoint,
         name: &str,
         mut engine: Box<dyn ExtensionEngine>,
         at: usize,
+        salvage_regions: &[&str],
     ) -> Result<GraftId, GraftError> {
         let entry = engine.bind_entry(point.entry())?;
         // Fork all replicas *before* registering anything, so a
@@ -421,7 +500,13 @@ impl ShardedHost {
 
         let id = self.inner.next_id.fetch_add(1, Ordering::AcqRel);
         let generation = self.inner.epoch.load(Ordering::Acquire);
-        let shared = Arc::new(SharedGraft::new(id, name, engines[0].technology(), generation));
+        let shared = Arc::new(SharedGraft::new(
+            id,
+            name,
+            engines[0].technology(),
+            generation,
+            salvage_regions.iter().map(|s| s.to_string()).collect(),
+        ));
         self.inner
             .registry
             .lock()
@@ -480,9 +565,10 @@ impl ShardedHost {
             return false;
         };
         if g.state.load(Ordering::Acquire) != STATE_QUARANTINED {
-            return false;
+            return false; // active, on probation, or permanently banned
         }
         g.strikes.store(0, Ordering::Release);
+        g.backoff_remaining.store(0, Ordering::Release);
         g.remaining_clean
             .store(self.inner.config.probation_clean.max(1), Ordering::Release);
         // New incarnation: a detach observed after this point must have
@@ -521,6 +607,28 @@ impl ShardedHost {
     /// detach is global by construction).
     pub fn is_quarantined(&self, id: GraftId) -> bool {
         matches!(self.state(id), Some(GraftState::Quarantined { .. }))
+    }
+
+    /// Takes ownership of the state the winning detach shard salvaged
+    /// out of its replica (e.g. to re-seed a replacement graft or the
+    /// built-in policy).
+    pub fn take_salvage(&self, id: GraftId) -> Option<SalvagedState> {
+        self.inner
+            .registry
+            .lock()
+            .expect("registry lock")
+            .get(&id.0)
+            .and_then(|g| g.salvage.lock().expect("salvage lock").take())
+    }
+
+    /// Lifetime quarantine trips for one graft (the backoff rung).
+    pub fn quarantine_count(&self, id: GraftId) -> Option<u32> {
+        self.inner
+            .registry
+            .lock()
+            .expect("registry lock")
+            .get(&id.0)
+            .map(|g| g.quarantines.load(Ordering::Acquire))
     }
 
     /// The epoch stamped by the supervisor when it detached this graft
@@ -576,6 +684,10 @@ impl ShardedHost {
             uninstalls: self.inner.uninstalls.load(Ordering::Relaxed),
             readmits: self.inner.readmits.load(Ordering::Relaxed),
             marshal_failures: s.marshal_failures.load(Ordering::Relaxed),
+            salvages: s.salvages.load(Ordering::Relaxed),
+            salvaged_words: s.salvaged_words.load(Ordering::Relaxed),
+            auto_readmits: s.auto_readmits.load(Ordering::Relaxed),
+            bans: s.bans.load(Ordering::Relaxed),
         }
     }
 
@@ -605,6 +717,15 @@ impl ShardedHost {
             .add(self.inner.readmits.load(Ordering::Relaxed));
         graft_telemetry::counter!("kernel.shard.epoch")
             .add(self.inner.epoch.load(Ordering::Acquire));
+        let s = &self.inner.stats;
+        graft_telemetry::counter!("kernel.recovery.salvages")
+            .add(s.salvages.load(Ordering::Relaxed));
+        graft_telemetry::counter!("kernel.recovery.salvaged_words")
+            .add(s.salvaged_words.load(Ordering::Relaxed));
+        graft_telemetry::counter!("kernel.recovery.auto_readmits")
+            .add(s.auto_readmits.load(Ordering::Relaxed));
+        graft_telemetry::counter!("kernel.recovery.bans")
+            .add(s.bans.load(Ordering::Relaxed));
         let loads = self.shard_loads();
         let total: u64 = loads.iter().sum();
         if total > 0 && loads.len() > 1 {
@@ -660,6 +781,91 @@ struct ShardGraft {
     entry: EntryId,
     /// Private per-shard accounting, merged on flush.
     local: GraftLedger,
+}
+
+/// Post-detach bookkeeping on the shard that *won* the detach CAS
+/// (exactly one across all shards): salvage the planned regions out of
+/// this shard's replica, then arm the backoff ladder or ban at the
+/// ceiling. Cold path — the locks here are never touched by a
+/// dispatch that doesn't detach.
+fn win_detach(config: &HostConfig, stats: &mut HostStats, g: &mut ShardGraft) {
+    stats.quarantine_trips += 1;
+    let trips = g.shared.quarantines.fetch_add(1, Ordering::AcqRel) + 1;
+    if !g.shared.salvage_plan.is_empty() {
+        if let Some(s) = recovery::salvage(
+            &g.shared.name,
+            g.shared.tech,
+            g.engine.as_ref(),
+            &g.shared.salvage_plan,
+        ) {
+            stats.salvages += 1;
+            stats.salvaged_words += s.words() as u64;
+            *g.shared.salvage.lock().expect("salvage lock") = Some(s);
+        }
+    }
+    if config.backoff_base > 0 {
+        if trips >= config.ban_ceiling.max(1) {
+            g.shared.state.store(STATE_BANNED, Ordering::Release);
+            stats.bans += 1;
+        } else {
+            g.shared.backoff_remaining.store(
+                config
+                    .backoff_base
+                    .saturating_mul(1u64 << u64::from(trips - 1).min(62)),
+                Ordering::Release,
+            );
+        }
+    }
+}
+
+/// One dispatch served while `shared` sat quarantined: CAS-decrement
+/// its backoff window; the shard that moves 1 → 0 wins the atomic
+/// re-admission (mirroring [`ShardedHost::readmit`], but initiated by
+/// the ladder). Composes with any number of shards: the window counts
+/// dispatches *globally*, and exactly one shard re-admits.
+fn note_backoff_dispatch(control: &Control, stats: &mut HostStats, shared: &SharedGraft) {
+    if control.config.backoff_base == 0
+        || shared.state.load(Ordering::Acquire) != STATE_QUARANTINED
+    {
+        return;
+    }
+    let mut left = shared.backoff_remaining.load(Ordering::Acquire);
+    while left > 0 {
+        match shared.backoff_remaining.compare_exchange_weak(
+            left,
+            left - 1,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => {
+                if left == 1 {
+                    shared.strikes.store(0, Ordering::Release);
+                    shared
+                        .remaining_clean
+                        .store(control.config.probation_clean.max(1), Ordering::Release);
+                    shared
+                        .generation
+                        .store(control.epoch.load(Ordering::Acquire), Ordering::Release);
+                    if shared
+                        .state
+                        .compare_exchange(
+                            STATE_QUARANTINED,
+                            STATE_PROBATION,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                    {
+                        stats.auto_readmits += 1;
+                        control.readmits.fetch_add(1, Ordering::Relaxed);
+                        control.epoch.fetch_add(1, Ordering::AcqRel);
+                    }
+                }
+                return;
+            }
+            Err(now) => left = now,
+        }
+    }
 }
 
 impl ShardHandle {
@@ -725,7 +931,7 @@ impl ShardHandle {
         self.sync();
         self.chains[point as usize]
             .iter()
-            .filter(|id| !self.grafts[id].shared.is_quarantined())
+            .filter(|id| !self.grafts[id].shared.is_detached())
             .count()
     }
 
@@ -759,7 +965,7 @@ impl ShardHandle {
         self.stats.dispatches += 1;
         let depth = self.chains[p]
             .iter()
-            .filter(|id| !self.grafts[id].shared.is_quarantined())
+            .filter(|id| !self.grafts[id].shared.is_detached())
             .count();
         self.depth_counts[depth.min(DEPTH_SLOTS - 1)] += 1;
         for i in 0..self.chains[p].len() {
@@ -768,7 +974,11 @@ impl ShardHandle {
                 continue;
             };
             // The cross-shard quarantine gate: one Acquire load.
-            if g.shared.is_quarantined() {
+            if g.shared.is_detached() {
+                // Backoff re-admission: each dispatch served without
+                // this graft — on any shard — counts toward its clean
+                // built-in window.
+                note_backoff_dispatch(&self.control, &mut self.stats, &g.shared);
                 continue;
             }
             let started = Instant::now();
@@ -804,9 +1014,9 @@ impl ShardHandle {
                         self.control.config.trap_threshold,
                         &self.control.epoch,
                     ) {
-                        self.stats.quarantine_trips += 1;
                         // The winning detach bumped the epoch; our next
                         // sync is a (cheap, empty) mailbox drain.
+                        win_detach(&self.control.config, &mut self.stats, g);
                     }
                 }
                 Err(_) => {
@@ -830,10 +1040,15 @@ impl ShardHandle {
                 missing: "installation (no such graft)".into(),
             });
         };
-        if g.shared.is_quarantined() {
+        if g.shared.is_detached() {
+            let missing = if g.shared.state.load(Ordering::Acquire) == STATE_BANNED {
+                "permanently banned at the backoff ceiling"
+            } else {
+                "detached by quarantine supervisor"
+            };
             return Err(GraftError::Unavailable {
                 graft: g.shared.name.clone(),
-                missing: "detached by quarantine supervisor".into(),
+                missing: missing.into(),
             });
         }
         let started = Instant::now();
@@ -854,7 +1069,7 @@ impl ShardHandle {
                     self.control.config.trap_threshold,
                     &self.control.epoch,
                 ) {
-                    self.stats.quarantine_trips += 1;
+                    win_detach(&self.control.config, &mut self.stats, g);
                 }
             }
             Err(_) => self.stats.marshal_failures += 1,
@@ -1175,6 +1390,7 @@ mod tests {
                 trap_threshold: 3,
                 fuel_budget: None,
                 probation_clean: 2,
+                ..HostConfig::default()
             },
         );
         let id = host.install(AttachPoint::VmEvict, "hostile", trapping()).unwrap();
@@ -1316,6 +1532,116 @@ mod tests {
             shards.dispatch(AttachPoint::VmEvict, |_| Ok(vec![0, 0])),
             Verdict::Override(7)
         );
+    }
+
+    #[test]
+    fn winning_detach_shard_salvages_its_replica() {
+        let mut host = ShardedHost::new(4);
+        // Every replica writes its call count into scratch[0], then
+        // traps on call 3: whichever shard wins the detach salvages a
+        // scratch holding that shard's last pre-trap state (2).
+        let bad = host
+            .install_with_salvage(
+                AttachPoint::VmEvict,
+                "stateful",
+                victim_engine_factory(|| {
+                    let mut calls = 0i64;
+                    Box::new(move |_: &str, _: &[i64], regions: &mut RegionStore| {
+                        calls += 1;
+                        let id = regions.id("scratch").unwrap();
+                        regions.write_id(id, 0, calls)?;
+                        if calls >= 3 {
+                            Err(Trap::DivByZero.into())
+                        } else {
+                            Ok(-1)
+                        }
+                    })
+                }),
+                &["scratch"],
+            )
+            .unwrap();
+        host.install(AttachPoint::VmEvict, "good", constant(1)).unwrap();
+        let mut shards = VirtualShards::new(&mut host, 17);
+        // Each replica needs 3 calls to reach its first trap; traps
+        // accumulate globally, 3 strikes detach.
+        for _ in 0..64 {
+            shards.dispatch(AttachPoint::VmEvict, |_| Ok(vec![0, 0]));
+            if host.is_quarantined(bad) {
+                break;
+            }
+        }
+        assert!(host.is_quarantined(bad));
+        shards.flush_all();
+        let s = host.take_salvage(bad).expect("winner salvaged");
+        assert_eq!(s.graft, "stateful");
+        // The winning shard's replica trapped on its own call 3, after
+        // writing 3 into scratch[0] (region writes land before the
+        // trap decision in this native graft).
+        assert_eq!(s.region("scratch").unwrap()[0], 3);
+        assert!(host.take_salvage(bad).is_none(), "taken once");
+        assert_eq!(host.stats().salvages, 1);
+        // Unknown salvage regions fail the install atomically.
+        let err = host.install_with_salvage(
+            AttachPoint::VmEvict,
+            "typo",
+            constant(2),
+            &["missing"],
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn backoff_ladder_is_shared_atomic_across_shards() {
+        let mut host = ShardedHost::with_config(
+            4,
+            HostConfig {
+                backoff_base: 4,
+                ban_ceiling: 2,
+                probation_clean: 1,
+                ..HostConfig::default()
+            },
+        );
+        let bad = host
+            .install(AttachPoint::VmEvict, "hostile", trapping())
+            .unwrap();
+        host.install(AttachPoint::VmEvict, "good", constant(1)).unwrap();
+        let mut shards = VirtualShards::new(&mut host, 23);
+        for _ in 0..3 {
+            shards.dispatch(AttachPoint::VmEvict, |_| Ok(vec![0, 0]));
+        }
+        assert!(host.is_quarantined(bad));
+        assert_eq!(host.quarantine_count(bad), Some(1));
+        // The clean built-in window counts dispatches from *any* shard.
+        for _ in 0..3 {
+            shards.dispatch(AttachPoint::VmEvict, |_| Ok(vec![0, 0]));
+            assert!(host.is_quarantined(bad));
+        }
+        shards.dispatch(AttachPoint::VmEvict, |_| Ok(vec![0, 0]));
+        assert!(matches!(
+            host.state(bad),
+            Some(GraftState::Probation { .. })
+        ));
+        // Second strike is the ceiling: permanent ban, everywhere.
+        shards.dispatch(AttachPoint::VmEvict, |_| Ok(vec![0, 0]));
+        assert_eq!(host.state(bad), Some(GraftState::Banned));
+        assert!(!host.readmit(bad), "banned grafts never re-admit");
+        for _ in 0..32 {
+            shards.dispatch(AttachPoint::VmEvict, |_| Ok(vec![0, 0]));
+        }
+        assert_eq!(host.state(bad), Some(GraftState::Banned));
+        for s in 0..4 {
+            let err = shards.shard_mut(s).invoke(bad, &[0, 0]).unwrap_err();
+            match err {
+                GraftError::Unavailable { missing, .. } => {
+                    assert!(missing.contains("banned"), "{missing}");
+                }
+                other => panic!("expected Unavailable, got {other}"),
+            }
+        }
+        shards.flush_all();
+        assert_eq!(host.stats().auto_readmits, 1);
+        assert_eq!(host.stats().bans, 1);
+        assert_eq!(host.stats().readmits, 1, "auto-readmit counted once");
     }
 
     #[test]

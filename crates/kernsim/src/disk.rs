@@ -1,4 +1,5 @@
-//! A parametric disk model.
+//! A parametric disk model, plus a deterministic fault-injecting
+//! wrapper.
 //!
 //! The paper converts graft compute times into verdicts by comparing
 //! them with disk costs: Table 4's write bandwidth turns into "can MD5
@@ -6,7 +7,16 @@
 //! against "1% of a typical disk seek time". This model provides those
 //! costs, either with 1996-class defaults or calibrated from the live
 //! bandwidth measurement in [`crate::measure::diskbw`].
+//!
+//! [`FaultyDisk`] wraps the model for the Table 9 recovery experiments:
+//! seeded transient I/O errors with bounded retry, torn segment writes,
+//! and a crash point after a fixed number of charged I/Os. Fault costs
+//! are charged *outside* the model's `disk.model_*` counters so that a
+//! chaos run does not skew the Table 4/6 cost attribution; they get
+//! their own `disk.retries` / `disk.torn_writes` / `disk.faults.*`
+//! counters instead.
 
+use graft_rng::{Rng, SmallRng};
 use std::time::Duration;
 
 /// Disk geometry and timing parameters.
@@ -104,6 +114,259 @@ impl DiskModel {
     }
 }
 
+/// A deterministic fault-injection plan.
+///
+/// All-integer (and `Eq`) so it can sit inside an experiment
+/// `RunConfig` and be serialized into run artifacts bit-stably.
+/// Probabilities are expressed in permille (‰, parts per thousand).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed for the injection RNG: the same plan replays the same
+    /// faults at the same I/Os, every run.
+    pub seed: u64,
+    /// Probability (‰) that any single I/O attempt fails transiently
+    /// and must be retried.
+    pub io_error_permille: u16,
+    /// Probability (‰) that a segment write is torn and must be
+    /// rewritten after the summary-block checksum rejects it.
+    pub torn_permille: u16,
+    /// Hard-crash the disk after this many charged I/Os; every
+    /// operation fails with [`DiskFault::Crashed`] until
+    /// [`FaultyDisk::recover`].
+    pub crash_after_ios: Option<u64>,
+    /// Retries allowed per I/O before it is abandoned with
+    /// [`DiskFault::RetriesExhausted`].
+    pub max_retries: u32,
+}
+
+impl FaultPlan {
+    /// The standard chaos mix used by the Table 9 experiment: 2% of
+    /// I/O attempts fail transiently, 1% of segment writes tear, four
+    /// retries per I/O, no crash point.
+    pub fn chaos(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            io_error_permille: 20,
+            torn_permille: 10,
+            crash_after_ios: None,
+            max_retries: 4,
+        }
+    }
+
+    /// A plan that injects nothing but still routes through the fault
+    /// layer — the control arm of a fault experiment.
+    pub fn quiet(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            io_error_permille: 0,
+            torn_permille: 0,
+            crash_after_ios: None,
+            max_retries: 4,
+        }
+    }
+
+    /// Returns the plan with a crash armed after `n` charged I/Os.
+    pub fn with_crash_after(self, n: u64) -> Self {
+        FaultPlan {
+            crash_after_ios: Some(n),
+            ..self
+        }
+    }
+}
+
+/// Terminal failure surfaced by [`FaultyDisk`]. Transient errors are
+/// retried internally and never escape; these two do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskFault {
+    /// The armed crash point fired (or already had): the disk answers
+    /// nothing until [`FaultyDisk::recover`].
+    Crashed,
+    /// A single I/O kept failing past [`FaultPlan::max_retries`].
+    RetriesExhausted {
+        /// Attempts made, including the first.
+        attempts: u32,
+    },
+}
+
+impl std::fmt::Display for DiskFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiskFault::Crashed => write!(f, "disk crashed at armed crash point"),
+            DiskFault::RetriesExhausted { attempts } => {
+                write!(f, "I/O failed after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DiskFault {}
+
+/// Counters accumulated by a [`FaultyDisk`], flushed to telemetry once
+/// at drop (never per-op: the fault layer sits on measured paths).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// I/Os charged (first attempts; retries are not new I/Os).
+    pub ios: u64,
+    /// Transient errors injected (each forces a retry or exhaustion).
+    pub injected: u64,
+    /// Retries performed after transient errors.
+    pub retries: u64,
+    /// Segment writes torn and rewritten.
+    pub torn_writes: u64,
+    /// I/Os abandoned after exhausting the retry budget.
+    pub exhausted: u64,
+    /// Crash-point firings.
+    pub crashes: u64,
+}
+
+/// A [`DiskModel`] behind a deterministic fault injector.
+///
+/// The first attempt of every operation is charged through the model
+/// (so `disk.model_ios` etc. still count exactly the useful work);
+/// retry and rewrite penalties are computed from the model's raw
+/// latencies *without* touching its counters, and accounted under
+/// `disk.retries` / `disk.torn_writes` instead.
+#[derive(Debug, Clone)]
+pub struct FaultyDisk {
+    model: DiskModel,
+    plan: FaultPlan,
+    rng: SmallRng,
+    /// I/Os charged since construction or the last [`recover`].
+    ///
+    /// [`recover`]: FaultyDisk::recover
+    ios: u64,
+    crashed: bool,
+    stats: FaultStats,
+}
+
+impl FaultyDisk {
+    /// Wraps `model` under `plan`, seeding the injection RNG from the
+    /// plan.
+    pub fn new(model: DiskModel, plan: FaultPlan) -> Self {
+        FaultyDisk {
+            model,
+            plan,
+            rng: SmallRng::seed_from_u64(plan.seed ^ 0xD15C_FA17),
+            ios: 0,
+            crashed: false,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &DiskModel {
+        &self.model
+    }
+
+    /// The active plan.
+    pub fn plan(&self) -> FaultPlan {
+        self.plan
+    }
+
+    /// Accumulated fault statistics.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// Whether the armed crash point has fired and not been recovered.
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Clears the crash state and disarms the crash point; the I/O
+    /// counter restarts so a fresh `with_crash_after` plan could be
+    /// applied by rebuilding the wrapper.
+    pub fn recover(&mut self) {
+        self.crashed = false;
+        self.plan.crash_after_ios = None;
+        self.ios = 0;
+    }
+
+    /// Charges one I/O against the crash budget.
+    fn charge(&mut self) -> Result<(), DiskFault> {
+        if self.crashed {
+            return Err(DiskFault::Crashed);
+        }
+        if let Some(n) = self.plan.crash_after_ios {
+            if self.ios >= n {
+                self.crashed = true;
+                self.stats.crashes += 1;
+                return Err(DiskFault::Crashed);
+            }
+        }
+        self.ios += 1;
+        self.stats.ios += 1;
+        Ok(())
+    }
+
+    /// Runs the transient-error retry loop on top of a base cost.
+    /// Each retry adds one seek + rotation, scaled linearly as crude
+    /// backoff, charged outside the model's counters.
+    fn retry_loop(&mut self, base: Duration) -> Result<Duration, DiskFault> {
+        let p = f64::from(self.plan.io_error_permille) / 1000.0;
+        if p <= 0.0 {
+            return Ok(base);
+        }
+        let mut total = base;
+        let mut attempts = 1u32;
+        while self.rng.gen_bool(p) {
+            self.stats.injected += 1;
+            if attempts > self.plan.max_retries {
+                self.stats.exhausted += 1;
+                return Err(DiskFault::RetriesExhausted { attempts });
+            }
+            self.stats.retries += 1;
+            total += (self.model.avg_seek + self.model.avg_rotation) * attempts;
+            attempts += 1;
+        }
+        Ok(total)
+    }
+
+    /// Fault-injected [`DiskModel::random_io`].
+    pub fn random_io(&mut self, blocks: usize) -> Result<Duration, DiskFault> {
+        self.charge()?;
+        let base = self.model.random_io(blocks);
+        self.retry_loop(base)
+    }
+
+    /// Fault-injected [`DiskModel::segment_write`]: transient errors
+    /// retry as for `random_io`; a torn write is detected by the
+    /// summary-block checksum and the whole segment is rewritten
+    /// (one more seek + rotation + full transfer, off the model's
+    /// books).
+    pub fn segment_write(&mut self) -> Result<Duration, DiskFault> {
+        self.charge()?;
+        let base = self.model.segment_write();
+        let mut total = self.retry_loop(base)?;
+        let torn = f64::from(self.plan.torn_permille) / 1000.0;
+        if torn > 0.0 && self.rng.gen_bool(torn) {
+            self.stats.torn_writes += 1;
+            total += self.model.avg_seek
+                + self.model.avg_rotation
+                + self.model.transfer(self.model.segment_blocks * self.model.block_size);
+        }
+        Ok(total)
+    }
+}
+
+impl Drop for FaultyDisk {
+    /// Flushes fault accounting once at teardown — distinct counters
+    /// from the model's `disk.model_*` family so chaos runs do not
+    /// skew Table 4/6 attribution.
+    fn drop(&mut self) {
+        if !graft_telemetry::enabled() {
+            return;
+        }
+        let s = self.stats;
+        graft_telemetry::counter!("disk.faulty_ios").add(s.ios);
+        graft_telemetry::counter!("disk.retries").add(s.retries);
+        graft_telemetry::counter!("disk.torn_writes").add(s.torn_writes);
+        graft_telemetry::counter!("disk.faults.injected").add(s.injected);
+        graft_telemetry::counter!("disk.faults.exhausted").add(s.exhausted);
+        graft_telemetry::counter!("disk.faults.crashes").add(s.crashes);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,5 +414,118 @@ mod tests {
         let d = DiskModel::with_bandwidth(10.0 * 1024.0 * 1024.0);
         assert_eq!(d.avg_seek, DiskModel::default().avg_seek);
         assert!(d.megabyte_access() < DiskModel::default().megabyte_access());
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic_in_the_seed() {
+        let plan = FaultPlan::chaos(77);
+        let run = |mut d: FaultyDisk| {
+            let mut log = Vec::new();
+            for i in 0..400 {
+                if i % 5 == 0 {
+                    log.push(d.segment_write());
+                } else {
+                    log.push(d.random_io(1));
+                }
+            }
+            (log, d.stats())
+        };
+        let (a, sa) = run(FaultyDisk::new(DiskModel::default(), plan));
+        let (b, sb) = run(FaultyDisk::new(DiskModel::default(), plan));
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+        // The chaos preset actually injects something over 400 I/Os.
+        assert!(sa.injected > 0, "chaos injected nothing: {sa:?}");
+        // A different seed reshuffles the faults.
+        let (c, _) = run(FaultyDisk::new(DiskModel::default(), FaultPlan::chaos(78)));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn quiet_plan_matches_the_bare_model() {
+        let model = DiskModel::default();
+        let mut d = FaultyDisk::new(model, FaultPlan::quiet(1));
+        assert_eq!(d.random_io(4).unwrap(), model.random_io(4));
+        assert_eq!(d.segment_write().unwrap(), model.segment_write());
+        let s = d.stats();
+        assert_eq!(s.ios, 2);
+        assert_eq!(
+            (s.injected, s.retries, s.torn_writes, s.exhausted, s.crashes),
+            (0, 0, 0, 0, 0)
+        );
+    }
+
+    #[test]
+    fn retries_cost_extra_but_stay_off_the_model_books() {
+        // Force a high error rate so retries certainly occur, then
+        // check every successful I/O costs at least the clean price and
+        // the retry accounting matches the injected count minus
+        // exhaustions (an exhausted I/O burned its retries too).
+        let plan = FaultPlan {
+            seed: 9,
+            io_error_permille: 400,
+            torn_permille: 0,
+            crash_after_ios: None,
+            max_retries: 3,
+        };
+        let model = DiskModel::default();
+        let clean = model.random_io(1);
+        let mut d = FaultyDisk::new(model, plan);
+        let mut ok = 0u64;
+        let mut failed = 0u64;
+        for _ in 0..500 {
+            match d.random_io(1) {
+                Ok(t) => {
+                    ok += 1;
+                    assert!(t >= clean);
+                }
+                Err(DiskFault::RetriesExhausted { attempts }) => {
+                    failed += 1;
+                    assert!(attempts > plan.max_retries);
+                }
+                Err(DiskFault::Crashed) => unreachable!("no crash armed"),
+            }
+        }
+        let s = d.stats();
+        assert_eq!(ok + failed, 500);
+        assert_eq!(s.ios, 500, "retries must not be charged as new I/Os");
+        assert_eq!(s.exhausted, failed);
+        assert!(s.retries > 0);
+        assert!(s.injected >= s.retries);
+    }
+
+    #[test]
+    fn crash_point_fires_once_and_recovers() {
+        let plan = FaultPlan::quiet(3).with_crash_after(5);
+        let mut d = FaultyDisk::new(DiskModel::default(), plan);
+        for _ in 0..5 {
+            d.random_io(1).unwrap();
+        }
+        assert_eq!(d.random_io(1), Err(DiskFault::Crashed));
+        assert!(d.crashed());
+        // Everything fails until recovery, including segment writes.
+        assert_eq!(d.segment_write(), Err(DiskFault::Crashed));
+        assert_eq!(d.stats().crashes, 1, "crash counted once, not per op");
+        d.recover();
+        assert!(!d.crashed());
+        d.random_io(1).unwrap();
+        assert_eq!(d.stats().ios, 6);
+    }
+
+    #[test]
+    fn torn_segment_writes_pay_a_rewrite() {
+        let plan = FaultPlan {
+            seed: 5,
+            io_error_permille: 0,
+            torn_permille: 1000, // every segment write tears
+            crash_after_ios: None,
+            max_retries: 0,
+        };
+        let model = DiskModel::default();
+        let clean = model.segment_write();
+        let mut d = FaultyDisk::new(model, plan);
+        let t = d.segment_write().unwrap();
+        assert!(t > clean * 2 - Duration::from_micros(1), "got {t:?}");
+        assert_eq!(d.stats().torn_writes, 1);
     }
 }

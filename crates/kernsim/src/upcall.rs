@@ -77,6 +77,18 @@ enum Request {
         offset: usize,
         buf: Vec<i64>,
     },
+    RegionLen(RegionId),
+    /// State salvage: the whole region crosses in one rendezvous. The
+    /// `buf` is a pooled buffer the server fills (snapshot) or drains
+    /// (restore) and must hand back in its reply.
+    SnapshotRegion {
+        id: RegionId,
+        buf: Vec<i64>,
+    },
+    RestoreRegion {
+        id: RegionId,
+        words: Vec<i64>,
+    },
     SetFuel(Option<u64>),
     FuelUsed,
     /// Fork the server's inner engine for worker shard `n`; the replica
@@ -100,6 +112,7 @@ enum Reply {
     },
     Entry(Result<EntryId, GraftError>),
     Region(Result<RegionId, GraftError>),
+    Len(Result<usize, GraftError>),
     Fuel(Option<u64>),
     Forked(Result<Box<dyn ExtensionEngine>, GraftError>),
 }
@@ -284,6 +297,23 @@ fn serve(mut engine: Box<dyn ExtensionEngine>, rx: Receiver<Request>, tx: SyncSe
                 let r = engine.read_region_slice_id(id, offset, &mut buf);
                 Reply::SliceBuf(r, buf)
             }
+            Request::RegionLen(id) => Reply::Len(engine.region_len(id)),
+            Request::SnapshotRegion { id, mut buf } => {
+                // Fill the round-tripped buffer in place so the salvage
+                // path allocates nothing on the server side either.
+                let r = match engine.region_len(id) {
+                    Ok(len) => {
+                        buf.resize(len, 0);
+                        engine.read_region_slice_id(id, 0, &mut buf)
+                    }
+                    Err(e) => Err(e),
+                };
+                Reply::SliceBuf(r, buf)
+            }
+            Request::RestoreRegion { id, words } => {
+                let r = engine.restore_region(id, &words);
+                Reply::UnitBuf(r, words)
+            }
             Request::SetFuel(f) => {
                 engine.set_fuel(f);
                 Reply::Unit(Ok(()))
@@ -463,6 +493,43 @@ impl ExtensionEngine for UpcallEngine {
         }
     }
 
+    fn region_len(&self, id: RegionId) -> Result<usize, GraftError> {
+        match self.rpc(Request::RegionLen(id)) {
+            Reply::Len(r) => r,
+            _ => Err(transport_err()),
+        }
+    }
+
+    fn snapshot_region(&self, id: RegionId) -> Result<Vec<i64>, GraftError> {
+        // Override the provided default (`region_len` + slice read would
+        // cost two round trips): the whole region ships over the wire in
+        // one rendezvous, sized by the server.
+        let buf = self.take_buf();
+        match self.rpc(Request::SnapshotRegion { id, buf }) {
+            Reply::SliceBuf(Ok(()), buf) => Ok(buf),
+            Reply::SliceBuf(Err(e), buf) => {
+                self.give_buf(buf);
+                Err(e)
+            }
+            _ => Err(transport_err()),
+        }
+    }
+
+    fn restore_region(&mut self, id: RegionId, words: &[i64]) -> Result<(), GraftError> {
+        // One round trip; the server-side default performs the exact-
+        // length check before any write, so a partial restore is
+        // rejected without touching region state.
+        let mut buf = self.take_buf();
+        buf.extend_from_slice(words);
+        match self.rpc(Request::RestoreRegion { id, words: buf }) {
+            Reply::UnitBuf(r, buf) => {
+                self.give_buf(buf);
+                r
+            }
+            _ => Err(transport_err()),
+        }
+    }
+
     fn set_fuel(&mut self, fuel: Option<u64>) {
         let _ = self.rpc(Request::SetFuel(fuel));
     }
@@ -590,6 +657,25 @@ mod tests {
         e.read_region_slice_id(buf, 1, &mut out).unwrap();
         assert_eq!(out, [5, 6, 7]);
         assert!(e.bind_region("nope").is_err());
+    }
+
+    #[test]
+    fn snapshot_and_restore_ship_the_region_over_the_wire() {
+        let mut e = upcalled();
+        let buf = e.bind_region("buf").unwrap();
+        e.load_region_id(buf, 0, &[11, -22, i64::MAX, 44]).unwrap();
+        assert_eq!(e.region_len(buf).unwrap(), 4);
+        let snap = e.snapshot_region(buf).unwrap();
+        assert_eq!(snap, [11, -22, i64::MAX, 44]);
+        e.load_region_id(buf, 0, &[0, 0, 0, 0]).unwrap();
+        e.restore_region(buf, &snap).unwrap();
+        assert_eq!(e.snapshot_region(buf).unwrap(), snap);
+        // Partial restores are rejected before any write.
+        assert!(e.restore_region(buf, &[1, 2]).is_err());
+        assert_eq!(e.snapshot_region(buf).unwrap(), snap);
+        // Stale handles fail cleanly on both paths.
+        assert!(e.snapshot_region(RegionId(7)).is_err());
+        assert!(e.region_len(RegionId(7)).is_err());
     }
 
     #[test]

@@ -78,6 +78,12 @@ pub struct LdStats {
     pub segments_flushed: u64,
     /// Blocks whose previous physical copy became garbage.
     pub dead_blocks: u64,
+    /// Crashes simulated ([`LogicalDisk::crash`]).
+    pub crashes: u64,
+    /// Map rebuilds performed ([`LogicalDisk::rebuild_map`]).
+    pub rebuilds: u64,
+    /// Mapping entries replayed across all rebuilds.
+    pub rebuilt_mappings: u64,
 }
 
 /// The Logical Disk bookkeeping engine.
@@ -95,6 +101,13 @@ pub struct LogicalDisk {
     /// cleaner's concern, which the paper's run sidesteps by sizing the
     /// run to the number of blocks on the disk).
     next_physical: u64,
+    /// Durable per-segment summary blocks (LFS-style): one record per
+    /// flushed segment, appended at flush time. These survive a
+    /// [`crash`]; [`rebuild_map`] replays them to recover the map.
+    ///
+    /// [`crash`]: LogicalDisk::crash
+    /// [`rebuild_map`]: LogicalDisk::rebuild_map
+    summaries: Vec<SegmentFlush>,
     stats: LdStats,
 }
 
@@ -111,8 +124,38 @@ impl LogicalDisk {
             map: vec![UNMAPPED; config.blocks],
             open_segment: Vec::with_capacity(config.segment_blocks),
             next_physical: 0,
+            summaries: Vec::new(),
             stats: LdStats::default(),
         }
+    }
+
+    /// Creates a logical disk that adopts an existing logical→physical
+    /// map — the degraded-mode path where the built-in policy inherits
+    /// a map salvaged from a detached graft instead of starting empty.
+    ///
+    /// The physical cursor resumes at the next segment boundary past
+    /// the highest mapped block, so new segments never overwrite the
+    /// salvaged ones. No summaries are adopted: the salvaged map itself
+    /// is the recovery baseline, and only segments flushed *after*
+    /// adoption are replayable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map` does not cover exactly `config.blocks` entries.
+    pub fn with_map(config: LdConfig, map: &[i64]) -> Self {
+        assert_eq!(map.len(), config.blocks, "salvaged map has wrong block count");
+        let mut d = LogicalDisk::new(config);
+        d.map.copy_from_slice(map);
+        let high = map
+            .iter()
+            .copied()
+            .filter(|&p| p != UNMAPPED)
+            .map(|p| p as u64 + 1)
+            .max()
+            .unwrap_or(0);
+        let sb = config.segment_blocks as u64;
+        d.next_physical = high.div_ceil(sb) * sb;
+        d
     }
 
     /// The configuration.
@@ -169,13 +212,92 @@ impl LogicalDisk {
             let logical_blocks = std::mem::take(&mut self.open_segment);
             self.open_segment = Vec::with_capacity(self.config.segment_blocks);
             self.stats.segments_flushed += 1;
-            Some(SegmentFlush {
+            let flush = SegmentFlush {
                 physical_start: self.next_physical - self.config.segment_blocks as u64,
                 logical: logical_blocks,
-            })
+            };
+            // The summary block rides out to disk with the segment (one
+            // sequential write, no extra seek) and is what rebuild_map
+            // replays after a crash.
+            self.summaries.push(flush.clone());
+            Some(flush)
         } else {
             None
         }
+    }
+
+    /// The durable per-segment summary blocks, oldest first.
+    pub fn summaries(&self) -> &[SegmentFlush] {
+        &self.summaries
+    }
+
+    /// Simulates a crash: all volatile state — the in-memory map, the
+    /// physical cursor, and the open segment buffer — is lost. Returns
+    /// the logical blocks that were buffered but never flushed, i.e.
+    /// the writes a caller must redo after [`rebuild_map`]; everything
+    /// else is recoverable from [`summaries`], which model the on-disk
+    /// summary blocks and therefore survive.
+    ///
+    /// [`rebuild_map`]: LogicalDisk::rebuild_map
+    /// [`summaries`]: LogicalDisk::summaries
+    pub fn crash(&mut self) -> Vec<u64> {
+        self.crash_with_unpersisted(0)
+    }
+
+    /// [`crash`], except the last `unpersisted` segments never reached
+    /// the disk — the crash interrupted their segment writes, so their
+    /// summary blocks are not durable either. Those summaries are
+    /// discarded and their blocks are prepended (in original write
+    /// order) to the redo list ahead of the open-segment pending
+    /// writes. Redoing the list after [`rebuild_map`] refills exactly
+    /// the physical slots the lost segments occupied, so the recovered
+    /// disk converges on the no-crash map bit for bit.
+    ///
+    /// [`crash`]: LogicalDisk::crash
+    /// [`rebuild_map`]: LogicalDisk::rebuild_map
+    pub fn crash_with_unpersisted(&mut self, unpersisted: usize) -> Vec<u64> {
+        self.stats.crashes += 1;
+        self.map.fill(UNMAPPED);
+        self.next_physical = 0;
+        let keep = self.summaries.len().saturating_sub(unpersisted);
+        let mut redo: Vec<u64> = self
+            .summaries
+            .drain(keep..)
+            .flat_map(|s| s.logical)
+            .collect();
+        redo.append(&mut self.open_segment);
+        redo
+    }
+
+    /// Rebuilds the logical→physical map by replaying the summary
+    /// blocks in flush order — later segments win, exactly as the live
+    /// map resolved rewrites. Restores the physical cursor to just past
+    /// the last flushed segment. Returns the number of mapping entries
+    /// replayed.
+    ///
+    /// Safe to call on a healthy disk too (it is idempotent over the
+    /// flushed state); only writes still buffered at crash time are
+    /// absent, and [`crash`] returned exactly those for redo.
+    ///
+    /// [`crash`]: LogicalDisk::crash
+    pub fn rebuild_map(&mut self) -> u64 {
+        self.map.fill(UNMAPPED);
+        self.open_segment.clear();
+        let mut replayed = 0u64;
+        for s in &self.summaries {
+            for (i, &logical) in s.logical.iter().enumerate() {
+                self.map[logical as usize] = (s.physical_start + i as u64) as i64;
+                replayed += 1;
+            }
+        }
+        self.next_physical = self
+            .summaries
+            .last()
+            .map(|s| s.physical_start + self.config.segment_blocks as u64)
+            .unwrap_or(0);
+        self.stats.rebuilds += 1;
+        self.stats.rebuilt_mappings += replayed;
+        replayed
     }
 
     /// Blocks currently buffered and not yet flushed.
@@ -205,6 +327,9 @@ impl Drop for LogicalDisk {
         graft_telemetry::counter!("ld.rewrites_in_segment").add(s.rewrites_in_segment);
         graft_telemetry::counter!("ld.segments_flushed").add(s.segments_flushed);
         graft_telemetry::counter!("ld.dead_blocks").add(s.dead_blocks);
+        graft_telemetry::counter!("ld.crashes").add(s.crashes);
+        graft_telemetry::counter!("ld.rebuilds").add(s.rebuilds);
+        graft_telemetry::counter!("ld.rebuilt_mappings").add(s.rebuilt_mappings);
     }
 }
 
@@ -279,6 +404,136 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_block_panics() {
         ld().write(1 << 40);
+    }
+
+    #[test]
+    fn crash_rebuild_redo_is_observationally_equal_to_no_crash() {
+        // Oracle: a twin disk that never crashes. Victim: same write
+        // stream, crash mid-run, rebuild from summaries, redo the
+        // pending writes crash() returned. The two must agree on every
+        // logical read afterwards.
+        let config = LdConfig {
+            blocks: 256,
+            segment_blocks: 8,
+        };
+        let stream: Vec<u64> = workload::skewed(config.blocks, 600, 7).collect();
+        let mut oracle = LogicalDisk::new(config);
+        let mut victim = LogicalDisk::new(config);
+        for &logical in &stream[..371] {
+            oracle.write(logical);
+            victim.write(logical);
+        }
+        // Crash with a part-filled segment in flight (371 % 8 != 0).
+        let pending = victim.crash();
+        assert_eq!(pending.len(), 371 % 8);
+        // Before rebuild the victim has lost everything.
+        assert!(victim.map().iter().all(|&p| p == UNMAPPED));
+        let replayed = victim.rebuild_map();
+        assert_eq!(replayed, (371 / 8) * 8);
+        for logical in pending {
+            victim.write(logical);
+        }
+        // Remainder of the run lands identically on both disks.
+        for &logical in &stream[371..] {
+            oracle.write(logical);
+            victim.write(logical);
+        }
+        for logical in 0..config.blocks as u64 {
+            assert_eq!(victim.read(logical), oracle.read(logical), "block {logical}");
+        }
+        assert_eq!(victim.physical_used(), oracle.physical_used());
+        let s = victim.stats();
+        assert_eq!(s.crashes, 1);
+        assert_eq!(s.rebuilds, 1);
+        assert_eq!(s.rebuilt_mappings, replayed);
+    }
+
+    #[test]
+    fn crash_with_unpersisted_redoes_the_torn_segment_bit_exact() {
+        let config = LdConfig {
+            blocks: 64,
+            segment_blocks: 4,
+        };
+        let stream = [9u64, 5, 9, 1, 3, 9, 5, 2, 8, 7];
+        let mut oracle = LogicalDisk::new(config);
+        let mut victim = LogicalDisk::new(config);
+        for &w in &stream {
+            oracle.write(w);
+            victim.write(w);
+        }
+        // The second segment's write was interrupted: its summary and
+        // data are gone; the two open-segment writes are pending.
+        let redo = victim.crash_with_unpersisted(1);
+        assert_eq!(redo, vec![3, 9, 5, 2, 8, 7]);
+        assert_eq!(victim.summaries().len(), 1);
+        victim.rebuild_map();
+        assert_eq!(victim.physical_used(), 4);
+        for w in redo {
+            victim.write(w);
+        }
+        for b in 0..64u64 {
+            assert_eq!(victim.read(b), oracle.read(b), "block {b}");
+        }
+        assert_eq!(victim.physical_used(), oracle.physical_used());
+    }
+
+    #[test]
+    fn rebuild_replays_later_segments_over_earlier_ones() {
+        let mut d = ld(); // 64 blocks, 4-block segments
+        for logical in [1, 2, 3, 4, 1, 2, 5, 6] {
+            d.write(logical);
+        }
+        assert_eq!(d.summaries().len(), 2);
+        assert_eq!(d.read(1), Some(4));
+        d.crash();
+        d.rebuild_map();
+        // Block 1's second copy (physical 4) wins, not the first (0).
+        assert_eq!(d.read(1), Some(4));
+        assert_eq!(d.read(3), Some(2));
+        assert_eq!(d.physical_used(), 8);
+    }
+
+    #[test]
+    fn rebuild_on_a_healthy_disk_is_idempotent() {
+        let mut d = ld();
+        for logical in [9, 8, 7, 6] {
+            d.write(logical);
+        }
+        let before: Vec<i64> = d.map().to_vec();
+        d.rebuild_map();
+        assert_eq!(d.map(), &before[..]);
+        assert_eq!(d.physical_used(), 4);
+    }
+
+    #[test]
+    fn with_map_adopts_salvaged_state_past_a_segment_boundary() {
+        let config = LdConfig {
+            blocks: 64,
+            segment_blocks: 4,
+        };
+        // A salvaged map with highest physical block 5: the cursor must
+        // resume at 8, the next segment boundary.
+        let mut salvaged = vec![UNMAPPED; 64];
+        salvaged[10] = 5;
+        salvaged[11] = 2;
+        let mut d = LogicalDisk::with_map(config, &salvaged);
+        assert_eq!(d.read(10), Some(5));
+        assert_eq!(d.read(11), Some(2));
+        assert_eq!(d.read(12), None);
+        assert_eq!(d.physical_used(), 8);
+        // New writes land after the salvaged segments.
+        d.write(20);
+        assert_eq!(d.read(20), Some(8));
+        // Rewriting a salvaged block counts its old copy dead.
+        d.write(10);
+        assert_eq!(d.read(10), Some(9));
+        assert_eq!(d.stats().dead_blocks, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong block count")]
+    fn with_map_rejects_mis_sized_maps() {
+        LogicalDisk::with_map(LdConfig::small(), &[UNMAPPED; 3]);
     }
 
     #[test]

@@ -20,7 +20,9 @@ ART=$(mktemp /tmp/graft-verify-XXXXXX.json)
 T7ART=$(mktemp /tmp/graft-table7-XXXXXX.json)
 T8ART=$(mktemp /tmp/graft-table8-XXXXXX.json)
 T8OUT=$(mktemp /tmp/graft-table8-XXXXXX.txt)
-trap 'rm -f "$ART" "$T7ART" "$T8ART" "$T8OUT"' EXIT
+T9ART=$(mktemp /tmp/graft-table9-XXXXXX.json)
+T9OUT=$(mktemp /tmp/graft-table9-XXXXXX.txt)
+trap 'rm -f "$ART" "$T7ART" "$T8ART" "$T8OUT" "$T9ART" "$T9OUT"' EXIT
 
 echo "==> cargo build --release --offline"
 cargo build --release --offline
@@ -122,6 +124,51 @@ if [ -f BENCH_shard.json ]; then
             *)
                 echo "$GATE"
                 echo "table8 regression gate FAILED"
+                exit 1
+                ;;
+        esac
+    }
+    echo "$GATE" | tail -1
+fi
+
+# Recovery gate: a fresh Table 9 run under the fixed chaos seed must
+# (a) lose zero mappings — in every per-technology degraded-mode
+# hand-off *and* in the fault-injected crash/rebuild drill — and
+# (b) keep the degraded-mode service cost within 5% of a built-in that
+# never failed over (post/base >= 0.95). Both quantities are
+# deterministic under the seed (lost mappings are exact block
+# comparisons; the hand-off cost is priced through the DiskModel, not
+# wall-clock), so there are no retries: a miss is a regression.
+echo "==> table9 recovery run ($MODE --offline, chaos seed 42) with run artifact"
+cargo run --release --offline -q -p graft-bench --bin table9 -- \
+    "$MODE" --offline --faults 42 --json "$T9ART" > "$T9OUT"
+
+grep -q "lost mappings total: 0" "$T9OUT" || {
+    cat "$T9OUT"
+    echo "table9 zero-lost gate FAILED"
+    exit 1
+}
+
+echo "==> degraded-mode hand-off gate (lost = 0, post/base >= 0.95)"
+awk 'NR > 2 && /^[^ ]/ {
+         rows += 1
+         printf "    %-20s lost %s  post/base %s\n", $1, $(NF-1), $NF
+         if ($(NF-1) + 0 != 0 || $NF + 0 < 0.95) bad = 1
+     }
+     END { exit (bad || rows < 6) }' "$T9OUT" || {
+    echo "table9 hand-off gate FAILED"
+    exit 1
+}
+
+if [ -f BENCH_recovery.json ]; then
+    echo "==> graftstat regression gate vs BENCH_recovery.json (threshold 200%)"
+    GATE=$(cargo run --release --offline -q -p graft-bench --bin graftstat -- \
+        BENCH_recovery.json "$T9ART" --threshold 200) || {
+        case "$GATE" in
+            *"drift: 0 of"*) : ;; # no shared sample moved; only one-sided keys
+            *)
+                echo "$GATE"
+                echo "table9 regression gate FAILED"
                 exit 1
                 ;;
         esac

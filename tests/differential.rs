@@ -359,6 +359,144 @@ fn malformed_batches_are_rejected_up_front() {
     }
 }
 
+// ---------------------------------------------------------------------
+// State-salvage seam conformance: snapshot_region / restore_region
+// round-trips bit for bit on every technology, snapshots agree across
+// technologies, and fork_for_shard replicas speak the same seam.
+// ---------------------------------------------------------------------
+
+const SALVAGE_BLOCKS: usize = 256;
+
+fn salvage_writes() -> Vec<i64> {
+    graftbench::logdisk::workload::skewed(SALVAGE_BLOCKS, 192, 0xEC0)
+        .map(|w| w as i64)
+        .collect()
+}
+
+/// Property: a salvaged region snapshot equals the graft's own lookups
+/// word for word, survives later donor writes untouched, restores into
+/// a fresh engine bit-exact, and a length-mismatched restore is
+/// rejected before any word lands. Snapshots are also bit-identical
+/// *across* technologies, so a salvaged map can re-seed a replacement
+/// built on any other technology.
+#[test]
+fn region_snapshots_round_trip_bit_exact_on_every_technology() {
+    let spec = graftbench::grafts::logdisk::spec_sized(SALVAGE_BLOCKS);
+    let writes = salvage_writes();
+    let mut snapshots: Vec<(Technology, Vec<i64>)> = Vec::new();
+    for (tech, mut donor) in engines_for(&spec) {
+        graftbench::grafts::logdisk::init_map(donor.as_mut(), SALVAGE_BLOCKS).unwrap();
+        for &w in &writes {
+            donor.invoke("ld_write", &[w]).unwrap();
+        }
+        let map = donor.bind_region("map").unwrap();
+        let snap = donor.snapshot_region(map).unwrap();
+        assert_eq!(snap.len(), SALVAGE_BLOCKS, "{tech:?}: one word per block");
+        for (block, &word) in snap.iter().enumerate() {
+            assert_eq!(
+                donor.invoke("ld_lookup", &[block as i64]).unwrap(),
+                word,
+                "{tech:?}: snapshot diverges from the graft's own lookup at block {block}"
+            );
+        }
+
+        // The snapshot is a copy: a write after the snapshot moves the
+        // donor's mapping but must not reach the salvaged words.
+        let touched = writes[0];
+        donor.invoke("ld_write", &[touched]).unwrap();
+        let after = donor.snapshot_region(map).unwrap();
+        assert_ne!(
+            after[touched as usize], snap[touched as usize],
+            "{tech:?}: a fresh write must move the mapping"
+        );
+
+        // Restore into a fresh engine of the same technology.
+        let mut fresh = GraftManager::new().load(&spec, tech).unwrap();
+        graftbench::grafts::logdisk::init_map(fresh.as_mut(), SALVAGE_BLOCKS).unwrap();
+        let fresh_map = fresh.bind_region("map").unwrap();
+
+        // Wrong-length restores fail closed, before any word is written.
+        let err = fresh
+            .restore_region(fresh_map, &snap[..SALVAGE_BLOCKS - 1])
+            .unwrap_err();
+        assert!(matches!(err, GraftError::Verify(_)), "{tech:?}: {err}");
+        assert_eq!(
+            fresh.invoke("ld_lookup", &[touched]).unwrap(),
+            -1,
+            "{tech:?}: a rejected restore must not touch the region"
+        );
+
+        fresh.restore_region(fresh_map, &snap).unwrap();
+        assert_eq!(fresh.snapshot_region(fresh_map).unwrap(), snap, "{tech:?}");
+        for (block, &word) in snap.iter().enumerate() {
+            assert_eq!(
+                fresh.invoke("ld_lookup", &[block as i64]).unwrap(),
+                word,
+                "{tech:?}: restored lookup differs at block {block}"
+            );
+        }
+        snapshots.push((tech, snap));
+    }
+
+    // Same workload, same bookkeeping: every technology salvages the
+    // exact same words.
+    let (first_tech, reference) = &snapshots[0];
+    for (tech, snap) in &snapshots[1..] {
+        assert_eq!(
+            snap, reference,
+            "{tech:?} and {first_tech:?} salvage different maps from the same workload"
+        );
+    }
+}
+
+/// Property: `fork_for_shard` replicas speak the same salvage seam —
+/// a snapshot restores into a replica and reads back bit-exact, and
+/// replica writes never leak into the donor's region. This is what
+/// lets the sharded host re-seed any replica from a salvaged map.
+#[test]
+fn snapshots_restore_into_fork_replicas_bit_exact() {
+    let spec = graftbench::grafts::logdisk::spec_sized(SALVAGE_BLOCKS);
+    let writes = salvage_writes();
+    let mut forked = 0usize;
+    for (tech, mut donor) in engines_for(&spec) {
+        graftbench::grafts::logdisk::init_map(donor.as_mut(), SALVAGE_BLOCKS).unwrap();
+        for &w in &writes {
+            donor.invoke("ld_write", &[w]).unwrap();
+        }
+        let map = donor.bind_region("map").unwrap();
+        let snap = donor.snapshot_region(map).unwrap();
+        let mut replica = match donor.fork_for_shard(1) {
+            Ok(replica) => replica,
+            Err(GraftError::Unavailable { .. }) => continue,
+            Err(err) => panic!("{tech:?}: unexpected fork failure: {err}"),
+        };
+        forked += 1;
+        graftbench::grafts::logdisk::init_map(replica.as_mut(), SALVAGE_BLOCKS).unwrap();
+        let replica_map = replica.bind_region("map").unwrap();
+        replica.restore_region(replica_map, &snap).unwrap();
+        assert_eq!(
+            replica.snapshot_region(replica_map).unwrap(),
+            snap,
+            "{tech:?}: replica round trip"
+        );
+        for (block, &word) in snap.iter().enumerate() {
+            assert_eq!(
+                replica.invoke("ld_lookup", &[block as i64]).unwrap(),
+                word,
+                "{tech:?}: replica lookup differs at block {block}"
+            );
+        }
+        // Replica and donor regions stay independent after the restore.
+        replica.invoke("ld_write", &[writes[0]]).unwrap();
+        assert_eq!(
+            donor.snapshot_region(map).unwrap(),
+            snap,
+            "{tech:?}: donor must not observe replica writes"
+        );
+    }
+    assert!(forked > 0, "no technology exercised the fork path");
+}
+
 /// The MD5 graft matches the reference implementation on arbitrary
 /// inputs and chunkings.
 #[test]

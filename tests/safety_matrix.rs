@@ -331,6 +331,347 @@ fn quarantine_row_holds_under_sharded_dispatch() {
     }
 }
 
+// ---------------------------------------------------------------------
+// The recovery rows of the matrix: detaching a trapped graft is not
+// enough when kernel state lives *inside* it. These rows assert the
+// full salvage → degraded-mode → re-admission story, per safe
+// technology and under sharded dispatch.
+// ---------------------------------------------------------------------
+
+use graftbench::kernel::{GraftState, HostConfig, ShardedHost, VirtualShards};
+use graftbench::kernsim::{DiskFault, DiskModel, FaultPlan, FaultyDisk};
+use graftbench::logdisk::{LdConfig, LogicalDisk};
+
+const LD_BLOCKS: usize = 256;
+const LD_CONFIG: LdConfig = LdConfig {
+    blocks: LD_BLOCKS,
+    segment_blocks: 16,
+};
+
+fn ld_stream(seed: u64) -> Vec<i64> {
+    graftbench::logdisk::workload::skewed(LD_BLOCKS, 512, seed)
+        .map(|w| w as i64)
+        .collect()
+}
+
+/// A hair-trigger supervisor: the bomb's single trap detaches.
+fn hair_trigger() -> HostConfig {
+    HostConfig {
+        trap_threshold: 1,
+        ..HostConfig::default()
+    }
+}
+
+/// Loads the time-bomb Logical Disk under `tech`, or `None` where the
+/// technology cannot express it (no Tcl Logical Disk, as in Table 6).
+fn bomb_engine(tech: Technology) -> Option<Box<dyn graftbench::api::ExtensionEngine>> {
+    let spec = graftbench::grafts::logdisk::spec_bomb_sized(LD_BLOCKS);
+    match GraftManager::new().load(&spec, tech) {
+        Ok(engine) => Some(engine),
+        Err(GraftError::Unavailable { .. }) => None,
+        Err(err) => panic!("{tech}: unexpected load failure: {err}"),
+    }
+}
+
+#[test]
+fn salvage_detach_row_keeps_serving_correct_mappings() {
+    // Row: a black-box Logical Disk graft traps mid-stream. The
+    // supervisor detaches it *and* lifts its map out through the
+    // salvage plan; the built-in adopts the map and serves the rest of
+    // the stream with zero lost or misdirected mappings against an
+    // oracle that never failed over.
+    let stream = ld_stream(9);
+    let half = 256; // segment-aligned hand-off point
+    let mut covered = 0usize;
+    for tech in SAFE_TECHS {
+        let Some(mut engine) = bomb_engine(tech) else {
+            continue;
+        };
+        covered += 1;
+        graftbench::grafts::logdisk::init_map(engine.as_mut(), LD_BLOCKS).unwrap();
+        for &w in &stream[..half] {
+            engine.invoke("ld_write", &[w]).unwrap();
+        }
+
+        let mut host = GraftHost::with_config(hair_trigger());
+        let id = host
+            .install(AttachPoint::DiskWrite, "logical-disk", engine)
+            .unwrap();
+        host.set_salvage_plan(id, &["map"]).unwrap();
+        host.engine_mut(id).unwrap().invoke("ld_arm", &[1]).unwrap();
+
+        let err = host.invoke(id, &[stream[half]]).unwrap_err();
+        assert!(matches!(err, GraftError::Trap(_)), "{tech}: {err}");
+        assert!(host.is_quarantined(id), "{tech}: bomb must detach");
+        let salvage = host.take_salvage(id).expect("salvaged at detach");
+        assert_eq!(salvage.words(), LD_BLOCKS, "{tech}: whole map lifted");
+
+        // Degraded mode: the built-in adopts the salvaged map.
+        let mut degraded = LogicalDisk::with_map(LD_CONFIG, salvage.region("map").unwrap());
+        for &w in &stream[half..] {
+            degraded.write(w as u64);
+        }
+        let mut oracle = LogicalDisk::new(LD_CONFIG);
+        for &w in &stream {
+            oracle.write(w as u64);
+        }
+        assert_eq!(
+            degraded.map(),
+            oracle.map(),
+            "{tech}: degraded mode lost or misdirected mappings"
+        );
+    }
+    assert!(covered >= 2, "row must cover the compiled safe technologies");
+}
+
+#[test]
+fn salvage_detach_row_holds_under_sharded_dispatch() {
+    // The same row on the sharded kernel: the trap fires on one shard,
+    // the winning detach salvages *that shard's* replica, the detach is
+    // visible on every shard at once, and the built-in serves on the
+    // salvaged map with nothing lost.
+    const SHARDS: usize = 2;
+    let stream = ld_stream(9);
+    let half = 256;
+    for tech in SAFE_TECHS {
+        let Some(engine) = bomb_engine(tech) else {
+            continue;
+        };
+        let mut host = ShardedHost::with_config(SHARDS, hair_trigger());
+        let id = host
+            .install_with_salvage(AttachPoint::DiskWrite, "logical-disk", engine, &["map"])
+            .unwrap();
+
+        let mut vs = VirtualShards::new(&mut host, 7);
+        // Populate shard 0's replica only: the map is shard-local state
+        // and the trap will fire where the state lives.
+        {
+            let replica = vs.shard_mut(0).engine_mut(id).unwrap();
+            graftbench::grafts::logdisk::init_map(replica, LD_BLOCKS).unwrap();
+        }
+        for &w in &stream[..half] {
+            vs.shard_mut(0).invoke(id, &[w]).unwrap();
+        }
+        vs.shard_mut(0).engine_mut(id).unwrap().invoke("ld_arm", &[1]).unwrap();
+        let err = vs.shard_mut(0).invoke(id, &[stream[half]]).unwrap_err();
+        assert!(matches!(err, GraftError::Trap(_)), "{tech}: {err}");
+
+        // Detach is global, immediately: the *other* shard refuses too.
+        assert!(host.is_quarantined(id), "{tech}");
+        let err = vs.shard_mut(1).invoke(id, &[stream[half]]).unwrap_err();
+        assert!(
+            matches!(err, GraftError::Unavailable { .. }),
+            "{tech} shard 1: {err}"
+        );
+
+        let salvage = host.take_salvage(id).expect("winning shard salvaged");
+        let mut degraded = LogicalDisk::with_map(LD_CONFIG, salvage.region("map").unwrap());
+        for &w in &stream[half..] {
+            degraded.write(w as u64);
+        }
+        let mut oracle = LogicalDisk::new(LD_CONFIG);
+        for &w in &stream {
+            oracle.write(w as u64);
+        }
+        assert_eq!(degraded.map(), oracle.map(), "{tech}: sharded salvage lost mappings");
+    }
+}
+
+#[test]
+fn backoff_readmits_after_a_clean_window_and_doubles_on_the_second_strike() {
+    // Row: the backoff ladder. After the first quarantine the graft is
+    // re-admitted once the chain serves `backoff_base` dispatches
+    // without it; a strike on probation detaches instantly and the
+    // window doubles; at the ban ceiling the graft is out for good.
+    let spec = saboteur_spec();
+    for tech in SAFE_TECHS {
+        let engine = GraftManager::new().load(&spec, tech).unwrap();
+        let mut host = GraftHost::with_config(HostConfig {
+            trap_threshold: 1,
+            probation_clean: 2,
+            backoff_base: 4,
+            ban_ceiling: 3,
+            ..HostConfig::default()
+        });
+        let id = host.install(AttachPoint::VmEvict, "saboteur", engine).unwrap();
+        let dispatch = |host: &mut GraftHost| {
+            host.dispatch(AttachPoint::VmEvict, |_| Ok(vec![7, 3]));
+        };
+
+        // Trip 1: one trap detaches; the ladder arms a 4-dispatch window.
+        dispatch(&mut host);
+        assert!(host.is_quarantined(id), "{tech}");
+        assert_eq!(host.quarantine_count(id), Some(1), "{tech}");
+        for _ in 0..3 {
+            dispatch(&mut host);
+            assert!(host.is_quarantined(id), "{tech}: readmitted early");
+        }
+        dispatch(&mut host); // 4th clean dispatch: window exhausted
+        assert!(
+            matches!(host.state(id), Some(GraftState::Probation { .. })),
+            "{tech}: ladder must re-admit on probation, got {:?}",
+            host.state(id)
+        );
+
+        // Trip 2: a probation strike detaches instantly and the window
+        // doubles — 7 clean dispatches are not enough, the 8th is.
+        dispatch(&mut host);
+        assert!(host.is_quarantined(id), "{tech}: probation strike must detach");
+        assert_eq!(host.quarantine_count(id), Some(2), "{tech}");
+        for i in 0..7 {
+            dispatch(&mut host);
+            assert!(host.is_quarantined(id), "{tech}: window did not double (clean #{i})");
+        }
+        dispatch(&mut host);
+        assert!(
+            matches!(host.state(id), Some(GraftState::Probation { .. })),
+            "{tech}: second re-admission, got {:?}",
+            host.state(id)
+        );
+
+        // Trip 3 hits the ceiling: permanently banned, manual readmit
+        // refuses, and no amount of clean dispatches brings it back.
+        dispatch(&mut host);
+        assert_eq!(host.state(id), Some(GraftState::Banned), "{tech}");
+        assert!(!host.readmit(id), "{tech}: banned grafts must not readmit");
+        for _ in 0..40 {
+            dispatch(&mut host);
+        }
+        assert_eq!(host.state(id), Some(GraftState::Banned), "{tech}");
+
+        let stats = host.stats();
+        assert_eq!(stats.quarantine_trips, 3, "{tech}");
+        assert_eq!(stats.auto_readmits, 2, "{tech}");
+        assert_eq!(stats.bans, 1, "{tech}");
+    }
+}
+
+#[test]
+fn backoff_ladder_holds_under_sharded_dispatch() {
+    // The ladder's counters are shared atomics: dispatches served on
+    // *any* shard count toward the clean window, the re-admission is
+    // visible everywhere at once, and the ban is final on every shard.
+    const SHARDS: usize = 2;
+    let spec = saboteur_spec();
+    for tech in SAFE_TECHS {
+        let engine = GraftManager::new().load(&spec, tech).unwrap();
+        let mut host = ShardedHost::with_config(
+            SHARDS,
+            HostConfig {
+                trap_threshold: 1,
+                probation_clean: 2,
+                backoff_base: 4,
+                ban_ceiling: 2,
+                ..HostConfig::default()
+            },
+        );
+        let id = host.install(AttachPoint::VmEvict, "saboteur", engine).unwrap();
+        let mut vs = VirtualShards::new(&mut host, 11);
+
+        // Trip 1 on whichever shard the rotation picks.
+        vs.dispatch(AttachPoint::VmEvict, |_| Ok(vec![7, 3]));
+        assert!(host.is_quarantined(id), "{tech}");
+        // Four dispatches spread across shards re-admit it...
+        for _ in 0..3 {
+            vs.dispatch(AttachPoint::VmEvict, |_| Ok(vec![7, 3]));
+            assert!(host.is_quarantined(id), "{tech}: readmitted early");
+        }
+        vs.dispatch(AttachPoint::VmEvict, |_| Ok(vec![7, 3]));
+        assert!(
+            matches!(host.state(id), Some(GraftState::Probation { .. })),
+            "{tech}: cross-shard window must re-admit, got {:?}",
+            host.state(id)
+        );
+
+        // ...and the probation strike hits the 2-trip ceiling: banned,
+        // everywhere, for good.
+        vs.dispatch(AttachPoint::VmEvict, |_| Ok(vec![7, 3]));
+        assert_eq!(host.state(id), Some(GraftState::Banned), "{tech}");
+        assert_eq!(host.quarantine_count(id), Some(2), "{tech}");
+        assert!(!host.readmit(id), "{tech}");
+        for shard in 0..SHARDS {
+            let err = vs.shard_mut(shard).invoke(id, &[0, 0]).unwrap_err();
+            assert!(
+                matches!(err, GraftError::Unavailable { .. }),
+                "{tech} shard {shard}: {err}"
+            );
+        }
+
+        vs.flush_all();
+        let stats = host.stats();
+        assert_eq!(stats.quarantine_trips, 2, "{tech}");
+        assert_eq!(stats.auto_readmits, 1, "{tech}");
+        assert_eq!(stats.bans, 1, "{tech}");
+    }
+}
+
+#[test]
+fn crash_and_rebuild_restore_an_observationally_equal_map() {
+    // Row: a mid-stream crash tears the in-flight segment write; the
+    // Logical Disk discards the torn segment's summary, rebuilds its
+    // map from the durable summaries, and redoes the lost writes. The
+    // rebuilt map must answer block-for-block exactly what each safe
+    // technology's own bookkeeping answers for the same stream — the
+    // graft is the oracle here, so the row also re-proves the
+    // graft/built-in agreement *through* a crash.
+    let stream = ld_stream(21);
+    let spec = graftbench::grafts::logdisk::spec_sized(LD_BLOCKS);
+    for tech in SAFE_TECHS {
+        let mut engine = match GraftManager::new().load(&spec, tech) {
+            Ok(engine) => engine,
+            Err(GraftError::Unavailable { .. }) => continue,
+            Err(err) => panic!("{tech}: {err}"),
+        };
+        graftbench::grafts::logdisk::init_map(engine.as_mut(), LD_BLOCKS).unwrap();
+
+        let plan = FaultPlan::chaos(5).with_crash_after(8);
+        let mut faulty = FaultyDisk::new(DiskModel::default(), plan);
+        let mut ld = LogicalDisk::new(LD_CONFIG);
+        for &w in &stream {
+            engine.invoke("ld_write", &[w]).unwrap();
+            if ld.write(w as u64).is_none() {
+                continue;
+            }
+            loop {
+                match faulty.segment_write() {
+                    Ok(_) => break,
+                    Err(DiskFault::RetriesExhausted { .. }) => continue,
+                    Err(DiskFault::Crashed) => {
+                        let redo = ld.crash_with_unpersisted(1);
+                        faulty.recover();
+                        assert!(ld.rebuild_map() > 0, "{tech}: nothing replayed");
+                        for r in redo {
+                            if ld.write(r).is_some() {
+                                while let Err(DiskFault::RetriesExhausted { .. }) =
+                                    faulty.segment_write()
+                                {}
+                            }
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        assert_eq!(faulty.stats().crashes, 1, "{tech}: the drill must crash once");
+
+        // Observational equality, block for block.
+        let map = engine.bind_region("map").unwrap();
+        let snap = engine.snapshot_region(map).unwrap();
+        assert_eq!(
+            ld.map(),
+            &snap[..],
+            "{tech}: rebuilt map diverges from the technology's bookkeeping"
+        );
+        for (block, &want) in snap.iter().enumerate() {
+            assert_eq!(
+                engine.invoke("ld_lookup", &[block as i64]).unwrap(),
+                want,
+                "{tech}: block {block}"
+            );
+        }
+    }
+}
+
 #[test]
 fn traps_do_not_corrupt_engine_state() {
     let spec = hostile_spec();
