@@ -32,6 +32,8 @@
 
 use std::collections::HashMap;
 
+use graft_telemetry::TraceId;
+
 use crate::error::{GraftError, Trap};
 use crate::region::{RegionId, RegionSpec, RegionStore};
 use crate::spec::{EntryPoint, SharedNativeFactory};
@@ -124,6 +126,46 @@ pub trait ExtensionEngine: Send {
             }
         }
         Ok(())
+    }
+
+    /// [`invoke_id`] with a propagated trace context — the causal
+    /// identity of the kernel dispatch that caused this invocation.
+    ///
+    /// The default forwards to [`invoke_id`] and discards the context,
+    /// so engines without engine-side instrumentation need no change.
+    /// Engines that *have* an internal boundary override it: the upcall
+    /// engine ships the id across the wire so the server thread's
+    /// events land in the same causal timeline, and the in-kernel
+    /// engines time their half of the dispatch under the trace. Hosts
+    /// only call this in recording mode ([`graft_telemetry::tracing`]),
+    /// so the untraced hot path never pays for it.
+    ///
+    /// [`invoke_id`]: ExtensionEngine::invoke_id
+    fn invoke_id_traced(
+        &mut self,
+        entry: EntryId,
+        args: &[i64],
+        trace: TraceId,
+    ) -> Result<i64, GraftError> {
+        let _ = trace;
+        self.invoke_id(entry, args)
+    }
+
+    /// [`invoke_batch`] with a propagated trace context; same contract
+    /// as [`invoke_id_traced`].
+    ///
+    /// [`invoke_batch`]: ExtensionEngine::invoke_batch
+    /// [`invoke_id_traced`]: ExtensionEngine::invoke_id_traced
+    fn invoke_batch_traced(
+        &mut self,
+        entry: EntryId,
+        calls: usize,
+        args_flat: &[i64],
+        out: &mut Vec<i64>,
+        trace: TraceId,
+    ) -> Result<(), GraftError> {
+        let _ = trace;
+        self.invoke_batch(entry, calls, args_flat, out)
     }
 
     /// Kernel-side bulk marshal into a pre-bound region at a word
@@ -693,6 +735,17 @@ mod tests {
         // Stale handles trap deterministically.
         assert!(e.region_len(RegionId(99)).is_err());
         assert!(e.snapshot_region(RegionId(99)).is_err());
+    }
+
+    #[test]
+    fn traced_invoke_defaults_forward() {
+        let mut e = doubling_engine();
+        let id = e.bind_entry("double").unwrap();
+        let trace = graft_telemetry::TraceId::mint(0, 7);
+        assert_eq!(e.invoke_id_traced(id, &[21], trace).unwrap(), 42);
+        let mut out = Vec::new();
+        e.invoke_batch_traced(id, 2, &[1, 2], &mut out, trace).unwrap();
+        assert_eq!(out, [2, 4]);
     }
 
     #[test]

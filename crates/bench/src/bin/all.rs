@@ -50,6 +50,10 @@ fn main() {
     println!("{}", report::render_table9(&t9));
     art.add_table("table9", artifact::table9_json(&t9));
 
+    let t12 = experiment::table12(&cfg).expect("table 12");
+    println!("{}", report::render_table12(&t12));
+    art.add_table("table12", artifact::table12_json(&t12));
+
     let measured = std::time::Duration::from_nanos(t1.upcall_roundtrip.mean_ns as u64);
     let fig = experiment::figure1(&t2, Some(measured));
     print!("{}", report::render_figure1(&fig));

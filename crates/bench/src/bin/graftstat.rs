@@ -5,6 +5,14 @@
 //! metrics, wall clock). With two it diffs them per indexed sample
 //! (robust `min_ns` estimates) and per counter, and declares drift when
 //! any sample moved by more than the threshold.
+//!
+//! Two subcommands read the flight recorder's output back out of an
+//! artifact: `graftstat timeline <run.json>` prints the recorded trace
+//! events in causal order — sorted by `(ts_ns, trace id, seq)`, the
+//! same total order the kernel's merged cross-shard timeline uses — and
+//! `graftstat postmortem <run.json>` renders every quarantine
+//! postmortem report embedded in the artifact (Table 12's drill pair),
+//! including the event tail that reconstructs the detach.
 
 use std::fmt::Write as _;
 
@@ -17,7 +25,7 @@ fn emit(text: &str) {
     let _ = std::io::stdout().write_all(text.as_bytes());
 }
 
-const USAGE: &str = "usage: graftstat <baseline.json> [candidate.json] [--threshold <pct>]";
+const USAGE: &str = "usage: graftstat <baseline.json> [candidate.json] [--threshold <pct>]\n       graftstat timeline <run.json>\n       graftstat postmortem <run.json>";
 
 /// Relative change of one indexed sample between two artifacts.
 #[derive(Debug, Clone, PartialEq)]
@@ -268,9 +276,17 @@ fn summarize_shards(a: &RunArtifact) -> String {
     if let Some(h) = hist("kernel.shard.imbalance_pct") {
         let mean = h.get("mean").and_then(Json::as_f64).unwrap_or(0.0);
         let p99 = h.get("p99").and_then(Json::as_f64).unwrap_or(0.0);
+        // ≥20% means the dispatch keys are skewing the shards badly
+        // enough that the ladder's scaling numbers stop being about
+        // the dispatch plane.
+        let warn = if mean >= 20.0 {
+            "  !! WARN: imbalance >= 20%, dispatch keys are skewed"
+        } else {
+            ""
+        };
         let _ = writeln!(
             out,
-            "    imbalance (max-min)/mean: mean={mean:.1}% p99={p99:.0}%"
+            "    imbalance (max-min)/mean: mean={mean:.1}% p99={p99:.0}%{warn}"
         );
     }
     out
@@ -348,6 +364,173 @@ fn summarize_kernel(a: &RunArtifact) -> String {
     out
 }
 
+/// The causal sort key of one serialized trace event: `(ts_ns, trace
+/// id, intra-trace seq)`, matching the kernel's merged-timeline order.
+fn trace_key(e: &Json) -> (u64, u64, u64) {
+    let n = |k: &str| e.get(k).and_then(Json::as_u64).unwrap_or(0);
+    (n("ts_ns"), n("trace"), n("seq"))
+}
+
+/// One rendered timeline row; `t0` anchors timestamps to the first
+/// event so the column stays readable.
+fn trace_row(e: &Json, t0: u64) -> String {
+    let (ts, trace, seq) = trace_key(e);
+    let s = |k: &str| e.get(k).and_then(Json::as_str).unwrap_or("-");
+    let n = |k: &str| e.get(k).and_then(Json::as_u64).unwrap_or(0);
+    let shard = match e.get("shard") {
+        Some(Json::Str(name)) => name.clone(),
+        Some(j) => j
+            .as_u64()
+            .map(|v| format!("shard {v}"))
+            .unwrap_or_else(|| "?".into()),
+        None => "?".into(),
+    };
+    format!(
+        "  +{:<11} {:>16x}/{:<3} g{:<3} {:<13} {:<10} {:<19} {:<12} {:>9} ns",
+        ts.saturating_sub(t0),
+        trace,
+        seq,
+        n("graft"),
+        shard,
+        s("point"),
+        s("tech"),
+        s("verdict"),
+        n("duration_ns"),
+    )
+}
+
+/// `timeline` mode: the artifact's flight-recorder events in causal
+/// order. Empty unless the run was benched with `--trace`.
+fn render_timeline(path: &str, a: &RunArtifact) -> String {
+    let mut out = String::new();
+    let mut events: Vec<&Json> = a
+        .metrics
+        .get("traces")
+        .and_then(Json::as_arr)
+        .map(|v| v.iter().collect())
+        .unwrap_or_default();
+    if events.is_empty() {
+        let _ = writeln!(
+            out,
+            "{path}: no trace events (rerun the bench with --trace --json)"
+        );
+        return out;
+    }
+    events.sort_by_key(|e| trace_key(e));
+    let t0 = trace_key(events[0]).0;
+    let _ = writeln!(out, "timeline {path}: {} events", events.len());
+    let _ = writeln!(
+        out,
+        "  {:<12} {:>16}/{:<3} {:<4} {:<13} {:<10} {:<19} {:<12} {:>12}",
+        "t+ns", "trace", "seq", "gft", "shard", "point", "tech", "verdict", "duration"
+    );
+    for e in &events {
+        out.push_str(&trace_row(e, t0));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders one embedded postmortem report (the JSON shape that
+/// `PostmortemReport::to_json` writes).
+fn render_postmortem(label: &str, pm: &Json) -> String {
+    let mut out = String::new();
+    let s = |k: &str| pm.get(k).and_then(Json::as_str).unwrap_or("-");
+    let n = |k: &str| pm.get(k).and_then(Json::as_u64).unwrap_or(0);
+    let _ = writeln!(out, "postmortem {label}:");
+    let _ = writeln!(
+        out,
+        "  graft \"{}\" (id {}) under {}  state {}  reason {}",
+        s("graft"),
+        n("graft_id"),
+        s("tech"),
+        s("state"),
+        s("reason"),
+    );
+    let ledger = pm.get("ledger");
+    let ln = |k: &str| {
+        ledger
+            .and_then(|l| l.get(k))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    };
+    let _ = writeln!(
+        out,
+        "  ledger: invocations {}  traps {}  cum {}  fuel {}",
+        ln("invocations"),
+        ln("traps"),
+        fmt_ns(ln("cum_ns") as f64),
+        ln("fuel_used"),
+    );
+    if let Some(counts) = ledger
+        .and_then(|l| l.get("trap_counts"))
+        .and_then(Json::as_obj)
+    {
+        if !counts.is_empty() {
+            let mix: Vec<String> = counts
+                .iter()
+                .map(|(k, v)| format!("{k}:{}", v.as_u64().unwrap_or(0)))
+                .collect();
+            let _ = writeln!(out, "  trap mix: {}", mix.join("  "));
+        }
+    }
+    let salvage = match pm.get("salvaged_words").and_then(Json::as_u64) {
+        Some(w) => format!("{w} words"),
+        None => "none".into(),
+    };
+    let where_ = match pm.get("shard").and_then(Json::as_u64) {
+        Some(shard) => format!("shard {shard}"),
+        None => "scalar host".into(),
+    };
+    let _ = writeln!(
+        out,
+        "  strikes {}  quarantines {}  backoff remaining {}  salvaged {salvage}  detached on {where_}",
+        n("strikes"),
+        n("quarantines"),
+        n("backoff_remaining"),
+    );
+    match pm.get("events").and_then(Json::as_arr) {
+        Some(events) if !events.is_empty() => {
+            let t0 = events.first().map(trace_key).map(|k| k.0).unwrap_or(0);
+            let _ = writeln!(out, "  tail ({} events, oldest first):", events.len());
+            for e in events {
+                out.push_str("  ");
+                out.push_str(&trace_row(e, t0));
+                out.push('\n');
+            }
+        }
+        _ => {
+            let _ = writeln!(out, "  tail: empty (the flight recorder was not recording)");
+        }
+    }
+    out
+}
+
+/// `postmortem` mode: every quarantine report embedded in the
+/// artifact's tables (Table 12's drill carries a scalar/sharded pair).
+fn render_postmortems(path: &str, a: &RunArtifact) -> String {
+    let mut out = String::new();
+    let mut found = 0;
+    for (table, doc) in &a.tables {
+        let Some(drill) = doc.get("drill") else { continue };
+        for side in ["scalar_postmortem", "sharded_postmortem"] {
+            let Some(pm) = drill.get(side) else { continue };
+            if matches!(pm, Json::Null) {
+                continue;
+            }
+            found += 1;
+            out.push_str(&render_postmortem(&format!("{table}/{side}"), pm));
+        }
+    }
+    if found == 0 {
+        let _ = writeln!(
+            out,
+            "{path}: no postmortems (run the table12 bench with --json)"
+        );
+    }
+    out
+}
+
 /// Two-artifact mode: the rendered diff plus the process exit code
 /// (0 when within threshold, 1 when drift was detected).
 fn render_diff(base_path: &str, cand_path: &str, report: &Report, threshold: f64) -> (String, i32) {
@@ -418,6 +601,7 @@ fn load(path: &str) -> RunArtifact {
 fn main() {
     let mut paths: Vec<String> = Vec::new();
     let mut threshold = 5.0_f64;
+    let mut mode: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -433,8 +617,23 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            sub @ ("timeline" | "postmortem") if mode.is_none() && paths.is_empty() => {
+                mode = Some(sub.to_string());
+            }
             other => paths.push(other.to_string()),
         }
+    }
+    if let Some(mode) = mode {
+        let [one] = paths.as_slice() else {
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        };
+        let artifact = load(one);
+        emit(&match mode.as_str() {
+            "timeline" => render_timeline(one, &artifact),
+            _ => render_postmortems(one, &artifact),
+        });
+        return;
     }
     match paths.as_slice() {
         [one] => emit(&summarize(one, &load(one))),
@@ -636,6 +835,123 @@ mod tests {
             text.contains("logical disk: crashes 1  rebuilds 3  replayed mappings 240"),
             "{text}"
         );
+    }
+
+    fn trace_event(ts: u64, trace: u64, seq: u64, verdict: &str) -> Json {
+        let mut e = Json::object();
+        e.set("ts_ns", ts)
+            .set("trace", trace)
+            .set("seq", seq)
+            .set("graft", 1u64)
+            .set("shard", Json::Num(0.0))
+            .set("point", "vm_evict")
+            .set("tech", "C")
+            .set("verdict", verdict)
+            .set("value", 9u64)
+            .set("duration_ns", 120u64)
+            .set("fuel", 4u64);
+        e
+    }
+
+    #[test]
+    fn timeline_sorts_events_into_causal_order() {
+        let mut art = artifact();
+        let mut metrics = Json::object();
+        metrics.set(
+            "traces",
+            vec![
+                trace_event(300, 7, 1, "trap"),
+                trace_event(100, 7, 0, "continue"),
+                trace_event(200, 9, 0, "override"),
+            ],
+        );
+        art.metrics = metrics;
+        let text = render_timeline("x.json", &art);
+        assert!(text.contains("3 events"), "{text}");
+        let continue_at = text.find("continue").unwrap();
+        let override_at = text.find("override").unwrap();
+        let trap_at = text.find("trap").unwrap();
+        assert!(continue_at < override_at && override_at < trap_at, "{text}");
+        // Timestamps render relative to the first event.
+        assert!(text.contains("+0"), "{text}");
+    }
+
+    #[test]
+    fn timeline_without_traces_points_at_the_trace_flag() {
+        let art = artifact();
+        assert!(render_timeline("x.json", &art).contains("--trace"));
+    }
+
+    #[test]
+    fn postmortem_mode_renders_the_drill_pair() {
+        let mut art = artifact();
+        let mut ledger = Json::object();
+        ledger
+            .set("invocations", 3u64)
+            .set("traps", 3u64)
+            .set("cum_ns", 900u64)
+            .set("fuel_used", 33u64);
+        let mut counts = Json::object();
+        counts.set("div_by_zero", 3u64);
+        ledger.set("trap_counts", counts);
+        let mut pm = Json::object();
+        pm.set("graft", "saboteur")
+            .set("graft_id", 2u64)
+            .set("tech", "Modula-3")
+            .set("reason", "div_by_zero")
+            .set("state", "quarantined")
+            .set("ledger", ledger)
+            .set("strikes", 3u64)
+            .set("quarantines", 1u64)
+            .set("backoff_remaining", 0u64)
+            .set("salvaged_words", Json::Null)
+            .set("events", vec![trace_event(50, 3, 0, "trap")])
+            .set("detached_at_ns", 1000u64)
+            .set("shard", Json::Null);
+        let mut drill = Json::object();
+        drill
+            .set("scalar_postmortem", pm)
+            .set("sharded_postmortem", Json::Null);
+        let mut table = Json::object();
+        table.set("drill", drill);
+        art.tables.insert("table12".into(), table);
+
+        let text = render_postmortems("x.json", &art);
+        assert!(text.contains("postmortem table12/scalar_postmortem:"), "{text}");
+        assert!(
+            text.contains("graft \"saboteur\" (id 2) under Modula-3"),
+            "{text}"
+        );
+        assert!(text.contains("reason div_by_zero"), "{text}");
+        assert!(text.contains("trap mix: div_by_zero:3"), "{text}");
+        assert!(text.contains("salvaged none"), "{text}");
+        assert!(text.contains("detached on scalar host"), "{text}");
+        assert!(text.contains("tail (1 events"), "{text}");
+
+        // An artifact without any embedded reports says so.
+        let empty = artifact();
+        assert!(render_postmortems("x.json", &empty).contains("no postmortems"));
+    }
+
+    #[test]
+    fn imbalance_warning_fires_at_twenty_percent() {
+        let mut art = artifact();
+        let mut counters = Json::object();
+        counters.set("kernel.shard.dispatches", 10u64);
+        let mut imb = Json::object();
+        imb.set("name", "kernel.shard.imbalance_pct")
+            .set("count", 1u64)
+            .set("mean", 25.0)
+            .set("p50", 25.0)
+            .set("p99", 25.0)
+            .set("buckets", Vec::<Json>::new());
+        let mut metrics = Json::object();
+        metrics
+            .set("counters", counters)
+            .set("histograms", vec![imb]);
+        art.metrics = metrics;
+        let text = summarize("x.json", &art);
+        assert!(text.contains("!! WARN: imbalance >= 20%"), "{text}");
     }
 
     #[test]

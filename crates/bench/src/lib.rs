@@ -13,14 +13,18 @@
 //! | `table7` | Table 7 (ours: multi-tenant churn under graft-host) |
 //! | `table8` | Table 8 (ours: sharded multi-core dispatch scaling) |
 //! | `table9` | Table 9 (ours: graft recovery under fault injection) |
+//! | `table12` | Table 12 (ours: flight-recorder overhead + postmortem drill) |
 //! | `figure1` | Figure 1 (break-even vs upcall time, CSV) |
 //! | `all` | everything, in paper order |
-//! | `graftstat` | diff two `--json` run artifacts |
+//! | `graftstat` | summarize/diff run artifacts; `timeline`/`postmortem` modes |
 //!
 //! All accept `--quick` (default), `--full` (paper-scale counts),
 //! `--offline` (skip live host measurements), `--json <path>` (write
-//! the machine-readable run artifact), and `--no-telemetry` (disable
-//! metric recording at runtime, for observer-effect checks).
+//! the machine-readable run artifact), `--no-telemetry` (disable
+//! metric recording at runtime, for observer-effect checks), and
+//! `--trace` (arm the flight recorder: every dispatch appends causal
+//! trace events, surfaced in the artifact's `metrics.traces` and by
+//! `graftstat timeline`).
 //! Fault injection is opt-in via `--faults <seed>` (a seeded
 //! [`kernsim::FaultPlan::chaos`] plan) and `--fault-rate <permille>`
 //! (override the transient I/O-error rate; torn writes run at half
@@ -34,7 +38,7 @@ use graft_core::artifact::RunArtifact;
 use graft_core::experiment::RunConfig;
 
 /// Usage string shared by `--help` and error reporting.
-pub const USAGE: &str = "usage: [--quick|--full] [--offline] [--json <path>] [--no-telemetry] [--shards <n>] [--faults <seed>] [--fault-rate <permille>]";
+pub const USAGE: &str = "usage: [--quick|--full] [--offline] [--json <path>] [--no-telemetry] [--trace] [--shards <n>] [--faults <seed>] [--fault-rate <permille>]";
 
 /// Parsed command line: the run configuration plus artifact options.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,6 +50,9 @@ pub struct Cli {
     /// Whether telemetry recording stays enabled (`--no-telemetry`
     /// turns the runtime toggle off).
     pub telemetry: bool,
+    /// `--trace`: arm the flight recorder so every dispatch appends
+    /// causal trace events (a no-op in noop-telemetry builds).
+    pub trace: bool,
     /// `--shards <n>`: pin the sharded-dispatch experiment (Table 8)
     /// to one shard count instead of the default 1/2/4/8 ladder.
     pub shards: Option<usize>,
@@ -90,6 +97,7 @@ pub fn parse_cli(args: &[String]) -> Result<Cli, CliError> {
         config: RunConfig::quick(),
         json: None,
         telemetry: true,
+        trace: false,
         shards: None,
     };
     let mut it = args.iter();
@@ -99,6 +107,7 @@ pub fn parse_cli(args: &[String]) -> Result<Cli, CliError> {
             "--quick" => cli.config = RunConfig::quick(),
             "--offline" => cli.config.live = false,
             "--no-telemetry" => cli.telemetry = false,
+            "--trace" => cli.trace = true,
             "--json" => {
                 let path = it
                     .next()
@@ -168,6 +177,7 @@ pub fn cli_from_args() -> Cli {
     match parse_cli(&std::env::args().skip(1).collect::<Vec<_>>()) {
         Ok(cli) => {
             graft_telemetry::set_enabled(cli.telemetry);
+            graft_telemetry::set_tracing(cli.trace);
             cli
         }
         Err(CliError::Help) => {
@@ -263,6 +273,14 @@ mod tests {
     fn no_telemetry_flag_parses() {
         let cli = parse_cli(&strings(&["--no-telemetry"])).unwrap();
         assert!(!cli.telemetry);
+    }
+
+    #[test]
+    fn trace_flag_parses_and_defaults_off() {
+        assert!(!parse_cli(&[]).unwrap().trace);
+        let cli = parse_cli(&strings(&["--trace", "--offline"])).unwrap();
+        assert!(cli.trace);
+        assert!(cli.telemetry);
     }
 
     #[test]

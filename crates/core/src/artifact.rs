@@ -19,7 +19,8 @@ use graft_telemetry::MetricsSnapshot;
 use kernsim::stats::Sample;
 
 use crate::experiment::{
-    Figure1, RunConfig, Table1, Table2, Table3, Table4, Table5, Table6, Table7, Table8, Table9,
+    Figure1, RunConfig, Table1, Table12, Table2, Table3, Table4, Table5, Table6, Table7, Table8,
+    Table9,
 };
 
 /// Schema identifier embedded in every artifact.
@@ -298,8 +299,14 @@ fn config_from_json(j: &Json) -> Result<RunConfig, String> {
     })
 }
 
+/// Trace events the artifact retains from the global ring: the most
+/// recent tail, so `graftstat timeline` works from the artifact alone
+/// without committed baselines ballooning.
+pub const TRACES_IN_ARTIFACT: usize = 256;
+
 /// [`MetricsSnapshot`] as JSON: counters object, histogram array with
-/// derived mean/p50/p99, recent span events.
+/// derived mean/p50/p90/p99/p999, recent span events, and the tail of
+/// the flight-recorder ring (empty unless a run traced).
 pub fn metrics_json(m: &MetricsSnapshot) -> Json {
     let mut counters = Json::object();
     for (name, value) in &m.counters {
@@ -315,7 +322,9 @@ pub fn metrics_json(m: &MetricsSnapshot) -> Json {
                 .set("sum", h.sum)
                 .set("mean", h.mean())
                 .set("p50", h.quantile(0.5))
+                .set("p90", h.quantile(0.9))
                 .set("p99", h.quantile(0.99))
+                .set("p999", h.quantile(0.999))
                 .set(
                     "buckets",
                     h.buckets
@@ -337,10 +346,16 @@ pub fn metrics_json(m: &MetricsSnapshot) -> Json {
             obj
         })
         .collect();
+    let skip = m.traces.len().saturating_sub(TRACES_IN_ARTIFACT);
+    let traces: Vec<Json> = m.traces[skip..]
+        .iter()
+        .map(graft_kernel::postmortem::trace_event_json)
+        .collect();
     let mut out = Json::object();
     out.set("counters", counters)
         .set("histograms", histograms)
-        .set("spans", spans);
+        .set("spans", spans)
+        .set("traces", traces);
     out
 }
 
@@ -601,6 +616,51 @@ pub fn table9_json(t: &Table9) -> Json {
         .set("blocks", t.blocks)
         .set("lost_total", t.lost_total())
         .set("runs", t.runs);
+    obj
+}
+
+/// Table 12 as JSON. Each row's `off`/`gated`/`recording` samples land
+/// in the flattened index (the surface the tracing-overhead CI gate
+/// diffs); the drill object embeds both [`PostmortemReport`]s — the
+/// machine-readable surface `graftstat postmortem` renders.
+///
+/// [`PostmortemReport`]: graft_kernel::PostmortemReport
+pub fn table12_json(t: &Table12) -> Json {
+    let rows: Vec<Json> = t
+        .rows
+        .iter()
+        .map(|r| {
+            let mut row = Json::object();
+            row.set("tech", r.tech.paper_name())
+                .set("off", sample_json(&r.off))
+                .set("gated", sample_json(&r.gated))
+                .set("recording", sample_json(&r.recording))
+                .set("gated_overhead_pct", r.gated_overhead_pct)
+                .set("recording_overhead_pct", r.recording_overhead_pct);
+            row
+        })
+        .collect();
+    let d = &t.drill;
+    let pm_json = |pm: &Option<graft_kernel::PostmortemReport>| match pm {
+        Some(p) => p.to_json(),
+        None => Json::Null,
+    };
+    let mut drill = Json::object();
+    drill
+        .set("tech", d.tech.paper_name())
+        .set("seed", d.seed)
+        .set("trap_threshold", d.trap_threshold)
+        .set("shards", d.shards)
+        .set("traced", d.traced)
+        .set("scalar_trapped", d.scalar_trapped)
+        .set("sharded_trapped", d.sharded_trapped)
+        .set("scalar_events", d.scalar_events)
+        .set("sharded_events", d.sharded_events)
+        .set("tails_match", d.tails_match)
+        .set("scalar_postmortem", pm_json(&d.scalar))
+        .set("sharded_postmortem", pm_json(&d.sharded));
+    let mut obj = Json::object();
+    obj.set("rows", rows).set("drill", drill).set("runs", t.runs);
     obj
 }
 

@@ -1,0 +1,409 @@
+//! Table 12 (ours): the price of the flight recorder, and the
+//! postmortem drill that proves it earns its keep.
+//!
+//! The tracing layer has three runtime modes:
+//!
+//! * **off** — `--no-telemetry`: every counter, histogram, and trace
+//!   hook is behind one relaxed load that fails.
+//! * **gated** — telemetry on, flight recorder disarmed (the default):
+//!   counters and histograms record, the per-dispatch trace arm is a
+//!   dead branch.
+//! * **recording** — `--trace`: every dispatch mints a causal
+//!   [`graft_telemetry::TraceId`], and every chain step appends a
+//!   fixed-size event to the host's thread-confined ring.
+//!
+//! For every technology row this experiment re-runs Table 7's baseline
+//! rig — a well-behaved eviction graft serving the VM pager through
+//! [`GraftHost`] under the 80/20-skewed workload — once per mode, and
+//! reports ns per pager access plus each mode's overhead over *off*.
+//! Measuring per access (not per bare dispatch) prices the recorder
+//! where it runs in production: on a workload whose hot path the
+//! kernel actually dispatches from.
+//!
+//! The second half is the **quarantine drill**: a Table 7-style
+//! DivByZero saboteur is installed alone and dispatched until the
+//! supervisor detaches it (trap_threshold strikes), once under the
+//! scalar [`GraftHost`] and once under a 4-shard [`ShardedHost`]
+//! driven through seeded [`VirtualShards`]. Both hosts must emit a
+//! [`PostmortemReport`] whose event tail reconstructs the exact
+//! trapped invocations — compared via [`TraceEvent::semantics`], which
+//! ignores timestamps and shard placement and keeps what the
+//! supervisor acted on: attach point, technology, verdict, trap kind.
+
+use graft_api::{GraftError, Technology};
+use graft_kernel::{shared, AttachPoint, GraftHost, HostedEviction, PostmortemReport, ShardedHost, VirtualShards};
+use graft_telemetry::TraceEvent;
+use grafts::eviction;
+use kernsim::stats::{measure_per_iter, Sample};
+use kernsim::vm::Pager;
+
+use super::table7::{hostile_spec, FRAMES, HOT_PAGES, PAGES};
+use super::tables::ROW_ORDER;
+use super::RunConfig;
+use crate::manager::GraftManager;
+
+/// The seed the drill's virtual-shard interleaving replays.
+pub const DRILL_SEED: u64 = 42;
+
+/// Worker shards in the drill's sharded host.
+pub const DRILL_SHARDS: usize = 4;
+
+/// One technology's tracing-overhead measurements.
+#[derive(Debug, Clone)]
+pub struct Table12Row {
+    /// Technology hosting the eviction tenant.
+    pub tech: Technology,
+    /// ns per pager access with telemetry disabled at runtime.
+    pub off: Sample,
+    /// ns per pager access with metrics on, flight recorder off.
+    pub gated: Sample,
+    /// ns per pager access with the flight recorder armed.
+    pub recording: Sample,
+    /// `(gated - off) / off`, in percent, over the robust estimates.
+    pub gated_overhead_pct: f64,
+    /// `(recording - off) / off`, in percent, over the robust
+    /// estimates.
+    pub recording_overhead_pct: f64,
+}
+
+/// The scalar-vs-sharded postmortem drill.
+#[derive(Debug, Clone)]
+pub struct Table12Drill {
+    /// Technology the saboteur ran under.
+    pub tech: Technology,
+    /// Interleaving seed ([`DRILL_SEED`]).
+    pub seed: u64,
+    /// The supervisor's trap threshold during the drill.
+    pub trap_threshold: u32,
+    /// Shards in the sharded half ([`DRILL_SHARDS`]).
+    pub shards: usize,
+    /// Whether the flight recorder was actually armable (false when
+    /// telemetry is compiled out; tails are then empty).
+    pub traced: bool,
+    /// The scalar host's postmortem report.
+    pub scalar: Option<PostmortemReport>,
+    /// The sharded host's postmortem report, with its tail re-adopted
+    /// from the merged cross-shard timeline.
+    pub sharded: Option<PostmortemReport>,
+    /// Trapped invocations in the scalar report's event tail.
+    pub scalar_trapped: usize,
+    /// Trapped invocations in the sharded report's event tail.
+    pub sharded_trapped: usize,
+    /// Events the scalar recorder retained over the whole drill.
+    pub scalar_events: usize,
+    /// Events in the merged cross-shard timeline.
+    pub sharded_events: usize,
+    /// Whether both tails reconstruct the same trapped invocations
+    /// (semantics-for-semantics), and — when the recorder was armed —
+    /// exactly `trap_threshold` of them.
+    pub tails_match: bool,
+}
+
+/// Table 12: per-technology tracing overhead plus the drill.
+#[derive(Debug, Clone)]
+pub struct Table12 {
+    /// Rows, in [`ROW_ORDER`].
+    pub rows: Vec<Table12Row>,
+    /// The scalar-vs-sharded postmortem drill.
+    pub drill: Table12Drill,
+    /// Timed repetitions per mode.
+    pub runs: usize,
+}
+
+impl Table12 {
+    /// The row for a technology.
+    pub fn row(&self, tech: Technology) -> Option<&Table12Row> {
+        self.rows.iter().find(|r| r.tech == tech)
+    }
+
+    /// The largest per-technology recording overhead, in percent.
+    pub fn worst_recording_pct(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(|r| r.recording_overhead_pct)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// The largest per-technology gated overhead, in percent.
+    pub fn worst_gated_pct(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(|r| r.gated_overhead_pct)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+/// Restores the ambient telemetry mode when the experiment exits,
+/// even on an error path: the measurement flips the process-wide
+/// toggles and must not leak its last mode to later experiments.
+struct ModeGuard {
+    enabled: bool,
+    tracing: bool,
+}
+
+impl ModeGuard {
+    fn capture() -> Self {
+        ModeGuard {
+            enabled: graft_telemetry::enabled(),
+            tracing: graft_telemetry::tracing_configured(),
+        }
+    }
+}
+
+impl Drop for ModeGuard {
+    fn drop(&mut self) {
+        graft_telemetry::set_enabled(self.enabled);
+        graft_telemetry::set_tracing(self.tracing);
+    }
+}
+
+/// Accesses per measured mode for a technology (script and user-level
+/// rows use reduced counts, as in Tables 2 and 7). The floors keep
+/// each measured run long enough — hundreds of microseconds even on
+/// the cheap rows — that timer granularity and scheduler blips
+/// amortize to well under a percent; an overhead gate on a
+/// single-digit-microsecond run would be measuring clock noise.
+fn accesses_for(cfg: &RunConfig, tech: Technology) -> usize {
+    match tech {
+        Technology::Script => cfg.script_evict_iters.max(2048),
+        Technology::UserLevel => (cfg.evict_iters / 10).max(128),
+        _ => cfg.evict_iters.max(1024),
+    }
+}
+
+/// Percent overhead of `mode` over `off`, on the robust estimates.
+fn overhead_pct(off: &Sample, mode: &Sample) -> f64 {
+    if off.min_ns == 0.0 {
+        0.0
+    } else {
+        (mode.min_ns - off.min_ns) / off.min_ns * 100.0
+    }
+}
+
+fn price_row(
+    cfg: &RunConfig,
+    manager: &GraftManager,
+    tech: Technology,
+) -> Result<Table12Row, GraftError> {
+    let good = manager.load(&eviction::spec(), tech)?;
+    let host = shared(GraftHost::new());
+    let _tenant = host
+        .borrow_mut()
+        .install(AttachPoint::VmEvict, "tenant", good)?;
+    let mut policy = HostedEviction::new(host.clone());
+    policy.set_hot((0..HOT_PAGES).collect());
+    let mut pager = Pager::new(FRAMES, policy);
+
+    let accesses = accesses_for(cfg, tech);
+    let workload: Vec<u64> = logdisk::workload::skewed(PAGES, accesses as u64, 42).collect();
+    let runs = cfg.runs.clamp(1, 3);
+    let mut idx = 0usize;
+
+    // Steady state before any phase: from the first measured access
+    // on, a miss is an eviction and an eviction is a traced dispatch.
+    for p in 0..FRAMES as u64 {
+        pager.access(2 * PAGES as u64 + p);
+    }
+
+    // Mode 1 — off: the `--no-telemetry` configuration.
+    graft_telemetry::set_enabled(false);
+    graft_telemetry::set_tracing(false);
+    let off = measure_per_iter(runs, accesses, || {
+        pager.access(workload[idx % workload.len()]);
+        idx += 1;
+    });
+
+    // Mode 2 — gated: metrics on, the trace arm dead.
+    graft_telemetry::set_enabled(true);
+    let gated = measure_per_iter(runs, accesses, || {
+        pager.access(workload[idx % workload.len()]);
+        idx += 1;
+    });
+
+    // Mode 3 — recording: the flight recorder armed.
+    graft_telemetry::set_tracing(true);
+    let recording = measure_per_iter(runs, accesses, || {
+        pager.access(workload[idx % workload.len()]);
+        idx += 1;
+    });
+    graft_telemetry::set_tracing(false);
+    host.borrow_mut().flush();
+
+    Ok(Table12Row {
+        tech,
+        gated_overhead_pct: overhead_pct(&off, &gated),
+        recording_overhead_pct: overhead_pct(&off, &recording),
+        off,
+        gated,
+        recording,
+    })
+}
+
+/// The semantics triples of a report's trapped tail, oldest first.
+fn trapped_semantics(pm: Option<&PostmortemReport>) -> Vec<(u8, u8, u8, i64)> {
+    pm.map(|p| p.trapped_events().iter().map(TraceEvent::semantics).collect())
+        .unwrap_or_default()
+}
+
+fn drill(manager: &GraftManager) -> Result<Table12Drill, GraftError> {
+    let tech = Technology::SafeCompiled;
+    // The drill arms the recorder unconditionally: postmortem tails
+    // are the artifact under test. (The ModeGuard up in `table12`
+    // restores the ambient mode.)
+    graft_telemetry::set_enabled(true);
+    graft_telemetry::set_tracing(true);
+    let traced = graft_telemetry::tracing();
+
+    // Scalar half: the saboteur alone on the eviction chain.
+    let mut single = GraftHost::new();
+    let threshold = single.config().trap_threshold;
+    let bad = single.install(
+        AttachPoint::VmEvict,
+        "saboteur",
+        manager.load(&hostile_spec(), tech)?,
+    )?;
+    let bound = 4 * u64::from(threshold) + 8;
+    let mut n = 0u64;
+    while !single.is_quarantined(bad) && n < bound {
+        let _ = single.dispatch(AttachPoint::VmEvict, |_| Ok(vec![9, 3]));
+        n += 1;
+    }
+    single.flush();
+    let scalar_events = single.trace_events().len();
+    let scalar = single.take_postmortems().into_iter().next();
+
+    // Sharded half: same saboteur, 4 shards, seeded interleaving. The
+    // strikes accumulate in the shared ledger across shards; whichever
+    // shard lands the third trap wins the detach and captures the
+    // report, whose tail is then re-adopted from the merged timeline
+    // (traps may have landed on shards the winner never saw).
+    let mut sharded = ShardedHost::new(DRILL_SHARDS);
+    let bad2 = sharded.install(
+        AttachPoint::VmEvict,
+        "saboteur",
+        manager.load(&hostile_spec(), tech)?,
+    )?;
+    let mut vs = VirtualShards::new(&mut sharded, DRILL_SEED);
+    let mut n = 0u64;
+    while !sharded.is_quarantined(bad2) && n < bound {
+        let _ = vs.dispatch(AttachPoint::VmEvict, |_| Ok(vec![9, 3]));
+        n += 1;
+    }
+    vs.flush_all();
+    let merged = vs.merged_timeline();
+    let sharded_events = merged.len();
+    let mut sharded_pm = sharded.take_postmortems().into_iter().next();
+    if let Some(pm) = sharded_pm.as_mut() {
+        pm.adopt_tail(&merged);
+        // Likewise for the ledger: traps that struck on shards the
+        // winner never saw reach the shared totals at flush time.
+        if let Some(ledger) = sharded.ledger(bad2) {
+            pm.adopt_ledger(ledger);
+        }
+    }
+
+    let scalar_sem = trapped_semantics(scalar.as_ref());
+    let sharded_sem = trapped_semantics(sharded_pm.as_ref());
+    let tails_match = scalar.is_some()
+        && sharded_pm.is_some()
+        && scalar_sem == sharded_sem
+        && (!traced || scalar_sem.len() == threshold as usize);
+
+    Ok(Table12Drill {
+        tech,
+        seed: DRILL_SEED,
+        trap_threshold: threshold,
+        shards: DRILL_SHARDS,
+        traced,
+        scalar_trapped: scalar_sem.len(),
+        sharded_trapped: sharded_sem.len(),
+        scalar,
+        sharded: sharded_pm,
+        scalar_events,
+        sharded_events,
+        tails_match,
+    })
+}
+
+/// Runs the Table 12 experiment.
+pub fn table12(cfg: &RunConfig) -> Result<Table12, GraftError> {
+    let _span = graft_telemetry::span!("table12_trace");
+    let _guard = ModeGuard::capture();
+    let manager = GraftManager::new();
+    let mut rows = Vec::new();
+    for tech in ROW_ORDER {
+        rows.push(price_row(cfg, &manager, tech)?);
+    }
+    let drill = drill(&manager)?;
+    Ok(Table12 {
+        rows,
+        drill,
+        runs: cfg.runs.clamp(1, 3),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graft_api::TrapKind;
+
+    fn tiny() -> RunConfig {
+        RunConfig {
+            runs: 2,
+            evict_iters: 200,
+            script_evict_iters: 24,
+            md5_bytes: 128,
+            script_md5_bytes: 128,
+            ld_writes: 64,
+            ld_blocks: 64,
+            live: false,
+            faults: None,
+        }
+    }
+
+    #[test]
+    fn every_row_prices_all_three_modes() {
+        let before = (graft_telemetry::enabled(), graft_telemetry::tracing_configured());
+        let t = table12(&tiny()).unwrap();
+        assert_eq!(t.rows.len(), ROW_ORDER.len());
+        for row in &t.rows {
+            assert!(row.off.mean_ns > 0.0, "{}", row.tech);
+            assert!(row.gated.mean_ns > 0.0, "{}", row.tech);
+            assert!(row.recording.mean_ns > 0.0, "{}", row.tech);
+            assert!(row.gated_overhead_pct.is_finite());
+            assert!(row.recording_overhead_pct.is_finite());
+        }
+        // The experiment restores the ambient telemetry mode.
+        assert_eq!(
+            (graft_telemetry::enabled(), graft_telemetry::tracing_configured()),
+            before
+        );
+    }
+
+    #[test]
+    fn drill_tails_reconstruct_the_detach_on_both_hosts() {
+        let t = table12(&tiny()).unwrap();
+        let d = &t.drill;
+        assert!(d.tails_match, "{d:?}");
+        let scalar = d.scalar.as_ref().expect("scalar postmortem");
+        let sharded = d.sharded.as_ref().expect("sharded postmortem");
+        assert_eq!(scalar.reason, TrapKind::DivByZero);
+        assert_eq!(sharded.reason, TrapKind::DivByZero);
+        assert_eq!(scalar.ledger.traps, u64::from(d.trap_threshold));
+        assert_eq!(sharded.ledger.traps, u64::from(d.trap_threshold));
+        assert_eq!(scalar.shard, None);
+        assert!(sharded.shard.is_some());
+        if d.traced {
+            // The recorder was armed: the tails carry exactly the
+            // trapped invocations, event for event.
+            assert_eq!(d.scalar_trapped, d.trap_threshold as usize);
+            assert_eq!(d.sharded_trapped, d.trap_threshold as usize);
+            assert!(d.scalar_events >= d.scalar_trapped);
+            assert!(d.sharded_events >= d.sharded_trapped);
+        } else {
+            // Telemetry compiled out: reports survive, tails empty.
+            assert_eq!(d.scalar_trapped, 0);
+            assert_eq!(d.sharded_trapped, 0);
+        }
+    }
+}

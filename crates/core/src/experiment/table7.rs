@@ -96,7 +96,8 @@ impl Table7 {
 
 /// The saboteur: same region/entry ABI as the eviction graft, but its
 /// body raises the one trap every technology turns into a fault.
-fn hostile_spec() -> GraftSpec {
+/// Shared with Table 12's postmortem drill.
+pub(crate) fn hostile_spec() -> GraftSpec {
     let grail = "fn select_victim(a: int, b: int) -> int { return a / (b - b); }";
     let tickle = "proc select_victim {a b} { return [expr $a / ($b - $b)] }";
     GraftSpec::new("saboteur", GraftClass::Prioritization, Motivation::Policy)

@@ -7,7 +7,7 @@ use std::fmt::Write as _;
 use std::time::Duration;
 
 use crate::experiment::{
-    Figure1, Table1, Table2, Table3, Table4, Table5, Table6, Table7, Table8, Table9,
+    Figure1, Table1, Table12, Table2, Table3, Table4, Table5, Table6, Table7, Table8, Table9,
 };
 
 fn dur(d: Duration) -> String {
@@ -381,6 +381,63 @@ pub fn render_table9(t: &Table9) -> String {
         c.faults.crashes,
         t.lost_total()
     );
+    out
+}
+
+/// Renders Table 12: per-technology tracing overhead (ns per pager
+/// access under off/gated/recording telemetry) plus the scalar-vs-
+/// sharded postmortem drill verdict.
+pub fn render_table12(t: &Table12) -> String {
+    let widths = [20, 26, 26, 26, 9, 11];
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 12. Flight-Recorder Overhead (ns/access on the Table 7 baseline rig; {} runs/mode)",
+        t.runs
+    );
+    line(
+        &mut out,
+        &["technology", "off", "gated", "recording", "gated%", "recording%"],
+        &widths,
+    );
+    for row in &t.rows {
+        line(
+            &mut out,
+            &[
+                row.tech.paper_name(),
+                &row.off.robust_style(),
+                &row.gated.robust_style(),
+                &row.recording.robust_style(),
+                &format!("{:+.1}", row.gated_overhead_pct),
+                &format!("{:+.1}", row.recording_overhead_pct),
+            ],
+            &widths,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  worst-case overhead: gated {:+.1}% | recording {:+.1}%",
+        t.worst_gated_pct(),
+        t.worst_recording_pct()
+    );
+    let d = &t.drill;
+    let _ = writeln!(
+        out,
+        "  postmortem drill (seed {}, {} saboteur, threshold {}): scalar tail {} trap(s) | {}-shard tail {} trap(s) | tails {}",
+        d.seed,
+        d.scalar
+            .as_ref()
+            .map(|p| p.reason.name())
+            .unwrap_or("missing"),
+        d.trap_threshold,
+        d.scalar_trapped,
+        d.shards,
+        d.sharded_trapped,
+        if d.tails_match { "MATCH" } else { "DIVERGE" }
+    );
+    if !d.traced {
+        out.push_str("  (flight recorder compiled out: tails empty by construction)\n");
+    }
     out
 }
 

@@ -103,6 +103,21 @@ impl ExtensionEngine for ScriptEngine {
         }
     }
 
+    fn invoke_id_traced(
+        &mut self,
+        entry: EntryId,
+        args: &[i64],
+        trace: graft_telemetry::TraceId,
+    ) -> Result<i64, GraftError> {
+        // Hosts route through this seam only in recording mode, so the
+        // extra clock read never taxes the untraced fast path.
+        let _ = trace;
+        let started = std::time::Instant::now();
+        let out = self.invoke_id(entry, args);
+        graft_telemetry::histogram!("script.invoke_ns").record_duration(started.elapsed());
+        out
+    }
+
     fn load_region_id(
         &mut self,
         id: RegionId,

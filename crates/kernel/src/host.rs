@@ -7,8 +7,10 @@ use std::time::Instant;
 use graft_api::{
     EntryId, ExtensionEngine, GraftError, GraftLedger, Technology, Trap, TrapKind, Verdict,
 };
+use graft_telemetry::{TraceBuffer, TraceEvent, TraceId, TRACE_SHARD_SCALAR};
 
 use crate::point::AttachPoint;
+use crate::postmortem::{PostmortemReport, POSTMORTEM_TAIL};
 use crate::recovery::{self, SalvagedState};
 
 /// Chain depths recorded in the `kernel.chain_depth` histogram are
@@ -219,6 +221,41 @@ impl InstalledGraft {
 /// backoff ladder (or ban at the ceiling). A free function because the
 /// callers hold a mutable borrow of the graft alongside the host's
 /// stats field.
+/// Builds a [`PostmortemReport`] for a graft the supervisor just
+/// detached: ledger, backoff position, salvage outcome, and the tail of
+/// the graft's events from `recorder` (empty unless recording).
+fn capture_postmortem(
+    id: u64,
+    g: &InstalledGraft,
+    reason: TrapKind,
+    recorder: &TraceBuffer,
+    shard: Option<u32>,
+) -> PostmortemReport {
+    let mut events: Vec<TraceEvent> = recorder
+        .events()
+        .into_iter()
+        .filter(|e| e.graft == id)
+        .collect();
+    if events.len() > POSTMORTEM_TAIL {
+        events.drain(..events.len() - POSTMORTEM_TAIL);
+    }
+    PostmortemReport {
+        graft: g.name.clone(),
+        graft_id: id,
+        tech: g.tech,
+        reason,
+        state: g.state,
+        ledger: g.ledger,
+        strikes: g.strikes,
+        quarantines: g.quarantines,
+        backoff_remaining: g.backoff_remaining,
+        salvaged_words: g.salvage.as_ref().map(SalvagedState::words),
+        events,
+        detached_at_ns: graft_telemetry::now_ns(),
+        shard,
+    }
+}
+
 fn on_quarantine_trip(config: &HostConfig, stats: &mut HostStats, g: &mut InstalledGraft) {
     stats.quarantine_trips += 1;
     g.quarantines = g.quarantines.saturating_add(1);
@@ -261,6 +298,16 @@ pub struct GraftHost {
     /// subtracted on the next flush so nothing is double-counted.
     published: HostStats,
     published_depth: [u64; DEPTH_SLOTS],
+    /// The host's flight recorder: one [`TraceEvent`] per consulted
+    /// graft when recording is armed (`graft_telemetry::set_tracing`).
+    /// Thread-confined, lock-free; flushed to the global trace ring by
+    /// [`GraftHost::flush`].
+    recorder: TraceBuffer,
+    /// Dispatches traced so far — the per-source sequence
+    /// [`TraceId::mint`] consumes.
+    trace_seq: u64,
+    /// Postmortems captured at quarantine trips, oldest first.
+    postmortems: Vec<PostmortemReport>,
 }
 
 impl Default for GraftHost {
@@ -286,6 +333,9 @@ impl GraftHost {
             depth_counts: [0; DEPTH_SLOTS],
             published: HostStats::default(),
             published_depth: [0; DEPTH_SLOTS],
+            recorder: TraceBuffer::default(),
+            trace_seq: 0,
+            postmortems: Vec::new(),
         }
     }
 
@@ -493,6 +543,18 @@ impl GraftHost {
         self.stats.dispatches += 1;
         let depth = self.active_len(point);
         self.depth_counts[depth.min(DEPTH_SLOTS - 1)] += 1;
+        // One causal id per dispatch, threaded through every invocation
+        // it causes (including across the upcall wire). Minting and
+        // recording happen only in recording mode: gated mode costs two
+        // relaxed loads, off mode one.
+        let tracing = graft_telemetry::tracing();
+        let trace = if tracing {
+            self.trace_seq += 1;
+            TraceId::mint(0, self.trace_seq)
+        } else {
+            TraceId::NONE
+        };
+        let mut chain_seq: u32 = 0;
         for i in 0..self.chains[p].len() {
             let id = self.chains[p][i];
             let Some(g) = self.grafts.get_mut(&id) else {
@@ -526,10 +588,31 @@ impl GraftHost {
                     // charge its ledger for a fault that is not its
                     // code's.
                     self.stats.marshal_failures += 1;
+                    if tracing {
+                        self.recorder.record(TraceEvent {
+                            ts_ns: graft_telemetry::since_epoch_ns(started),
+                            trace,
+                            seq: chain_seq,
+                            graft: id,
+                            shard: TRACE_SHARD_SCALAR,
+                            point: p as u8,
+                            tech: g.tech as u8,
+                            verdict: graft_telemetry::TRACE_VERDICT_MARSHAL_FAIL,
+                            value: 0,
+                            duration_ns: started.elapsed().as_nanos().min(u64::MAX as u128)
+                                as u64,
+                            fuel: 0,
+                        });
+                    }
+                    chain_seq += 1;
                     continue;
                 }
             };
-            let result = g.engine.invoke_id(g.entry, &args);
+            let result = if tracing {
+                g.engine.invoke_id_traced(g.entry, &args, trace)
+            } else {
+                g.engine.invoke_id(g.entry, &args)
+            };
             let ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
             let fuel = g.engine.fuel_used();
             match result {
@@ -537,7 +620,27 @@ impl GraftHost {
                     g.ledger.record_ok(ns, fuel);
                     g.note_clean();
                     self.stats.invocations += 1;
-                    match point.decode(ret) {
+                    let verdict = point.decode(ret);
+                    if tracing {
+                        let (code, value) = match verdict {
+                            Verdict::Override(v) => (graft_telemetry::TRACE_VERDICT_OVERRIDE, v),
+                            Verdict::Continue => (graft_telemetry::TRACE_VERDICT_CONTINUE, 0),
+                        };
+                        self.recorder.record(TraceEvent {
+                            ts_ns: graft_telemetry::since_epoch_ns(started),
+                            trace,
+                            seq: chain_seq,
+                            graft: id,
+                            shard: TRACE_SHARD_SCALAR,
+                            point: p as u8,
+                            tech: g.tech as u8,
+                            verdict: code,
+                            value,
+                            duration_ns: ns,
+                            fuel: fuel.unwrap_or(0),
+                        });
+                    }
+                    match verdict {
                         v @ Verdict::Override(_) => {
                             self.stats.overrides += 1;
                             return v;
@@ -549,8 +652,30 @@ impl GraftHost {
                     g.ledger.record_trap(ns, fuel, &trap);
                     self.stats.invocations += 1;
                     self.stats.traps += 1;
+                    if tracing {
+                        self.recorder.record(TraceEvent {
+                            ts_ns: graft_telemetry::since_epoch_ns(started),
+                            trace,
+                            seq: chain_seq,
+                            graft: id,
+                            shard: TRACE_SHARD_SCALAR,
+                            point: p as u8,
+                            tech: g.tech as u8,
+                            verdict: graft_telemetry::TRACE_VERDICT_TRAP,
+                            value: trap.kind() as usize as i64,
+                            duration_ns: ns,
+                            fuel: fuel.unwrap_or(0),
+                        });
+                    }
                     if g.note_trap(&trap, self.config.trap_threshold) {
                         on_quarantine_trip(&self.config, &mut self.stats, g);
+                        self.postmortems.push(capture_postmortem(
+                            id,
+                            g,
+                            trap.kind(),
+                            &self.recorder,
+                            None,
+                        ));
                     }
                 }
                 Err(_) => {
@@ -558,6 +683,7 @@ impl GraftHost {
                     self.stats.marshal_failures += 1;
                 }
             }
+            chain_seq += 1;
         }
         self.stats.defaults += 1;
         Verdict::Continue
@@ -588,11 +714,47 @@ impl GraftHost {
             }
             _ => {}
         }
+        let tracing = graft_telemetry::tracing();
+        let trace = if tracing {
+            self.trace_seq += 1;
+            TraceId::mint(0, self.trace_seq)
+        } else {
+            TraceId::NONE
+        };
         let started = Instant::now();
-        let result = g.engine.invoke_id(g.entry, args);
+        let result = if tracing {
+            g.engine.invoke_id_traced(g.entry, args, trace)
+        } else {
+            g.engine.invoke_id(g.entry, args)
+        };
         let ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         let fuel = g.engine.fuel_used();
         self.stats.invocations += 1;
+        if tracing {
+            // Direct invocations have no attach point (`u8::MAX`); an
+            // `Ok` records the return value under the override verdict.
+            let (verdict, value) = match &result {
+                Ok(ret) => (graft_telemetry::TRACE_VERDICT_OVERRIDE, *ret),
+                Err(GraftError::Trap(trap)) => (
+                    graft_telemetry::TRACE_VERDICT_TRAP,
+                    trap.kind() as usize as i64,
+                ),
+                Err(_) => (graft_telemetry::TRACE_VERDICT_MARSHAL_FAIL, 0),
+            };
+            self.recorder.record(TraceEvent {
+                ts_ns: graft_telemetry::since_epoch_ns(started),
+                trace,
+                seq: 0,
+                graft: id.0,
+                shard: TRACE_SHARD_SCALAR,
+                point: u8::MAX,
+                tech: g.tech as u8,
+                verdict,
+                value,
+                duration_ns: ns,
+                fuel: fuel.unwrap_or(0),
+            });
+        }
         match &result {
             Ok(_) => {
                 g.ledger.record_ok(ns, fuel);
@@ -603,6 +765,13 @@ impl GraftHost {
                 self.stats.traps += 1;
                 if g.note_trap(trap, self.config.trap_threshold) {
                     on_quarantine_trip(&self.config, &mut self.stats, g);
+                    self.postmortems.push(capture_postmortem(
+                        id.0,
+                        g,
+                        trap.kind(),
+                        &self.recorder,
+                        None,
+                    ));
                 }
             }
             Err(_) => self.stats.marshal_failures += 1,
@@ -629,6 +798,9 @@ impl GraftHost {
         self.published = self.stats;
         let depth_prev = self.published_depth;
         self.published_depth = self.depth_counts;
+        // Publishes only events not yet flushed, and accounts every
+        // overwritten-unpublished event to `telemetry.trace.dropped`.
+        self.recorder.flush();
         if !graft_telemetry::enabled() {
             return;
         }
@@ -651,6 +823,23 @@ impl GraftHost {
         for (d, (&n, &p)) in self.depth_counts.iter().zip(depth_prev.iter()).enumerate() {
             depth.record_n(d as u64, n.saturating_sub(p));
         }
+    }
+
+    /// Every trace event still retained by this host's flight recorder,
+    /// oldest first (empty unless recording was armed).
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.recorder.events()
+    }
+
+    /// Postmortem reports captured at quarantine trips, oldest first.
+    pub fn postmortems(&self) -> &[PostmortemReport] {
+        &self.postmortems
+    }
+
+    /// Takes ownership of the captured postmortems (e.g. to embed them
+    /// in a run artifact).
+    pub fn take_postmortems(&mut self) -> Vec<PostmortemReport> {
+        std::mem::take(&mut self.postmortems)
     }
 }
 

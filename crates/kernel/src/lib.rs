@@ -42,11 +42,13 @@
 pub mod adapters;
 pub mod host;
 pub mod point;
+pub mod postmortem;
 pub mod recovery;
 pub mod shard;
 
 pub use adapters::{shared, HostedEviction, HostedReadAhead, HostedSched, HostedWritePath, SharedHost};
 pub use host::{GraftHost, GraftId, GraftState, HostConfig, HostStats};
 pub use point::AttachPoint;
+pub use postmortem::PostmortemReport;
 pub use recovery::SalvagedState;
 pub use shard::{AtomicLedger, ChainDispatch, MarshalFn, ShardHandle, ShardedHost, VirtualShards};

@@ -45,9 +45,11 @@ use graft_api::{
     EntryId, ExtensionEngine, GraftError, GraftLedger, Technology, TrapKind, Verdict,
 };
 use graft_rng::{SliceRandom, SmallRng};
+use graft_telemetry::{TraceBuffer, TraceEvent, TraceId};
 
 use crate::host::{GraftHost, GraftId, GraftState, HostConfig, HostStats, DEPTH_SLOTS};
 use crate::point::AttachPoint;
+use crate::postmortem::{PostmortemReport, POSTMORTEM_TAIL};
 use crate::recovery::{self, SalvagedState};
 
 const STATE_ACTIVE: u32 = 0;
@@ -140,6 +142,10 @@ struct SharedGraft {
     /// ladder re-admits it (0 = not armed). Shards CAS-decrement; the
     /// shard that moves 1 → 0 performs the atomic re-admission.
     backoff_remaining: AtomicU64,
+    /// Postmortems captured by winning detaches, oldest first. Mutex,
+    /// not an atomic: only the winning shard appends, only the control
+    /// plane drains — strictly off the dispatch path.
+    postmortems: Mutex<Vec<PostmortemReport>>,
 }
 
 impl SharedGraft {
@@ -165,6 +171,7 @@ impl SharedGraft {
             salvage: Mutex::new(None),
             quarantines: AtomicU32::new(0),
             backoff_remaining: AtomicU64::new(0),
+            postmortems: Mutex::new(Vec::new()),
         }
     }
 
@@ -392,6 +399,8 @@ impl ShardedHost {
                     epoch_syncs: 0,
                     mailbox_ops: 0,
                     flushes: 0,
+                    recorder: TraceBuffer::default(),
+                    trace_seq: 0,
                 })
             })
             .collect();
@@ -648,6 +657,19 @@ impl ShardedHost {
         self.inner.epoch.load(Ordering::Acquire)
     }
 
+    /// Drains every postmortem captured by winning detaches so far,
+    /// oldest first per graft. A shard-local report's event tail only
+    /// covers the winning shard's recorder; re-attach a merged timeline
+    /// with [`PostmortemReport::adopt_tail`] for the cross-shard view.
+    pub fn take_postmortems(&self) -> Vec<PostmortemReport> {
+        let registry = self.inner.registry.lock().expect("registry lock");
+        let mut out = Vec::new();
+        for g in registry.values() {
+            out.append(&mut g.postmortems.lock().expect("postmortem lock"));
+        }
+        out
+    }
+
     /// The technology a graft was installed under.
     pub fn technology(&self, id: GraftId) -> Option<Technology> {
         self.inner
@@ -773,6 +795,14 @@ pub struct ShardHandle {
     epoch_syncs: u64,
     mailbox_ops: u64,
     flushes: u64,
+    /// This shard's flight recorder: thread-confined like the engines,
+    /// merged across shards by [`VirtualShards::merged_timeline`] (or by
+    /// collecting [`ShardHandle::trace_events`] from worker threads).
+    recorder: TraceBuffer,
+    /// Dispatches traced by this shard — the per-source sequence
+    /// [`TraceId::mint`] consumes (the shard index is the source, so
+    /// ids are globally unique without a shared atomic).
+    trace_seq: u64,
 }
 
 struct ShardGraft {
@@ -788,9 +818,17 @@ struct ShardGraft {
 /// this shard's replica, then arm the backoff ladder or ban at the
 /// ceiling. Cold path — the locks here are never touched by a
 /// dispatch that doesn't detach.
-fn win_detach(config: &HostConfig, stats: &mut HostStats, g: &mut ShardGraft) {
+fn win_detach(
+    config: &HostConfig,
+    stats: &mut HostStats,
+    g: &mut ShardGraft,
+    reason: TrapKind,
+    recorder: &TraceBuffer,
+    shard: u32,
+) {
     stats.quarantine_trips += 1;
     let trips = g.shared.quarantines.fetch_add(1, Ordering::AcqRel) + 1;
+    let mut salvaged_words = None;
     if !g.shared.salvage_plan.is_empty() {
         if let Some(s) = recovery::salvage(
             &g.shared.name,
@@ -800,6 +838,7 @@ fn win_detach(config: &HostConfig, stats: &mut HostStats, g: &mut ShardGraft) {
         ) {
             stats.salvages += 1;
             stats.salvaged_words += s.words() as u64;
+            salvaged_words = Some(s.words());
             *g.shared.salvage.lock().expect("salvage lock") = Some(s);
         }
     }
@@ -816,6 +855,43 @@ fn win_detach(config: &HostConfig, stats: &mut HostStats, g: &mut ShardGraft) {
             );
         }
     }
+    // Postmortem: merge the winner's unflushed ledger into the shared
+    // totals first so the report's ledger covers every invocation this
+    // shard accounted, then snapshot supervisor state. The event tail
+    // only sees the winner's recorder; traps that landed on other
+    // shards are re-attached later via `PostmortemReport::adopt_tail`
+    // over a merged timeline.
+    g.shared.ledger.merge(&g.local);
+    g.local = GraftLedger::default();
+    let id = g.shared.id;
+    let mut events: Vec<TraceEvent> = recorder
+        .events()
+        .into_iter()
+        .filter(|e| e.graft == id)
+        .collect();
+    if events.len() > POSTMORTEM_TAIL {
+        events.drain(..events.len() - POSTMORTEM_TAIL);
+    }
+    let report = PostmortemReport {
+        graft: g.shared.name.clone(),
+        graft_id: id,
+        tech: g.shared.tech,
+        reason,
+        state: g.shared.state(),
+        ledger: g.shared.ledger.snapshot(),
+        strikes: g.shared.strikes.load(Ordering::Acquire),
+        quarantines: trips,
+        backoff_remaining: g.shared.backoff_remaining.load(Ordering::Acquire),
+        salvaged_words,
+        events,
+        detached_at_ns: graft_telemetry::now_ns(),
+        shard: Some(shard),
+    };
+    g.shared
+        .postmortems
+        .lock()
+        .expect("postmortem lock")
+        .push(report);
 }
 
 /// One dispatch served while `shared` sat quarantined: CAS-decrement
@@ -968,6 +1044,16 @@ impl ShardHandle {
             .filter(|id| !self.grafts[id].shared.is_detached())
             .count();
         self.depth_counts[depth.min(DEPTH_SLOTS - 1)] += 1;
+        // One causal id per dispatch; the shard index is the mint
+        // source, so ids stay globally unique without a shared atomic.
+        let tracing = graft_telemetry::tracing();
+        let trace = if tracing {
+            self.trace_seq += 1;
+            TraceId::mint(self.shard as u16, self.trace_seq)
+        } else {
+            TraceId::NONE
+        };
+        let mut chain_seq: u32 = 0;
         for i in 0..self.chains[p].len() {
             let id = self.chains[p][i];
             let Some(g) = self.grafts.get_mut(&id) else {
@@ -986,10 +1072,31 @@ impl ShardHandle {
                 Ok(args) => args,
                 Err(_) => {
                     self.stats.marshal_failures += 1;
+                    if tracing {
+                        self.recorder.record(TraceEvent {
+                            ts_ns: graft_telemetry::since_epoch_ns(started),
+                            trace,
+                            seq: chain_seq,
+                            graft: id,
+                            shard: self.shard as u32,
+                            point: p as u8,
+                            tech: g.shared.tech as u8,
+                            verdict: graft_telemetry::TRACE_VERDICT_MARSHAL_FAIL,
+                            value: 0,
+                            duration_ns: started.elapsed().as_nanos().min(u64::MAX as u128)
+                                as u64,
+                            fuel: 0,
+                        });
+                    }
+                    chain_seq += 1;
                     continue;
                 }
             };
-            let result = g.engine.invoke_id(g.entry, &args);
+            let result = if tracing {
+                g.engine.invoke_id_traced(g.entry, &args, trace)
+            } else {
+                g.engine.invoke_id(g.entry, &args)
+            };
             let ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
             let fuel = g.engine.fuel_used();
             match result {
@@ -997,7 +1104,27 @@ impl ShardHandle {
                     g.local.record_ok(ns, fuel);
                     g.shared.note_clean();
                     self.stats.invocations += 1;
-                    match point.decode(ret) {
+                    let verdict = point.decode(ret);
+                    if tracing {
+                        let (code, value) = match verdict {
+                            Verdict::Override(v) => (graft_telemetry::TRACE_VERDICT_OVERRIDE, v),
+                            Verdict::Continue => (graft_telemetry::TRACE_VERDICT_CONTINUE, 0),
+                        };
+                        self.recorder.record(TraceEvent {
+                            ts_ns: graft_telemetry::since_epoch_ns(started),
+                            trace,
+                            seq: chain_seq,
+                            graft: id,
+                            shard: self.shard as u32,
+                            point: p as u8,
+                            tech: g.shared.tech as u8,
+                            verdict: code,
+                            value,
+                            duration_ns: ns,
+                            fuel: fuel.unwrap_or(0),
+                        });
+                    }
+                    match verdict {
                         v @ Verdict::Override(_) => {
                             self.stats.overrides += 1;
                             return v;
@@ -1009,6 +1136,21 @@ impl ShardHandle {
                     g.local.record_trap(ns, fuel, &trap);
                     self.stats.invocations += 1;
                     self.stats.traps += 1;
+                    if tracing {
+                        self.recorder.record(TraceEvent {
+                            ts_ns: graft_telemetry::since_epoch_ns(started),
+                            trace,
+                            seq: chain_seq,
+                            graft: id,
+                            shard: self.shard as u32,
+                            point: p as u8,
+                            tech: g.shared.tech as u8,
+                            verdict: graft_telemetry::TRACE_VERDICT_TRAP,
+                            value: trap.kind() as usize as i64,
+                            duration_ns: ns,
+                            fuel: fuel.unwrap_or(0),
+                        });
+                    }
                     if g.shared.note_trap(
                         trap.kind(),
                         self.control.config.trap_threshold,
@@ -1016,13 +1158,21 @@ impl ShardHandle {
                     ) {
                         // The winning detach bumped the epoch; our next
                         // sync is a (cheap, empty) mailbox drain.
-                        win_detach(&self.control.config, &mut self.stats, g);
+                        win_detach(
+                            &self.control.config,
+                            &mut self.stats,
+                            g,
+                            trap.kind(),
+                            &self.recorder,
+                            self.shard as u32,
+                        );
                     }
                 }
                 Err(_) => {
                     self.stats.marshal_failures += 1;
                 }
             }
+            chain_seq += 1;
         }
         self.stats.defaults += 1;
         Verdict::Continue
@@ -1051,11 +1201,47 @@ impl ShardHandle {
                 missing: missing.into(),
             });
         }
+        let tracing = graft_telemetry::tracing();
+        let trace = if tracing {
+            self.trace_seq += 1;
+            TraceId::mint(self.shard as u16, self.trace_seq)
+        } else {
+            TraceId::NONE
+        };
         let started = Instant::now();
-        let result = g.engine.invoke_id(g.entry, args);
+        let result = if tracing {
+            g.engine.invoke_id_traced(g.entry, args, trace)
+        } else {
+            g.engine.invoke_id(g.entry, args)
+        };
         let ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         let fuel = g.engine.fuel_used();
         self.stats.invocations += 1;
+        if tracing {
+            // Direct invocations have no attach point (`u8::MAX`); an
+            // `Ok` records the return value under the override verdict.
+            let (verdict, value) = match &result {
+                Ok(ret) => (graft_telemetry::TRACE_VERDICT_OVERRIDE, *ret),
+                Err(GraftError::Trap(trap)) => (
+                    graft_telemetry::TRACE_VERDICT_TRAP,
+                    trap.kind() as usize as i64,
+                ),
+                Err(_) => (graft_telemetry::TRACE_VERDICT_MARSHAL_FAIL, 0),
+            };
+            self.recorder.record(TraceEvent {
+                ts_ns: graft_telemetry::since_epoch_ns(started),
+                trace,
+                seq: 0,
+                graft: id.0,
+                shard: self.shard as u32,
+                point: u8::MAX,
+                tech: g.shared.tech as u8,
+                verdict,
+                value,
+                duration_ns: ns,
+                fuel: fuel.unwrap_or(0),
+            });
+        }
         match &result {
             Ok(_) => {
                 g.local.record_ok(ns, fuel);
@@ -1069,7 +1255,14 @@ impl ShardHandle {
                     self.control.config.trap_threshold,
                     &self.control.epoch,
                 ) {
-                    win_detach(&self.control.config, &mut self.stats, g);
+                    win_detach(
+                        &self.control.config,
+                        &mut self.stats,
+                        g,
+                        trap.kind(),
+                        &self.recorder,
+                        self.shard as u32,
+                    );
                 }
             }
             Err(_) => self.stats.marshal_failures += 1,
@@ -1084,6 +1277,9 @@ impl ShardHandle {
     /// including when the worker thread unwinds out of a panic.
     pub fn flush(&mut self) {
         self.flushes += 1;
+        // Publishes only events not yet flushed, and accounts every
+        // overwritten-unpublished event to `telemetry.trace.dropped`.
+        self.recorder.flush();
         for g in self.grafts.values_mut() {
             g.shared.ledger.merge(&g.local);
             g.local = GraftLedger::default();
@@ -1116,6 +1312,12 @@ impl ShardHandle {
             depth.record_n(d as u64, n.saturating_sub(p));
         }
         self.published_depth = self.depth_counts;
+    }
+
+    /// Every trace event still retained by this shard's flight
+    /// recorder, oldest first (empty unless recording was armed).
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.recorder.events()
     }
 }
 
@@ -1204,6 +1406,13 @@ impl VirtualShards {
         for h in &mut self.handles {
             h.flush();
         }
+    }
+
+    /// The causally ordered merge of every shard's flight recorder —
+    /// one timeline in which each dispatch's events appear in chain
+    /// order and cross-shard events interleave by monotonic time.
+    pub fn merged_timeline(&self) -> Vec<TraceEvent> {
+        graft_telemetry::merge_timelines(self.handles.iter().map(ShardHandle::trace_events))
     }
 }
 

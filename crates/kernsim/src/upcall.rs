@@ -36,7 +36,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use graft_api::{EntryId, ExtensionEngine, GraftError, RegionId, Technology};
-use graft_telemetry::{counter, histogram};
+use graft_telemetry::{counter, histogram, TraceId};
 
 /// Most buffers the client keeps pooled; beyond this they are dropped.
 const BUF_POOL_CAP: usize = 4;
@@ -51,12 +51,16 @@ enum Request {
     InvokeId {
         entry: EntryId,
         args: Vec<i64>,
+        /// Causal trace context; [`TraceId::NONE`] when untraced, so the
+        /// wire format never grows for the common case.
+        trace: TraceId,
     },
     InvokeBatch {
         entry: EntryId,
         calls: usize,
         args: Vec<i64>,
         results: Vec<i64>,
+        trace: TraceId,
     },
     LoadRegionId {
         id: RegionId,
@@ -259,13 +263,54 @@ impl Drop for UpcallEngine {
 }
 
 fn serve(mut engine: Box<dyn ExtensionEngine>, rx: Receiver<Request>, tx: SyncSender<Reply>) {
+    // The server's half of the flight recorder: when a request carries a
+    // live trace context and recording is armed, the server logs its own
+    // event for the dispatch under `TRACE_SHARD_UPCALL`, so a merged
+    // timeline shows both sides of every domain crossing. Flushed to the
+    // global ring when half-full and at shutdown.
+    let mut recorder = graft_telemetry::TraceBuffer::default();
+    let mut server_seq: u32 = 0;
+    let tech = engine.technology() as u8;
+    let record_server_event =
+        |recorder: &mut graft_telemetry::TraceBuffer,
+         server_seq: &mut u32,
+         trace: TraceId,
+         started: Instant,
+         value: i64,
+         fuel: u64| {
+            recorder.record(graft_telemetry::TraceEvent {
+                ts_ns: graft_telemetry::since_epoch_ns(started),
+                trace,
+                seq: *server_seq,
+                graft: 0,
+                shard: graft_telemetry::TRACE_SHARD_UPCALL,
+                point: u8::MAX,
+                tech,
+                verdict: graft_telemetry::TRACE_VERDICT_SERVER,
+                value,
+                duration_ns: started.elapsed().as_nanos() as u64,
+                fuel,
+            });
+            *server_seq = server_seq.wrapping_add(1);
+            if recorder.len() >= graft_telemetry::TRACE_BUFFER_CAPACITY / 2 {
+                recorder.flush();
+            }
+        };
     while let Ok(req) = rx.recv() {
         let reply = match req {
             Request::Ping => Reply::Unit(Ok(())),
             Request::BindEntry(name) => Reply::Entry(engine.bind_entry(&name)),
             Request::BindRegion(name) => Reply::Region(engine.bind_region(&name)),
-            Request::InvokeId { entry, args } => {
-                let r = engine.invoke_id(entry, &args);
+            Request::InvokeId { entry, args, trace } => {
+                let r = if !trace.is_none() && graft_telemetry::tracing() {
+                    let started = Instant::now();
+                    let r = engine.invoke_id(entry, &args);
+                    let fuel = engine.fuel_used().unwrap_or(0);
+                    record_server_event(&mut recorder, &mut server_seq, trace, started, 0, fuel);
+                    r
+                } else {
+                    engine.invoke_id(entry, &args)
+                };
                 Reply::IntBuf(r, args)
             }
             Request::InvokeBatch {
@@ -273,8 +318,24 @@ fn serve(mut engine: Box<dyn ExtensionEngine>, rx: Receiver<Request>, tx: SyncSe
                 calls,
                 args,
                 mut results,
+                trace,
             } => {
-                let result = engine.invoke_batch(entry, calls, &args, &mut results);
+                let result = if !trace.is_none() && graft_telemetry::tracing() {
+                    let started = Instant::now();
+                    let result = engine.invoke_batch(entry, calls, &args, &mut results);
+                    let fuel = engine.fuel_used().unwrap_or(0);
+                    record_server_event(
+                        &mut recorder,
+                        &mut server_seq,
+                        trace,
+                        started,
+                        calls as i64,
+                        fuel,
+                    );
+                    result
+                } else {
+                    engine.invoke_batch(entry, calls, &args, &mut results)
+                };
                 Reply::Batch {
                     result,
                     args,
@@ -320,7 +381,10 @@ fn serve(mut engine: Box<dyn ExtensionEngine>, rx: Receiver<Request>, tx: SyncSe
             }
             Request::FuelUsed => Reply::Fuel(engine.fuel_used()),
             Request::Fork(shard) => Reply::Forked(engine.fork_for_shard(shard)),
-            Request::Shutdown => break,
+            Request::Shutdown => {
+                recorder.flush();
+                break;
+            }
         };
         if tx.send(reply).is_err() {
             break;
@@ -382,9 +446,22 @@ impl ExtensionEngine for UpcallEngine {
     }
 
     fn invoke_id(&mut self, entry: EntryId, args: &[i64]) -> Result<i64, GraftError> {
+        self.invoke_id_traced(entry, args, TraceId::NONE)
+    }
+
+    fn invoke_id_traced(
+        &mut self,
+        entry: EntryId,
+        args: &[i64],
+        trace: TraceId,
+    ) -> Result<i64, GraftError> {
         let mut buf = self.take_buf();
         buf.extend_from_slice(args);
-        match self.rpc(Request::InvokeId { entry, args: buf }) {
+        match self.rpc(Request::InvokeId {
+            entry,
+            args: buf,
+            trace,
+        }) {
             Reply::IntBuf(r, buf) => {
                 self.give_buf(buf);
                 r
@@ -399,6 +476,17 @@ impl ExtensionEngine for UpcallEngine {
         calls: usize,
         args_flat: &[i64],
         out: &mut Vec<i64>,
+    ) -> Result<(), GraftError> {
+        self.invoke_batch_traced(entry, calls, args_flat, out, TraceId::NONE)
+    }
+
+    fn invoke_batch_traced(
+        &mut self,
+        entry: EntryId,
+        calls: usize,
+        args_flat: &[i64],
+        out: &mut Vec<i64>,
+        trace: TraceId,
     ) -> Result<(), GraftError> {
         // Validate the shape before crossing the boundary so malformed
         // batches fail identically to the in-process engines.
@@ -416,6 +504,7 @@ impl ExtensionEngine for UpcallEngine {
             calls,
             args,
             results,
+            trace,
         }) {
             Reply::Batch {
                 result,

@@ -4,7 +4,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
-use crate::{HistogramSnapshot, MetricsSnapshot, SpanEvent};
+use crate::{
+    hist_bucket_index, HistogramSnapshot, MetricsSnapshot, SpanEvent, TraceEvent, HIST_BUCKETS,
+    TRACE_BUFFER_CAPACITY, TRACE_RING_CAPACITY,
+};
 
 /// Shards per counter. Eight 64-byte lines absorb contention from the
 /// upcall server thread without bloating the (few dozen) counters.
@@ -25,6 +28,46 @@ pub fn set_enabled(on: bool) {
 #[inline(always)]
 pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
+}
+
+/// The flight recorder's own toggle, off by default: counters and
+/// histograms are cheap enough to run always-on, but per-dispatch trace
+/// events are not, so recording mode is opted into (`--trace`,
+/// `graftstat timeline`, Table 12's recording column).
+static TRACING: AtomicBool = AtomicBool::new(false);
+
+/// Arms or disarms per-dispatch trace recording. Recording still
+/// requires telemetry itself to be enabled — `--no-telemetry` wins.
+pub fn set_tracing(on: bool) {
+    TRACING.store(on, Ordering::Relaxed);
+}
+
+/// Whether dispatch tracing is live right now (armed *and* telemetry
+/// enabled). The gated-mode cost of the flight recorder is exactly this
+/// pair of relaxed loads per dispatch.
+#[inline(always)]
+pub fn tracing() -> bool {
+    TRACING.load(Ordering::Relaxed) && enabled()
+}
+
+/// The raw armed state of the tracing toggle, ignoring `enabled` —
+/// for callers that save and restore recording modes.
+pub fn tracing_configured() -> bool {
+    TRACING.load(Ordering::Relaxed)
+}
+
+/// Nanoseconds from the telemetry epoch to `at` (0 if `at` predates
+/// it). Hosts stamp trace events from the `Instant` they already took
+/// for duration accounting, so tracing adds no extra clock read.
+pub fn since_epoch_ns(at: Instant) -> u64 {
+    at.saturating_duration_since(registry().epoch)
+        .as_nanos()
+        .min(u64::MAX as u128) as u64
+}
+
+/// Nanoseconds since the telemetry epoch, now.
+pub fn now_ns() -> u64 {
+    since_epoch_ns(Instant::now())
 }
 
 /// A 64-byte-aligned atomic so neighbouring shards never share a line.
@@ -109,10 +152,10 @@ impl Counter {
     }
 }
 
-/// Number of log₂ buckets: covers 1 ns .. 2⁶³ ns.
-pub const HIST_BUCKETS: usize = 64;
-
-/// A log₂-bucketed histogram (values in nanoseconds by convention).
+/// A log-linear histogram (values in nanoseconds by convention): each
+/// power-of-two octave is split into [`crate::HIST_SUBS`] linear
+/// sub-buckets, bounding every bucket's relative width — the p999
+/// accuracy guarantee. See [`hist_bucket_index`].
 pub struct Histogram {
     name: &'static str,
     count: AtomicU64,
@@ -143,7 +186,7 @@ impl Histogram {
         if !enabled() {
             return;
         }
-        let bucket = 63 - (value | 1).leading_zeros() as usize;
+        let bucket = hist_bucket_index(value);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
         self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
@@ -163,7 +206,7 @@ impl Histogram {
         if !enabled() || n == 0 {
             return;
         }
-        let bucket = 63 - (value | 1).leading_zeros() as usize;
+        let bucket = hist_bucket_index(value);
         self.count.fetch_add(n, Ordering::Relaxed);
         self.sum.fetch_add(value.saturating_mul(n), Ordering::Relaxed);
         self.buckets[bucket].fetch_add(n, Ordering::Relaxed);
@@ -197,6 +240,7 @@ struct Registry {
     counters: Mutex<Vec<&'static Counter>>,
     histograms: Mutex<Vec<&'static Histogram>>,
     ring: Mutex<SpanRing>,
+    traces: Mutex<TraceRing>,
     epoch: Instant,
 }
 
@@ -204,6 +248,32 @@ struct SpanRing {
     events: Vec<SpanEvent>,
     next: usize,
     wrapped: bool,
+}
+
+/// The global ring flushed [`TraceBuffer`]s merge into; drained (oldest
+/// first) by [`snapshot`]. Overwrites of unread events are counted by
+/// the caller into `telemetry.trace.dropped`.
+struct TraceRing {
+    events: Vec<TraceEvent>,
+    next: usize,
+    wrapped: bool,
+}
+
+impl TraceRing {
+    /// Appends one event; returns 1 if an unread event was overwritten.
+    fn push(&mut self, event: TraceEvent) -> u64 {
+        if self.events.len() < TRACE_RING_CAPACITY {
+            self.events.push(event);
+            self.next = (self.next + 1) % TRACE_RING_CAPACITY;
+            0
+        } else {
+            let at = self.next;
+            self.events[at] = event;
+            self.next = (self.next + 1) % TRACE_RING_CAPACITY;
+            self.wrapped = true;
+            1
+        }
+    }
 }
 
 fn registry() -> &'static Registry {
@@ -216,8 +286,144 @@ fn registry() -> &'static Registry {
             next: 0,
             wrapped: false,
         }),
+        traces: Mutex::new(TraceRing {
+            events: Vec::new(),
+            next: 0,
+            wrapped: false,
+        }),
         epoch: Instant::now(),
     })
+}
+
+// ---------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------
+
+/// A thread-confined flight-recorder ring of fixed-size
+/// [`TraceEvent`]s.
+///
+/// Lock-free by construction: one buffer belongs to one host (and a
+/// host to one thread), so [`record`] is a plain indexed store — no
+/// atomics, no locks, nothing shared. [`flush`] publishes events
+/// recorded since the previous flush into the bounded global ring
+/// (off the hot path, under its mutex) and accounts every overwritten
+/// unpublished event to `telemetry.trace.dropped`, so overflow is
+/// never silent.
+///
+/// [`record`]: TraceBuffer::record
+/// [`flush`]: TraceBuffer::flush
+#[derive(Debug)]
+pub struct TraceBuffer {
+    events: Vec<TraceEvent>,
+    next: usize,
+    capacity: usize,
+    /// Events ever recorded.
+    total: u64,
+    /// Events overwritten before any flush published them.
+    dropped: u64,
+    /// Events (by ordinal) already published to the global ring.
+    published: u64,
+    /// Portion of `dropped` already pushed to the dropped counter.
+    dropped_flushed: u64,
+}
+
+impl TraceBuffer {
+    /// A recorder ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        TraceBuffer {
+            events: Vec::new(),
+            next: 0,
+            capacity: capacity.max(1),
+            total: 0,
+            dropped: 0,
+            published: 0,
+            dropped_flushed: 0,
+        }
+    }
+
+    /// Records one event. Callers gate on [`tracing`]; the buffer
+    /// itself never blocks and never touches shared state.
+    #[inline]
+    pub fn record(&mut self, event: TraceEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(event);
+        } else {
+            // Overwriting the oldest retained event; if no flush ever
+            // published it, it is gone for good — count it.
+            let oldest = self.total - self.events.len() as u64;
+            if oldest >= self.published {
+                self.dropped += 1;
+            }
+            let at = self.next;
+            self.events[at] = event;
+        }
+        self.next = (self.next + 1) % self.capacity;
+        self.total += 1;
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        if self.events.len() < self.capacity {
+            self.events.clone()
+        } else {
+            let mut v = Vec::with_capacity(self.events.len());
+            v.extend_from_slice(&self.events[self.next..]);
+            v.extend_from_slice(&self.events[..self.next]);
+            v
+        }
+    }
+
+    /// The last `n` retained events, oldest first.
+    pub fn tail(&self, n: usize) -> Vec<TraceEvent> {
+        let all = self.events();
+        let skip = all.len().saturating_sub(n);
+        all[skip..].to_vec()
+    }
+
+    /// Retained event count.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events lost to ring overflow so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Publishes events recorded since the last flush into the global
+    /// trace ring, and any new drops into `telemetry.trace.dropped`.
+    /// Idempotent between recordings; events stay retained for
+    /// postmortem tails. No-op when telemetry is disabled.
+    pub fn flush(&mut self) {
+        if !enabled() {
+            return;
+        }
+        let mut newly_dropped = self.dropped - self.dropped_flushed;
+        let first_retained = self.total - self.events.len() as u64;
+        let from = self.published.max(first_retained);
+        if from < self.total {
+            let all = self.events();
+            let skip = (from - first_retained) as usize;
+            let mut ring = registry().traces.lock().unwrap();
+            for event in &all[skip..] {
+                newly_dropped += ring.push(*event);
+            }
+        }
+        self.published = self.total;
+        self.dropped_flushed = self.dropped;
+        crate::counter!("telemetry.trace.dropped").add(newly_dropped);
+    }
+}
+
+impl Default for TraceBuffer {
+    fn default() -> Self {
+        TraceBuffer::new(TRACE_BUFFER_CAPACITY)
+    }
 }
 
 /// Lazily-registered counter cell; use via [`counter!`].
@@ -339,9 +545,13 @@ impl Drop for SpanGuard {
         if ring.events.len() < RING_CAPACITY {
             ring.events.push(event);
         } else {
+            // Drop-oldest: the ring keeps the most recent RING_CAPACITY
+            // spans. The overwritten span is lost from the snapshot, so
+            // the truncation is accounted rather than silent.
             let at = ring.next;
             ring.events[at] = event;
             ring.wrapped = true;
+            crate::counter!("telemetry.spans.dropped").incr();
         }
         ring.next = (ring.next + 1) % RING_CAPACITY;
     }
@@ -391,10 +601,21 @@ pub fn snapshot() -> MetricsSnapshot {
     } else {
         ring.events.clone()
     };
+    drop(ring);
+    let traces_ring = reg.traces.lock().unwrap();
+    let traces = if traces_ring.wrapped {
+        let mut v = Vec::with_capacity(traces_ring.events.len());
+        v.extend_from_slice(&traces_ring.events[traces_ring.next..]);
+        v.extend_from_slice(&traces_ring.events[..traces_ring.next]);
+        v
+    } else {
+        traces_ring.events.clone()
+    };
     MetricsSnapshot {
         counters,
         histograms,
         spans,
+        traces,
     }
 }
 
@@ -435,19 +656,159 @@ mod tests {
     }
 
     #[test]
-    fn histogram_buckets_are_log2() {
+    fn histogram_buckets_are_log_linear() {
         let _s = serial();
         set_enabled(true);
         let h = histogram!("test.hist");
-        h.record(1); // bucket 0
-        h.record(1024); // bucket 10
-        h.record(1500); // bucket 10
+        h.record(1);
+        h.record(1024);
+        h.record(1500);
         let s = h.snapshot();
         assert_eq!(s.count, 3);
         assert_eq!(s.sum, 1 + 1024 + 1500);
-        assert_eq!(s.buckets, vec![(0, 1), (10, 2)]);
+        // Small values are exact; 1024 and 1500 share an octave but not
+        // a sub-bucket — the resolution the old log₂ scheme lacked.
+        assert_eq!(
+            s.buckets,
+            vec![
+                (hist_bucket_index(1) as u32, 1),
+                (hist_bucket_index(1024) as u32, 1),
+                (hist_bucket_index(1500) as u32, 1),
+            ]
+        );
+        assert_ne!(hist_bucket_index(1024), hist_bucket_index(1500));
         assert!(s.mean() > 800.0);
         assert!(s.quantile(0.99) >= 1024.0);
+    }
+
+    #[test]
+    fn bucket_geometry_round_trips() {
+        for v in [0u64, 1, 5, 31, 32, 33, 63, 64, 127, 1024, 1500, 9999, u64::MAX / 3] {
+            let i = hist_bucket_index(v) as u32;
+            let lo = crate::hist_bucket_lower(i);
+            let w = crate::hist_bucket_width(i);
+            assert!(lo <= v && v < lo.saturating_add(w), "v={v} i={i} lo={lo} w={w}");
+            assert!((i as usize) < HIST_BUCKETS);
+            // Bounded relative error: width/lower ≤ 1/HIST_SUBS above
+            // the exact range.
+            if v >= crate::HIST_SUBS as u64 {
+                assert!(w * (crate::HIST_SUBS as u64) <= lo * 2, "v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn p999_is_within_bounded_relative_error() {
+        let _s = serial();
+        set_enabled(true);
+        let h = histogram!("test.p999");
+        // Known synthetic distribution: 1..=100_000 uniform. True
+        // p999 = 99_900, p99 = 99_000, p50 = 50_000.
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        for (q, truth) in [(0.5, 50_000.0), (0.9, 90_000.0), (0.99, 99_000.0), (0.999, 99_900.0)]
+        {
+            let got = s.quantile(q);
+            let rel = (got - truth).abs() / truth;
+            assert!(rel <= 0.05, "q={q}: got {got}, want {truth} (rel {rel:.4})");
+        }
+    }
+
+    fn ev(ts: u64, trace: u64, seq: u32) -> TraceEvent {
+        TraceEvent {
+            ts_ns: ts,
+            trace: crate::TraceId(trace),
+            seq,
+            graft: 1,
+            shard: 0,
+            point: 0,
+            tech: 0,
+            verdict: crate::TRACE_VERDICT_CONTINUE,
+            value: 0,
+            duration_ns: 10,
+            fuel: 0,
+        }
+    }
+
+    #[test]
+    fn trace_buffer_is_bounded_and_counts_drops() {
+        let mut buf = TraceBuffer::new(4);
+        for i in 0..10u64 {
+            buf.record(ev(i, 1, i as u32));
+        }
+        assert_eq!(buf.len(), 4);
+        // 6 events were overwritten before any flush saw them.
+        assert_eq!(buf.dropped(), 6);
+        let tail: Vec<u64> = buf.events().iter().map(|e| e.ts_ns).collect();
+        assert_eq!(tail, vec![6, 7, 8, 9], "oldest-first, most recent retained");
+        assert_eq!(buf.tail(2).len(), 2);
+        assert_eq!(buf.tail(2)[1].ts_ns, 9);
+    }
+
+    #[test]
+    fn trace_flush_publishes_once_and_accounts_drops() {
+        let _s = serial();
+        set_enabled(true);
+        let before = snapshot().counter("telemetry.trace.dropped");
+        let mut buf = TraceBuffer::new(4);
+        for i in 0..6u64 {
+            buf.record(ev(i, 2, i as u32));
+        }
+        buf.flush();
+        let snap = snapshot();
+        assert_eq!(snap.counter("telemetry.trace.dropped"), before + 2);
+        let mine: Vec<u64> = snap
+            .traces
+            .iter()
+            .filter(|e| e.trace == crate::TraceId(2))
+            .map(|e| e.ts_ns)
+            .collect();
+        assert_eq!(mine, vec![2, 3, 4, 5]);
+        // A second flush with nothing new publishes nothing twice.
+        buf.flush();
+        let again = snapshot()
+            .traces
+            .iter()
+            .filter(|e| e.trace == crate::TraceId(2))
+            .count();
+        assert_eq!(again, 4);
+    }
+
+    #[test]
+    fn tracing_toggle_requires_enabled() {
+        let _s = serial();
+        set_enabled(true);
+        assert!(!tracing(), "tracing is off by default");
+        set_tracing(true);
+        assert!(tracing());
+        set_enabled(false);
+        assert!(!tracing(), "--no-telemetry wins over an armed recorder");
+        assert!(tracing_configured());
+        set_enabled(true);
+        set_tracing(false);
+        assert!(!tracing());
+    }
+
+    #[test]
+    fn merge_timelines_is_causally_ordered() {
+        let shard_a = vec![ev(5, 7, 0), ev(9, 7, 1)];
+        let shard_b = vec![ev(6, 8, 0), ev(7, 8, 1)];
+        let merged = crate::merge_timelines([shard_a, shard_b]);
+        let ts: Vec<u64> = merged.iter().map(|e| e.ts_ns).collect();
+        assert_eq!(ts, vec![5, 6, 7, 9]);
+        // Per-TraceId happens-before: seq strictly increases.
+        for id in [7u64, 8] {
+            let seqs: Vec<u32> = merged
+                .iter()
+                .filter(|e| e.trace == crate::TraceId(id))
+                .map(|e| e.seq)
+                .collect();
+            let mut sorted = seqs.clone();
+            sorted.sort_unstable();
+            assert_eq!(seqs, sorted);
+        }
     }
 
     #[test]

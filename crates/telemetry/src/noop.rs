@@ -14,6 +14,77 @@ pub fn enabled() -> bool {
     false
 }
 
+/// No-op: tracing cannot be armed without the `telemetry` feature.
+pub fn set_tracing(_on: bool) {}
+
+/// Always `false` without the `telemetry` feature — every trace-record
+/// arm in the hosts compiles to dead code the optimizer erases.
+#[inline(always)]
+pub fn tracing() -> bool {
+    false
+}
+
+/// Always `false` without the `telemetry` feature.
+#[inline(always)]
+pub fn tracing_configured() -> bool {
+    false
+}
+
+/// Always 0 without the `telemetry` feature.
+#[inline(always)]
+pub fn since_epoch_ns(_at: std::time::Instant) -> u64 {
+    0
+}
+
+/// Always 0 without the `telemetry` feature.
+#[inline(always)]
+pub fn now_ns() -> u64 {
+    0
+}
+
+/// No-op flight recorder: records nothing, retains nothing.
+#[derive(Debug, Default)]
+pub struct TraceBuffer;
+
+impl TraceBuffer {
+    /// No-op.
+    pub fn new(_capacity: usize) -> Self {
+        TraceBuffer
+    }
+
+    /// No-op.
+    #[inline(always)]
+    pub fn record(&mut self, _event: crate::TraceEvent) {}
+
+    /// Always empty.
+    pub fn events(&self) -> Vec<crate::TraceEvent> {
+        Vec::new()
+    }
+
+    /// Always empty.
+    pub fn tail(&self, _n: usize) -> Vec<crate::TraceEvent> {
+        Vec::new()
+    }
+
+    /// Always 0.
+    pub fn len(&self) -> usize {
+        0
+    }
+
+    /// Always `true`.
+    pub fn is_empty(&self) -> bool {
+        true
+    }
+
+    /// Always 0.
+    pub fn dropped(&self) -> u64 {
+        0
+    }
+
+    /// No-op.
+    pub fn flush(&mut self) {}
+}
+
 /// No-op counter.
 pub struct Counter;
 

@@ -28,6 +28,9 @@
 //! * [`kernel`] — graft-host, the multi-tenant extension kernel:
 //!   attach points, chained grafts, per-graft ledgers, and the
 //!   quarantine supervisor.
+//! * [`telemetry`] — counters, histograms, spans, and the causal
+//!   flight recorder (compiled to no-ops without the `telemetry`
+//!   feature).
 //! * [`core`] — the `GraftManager`, break-even analysis, and the
 //!   experiment runners that regenerate each table and figure.
 //!
@@ -57,6 +60,7 @@ pub use graft_ir as ir;
 pub use graft_kernel as kernel;
 pub use graft_lang as lang;
 pub use graft_md5 as md5;
+pub use graft_telemetry as telemetry;
 pub use grafts;
 pub use kernsim;
 pub use logdisk;

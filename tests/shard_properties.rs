@@ -467,6 +467,121 @@ fn scheduled_saboteur_replays_identically() {
     }
 }
 
+// ---------------------------------------------------------------------
+// Flight-recorder properties: the merged cross-shard timeline is
+// causally ordered and semantically identical to the scalar host's
+// event stream over the same operation sequence.
+// ---------------------------------------------------------------------
+
+/// Arms the flight recorder. The toggles are process-global, so every
+/// trace test arms and none disarms — harmless for the rest of this
+/// binary (the equivalence properties read ledgers and stats, which
+/// are host state, not telemetry).
+fn arm_recorder() -> bool {
+    graftbench::telemetry::set_enabled(true);
+    graftbench::telemetry::set_tracing(true);
+    // False in a noop-telemetry build: nothing to assert there.
+    graftbench::telemetry::tracing()
+}
+
+#[test]
+fn merged_timeline_is_causally_ordered_per_trace() {
+    if !arm_recorder() {
+        return;
+    }
+    let manager = GraftManager::new();
+    let spec = pure_spec();
+    for seed in [0x7EA5u64, 0xACE0_FBA5u64, 0x5EED_CAFEu64] {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut host = ShardedHost::new(4);
+        let front = manager.load(&spec, Technology::SafeCompiled).expect("load");
+        let back = manager.load(&spec, Technology::Bytecode).expect("load");
+        host.install(POINT, "front", front).expect("install");
+        host.install(POINT, "back", back).expect("install");
+        let mut vs = VirtualShards::new(&mut host, seed);
+        for _ in 0..48 {
+            let a = rng.bounded_u64(100) as i64;
+            let b = 1 + rng.bounded_u64(3) as i64; // never traps
+            vs.dispatch(POINT, |_| Ok(vec![a, b]));
+        }
+        let merged = vs.merged_timeline();
+        assert!(!merged.is_empty(), "recorder armed but timeline empty");
+
+        // Total order: strictly ascending (ts, trace, seq) keys, so the
+        // merge is deterministic and duplicate-free.
+        for w in merged.windows(2) {
+            assert!(
+                w[0].key() < w[1].key(),
+                "timeline out of order: {:?} then {:?}",
+                w[0],
+                w[1]
+            );
+        }
+
+        // Per-trace happens-before: in timeline order every trace's
+        // seqs read 0, 1, ... with no gaps, and one dispatch's events
+        // never span shards (the chain runs where the dispatch landed).
+        use std::collections::HashMap;
+        let mut next_seq: HashMap<u64, u32> = HashMap::new();
+        let mut shard_of: HashMap<u64, u32> = HashMap::new();
+        for e in &merged {
+            let want = next_seq.entry(e.trace.0).or_insert(0);
+            assert_eq!(e.seq, *want, "trace {:#x} skipped a seq", e.trace.0);
+            *want += 1;
+            let s = shard_of.entry(e.trace.0).or_insert(e.shard);
+            assert_eq!(*s, e.shard, "trace {:#x} spans shards", e.trace.0);
+        }
+        // A two-graft chain yields one or two events per dispatch: two
+        // when the front graft declines, one when it overrides and the
+        // walk stops.
+        assert!(
+            next_seq.values().all(|&n| (1..=2).contains(&n)),
+            "seed {seed:#x}: trace lengths {:?}",
+            next_seq.values().collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn merged_timeline_matches_the_scalar_event_stream() {
+    if !arm_recorder() {
+        return;
+    }
+    let manager = GraftManager::new();
+    let spec = pure_spec();
+    for seed in [1u64, 0xBEEF, 0x1234_5678] {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut single = GraftHost::new();
+        let mut sharded = ShardedHost::new(4);
+        let e1 = manager.load(&spec, Technology::SafeCompiled).expect("load");
+        let e2 = manager.load(&spec, Technology::SafeCompiled).expect("load");
+        single.install(POINT, "pure", e1).expect("install");
+        sharded.install(POINT, "pure", e2).expect("install");
+        let mut vs = VirtualShards::new(&mut sharded, seed);
+        for _ in 0..40 {
+            let a = rng.bounded_u64(1000) as i64;
+            let b = rng.bounded_u64(4) as i64; // b == 0 traps
+            let v1 = single.dispatch(POINT, |_| Ok(vec![a, b]));
+            let v2 = vs.dispatch(POINT, |_| Ok(vec![a, b]));
+            assert_eq!(v1, v2, "verdict parity, seed {seed:#x}");
+        }
+        single.flush();
+        vs.flush_all();
+        // Same dispatches, same chain, same traps: the merged sharded
+        // timeline carries exactly the scalar host's event sequence —
+        // (point, tech, verdict, value) for every invocation, in the
+        // same order (trace ids and shard stamps legitimately differ).
+        let scalar: Vec<_> = single.trace_events().iter().map(|e| e.semantics()).collect();
+        let merged: Vec<_> = vs
+            .merged_timeline()
+            .iter()
+            .map(|e| e.semantics())
+            .collect();
+        assert!(!scalar.is_empty(), "seed {seed:#x}: scalar recorded nothing");
+        assert_eq!(scalar, merged, "event streams diverge, seed {seed:#x}");
+    }
+}
+
 #[test]
 fn one_fuel_exhaustion_detaches_globally() {
     // FuelExhausted is a single-strike offence: one preempted
