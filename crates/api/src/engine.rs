@@ -309,6 +309,23 @@ pub trait ExtensionEngine: Send {
         None
     }
 
+    /// Whether the engine is currently metering fuel.
+    ///
+    /// Batched chain dispatch consults this before fusing calls: after a
+    /// fused [`invoke_batch`] only the *last* call's fuel is observable
+    /// through [`fuel_used`], so a metered engine must take the
+    /// per-invocation path to keep the per-graft ledger's fuel
+    /// accounting exact. The default derives the answer from
+    /// [`fuel_used`] (metered engines report `Some` even before the
+    /// first invocation); engines whose `fuel_used` is expensive (a wire
+    /// round-trip) may override with a local answer.
+    ///
+    /// [`invoke_batch`]: ExtensionEngine::invoke_batch
+    /// [`fuel_used`]: ExtensionEngine::fuel_used
+    fn fuel_metered(&self) -> bool {
+        self.fuel_used().is_some()
+    }
+
     /// Produces a fresh, thread-confined replica of this engine for
     /// worker shard `shard` (the eBPF per-CPU-program idea applied to
     /// grafts).

@@ -54,6 +54,18 @@ fn main() {
     println!("{}", report::render_table12(&t12));
     art.add_table("table12", artifact::table12_json(&t12));
 
+    let ladder13: Vec<usize> = match cli.shards {
+        Some(s) => vec![s],
+        None => experiment::LADDER13.to_vec(),
+    };
+    let skews: Vec<experiment::Skew> = match cli.skew {
+        Some(s) => vec![s],
+        None => experiment::Skew::ALL.to_vec(),
+    };
+    let t13 = experiment::table13_with(&cfg, &ladder13, &skews, cli.steal).expect("table 13");
+    println!("{}", report::render_table13(&t13));
+    art.add_table("table13", artifact::table13_json(&t13));
+
     let measured = std::time::Duration::from_nanos(t1.upcall_roundtrip.mean_ns as u64);
     let fig = experiment::figure1(&t2, Some(measured));
     print!("{}", report::render_figure1(&fig));

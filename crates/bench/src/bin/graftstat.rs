@@ -273,16 +273,41 @@ fn summarize_shards(a: &RunArtifact) -> String {
             "    shard load: {count} shard lifetimes, mean {mean:.0} dispatches each"
         );
     }
+    let stealing = a.counter("kernel.shard.steal_mode") > 0;
+    let enqueued = a.counter("kernel.shard.enqueued");
+    if enqueued > 0 {
+        let _ = writeln!(
+            out,
+            "    adaptive plane: enqueued {enqueued}  diverted {}  steals {}  steal fails {}  batches {}",
+            a.counter("kernel.shard.diverted"),
+            a.counter("kernel.shard.steals"),
+            a.counter("kernel.shard.steal_fail"),
+            a.counter("kernel.shard.batches"),
+        );
+        if let Some(h) = hist("kernel.shard.queue_depth") {
+            let mean = h.get("mean").and_then(Json::as_f64).unwrap_or(0.0);
+            let p99 = h.get("p99").and_then(Json::as_f64).unwrap_or(0.0);
+            let _ = writeln!(
+                out,
+                "    queue depth after drain: mean={mean:.1} p99={p99:.0}"
+            );
+        }
+    }
     if let Some(h) = hist("kernel.shard.imbalance_pct") {
         let mean = h.get("mean").and_then(Json::as_f64).unwrap_or(0.0);
         let p99 = h.get("p99").and_then(Json::as_f64).unwrap_or(0.0);
-        // ≥20% means the dispatch keys are skewing the shards badly
-        // enough that the ladder's scaling numbers stop being about
-        // the dispatch plane.
-        let warn = if mean >= 20.0 {
-            "  !! WARN: imbalance >= 20%, dispatch keys are skewed"
-        } else {
-            ""
+        // With hash placement only, ≥20% means the dispatch keys are
+        // skewing the shards badly enough that the ladder's scaling
+        // numbers stop being about the dispatch plane. When the run
+        // used the work-stealing plane the bar tightens to the Table 13
+        // gate: stealing is supposed to hold (max-min)/mean under 5%
+        // even on a 99/1 key skew, so anything above that means the
+        // plane is misbehaving, not the keys.
+        let threshold = if stealing { 5.0 } else { 20.0 };
+        let warn = match (stealing, mean >= threshold) {
+            (_, false) => "",
+            (true, true) => "  !! WARN: imbalance >= 5% with stealing on, plane is misbehaving",
+            (false, true) => "  !! WARN: imbalance >= 20%, dispatch keys are skewed",
         };
         let _ = writeln!(
             out,
@@ -761,13 +786,26 @@ mod tests {
             .set("kernel.shard.epoch", 3u64)
             .set("kernel.shard.epoch_syncs", 12u64)
             .set("kernel.shard.mailbox_ops", 8u64)
-            .set("kernel.shard.flushes", 4u64);
+            .set("kernel.shard.flushes", 4u64)
+            .set("kernel.shard.enqueued", 360u64)
+            .set("kernel.shard.diverted", 14u64)
+            .set("kernel.shard.steals", 96u64)
+            .set("kernel.shard.steal_fail", 5u64)
+            .set("kernel.shard.batches", 40u64);
         let mut load = Json::object();
         load.set("name", "kernel.shard.load")
             .set("count", 4u64)
             .set("mean", 100.0)
             .set("p50", 100.0)
             .set("p99", 101.0)
+            .set("buckets", Vec::<Json>::new());
+        let mut depth = Json::object();
+        depth
+            .set("name", "kernel.shard.queue_depth")
+            .set("count", 40u64)
+            .set("mean", 12.5)
+            .set("p50", 12.0)
+            .set("p99", 31.0)
             .set("buckets", Vec::<Json>::new());
         let mut imb = Json::object();
         imb.set("name", "kernel.shard.imbalance_pct")
@@ -779,7 +817,7 @@ mod tests {
         let mut metrics = Json::object();
         metrics
             .set("counters", counters)
-            .set("histograms", vec![load, imb]);
+            .set("histograms", vec![load, depth, imb]);
         art.metrics = metrics;
 
         let text = summarize("x.json", &art);
@@ -790,6 +828,16 @@ mod tests {
         );
         assert!(text.contains("epoch syncs 12"), "{text}");
         assert!(text.contains("4 shard lifetimes, mean 100 dispatches"), "{text}");
+        assert!(
+            text.contains(
+                "adaptive plane: enqueued 360  diverted 14  steals 96  steal fails 5  batches 40"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains("queue depth after drain: mean=12.5 p99=31"),
+            "{text}"
+        );
         assert!(text.contains("imbalance (max-min)/mean: mean=2.0% p99=2%"), "{text}");
     }
 
@@ -952,6 +1000,40 @@ mod tests {
         art.metrics = metrics;
         let text = summarize("x.json", &art);
         assert!(text.contains("!! WARN: imbalance >= 20%"), "{text}");
+    }
+
+    #[test]
+    fn stealing_runs_tighten_the_imbalance_warning_to_five_percent() {
+        // 8% imbalance: fine under hash placement, a plane failure when
+        // the run had stealing on (`kernel.shard.steal_mode` > 0).
+        let build = |stealing: bool| {
+            let mut art = artifact();
+            let mut counters = Json::object();
+            counters.set("kernel.shard.dispatches", 10u64);
+            if stealing {
+                counters.set("kernel.shard.steal_mode", 1u64);
+            }
+            let mut imb = Json::object();
+            imb.set("name", "kernel.shard.imbalance_pct")
+                .set("count", 1u64)
+                .set("mean", 8.0)
+                .set("p50", 8.0)
+                .set("p99", 8.0)
+                .set("buckets", Vec::<Json>::new());
+            let mut metrics = Json::object();
+            metrics
+                .set("counters", counters)
+                .set("histograms", vec![imb]);
+            art.metrics = metrics;
+            art
+        };
+        let static_text = summarize("x.json", &build(false));
+        assert!(!static_text.contains("!! WARN"), "{static_text}");
+        let steal_text = summarize("x.json", &build(true));
+        assert!(
+            steal_text.contains("!! WARN: imbalance >= 5% with stealing on"),
+            "{steal_text}"
+        );
     }
 
     #[test]

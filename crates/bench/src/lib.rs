@@ -14,6 +14,7 @@
 //! | `table8` | Table 8 (ours: sharded multi-core dispatch scaling) |
 //! | `table9` | Table 9 (ours: graft recovery under fault injection) |
 //! | `table12` | Table 12 (ours: flight-recorder overhead + postmortem drill) |
+//! | `table13` | Table 13 (ours: adaptive dispatch under skewed load) |
 //! | `figure1` | Figure 1 (break-even vs upcall time, CSV) |
 //! | `all` | everything, in paper order |
 //! | `graftstat` | summarize/diff run artifacts; `timeline`/`postmortem` modes |
@@ -38,7 +39,7 @@ use graft_core::artifact::RunArtifact;
 use graft_core::experiment::RunConfig;
 
 /// Usage string shared by `--help` and error reporting.
-pub const USAGE: &str = "usage: [--quick|--full] [--offline] [--json <path>] [--no-telemetry] [--trace] [--shards <n>] [--faults <seed>] [--fault-rate <permille>]";
+pub const USAGE: &str = "usage: [--quick|--full] [--offline] [--json <path>] [--no-telemetry] [--trace] [--shards <n>] [--steal] [--skew <uniform|8020|9901>] [--faults <seed>] [--fault-rate <permille>]";
 
 /// Parsed command line: the run configuration plus artifact options.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,9 +54,19 @@ pub struct Cli {
     /// `--trace`: arm the flight recorder so every dispatch appends
     /// causal trace events (a no-op in noop-telemetry builds).
     pub trace: bool,
-    /// `--shards <n>`: pin the sharded-dispatch experiment (Table 8)
-    /// to one shard count instead of the default 1/2/4/8 ladder.
+    /// `--shards <n>`: pin the sharded-dispatch experiments (Tables 8
+    /// and 13) to one shard count instead of their default ladders.
+    /// Validated at parse time — 0 and counts beyond what the machine
+    /// could plausibly run (`max(available_parallelism, 16)`) are
+    /// rejected as [`CliError::BadValue`] instead of panicking inside
+    /// `ShardedHost` construction.
     pub shards: Option<usize>,
+    /// `--steal`: run the adaptive dispatch plane only (Table 13 skips
+    /// its static-placement baseline; speedups are then unmeasured).
+    pub steal: bool,
+    /// `--skew <uniform|8020|9901>`: restrict Table 13 to one key
+    /// skew instead of all three.
+    pub skew: Option<graft_core::experiment::Skew>,
 }
 
 /// A CLI parse outcome that is not a runnable configuration.
@@ -90,15 +101,32 @@ impl std::fmt::Display for CliError {
 
 impl std::error::Error for CliError {}
 
-/// Parses flags from an explicit argument list. Pure: no process exit,
-/// no I/O — errors come back as values so they are testable.
+/// Parses flags from an explicit argument list against this machine's
+/// available parallelism. Pure apart from the parallelism probe: no
+/// process exit, no I/O — errors come back as values so they are
+/// testable.
 pub fn parse_cli(args: &[String]) -> Result<Cli, CliError> {
+    let par = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    parse_cli_with_parallelism(args, par)
+}
+
+/// [`parse_cli`] with the parallelism injected, so the `--shards`
+/// ceiling is testable on any machine. The ceiling is
+/// `max(parallelism, 16)`: single-core CI containers must still be
+/// able to run the default 16-rung Table 13 ladder shard-at-a-time,
+/// but a 4 096-shard request is a typo everywhere.
+pub fn parse_cli_with_parallelism(args: &[String], parallelism: usize) -> Result<Cli, CliError> {
+    let shard_cap = parallelism.max(16);
     let mut cli = Cli {
         config: RunConfig::quick(),
         json: None,
         telemetry: true,
         trace: false,
         shards: None,
+        steal: false,
+        skew: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -108,6 +136,7 @@ pub fn parse_cli(args: &[String]) -> Result<Cli, CliError> {
             "--offline" => cli.config.live = false,
             "--no-telemetry" => cli.telemetry = false,
             "--trace" => cli.trace = true,
+            "--steal" => cli.steal = true,
             "--json" => {
                 let path = it
                     .next()
@@ -121,9 +150,17 @@ pub fn parse_cli(args: &[String]) -> Result<Cli, CliError> {
                 let parsed: usize = n
                     .parse()
                     .ok()
-                    .filter(|&v| (1..=64).contains(&v))
+                    .filter(|&v| (1..=shard_cap).contains(&v))
                     .ok_or_else(|| CliError::BadValue("--shards".into(), n.clone()))?;
                 cli.shards = Some(parsed);
+            }
+            "--skew" => {
+                let s = it
+                    .next()
+                    .ok_or_else(|| CliError::MissingValue("--skew".into()))?;
+                let parsed = graft_core::experiment::Skew::parse(s)
+                    .ok_or_else(|| CliError::BadValue("--skew".into(), s.clone()))?;
+                cli.skew = Some(parsed);
             }
             "--faults" => {
                 let n = it
@@ -299,6 +336,48 @@ mod tests {
         assert_eq!(
             parse_cli(&strings(&["--shards", "many"])),
             Err(CliError::BadValue("--shards".into(), "many".into()))
+        );
+    }
+
+    #[test]
+    fn shards_ceiling_tracks_parallelism_with_a_ladder_floor() {
+        // A single-core box still admits the 16-rung ladder...
+        let cli = parse_cli_with_parallelism(&strings(&["--shards", "16"]), 1).unwrap();
+        assert_eq!(cli.shards, Some(16));
+        // ...but not absurd counts;
+        assert_eq!(
+            parse_cli_with_parallelism(&strings(&["--shards", "17"]), 1),
+            Err(CliError::BadValue("--shards".into(), "17".into()))
+        );
+        // a wider machine raises the ceiling to its parallelism.
+        let cli = parse_cli_with_parallelism(&strings(&["--shards", "48"]), 48).unwrap();
+        assert_eq!(cli.shards, Some(48));
+        assert_eq!(
+            parse_cli_with_parallelism(&strings(&["--shards", "49"]), 48),
+            Err(CliError::BadValue("--shards".into(), "49".into()))
+        );
+    }
+
+    #[test]
+    fn steal_and_skew_flags_parse() {
+        use graft_core::experiment::Skew;
+        let cli = parse_cli(&[]).unwrap();
+        assert!(!cli.steal);
+        assert_eq!(cli.skew, None);
+        let cli = parse_cli(&strings(&["--steal", "--skew", "99-1"])).unwrap();
+        assert!(cli.steal);
+        assert_eq!(cli.skew, Some(Skew::Skew9901));
+        assert_eq!(
+            parse_cli(&strings(&["--skew", "uniform"])).unwrap().skew,
+            Some(Skew::Uniform)
+        );
+        assert_eq!(
+            parse_cli(&strings(&["--skew"])),
+            Err(CliError::MissingValue("--skew".into()))
+        );
+        assert_eq!(
+            parse_cli(&strings(&["--skew", "zipf"])),
+            Err(CliError::BadValue("--skew".into(), "zipf".into()))
         );
     }
 

@@ -19,8 +19,8 @@ use graft_telemetry::MetricsSnapshot;
 use kernsim::stats::Sample;
 
 use crate::experiment::{
-    Figure1, RunConfig, Table1, Table12, Table2, Table3, Table4, Table5, Table6, Table7, Table8,
-    Table9,
+    Figure1, RunConfig, Table1, Table12, Table13, Table2, Table3, Table4, Table5, Table6, Table7,
+    Table8, Table9,
 };
 
 /// Schema identifier embedded in every artifact.
@@ -661,6 +661,58 @@ pub fn table12_json(t: &Table12) -> Json {
         .set("sharded_postmortem", pm_json(&d.sharded));
     let mut obj = Json::object();
     obj.set("rows", rows).set("drill", drill).set("runs", t.runs);
+    obj
+}
+
+/// Table 13 as JSON. Rows are labeled `tech@skew` so every
+/// (technology, skew) pair lands under a distinct path in the
+/// flattened sample index (the surface the steal CI gate diffs); each
+/// cell carries both dispatch-plane modes side by side.
+pub fn table13_json(t: &Table13) -> Json {
+    let mode_json = |m: &crate::experiment::ModeResult| {
+        let mut mode = Json::object();
+        mode.set("per_access", sample_json(&m.per_access))
+            .set("throughput_m", m.throughput_m)
+            .set("imbalance_pct", m.imbalance_pct)
+            .set("steals", m.steals)
+            .set("steal_fail", m.steal_fail)
+            .set("diverted", m.diverted);
+        mode
+    };
+    let rows: Vec<Json> = t
+        .rows
+        .iter()
+        .map(|r| {
+            let mut row = Json::object();
+            row.set("tech", format!("{}@{}", r.tech.paper_name(), r.skew.name()))
+                .set("skew", r.skew.name());
+            for c in &r.cells {
+                let mut cell = Json::object();
+                cell.set("shards", c.shards);
+                match &c.static_ {
+                    Some(m) => cell.set("static", mode_json(m)),
+                    None => cell.set("static", Json::Null),
+                };
+                match &c.steal {
+                    Some(m) => cell.set("steal", mode_json(m)),
+                    None => cell.set("steal", Json::Null),
+                };
+                match c.speedup() {
+                    Some(s) => cell.set("speedup", s),
+                    None => cell.set("speedup", Json::Null),
+                };
+                row.set(&format!("s{}", c.shards), cell);
+            }
+            row
+        })
+        .collect();
+    let mut obj = Json::object();
+    obj.set("rows", rows)
+        .set(
+            "ladder",
+            t.ladder.iter().map(|&s| Json::from(s as u64)).collect::<Vec<_>>(),
+        )
+        .set("runs", t.runs);
     obj
 }
 

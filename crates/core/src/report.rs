@@ -7,7 +7,8 @@ use std::fmt::Write as _;
 use std::time::Duration;
 
 use crate::experiment::{
-    Figure1, Table1, Table12, Table2, Table3, Table4, Table5, Table6, Table7, Table8, Table9,
+    Figure1, Skew, Table1, Table12, Table13, Table13Cell, Table2, Table3, Table4, Table5, Table6,
+    Table7, Table8, Table9,
 };
 
 fn dur(d: Duration) -> String {
@@ -438,6 +439,76 @@ pub fn render_table12(t: &Table12) -> String {
     if !d.traced {
         out.push_str("  (flight recorder compiled out: tails empty by construction)\n");
     }
+    out
+}
+
+/// Renders Table 13: static vs stealing dispatch across key skews and
+/// the shard ladder, plus machine-parseable `gate:` lines for the CI
+/// steal gate.
+pub fn render_table13(t: &Table13) -> String {
+    let mut out = String::new();
+    let top = *t.ladder.last().expect("non-empty ladder");
+    let _ = writeln!(
+        out,
+        "Table 13. Adaptive Dispatch Under Skew (steal/static speedup per rung; {} runs/mode)",
+        t.runs
+    );
+    let mut widths = vec![20usize, 9usize];
+    widths.extend(t.ladder.iter().map(|_| 8usize));
+    widths.extend([13usize, 11usize, 10usize, 9usize]);
+    let rung_headers: Vec<String> = t.ladder.iter().map(|s| format!("x{s}")).collect();
+    let thr_h = format!("thr@{top}(M/s)");
+    let mut headers: Vec<&str> = vec!["technology", "skew"];
+    headers.extend(rung_headers.iter().map(String::as_str));
+    headers.extend([thr_h.as_str(), "imb static", "imb steal", "steals"]);
+    line(&mut out, &headers, &widths);
+    for row in &t.rows {
+        let speedups: Vec<String> = row
+            .cells
+            .iter()
+            .map(|c| match c.speedup() {
+                Some(s) => format!("{s:.2}x"),
+                None => "-".into(),
+            })
+            .collect();
+        let Some(tc) = row.cell(top) else { continue };
+        let mut cols: Vec<&str> = vec![row.tech.paper_name(), row.skew.name()];
+        cols.extend(speedups.iter().map(String::as_str));
+        let fmt_thr = |m: &Option<crate::experiment::ModeResult>| match m {
+            Some(m) => format!("{:.3}", m.throughput_m),
+            None => "-".into(),
+        };
+        let fmt_imb = |m: &Option<crate::experiment::ModeResult>| match m {
+            Some(m) => format!("{:.1}%", m.imbalance_pct),
+            None => "-".into(),
+        };
+        let thr_s = fmt_thr(&tc.steal);
+        let imb_st = fmt_imb(&tc.static_);
+        let imb_ad = fmt_imb(&tc.steal);
+        let steals_s = tc
+            .steal
+            .as_ref()
+            .map(|m| m.steals.to_string())
+            .unwrap_or_else(|| "-".into());
+        cols.extend([thr_s.as_str(), imb_st.as_str(), imb_ad.as_str(), steals_s.as_str()]);
+        line(&mut out, &cols, &widths);
+    }
+    // The CI gate greps these two lines (scripts/verify.sh).
+    if let Some(row) = t.row(graft_api::Technology::RustNative, Skew::Skew9901) {
+        if let Some(s) = row.cell(8).and_then(Table13Cell::speedup) {
+            let _ = writeln!(out, "  gate: 99-1 @8 native steal/static = {s:.2}x");
+        }
+        if let Some(m) = row.cell(16).and_then(|c| c.steal.as_ref()) {
+            let _ = writeln!(
+                out,
+                "  gate: 99-1 @16 native steal imbalance = {:.1}%",
+                m.imbalance_pct
+            );
+        }
+    }
+    out.push_str(
+        "  (same seeded trace both modes; imbalance = (max-min)/mean over per-shard\n   processed counts at the top rung. See docs/kernel.md \"Adaptive dispatch\".)\n",
+    );
     out
 }
 

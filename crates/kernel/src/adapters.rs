@@ -250,6 +250,39 @@ impl<D: ChainDispatch> HostedWritePath<D> {
             }
         }
     }
+
+    /// Writes a run of logical blocks as one batch; returns the
+    /// per-block flush outcomes, in order.
+    ///
+    /// The write-path marshal is argument-only (no region loads), so it
+    /// satisfies the purity contract of
+    /// [`ChainDispatch::dispatch_batch`] and a [`ShardHandle`] host can
+    /// fuse the whole run through the engine's `invoke_batch`. Counters
+    /// and fallback state advance exactly as per-block [`Self::write`]
+    /// calls would.
+    ///
+    /// [`ShardHandle`]: crate::ShardHandle
+    pub fn write_batch(&mut self, logicals: &[u64]) -> Vec<bool> {
+        let verdicts = self.host.dispatch_batch(
+            AttachPoint::DiskWrite,
+            logicals.len(),
+            &mut |i, _| Ok(vec![logicals[i] as i64]),
+        );
+        verdicts
+            .into_iter()
+            .zip(logicals)
+            .map(|(verdict, &logical)| match verdict {
+                Verdict::Override(flushed) => {
+                    self.graft_writes += 1;
+                    flushed == 1
+                }
+                Verdict::Continue => {
+                    self.fallback_writes += 1;
+                    self.fallback.write(logical).is_some()
+                }
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -502,6 +535,67 @@ mod tests {
         }
         assert!(host.ledger(id).unwrap().invocations > 0);
         assert_eq!(host.stats().overrides + host.stats().defaults, host.stats().dispatches);
+    }
+
+    #[test]
+    fn write_batch_matches_per_block_writes_exactly() {
+        use crate::shard::ShardedHost;
+        use graft_api::spec::SharedNativeFactory;
+        use graft_api::{EntryPoint, NativeEngine, RegionStore};
+        use std::sync::Arc;
+
+        let entries = [EntryPoint {
+            name: "ld_write".into(),
+            arity: 1,
+        }];
+        let factory: SharedNativeFactory = Arc::new(|| {
+            // Flush-decide every seventh block, absorb the rest.
+            Box::new(|_: &str, args: &[i64], _: &mut RegionStore| {
+                Ok(i64::from(args[0] % 7 == 0))
+            })
+        });
+
+        let blocks = 256usize;
+        let run: Vec<u64> = (0..96u64).map(|w| (w * 3) % blocks as u64).collect();
+
+        // Drives the same run through a fresh sharded write path, either
+        // per block or as one batch, with or without a graft installed
+        // (no graft → every write takes the fallback facility).
+        let drive = |batched: bool, with_graft: bool| {
+            let mut host = ShardedHost::new(1);
+            if with_graft {
+                let engine: Box<dyn ExtensionEngine> = Box::new(
+                    NativeEngine::from_factory(&[], &entries, factory.clone()).unwrap(),
+                );
+                host.install(AttachPoint::DiskWrite, "every7", engine).unwrap();
+            }
+            let handle = Rc::new(RefCell::new(host.take_handles().remove(0)));
+            let mut path = HostedWritePath::new(handle, blocks);
+            let outcomes: Vec<bool> = if batched {
+                path.write_batch(&run)
+            } else {
+                run.iter().map(|&w| path.write(w)).collect()
+            };
+            (outcomes, path.graft_writes, path.fallback_writes)
+        };
+
+        // Graft path: the single-graft native chain takes the fused
+        // `invoke_batch` route, and must decide identically.
+        let (per, g1, f1) = drive(false, true);
+        let (bat, g2, f2) = drive(true, true);
+        assert_eq!(per, bat);
+        assert_eq!((g1, f1), (g2, f2));
+        assert_eq!(f1, 0, "a DiskWrite graft always decides");
+        assert!(per.iter().any(|&f| f) && per.iter().any(|&f| !f));
+
+        // Fallback path: an empty chain drops every block into the
+        // in-kernel facility, whose segment flushes must line up too.
+        let (per, g1, f1) = drive(false, false);
+        let (bat, g2, f2) = drive(true, false);
+        assert_eq!(per, bat);
+        assert_eq!((g1, f1), (g2, f2));
+        assert_eq!(g1, 0);
+        assert!(per.iter().any(|&f| f), "96 writes fill whole segments");
     }
 
     #[test]

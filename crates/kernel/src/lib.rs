@@ -35,6 +35,12 @@
 //!   clean built-in window that doubles per re-quarantine, up to a
 //!   permanent-ban ceiling.
 //!
+//! * **Adaptive sharded dispatch** ([`steal`]): bounded per-shard run
+//!   queues with work stealing and graft-affinity placement feed the
+//!   sharded host's data plane; executors drain adaptively sized
+//!   batches that widen with backlog and dispatch through the fused
+//!   `invoke_batch` path when accounting-safe.
+//!
 //! The [`adapters`] module plugs a shared host into the kernsim
 //! substrates (`Pager`, `BufferCache`, `Scheduler`, and the
 //! logical-disk write path) through their policy traits.
@@ -45,10 +51,15 @@ pub mod point;
 pub mod postmortem;
 pub mod recovery;
 pub mod shard;
+pub mod steal;
 
 pub use adapters::{shared, HostedEviction, HostedReadAhead, HostedSched, HostedWritePath, SharedHost};
 pub use host::{GraftHost, GraftId, GraftState, HostConfig, HostStats};
 pub use point::AttachPoint;
 pub use postmortem::PostmortemReport;
 pub use recovery::SalvagedState;
-pub use shard::{AtomicLedger, ChainDispatch, MarshalFn, ShardHandle, ShardedHost, VirtualShards};
+pub use shard::{
+    AtomicLedger, BatchMarshalFn, ChainDispatch, MarshalFn, ShardHandle, ShardedHost,
+    VirtualShards,
+};
+pub use steal::{QueueStats, RunQueues, StealPolicy, WorkItem};

@@ -30,6 +30,17 @@
 //!   the graft's shared [`AtomicLedger`] with `fetch_add` — no mutex on
 //!   either side, and totals equal the single-shard host's exactly.
 //!
+//! * **Adaptive dispatch plane.** Work routed through [`RunQueues`]
+//!   lands on a bounded per-shard queue keyed by hash, with
+//!   graft-affinity diversion when a home queue is full and work
+//!   stealing when a shard runs dry ([`crate::steal`]). Shards drain
+//!   batches that widen with backlog ([`ShardHandle::drain_queue`]) and
+//!   fuse single-graft chains through the engine's `invoke_batch` when
+//!   that is accounting-safe ([`ShardHandle::dispatch_batch`]). A
+//!   stolen dispatch still counts toward the 3-strike supervisor
+//!   exactly once: the handoff carries the enqueue-time epoch, and the
+//!   draining shard syncs its mailbox past it before invoking.
+//!
 //! For deterministic concurrency testing there is a *virtual scheduler*
 //! ([`VirtualShards`]): all shard handles held on one thread and
 //! stepped in a seeded, reshuffled round-robin, so cross-shard
@@ -51,6 +62,7 @@ use crate::host::{GraftHost, GraftId, GraftState, HostConfig, HostStats, DEPTH_S
 use crate::point::AttachPoint;
 use crate::postmortem::{PostmortemReport, POSTMORTEM_TAIL};
 use crate::recovery::{self, SalvagedState};
+use crate::steal::{RunQueues, StealPolicy, WorkItem};
 
 const STATE_ACTIVE: u32 = 0;
 const STATE_PROBATION: u32 = 1;
@@ -722,6 +734,36 @@ impl ShardedHost {
             .collect()
     }
 
+    /// A run-queue plane sized for this host's shards — the adaptive
+    /// data plane ([`crate::steal`]). Submitters feed it through
+    /// [`enqueue`]; each [`ShardHandle`] drains it with
+    /// [`ShardHandle::drain_queue_with`].
+    ///
+    /// [`enqueue`]: ShardedHost::enqueue
+    pub fn run_queues<T>(&self, policy: StealPolicy) -> RunQueues<T> {
+        RunQueues::new(self.inner.shards, policy)
+    }
+
+    /// Stamps one work item with the current host epoch and submits it
+    /// to the plane (see [`RunQueues::submit`]). `graft` steers
+    /// affinity placement; `Err` returns the payload on backpressure.
+    pub fn enqueue<T>(
+        &self,
+        queues: &RunQueues<T>,
+        key: u64,
+        graft: Option<GraftId>,
+        payload: T,
+    ) -> Result<usize, T> {
+        queues
+            .submit(WorkItem {
+                key,
+                graft: graft.map_or(0, |g| g.0),
+                epoch: self.epoch(),
+                payload,
+            })
+            .map_err(|w| w.payload)
+    }
+
     /// Publishes control-plane telemetry: `kernel.shard.*` counters and
     /// the shard-imbalance histogram. Idempotent-by-construction only
     /// for the imbalance snapshot; called once from `Drop`.
@@ -1178,6 +1220,212 @@ impl ShardHandle {
         Verdict::Continue
     }
 
+    /// Dispatches `calls` chain walks at `point` as one batch — the
+    /// adaptive-dispatch fast path. Returns one verdict per call, in
+    /// call order.
+    ///
+    /// When the chain at `point` is a single attached graft, tracing
+    /// is off, and the graft's engine does not meter fuel
+    /// ([`ExtensionEngine::fuel_metered`]), the calls fuse into one
+    /// [`ExtensionEngine::invoke_batch`] (the PR 2 path): every call is
+    /// marshalled first, then the engine runs the whole batch without
+    /// re-crossing the chain-walk machinery per call. Accounting stays
+    /// call-exact — each call counts one dispatch, one invocation, its
+    /// own verdict statistics, and its own supervisor strike. On a
+    /// mid-batch trap the faulting call is charged exactly once (ledger
+    /// trap, strike, possible winning detach) and the remaining calls
+    /// fall back to per-call dispatch, which observes any detach the
+    /// trap just caused — exactly like back-to-back scalar dispatches.
+    ///
+    /// Everything else — deeper or empty chains, tracing runs (each
+    /// dispatch needs its own causal id), metered engines (a fused
+    /// batch can only report the last call's fuel), ragged arities,
+    /// marshal failures — takes the per-call path, whose semantics are
+    /// [`dispatch`] in a loop. The `marshal` closure must be pure per
+    /// call: the fused path marshals every call before the first
+    /// invocation and re-marshals when degrading to per-call dispatch
+    /// (see [`ChainDispatch::dispatch_batch`]).
+    ///
+    /// [`dispatch`]: ShardHandle::dispatch
+    pub fn dispatch_batch<F>(
+        &mut self,
+        point: AttachPoint,
+        calls: usize,
+        mut marshal: F,
+    ) -> Vec<Verdict>
+    where
+        F: FnMut(usize, &mut dyn ExtensionEngine) -> Result<Vec<i64>, GraftError>,
+    {
+        self.sync();
+        let p = point as usize;
+        let fusable = calls > 1
+            && !graft_telemetry::tracing()
+            && self.chains[p].len() == 1
+            && {
+                let id = self.chains[p][0];
+                self.grafts
+                    .get(&id)
+                    .is_some_and(|g| !g.shared.is_detached() && !g.engine.fuel_metered())
+            };
+        if !fusable {
+            return (0..calls)
+                .map(|i| self.dispatch(point, |e| marshal(i, e)))
+                .collect();
+        }
+        let id = self.chains[p][0];
+        // Marshal every call up front (the dispatch_batch purity
+        // contract allows it); a failure or ragged arity degrades to
+        // the per-call path, re-marshalling from scratch.
+        let mut args_flat: Vec<i64> = Vec::new();
+        let mut arity: Option<usize> = None;
+        {
+            let g = self.grafts.get_mut(&id).expect("chain member");
+            for i in 0..calls {
+                match marshal(i, g.engine.as_mut()) {
+                    Ok(args) if *arity.get_or_insert(args.len()) == args.len() => {
+                        args_flat.extend_from_slice(&args);
+                    }
+                    _ => {
+                        arity = None;
+                        break;
+                    }
+                }
+            }
+        }
+        if arity.is_none() {
+            return (0..calls)
+                .map(|i| self.dispatch(point, |e| marshal(i, e)))
+                .collect();
+        }
+        let started = Instant::now();
+        let mut out = Vec::with_capacity(calls);
+        let g = self.grafts.get_mut(&id).expect("chain member");
+        let result = g.engine.invoke_batch(g.entry, calls, &args_flat, &mut out);
+        let total_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        // Wall-clock attribution per call (an even share; `cum_ns` is
+        // the one machine-dependent ledger field).
+        let share_ns = total_ns / calls as u64;
+        let mut verdicts = Vec::with_capacity(calls);
+        // The completed prefix: each result is one full dispatch.
+        for &ret in &out {
+            self.stats.dispatches += 1;
+            self.depth_counts[1.min(DEPTH_SLOTS - 1)] += 1;
+            g.local.record_ok(share_ns, None);
+            g.shared.note_clean();
+            self.stats.invocations += 1;
+            match point.decode(ret) {
+                v @ Verdict::Override(_) => {
+                    self.stats.overrides += 1;
+                    verdicts.push(v);
+                }
+                Verdict::Continue => {
+                    self.stats.continues += 1;
+                    self.stats.defaults += 1;
+                    verdicts.push(Verdict::Continue);
+                }
+            }
+        }
+        if let Err(err) = result {
+            // The faulting call, charged exactly once; then the batch
+            // degrades to per-call dispatch for the remainder, which
+            // observes any detach the trap just caused.
+            self.stats.dispatches += 1;
+            self.depth_counts[1.min(DEPTH_SLOTS - 1)] += 1;
+            match err {
+                GraftError::Trap(trap) => {
+                    g.local.record_trap(share_ns, None, &trap);
+                    self.stats.invocations += 1;
+                    self.stats.traps += 1;
+                    if g.shared.note_trap(
+                        trap.kind(),
+                        self.control.config.trap_threshold,
+                        &self.control.epoch,
+                    ) {
+                        win_detach(
+                            &self.control.config,
+                            &mut self.stats,
+                            g,
+                            trap.kind(),
+                            &self.recorder,
+                            self.shard as u32,
+                        );
+                    }
+                }
+                _ => self.stats.marshal_failures += 1,
+            }
+            self.stats.defaults += 1;
+            verdicts.push(Verdict::Continue);
+            for i in verdicts.len()..calls {
+                let v = self.dispatch(point, |e| marshal(i, e));
+                verdicts.push(v);
+            }
+        }
+        debug_assert_eq!(verdicts.len(), calls);
+        verdicts
+    }
+
+    /// Drains one adaptively sized batch from `queues` for this shard
+    /// and dispatches each item's chain walk at `point`; returns the
+    /// number of items dispatched (0 = nothing runnable).
+    ///
+    /// The steal-safe handoff: the handle syncs membership *before*
+    /// dispatching and checks it has caught up with every drained
+    /// item's submit-time epoch (monotone, so a mailbox sync after the
+    /// drain always suffices) — a stolen item never runs against a
+    /// staler chain than its submitter saw. Items executed here mark
+    /// this shard warm for their graft, steering future placement and
+    /// theft ([`RunQueues::mark_warm`]).
+    ///
+    /// `to_args` marshals an item's payload into its argument vector;
+    /// it must be pure (it may run more than once per item, per the
+    /// [`ChainDispatch::dispatch_batch`] contract). `on_result`
+    /// observes every `(item, verdict)` pair in execution order.
+    pub fn drain_queue_with<T, A, F>(
+        &mut self,
+        queues: &RunQueues<T>,
+        point: AttachPoint,
+        mut to_args: A,
+        mut on_result: F,
+    ) -> usize
+    where
+        A: FnMut(&T) -> Vec<i64>,
+        F: FnMut(&WorkItem<T>, Verdict),
+    {
+        let mut batch = Vec::new();
+        if queues.take(self.shard, &mut batch) == 0 {
+            return 0;
+        }
+        self.sync();
+        debug_assert!(
+            batch.iter().all(|w| w.epoch <= self.seen_epoch),
+            "drained an item stamped past the shard's synced epoch"
+        );
+        for w in &batch {
+            queues.mark_warm(self.shard, w.graft);
+        }
+        let verdicts =
+            self.dispatch_batch(point, batch.len(), |i, _engine| Ok(to_args(&batch[i].payload)));
+        for (w, v) in batch.iter().zip(verdicts) {
+            on_result(w, v);
+        }
+        batch.len()
+    }
+
+    /// [`drain_queue_with`] discarding the per-item verdicts.
+    ///
+    /// [`drain_queue_with`]: ShardHandle::drain_queue_with
+    pub fn drain_queue<T, A>(
+        &mut self,
+        queues: &RunQueues<T>,
+        point: AttachPoint,
+        to_args: A,
+    ) -> usize
+    where
+        A: FnMut(&T) -> Vec<i64>,
+    {
+        self.drain_queue_with(queues, point, to_args, |_, _| {})
+    }
+
     /// Invokes one graft directly on this shard's replica, with ledger
     /// accounting and the shared quarantine gate: a detached graft
     /// deterministically returns [`GraftError::Unavailable`] — on every
@@ -1401,6 +1649,61 @@ impl VirtualShards {
         self.next_shard().dispatch(point, marshal)
     }
 
+    /// Drains one adaptive batch on the next shard of the seeded
+    /// rotation — the deterministic steal-interleaving step. Which
+    /// shard drains (and therefore which steals happen) is a pure
+    /// function of the seed and the queue state, so the same seed
+    /// replays the same steal schedule. Returns items dispatched.
+    pub fn drive_queue<T, A>(
+        &mut self,
+        queues: &RunQueues<T>,
+        point: AttachPoint,
+        to_args: A,
+    ) -> usize
+    where
+        A: FnMut(&T) -> Vec<i64>,
+    {
+        self.next_shard().drain_queue(queues, point, to_args)
+    }
+
+    /// [`drive_queue`] with a per-item observer, for harnesses that
+    /// record execution order.
+    ///
+    /// [`drive_queue`]: VirtualShards::drive_queue
+    pub fn drive_queue_with<T, A, F>(
+        &mut self,
+        queues: &RunQueues<T>,
+        point: AttachPoint,
+        to_args: A,
+        on_result: F,
+    ) -> usize
+    where
+        A: FnMut(&T) -> Vec<i64>,
+        F: FnMut(&WorkItem<T>, Verdict),
+    {
+        self.next_shard()
+            .drain_queue_with(queues, point, to_args, on_result)
+    }
+
+    /// Steps the seeded rotation until the plane is empty; returns the
+    /// total items dispatched. Terminates because a shard with queued
+    /// work always drains at least one item when visited.
+    pub fn drain_queue_to_empty<T, A>(
+        &mut self,
+        queues: &RunQueues<T>,
+        point: AttachPoint,
+        mut to_args: A,
+    ) -> usize
+    where
+        A: FnMut(&T) -> Vec<i64>,
+    {
+        let mut total = 0;
+        while queues.total_depth() > 0 {
+            total += self.drive_queue(queues, point, &mut to_args);
+        }
+        total
+    }
+
     /// Flushes every shard's ledgers and statistics.
     pub fn flush_all(&mut self) {
         for h in &mut self.handles {
@@ -1424,6 +1727,36 @@ impl VirtualShards {
 pub trait ChainDispatch {
     /// Walks the chain at `point`; see [`GraftHost::dispatch`].
     fn dispatch_chain(&mut self, point: AttachPoint, marshal: &mut MarshalFn<'_>) -> Verdict;
+
+    /// Dispatches `calls` chain walks at `point` as one batch,
+    /// returning one verdict per call, in call order.
+    ///
+    /// `marshal(i, engine)` builds call `i`'s argument vector. The
+    /// contract beyond [`dispatch_chain`]: marshalling must be **pure
+    /// per call** — implementations may marshal every call before the
+    /// first invocation runs (the PR 2 `invoke_batch` shape) and may
+    /// re-marshal a call when falling back to per-call dispatch, so a
+    /// closure that writes per-call engine state (regions) or has
+    /// observable side effects must not be batched. Each call still
+    /// counts as its own dispatch: ledgers, verdict statistics, and the
+    /// 3-strike supervisor advance exactly as if the calls had been
+    /// dispatched one by one.
+    ///
+    /// The default loops [`dispatch_chain`]; [`ShardHandle`] overrides
+    /// it with a fused [`ExtensionEngine::invoke_batch`] path when the
+    /// chain shape makes that accounting-safe.
+    ///
+    /// [`dispatch_chain`]: ChainDispatch::dispatch_chain
+    fn dispatch_batch(
+        &mut self,
+        point: AttachPoint,
+        calls: usize,
+        marshal: &mut BatchMarshalFn<'_>,
+    ) -> Vec<Verdict> {
+        (0..calls)
+            .map(|i| self.dispatch_chain(point, &mut |engine| marshal(i, engine)))
+            .collect()
+    }
 }
 
 /// The kernel-side marshalling callback a chain walk applies to each
@@ -1431,6 +1764,12 @@ pub trait ChainDispatch {
 /// the argument vector (or a kernel-side failure, charged to the
 /// host's failure counter, not the graft).
 pub type MarshalFn<'a> = dyn FnMut(&mut dyn ExtensionEngine) -> Result<Vec<i64>, GraftError> + 'a;
+
+/// Per-call marshalling for [`ChainDispatch::dispatch_batch`]: builds
+/// call `i`'s argument vector against the engine about to run it. Must
+/// be pure per call (see the `dispatch_batch` contract).
+pub type BatchMarshalFn<'a> =
+    dyn FnMut(usize, &mut dyn ExtensionEngine) -> Result<Vec<i64>, GraftError> + 'a;
 
 impl ChainDispatch for GraftHost {
     fn dispatch_chain(
@@ -1450,6 +1789,17 @@ impl ChainDispatch for ShardHandle {
     ) -> Verdict {
         self.dispatch(point, marshal)
     }
+
+    fn dispatch_batch(
+        &mut self,
+        point: AttachPoint,
+        calls: usize,
+        marshal: &mut BatchMarshalFn<'_>,
+    ) -> Vec<Verdict> {
+        // The inherent method: fuses through `invoke_batch` when the
+        // chain shape makes that accounting-safe.
+        ShardHandle::dispatch_batch(self, point, calls, |i, e| marshal(i, e))
+    }
 }
 
 /// Shared single-threaded handles (`Rc<RefCell<GraftHost>>` — the
@@ -1463,6 +1813,15 @@ impl<T: ChainDispatch> ChainDispatch for std::rc::Rc<std::cell::RefCell<T>> {
         marshal: &mut MarshalFn<'_>,
     ) -> Verdict {
         self.borrow_mut().dispatch_chain(point, marshal)
+    }
+
+    fn dispatch_batch(
+        &mut self,
+        point: AttachPoint,
+        calls: usize,
+        marshal: &mut BatchMarshalFn<'_>,
+    ) -> Vec<Verdict> {
+        self.borrow_mut().dispatch_batch(point, calls, marshal)
     }
 }
 
@@ -1869,5 +2228,157 @@ mod tests {
             sorted.sort_unstable();
             assert_eq!(sorted, vec![0, 1, 2, 3]);
         }
+    }
+
+    /// An engine echoing its first argument (negative = Continue,
+    /// non-negative = Override at eviction points), so batch verdicts
+    /// can be scripted per call.
+    fn echo() -> Box<dyn ExtensionEngine> {
+        victim_engine_factory(|| {
+            Box::new(|_: &str, args: &[i64], _: &mut RegionStore| Ok(args[0]))
+        })
+    }
+
+    #[test]
+    fn fused_batch_matches_per_call_dispatch_exactly() {
+        // Same calls through the fused invoke_batch path and through a
+        // per-call dispatch loop: identical verdicts, stats, and
+        // ledgers (the native echo engine is unmetered, single-graft
+        // chain, tracing off — the fusable shape).
+        let args: Vec<[i64; 2]> = (0..13).map(|i| [if i % 3 == 0 { i } else { -1 }, 0]).collect();
+        let run = |batched: bool| {
+            let mut host = ShardedHost::new(2);
+            let id = host.install(AttachPoint::VmEvict, "echo", echo()).unwrap();
+            let mut vs = VirtualShards::new(&mut host, 5);
+            let h = vs.shard_mut(0);
+            let verdicts: Vec<Verdict> = if batched {
+                h.dispatch_batch(AttachPoint::VmEvict, args.len(), |i, _| Ok(args[i].to_vec()))
+            } else {
+                args.iter().map(|a| h.dispatch(AttachPoint::VmEvict, |_| Ok(a.to_vec()))).collect()
+            };
+            vs.flush_all();
+            let mut stats = host.stats();
+            stats.installs = 0; // control-plane, not dispatch-path
+            (verdicts, stats, host.ledger(id).map(|l| (l.invocations, l.traps)))
+        };
+        let (v1, s1, l1) = run(true);
+        let (v2, s2, l2) = run(false);
+        assert_eq!(v1, v2, "verdicts diverge");
+        assert_eq!(s1, s2, "host stats diverge");
+        assert_eq!(l1, l2, "ledgers diverge");
+        assert_eq!(v1[0], Verdict::Override(0));
+        assert_eq!(v1[1], Verdict::Continue);
+    }
+
+    #[test]
+    fn mid_batch_trap_strikes_exactly_once_and_detaches() {
+        let mut host = ShardedHost::new(2);
+        let bad = host.install(AttachPoint::VmEvict, "hostile", trapping()).unwrap();
+        let mut vs = VirtualShards::new(&mut host, 3);
+        // An 8-call batch against an always-trapping graft: the fused
+        // path charges the first trap once, then degrades to per-call
+        // dispatch — strikes 2 and 3 detach, calls 4-8 run against the
+        // detached chain and charge nothing.
+        let verdicts = vs
+            .shard_mut(0)
+            .dispatch_batch(AttachPoint::VmEvict, 8, |_, _| Ok(vec![0, 0]));
+        assert_eq!(verdicts, vec![Verdict::Continue; 8]);
+        assert!(host.is_quarantined(bad), "three strikes did not detach");
+        vs.flush_all();
+        let ledger = host.ledger(bad).unwrap();
+        assert_eq!(ledger.traps, 3, "a mid-batch strike was double-counted");
+        assert_eq!(ledger.invocations, 3);
+        let stats = host.stats();
+        assert_eq!(stats.dispatches, 8);
+        assert_eq!(stats.defaults, 8);
+        assert_eq!(stats.quarantine_trips, 1);
+    }
+
+    #[test]
+    fn drain_queue_runs_every_item_once_and_marks_warm() {
+        let mut host = ShardedHost::new(4);
+        let id = host.install(AttachPoint::VmEvict, "decline", constant(-1)).unwrap();
+        let q: RunQueues<Vec<i64>> = host.run_queues(StealPolicy::default());
+        let n = 300u64;
+        for k in 0..n {
+            host.enqueue(&q, k, Some(id), vec![k as i64, 0]).expect("room");
+        }
+        assert_eq!(q.stats().enqueued, n);
+        let mut vs = VirtualShards::new(&mut host, 42);
+        let ran = vs.drain_queue_to_empty(&q, AttachPoint::VmEvict, |p| p.clone());
+        assert_eq!(ran as u64, n, "items lost or double-run");
+        vs.flush_all();
+        assert_eq!(host.ledger(id).unwrap().invocations, n);
+        assert_eq!(host.stats().dispatches, n);
+        // Every shard that executed work went warm for the graft.
+        let st = q.stats();
+        assert!(st.batches > 0);
+        assert!((0..4).any(|s| q.is_warm(s, id.0)));
+        // Adaptive widths realized: more items than batches.
+        assert!(st.batched_items / st.batches >= 1);
+    }
+
+    #[test]
+    fn drain_queue_replays_identically_from_the_same_seed() {
+        let run = |seed: u64| -> (Vec<(usize, u64)>, u64, u64) {
+            let mut host = ShardedHost::new(4);
+            let id = host.install(AttachPoint::VmEvict, "decline", constant(-1)).unwrap();
+            let q: RunQueues<u64> = host.run_queues(StealPolicy::default());
+            for k in 0..200u64 {
+                host.enqueue(&q, k % 7, Some(id), k).expect("room");
+            }
+            let mut vs = VirtualShards::new(&mut host, seed);
+            let mut order = Vec::new();
+            while q.total_depth() > 0 {
+                let h = vs.next_shard();
+                let s = h.shard();
+                h.drain_queue_with(&q, AttachPoint::VmEvict, |&k| vec![k as i64, 0], |w, _| {
+                    order.push((s, w.payload));
+                });
+            }
+            let st = q.stats();
+            (order, st.steals, st.diverted)
+        };
+        assert_eq!(run(7), run(7), "same seed, same steal schedule");
+        let (order, steals, _) = run(7);
+        assert_eq!(order.len(), 200);
+        assert!(steals > 0, "a 7-hot-key trace on 4 shards must steal");
+    }
+
+    #[test]
+    fn graft_quarantined_mid_steal_charges_the_thief_exactly_once() {
+        let mut host = ShardedHost::new(2);
+        let bad = host.install(AttachPoint::VmEvict, "hostile", trapping()).unwrap();
+        let q: RunQueues<u64> = host.run_queues(StealPolicy::default());
+        // All work homes to one hot key's shard; the other shard will
+        // steal its share and execute the traps itself.
+        let hot = 1u64;
+        let home = q.home(hot);
+        let thief = 1 - home;
+        for k in 0..10u64 {
+            host.enqueue(&q, hot, Some(bad), k).expect("room");
+        }
+        // The thief drains first: its own queue is empty, so it steals
+        // the back half and the traps happen on the *stealing* shard.
+        let mut vs = VirtualShards::new(&mut host, 1);
+        let to_args = |&k: &u64| vec![k as i64, 0];
+        let stolen = vs.shard_mut(thief).drain_queue(&q, AttachPoint::VmEvict, to_args);
+        assert_eq!(q.stats().steals, 5);
+        assert_eq!(stolen, 5);
+        assert!(host.is_quarantined(bad), "stolen traps did not strike");
+        // The home shard drains the rest against a detached chain.
+        let mut rest = 0;
+        while q.total_depth() > 0 {
+            rest += vs.shard_mut(home).drain_queue(&q, AttachPoint::VmEvict, to_args);
+        }
+        assert_eq!(rest, 5);
+        vs.flush_all();
+        let ledger = host.ledger(bad).unwrap();
+        assert_eq!(ledger.traps, 3, "strikes must count exactly once");
+        assert_eq!(ledger.invocations, 3);
+        // The postmortem names the thief as the detaching shard.
+        let pm = host.take_postmortems();
+        assert_eq!(pm.len(), 1);
+        assert_eq!(pm[0].shard, Some(thief as u32));
     }
 }

@@ -24,7 +24,9 @@ T9ART=$(mktemp /tmp/graft-table9-XXXXXX.json)
 T9OUT=$(mktemp /tmp/graft-table9-XXXXXX.txt)
 T12ART=$(mktemp /tmp/graft-table12-XXXXXX.json)
 T12OUT=$(mktemp /tmp/graft-table12-XXXXXX.txt)
-trap 'rm -f "$ART" "$T7ART" "$T8ART" "$T8OUT" "$T9ART" "$T9OUT" "$T12ART" "$T12OUT"' EXIT
+T13ART=$(mktemp /tmp/graft-table13-XXXXXX.json)
+T13OUT=$(mktemp /tmp/graft-table13-XXXXXX.txt)
+trap 'rm -f "$ART" "$T7ART" "$T8ART" "$T8OUT" "$T9ART" "$T9OUT" "$T12ART" "$T12OUT" "$T13ART" "$T13OUT"' EXIT
 
 echo "==> cargo build --release --offline"
 cargo build --release --offline
@@ -220,6 +222,60 @@ if [ -f BENCH_trace.json ]; then
             *)
                 echo "$GATE"
                 echo "table12 regression gate FAILED"
+                exit 1
+                ;;
+        esac
+    }
+    echo "$GATE" | tail -1
+fi
+
+# Adaptive-dispatch gate: a fresh Table 13 run drives the skewed-load
+# ladder through both dispatch planes. The contract is (a) on the 99/1
+# trace the stealing plane beats static hash placement by at least
+# 1.5x at 8 shards, and (b) stealing holds the per-shard processed
+# imbalance at 16 shards to at most 5%. Both are deterministic under
+# the seeded trace: the imbalance is exact item counts, and the
+# speedup compares critical paths over identical work, far above the
+# 1.5x bar (see docs/kernel.md "Adaptive dispatch").
+echo "==> table13 adaptive-dispatch run ($MODE --offline) with run artifact"
+cargo run --release --offline -q -p graft-bench --bin table13 -- \
+    "$MODE" --offline --json "$T13ART" > "$T13OUT"
+
+echo "==> steal speedup gate (99/1 @8 native >= 1.5x static)"
+awk '/gate: 99-1 @8 native steal\/static/ {
+         found = 1
+         v = $NF; gsub(/x/, "", v)
+         printf "    steal/static @8: %sx\n", v
+         if (v + 0 < 1.5) bad = 1
+     }
+     END { exit (bad || !found) }' "$T13OUT" || {
+    cat "$T13OUT"
+    echo "table13 steal speedup gate FAILED"
+    exit 1
+}
+
+echo "==> steal imbalance gate (99/1 @16 native <= 5%)"
+awk '/gate: 99-1 @16 native steal imbalance/ {
+         found = 1
+         v = $NF; gsub(/%/, "", v)
+         printf "    imbalance @16: %s%%\n", v
+         if (v + 0 > 5) bad = 1
+     }
+     END { exit (bad || !found) }' "$T13OUT" || {
+    cat "$T13OUT"
+    echo "table13 steal imbalance gate FAILED"
+    exit 1
+}
+
+if [ -f BENCH_steal.json ]; then
+    echo "==> graftstat regression gate vs BENCH_steal.json (threshold 200%)"
+    GATE=$(cargo run --release --offline -q -p graft-bench --bin graftstat -- \
+        BENCH_steal.json "$T13ART" --threshold 200) || {
+        case "$GATE" in
+            *"drift: 0 of"*) : ;; # no shared sample moved; only one-sided keys
+            *)
+                echo "$GATE"
+                echo "table13 regression gate FAILED"
                 exit 1
                 ;;
         esac

@@ -24,7 +24,8 @@ use graftbench::api::{
 };
 use graftbench::core::GraftManager;
 use graftbench::kernel::{
-    AttachPoint, GraftHost, GraftId, HostConfig, ShardedHost, VirtualShards,
+    AttachPoint, GraftHost, GraftId, HostConfig, RunQueues, ShardedHost, StealPolicy,
+    VirtualShards,
 };
 
 const POINT: AttachPoint = AttachPoint::VmEvict;
@@ -625,5 +626,262 @@ fn one_fuel_exhaustion_detaches_globally() {
         let ledger = host.ledger(id).expect("ledger");
         assert_eq!(ledger.traps, 1, "{tech}");
         assert_eq!(ledger.invocations, 5, "{tech}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Adaptive dispatch plane: work-stealing interleavings replayed against
+// the scalar host. The sharded run drives a keyed trace through
+// [`RunQueues`] with stealing on, recording the order items actually
+// completed (home drains, diversions, and steals included); the scalar
+// host then replays the identical items in that completion order, one
+// dispatch each. Verdict-for-verdict equality plus ledger, lifecycle,
+// and postmortem parity proves a stolen dispatch is charged exactly
+// once and quarantine semantics survive cross-shard handoff.
+// ---------------------------------------------------------------------
+
+/// One stealing interleaving against the scalar replay. Returns the
+/// replay trace so determinism can be asserted over repeated runs.
+fn check_one_stealing(
+    manager: &GraftManager,
+    spec: &GraftSpec,
+    tech: Technology,
+    seed: u64,
+) -> Vec<i64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let shards = 2 + rng.bounded_u64(3) as usize; // stealing needs a peer
+    let mut sharded = ShardedHost::new(shards);
+    let engine = manager.load(spec, tech).expect("sharded load");
+    let id = sharded.install(POINT, "pure", engine).expect("install");
+    let q: RunQueues<(i64, i64)> = sharded.run_queues(StealPolicy::default());
+    let mut vs = VirtualShards::new(&mut sharded, seed ^ 0x57EA_1000);
+    let ctx = format!("{tech} seed {seed:#x}");
+
+    // A keyed trace over a small hot key space: half the items hit one
+    // hot key, so the plane genuinely diverts and steals; `b == 0`
+    // traps, so some seeds quarantine the graft mid-trace (including
+    // mid-steal, when the trapping item was pulled from another
+    // shard's queue).
+    let total = 24 + rng.bounded_u64(40) as usize;
+    let mut submitted = 0usize;
+    let mut order: Vec<((i64, i64), Verdict)> = Vec::new();
+    let to_args = |&(a, b): &(i64, i64)| vec![a, b];
+    while submitted < total || q.total_depth() > 0 {
+        if submitted < total && rng.bounded_u64(3) != 0 {
+            let key = if rng.bounded_u64(2) == 0 {
+                0
+            } else {
+                rng.bounded_u64(8)
+            };
+            let a = rng.bounded_u64(1000) as i64;
+            let b = if rng.bounded_u64(24) == 0 {
+                0 // div-by-zero trap
+            } else {
+                1 + rng.bounded_u64(3) as i64
+            };
+            if sharded.enqueue(&q, key, Some(id), (a, b)).is_ok() {
+                submitted += 1;
+                continue;
+            }
+            // Backpressure: fall through to a drain.
+        }
+        vs.drive_queue_with(&q, POINT, to_args, |w, v| order.push((w.payload, v)));
+    }
+    vs.flush_all();
+    assert_eq!(order.len(), total, "plane lost or duplicated items, {ctx}");
+
+    // Scalar replay in the sharded plane's completion order.
+    let mut single = GraftHost::new();
+    let sid = single
+        .install(POINT, "pure", manager.load(spec, tech).expect("scalar load"))
+        .expect("install");
+    let mut trace = vec![shards as i64];
+    for (i, ((a, b), sharded_verdict)) in order.iter().enumerate() {
+        let v = single.dispatch(POINT, |_| Ok(vec![*a, *b]));
+        assert_eq!(v, *sharded_verdict, "verdict {i}/{total}, {ctx}");
+        trace.push(encode_verdict(v));
+    }
+
+    // Ledger parity: every stolen dispatch charged exactly once.
+    let l1 = *single.ledger(sid).expect("scalar ledger");
+    let l2 = sharded.ledger(id).expect("sharded ledger");
+    assert_eq!(l1.invocations, l2.invocations, "invocations, {ctx}");
+    assert_eq!(l1.traps, l2.traps, "traps, {ctx}");
+    assert_eq!(l1.fuel_used, l2.fuel_used, "fuel, {ctx}");
+    assert_eq!(l1.trap_counts, l2.trap_counts, "trap kinds, {ctx}");
+    trace.push(l1.invocations as i64);
+    trace.push(l1.traps as i64);
+
+    // Lifecycle parity: a trace with >= 3 traps quarantined both hosts
+    // at the same completion index, or neither.
+    assert_eq!(single.state(sid), sharded.state(id), "state, {ctx}");
+    assert_eq!(
+        single.is_quarantined(sid),
+        sharded.is_quarantined(id),
+        "quarantine, {ctx}"
+    );
+
+    // Postmortem parity, tail included: same reason, same strike count,
+    // same frozen ledger, and the fatal event at the end of the tail
+    // carries the same semantics. The sharded report additionally names
+    // the shard that tripped the supervisor — which, mid-steal, is the
+    // thief, not the item's home.
+    let pm2 = sharded.take_postmortems();
+    let pm1 = single.postmortems();
+    assert_eq!(pm1.len(), pm2.len(), "postmortem count, {ctx}");
+    for (x, y) in pm1.iter().zip(&pm2) {
+        assert_eq!(x.reason, y.reason, "postmortem reason, {ctx}");
+        assert_eq!(x.strikes, y.strikes, "postmortem strikes, {ctx}");
+        // The sharded report freezes the *detaching shard's* local
+        // ledger: it saw at least the fatal strike, never more than
+        // the scalar (global) total — strikes on other shards merge at
+        // flush time, after the report is cut.
+        assert!(
+            (1..=x.ledger.traps).contains(&y.ledger.traps),
+            "postmortem ledger traps {} outside [1, {}], {ctx}",
+            y.ledger.traps,
+            x.ledger.traps
+        );
+        assert!(y.shard.is_some(), "sharded postmortem lost its shard, {ctx}");
+        if let (Some(ex), Some(ey)) = (x.events.last(), y.events.last()) {
+            assert_eq!(
+                ex.semantics(),
+                ey.semantics(),
+                "postmortem tail diverges, {ctx}"
+            );
+        }
+        trace.push(i64::from(x.strikes));
+    }
+    trace
+}
+
+/// >= 200 seeded stealing interleavings for one technology.
+fn run_steal_equivalence(tech: Technology, base_seed: u64) {
+    const INTERLEAVINGS: usize = 200;
+    let manager = GraftManager::new();
+    let spec = pure_spec();
+    for i in 0..INTERLEAVINGS {
+        let seed = base_seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        check_one_stealing(&manager, &spec, tech, seed);
+    }
+}
+
+#[test]
+fn stealing_matches_scalar_compiled_unchecked() {
+    run_steal_equivalence(Technology::CompiledUnchecked, 0x5C0);
+}
+
+#[test]
+fn stealing_matches_scalar_safe_compiled() {
+    run_steal_equivalence(Technology::SafeCompiled, 0x553);
+}
+
+#[test]
+fn stealing_matches_scalar_sfi() {
+    run_steal_equivalence(Technology::Sfi, 0x55F1);
+}
+
+#[test]
+fn stealing_matches_scalar_bytecode() {
+    run_steal_equivalence(Technology::Bytecode, 0x5B1);
+}
+
+#[test]
+fn stealing_matches_scalar_script() {
+    run_steal_equivalence(Technology::Script, 0x57C1);
+}
+
+#[test]
+fn stealing_matches_scalar_rust_native() {
+    run_steal_equivalence(Technology::RustNative, 0x54A);
+}
+
+#[test]
+fn stealing_matches_scalar_user_level() {
+    run_steal_equivalence(Technology::UserLevel, 0x50E);
+}
+
+#[test]
+fn stealing_interleavings_replay_identically_from_the_same_seed() {
+    let manager = GraftManager::new();
+    let spec = pure_spec();
+    for i in 0..16u64 {
+        let seed = 0x57EA_D00D ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let first = check_one_stealing(&manager, &spec, Technology::Bytecode, seed);
+        let again = check_one_stealing(&manager, &spec, Technology::Bytecode, seed);
+        assert_eq!(first, again, "seed {seed:#x} did not replay");
+    }
+}
+
+#[test]
+fn saboteur_quarantined_mid_steal_names_the_thief_and_counts_once() {
+    // All work homes on one shard; the trapping items sit in the back
+    // half of its queue — exactly the slice a thief steals. The
+    // supervisor must trip on the thief (the postmortem names it), the
+    // strikes must count exactly once despite the cross-shard handoff,
+    // and the scalar replay of the completion order must agree verdict
+    // for verdict.
+    let manager = GraftManager::new();
+    let spec = pure_spec();
+    for tech in [
+        Technology::SafeCompiled,
+        Technology::Bytecode,
+        Technology::RustNative,
+    ] {
+        let mut host = ShardedHost::new(2);
+        let threshold = host.config().trap_threshold as u64;
+        let id = host
+            .install(POINT, "saboteur", manager.load(&spec, tech).expect("load"))
+            .expect("install");
+        let q: RunQueues<(i64, i64)> = host.run_queues(StealPolicy::default());
+        let home = q.home(0);
+        let thief = 1 - home;
+        // Ten items keyed to the home shard: seven clean, then
+        // `threshold` trapping ones at the back. A steal takes the back
+        // half (five items), which contains every trap.
+        for i in 0..10u64 {
+            let b = if i >= 10 - threshold { 0 } else { 1 };
+            host.enqueue(&q, 0, Some(id), (7i64, b)).expect("room");
+        }
+        let mut vs = VirtualShards::new(&mut host, 0x7EEF);
+        let to_args = |&(a, b): &(i64, i64)| vec![a, b];
+        let mut order: Vec<((i64, i64), Verdict)> = Vec::new();
+        let stolen = vs.shard_mut(thief).drain_queue_with(&q, POINT, to_args, |w, v| {
+            order.push((w.payload, v));
+        });
+        assert_eq!(stolen, 5, "{tech}: thief did not steal the back half");
+        assert!(host.is_quarantined(id), "{tech}: saboteur survived");
+        // The home shard mops up its remaining front half against a
+        // detached chain.
+        let mut rest = 0;
+        while q.total_depth() > 0 {
+            rest += vs.shard_mut(home).drain_queue_with(&q, POINT, to_args, |w, v| {
+                order.push((w.payload, v));
+            });
+        }
+        assert_eq!(rest, 5, "{tech}: home lost its front half");
+        vs.flush_all();
+
+        let ledger = host.ledger(id).expect("ledger");
+        assert_eq!(ledger.traps, threshold, "{tech}: strikes double-counted");
+        assert_eq!(ledger.invocations, 5, "{tech}: stolen batch miscounted");
+        let pm = host.take_postmortems();
+        assert_eq!(pm.len(), 1, "{tech}");
+        assert_eq!(pm[0].shard, Some(thief as u32), "{tech}: wrong shard blamed");
+        assert_eq!(pm[0].strikes as u64, threshold, "{tech}");
+
+        // Scalar replay in completion order.
+        let mut single = GraftHost::new();
+        let sid = single
+            .install(POINT, "saboteur", manager.load(&spec, tech).expect("load"))
+            .expect("install");
+        for (i, ((a, b), sharded_verdict)) in order.iter().enumerate() {
+            let v = single.dispatch(POINT, |_| Ok(vec![*a, *b]));
+            assert_eq!(v, *sharded_verdict, "{tech}: verdict {i}");
+        }
+        let l1 = single.ledger(sid).expect("scalar ledger");
+        assert_eq!(l1.traps, ledger.traps, "{tech}");
+        assert_eq!(l1.invocations, ledger.invocations, "{tech}");
+        assert!(single.is_quarantined(sid), "{tech}");
     }
 }
