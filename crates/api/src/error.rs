@@ -113,6 +113,25 @@ pub enum GraftError {
     Trap(Trap),
     /// The upcall transport to a user-level server failed.
     UpcallFailed(String),
+    /// An admission-control layer refused the request because a
+    /// configured per-tenant quota is exhausted (installed grafts,
+    /// cumulative fuel, …). Typed so callers — and the graft-server
+    /// wire protocol — can distinguish "you are over budget" from a
+    /// runtime fault; quota refusals are never silent drops.
+    QuotaExceeded {
+        /// Which quota ran out (`"grafts"`, `"fuel"`, …).
+        resource: &'static str,
+        /// The configured ceiling that was hit.
+        limit: u64,
+    },
+    /// The serving layer is at its in-flight capacity and cannot accept
+    /// more work right now; the request was rejected, not queued.
+    Overloaded {
+        /// Requests currently in flight.
+        in_flight: u64,
+        /// The configured in-flight ceiling.
+        cap: u64,
+    },
 }
 
 impl GraftError {
@@ -149,6 +168,12 @@ impl fmt::Display for GraftError {
             }
             GraftError::Trap(t) => write!(f, "graft trapped: {t}"),
             GraftError::UpcallFailed(msg) => write!(f, "upcall failed: {msg}"),
+            GraftError::QuotaExceeded { resource, limit } => {
+                write!(f, "quota exceeded: {resource} (limit {limit})")
+            }
+            GraftError::Overloaded { in_flight, cap } => {
+                write!(f, "overloaded: {in_flight} requests in flight (cap {cap})")
+            }
         }
     }
 }
@@ -188,6 +213,24 @@ mod tests {
     fn compile_errors_are_not_traps() {
         let err = GraftError::Compile("unexpected token".into());
         assert!(err.as_trap().is_none());
+    }
+
+    #[test]
+    fn admission_errors_are_typed_and_informative() {
+        let quota = GraftError::QuotaExceeded {
+            resource: "grafts",
+            limit: 4,
+        };
+        assert!(quota.as_trap().is_none());
+        let msg = quota.to_string();
+        assert!(msg.contains("grafts") && msg.contains('4'), "{msg}");
+        let busy = GraftError::Overloaded {
+            in_flight: 64,
+            cap: 64,
+        };
+        assert!(busy.as_trap().is_none());
+        let msg = busy.to_string();
+        assert!(msg.contains("64") && msg.contains("overloaded"), "{msg}");
     }
 
     #[test]

@@ -50,6 +50,23 @@ fn main() {
     println!("{}", report::render_table9(&t9));
     art.add_table("table9", artifact::table9_json(&t9));
 
+    let ladder11: Vec<usize> = match cli.shards {
+        Some(s) => vec![s],
+        None => experiment::LADDER11.to_vec(),
+    };
+    let arrivals: Vec<experiment::Skew> = match cli.arrival {
+        Some(a) => vec![a],
+        None => experiment::ARRIVALS11.to_vec(),
+    };
+    let default_load = experiment::ServiceLoad::default();
+    let load = experiment::ServiceLoad {
+        tenants: cli.tenants.unwrap_or(default_load.tenants),
+        conns: cli.conns.unwrap_or(default_load.conns),
+    };
+    let t11 = experiment::table11_with(&cfg, &ladder11, &arrivals, &load).expect("table 11");
+    println!("{}", report::render_table11(&t11));
+    art.add_table("table11", artifact::table11_json(&t11));
+
     let t12 = experiment::table12(&cfg).expect("table 12");
     println!("{}", report::render_table12(&t12));
     art.add_table("table12", artifact::table12_json(&t12));

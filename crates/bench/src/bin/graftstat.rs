@@ -184,6 +184,7 @@ fn summarize(path: &str, a: &RunArtifact) -> String {
     out.push_str(&summarize_kernel(a));
     out.push_str(&summarize_shards(a));
     out.push_str(&summarize_recovery(a));
+    out.push_str(&summarize_server(a));
     out
 }
 
@@ -224,6 +225,60 @@ fn summarize_recovery(a: &RunArtifact) -> String {
         a.counter("ld.rebuilds"),
         a.counter("ld.rebuilt_mappings"),
     );
+    out
+}
+
+/// The graft-server section: admission outcomes, tenant standing, and
+/// service latency from the `server.*` namespace. Empty when the run
+/// never served a wire request.
+fn summarize_server(a: &RunArtifact) -> String {
+    let mut out = String::new();
+    let requests = a.counter("server.requests");
+    if requests == 0 {
+        return out;
+    }
+    let _ = writeln!(out, "  graft-server:");
+    let _ = writeln!(
+        out,
+        "    requests {requests}  served {}  replies {}  conns {}  in-flight peak {}",
+        a.counter("server.served"),
+        a.counter("server.replies"),
+        a.counter("server.conns"),
+        a.counter("server.inflight.peak"),
+    );
+    let _ = writeln!(
+        out,
+        "    admission: rejected overloaded {}  quota {}  quarantined {}  malformed frames {}",
+        a.counter("server.rejected.overloaded"),
+        a.counter("server.rejected.quota"),
+        a.counter("server.rejected.quarantined"),
+        a.counter("server.malformed"),
+    );
+    let _ = writeln!(
+        out,
+        "    tenants: {}  quarantined {}",
+        a.counter("server.tenants"),
+        a.counter("server.tenants.quarantined"),
+    );
+    let service = a
+        .metrics
+        .get("histograms")
+        .and_then(Json::as_arr)
+        .and_then(|hs| {
+            hs.iter()
+                .find(|h| h.get("name").and_then(Json::as_str) == Some("server.service_ns"))
+        });
+    if let Some(h) = service {
+        let p = |k: &str| h.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+        let _ = writeln!(
+            out,
+            "    service latency: p50={} p99={} p999={} ({} samples)",
+            fmt_ns(p("p50")),
+            fmt_ns(p("p99")),
+            fmt_ns(p("p999")),
+            h.get("count").and_then(Json::as_u64).unwrap_or(0),
+        );
+    }
     out
 }
 
@@ -881,6 +936,54 @@ mod tests {
         );
         assert!(
             text.contains("logical disk: crashes 1  rebuilds 3  replayed mappings 240"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn server_section_summarizes_admission_and_service_latency() {
+        let mut art = artifact();
+        // A run that never served a wire request prints no section.
+        assert!(!summarize("x.json", &art).contains("graft-server:"));
+
+        let mut counters = Json::object();
+        counters
+            .set("server.requests", 4100u64)
+            .set("server.served", 4000u64)
+            .set("server.replies", 4100u64)
+            .set("server.conns", 130u64)
+            .set("server.inflight.peak", 48u64)
+            .set("server.rejected.overloaded", 2u64)
+            .set("server.rejected.quota", 1u64)
+            .set("server.rejected.quarantined", 29u64)
+            .set("server.malformed", 3u64)
+            .set("server.tenants", 96u64)
+            .set("server.tenants.quarantined", 1u64);
+        let mut hist = Json::object();
+        hist.set("name", "server.service_ns")
+            .set("count", 4000u64)
+            .set("sum", 8_000_000u64)
+            .set("mean", 2000.0)
+            .set("p50", 1500.0)
+            .set("p99", 9000.0)
+            .set("p999", 21000.0);
+        let mut metrics = Json::object();
+        metrics.set("counters", counters).set("histograms", vec![hist]);
+        art.metrics = metrics;
+
+        let text = summarize("x.json", &art);
+        assert!(text.contains("graft-server:"), "{text}");
+        assert!(
+            text.contains("requests 4100  served 4000  replies 4100  conns 130  in-flight peak 48"),
+            "{text}"
+        );
+        assert!(
+            text.contains("rejected overloaded 2  quota 1  quarantined 29  malformed frames 3"),
+            "{text}"
+        );
+        assert!(text.contains("tenants: 96  quarantined 1"), "{text}");
+        assert!(
+            text.contains("service latency: p50=1.500 µs p99=9.000 µs p999=21.000 µs (4000 samples)"),
             "{text}"
         );
     }

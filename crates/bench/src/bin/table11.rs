@@ -1,0 +1,33 @@
+//! Regenerates Table 11: the graft server under multi-tenant service
+//! load — p50/p99/p999 service latency and saturation throughput per
+//! technology and arrival skew across the shard ladder (1/2/4/8 by
+//! default, or a single count via `--shards N`), plus the
+//! noisy-neighbor quarantine drill. `--tenants`/`--conns` reshape the
+//! simulated population; `--arrival` restricts the run to one arrival
+//! skew (see `docs/server.md`).
+
+use graft_core::artifact::{self, RunArtifact};
+use graft_core::experiment::{ServiceLoad, Skew, ARRIVALS11, LADDER11};
+
+fn main() {
+    let cli = graft_bench::cli_from_args();
+    let ladder: Vec<usize> = match cli.shards {
+        Some(s) => vec![s],
+        None => LADDER11.to_vec(),
+    };
+    let arrivals: Vec<Skew> = match cli.arrival {
+        Some(a) => vec![a],
+        None => ARRIVALS11.to_vec(),
+    };
+    let default_load = ServiceLoad::default();
+    let load = ServiceLoad {
+        tenants: cli.tenants.unwrap_or(default_load.tenants),
+        conns: cli.conns.unwrap_or(default_load.conns),
+    };
+    let t = graft_core::experiment::table11_with(&cli.config, &ladder, &arrivals, &load)
+        .expect("table 11 runs");
+    print!("{}", graft_core::report::render_table11(&t));
+    let mut art = RunArtifact::begin(&cli.config);
+    art.add_table("table11", artifact::table11_json(&t));
+    graft_bench::maybe_write_artifact(&cli, &mut art);
+}

@@ -13,6 +13,7 @@
 //! | `table7` | Table 7 (ours: multi-tenant churn under graft-host) |
 //! | `table8` | Table 8 (ours: sharded multi-core dispatch scaling) |
 //! | `table9` | Table 9 (ours: graft recovery under fault injection) |
+//! | `table11` | Table 11 (ours: graft-server multi-tenant service benchmark) |
 //! | `table12` | Table 12 (ours: flight-recorder overhead + postmortem drill) |
 //! | `table13` | Table 13 (ours: adaptive dispatch under skewed load) |
 //! | `figure1` | Figure 1 (break-even vs upcall time, CSV) |
@@ -39,7 +40,7 @@ use graft_core::artifact::RunArtifact;
 use graft_core::experiment::RunConfig;
 
 /// Usage string shared by `--help` and error reporting.
-pub const USAGE: &str = "usage: [--quick|--full] [--offline] [--json <path>] [--no-telemetry] [--trace] [--shards <n>] [--steal] [--skew <uniform|8020|9901>] [--faults <seed>] [--fault-rate <permille>]";
+pub const USAGE: &str = "usage: [--quick|--full] [--offline] [--json <path>] [--no-telemetry] [--trace] [--shards <n>] [--steal] [--skew <uniform|8020|9901>] [--tenants <n>] [--conns <n>] [--arrival <uniform|8020|9901>] [--faults <seed>] [--fault-rate <permille>]";
 
 /// Parsed command line: the run configuration plus artifact options.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,6 +68,17 @@ pub struct Cli {
     /// `--skew <uniform|8020|9901>`: restrict Table 13 to one key
     /// skew instead of all three.
     pub skew: Option<graft_core::experiment::Skew>,
+    /// `--tenants <n>`: Table 11's simulated tenant population.
+    /// Validated at parse time — 0 and populations beyond 1,000,000
+    /// are rejected as [`CliError::BadValue`].
+    pub tenants: Option<usize>,
+    /// `--conns <n>`: Table 11's open connections per serving cohort.
+    /// Validated at parse time — 0 and counts beyond 10,000 are
+    /// rejected as [`CliError::BadValue`].
+    pub conns: Option<usize>,
+    /// `--arrival <uniform|8020|9901>`: restrict Table 11 to one
+    /// arrival skew instead of its default pair.
+    pub arrival: Option<graft_core::experiment::Skew>,
 }
 
 /// A CLI parse outcome that is not a runnable configuration.
@@ -127,6 +139,9 @@ pub fn parse_cli_with_parallelism(args: &[String], parallelism: usize) -> Result
         shards: None,
         steal: false,
         skew: None,
+        tenants: None,
+        conns: None,
+        arrival: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -161,6 +176,36 @@ pub fn parse_cli_with_parallelism(args: &[String], parallelism: usize) -> Result
                 let parsed = graft_core::experiment::Skew::parse(s)
                     .ok_or_else(|| CliError::BadValue("--skew".into(), s.clone()))?;
                 cli.skew = Some(parsed);
+            }
+            "--tenants" => {
+                let n = it
+                    .next()
+                    .ok_or_else(|| CliError::MissingValue("--tenants".into()))?;
+                let parsed: usize = n
+                    .parse()
+                    .ok()
+                    .filter(|&v| (1..=1_000_000).contains(&v))
+                    .ok_or_else(|| CliError::BadValue("--tenants".into(), n.clone()))?;
+                cli.tenants = Some(parsed);
+            }
+            "--conns" => {
+                let n = it
+                    .next()
+                    .ok_or_else(|| CliError::MissingValue("--conns".into()))?;
+                let parsed: usize = n
+                    .parse()
+                    .ok()
+                    .filter(|&v| (1..=10_000).contains(&v))
+                    .ok_or_else(|| CliError::BadValue("--conns".into(), n.clone()))?;
+                cli.conns = Some(parsed);
+            }
+            "--arrival" => {
+                let s = it
+                    .next()
+                    .ok_or_else(|| CliError::MissingValue("--arrival".into()))?;
+                let parsed = graft_core::experiment::Skew::parse(s)
+                    .ok_or_else(|| CliError::BadValue("--arrival".into(), s.clone()))?;
+                cli.arrival = Some(parsed);
             }
             "--faults" => {
                 let n = it
@@ -378,6 +423,56 @@ mod tests {
         assert_eq!(
             parse_cli(&strings(&["--skew", "zipf"])),
             Err(CliError::BadValue("--skew".into(), "zipf".into()))
+        );
+    }
+
+    #[test]
+    fn tenants_and_conns_flags_parse_and_validate() {
+        let cli = parse_cli(&[]).unwrap();
+        assert_eq!(cli.tenants, None);
+        assert_eq!(cli.conns, None);
+        let cli = parse_cli(&strings(&["--tenants", "10000", "--conns", "64"])).unwrap();
+        assert_eq!(cli.tenants, Some(10_000));
+        assert_eq!(cli.conns, Some(64));
+        assert_eq!(
+            parse_cli(&strings(&["--tenants"])),
+            Err(CliError::MissingValue("--tenants".into()))
+        );
+        assert_eq!(
+            parse_cli(&strings(&["--tenants", "0"])),
+            Err(CliError::BadValue("--tenants".into(), "0".into()))
+        );
+        assert_eq!(
+            parse_cli(&strings(&["--tenants", "1000001"])),
+            Err(CliError::BadValue("--tenants".into(), "1000001".into()))
+        );
+        assert_eq!(
+            parse_cli(&strings(&["--conns", "0"])),
+            Err(CliError::BadValue("--conns".into(), "0".into()))
+        );
+        assert_eq!(
+            parse_cli(&strings(&["--conns", "10001"])),
+            Err(CliError::BadValue("--conns".into(), "10001".into()))
+        );
+    }
+
+    #[test]
+    fn arrival_flag_parses_the_skew_spellings() {
+        use graft_core::experiment::Skew;
+        assert_eq!(parse_cli(&[]).unwrap().arrival, None);
+        let cli = parse_cli(&strings(&["--arrival", "8020"])).unwrap();
+        assert_eq!(cli.arrival, Some(Skew::Skew8020));
+        assert_eq!(
+            parse_cli(&strings(&["--arrival", "uniform"])).unwrap().arrival,
+            Some(Skew::Uniform)
+        );
+        assert_eq!(
+            parse_cli(&strings(&["--arrival"])),
+            Err(CliError::MissingValue("--arrival".into()))
+        );
+        assert_eq!(
+            parse_cli(&strings(&["--arrival", "poisson"])),
+            Err(CliError::BadValue("--arrival".into(), "poisson".into()))
         );
     }
 

@@ -19,8 +19,8 @@ use graft_telemetry::MetricsSnapshot;
 use kernsim::stats::Sample;
 
 use crate::experiment::{
-    Figure1, RunConfig, Table1, Table12, Table13, Table2, Table3, Table4, Table5, Table6, Table7,
-    Table8, Table9,
+    Figure1, RunConfig, Table1, Table11, Table12, Table13, Table2, Table3, Table4, Table5, Table6,
+    Table7, Table8, Table9,
 };
 
 /// Schema identifier embedded in every artifact.
@@ -487,10 +487,21 @@ pub fn table6_json(t: &Table6) -> Json {
             row
         })
         .collect();
+    let mut sharded = Json::object();
+    sharded
+        .set("tech", t.sharded.tech.paper_name())
+        .set("shards", t.sharded.shards)
+        .set("sample", sample_json(&t.sharded.total))
+        .set("per_block_ns", dur_ns(t.sharded.per_block))
+        .set("throughput_m", t.sharded.throughput_m)
+        .set("enqueued", t.sharded.enqueued)
+        .set("steals", t.sharded.steals)
+        .set("diverted", t.sharded.diverted);
     let mut obj = Json::object();
     obj.set("rows", rows)
         .set("writes", t.writes)
-        .set("saving_per_block_ns", dur_ns(t.saving_per_block));
+        .set("saving_per_block_ns", dur_ns(t.saving_per_block))
+        .set("sharded", sharded);
     obj
 }
 
@@ -712,6 +723,69 @@ pub fn table13_json(t: &Table13) -> Json {
             "ladder",
             t.ladder.iter().map(|&s| Json::from(s as u64)).collect::<Vec<_>>(),
         )
+        .set("runs", t.runs);
+    obj
+}
+
+/// Table 11 as JSON. Rows are labeled `tech@arrival` so every
+/// (technology, arrival) pair lands under a distinct path in the
+/// flattened sample index (the surface the service CI gate diffs);
+/// each cell carries the per-request sample plus the latency
+/// percentiles and plane counters, and the drill object carries the
+/// noisy-neighbor verdicts.
+pub fn table11_json(t: &Table11) -> Json {
+    let rows: Vec<Json> = t
+        .rows
+        .iter()
+        .map(|r| {
+            let mut row = Json::object();
+            row.set(
+                "tech",
+                format!("{}@{}", r.tech.paper_name(), r.arrival.name()),
+            )
+            .set("arrival", r.arrival.name());
+            for c in &r.cells {
+                let s = &c.service;
+                let mut cell = Json::object();
+                cell.set("shards", c.shards)
+                    .set("per_request", sample_json(&s.per_request))
+                    .set("throughput_krps", s.throughput_krps)
+                    .set("p50_ns", s.p50_ns)
+                    .set("p99_ns", s.p99_ns)
+                    .set("p999_ns", s.p999_ns)
+                    .set("served", s.served)
+                    .set("rejected", s.rejected)
+                    .set("distinct_tenants", s.distinct_tenants)
+                    .set("steals", s.steals)
+                    .set("diverted", s.diverted);
+                row.set(&format!("s{}", c.shards), cell);
+            }
+            row
+        })
+        .collect();
+    let d = &t.drill;
+    let mut drill = Json::object();
+    drill
+        .set("shards", d.shards)
+        .set("victims", d.victims)
+        .set("per_victim", d.per_victim)
+        .set("quiet_p99_ns", d.quiet_p99_ns)
+        .set("noisy_p99_ns", d.noisy_p99_ns)
+        .set("victim_p99_ratio", d.victim_p99_ratio)
+        .set("saboteur_quarantined", d.saboteur_quarantined)
+        .set("saboteur_rejections", d.saboteur_rejections)
+        .set("victim_served", d.victim_served);
+    let mut obj = Json::object();
+    obj.set("rows", rows)
+        .set(
+            "ladder",
+            t.ladder.iter().map(|&s| Json::from(s as u64)).collect::<Vec<_>>(),
+        )
+        .set("tenants", t.tenants)
+        .set("conns", t.conns)
+        .set("requests", t.requests)
+        .set("leaked", t.leaked)
+        .set("drill", drill)
         .set("runs", t.runs);
     obj
 }

@@ -6,6 +6,7 @@
 
 pub mod figure;
 pub mod micro;
+pub mod table11;
 pub mod table12;
 pub mod table13;
 pub mod table7;
@@ -16,6 +17,10 @@ pub mod tables;
 pub use figure::{figure1, Figure1};
 pub use kernsim::FaultPlan;
 pub use micro::{table1, table3, table4, Table1, Table3, Table4};
+pub use table11::{
+    table11, table11_with, ServiceLoad, ServiceResult, Table11, Table11Cell, Table11Drill,
+    Table11Row, ARRIVALS11, LADDER11, TECHS11,
+};
 pub use table12::{table12, Table12, Table12Drill, Table12Row, DRILL_SEED, DRILL_SHARDS};
 pub use table13::{
     table13, table13_with, ModeResult, Skew, Table13, Table13Cell, Table13Row, LADDER13, TECHS13,
@@ -23,7 +28,9 @@ pub use table13::{
 pub use table7::{table7, Table7, Table7Row};
 pub use table8::{table8, Table8, Table8Cell, Table8Row, LADDER};
 pub use table9::{table9, Table9, Table9Crash, Table9Row};
-pub use tables::{table2, table5, table6, Table2, Table2Row, Table5, Table5Row, Table6, Table6Row};
+pub use tables::{
+    table2, table5, table6, Table2, Table2Row, Table5, Table5Row, Table6, Table6Row, Table6Sharded,
+};
 
 /// Iteration counts and workload sizes for a whole experiment run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

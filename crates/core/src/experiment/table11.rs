@@ -1,0 +1,751 @@
+//! Table 11 (ours): the graft server under multi-tenant service load.
+//!
+//! The paper prices technologies inside one process; a production
+//! extension host is a *served* system — thousands of untrusted
+//! tenants installing and invoking grafts over a wire protocol, with
+//! admission control deciding what the data plane ever sees. This
+//! experiment drives [`graft_server::GraftServer`] through the
+//! byte-faithful in-process transport with an open-loop load
+//! generator: 10k+ simulated tenants, each owning one graft in its
+//! private namespace, submitting requests over framed connections in
+//! bounded cohorts. Requests are keyed into `ShardedHost::enqueue` by
+//! tenant, so the adaptive stealing plane serves the data plane and
+//! the shard ladder prices its scaling.
+//!
+//! Reported per (technology, arrival-skew, shard-rung) cell:
+//!
+//! * **p50/p99/p999 service latency** — measured server-side from
+//!   admission to completion (the latency sink), pooled over reps;
+//! * **saturation throughput** — requests over the serve-phase wall
+//!   clock (submission, framing, admission, plane, execution, reply
+//!   encode), best rep;
+//! * **cross-tenant leakage** — every reply's value is checked against
+//!   the submitting tenant's expected tag; any foreign verdict counts.
+//!
+//! The **noisy-neighbor drill** then replays identical victim traffic
+//! twice — once quiet, once alongside a saboteur tenant whose graft
+//! divides by zero until the supervisor quarantines it and the server
+//! bans the tenant — and compares victim p99 across the two runs. The
+//! verify.sh gates: zero leakage, saboteur quarantined while victims
+//! all serve, victim p99 within 2x of quiet.
+
+use std::time::{Duration, Instant};
+
+use graft_api::{
+    GraftClass, GraftError, GraftSpec, Motivation, NativeGraft, RegionSpec, RegionStore,
+    Technology, Trap,
+};
+use graft_rng::SmallRng;
+use graft_server::{GraftClient, GraftServer, Reply, ServerConfig, Standing, TenantQuotas};
+use kernsim::stats::Sample;
+
+use super::table13::Skew;
+use super::RunConfig;
+use crate::manager::GraftManager;
+
+/// The service ladder: the paper-scale 1/2/4/8 shard rungs.
+pub const LADDER11: [usize; 4] = [1, 2, 4, 8];
+
+/// Technologies served: the cheapest dispatch and the headline safe
+/// technology, as in Tables 8 and 13.
+pub const TECHS11: [Technology; 2] = [Technology::RustNative, Technology::SafeCompiled];
+
+/// Arrival skews driven by default: uniform and 80-20 (`--arrival`
+/// restricts to one, and also admits the 99-1 spelling).
+pub const ARRIVALS11: [Skew; 2] = [Skew::Uniform, Skew::Skew8020];
+
+/// Victim requests each drill victim submits.
+const DRILL_PER_VICTIM: usize = 48;
+
+/// Simulated population shape: how many tenants exist and how many
+/// connections a serving cohort keeps open at once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceLoad {
+    /// Tenant population requests are drawn from (`--tenants`).
+    pub tenants: usize,
+    /// Open connections per cohort (`--conns`): active tenants are
+    /// served in cohorts of this many simultaneously-open framed
+    /// connections.
+    pub conns: usize,
+}
+
+impl Default for ServiceLoad {
+    fn default() -> Self {
+        ServiceLoad {
+            tenants: 10_000,
+            conns: 64,
+        }
+    }
+}
+
+/// One cell's service measurement.
+#[derive(Debug, Clone)]
+pub struct ServiceResult {
+    /// Serve-phase critical path divided by requests (the regression
+    /// envelope surface).
+    pub per_request: Sample,
+    /// Saturation throughput in thousand requests/second, best rep.
+    pub throughput_krps: f64,
+    /// Median service latency (admission to completion), pooled reps.
+    pub p50_ns: u64,
+    /// 99th-percentile service latency.
+    pub p99_ns: u64,
+    /// 99.9th-percentile service latency.
+    pub p999_ns: u64,
+    /// Requests served to completion across all reps.
+    pub served: u64,
+    /// Typed refusals across all reps (0 in a well-sized run).
+    pub rejected: u64,
+    /// Tenants that actually appeared in the drawn trace.
+    pub distinct_tenants: usize,
+    /// Items the adaptive plane stole across shards.
+    pub steals: u64,
+    /// Items placed away from their home shard at submit time.
+    pub diverted: u64,
+}
+
+/// One (technology, arrival) pair at one shard count.
+#[derive(Debug, Clone)]
+pub struct Table11Cell {
+    /// Worker shards serving the data plane.
+    pub shards: usize,
+    /// The cell's measurement.
+    pub service: ServiceResult,
+}
+
+/// One technology's ladder under one arrival skew.
+#[derive(Debug, Clone)]
+pub struct Table11Row {
+    /// Technology hosting every tenant's graft.
+    pub tech: Technology,
+    /// Arrival skew of the drawn request trace.
+    pub arrival: Skew,
+    /// One cell per ladder rung, ascending.
+    pub cells: Vec<Table11Cell>,
+}
+
+impl Table11Row {
+    /// The cell at a shard count.
+    pub fn cell(&self, shards: usize) -> Option<&Table11Cell> {
+        self.cells.iter().find(|c| c.shards == shards)
+    }
+}
+
+/// The noisy-neighbor drill: identical victim traffic, quiet vs with a
+/// trapping saboteur tenant.
+#[derive(Debug, Clone)]
+pub struct Table11Drill {
+    /// Shards serving the drill.
+    pub shards: usize,
+    /// Victim tenants.
+    pub victims: usize,
+    /// Requests each victim submits.
+    pub per_victim: usize,
+    /// Victim p99 with no saboteur (best rep).
+    pub quiet_p99_ns: u64,
+    /// Victim p99 with the saboteur active (best rep).
+    pub noisy_p99_ns: u64,
+    /// `noisy_p99 / quiet_p99` — the verify.sh 2x bound.
+    pub victim_p99_ratio: f64,
+    /// Whether the saboteur tenant ended the noisy runs banned or
+    /// parked (every rep).
+    pub saboteur_quarantined: bool,
+    /// Saboteur requests refused at admission after the ban.
+    pub saboteur_rejections: u64,
+    /// Victim requests served in the noisy run (must be all of them).
+    pub victim_served: u64,
+}
+
+/// Table 11: the graft server across technologies, arrivals, and the
+/// shard ladder, plus the noisy-neighbor drill.
+#[derive(Debug, Clone)]
+pub struct Table11 {
+    /// Rows in (technology, arrival) order.
+    pub rows: Vec<Table11Row>,
+    /// The shard counts measured, ascending.
+    pub ladder: Vec<usize>,
+    /// Tenant population.
+    pub tenants: usize,
+    /// Open connections per cohort.
+    pub conns: usize,
+    /// Requests drawn per cell per rep.
+    pub requests: usize,
+    /// Timing reps per cell.
+    pub runs: usize,
+    /// Replies whose value did not match the submitting tenant's
+    /// expected tag, across every cell and the drill. Gate: zero.
+    pub leaked: u64,
+    /// The noisy-neighbor drill.
+    pub drill: Table11Drill,
+}
+
+impl Table11 {
+    /// The row for a (technology, arrival) pair.
+    pub fn row(&self, tech: Technology, arrival: Skew) -> Option<&Table11Row> {
+        self.rows
+            .iter()
+            .find(|r| r.tech == tech && r.arrival == arrival)
+    }
+}
+
+/// Grail source for the tenant-tag graft: `select_victim(tenant, x)`
+/// returns the tenant-unique tag `tenant * 31 + x`, and divides by
+/// zero when `x == 0` (the saboteur's payload).
+const TAG_GRAIL: &str = r#"
+// Tenant tag: a verdict no other tenant's graft can produce, plus a
+// deterministic trap lever (x == 0 divides by zero).
+
+fn select_victim(tenant: int, x: int) -> int {
+    return tenant * 31 + x + x / x - 1;
+}
+"#;
+
+/// Native implementation of the same tag.
+#[derive(Debug, Default)]
+struct NativeTag;
+
+impl NativeGraft for NativeTag {
+    fn call(
+        &mut self,
+        entry: &str,
+        args: &[i64],
+        _regions: &mut RegionStore,
+    ) -> Result<i64, GraftError> {
+        if entry != "select_victim" {
+            return Err(graft_api::engine::no_such_entry(entry));
+        }
+        if args[1] == 0 {
+            return Err(Trap::DivByZero.into());
+        }
+        Ok(args[0] * 31 + args[1])
+    }
+}
+
+/// The tenant-tag graft package.
+fn tag_spec() -> GraftSpec {
+    GraftSpec::new("tenant-tag", GraftClass::BlackBox, Motivation::Functionality)
+        .region(RegionSpec::data("scratch", 8))
+        .entry("select_victim", 2)
+        .with_grail(TAG_GRAIL)
+        .with_native(Box::new(|| Box::<NativeTag>::default()))
+}
+
+/// Spec name on the wire.
+const SPEC: &str = "tag";
+
+/// VmEvict attach-point code on the wire (Install frame).
+const POINT_VM_EVICT: u8 = 0;
+
+/// Requests drawn per cell per rep.
+fn requests_for(cfg: &RunConfig) -> usize {
+    (cfg.evict_iters * 4).clamp(256, 40_000)
+}
+
+/// Submission wave between pump/drain rounds.
+fn wave_for(shards: usize) -> usize {
+    (shards * 16).max(16)
+}
+
+/// Draws one tenant id from a population of `n` under `arrival`.
+fn draw_tenant(arrival: Skew, rng: &mut SmallRng, n: u64) -> u64 {
+    if n <= 1 {
+        return 0;
+    }
+    match arrival {
+        Skew::Uniform => rng.bounded_u64(n),
+        Skew::Skew8020 => {
+            let hot = (n / 5).max(1);
+            if rng.gen_f64() < 0.8 {
+                rng.bounded_u64(hot)
+            } else {
+                hot + rng.bounded_u64(n - hot)
+            }
+        }
+        Skew::Skew9901 => {
+            if rng.gen_f64() < 0.99 {
+                0
+            } else {
+                1 + rng.bounded_u64(n - 1)
+            }
+        }
+    }
+}
+
+/// Index into a sorted latency pool at `num/den` of the way up.
+fn percentile(sorted: &[u64], num: usize, den: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[(sorted.len() * num / den).min(sorted.len() - 1)]
+}
+
+/// A fresh server for one cell/drill: one-graft-per-tenant quotas, the
+/// stealing plane, the `tag` spec loaded through [`GraftManager`], and
+/// the latency sink armed.
+fn tag_server(shards: usize, backoff_base: u64) -> GraftServer {
+    let mut server = GraftServer::new(ServerConfig {
+        shards,
+        quotas: TenantQuotas {
+            max_grafts: 1,
+            fuel_budget: None,
+            max_in_flight: 64,
+        },
+        backoff_base,
+        ..ServerConfig::default()
+    });
+    let manager = GraftManager::new();
+    server.register_spec(SPEC, Box::new(move |tech| manager.load(&tag_spec(), tech)));
+    server.collect_latency(true);
+    server
+}
+
+/// One tenant's open connection inside a serving cohort.
+struct Session {
+    tenant: u64,
+    client: GraftClient,
+    graft: u64,
+    /// `(seq, k)` for every invoke submitted and not yet verified.
+    sent: Vec<(u32, i64)>,
+    /// Requests still to submit this rep.
+    remaining: usize,
+    /// Submitted since the last drain (per-tenant in-flight bound).
+    outstanding: usize,
+}
+
+/// Opens one cohort: hello every tenant, install its graft on first
+/// contact (ids persist per tenant across cohorts and reps). Untimed —
+/// connection churn is not the service cost under measurement.
+fn open_cohort(
+    server: &mut GraftServer,
+    tech: u8,
+    tenants: &[(u64, usize)],
+    grafts: &mut [Option<u64>],
+) -> Vec<Session> {
+    let mut sessions = Vec::with_capacity(tenants.len());
+    for &(tenant, remaining) in tenants {
+        let conn = server.connect();
+        let mut client = GraftClient::new(conn);
+        let hello = client.hello(tenant);
+        server.ingest(conn, &hello);
+        let graft = match grafts[tenant as usize] {
+            Some(g) => {
+                server.pump_conn(conn);
+                let _ = server.take_outbound(conn); // discard the Welcome
+                g
+            }
+            None => {
+                let install = client.install(POINT_VM_EVICT, tech, SPEC);
+                server.ingest(conn, &install);
+                server.pump_conn(conn);
+                let out = server.take_outbound(conn);
+                let replies = client.on_bytes(&out).expect("well-formed frames");
+                let g = replies
+                    .iter()
+                    .find_map(|r| match r {
+                        Reply::Installed { graft, .. } => Some(*graft),
+                        _ => None,
+                    })
+                    .unwrap_or_else(|| panic!("install failed for t{tenant}: {replies:?}"));
+                grafts[tenant as usize] = Some(g);
+                g
+            }
+        };
+        sessions.push(Session {
+            tenant,
+            client,
+            graft,
+            sent: Vec::with_capacity(remaining),
+            remaining,
+            outstanding: 0,
+        });
+    }
+    sessions
+}
+
+/// Serves one cohort to completion: round-robin wave submission
+/// through the wire, then pump + steal-plane drain per wave. The
+/// saboteur id (if any) always submits the trap payload `x == 0`;
+/// everyone else advances its per-tenant counter in `next_k`. Returns
+/// the serve-phase duration. Timed — this is the service cost.
+fn serve_cohort(
+    server: &mut GraftServer,
+    sessions: &mut [Session],
+    next_k: &mut [i64],
+    wave: usize,
+    saboteur: Option<u64>,
+) -> Duration {
+    // Keep per-tenant in-flight under the admission cap (64) even when
+    // one hot tenant is the only submitter left in the cohort.
+    const OUT_CAP: usize = 32;
+    let len = sessions.len();
+    // A rotating cursor, not a restart-from-zero scan: every session
+    // keeps submitting across waves (fair interleaving), so a noisy
+    // tenant's traffic genuinely competes with everyone else's.
+    let mut cursor = 0usize;
+    let start = Instant::now();
+    loop {
+        let mut sent = 0usize;
+        let mut skipped = 0usize;
+        while sent < wave && skipped < len {
+            let s = &mut sessions[cursor % len];
+            cursor += 1;
+            if s.remaining == 0 || s.outstanding >= OUT_CAP {
+                skipped += 1;
+                continue;
+            }
+            skipped = 0;
+            let k = if saboteur == Some(s.tenant) {
+                0
+            } else {
+                let k = next_k[s.tenant as usize];
+                next_k[s.tenant as usize] += 1;
+                k
+            };
+            let (seq, bytes) = s.client.invoke(s.graft, 0, &[s.tenant as i64, k]);
+            server.ingest(s.client.conn, &bytes);
+            s.sent.push((seq, k));
+            s.remaining -= 1;
+            s.outstanding += 1;
+            sent += 1;
+        }
+        if sent == 0 {
+            break;
+        }
+        for s in sessions.iter_mut() {
+            server.pump_conn(s.client.conn);
+            s.outstanding = 0;
+        }
+        server.drain_all();
+    }
+    start.elapsed()
+}
+
+/// Verifies every reply each session accumulated against the
+/// submitting tenant's expected tag, then closes the connection.
+/// Returns the number of foreign or mismatched verdicts. Untimed.
+fn verify_and_close(server: &mut GraftServer, sessions: Vec<Session>) -> u64 {
+    let mut leaked = 0u64;
+    for mut s in sessions {
+        let out = server.take_outbound(s.client.conn);
+        let replies = s.client.on_bytes(&out).expect("well-formed frames");
+        for r in &replies {
+            if let Reply::Value { seq, value } = r {
+                match s.sent.iter().find(|(q, _)| q == seq) {
+                    Some(&(_, k)) if *value == s.tenant as i64 * 31 + k => {}
+                    _ => leaked += 1,
+                }
+            }
+        }
+        let bye = s.client.bye();
+        server.ingest(s.client.conn, &bye);
+        server.pump_conn(s.client.conn);
+        let _ = server.take_outbound(s.client.conn);
+    }
+    leaked
+}
+
+/// Runs one (technology, arrival, shards) cell.
+fn cell_run(
+    cfg: &RunConfig,
+    tech: Technology,
+    arrival: Skew,
+    shards: usize,
+    load: &ServiceLoad,
+    leaked: &mut u64,
+) -> Result<Table11Cell, GraftError> {
+    let tech_code = Technology::ALL
+        .iter()
+        .position(|&t| t == tech)
+        .expect("known technology") as u8;
+    let requests = requests_for(cfg);
+    let reps = cfg.runs.clamp(1, 3);
+    let population = load.tenants.max(1);
+    let wave = wave_for(shards);
+
+    // The drawn trace: per-tenant request counts, fixed per cell so
+    // every rep serves identical work.
+    let mut rng = SmallRng::seed_from_u64(
+        0x1100 + shards as u64 + ((arrival as u64) << 8) + ((tech_code as u64) << 16),
+    );
+    let mut counts = vec![0usize; population];
+    for _ in 0..requests {
+        counts[draw_tenant(arrival, &mut rng, population as u64) as usize] += 1;
+    }
+    let active: Vec<(u64, usize)> = counts
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c > 0)
+        .map(|(t, &c)| (t as u64, c))
+        .collect();
+
+    let mut server = tag_server(shards, ServerConfig::default().backoff_base);
+    let mut grafts = vec![None; population];
+    let mut next_k = vec![1i64; population];
+    let mut criticals = Vec::with_capacity(reps);
+    let mut pool: Vec<u64> = Vec::with_capacity(requests * reps);
+    for _ in 0..reps {
+        let mut serve = Duration::ZERO;
+        for cohort in active.chunks(load.conns.max(1)) {
+            let mut sessions = open_cohort(&mut server, tech_code, cohort, &mut grafts);
+            serve += serve_cohort(&mut server, &mut sessions, &mut next_k, wave, None);
+            *leaked += verify_and_close(&mut server, sessions);
+        }
+        criticals.push(serve);
+        pool.extend(server.take_latencies().into_iter().map(|(_, ns)| ns));
+    }
+    pool.sort_unstable();
+
+    let stats = server.stats();
+    let q = server.queue_stats();
+    let critical = Sample::from_runs(&criticals);
+    Ok(Table11Cell {
+        shards,
+        service: ServiceResult {
+            throughput_krps: requests as f64 * 1e6 / critical.best_ns(),
+            per_request: critical.per(requests),
+            p50_ns: percentile(&pool, 1, 2),
+            p99_ns: percentile(&pool, 99, 100),
+            p999_ns: percentile(&pool, 999, 1000),
+            served: stats.served,
+            rejected: stats.rejected_overloaded + stats.rejected_quota + stats.rejected_quarantined,
+            distinct_tenants: active.len(),
+            steals: q.steals,
+            diverted: q.diverted,
+        },
+    })
+}
+
+/// One drill pass: `victims` tenants submit identical traffic; when
+/// `saboteur` is true an extra tenant interleaves divide-by-zero
+/// payloads until the supervisor quarantines its graft and the server
+/// bans the tenant (`backoff_base: 0` makes the park permanent).
+/// Returns `(victim p99, victim served, leaked, admission rejections,
+/// saboteur quarantined)`.
+fn drill_run(
+    shards: usize,
+    victims: usize,
+    per_victim: usize,
+    saboteur: bool,
+) -> (u64, u64, u64, u64, bool) {
+    let sab_id = victims as u64;
+    let population = victims + 1;
+    let mut server = tag_server(shards, 0);
+    let mut grafts = vec![None; population];
+    let mut next_k = vec![1i64; population];
+
+    let mut cohort: Vec<(u64, usize)> = (0..victims as u64).map(|t| (t, per_victim)).collect();
+    if saboteur {
+        // Front of the cohort: the saboteur's traps land while victim
+        // traffic is in flight, which is the scenario under test.
+        cohort.insert(0, (sab_id, per_victim.min(32)));
+    }
+    let mut sessions = open_cohort(&mut server, 0, &cohort, &mut grafts);
+    serve_cohort(
+        &mut server,
+        &mut sessions,
+        &mut next_k,
+        wave_for(shards),
+        saboteur.then_some(sab_id),
+    );
+
+    let mut victim_lat: Vec<u64> = server
+        .take_latencies()
+        .into_iter()
+        .filter(|&(t, _)| t != sab_id)
+        .map(|(_, ns)| ns)
+        .collect();
+    victim_lat.sort_unstable();
+    let victim_served = victim_lat.len() as u64;
+
+    // Verify victims only — the saboteur's replies are traps and
+    // refusals by design; its connection is just drained and closed.
+    let mut leaked = 0u64;
+    for s in sessions {
+        if s.tenant == sab_id {
+            let mut c = s.client;
+            let out = server.take_outbound(c.conn);
+            let _ = c.on_bytes(&out);
+            let bye = c.bye();
+            server.ingest(c.conn, &bye);
+            server.pump_conn(c.conn);
+            let _ = server.take_outbound(c.conn);
+        } else {
+            leaked += verify_and_close(&mut server, vec![s]);
+        }
+    }
+
+    let quarantined = matches!(
+        server.tenant_standing(sab_id),
+        Some(Standing::Banned) | Some(Standing::Parked { .. })
+    );
+    (
+        percentile(&victim_lat, 99, 100),
+        victim_served,
+        leaked,
+        server.stats().rejected_quarantined,
+        quarantined,
+    )
+}
+
+/// Runs the noisy-neighbor drill: paired quiet/noisy passes per rep,
+/// reporting the best (minimum) p99 of each side — the repo's robust
+/// estimator convention, which keeps the ratio gate CI-stable.
+fn drill(cfg: &RunConfig, ladder: &[usize], leaked: &mut u64) -> Table11Drill {
+    let shards = ladder.iter().copied().max().unwrap_or(1).min(4);
+    let victims = 96;
+    let reps = cfg.runs.clamp(1, 3);
+
+    let mut quiet_best = u64::MAX;
+    let mut noisy_best = u64::MAX;
+    let mut victim_served = 0;
+    let mut rejections = 0;
+    let mut quarantined = true;
+    for _ in 0..reps {
+        let (qp99, _, ql, _, _) = drill_run(shards, victims, DRILL_PER_VICTIM, false);
+        let (np99, nserved, nl, nrej, nq) = drill_run(shards, victims, DRILL_PER_VICTIM, true);
+        *leaked += ql + nl;
+        quiet_best = quiet_best.min(qp99.max(1));
+        noisy_best = noisy_best.min(np99.max(1));
+        victim_served = nserved;
+        rejections = nrej;
+        quarantined &= nq;
+    }
+    Table11Drill {
+        shards,
+        victims,
+        per_victim: DRILL_PER_VICTIM,
+        quiet_p99_ns: quiet_best,
+        noisy_p99_ns: noisy_best,
+        victim_p99_ratio: noisy_best as f64 / quiet_best as f64,
+        saboteur_quarantined: quarantined,
+        saboteur_rejections: rejections,
+        victim_served,
+    }
+}
+
+/// Runs the Table 11 experiment over `ladder` (ascending shard counts;
+/// pass `&LADDER11` for the default 1/2/4/8), both default arrivals,
+/// and the default 10k-tenant population.
+pub fn table11(cfg: &RunConfig, ladder: &[usize]) -> Result<Table11, GraftError> {
+    table11_with(cfg, ladder, &ARRIVALS11, &ServiceLoad::default())
+}
+
+/// [`table11`] restricted to `arrivals` (the `--arrival` flag) and a
+/// custom population shape (`--tenants`/`--conns`).
+pub fn table11_with(
+    cfg: &RunConfig,
+    ladder: &[usize],
+    arrivals: &[Skew],
+    load: &ServiceLoad,
+) -> Result<Table11, GraftError> {
+    let _span = graft_telemetry::span!("table11_server");
+    assert!(!ladder.is_empty(), "empty shard ladder");
+    assert!(!arrivals.is_empty(), "empty arrival list");
+    let mut leaked = 0u64;
+    let mut rows = Vec::new();
+    for tech in TECHS11 {
+        for &arrival in arrivals {
+            let mut cells = Vec::new();
+            for &shards in ladder {
+                cells.push(cell_run(cfg, tech, arrival, shards, load, &mut leaked)?);
+            }
+            rows.push(Table11Row {
+                tech,
+                arrival,
+                cells,
+            });
+        }
+    }
+    let drill = drill(cfg, ladder, &mut leaked);
+    Ok(Table11 {
+        rows,
+        ladder: ladder.to_vec(),
+        tenants: load.tenants,
+        conns: load.conns,
+        requests: requests_for(cfg),
+        runs: cfg.runs.clamp(1, 3),
+        leaked,
+        drill,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> RunConfig {
+        RunConfig {
+            runs: 1,
+            evict_iters: 64,
+            script_evict_iters: 8,
+            md5_bytes: 128,
+            script_md5_bytes: 128,
+            ld_writes: 64,
+            ld_blocks: 64,
+            live: false,
+            faults: None,
+        }
+    }
+
+    fn small_load() -> ServiceLoad {
+        ServiceLoad {
+            tenants: 200,
+            conns: 16,
+        }
+    }
+
+    #[test]
+    fn every_cell_serves_everything_and_nothing_leaks() {
+        let t = table11_with(&tiny(), &[1, 2], &ARRIVALS11, &small_load()).unwrap();
+        assert_eq!(t.rows.len(), TECHS11.len() * ARRIVALS11.len());
+        assert_eq!(t.leaked, 0, "cross-tenant verdict leakage");
+        let per_rep = requests_for(&tiny()) as u64;
+        for row in &t.rows {
+            assert_eq!(row.cells.len(), 2);
+            for c in &row.cells {
+                let s = &c.service;
+                assert_eq!(s.served, per_rep, "{} {}", row.tech, row.arrival.name());
+                assert_eq!(s.rejected, 0);
+                assert!(s.throughput_krps > 0.0);
+                assert!(s.p50_ns <= s.p99_ns && s.p99_ns <= s.p999_ns);
+                assert!(s.p50_ns > 0);
+                assert!(s.distinct_tenants > 0 && s.distinct_tenants <= 200);
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_arrivals_concentrate_the_tenant_set() {
+        let t = table11_with(&tiny(), &[1], &ARRIVALS11, &small_load()).unwrap();
+        let uni = t.row(Technology::RustNative, Skew::Uniform).unwrap();
+        let hot = t.row(Technology::RustNative, Skew::Skew8020).unwrap();
+        assert!(
+            hot.cells[0].service.distinct_tenants < uni.cells[0].service.distinct_tenants,
+            "80-20 hit {} tenants, uniform {}",
+            hot.cells[0].service.distinct_tenants,
+            uni.cells[0].service.distinct_tenants
+        );
+    }
+
+    #[test]
+    fn noisy_drill_quarantines_the_saboteur_and_victims_keep_serving() {
+        let t = table11_with(&tiny(), &[2], &[Skew::Uniform], &small_load()).unwrap();
+        let d = &t.drill;
+        assert!(d.saboteur_quarantined, "{d:?}");
+        assert!(d.saboteur_rejections > 0, "{d:?}");
+        assert_eq!(d.victim_served, (d.victims * d.per_victim) as u64, "{d:?}");
+        assert!(d.victim_p99_ratio.is_finite() && d.victim_p99_ratio > 0.0);
+        assert_eq!(t.leaked, 0);
+    }
+
+    #[test]
+    fn tenant_draws_cover_the_population_shapes() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for arrival in Skew::ALL {
+            for _ in 0..100 {
+                assert!(draw_tenant(arrival, &mut rng, 50) < 50);
+            }
+            assert_eq!(draw_tenant(arrival, &mut rng, 1), 0);
+        }
+    }
+}

@@ -1,8 +1,9 @@
 //! Tables 2, 5, and 6: the per-technology graft measurements.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use graft_api::{GraftError, Technology};
+use graft_kernel::{AttachPoint, ShardedHost, StealPolicy};
 use grafts::{eviction, logdisk as ld_graft, md5 as md5_graft};
 use kernsim::stats::{measure, measure_per_iter, Sample};
 use kernsim::DiskModel;
@@ -246,6 +247,30 @@ pub struct Table6Row {
     pub pays_off: bool,
 }
 
+/// The same write stream served by the adaptive sharded plane: keyed
+/// submission through `ShardedHost::enqueue` (home shard by block,
+/// diversion and stealing on), so Table 6 exercises the data plane the
+/// graft server runs on rather than pre-balanced per-shard slices.
+#[derive(Debug, Clone)]
+pub struct Table6Sharded {
+    /// Worker shards in the host.
+    pub shards: usize,
+    /// Technology on every shard.
+    pub tech: Technology,
+    /// Critical path (slowest shard) over the whole stream.
+    pub total: Sample,
+    /// Critical path divided by writes.
+    pub per_block: Duration,
+    /// Writes per millisecond on the critical path, best run.
+    pub throughput_m: f64,
+    /// Items accepted by the plane (must equal the write count).
+    pub enqueued: u64,
+    /// Items transferred by steals.
+    pub steals: u64,
+    /// Items placed away from their home shard at submit time.
+    pub diverted: u64,
+}
+
 /// Table 6: Logical Disk bookkeeping.
 #[derive(Debug, Clone)]
 pub struct Table6 {
@@ -255,6 +280,8 @@ pub struct Table6 {
     pub writes: usize,
     /// Per-block time batching saves under the disk model.
     pub saving_per_block: Duration,
+    /// The write stream re-served through the adaptive sharded plane.
+    pub sharded: Table6Sharded,
 }
 
 impl Table6 {
@@ -328,10 +355,84 @@ pub fn table6(cfg: &RunConfig, model: &DiskModel) -> Result<Table6, GraftError> 
         row.normalized = row.total.best_ns() / c_ns;
         row.vs_native = row.total.best_ns() / native_ns;
     }
+    let sharded = table6_sharded(cfg, &manager, &writes)?;
     Ok(Table6 {
         rows,
         writes: writes.len(),
         saving_per_block: model.batching_saving_per_block(),
+        sharded,
+    })
+}
+
+/// Shards the host the ROADMAP way: the same skewed write stream,
+/// submitted keyed-by-block through `ShardedHost::enqueue` in bounded
+/// waves and drained through the stealing plane, shard at a time, so
+/// the table's sharded figure prices the adaptive data plane
+/// end-to-end (as Table 11's server does) instead of hand-balanced
+/// slices.
+fn table6_sharded(
+    cfg: &RunConfig,
+    manager: &GraftManager,
+    writes: &[i64],
+) -> Result<Table6Sharded, GraftError> {
+    const T6_SHARDS: usize = 4;
+    let spec = ld_graft::spec_sized(cfg.ld_blocks);
+    let engine = manager.load(&spec, Technology::RustNative)?;
+    let mut host = ShardedHost::new(T6_SHARDS);
+    let id = host.install(AttachPoint::DiskWrite, "t6", engine)?;
+    let mut handles = host.take_handles();
+
+    let runs = cfg.runs.clamp(1, 3);
+    let mut criticals = Vec::with_capacity(runs);
+    let mut stats = graft_kernel::QueueStats::default();
+    for _ in 0..runs {
+        let q = host.run_queues::<i64>(StealPolicy::default());
+        let mut busy = vec![Duration::ZERO; T6_SHARDS];
+        let (mut submitted, mut processed) = (0usize, 0usize);
+        let mut pending: Option<i64> = None;
+        let mut start = 0usize;
+        let wave = T6_SHARDS * 16;
+        while processed < writes.len() {
+            let mut sent = 0usize;
+            while submitted < writes.len() && sent < wave {
+                let w = pending.take().unwrap_or(writes[submitted]);
+                match host.enqueue(&q, w as u64, Some(id), w) {
+                    Ok(_) => {
+                        submitted += 1;
+                        sent += 1;
+                    }
+                    Err(rejected) => {
+                        pending = Some(rejected);
+                        break;
+                    }
+                }
+            }
+            for i in 0..T6_SHARDS {
+                let s = (start + i) % T6_SHARDS;
+                let t = Instant::now();
+                let k = handles[s].drain_queue(&q, AttachPoint::DiskWrite, |&w| vec![w]);
+                if k > 0 {
+                    busy[s] += t.elapsed();
+                    processed += k;
+                }
+            }
+            start = (start + 1) % T6_SHARDS;
+        }
+        criticals.push(busy.into_iter().max().unwrap_or(Duration::ZERO));
+        stats = q.stats();
+    }
+    drop(handles);
+
+    let total = Sample::from_runs(&criticals);
+    Ok(Table6Sharded {
+        shards: T6_SHARDS,
+        tech: Technology::RustNative,
+        per_block: Duration::from_nanos((total.best_ns() / writes.len() as f64) as u64),
+        throughput_m: writes.len() as f64 * 1e3 / total.best_ns(),
+        total,
+        enqueued: stats.enqueued,
+        steals: stats.steals,
+        diverted: stats.diverted,
     })
 }
 
@@ -394,5 +495,16 @@ mod tests {
         // Compiled bookkeeping is far below the ~12 ms batching saving.
         assert!(c.pays_off);
         assert!(t.saving_per_block > Duration::from_millis(5));
+    }
+
+    #[test]
+    fn table6_sharded_plane_runs_every_write_through_the_queues() {
+        let t = table6(&tiny(), &DiskModel::default()).unwrap();
+        let s = &t.sharded;
+        assert_eq!(s.shards, 4);
+        assert_eq!(s.tech, Technology::RustNative);
+        assert_eq!(s.enqueued, t.writes as u64, "writes bypassed the queues");
+        assert!(s.per_block.as_nanos() > 0);
+        assert!(s.throughput_m > 0.0);
     }
 }

@@ -7,8 +7,8 @@ use std::fmt::Write as _;
 use std::time::Duration;
 
 use crate::experiment::{
-    Figure1, Skew, Table1, Table12, Table13, Table13Cell, Table2, Table3, Table4, Table5, Table6,
-    Table7, Table8, Table9,
+    Figure1, Skew, Table1, Table11, Table12, Table13, Table13Cell, Table2, Table3, Table4, Table5,
+    Table6, Table7, Table8, Table9,
 };
 
 fn dur(d: Duration) -> String {
@@ -214,6 +214,18 @@ pub fn render_table6(t: &Table6) -> String {
             &widths,
         );
     }
+    let s = &t.sharded;
+    let _ = writeln!(
+        out,
+        "  sharded plane ({} @{}): per block {} | {:.2} M blk/s | enqueued {} diverted {} steals {}",
+        s.tech.paper_name(),
+        s.shards,
+        dur(s.per_block),
+        s.throughput_m,
+        s.enqueued,
+        s.diverted,
+        s.steals,
+    );
     out
 }
 
@@ -508,6 +520,75 @@ pub fn render_table13(t: &Table13) -> String {
     }
     out.push_str(
         "  (same seeded trace both modes; imbalance = (max-min)/mean over per-shard\n   processed counts at the top rung. See docs/kernel.md \"Adaptive dispatch\".)\n",
+    );
+    out
+}
+
+/// Renders Table 11: the graft server under multi-tenant service
+/// load, plus machine-parseable `gate:` lines for the CI service
+/// gates (tenant scale, leakage, noisy-neighbor bound, quarantine).
+pub fn render_table11(t: &Table11) -> String {
+    let mut out = String::new();
+    let top = *t.ladder.last().expect("non-empty ladder");
+    let _ = writeln!(
+        out,
+        "Table 11. Graft Server Service Latency and Throughput ({} tenants, {} conns/cohort, {} reqs/rep, {} reps)",
+        t.tenants, t.conns, t.requests, t.runs
+    );
+    let mut widths = vec![20usize, 9usize];
+    widths.extend(t.ladder.iter().map(|_| 10usize));
+    widths.extend([10usize, 10usize, 10usize, 8usize]);
+    let rung_headers: Vec<String> = t.ladder.iter().map(|s| format!("kr/s x{s}")).collect();
+    let p50_h = format!("p50@{top}");
+    let p99_h = format!("p99@{top}");
+    let p999_h = format!("p999@{top}");
+    let mut headers: Vec<&str> = vec!["technology", "arrival"];
+    headers.extend(rung_headers.iter().map(String::as_str));
+    headers.extend([p50_h.as_str(), p99_h.as_str(), p999_h.as_str(), "steals"]);
+    line(&mut out, &headers, &widths);
+    for row in &t.rows {
+        let thr: Vec<String> = row
+            .cells
+            .iter()
+            .map(|c| format!("{:.1}", c.service.throughput_krps))
+            .collect();
+        let Some(tc) = row.cell(top) else { continue };
+        let mut cols: Vec<&str> = vec![row.tech.paper_name(), row.arrival.name()];
+        cols.extend(thr.iter().map(String::as_str));
+        let p50 = dur(Duration::from_nanos(tc.service.p50_ns));
+        let p99 = dur(Duration::from_nanos(tc.service.p99_ns));
+        let p999 = dur(Duration::from_nanos(tc.service.p999_ns));
+        let steals = tc.service.steals.to_string();
+        cols.extend([p50.as_str(), p99.as_str(), p999.as_str(), steals.as_str()]);
+        line(&mut out, &cols, &widths);
+    }
+    let d = &t.drill;
+    let _ = writeln!(
+        out,
+        "  noisy-neighbor drill ({} victims x {} reqs @{} shards): quiet p99 {} | noisy p99 {} | saboteur rejections {} | victims served {}",
+        d.victims,
+        d.per_victim,
+        d.shards,
+        dur(Duration::from_nanos(d.quiet_p99_ns)),
+        dur(Duration::from_nanos(d.noisy_p99_ns)),
+        d.saboteur_rejections,
+        d.victim_served
+    );
+    // The CI gates grep these lines (scripts/verify.sh).
+    let _ = writeln!(out, "  gate: tenants = {}", t.tenants);
+    let _ = writeln!(out, "  gate: cross-tenant leakage = {}", t.leaked);
+    let _ = writeln!(
+        out,
+        "  gate: noisy victim p99 / quiet p99 = {:.2}x",
+        d.victim_p99_ratio
+    );
+    let _ = writeln!(
+        out,
+        "  gate: saboteur quarantined = {}",
+        if d.saboteur_quarantined { "yes" } else { "no" }
+    );
+    out.push_str(
+        "  (latency measured server-side, admission to completion; throughput over the\n   serve phase wall clock, best rep. See docs/server.md.)\n",
     );
     out
 }

@@ -333,7 +333,7 @@ impl GraftHost {
             depth_counts: [0; DEPTH_SLOTS],
             published: HostStats::default(),
             published_depth: [0; DEPTH_SLOTS],
-            recorder: TraceBuffer::default(),
+            recorder: TraceBuffer::new(graft_telemetry::TRACE_BUFFER_CAPACITY),
             trace_seq: 0,
             postmortems: Vec::new(),
         }

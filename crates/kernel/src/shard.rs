@@ -411,7 +411,7 @@ impl ShardedHost {
                     epoch_syncs: 0,
                     mailbox_ops: 0,
                     flushes: 0,
-                    recorder: TraceBuffer::default(),
+                    recorder: TraceBuffer::new(graft_telemetry::TRACE_BUFFER_CAPACITY),
                     trace_seq: 0,
                 })
             })

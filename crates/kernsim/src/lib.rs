@@ -33,6 +33,7 @@ pub mod btree;
 pub mod cache;
 pub mod disk;
 pub mod measure;
+pub mod netpipe;
 pub mod sched;
 pub mod stats;
 pub mod upcall;

@@ -45,8 +45,33 @@ mod linux_gnu {
     pub const MAP_FAILED: *mut u8 = usize::MAX as *mut u8;
     /// `_SC_PAGESIZE`.
     pub const _SC_PAGESIZE: c_int = 30;
+    /// `F_GETFL`.
+    pub const F_GETFL: c_int = 3;
+    /// `F_SETFL`.
+    pub const F_SETFL: c_int = 4;
+    /// `O_NONBLOCK` (x86-64 Linux).
+    pub const O_NONBLOCK: c_int = 0o4000;
+    /// `POLLIN`.
+    pub const POLLIN: i16 = 0x001;
+    /// `POLLOUT`.
+    pub const POLLOUT: i16 = 0x004;
+    /// `POLLERR`.
+    pub const POLLERR: i16 = 0x008;
+    /// `POLLHUP`.
+    pub const POLLHUP: i16 = 0x010;
+
+    /// `struct pollfd` — identical layout on every Linux ABI.
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct pollfd {
+        pub fd: c_int,
+        pub events: i16,
+        pub revents: i16,
+    }
 
     extern "C" {
+        pub fn poll(fds: *mut pollfd, nfds: u64, timeout: c_int) -> c_int;
+        pub fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
         pub fn fork() -> pid_t;
         pub fn pipe(fds: *mut c_int) -> c_int;
         pub fn close(fd: c_int) -> c_int;

@@ -1,0 +1,248 @@
+//! Non-blocking pipe transport for the graft-server readiness loop.
+//!
+//! The offline workspace cannot depend on `mio` or `tokio`, but glibc's
+//! `pipe`/`fcntl`/`poll` are already linked (declared in
+//! [`measure::sys`](crate::measure::sys)). This module wraps them in a
+//! safe, dependency-free transport the server's pipe front-end builds
+//! its readiness loop on: [`PipeEnd::pair`] makes one duplex
+//! connection out of two pipes (each end owns the read side of one and
+//! the write side of the other), and [`poll_readable`] is the
+//! `poll(2)` multiplexer that tells the loop which connections have
+//! bytes waiting. Read sides are `O_NONBLOCK`; writes stay blocking so
+//! a client thread can push frames without a loop of its own.
+//!
+//! On targets without the FFI shims (`sys::AVAILABLE == false`) every
+//! constructor returns `None` and callers fall back to the in-process
+//! `VirtualTransport`, exactly like the live measurements fall back to
+//! the 1996 model numbers.
+
+/// Whether the pipe transport is available on this target.
+pub const AVAILABLE: bool = crate::measure::sys::AVAILABLE;
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64", target_env = "gnu"))]
+mod imp {
+    use crate::measure::sys;
+
+    /// One end of a duplex pipe connection: a non-blocking read fd and
+    /// a blocking write fd, both closed on drop. `Send` (it is plain
+    /// fds), so a test can hand the peer end to a client thread.
+    #[derive(Debug)]
+    pub struct PipeEnd {
+        read_fd: sys::c_int,
+        write_fd: sys::c_int,
+    }
+
+    fn set_nonblocking(fd: sys::c_int) -> bool {
+        // SAFETY: fd is a descriptor we own; F_GETFL/F_SETFL take an
+        // int argument per the fcntl(2) contract.
+        unsafe {
+            let flags = sys::fcntl(fd, sys::F_GETFL, 0);
+            flags >= 0 && sys::fcntl(fd, sys::F_SETFL, flags | sys::O_NONBLOCK) >= 0
+        }
+    }
+
+    impl PipeEnd {
+        /// Builds a connected pair: bytes written on one end arrive at
+        /// the other end's reader, in both directions.
+        pub fn pair() -> Option<(PipeEnd, PipeEnd)> {
+            let mut a = [0 as sys::c_int; 2];
+            let mut b = [0 as sys::c_int; 2];
+            // SAFETY: both arrays are valid 2-int buffers.
+            unsafe {
+                if sys::pipe(a.as_mut_ptr()) != 0 {
+                    return None;
+                }
+                if sys::pipe(b.as_mut_ptr()) != 0 {
+                    sys::close(a[0]);
+                    sys::close(a[1]);
+                    return None;
+                }
+            }
+            let left = PipeEnd {
+                read_fd: a[0],
+                write_fd: b[1],
+            };
+            let right = PipeEnd {
+                read_fd: b[0],
+                write_fd: a[1],
+            };
+            if !set_nonblocking(left.read_fd) || !set_nonblocking(right.read_fd) {
+                return None; // drops close all four fds
+            }
+            Some((left, right))
+        }
+
+        /// The raw read descriptor (for [`poll_readable`]).
+        pub fn read_fd(&self) -> i32 {
+            self.read_fd
+        }
+
+        /// Non-blocking read. `Some(0)` means EOF (peer closed its
+        /// write side); `None` means no bytes are ready right now.
+        pub fn read(&self, buf: &mut [u8]) -> Option<usize> {
+            // SAFETY: buf is a valid writable buffer of its own length
+            // and read_fd is owned by self.
+            let n = unsafe { sys::read(self.read_fd, buf.as_mut_ptr(), buf.len()) };
+            if n < 0 {
+                None // EAGAIN on an empty non-blocking pipe
+            } else {
+                Some(n as usize)
+            }
+        }
+
+        /// Blocking write of the whole buffer; `false` if the peer's
+        /// read side is gone.
+        pub fn write_all(&self, mut buf: &[u8]) -> bool {
+            while !buf.is_empty() {
+                // SAFETY: buf points at buf.len() readable bytes and
+                // write_fd is owned by self.
+                let n = unsafe { sys::write(self.write_fd, buf.as_ptr(), buf.len()) };
+                if n <= 0 {
+                    return false;
+                }
+                buf = &buf[n as usize..];
+            }
+            true
+        }
+
+        /// Closes the write side early, signalling EOF to the peer
+        /// while keeping this end's reader pollable.
+        pub fn close_write(&mut self) {
+            if self.write_fd >= 0 {
+                // SAFETY: write_fd is owned by self and not yet closed.
+                unsafe { sys::close(self.write_fd) };
+                self.write_fd = -1;
+            }
+        }
+    }
+
+    impl Drop for PipeEnd {
+        fn drop(&mut self) {
+            // SAFETY: any fd still >= 0 is owned by self and open.
+            unsafe {
+                if self.read_fd >= 0 {
+                    sys::close(self.read_fd);
+                }
+                if self.write_fd >= 0 {
+                    sys::close(self.write_fd);
+                }
+            }
+        }
+    }
+
+    /// `poll(2)` over a set of read descriptors. Sets `ready[i]` for
+    /// every fd with data (or EOF) waiting; returns how many are
+    /// ready. `timeout_ms < 0` blocks until something is.
+    pub fn poll_readable(fds: &[i32], ready: &mut [bool], timeout_ms: i32) -> usize {
+        assert_eq!(fds.len(), ready.len());
+        ready.iter_mut().for_each(|r| *r = false);
+        if fds.is_empty() {
+            return 0;
+        }
+        let mut pfds: Vec<sys::pollfd> = fds
+            .iter()
+            .map(|&fd| sys::pollfd {
+                fd,
+                events: sys::POLLIN,
+                revents: 0,
+            })
+            .collect();
+        // SAFETY: pfds is a valid array of pfds.len() pollfd structs.
+        let n = unsafe { sys::poll(pfds.as_mut_ptr(), pfds.len() as u64, timeout_ms) };
+        if n <= 0 {
+            return 0;
+        }
+        let mut count = 0;
+        for (pfd, r) in pfds.iter().zip(ready.iter_mut()) {
+            if pfd.revents & (sys::POLLIN | sys::POLLHUP | sys::POLLERR) != 0 {
+                *r = true;
+                count += 1;
+            }
+        }
+        count
+    }
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64", target_env = "gnu")))]
+mod imp {
+    /// Stub on targets without the FFI shims: never constructs.
+    #[derive(Debug)]
+    pub struct PipeEnd {}
+
+    impl PipeEnd {
+        /// Always `None` here; callers fall back to `VirtualTransport`.
+        pub fn pair() -> Option<(PipeEnd, PipeEnd)> {
+            None
+        }
+        pub fn read_fd(&self) -> i32 {
+            -1
+        }
+        pub fn read(&self, _buf: &mut [u8]) -> Option<usize> {
+            None
+        }
+        pub fn write_all(&self, _buf: &[u8]) -> bool {
+            false
+        }
+        pub fn close_write(&mut self) {}
+    }
+
+    /// Stub poller: nothing is ever ready.
+    pub fn poll_readable(_fds: &[i32], ready: &mut [bool], _timeout_ms: i32) -> usize {
+        ready.iter_mut().for_each(|r| *r = false);
+        0
+    }
+}
+
+pub use imp::{poll_readable, PipeEnd};
+
+#[cfg(all(
+    test,
+    target_os = "linux",
+    target_arch = "x86_64",
+    target_env = "gnu"
+))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplex_round_trip_and_poll() {
+        let (server, client) = PipeEnd::pair().expect("pipes available on linux-gnu");
+        let mut ready = [false];
+        // Nothing written yet: not readable, and the non-blocking read
+        // reports "no bytes" rather than blocking.
+        assert_eq!(poll_readable(&[server.read_fd()], &mut ready, 0), 0);
+        let mut buf = [0u8; 16];
+        assert_eq!(server.read(&mut buf), None);
+
+        assert!(client.write_all(b"request"));
+        assert_eq!(poll_readable(&[server.read_fd()], &mut ready, 1000), 1);
+        assert!(ready[0]);
+        assert_eq!(server.read(&mut buf), Some(7));
+        assert_eq!(&buf[..7], b"request");
+
+        // And the other direction.
+        assert!(server.write_all(b"reply"));
+        assert_eq!(client.read(&mut buf), Some(5));
+        assert_eq!(&buf[..5], b"reply");
+    }
+
+    #[test]
+    fn closed_writer_reads_eof() {
+        let (server, mut client) = PipeEnd::pair().expect("pipes available on linux-gnu");
+        client.write_all(b"x");
+        client.close_write();
+        let mut buf = [0u8; 8];
+        assert_eq!(server.read(&mut buf), Some(1));
+        // EOF is distinct from "no bytes yet": Some(0), and poll
+        // reports the fd ready so the loop can reap the connection.
+        assert_eq!(server.read(&mut buf), Some(0));
+        let mut ready = [false];
+        assert_eq!(poll_readable(&[server.read_fd()], &mut ready, 0), 1);
+    }
+
+    #[test]
+    fn ends_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<PipeEnd>();
+    }
+}

@@ -268,7 +268,8 @@ fn serve(mut engine: Box<dyn ExtensionEngine>, rx: Receiver<Request>, tx: SyncSe
     // event for the dispatch under `TRACE_SHARD_UPCALL`, so a merged
     // timeline shows both sides of every domain crossing. Flushed to the
     // global ring when half-full and at shutdown.
-    let mut recorder = graft_telemetry::TraceBuffer::default();
+    let mut recorder =
+        graft_telemetry::TraceBuffer::new(graft_telemetry::TRACE_BUFFER_CAPACITY);
     let mut server_seq: u32 = 0;
     let tech = engine.technology() as u8;
     let record_server_event =

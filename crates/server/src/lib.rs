@@ -1,0 +1,41 @@
+//! graft-server: the networked multi-tenant graft host.
+//!
+//! The 1996 paper measures extension technologies inside one process;
+//! the north star is a *served* system — grafts installed and invoked
+//! on behalf of many untrusted tenants, the way eBPF programs are
+//! loaded into a shared kernel. This crate promotes the in-process
+//! sharded kernel to that shape:
+//!
+//! * [`wire`] — the length-prefixed binary protocol over the id-based
+//!   batched ABI: bind/invoke/invoke_batch frames, typed wire errors,
+//!   malformed-frame recovery without tearing the connection;
+//! * [`tenant`] — per-tenant namespaces, quotas (max grafts, fuel
+//!   budget, in-flight cap), and the PR 5 backoff ladder as *tenant*
+//!   isolation;
+//! * [`server`] — the transport-agnostic protocol core + admission
+//!   control, with the data plane keyed into `ShardedHost::enqueue`
+//!   so the work-stealing shards serve requests;
+//! * [`client`] — frame building and reply re-association, plus the
+//!   deterministic in-process [`VirtualTransport`];
+//! * [`pipe`] — the live front-end: a `poll(2)` readiness loop over
+//!   non-blocking pipe shims from `kernsim::netpipe`.
+//!
+//! See `docs/server.md` for the frame catalogue and the tenant
+//! lifecycle state machine, and Table 11 (`--bin table11`) for the
+//! service benchmark: 10k+ simulated tenants, p50/p99/p999 service
+//! latency and saturation throughput per technology over the shard
+//! ladder, and the noisy-neighbor quarantine drill.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod pipe;
+pub mod server;
+pub mod tenant;
+pub mod wire;
+
+pub use client::{GraftClient, VirtualTransport};
+pub use pipe::{serve_pipes, PipeServeStats};
+pub use server::{GraftServer, ServerConfig, ServerStats, SpecLoader};
+pub use tenant::{Standing, Tenant, TenantQuotas};
+pub use wire::{FrameBuf, Reply, Request, WireError, MAX_FRAME};

@@ -1,0 +1,801 @@
+//! The graft server: protocol core, admission control, and the
+//! stealing-plane executor.
+//!
+//! [`GraftServer`] is transport-agnostic. Bytes arrive via
+//! [`GraftServer::ingest`] (from a non-blocking pipe read, a virtual
+//! transport flush — the server cannot tell), [`GraftServer::pump`]
+//! decodes frames and runs the *control plane* inline (hello, install,
+//! bind, uninstall — cheap, namespace-local), and admitted *data
+//! plane* requests (invoke, batch) are keyed into
+//! [`ShardedHost::enqueue`] so the work-stealing shards serve them.
+//! [`GraftServer::drain`] is the executor: it takes a steal-aware
+//! batch for one shard, invokes each item's graft on that shard's
+//! handle, and writes the reply frame to the owning connection's
+//! outbox. Because stealing reorders completion, replies carry the
+//! client's echoed `seq`.
+//!
+//! Admission control happens at pump time, before anything is
+//! enqueued: a parked or banned tenant is refused with `Quarantined`,
+//! an over-cap tenant with `Overloaded`, an over-budget tenant with
+//! `QuotaExceeded` — all typed, all without touching the data plane.
+//! Quarantine detection happens at drain time: when an invoke traps
+//! and the backing host's supervisor has detached the graft, the
+//! owning tenant is parked on the PR 5 backoff ladder and the server
+//! re-admits the graft (`ShardedHost::readmit`) only after the
+//! tenant's window of clean server dispatches has elapsed.
+
+use crate::tenant::{Standing, Tenant, TenantQuotas};
+use crate::wire::{Reply, Request, WireError};
+use graft_api::{ExtensionEngine, GraftError, Technology};
+use graft_kernel::{
+    AttachPoint, GraftId, HostConfig, RunQueues, ShardHandle, ShardedHost, StealPolicy,
+};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// A loader the server calls to build an engine for an installed spec:
+/// the registry decouples the server from any particular compiler
+/// pipeline (tests register closures over `NativeEngine`; the bench
+/// harness registers `GraftManager`-backed loaders).
+pub type SpecLoader =
+    Box<dyn Fn(Technology) -> Result<Box<dyn ExtensionEngine>, GraftError> + Send>;
+
+/// Server tuning: the backing host, the plane, and the quotas.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Shard count for the backing [`ShardedHost`].
+    pub shards: usize,
+    /// Host supervisor config. `backoff_base` here is forced to 0:
+    /// the *server* owns the re-admission ladder per tenant.
+    pub host: HostConfig,
+    /// Dispatch-plane policy (stealing or static).
+    pub steal: StealPolicy,
+    /// Per-tenant ceilings.
+    pub quotas: TenantQuotas,
+    /// Server-side re-admission ladder base (PR 5 semantics: window
+    /// `base << (trip-1)` clean dispatches, doubling per trip). 0
+    /// disables re-admission — quarantine is permanent.
+    pub backoff_base: u64,
+    /// Quarantine trips after which a tenant is permanently banned.
+    pub ban_ceiling: u32,
+    /// Completions between ledger-backed fuel-quota refreshes for a
+    /// tenant (1 = every completion; larger amortizes the flush).
+    pub fuel_refresh: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            shards: 1,
+            host: HostConfig::default(),
+            steal: StealPolicy::default(),
+            quotas: TenantQuotas::default(),
+            backoff_base: 16,
+            ban_ceiling: 5,
+            fuel_refresh: 64,
+        }
+    }
+}
+
+/// Aggregate server counters (also published as `server.*` telemetry).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Data-plane requests served to completion.
+    pub served: u64,
+    /// Refusals: plane or tenant at capacity.
+    pub rejected_overloaded: u64,
+    /// Refusals: graft-count or fuel quota exhausted.
+    pub rejected_quota: u64,
+    /// Refusals: tenant parked or banned on the ladder.
+    pub rejected_quarantined: u64,
+    /// Frames answered with `Malformed` (connection survived).
+    pub malformed: u64,
+    /// Connections torn down for an untrusted length prefix.
+    pub fatal_frames: u64,
+    /// Tenants that ever connected.
+    pub tenants: u64,
+    /// Tenants currently parked or banned.
+    pub tenants_quarantined: u64,
+    /// High-water mark of total in-flight requests.
+    pub inflight_peak: u64,
+}
+
+/// What one data-plane job carries through the plane.
+#[derive(Debug)]
+struct Job {
+    conn: usize,
+    seq: u32,
+    tenant: u64,
+    /// Per-call arity when this is a batch; `None` = single invoke.
+    batch: Option<usize>,
+    args: Vec<i64>,
+    t0: Instant,
+}
+
+/// Per-graft server bookkeeping.
+#[derive(Debug)]
+struct GraftMeta {
+    tenant: u64,
+    point: AttachPoint,
+}
+
+/// One connection's state machine: framing in, bytes out.
+#[derive(Debug, Default)]
+struct Conn {
+    open: bool,
+    tenant: Option<u64>,
+    inbox: crate::wire::FrameBuf,
+    outbox: Vec<u8>,
+}
+
+/// The multi-tenant graft server. See the module docs for the shape.
+pub struct GraftServer {
+    host: ShardedHost,
+    handles: Vec<ShardHandle>,
+    queues: RunQueues<Job>,
+    config: ServerConfig,
+    conns: Vec<Conn>,
+    tenants: BTreeMap<u64, Tenant>,
+    /// Tenant ids currently parked (ladder ticks scan only these).
+    parked: Vec<u64>,
+    specs: BTreeMap<String, SpecLoader>,
+    grafts: BTreeMap<u64, GraftMeta>,
+    stats: ServerStats,
+    total_in_flight: u64,
+    /// When set, completed requests append `(tenant, service_ns)`
+    /// here for offline percentile analysis (Table 11).
+    latency_sink: Option<Vec<(u64, u64)>>,
+    published: bool,
+}
+
+impl GraftServer {
+    /// Builds a server over a fresh sharded host.
+    pub fn new(mut config: ServerConfig) -> Self {
+        // The server owns the re-admission ladder; the host supervisor
+        // must not auto-readmit underneath it.
+        config.host.backoff_base = 0;
+        let mut host = ShardedHost::with_config(config.shards, config.host);
+        let handles = host.take_handles();
+        let queues = host.run_queues(config.steal);
+        GraftServer {
+            host,
+            handles,
+            queues,
+            config,
+            conns: Vec::new(),
+            tenants: BTreeMap::new(),
+            parked: Vec::new(),
+            specs: BTreeMap::new(),
+            grafts: BTreeMap::new(),
+            stats: ServerStats::default(),
+            total_in_flight: 0,
+            latency_sink: None,
+            published: false,
+        }
+    }
+
+    /// Registers a named spec the wire `Install` frame can reference.
+    pub fn register_spec(&mut self, name: &str, loader: SpecLoader) {
+        self.specs.insert(name.to_string(), loader);
+    }
+
+    /// Starts collecting `(tenant, service_ns)` pairs per completion.
+    pub fn collect_latency(&mut self, on: bool) {
+        self.latency_sink = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// Takes the collected latency pairs.
+    pub fn take_latencies(&mut self) -> Vec<(u64, u64)> {
+        self.latency_sink
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
+    }
+
+    /// Opens a connection; the returned id names it in
+    /// [`ingest`](Self::ingest)/[`take_outbound`](Self::take_outbound).
+    pub fn connect(&mut self) -> usize {
+        self.conns.push(Conn {
+            open: true,
+            ..Conn::default()
+        });
+        self.conns.len() - 1
+    }
+
+    /// Whether a connection is still open.
+    pub fn is_open(&self, conn: usize) -> bool {
+        self.conns.get(conn).is_some_and(|c| c.open)
+    }
+
+    /// Appends raw transport bytes to a connection's inbox.
+    pub fn ingest(&mut self, conn: usize, bytes: &[u8]) {
+        if let Some(c) = self.conns.get_mut(conn) {
+            if c.open {
+                c.inbox.extend(bytes);
+            }
+        }
+    }
+
+    /// Takes whatever reply bytes the connection has accumulated.
+    pub fn take_outbound(&mut self, conn: usize) -> Vec<u8> {
+        self.conns
+            .get_mut(conn)
+            .map(|c| std::mem::take(&mut c.outbox))
+            .unwrap_or_default()
+    }
+
+    /// Decodes and processes every complete frame on every connection.
+    pub fn pump(&mut self) {
+        for conn in 0..self.conns.len() {
+            self.pump_conn(conn);
+        }
+    }
+
+    /// Decodes and processes every complete frame on one connection.
+    pub fn pump_conn(&mut self, conn: usize) {
+        loop {
+            let Some(c) = self.conns.get_mut(conn) else {
+                return;
+            };
+            if !c.open {
+                return;
+            }
+            let body = match c.inbox.next_frame() {
+                Ok(Some(body)) => body,
+                Ok(None) => return,
+                Err(fatal) => {
+                    // The length prefix itself is untrustworthy: answer
+                    // once, then close — the only protocol tear-down.
+                    self.stats.fatal_frames += 1;
+                    c.outbox
+                        .extend(Reply::Error { seq: 0, error: fatal }.encode());
+                    c.open = false;
+                    return;
+                }
+            };
+            let reply = match Request::decode(&body) {
+                Ok(req) => self.handle(conn, req),
+                Err(err) => {
+                    // A bad body is the *client's* problem, not the
+                    // connection's: reply typed and keep framing. Echo
+                    // the seq if the prefix of the body still has one.
+                    self.stats.malformed += 1;
+                    graft_telemetry::counter!("server.malformed").add(1);
+                    let seq = body
+                        .get(1..5)
+                        .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+                        .unwrap_or(0);
+                    Some(Reply::Error { seq, error: err })
+                }
+            };
+            if let Some(reply) = reply {
+                if let Some(c) = self.conns.get_mut(conn) {
+                    c.outbox.extend(reply.encode());
+                }
+            }
+        }
+    }
+
+    /// Control-plane handling. Data-plane requests return `None` here
+    /// (their reply is written at drain time).
+    fn handle(&mut self, conn: usize, req: Request) -> Option<Reply> {
+        graft_telemetry::counter!("server.requests").add(1);
+        let seq = req.seq();
+        // Hello is the only frame legal without a tenant.
+        let tenant_id = match (&req, self.conns[conn].tenant) {
+            (Request::Hello { tenant, .. }, None) => {
+                let id = *tenant;
+                self.conns[conn].tenant = Some(id);
+                if let std::collections::btree_map::Entry::Vacant(e) = self.tenants.entry(id) {
+                    e.insert(Tenant::new(id));
+                    self.stats.tenants += 1;
+                }
+                return Some(Reply::Welcome { seq, tenant: id });
+            }
+            (Request::Hello { .. }, Some(_)) => {
+                return Some(Reply::Error {
+                    seq,
+                    error: WireError::Protocol("duplicate Hello".into()),
+                });
+            }
+            (_, None) => {
+                return Some(Reply::Error {
+                    seq,
+                    error: WireError::Protocol("frame before Hello".into()),
+                });
+            }
+            (_, Some(id)) => id,
+        };
+
+        match req {
+            Request::Hello { .. } => unreachable!("handled above"),
+            Request::Bye { .. } => {
+                self.conns[conn].open = false;
+                Some(Reply::Gone { seq })
+            }
+            Request::Install {
+                point, tech, spec, ..
+            } => Some(self.install(tenant_id, point, tech, &spec, seq)),
+            Request::Bind { graft, entry, .. } => {
+                let meta = match self.tenant_graft(tenant_id, graft) {
+                    Ok(meta) => meta,
+                    Err(error) => return Some(Reply::Error { seq, error }),
+                };
+                // The point entry was pre-bound at install; its wire id
+                // is 0 by construction. Any other name is the same
+                // deterministic NoSuchFunction the engines raise.
+                if entry == meta.point.entry() {
+                    Some(Reply::Bound { seq, entry: 0 })
+                } else {
+                    Some(Reply::Error {
+                        seq,
+                        error: WireError::from(&GraftError::Trap(
+                            graft_api::Trap::NoSuchFunction(entry),
+                        )),
+                    })
+                }
+            }
+            Request::Uninstall { graft, .. } => {
+                if let Err(error) = self.tenant_graft(tenant_id, graft) {
+                    return Some(Reply::Error { seq, error });
+                }
+                self.host.uninstall(GraftId(graft));
+                self.grafts.remove(&graft);
+                let t = self.tenants.get_mut(&tenant_id).expect("tenant exists");
+                t.grafts.retain(|g| g.0 != graft);
+                Some(Reply::Gone { seq })
+            }
+            Request::Invoke {
+                graft, entry, args, ..
+            } => self.admit(conn, seq, tenant_id, graft, entry, None, args),
+            Request::InvokeBatch {
+                graft,
+                entry,
+                arity,
+                args,
+                ..
+            } => self.admit(
+                conn,
+                seq,
+                tenant_id,
+                graft,
+                entry,
+                Some(arity as usize),
+                args,
+            ),
+        }
+    }
+
+    /// Validates a graft handle against the tenant's namespace. The
+    /// check is the isolation boundary: another tenant's (or a
+    /// never-issued) handle is `NoSuchGraft` — handles cannot reach
+    /// across namespaces.
+    fn tenant_graft(&self, tenant: u64, graft: u64) -> Result<&GraftMeta, WireError> {
+        match self.grafts.get(&graft) {
+            Some(meta) if meta.tenant == tenant => Ok(meta),
+            _ => Err(WireError::NoSuchGraft(graft)),
+        }
+    }
+
+    fn install(&mut self, tenant_id: u64, point: u8, tech: u8, spec: &str, seq: u32) -> Reply {
+        let t = self.tenants.get_mut(&tenant_id).expect("tenant exists");
+        if matches!(t.standing, Standing::Banned) {
+            self.stats.rejected_quarantined += 1;
+            t.rejected += 1;
+            return Reply::Error {
+                seq,
+                error: WireError::Quarantined {
+                    backoff_remaining: 0,
+                },
+            };
+        }
+        if let Err(e) = t.admit_install(&self.config.quotas) {
+            self.stats.rejected_quota += 1;
+            t.rejected += 1;
+            graft_telemetry::counter!("server.rejected.quota").add(1);
+            return Reply::Error {
+                seq,
+                error: WireError::from(&e),
+            };
+        }
+        let Some(point) = AttachPoint::ALL.get(point as usize).copied() else {
+            return Reply::Error {
+                seq,
+                error: WireError::Malformed(format!("unknown attach point {point}")),
+            };
+        };
+        let Some(tech) = Technology::ALL.get(tech as usize).copied() else {
+            return Reply::Error {
+                seq,
+                error: WireError::Malformed(format!("unknown technology {tech}")),
+            };
+        };
+        let Some(loader) = self.specs.get(spec) else {
+            return Reply::Error {
+                seq,
+                error: WireError::Unavailable(format!("no spec `{spec}` registered")),
+            };
+        };
+        let engine = match loader(tech) {
+            Ok(engine) => engine,
+            Err(e) => {
+                return Reply::Error {
+                    seq,
+                    error: WireError::from(&e),
+                }
+            }
+        };
+        let name = format!("t{tenant_id}:{spec}");
+        match self.host.install(point, &name, engine) {
+            Ok(gid) => {
+                self.grafts.insert(
+                    gid.0,
+                    GraftMeta {
+                        tenant: tenant_id,
+                        point,
+                    },
+                );
+                let t = self.tenants.get_mut(&tenant_id).expect("tenant exists");
+                t.grafts.push(gid);
+                Reply::Installed { seq, graft: gid.0 }
+            }
+            Err(e) => Reply::Error {
+                seq,
+                error: WireError::from(&e),
+            },
+        }
+    }
+
+    /// Admission for one data-plane request: ladder standing, handle
+    /// validity, entry-id staleness, in-flight cap, fuel budget — all
+    /// checked *before* the plane sees the job, each refusal typed.
+    #[allow(clippy::too_many_arguments)]
+    fn admit(
+        &mut self,
+        conn: usize,
+        seq: u32,
+        tenant_id: u64,
+        graft: u64,
+        entry: u32,
+        batch: Option<usize>,
+        args: Vec<i64>,
+    ) -> Option<Reply> {
+        if let Err(error) = self.tenant_graft(tenant_id, graft) {
+            let t = self.tenants.get_mut(&tenant_id).expect("tenant exists");
+            t.rejected += 1;
+            return Some(Reply::Error { seq, error });
+        }
+        // The only entry id ever issued is 0 (the point entry, bound
+        // at install). Anything else is a stale handle and traps
+        // deterministically, exactly like the in-process engines.
+        if entry != 0 {
+            return Some(Reply::Error {
+                seq,
+                error: WireError::StaleHandle { kind: 0, id: entry },
+            });
+        }
+        if let Some(arity) = batch {
+            if arity == 0 || !args.len().is_multiple_of(arity) {
+                return Some(Reply::Error {
+                    seq,
+                    error: WireError::Malformed(format!(
+                        "batch of {} args with arity {arity}",
+                        args.len()
+                    )),
+                });
+            }
+        }
+        let t = self.tenants.get_mut(&tenant_id).expect("tenant exists");
+        match t.standing {
+            Standing::Banned => {
+                t.rejected += 1;
+                self.stats.rejected_quarantined += 1;
+                graft_telemetry::counter!("server.rejected.quarantined").add(1);
+                return Some(Reply::Error {
+                    seq,
+                    error: WireError::Quarantined {
+                        backoff_remaining: 0,
+                    },
+                });
+            }
+            Standing::Parked { remaining, .. } => {
+                t.rejected += 1;
+                self.stats.rejected_quarantined += 1;
+                graft_telemetry::counter!("server.rejected.quarantined").add(1);
+                return Some(Reply::Error {
+                    seq,
+                    error: WireError::Quarantined {
+                        backoff_remaining: remaining,
+                    },
+                });
+            }
+            Standing::Serving => {}
+        }
+        if let Err(e) = t.admit_invoke(&self.config.quotas) {
+            t.rejected += 1;
+            match &e {
+                GraftError::Overloaded { .. } => {
+                    self.stats.rejected_overloaded += 1;
+                    graft_telemetry::counter!("server.rejected.overloaded").add(1);
+                }
+                _ => {
+                    self.stats.rejected_quota += 1;
+                    graft_telemetry::counter!("server.rejected.quota").add(1);
+                }
+            }
+            return Some(Reply::Error {
+                seq,
+                error: WireError::from(&e),
+            });
+        }
+        let job = Job {
+            conn,
+            seq,
+            tenant: tenant_id,
+            batch,
+            args,
+            t0: Instant::now(),
+        };
+        // Key by tenant: a tenant's requests hash to a home shard
+        // (cache affinity), and the stealing plane rebalances skew.
+        match self
+            .host
+            .enqueue(&self.queues, tenant_id, Some(GraftId(graft)), job)
+        {
+            Ok(_shard) => {
+                let t = self.tenants.get_mut(&tenant_id).expect("tenant exists");
+                t.admitted();
+                self.total_in_flight += 1;
+                if self.total_in_flight > self.stats.inflight_peak {
+                    self.stats.inflight_peak = self.total_in_flight;
+                }
+                None
+            }
+            Err(_job) => {
+                // Every queue in the plane is full: backpressure is an
+                // Overloaded refusal, never a silent drop.
+                let t = self.tenants.get_mut(&tenant_id).expect("tenant exists");
+                t.rejected += 1;
+                self.stats.rejected_overloaded += 1;
+                graft_telemetry::counter!("server.rejected.overloaded").add(1);
+                Some(Reply::Error {
+                    seq,
+                    error: WireError::Overloaded {
+                        in_flight: self.total_in_flight,
+                        cap: (self.config.steal.queue_cap * self.config.shards) as u64,
+                    },
+                })
+            }
+        }
+    }
+
+    /// The executor: serves one steal-aware batch on `shard`. Returns
+    /// the number of requests completed.
+    pub fn drain(&mut self, shard: usize) -> usize {
+        let mut batch = Vec::new();
+        self.queues.take(shard, &mut batch);
+        let n = batch.len();
+        for item in batch {
+            let gid = GraftId(item.graft);
+            let job = item.payload;
+            // Invoke on this shard's replica. A batch job shares the
+            // engine's prefix-on-trap contract: values for the calls
+            // that ran, then the error that stopped it.
+            let (values, error) = {
+                let handle = &mut self.handles[shard];
+                let mut values = Vec::new();
+                let mut error = None;
+                match job.batch {
+                    None => match handle.invoke(gid, &job.args) {
+                        Ok(v) => values.push(v),
+                        Err(e) => error = Some(e),
+                    },
+                    Some(arity) => {
+                        for call in job.args.chunks(arity) {
+                            match handle.invoke(gid, call) {
+                                Ok(v) => values.push(v),
+                                Err(e) => {
+                                    error = Some(e);
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+                (values, error)
+            };
+            // Tell the plane this shard now has the graft hot.
+            self.queues.mark_warm(shard, item.graft);
+            self.complete(shard, job, values, error);
+        }
+        n
+    }
+
+    /// Serves every shard round-robin until the plane is empty. The
+    /// single-threaded deterministic shape (tests, Table 11); a pipe
+    /// front-end interleaves `drain` with its poll loop instead.
+    pub fn drain_all(&mut self) -> usize {
+        let mut total = 0;
+        loop {
+            let mut round = 0;
+            for shard in 0..self.handles.len() {
+                round += self.drain(shard);
+            }
+            if round == 0 {
+                return total;
+            }
+            total += round;
+        }
+    }
+
+    /// Completion: accounting, quarantine detection, ladder ticks,
+    /// fuel refresh, reply delivery.
+    fn complete(
+        &mut self,
+        shard: usize,
+        job: Job,
+        values: Vec<i64>,
+        error: Option<GraftError>,
+    ) {
+        let service_ns = job.t0.elapsed().as_nanos() as u64;
+        graft_telemetry::histogram!("server.service_ns").record(service_ns);
+        if let Some(sink) = self.latency_sink.as_mut() {
+            sink.push((job.tenant, service_ns));
+        }
+        self.stats.served += 1;
+        self.total_in_flight = self.total_in_flight.saturating_sub(1);
+        graft_telemetry::counter!("server.replies").add(1);
+
+        // Did this failure quarantine the graft? (The supervisor
+        // detaches globally; the *tenant* consequence — parking on the
+        // ladder — is the server's decision.)
+        let clean = error.is_none();
+        if let Some(e) = &error {
+            let trapped = e.as_trap().is_some()
+                || matches!(e, GraftError::Unavailable { .. });
+            if trapped {
+                // Find the job's graft: it is the one the tenant owns
+                // that the host now reports quarantined.
+                let t = self.tenants.get(&job.tenant).expect("tenant exists");
+                let newly_parked = matches!(t.standing, Standing::Serving);
+                if newly_parked {
+                    let quarantined = t
+                        .grafts
+                        .iter()
+                        .copied()
+                        .find(|g| self.host.is_quarantined(*g));
+                    if let Some(gid) = quarantined {
+                        let base = self.config.backoff_base;
+                        let ceiling = self.config.ban_ceiling;
+                        let t = self.tenants.get_mut(&job.tenant).expect("tenant exists");
+                        t.park(gid, base, ceiling);
+                        self.parked.push(job.tenant);
+                        self.stats.tenants_quarantined += 1;
+                        graft_telemetry::counter!("server.tenants.quarantined").add(1);
+                    }
+                }
+            }
+        }
+
+        // Fuel-quota refresh from the authoritative per-graft ledgers,
+        // amortized over `fuel_refresh` completions per tenant.
+        if self.config.quotas.fuel_budget.is_some() {
+            let t = self.tenants.get(&job.tenant).expect("tenant exists");
+            if t.accepted.is_multiple_of(self.config.fuel_refresh) {
+                let grafts = t.grafts.clone();
+                self.handles[shard].flush();
+                let charged: u64 = grafts
+                    .iter()
+                    .filter_map(|g| self.host.ledger(*g))
+                    .map(|l| l.fuel_used)
+                    .sum();
+                let t = self.tenants.get_mut(&job.tenant).expect("tenant exists");
+                t.fuel_charged = charged;
+            }
+        }
+
+        let t = self.tenants.get_mut(&job.tenant).expect("tenant exists");
+        t.completed();
+
+        // A clean dispatch ticks every parked tenant's window — the
+        // server-wide analog of the scalar host's "dispatches served
+        // without the graft".
+        if clean && !self.parked.is_empty() {
+            let mut still_parked = Vec::with_capacity(self.parked.len());
+            let mut readmit = Vec::new();
+            for id in std::mem::take(&mut self.parked) {
+                let t = self.tenants.get_mut(&id).expect("tenant exists");
+                match t.tick() {
+                    Some(gid) => readmit.push(gid),
+                    None => {
+                        if matches!(t.standing, Standing::Parked { .. }) {
+                            still_parked.push(id);
+                        }
+                        // Banned tenants fall off the tick list.
+                    }
+                }
+            }
+            self.parked = still_parked;
+            for gid in readmit {
+                self.host.readmit(gid);
+                self.stats.tenants_quarantined =
+                    self.stats.tenants_quarantined.saturating_sub(1);
+            }
+        }
+
+        let reply = match (job.batch, error) {
+            (None, None) => Reply::Value {
+                seq: job.seq,
+                value: values[0],
+            },
+            (None, Some(e)) => Reply::Error {
+                seq: job.seq,
+                error: WireError::from(&e),
+            },
+            (Some(_), e) => Reply::Batch {
+                seq: job.seq,
+                values,
+                error: e.as_ref().map(WireError::from),
+            },
+        };
+        if let Some(c) = self.conns.get_mut(job.conn) {
+            c.outbox.extend(reply.encode());
+        }
+    }
+
+    /// Work still sitting in the plane.
+    pub fn backlog(&self) -> usize {
+        self.queues.total_depth()
+    }
+
+    /// Number of shards serving the data plane.
+    pub fn shards(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Snapshot of the server counters.
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// A tenant's current ladder standing (None = never connected).
+    pub fn tenant_standing(&self, tenant: u64) -> Option<Standing> {
+        self.tenants.get(&tenant).map(|t| t.standing)
+    }
+
+    /// A tenant's admission ledger `(accepted, rejected, in_flight_peak)`.
+    pub fn tenant_ledger(&self, tenant: u64) -> Option<(u64, u64, usize)> {
+        self.tenants
+            .get(&tenant)
+            .map(|t| (t.accepted, t.rejected, t.in_flight_peak))
+    }
+
+    /// The backing host (for tests asserting host-level state).
+    pub fn host(&self) -> &ShardedHost {
+        &self.host
+    }
+
+    /// Plane stats (steals, diverts…) for the bench report.
+    pub fn queue_stats(&self) -> graft_kernel::QueueStats {
+        self.queues.stats()
+    }
+
+    /// Publishes `server.*` gauge-style counters. Called on drop;
+    /// idempotent.
+    fn publish_telemetry(&mut self) {
+        if self.published || !graft_telemetry::enabled() {
+            return;
+        }
+        self.published = true;
+        graft_telemetry::counter!("server.served").add(self.stats.served);
+        graft_telemetry::counter!("server.tenants").add(self.stats.tenants);
+        graft_telemetry::counter!("server.inflight.peak").add(self.stats.inflight_peak);
+        graft_telemetry::counter!("server.conns").add(self.conns.len() as u64);
+    }
+}
+
+impl Drop for GraftServer {
+    fn drop(&mut self) {
+        self.publish_telemetry();
+    }
+}

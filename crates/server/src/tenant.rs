@@ -1,0 +1,277 @@
+//! Per-tenant namespaces, quotas, and the admission-control ledger.
+//!
+//! A *tenant* is the unit of isolation the server bills and protects:
+//! every connection authenticates as one tenant, every graft lives in
+//! exactly one tenant's namespace, and every refusal is typed — a
+//! tenant over budget gets [`GraftError::QuotaExceeded`], a tenant at
+//! its in-flight cap gets [`GraftError::Overloaded`], and a tenant
+//! whose graft tripped the quarantine supervisor gets a
+//! `Quarantined` wire error until its backoff window elapses. Nothing
+//! is ever silently dropped.
+//!
+//! The backoff ladder reuses the PR 5 scalar-host semantics verbatim
+//! (`HostConfig::backoff_base`/`ban_ceiling`): after quarantine trip
+//! `k` the window is `base << (k-1)` clean server dispatches served
+//! *without* the tenant, doubling per trip, with a permanent ban at
+//! the ceiling. The server owns the ladder (the backing `ShardedHost`
+//! runs with auto-re-admission disabled) so that re-admission is a
+//! *tenant*-scoped decision made where admission control lives.
+
+use graft_api::GraftError;
+use graft_kernel::GraftId;
+
+/// Per-tenant resource ceilings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantQuotas {
+    /// Maximum grafts installed at once.
+    pub max_grafts: usize,
+    /// Cumulative fuel budget across all the tenant's grafts (`None`
+    /// = unmetered). Checked against the per-graft ledgers.
+    pub fuel_budget: Option<u64>,
+    /// Maximum requests in flight (enqueued but not yet served).
+    pub max_in_flight: usize,
+}
+
+impl Default for TenantQuotas {
+    fn default() -> Self {
+        TenantQuotas {
+            max_grafts: 4,
+            fuel_budget: None,
+            max_in_flight: 64,
+        }
+    }
+}
+
+/// Where a tenant stands with the quarantine/backoff ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Standing {
+    /// Serving normally.
+    Serving,
+    /// A graft tripped the supervisor; requests are refused until the
+    /// window elapses.
+    Parked {
+        /// The quarantined graft awaiting re-admission.
+        graft: GraftId,
+        /// Clean server dispatches remaining before re-admission.
+        remaining: u64,
+    },
+    /// Quarantined at or past the ban ceiling: permanently out.
+    Banned,
+}
+
+/// One tenant's namespace + admission ledger.
+#[derive(Debug)]
+pub struct Tenant {
+    /// The tenant's wire id.
+    pub id: u64,
+    /// Grafts installed in this tenant's namespace.
+    pub grafts: Vec<GraftId>,
+    /// Requests admitted but not yet completed.
+    pub in_flight: usize,
+    /// High-water mark of `in_flight`.
+    pub in_flight_peak: usize,
+    /// Requests admitted over the tenant's lifetime.
+    pub accepted: u64,
+    /// Requests refused (all typed reasons combined).
+    pub rejected: u64,
+    /// Cumulative fuel charged from the per-graft ledgers at the last
+    /// refresh (see `GraftServer::refresh_fuel`).
+    pub fuel_charged: u64,
+    /// Quarantine trips so far (drives the ladder).
+    pub quarantines: u32,
+    /// Current ladder standing.
+    pub standing: Standing,
+}
+
+impl Tenant {
+    /// A fresh tenant in good standing.
+    pub fn new(id: u64) -> Self {
+        Tenant {
+            id,
+            grafts: Vec::new(),
+            in_flight: 0,
+            in_flight_peak: 0,
+            accepted: 0,
+            rejected: 0,
+            fuel_charged: 0,
+            quarantines: 0,
+            standing: Standing::Serving,
+        }
+    }
+
+    /// Admission check for an install: namespace quota.
+    pub fn admit_install(&self, quotas: &TenantQuotas) -> Result<(), GraftError> {
+        if self.grafts.len() >= quotas.max_grafts {
+            return Err(GraftError::QuotaExceeded {
+                resource: "grafts",
+                limit: quotas.max_grafts as u64,
+            });
+        }
+        Ok(())
+    }
+
+    /// Admission check for an invoke: in-flight cap, fuel budget.
+    /// Ladder standing is checked separately because it maps to a
+    /// different wire error.
+    pub fn admit_invoke(&self, quotas: &TenantQuotas) -> Result<(), GraftError> {
+        if self.in_flight >= quotas.max_in_flight {
+            return Err(GraftError::Overloaded {
+                in_flight: self.in_flight as u64,
+                cap: quotas.max_in_flight as u64,
+            });
+        }
+        if let Some(budget) = quotas.fuel_budget {
+            if self.fuel_charged >= budget {
+                return Err(GraftError::QuotaExceeded {
+                    resource: "fuel",
+                    limit: budget,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Records an admitted request.
+    pub fn admitted(&mut self) {
+        self.accepted += 1;
+        self.in_flight += 1;
+        self.in_flight_peak = self.in_flight_peak.max(self.in_flight);
+    }
+
+    /// Records a completion (reply sent).
+    pub fn completed(&mut self) {
+        self.in_flight = self.in_flight.saturating_sub(1);
+    }
+
+    /// Parks the tenant after a quarantine trip: computes the PR 5
+    /// ladder window `base << (trips-1)` and either parks or bans.
+    /// `base == 0` disables re-admission (park forever = ban).
+    pub fn park(&mut self, graft: GraftId, base: u64, ban_ceiling: u32) {
+        self.quarantines += 1;
+        if base == 0 || self.quarantines >= ban_ceiling {
+            self.standing = Standing::Banned;
+            return;
+        }
+        let window = base << (self.quarantines - 1).min(62);
+        self.standing = Standing::Parked {
+            graft,
+            remaining: window,
+        };
+    }
+
+    /// One clean server dispatch was served without this tenant.
+    /// Returns the graft to re-admit when the window just elapsed.
+    pub fn tick(&mut self) -> Option<GraftId> {
+        if let Standing::Parked { graft, remaining } = &mut self.standing {
+            *remaining -= 1;
+            if *remaining == 0 {
+                let g = *graft;
+                self.standing = Standing::Serving;
+                return Some(g);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_quota_returns_typed_error() {
+        let quotas = TenantQuotas {
+            max_grafts: 2,
+            ..TenantQuotas::default()
+        };
+        let mut t = Tenant::new(1);
+        assert!(t.admit_install(&quotas).is_ok());
+        t.grafts.push(GraftId(1));
+        t.grafts.push(GraftId(2));
+        match t.admit_install(&quotas) {
+            Err(GraftError::QuotaExceeded { resource, limit }) => {
+                assert_eq!(resource, "grafts");
+                assert_eq!(limit, 2);
+            }
+            other => panic!("expected QuotaExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn in_flight_cap_returns_overloaded() {
+        let quotas = TenantQuotas {
+            max_in_flight: 3,
+            ..TenantQuotas::default()
+        };
+        let mut t = Tenant::new(1);
+        for _ in 0..3 {
+            t.admit_invoke(&quotas).unwrap();
+            t.admitted();
+        }
+        match t.admit_invoke(&quotas) {
+            Err(GraftError::Overloaded { in_flight, cap }) => {
+                assert_eq!((in_flight, cap), (3, 3));
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        t.completed();
+        assert!(t.admit_invoke(&quotas).is_ok());
+        assert_eq!(t.in_flight_peak, 3);
+    }
+
+    #[test]
+    fn fuel_budget_returns_quota_exceeded() {
+        let quotas = TenantQuotas {
+            fuel_budget: Some(100),
+            ..TenantQuotas::default()
+        };
+        let mut t = Tenant::new(1);
+        t.fuel_charged = 99;
+        assert!(t.admit_invoke(&quotas).is_ok());
+        t.fuel_charged = 100;
+        match t.admit_invoke(&quotas) {
+            Err(GraftError::QuotaExceeded { resource, limit }) => {
+                assert_eq!(resource, "fuel");
+                assert_eq!(limit, 100);
+            }
+            other => panic!("expected QuotaExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ladder_windows_match_the_scalar_host_schedule() {
+        // HostConfig { backoff_base: 4, ban_ceiling: 3 } on the scalar
+        // host produces windows 4, 8 and then a permanent ban on the
+        // third trip. The tenant ladder must reproduce that schedule.
+        let base = 4u64;
+        let ceiling = 3u32;
+        let mut t = Tenant::new(1);
+        let g = GraftId(9);
+
+        for (trip, expect) in [(1u32, 4u64), (2, 8)] {
+            t.park(g, base, ceiling);
+            assert_eq!(t.quarantines, trip);
+            match t.standing {
+                Standing::Parked { remaining, .. } => assert_eq!(remaining, expect),
+                other => panic!("trip {trip}: {other:?}"),
+            }
+            // Serve the window out; the final tick re-admits.
+            for _ in 0..expect - 1 {
+                assert_eq!(t.tick(), None);
+            }
+            assert_eq!(t.tick(), Some(g));
+            assert_eq!(t.standing, Standing::Serving);
+        }
+
+        t.park(g, base, ceiling);
+        assert_eq!(t.standing, Standing::Banned);
+        assert_eq!(t.tick(), None); // banned tenants never re-admit
+    }
+
+    #[test]
+    fn zero_base_disables_re_admission() {
+        let mut t = Tenant::new(1);
+        t.park(GraftId(1), 0, 5);
+        assert_eq!(t.standing, Standing::Banned);
+    }
+}

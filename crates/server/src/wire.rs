@@ -1,0 +1,995 @@
+//! The graft-server wire protocol: length-prefixed binary frames over
+//! the id-based batched ABI.
+//!
+//! Every frame is `u32-LE length ‖ body`; the first body byte is the
+//! opcode, and every request after `Hello` carries a client-chosen
+//! `seq` that the server echoes in the reply. Echoing matters because
+//! the data plane is served by the stealing shards: replies complete
+//! *out of order* relative to submission, and `seq` is how the client
+//! re-associates them.
+//!
+//! Two failure shapes are deliberately distinct:
+//!
+//! * a frame that *parses as a frame* but has a bad body (unknown
+//!   opcode, truncated payload, string overrun) is answered with a
+//!   typed [`WireError::Malformed`] reply and the connection stays up —
+//!   the length prefix lets the decoder resynchronize on the next
+//!   frame boundary;
+//! * a frame whose declared length exceeds [`MAX_FRAME`] is fatal:
+//!   the prefix itself can no longer be trusted, so the server closes
+//!   the connection (the only tear-down the protocol performs).
+//!
+//! Stale handles never panic and never index: an `EntryId` the server
+//! never issued comes back as [`WireError::StaleHandle`], the wire
+//! image of [`Trap::BadHandle`] — deterministically, exactly as the
+//! in-process engines behave.
+
+use graft_api::{GraftError, Trap};
+use std::fmt;
+
+/// Largest body a frame may declare. Generous for batched invokes
+/// (8-byte args × thousands) while keeping a corrupted length prefix
+/// from ballooning the connection buffer.
+pub const MAX_FRAME: usize = 1 << 16;
+
+/// Request opcodes (first body byte, client → server).
+mod op {
+    pub const HELLO: u8 = 0x01;
+    pub const INSTALL: u8 = 0x02;
+    pub const BIND: u8 = 0x03;
+    pub const INVOKE: u8 = 0x04;
+    pub const INVOKE_BATCH: u8 = 0x05;
+    pub const UNINSTALL: u8 = 0x06;
+    pub const BYE: u8 = 0x07;
+}
+
+/// Reply opcodes (first body byte, server → client).
+mod rop {
+    pub const WELCOME: u8 = 0x81;
+    pub const INSTALLED: u8 = 0x82;
+    pub const BOUND: u8 = 0x83;
+    pub const VALUE: u8 = 0x84;
+    pub const BATCH: u8 = 0x85;
+    pub const GONE: u8 = 0x86;
+    pub const ERROR: u8 = 0xff;
+}
+
+/// A client → server frame body, decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// First frame on a connection: authenticate as tenant `tenant`.
+    Hello {
+        /// Echoed in the reply.
+        seq: u32,
+        /// The tenant this connection acts for.
+        tenant: u64,
+    },
+    /// Install a named graft spec (server-side registry) at an attach
+    /// point with a technology, into this tenant's namespace.
+    Install {
+        /// Echoed in the reply.
+        seq: u32,
+        /// Attach-point code (see [`Request::encode`]).
+        point: u8,
+        /// Technology code.
+        tech: u8,
+        /// Spec name in the server's registry.
+        spec: String,
+    },
+    /// Look up the bound entry id for `entry` on an installed graft.
+    Bind {
+        /// Echoed in the reply.
+        seq: u32,
+        /// Graft handle from `Installed`.
+        graft: u64,
+        /// Entry-point name.
+        entry: String,
+    },
+    /// Invoke one pre-bound entry with `args`.
+    Invoke {
+        /// Echoed in the reply.
+        seq: u32,
+        /// Graft handle from `Installed`.
+        graft: u64,
+        /// Entry id from `Bound`.
+        entry: u32,
+        /// Arguments.
+        args: Vec<i64>,
+    },
+    /// Invoke one entry `calls` times with packed `arity`-wide args —
+    /// the wire image of `ExtensionEngine::invoke_batch`, with the same
+    /// prefix-on-trap semantics.
+    InvokeBatch {
+        /// Echoed in the reply.
+        seq: u32,
+        /// Graft handle from `Installed`.
+        graft: u64,
+        /// Entry id from `Bound`.
+        entry: u32,
+        /// Per-call argument count.
+        arity: u16,
+        /// `calls × arity` packed arguments.
+        args: Vec<i64>,
+    },
+    /// Remove a graft from this tenant's namespace.
+    Uninstall {
+        /// Echoed in the reply.
+        seq: u32,
+        /// Graft handle from `Installed`.
+        graft: u64,
+    },
+    /// Orderly close.
+    Bye {
+        /// Echoed in the reply.
+        seq: u32,
+    },
+}
+
+/// A server → client frame body, decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// `Hello` accepted.
+    Welcome {
+        /// Echo of the request seq.
+        seq: u32,
+        /// The tenant id acknowledged.
+        tenant: u64,
+    },
+    /// `Install` succeeded; `graft` is the handle for later frames.
+    Installed {
+        /// Echo of the request seq.
+        seq: u32,
+        /// The new graft handle.
+        graft: u64,
+    },
+    /// `Bind` succeeded.
+    Bound {
+        /// Echo of the request seq.
+        seq: u32,
+        /// The entry id to put in invoke frames.
+        entry: u32,
+    },
+    /// An `Invoke` completed with a value.
+    Value {
+        /// Echo of the request seq.
+        seq: u32,
+        /// The graft's return value.
+        value: i64,
+    },
+    /// An `InvokeBatch` completed: the per-call values that ran, plus
+    /// the trap that stopped the batch if one did (prefix semantics).
+    Batch {
+        /// Echo of the request seq.
+        seq: u32,
+        /// Values for the calls that completed.
+        values: Vec<i64>,
+        /// The error that ended the batch early, if any.
+        error: Option<WireError>,
+    },
+    /// `Uninstall`/`Bye` acknowledged.
+    Gone {
+        /// Echo of the request seq.
+        seq: u32,
+    },
+    /// The request failed with a typed error.
+    Error {
+        /// Echo of the request seq (0 when the seq itself was
+        /// unreadable).
+        seq: u32,
+        /// What went wrong.
+        error: WireError,
+    },
+}
+
+/// Typed wire errors. Everything a server can refuse is enumerated
+/// here so clients never have to parse prose, and admission decisions
+/// (`QuotaExceeded`, `Overloaded`, `Quarantined`) are distinguishable
+/// from runtime faults (`Trap`) and protocol misuse (`Malformed`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The frame body did not parse; the connection survives.
+    Malformed(String),
+    /// A data frame arrived before `Hello`, or `Hello` came twice.
+    Protocol(String),
+    /// The graft handle does not exist in this tenant's namespace.
+    NoSuchGraft(u64),
+    /// A pre-bound handle the server never issued (wire image of
+    /// [`Trap::BadHandle`]).
+    StaleHandle {
+        /// `0` = entry, `1` = region.
+        kind: u8,
+        /// The raw handle value presented.
+        id: u32,
+    },
+    /// The graft trapped; `kind` is the [`graft_api::TrapKind`]
+    /// discriminant and `detail` the rendered trap.
+    Trap {
+        /// Coarse trap taxonomy code.
+        kind: u8,
+        /// Human-readable trap rendering.
+        detail: String,
+    },
+    /// A per-tenant quota (grafts installed, cumulative fuel) is
+    /// exhausted.
+    QuotaExceeded {
+        /// Which quota (`"grafts"`, `"fuel"`, …).
+        resource: String,
+        /// The configured ceiling.
+        limit: u64,
+    },
+    /// The tenant's in-flight cap (or the plane's queue capacity) is
+    /// full; the request was rejected, not queued.
+    Overloaded {
+        /// Requests in flight when refused.
+        in_flight: u64,
+        /// The ceiling that was hit.
+        cap: u64,
+    },
+    /// The tenant's graft is quarantined; requests are refused until
+    /// the backoff window elapses (`0` = permanently banned).
+    Quarantined {
+        /// Clean server dispatches remaining before re-admission.
+        backoff_remaining: u64,
+    },
+    /// The graft exists but cannot serve (detached, missing source…).
+    Unavailable(String),
+    /// Wrong argument count for the entry.
+    BadArity {
+        /// Declared parameter count.
+        expected: u32,
+        /// Supplied argument count.
+        got: u32,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Malformed(m) => write!(f, "malformed frame: {m}"),
+            WireError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            WireError::NoSuchGraft(id) => write!(f, "no such graft {id}"),
+            WireError::StaleHandle { kind, id } => {
+                let ns = if *kind == 0 { "entry" } else { "region" };
+                write!(f, "stale or unknown {ns} handle {id}")
+            }
+            WireError::Trap { detail, .. } => write!(f, "graft trapped: {detail}"),
+            WireError::QuotaExceeded { resource, limit } => {
+                write!(f, "quota exceeded: {resource} (limit {limit})")
+            }
+            WireError::Overloaded { in_flight, cap } => {
+                write!(f, "overloaded: {in_flight} in flight (cap {cap})")
+            }
+            WireError::Quarantined { backoff_remaining } => {
+                write!(f, "tenant quarantined ({backoff_remaining} to re-admission)")
+            }
+            WireError::Unavailable(m) => write!(f, "unavailable: {m}"),
+            WireError::BadArity { expected, got } => {
+                write!(f, "bad arity: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl From<&GraftError> for WireError {
+    fn from(e: &GraftError) -> WireError {
+        match e {
+            GraftError::Trap(Trap::BadHandle { kind, id }) => WireError::StaleHandle {
+                kind: u8::from(*kind != "entry"),
+                id: *id,
+            },
+            GraftError::Trap(t) => WireError::Trap {
+                kind: t.kind() as u8,
+                detail: t.to_string(),
+            },
+            GraftError::QuotaExceeded { resource, limit } => WireError::QuotaExceeded {
+                resource: (*resource).to_string(),
+                limit: *limit,
+            },
+            GraftError::Overloaded { in_flight, cap } => WireError::Overloaded {
+                in_flight: *in_flight,
+                cap: *cap,
+            },
+            GraftError::Unavailable { graft, missing } => {
+                WireError::Unavailable(format!("graft `{graft}`: {missing}"))
+            }
+            GraftError::BadArity { expected, got, .. } => WireError::BadArity {
+                expected: *expected as u32,
+                got: *got as u32,
+            },
+            other => WireError::Unavailable(other.to_string()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Encoding primitives: little-endian integers, u16-length strings.
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    debug_assert!(s.len() <= u16::MAX as usize);
+    put_u16(out, s.len() as u16);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A cursor over one frame body; every read is bounds-checked and a
+/// short body yields `Malformed`, never a panic.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.buf.len() - self.pos < n {
+            return Err(WireError::Malformed(format!(
+                "truncated body: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.bytes(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let len = self.u16()? as usize;
+        let raw = self.bytes(len)?;
+        String::from_utf8(raw.to_vec())
+            .map_err(|_| WireError::Malformed("non-UTF-8 string".into()))
+    }
+
+    fn i64_vec(&mut self, count: usize) -> Result<Vec<i64>, WireError> {
+        // Validate against remaining bytes *before* allocating so a
+        // forged count cannot balloon memory.
+        if (self.buf.len() - self.pos) / 8 < count {
+            return Err(WireError::Malformed(format!(
+                "arg count {count} exceeds body"
+            )));
+        }
+        (0..count).map(|_| self.i64()).collect()
+    }
+
+    fn done(&self) -> Result<(), WireError> {
+        if self.pos != self.buf.len() {
+            return Err(WireError::Malformed(format!(
+                "{} trailing bytes after body",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn frame(body: Vec<u8>) -> Vec<u8> {
+    debug_assert!(body.len() <= MAX_FRAME);
+    let mut out = Vec::with_capacity(4 + body.len());
+    put_u32(&mut out, body.len() as u32);
+    out.extend_from_slice(&body);
+    out
+}
+
+impl Request {
+    /// Encodes this request as one length-prefixed frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::new();
+        match self {
+            Request::Hello { seq, tenant } => {
+                b.push(op::HELLO);
+                put_u32(&mut b, *seq);
+                put_u64(&mut b, *tenant);
+            }
+            Request::Install {
+                seq,
+                point,
+                tech,
+                spec,
+            } => {
+                b.push(op::INSTALL);
+                put_u32(&mut b, *seq);
+                b.push(*point);
+                b.push(*tech);
+                put_str(&mut b, spec);
+            }
+            Request::Bind { seq, graft, entry } => {
+                b.push(op::BIND);
+                put_u32(&mut b, *seq);
+                put_u64(&mut b, *graft);
+                put_str(&mut b, entry);
+            }
+            Request::Invoke {
+                seq,
+                graft,
+                entry,
+                args,
+            } => {
+                b.push(op::INVOKE);
+                put_u32(&mut b, *seq);
+                put_u64(&mut b, *graft);
+                put_u32(&mut b, *entry);
+                put_u16(&mut b, args.len() as u16);
+                args.iter().for_each(|a| put_i64(&mut b, *a));
+            }
+            Request::InvokeBatch {
+                seq,
+                graft,
+                entry,
+                arity,
+                args,
+            } => {
+                b.push(op::INVOKE_BATCH);
+                put_u32(&mut b, *seq);
+                put_u64(&mut b, *graft);
+                put_u32(&mut b, *entry);
+                put_u16(&mut b, *arity);
+                put_u32(&mut b, args.len() as u32);
+                args.iter().for_each(|a| put_i64(&mut b, *a));
+            }
+            Request::Uninstall { seq, graft } => {
+                b.push(op::UNINSTALL);
+                put_u32(&mut b, *seq);
+                put_u64(&mut b, *graft);
+            }
+            Request::Bye { seq } => {
+                b.push(op::BYE);
+                put_u32(&mut b, *seq);
+            }
+        }
+        frame(b)
+    }
+
+    /// Decodes one frame *body* (length prefix already stripped).
+    pub fn decode(body: &[u8]) -> Result<Request, WireError> {
+        let mut c = Cursor::new(body);
+        let opcode = c.u8()?;
+        let req = match opcode {
+            op::HELLO => Request::Hello {
+                seq: c.u32()?,
+                tenant: c.u64()?,
+            },
+            op::INSTALL => Request::Install {
+                seq: c.u32()?,
+                point: c.u8()?,
+                tech: c.u8()?,
+                spec: c.string()?,
+            },
+            op::BIND => Request::Bind {
+                seq: c.u32()?,
+                graft: c.u64()?,
+                entry: c.string()?,
+            },
+            op::INVOKE => {
+                let seq = c.u32()?;
+                let graft = c.u64()?;
+                let entry = c.u32()?;
+                let argc = c.u16()? as usize;
+                Request::Invoke {
+                    seq,
+                    graft,
+                    entry,
+                    args: c.i64_vec(argc)?,
+                }
+            }
+            op::INVOKE_BATCH => {
+                let seq = c.u32()?;
+                let graft = c.u64()?;
+                let entry = c.u32()?;
+                let arity = c.u16()?;
+                let total = c.u32()? as usize;
+                let args = c.i64_vec(total)?;
+                if arity != 0 && args.len() % arity as usize != 0 {
+                    return Err(WireError::Malformed(format!(
+                        "batch args {} not a multiple of arity {arity}",
+                        args.len()
+                    )));
+                }
+                Request::InvokeBatch {
+                    seq,
+                    graft,
+                    entry,
+                    arity,
+                    args,
+                }
+            }
+            op::UNINSTALL => Request::Uninstall {
+                seq: c.u32()?,
+                graft: c.u64()?,
+            },
+            op::BYE => Request::Bye { seq: c.u32()? },
+            other => return Err(WireError::Malformed(format!("unknown opcode {other:#04x}"))),
+        };
+        c.done()?;
+        Ok(req)
+    }
+
+    /// The request's sequence number (for echoing in error replies).
+    pub fn seq(&self) -> u32 {
+        match self {
+            Request::Hello { seq, .. }
+            | Request::Install { seq, .. }
+            | Request::Bind { seq, .. }
+            | Request::Invoke { seq, .. }
+            | Request::InvokeBatch { seq, .. }
+            | Request::Uninstall { seq, .. }
+            | Request::Bye { seq } => *seq,
+        }
+    }
+}
+
+fn put_wire_error(b: &mut Vec<u8>, e: &WireError) {
+    match e {
+        WireError::Malformed(m) => {
+            b.push(0);
+            put_str(b, m);
+        }
+        WireError::Protocol(m) => {
+            b.push(1);
+            put_str(b, m);
+        }
+        WireError::NoSuchGraft(id) => {
+            b.push(2);
+            put_u64(b, *id);
+        }
+        WireError::StaleHandle { kind, id } => {
+            b.push(3);
+            b.push(*kind);
+            put_u32(b, *id);
+        }
+        WireError::Trap { kind, detail } => {
+            b.push(4);
+            b.push(*kind);
+            put_str(b, detail);
+        }
+        WireError::QuotaExceeded { resource, limit } => {
+            b.push(5);
+            put_str(b, resource);
+            put_u64(b, *limit);
+        }
+        WireError::Overloaded { in_flight, cap } => {
+            b.push(6);
+            put_u64(b, *in_flight);
+            put_u64(b, *cap);
+        }
+        WireError::Quarantined { backoff_remaining } => {
+            b.push(7);
+            put_u64(b, *backoff_remaining);
+        }
+        WireError::Unavailable(m) => {
+            b.push(8);
+            put_str(b, m);
+        }
+        WireError::BadArity { expected, got } => {
+            b.push(9);
+            put_u32(b, *expected);
+            put_u32(b, *got);
+        }
+    }
+}
+
+fn read_wire_error(c: &mut Cursor<'_>) -> Result<WireError, WireError> {
+    Ok(match c.u8()? {
+        0 => WireError::Malformed(c.string()?),
+        1 => WireError::Protocol(c.string()?),
+        2 => WireError::NoSuchGraft(c.u64()?),
+        3 => WireError::StaleHandle {
+            kind: c.u8()?,
+            id: c.u32()?,
+        },
+        4 => WireError::Trap {
+            kind: c.u8()?,
+            detail: c.string()?,
+        },
+        5 => WireError::QuotaExceeded {
+            resource: c.string()?,
+            limit: c.u64()?,
+        },
+        6 => WireError::Overloaded {
+            in_flight: c.u64()?,
+            cap: c.u64()?,
+        },
+        7 => WireError::Quarantined {
+            backoff_remaining: c.u64()?,
+        },
+        8 => WireError::Unavailable(c.string()?),
+        9 => WireError::BadArity {
+            expected: c.u32()?,
+            got: c.u32()?,
+        },
+        other => {
+            return Err(WireError::Malformed(format!(
+                "unknown error tag {other}"
+            )))
+        }
+    })
+}
+
+impl Reply {
+    /// Encodes this reply as one length-prefixed frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::new();
+        match self {
+            Reply::Welcome { seq, tenant } => {
+                b.push(rop::WELCOME);
+                put_u32(&mut b, *seq);
+                put_u64(&mut b, *tenant);
+            }
+            Reply::Installed { seq, graft } => {
+                b.push(rop::INSTALLED);
+                put_u32(&mut b, *seq);
+                put_u64(&mut b, *graft);
+            }
+            Reply::Bound { seq, entry } => {
+                b.push(rop::BOUND);
+                put_u32(&mut b, *seq);
+                put_u32(&mut b, *entry);
+            }
+            Reply::Value { seq, value } => {
+                b.push(rop::VALUE);
+                put_u32(&mut b, *seq);
+                put_i64(&mut b, *value);
+            }
+            Reply::Batch { seq, values, error } => {
+                b.push(rop::BATCH);
+                put_u32(&mut b, *seq);
+                put_u32(&mut b, values.len() as u32);
+                values.iter().for_each(|v| put_i64(&mut b, *v));
+                match error {
+                    None => b.push(0),
+                    Some(e) => {
+                        b.push(1);
+                        put_wire_error(&mut b, e);
+                    }
+                }
+            }
+            Reply::Gone { seq } => {
+                b.push(rop::GONE);
+                put_u32(&mut b, *seq);
+            }
+            Reply::Error { seq, error } => {
+                b.push(rop::ERROR);
+                put_u32(&mut b, *seq);
+                put_wire_error(&mut b, error);
+            }
+        }
+        frame(b)
+    }
+
+    /// Decodes one frame *body* (length prefix already stripped).
+    pub fn decode(body: &[u8]) -> Result<Reply, WireError> {
+        let mut c = Cursor::new(body);
+        let opcode = c.u8()?;
+        let reply = match opcode {
+            rop::WELCOME => Reply::Welcome {
+                seq: c.u32()?,
+                tenant: c.u64()?,
+            },
+            rop::INSTALLED => Reply::Installed {
+                seq: c.u32()?,
+                graft: c.u64()?,
+            },
+            rop::BOUND => Reply::Bound {
+                seq: c.u32()?,
+                entry: c.u32()?,
+            },
+            rop::VALUE => Reply::Value {
+                seq: c.u32()?,
+                value: c.i64()?,
+            },
+            rop::BATCH => {
+                let seq = c.u32()?;
+                let count = c.u32()? as usize;
+                let values = c.i64_vec(count)?;
+                let error = match c.u8()? {
+                    0 => None,
+                    _ => Some(read_wire_error(&mut c)?),
+                };
+                Reply::Batch { seq, values, error }
+            }
+            rop::GONE => Reply::Gone { seq: c.u32()? },
+            rop::ERROR => {
+                let seq = c.u32()?;
+                Reply::Error {
+                    seq,
+                    error: read_wire_error(&mut c)?,
+                }
+            }
+            other => return Err(WireError::Malformed(format!("unknown opcode {other:#04x}"))),
+        };
+        c.done()?;
+        Ok(reply)
+    }
+
+    /// The echoed sequence number.
+    pub fn seq(&self) -> u32 {
+        match self {
+            Reply::Welcome { seq, .. }
+            | Reply::Installed { seq, .. }
+            | Reply::Bound { seq, .. }
+            | Reply::Value { seq, .. }
+            | Reply::Batch { seq, .. }
+            | Reply::Gone { seq }
+            | Reply::Error { seq, .. } => *seq,
+        }
+    }
+}
+
+/// Incremental frame reassembly over an arbitrary byte stream.
+///
+/// Feed it whatever chunks the transport produced (a non-blocking pipe
+/// read, a whole virtual-transport flush); [`FrameBuf::next`] yields
+/// complete frame bodies in order. The only unrecoverable condition is
+/// a declared length beyond [`MAX_FRAME`] — everything else is either
+/// "wait for more bytes" or a per-frame body error the caller answers
+/// without closing.
+#[derive(Debug, Default)]
+pub struct FrameBuf {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameBuf {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw transport bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact before growing: drop the consumed prefix once it
+        // dominates the buffer so a long-lived connection stays O(frame).
+        if self.pos > 4096 && self.pos * 2 > self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete frame body, if one has fully arrived.
+    ///
+    /// `Err` is the fatal oversized-length condition; the caller must
+    /// close the connection.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, WireError> {
+        let avail = self.buf.len() - self.pos;
+        if avail < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(
+            self.buf[self.pos..self.pos + 4].try_into().unwrap(),
+        ) as usize;
+        if len > MAX_FRAME {
+            return Err(WireError::Malformed(format!(
+                "declared frame length {len} exceeds maximum {MAX_FRAME}"
+            )));
+        }
+        if avail < 4 + len {
+            return Ok(None);
+        }
+        let body = self.buf[self.pos + 4..self.pos + 4 + len].to_vec();
+        self.pos += 4 + len;
+        Ok(Some(body))
+    }
+
+    /// Bytes buffered but not yet consumed.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_req(req: Request) {
+        let framed = req.encode();
+        let mut fb = FrameBuf::new();
+        fb.extend(&framed);
+        let body = fb.next_frame().unwrap().expect("one frame");
+        assert_eq!(Request::decode(&body).unwrap(), req);
+        assert_eq!(fb.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_req(Request::Hello { seq: 1, tenant: 42 });
+        round_trip_req(Request::Install {
+            seq: 2,
+            point: 0,
+            tech: 3,
+            spec: "tenant_tag".into(),
+        });
+        round_trip_req(Request::Bind {
+            seq: 3,
+            graft: 7,
+            entry: "select_victim".into(),
+        });
+        round_trip_req(Request::Invoke {
+            seq: 4,
+            graft: 7,
+            entry: 0,
+            args: vec![-1, i64::MAX, 0],
+        });
+        round_trip_req(Request::InvokeBatch {
+            seq: 5,
+            graft: 7,
+            entry: 0,
+            arity: 2,
+            args: vec![1, 2, 3, 4],
+        });
+        round_trip_req(Request::Uninstall { seq: 6, graft: 7 });
+        round_trip_req(Request::Bye { seq: 7 });
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        for reply in [
+            Reply::Welcome { seq: 1, tenant: 9 },
+            Reply::Installed { seq: 2, graft: 3 },
+            Reply::Bound { seq: 3, entry: 0 },
+            Reply::Value { seq: 4, value: -7 },
+            Reply::Batch {
+                seq: 5,
+                values: vec![1, 2],
+                error: Some(WireError::Trap {
+                    kind: 2,
+                    detail: "integer division by zero".into(),
+                }),
+            },
+            Reply::Batch {
+                seq: 6,
+                values: vec![],
+                error: None,
+            },
+            Reply::Gone { seq: 7 },
+            Reply::Error {
+                seq: 8,
+                error: WireError::StaleHandle { kind: 0, id: 99 },
+            },
+            Reply::Error {
+                seq: 9,
+                error: WireError::QuotaExceeded {
+                    resource: "grafts".into(),
+                    limit: 4,
+                },
+            },
+            Reply::Error {
+                seq: 10,
+                error: WireError::Overloaded {
+                    in_flight: 64,
+                    cap: 64,
+                },
+            },
+            Reply::Error {
+                seq: 11,
+                error: WireError::Quarantined {
+                    backoff_remaining: 16,
+                },
+            },
+        ] {
+            let framed = reply.encode();
+            let mut fb = FrameBuf::new();
+            fb.extend(&framed);
+            let body = fb.next_frame().unwrap().unwrap();
+            assert_eq!(Reply::decode(&body).unwrap(), reply);
+        }
+    }
+
+    #[test]
+    fn frames_reassemble_from_arbitrary_chunking() {
+        let a = Request::Invoke {
+            seq: 1,
+            graft: 1,
+            entry: 0,
+            args: vec![10, 20],
+        }
+        .encode();
+        let b = Request::Bye { seq: 2 }.encode();
+        let stream: Vec<u8> = a.iter().chain(b.iter()).copied().collect();
+
+        // Deliver one byte at a time: exactly two frames pop out,
+        // in order, regardless of chunk boundaries.
+        let mut fb = FrameBuf::new();
+        let mut frames = Vec::new();
+        for byte in stream {
+            fb.extend(&[byte]);
+            while let Some(body) = fb.next_frame().unwrap() {
+                frames.push(Request::decode(&body).unwrap());
+            }
+        }
+        assert_eq!(frames.len(), 2);
+        assert!(matches!(frames[0], Request::Invoke { .. }));
+        assert!(matches!(frames[1], Request::Bye { .. }));
+    }
+
+    #[test]
+    fn malformed_body_is_typed_not_fatal() {
+        // Unknown opcode.
+        let err = Request::decode(&[0x6f, 0, 0, 0, 0]).unwrap_err();
+        assert!(matches!(err, WireError::Malformed(_)), "{err:?}");
+        // Truncated payload.
+        let err = Request::decode(&[super::op::INVOKE, 1, 0]).unwrap_err();
+        assert!(matches!(err, WireError::Malformed(_)), "{err:?}");
+        // Trailing garbage.
+        let mut body = vec![super::op::BYE, 1, 0, 0, 0];
+        body.push(0xee);
+        let err = Request::decode(&body).unwrap_err();
+        assert!(matches!(err, WireError::Malformed(_)), "{err:?}");
+        // Forged arg count larger than the body.
+        let mut body = vec![super::op::INVOKE];
+        body.extend_from_slice(&1u32.to_le_bytes());
+        body.extend_from_slice(&1u64.to_le_bytes());
+        body.extend_from_slice(&0u32.to_le_bytes());
+        body.extend_from_slice(&u16::MAX.to_le_bytes()); // claims 65535 args
+        let err = Request::decode(&body).unwrap_err();
+        assert!(matches!(err, WireError::Malformed(_)), "{err:?}");
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_fatal() {
+        let mut fb = FrameBuf::new();
+        fb.extend(&((MAX_FRAME as u32 + 1).to_le_bytes()));
+        assert!(fb.next_frame().is_err());
+    }
+
+    #[test]
+    fn graft_errors_map_to_typed_wire_errors() {
+        let stale = GraftError::bad_handle("entry", 5);
+        assert_eq!(
+            WireError::from(&stale),
+            WireError::StaleHandle { kind: 0, id: 5 }
+        );
+        let quota = GraftError::QuotaExceeded {
+            resource: "fuel",
+            limit: 1000,
+        };
+        assert!(matches!(
+            WireError::from(&quota),
+            WireError::QuotaExceeded { limit: 1000, .. }
+        ));
+        let trap: GraftError = Trap::DivByZero.into();
+        match WireError::from(&trap) {
+            WireError::Trap { kind, .. } => {
+                assert_eq!(kind, graft_api::TrapKind::DivByZero as u8)
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

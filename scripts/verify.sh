@@ -26,7 +26,9 @@ T12ART=$(mktemp /tmp/graft-table12-XXXXXX.json)
 T12OUT=$(mktemp /tmp/graft-table12-XXXXXX.txt)
 T13ART=$(mktemp /tmp/graft-table13-XXXXXX.json)
 T13OUT=$(mktemp /tmp/graft-table13-XXXXXX.txt)
-trap 'rm -f "$ART" "$T7ART" "$T8ART" "$T8OUT" "$T9ART" "$T9OUT" "$T12ART" "$T12OUT" "$T13ART" "$T13OUT"' EXIT
+T11ART=$(mktemp /tmp/graft-table11-XXXXXX.json)
+T11OUT=$(mktemp /tmp/graft-table11-XXXXXX.txt)
+trap 'rm -f "$ART" "$T7ART" "$T8ART" "$T8OUT" "$T9ART" "$T9OUT" "$T12ART" "$T12OUT" "$T13ART" "$T13OUT" "$T11ART" "$T11OUT"' EXIT
 
 echo "==> cargo build --release --offline"
 cargo build --release --offline
@@ -276,6 +278,78 @@ if [ -f BENCH_steal.json ]; then
             *)
                 echo "$GATE"
                 echo "table13 regression gate FAILED"
+                exit 1
+                ;;
+        esac
+    }
+    echo "$GATE" | tail -1
+fi
+
+# Graft-server gate: a fresh Table 11 run drives the networked host
+# with its default open-loop population. The contract is (a) the run
+# really is multi-tenant at scale (>= 10,000 tenants), (b) no reply
+# ever carries another tenant's value (leakage is an exact count),
+# (c) in the noisy-neighbor drill the victims' p99 under attack stays
+# within 2x of the quiet baseline, and (d) the saboteur ends the drill
+# quarantined (see docs/server.md "Admission control").
+echo "==> table11 graft-server run ($MODE --offline) with run artifact"
+cargo run --release --offline -q -p graft-bench --bin table11 -- \
+    "$MODE" --offline --json "$T11ART" > "$T11OUT"
+
+echo "==> server tenant-scale gate (>= 10000 tenants)"
+awk '/gate: tenants/ {
+         found = 1
+         printf "    tenants: %s\n", $NF
+         if ($NF + 0 < 10000) bad = 1
+     }
+     END { exit (bad || !found) }' "$T11OUT" || {
+    cat "$T11OUT"
+    echo "table11 tenant-scale gate FAILED"
+    exit 1
+}
+
+echo "==> server isolation gate (zero cross-tenant leakage)"
+awk '/gate: cross-tenant leakage/ {
+         found = 1
+         printf "    leaked replies: %s\n", $NF
+         if ($NF + 0 != 0) bad = 1
+     }
+     END { exit (bad || !found) }' "$T11OUT" || {
+    cat "$T11OUT"
+    echo "table11 isolation gate FAILED"
+    exit 1
+}
+
+echo "==> noisy-neighbor gate (victim p99 <= 2x quiet p99)"
+awk '/gate: noisy victim p99/ {
+         found = 1
+         v = $NF; gsub(/x/, "", v)
+         printf "    victim p99 ratio: %sx\n", v
+         if (v + 0 > 2.0) bad = 1
+     }
+     END { exit (bad || !found) }' "$T11OUT" || {
+    cat "$T11OUT"
+    echo "table11 noisy-neighbor gate FAILED"
+    exit 1
+}
+
+echo "==> quarantine gate (saboteur quarantined = yes)"
+grep -q "gate: saboteur quarantined = yes" "$T11OUT" || {
+    cat "$T11OUT"
+    echo "table11 quarantine gate FAILED"
+    exit 1
+}
+grep "noisy-neighbor drill" "$T11OUT" | sed 's/^ */    /'
+
+if [ -f BENCH_server.json ]; then
+    echo "==> graftstat regression gate vs BENCH_server.json (threshold 200%)"
+    GATE=$(cargo run --release --offline -q -p graft-bench --bin graftstat -- \
+        BENCH_server.json "$T11ART" --threshold 200) || {
+        case "$GATE" in
+            *"drift: 0 of"*) : ;; # no shared sample moved; only one-sided keys
+            *)
+                echo "$GATE"
+                echo "table11 regression gate FAILED"
                 exit 1
                 ;;
         esac
