@@ -1,10 +1,16 @@
 //! Regenerates Table 11: the graft server under multi-tenant service
 //! load — p50/p99/p999 service latency and saturation throughput per
-//! technology and arrival skew across the shard ladder (1/2/4/8 by
-//! default, or a single count via `--shards N`), plus the
-//! noisy-neighbor quarantine drill. `--tenants`/`--conns` reshape the
-//! simulated population; `--arrival` restricts the run to one arrival
-//! skew (see `docs/server.md`).
+//! technology and arrival skew across the worker ladder (1/2/4/8
+//! drain workers by default, or a single count via `--shards N`),
+//! plus the noisy-neighbor quarantine drill. Throughput is priced
+//! over the serve-phase critical path — max(serial pump+reap,
+//! busiest worker) — so the ladder reports the scaling a machine
+//! with enough idle cores would see. The service mix rides two
+//! hazards along with the clean traffic: cold mid-rep connection
+//! churn (reconnect + fresh Hello, no Bye) and slowloris invokes
+//! dribbled a few bytes per wave. `--tenants`/`--conns` reshape the
+//! simulated population (default 100k tenants); `--arrival`
+//! restricts the run to one arrival skew (see `docs/server.md`).
 
 use graft_core::artifact::{self, RunArtifact};
 use graft_core::experiment::{ServiceLoad, Skew, ARRIVALS11, LADDER11};

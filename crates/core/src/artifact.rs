@@ -757,7 +757,10 @@ pub fn table11_json(t: &Table11) -> Json {
                     .set("rejected", s.rejected)
                     .set("distinct_tenants", s.distinct_tenants)
                     .set("steals", s.steals)
-                    .set("diverted", s.diverted);
+                    .set("diverted", s.diverted)
+                    .set("serial_frac", s.serial_frac)
+                    .set("churned", s.churned)
+                    .set("slowloris", s.slowloris);
                 row.set(&format!("s{}", c.shards), cell);
             }
             row

@@ -574,7 +574,19 @@ pub fn render_table11(t: &Table11) -> String {
         d.saboteur_rejections,
         d.victim_served
     );
+    let _ = writeln!(
+        out,
+        "  hazards: {} conns churned cold mid-rep | {} slowloris frames dribbled and served",
+        t.churned(),
+        t.slowloris()
+    );
     // The CI gates grep these lines (scripts/verify.sh).
+    if let Some(s) = t
+        .row(graft_api::Technology::RustNative, Skew::Uniform)
+        .and_then(|r| r.worker_scaling(4))
+    {
+        let _ = writeln!(out, "  gate: native worker scaling @4 = {s:.2}x");
+    }
     let _ = writeln!(out, "  gate: tenants = {}", t.tenants);
     let _ = writeln!(out, "  gate: cross-tenant leakage = {}", t.leaked);
     let _ = writeln!(
@@ -588,7 +600,7 @@ pub fn render_table11(t: &Table11) -> String {
         if d.saboteur_quarantined { "yes" } else { "no" }
     );
     out.push_str(
-        "  (latency measured server-side, admission to completion; throughput over the\n   serve phase wall clock, best rep. See docs/server.md.)\n",
+        "  (latency measured server-side, admission to completion; throughput over the\n   serve-phase critical path — max(serial pump+reap, busiest worker) — best rep,\n   as on a machine with enough idle cores. See docs/server.md.)\n",
     );
     out
 }

@@ -33,6 +33,12 @@ mod linux_gnu {
 
     /// `SIG_IGN`.
     pub const SIG_IGN: usize = 1;
+    /// `SIGPIPE` (x86-64 Linux).
+    pub const SIGPIPE: c_int = 13;
+    /// `EAGAIN` (x86-64 Linux).
+    pub const EAGAIN: c_int = 11;
+    /// `EINTR`.
+    pub const EINTR: c_int = 4;
     /// `PROT_READ`.
     pub const PROT_READ: c_int = 1;
     /// `PROT_WRITE`.
@@ -72,6 +78,7 @@ mod linux_gnu {
     extern "C" {
         pub fn poll(fds: *mut pollfd, nfds: u64, timeout: c_int) -> c_int;
         pub fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+        pub fn __errno_location() -> *mut c_int;
         pub fn fork() -> pid_t;
         pub fn pipe(fds: *mut c_int) -> c_int;
         pub fn close(fd: c_int) -> c_int;

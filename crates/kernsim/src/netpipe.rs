@@ -8,8 +8,14 @@
 //! connection out of two pipes (each end owns the read side of one and
 //! the write side of the other), and [`poll_readable`] is the
 //! `poll(2)` multiplexer that tells the loop which connections have
-//! bytes waiting. Read sides are `O_NONBLOCK`; writes stay blocking so
-//! a client thread can push frames without a loop of its own.
+//! bytes waiting. Read sides are `O_NONBLOCK`; writes stay blocking by
+//! default so a client thread can push frames without a loop of its
+//! own. A *server* loop that must never stall on a slow reader flips
+//! its write sides with [`PipeEnd::set_write_nonblocking`] and uses
+//! [`PipeEnd::try_write`] plus a pending-bytes buffer instead — and
+//! calls [`ignore_sigpipe`] first, because under connection churn a
+//! write can race the peer closing its read side and the default
+//! `SIGPIPE` disposition would kill the process.
 //!
 //! On targets without the FFI shims (`sys::AVAILABLE == false`) every
 //! constructor returns `None` and callers fall back to the in-process
@@ -105,6 +111,37 @@ mod imp {
             true
         }
 
+        /// Flips the write side to `O_NONBLOCK` for use with
+        /// [`try_write`](Self::try_write). Returns `false` on failure.
+        pub fn set_write_nonblocking(&self) -> bool {
+            set_nonblocking(self.write_fd)
+        }
+
+        /// Non-blocking write attempt. `Some(n)` is the bytes accepted
+        /// (`0` = the pipe is full right now, try again later); `None`
+        /// means the peer's read side is gone (`EPIPE`) or the fd is
+        /// otherwise dead. Requires
+        /// [`set_write_nonblocking`](Self::set_write_nonblocking) —
+        /// and [`ignore_sigpipe`] if the peer may churn away.
+        pub fn try_write(&self, buf: &[u8]) -> Option<usize> {
+            if buf.is_empty() {
+                return Some(0);
+            }
+            // SAFETY: buf points at buf.len() readable bytes and
+            // write_fd is owned by self.
+            let n = unsafe { sys::write(self.write_fd, buf.as_ptr(), buf.len()) };
+            if n >= 0 {
+                return Some(n as usize);
+            }
+            // SAFETY: __errno_location returns this thread's errno slot.
+            let errno = unsafe { *sys::__errno_location() };
+            if errno == sys::EAGAIN || errno == sys::EINTR {
+                Some(0)
+            } else {
+                None
+            }
+        }
+
         /// Closes the write side early, signalling EOF to the peer
         /// while keeping this end's reader pollable.
         pub fn close_write(&mut self) {
@@ -114,6 +151,24 @@ mod imp {
                 self.write_fd = -1;
             }
         }
+    }
+
+    /// Sets `SIGPIPE` to `SIG_IGN` for the whole process (idempotent).
+    /// Server loops writing into churning connections must call this
+    /// once: with the signal ignored a write to a dead reader fails
+    /// with `EPIPE` — which [`PipeEnd::try_write`] maps to `None` —
+    /// instead of killing the process.
+    pub fn ignore_sigpipe() {
+        static ONCE: std::sync::Once = std::sync::Once::new();
+        ONCE.call_once(|| {
+            // SAFETY: a zeroed sigaction with sa_handler = SIG_IGN is a
+            // valid argument; ignoring SIGPIPE is process-wide and safe.
+            unsafe {
+                let mut sa: sys::sigaction = std::mem::zeroed();
+                sa.sa_handler = sys::SIG_IGN;
+                sys::sigaction(sys::SIGPIPE, &sa, std::ptr::null_mut());
+            }
+        });
     }
 
     impl Drop for PipeEnd {
@@ -183,8 +238,17 @@ mod imp {
         pub fn write_all(&self, _buf: &[u8]) -> bool {
             false
         }
+        pub fn set_write_nonblocking(&self) -> bool {
+            false
+        }
+        pub fn try_write(&self, _buf: &[u8]) -> Option<usize> {
+            None
+        }
         pub fn close_write(&mut self) {}
     }
+
+    /// Stub: no signals to ignore without the FFI shims.
+    pub fn ignore_sigpipe() {}
 
     /// Stub poller: nothing is ever ready.
     pub fn poll_readable(_fds: &[i32], ready: &mut [bool], _timeout_ms: i32) -> usize {
@@ -193,7 +257,7 @@ mod imp {
     }
 }
 
-pub use imp::{poll_readable, PipeEnd};
+pub use imp::{ignore_sigpipe, poll_readable, PipeEnd};
 
 #[cfg(all(
     test,
@@ -244,5 +308,39 @@ mod tests {
     fn ends_are_send() {
         fn assert_send<T: Send>() {}
         assert_send::<PipeEnd>();
+    }
+
+    #[test]
+    fn try_write_never_blocks_on_a_full_pipe() {
+        ignore_sigpipe();
+        let (server, _client) = PipeEnd::pair().expect("pipes available on linux-gnu");
+        assert!(server.set_write_nonblocking());
+        // Fill the pipe: nobody reads, so try_write must eventually
+        // report 0 accepted instead of blocking the thread.
+        let chunk = [0u8; 4096];
+        let mut total = 0usize;
+        let mut full = false;
+        for _ in 0..1024 {
+            match server.try_write(&chunk) {
+                Some(0) => {
+                    full = true;
+                    break;
+                }
+                Some(n) => total += n,
+                None => panic!("live reader reported as gone"),
+            }
+        }
+        assert!(full, "pipe never filled after {total} bytes");
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn try_write_reports_a_churned_peer_as_gone() {
+        ignore_sigpipe();
+        let (server, client) = PipeEnd::pair().expect("pipes available on linux-gnu");
+        assert!(server.set_write_nonblocking());
+        drop(client); // abrupt churn: reader side vanishes
+        // EPIPE, not a process-killing SIGPIPE, and not a silent 0.
+        assert_eq!(server.try_write(b"orphan reply"), None);
     }
 }

@@ -1,0 +1,303 @@
+//! A lock-free bounded MPMC completion queue.
+//!
+//! Drain workers push finished [`Completion`](crate::server)s here and
+//! the pump thread pops them to run the serial completion half
+//! (accounting, ladder ticks, reply encode). The queue is the only
+//! data-plane channel from workers back to the writer side, so it must
+//! be lock-free: a worker blocked on a mutex while holding a hot
+//! `ShardHandle` would serialize the very plane the workers exist to
+//! parallelize.
+//!
+//! The design is the classic bounded-array MPMC queue (Vyukov): each
+//! cell carries a sequence stamp; producers claim the tail with a CAS
+//! and publish by storing `pos + 1` into the stamp, consumers claim
+//! the head and recycle the cell by storing `pos + capacity`. Stamps
+//! make every claim/publish pair a two-word handshake with no shared
+//! lock and no ABA hazard, at the cost of a fixed capacity — which is
+//! exactly what we want, because the admission plane already bounds
+//! in-flight work: a full completion queue is a transient condition
+//! (the pump is mid-pop), never a steady state.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Cache-line padding so the producer and consumer cursors do not
+/// false-share.
+#[repr(align(64))]
+struct Cursor(AtomicUsize);
+
+struct Slot<T> {
+    /// The Vyukov sequence stamp. `stamp == pos` ⇒ free for the
+    /// producer claiming `pos`; `stamp == pos + 1` ⇒ holds the value
+    /// for the consumer claiming `pos`.
+    stamp: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// Bounded lock-free multi-producer multi-consumer queue.
+pub struct CompletionQueue<T> {
+    mask: usize,
+    slots: Box<[Slot<T>]>,
+    /// Producer cursor (next position to claim for a push).
+    tail: Cursor,
+    /// Consumer cursor (next position to claim for a pop).
+    head: Cursor,
+}
+
+// Safety: values are moved in through `push` and out through `pop`
+// with the stamp protocol guaranteeing exclusive access to each slot
+// between the claiming thread's CAS and its publishing store. Only
+// `T: Send` is required — `T` itself is never shared, only handed off.
+unsafe impl<T: Send> Send for CompletionQueue<T> {}
+unsafe impl<T: Send> Sync for CompletionQueue<T> {}
+
+impl<T> CompletionQueue<T> {
+    /// A queue holding at least `capacity` items (rounded up to a
+    /// power of two, minimum 2).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        let slots = (0..cap)
+            .map(|i| Slot {
+                stamp: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        CompletionQueue {
+            mask: cap - 1,
+            slots,
+            tail: Cursor(AtomicUsize::new(0)),
+            head: Cursor(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Slots in the ring.
+    pub fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// Approximate occupancy (racy by nature; exact when quiescent).
+    pub fn len(&self) -> usize {
+        let tail = self.tail.0.load(Ordering::Relaxed);
+        let head = self.head.0.load(Ordering::Relaxed);
+        tail.saturating_sub(head)
+    }
+
+    /// Whether the queue is (approximately) empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pushes a value; `Err(value)` hands it back when the ring is
+    /// full. Lock-free: a stalled peer cannot block this call, only
+    /// fail it.
+    pub fn push(&self, value: T) -> Result<(), T> {
+        let mut pos = self.tail.0.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let stamp = slot.stamp.load(Ordering::Acquire);
+            if stamp == pos {
+                // Free slot: claim the position.
+                match self.tail.0.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // Exclusive until the stamp store publishes.
+                        unsafe { (*slot.value.get()).write(value) };
+                        slot.stamp.store(pos.wrapping_add(1), Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if stamp.wrapping_sub(pos) as isize > 0 {
+                // Someone already produced past us: reload the tail.
+                pos = self.tail.0.load(Ordering::Relaxed);
+            } else {
+                // stamp < pos: the consumer a full lap behind has not
+                // freed this slot — the ring is full.
+                return Err(value);
+            }
+        }
+    }
+
+    /// Pops the oldest value, if any.
+    pub fn pop(&self) -> Option<T> {
+        let mut pos = self.head.0.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let stamp = slot.stamp.load(Ordering::Acquire);
+            let expect = pos.wrapping_add(1);
+            if stamp == expect {
+                // Published value: claim the position.
+                match self.head.0.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        let value = unsafe { (*slot.value.get()).assume_init_read() };
+                        // Recycle for the producer one lap ahead.
+                        slot.stamp
+                            .store(pos.wrapping_add(self.mask + 1), Ordering::Release);
+                        return Some(value);
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if stamp.wrapping_sub(expect) as isize > 0 {
+                // Another consumer already took it: reload the head.
+                pos = self.head.0.load(Ordering::Relaxed);
+            } else {
+                // stamp == pos: the producer has not published here.
+                return None;
+            }
+        }
+    }
+}
+
+impl<T> Drop for CompletionQueue<T> {
+    fn drop(&mut self) {
+        // Drain leftover values so their destructors run.
+        while self.pop().is_some() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_within_a_single_thread() {
+        let q = CompletionQueue::with_capacity(8);
+        for i in 0..8 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.push(99), Err(99), "ring of 8 is full after 8 pushes");
+        for i in 0..8 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.pop(), None);
+        // The ring recycles: push/pop across the wrap boundary.
+        for lap in 0..5 {
+            for i in 0..6 {
+                q.push(lap * 10 + i).unwrap();
+            }
+            for i in 0..6 {
+                assert_eq!(q.pop(), Some(lap * 10 + i));
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_a_power_of_two() {
+        let q = CompletionQueue::<u8>::with_capacity(5);
+        assert_eq!(q.capacity(), 8);
+        let q = CompletionQueue::<u8>::with_capacity(0);
+        assert_eq!(q.capacity(), 2);
+    }
+
+    #[test]
+    fn leftover_values_drop_with_the_queue() {
+        // Arc counts double as drop counts: if the queue leaks its
+        // remaining values the strong count stays above 1.
+        let token = Arc::new(());
+        {
+            let q = CompletionQueue::with_capacity(4);
+            for _ in 0..3 {
+                q.push(Arc::clone(&token)).unwrap();
+            }
+            assert_eq!(Arc::strong_count(&token), 4);
+            assert!(q.pop().is_some());
+        }
+        assert_eq!(Arc::strong_count(&token), 1);
+    }
+
+    #[test]
+    fn multi_producer_single_consumer_delivers_every_value_once() {
+        const PRODUCERS: u64 = 4;
+        const PER: u64 = 5_000;
+        let q = Arc::new(CompletionQueue::with_capacity(64));
+        let mut producers = Vec::new();
+        for p in 0..PRODUCERS {
+            let q = Arc::clone(&q);
+            producers.push(std::thread::spawn(move || {
+                for i in 0..PER {
+                    let mut v = p * PER + i;
+                    loop {
+                        match q.push(v) {
+                            Ok(()) => break,
+                            Err(back) => {
+                                v = back;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+        let mut seen = vec![false; (PRODUCERS * PER) as usize];
+        let mut got = 0u64;
+        while got < PRODUCERS * PER {
+            match q.pop() {
+                Some(v) => {
+                    assert!(!seen[v as usize], "value {v} delivered twice");
+                    seen[v as usize] = true;
+                    got += 1;
+                }
+                None => std::thread::yield_now(),
+            }
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        assert_eq!(q.pop(), None);
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn per_producer_order_is_preserved() {
+        // MPMC guarantees per-producer FIFO: with one consumer, each
+        // producer's values must arrive in its own submission order.
+        const PRODUCERS: usize = 3;
+        const PER: usize = 2_000;
+        let q = Arc::new(CompletionQueue::with_capacity(16));
+        let mut producers = Vec::new();
+        for p in 0..PRODUCERS {
+            let q = Arc::clone(&q);
+            producers.push(std::thread::spawn(move || {
+                for i in 0..PER {
+                    let mut v = (p, i);
+                    loop {
+                        match q.push(v) {
+                            Ok(()) => break,
+                            Err(back) => {
+                                v = back;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+        let mut next = [0usize; PRODUCERS];
+        let mut got = 0;
+        while got < PRODUCERS * PER {
+            match q.pop() {
+                Some((p, i)) => {
+                    assert_eq!(i, next[p], "producer {p} reordered");
+                    next[p] += 1;
+                    got += 1;
+                }
+                None => std::thread::yield_now(),
+            }
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+    }
+}

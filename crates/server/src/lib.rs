@@ -10,32 +10,42 @@
 //!   batched ABI: bind/invoke/invoke_batch frames, typed wire errors,
 //!   malformed-frame recovery without tearing the connection;
 //! * [`tenant`] — per-tenant namespaces, quotas (max grafts, fuel
-//!   budget, in-flight cap), and the PR 5 backoff ladder as *tenant*
-//!   isolation;
+//!   budget, in-flight cap), weighted admission classes, and the PR 5
+//!   backoff ladder as *tenant* isolation;
 //! * [`server`] — the transport-agnostic protocol core + admission
 //!   control, with the data plane keyed into `ShardedHost::enqueue`
-//!   so the work-stealing shards serve requests;
+//!   so the work-stealing shards serve requests. Serving is split
+//!   into an invoke half and a serial completion half joined by the
+//!   lock-free [`cq::CompletionQueue`];
+//! * [`workers`] — the drain-worker plane: one real thread per shard
+//!   behind `ShardedHost::take_handles`, joined loss-free;
 //! * [`client`] — frame building and reply re-association, plus the
 //!   deterministic in-process [`VirtualTransport`];
-//! * [`pipe`] — the live front-end: a `poll(2)` readiness loop over
-//!   non-blocking pipe shims from `kernsim::netpipe`.
+//! * [`pipe`] — the live front-ends: `poll(2)` readiness loops over
+//!   non-blocking pipe shims from `kernsim::netpipe`, single-threaded
+//!   ([`serve_pipes`]) or pump + workers ([`serve_pipes_threaded`]).
 //!
-//! See `docs/server.md` for the frame catalogue and the tenant
-//! lifecycle state machine, and Table 11 (`--bin table11`) for the
-//! service benchmark: 10k+ simulated tenants, p50/p99/p999 service
-//! latency and saturation throughput per technology over the shard
+//! See `docs/server.md` for the frame catalogue, the tenant lifecycle
+//! state machine, and the threading model, and Table 11
+//! (`--bin table11`) for the service benchmark: 100k+ simulated
+//! tenants with churn and slowloris clients, p50/p99/p999 service
+//! latency and saturation throughput per technology over the worker
 //! ladder, and the noisy-neighbor quarantine drill.
 
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod cq;
 pub mod pipe;
 pub mod server;
 pub mod tenant;
 pub mod wire;
+pub mod workers;
 
 pub use client::{GraftClient, VirtualTransport};
-pub use pipe::{serve_pipes, PipeServeStats};
+pub use cq::CompletionQueue;
+pub use pipe::{serve_pipes, serve_pipes_threaded, PipeServeStats};
 pub use server::{GraftServer, ServerConfig, ServerStats, SpecLoader};
-pub use tenant::{Standing, Tenant, TenantQuotas};
+pub use tenant::{class_share, QuotaClass, Standing, Tenant, TenantQuotas, MAX_CLASSES};
 pub use wire::{FrameBuf, Reply, Request, WireError, MAX_FRAME};
+pub use workers::{WorkerPlane, WorkerStats};

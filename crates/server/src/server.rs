@@ -8,29 +8,49 @@
 //! bind, uninstall — cheap, namespace-local), and admitted *data
 //! plane* requests (invoke, batch) are keyed into
 //! [`ShardedHost::enqueue`] so the work-stealing shards serve them.
-//! [`GraftServer::drain`] is the executor: it takes a steal-aware
-//! batch for one shard, invokes each item's graft on that shard's
-//! handle, and writes the reply frame to the owning connection's
-//! outbox. Because stealing reorders completion, replies carry the
-//! client's echoed `seq`.
+//!
+//! Serving is split in two halves so it can run on real threads:
+//!
+//! * the **invoke half** ([`GraftServer::drain_invoke`], or a
+//!   [`WorkerPlane`](crate::workers::WorkerPlane) worker) takes a
+//!   steal-aware batch for one shard, invokes each item's graft on
+//!   that shard's handle, and pushes a [`Completion`] into the
+//!   lock-free [`CompletionQueue`];
+//! * the **completion half** ([`GraftServer::reap`]) runs serially on
+//!   the pump/writer side: accounting, quarantine detection, ladder
+//!   ticks, fuel refresh, and reply encode into the owning
+//!   connection's outbox.
+//!
+//! Because the completion half is serial, every tenant-state decision
+//! (park, ban, re-admit, fuel charge) is made by exactly one thread no
+//! matter how many workers invoke — that is what makes strike
+//! accounting exactly-once under concurrency. Because stealing and
+//! threading both reorder completion, replies carry the client's
+//! echoed `seq`.
 //!
 //! Admission control happens at pump time, before anything is
 //! enqueued: a parked or banned tenant is refused with `Quarantined`,
 //! an over-cap tenant with `Overloaded`, an over-budget tenant with
 //! `QuotaExceeded` — all typed, all without touching the data plane.
-//! Quarantine detection happens at drain time: when an invoke traps
-//! and the backing host's supervisor has detached the graft, the
-//! owning tenant is parked on the PR 5 backoff ladder and the server
-//! re-admits the graft (`ShardedHost::readmit`) only after the
-//! tenant's window of clean server dispatches has elapsed.
+//! Admission is additionally *weighted*: tenants belong to
+//! [`QuotaClass`]es and each class holds a hard share of the plane's
+//! in-flight capacity proportional to its weight, so a heavy class
+//! cannot starve a light one. Quarantine detection happens at
+//! completion time: when an invoke traps and the backing host's
+//! supervisor has detached the graft, the owning tenant is parked on
+//! the PR 5 backoff ladder and the server re-admits the graft
+//! (`ShardedHost::readmit`) only after the tenant's window of clean
+//! server dispatches has elapsed.
 
-use crate::tenant::{Standing, Tenant, TenantQuotas};
+use crate::cq::CompletionQueue;
+use crate::tenant::{class_share, QuotaClass, Standing, Tenant, TenantQuotas, MAX_CLASSES};
 use crate::wire::{Reply, Request, WireError};
 use graft_api::{ExtensionEngine, GraftError, Technology};
 use graft_kernel::{
     AttachPoint, GraftId, HostConfig, RunQueues, ShardHandle, ShardedHost, StealPolicy,
 };
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A loader the server calls to build an engine for an installed spec:
@@ -43,15 +63,21 @@ pub type SpecLoader =
 /// Server tuning: the backing host, the plane, and the quotas.
 #[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
-    /// Shard count for the backing [`ShardedHost`].
+    /// Shard count for the backing [`ShardedHost`] — also the worker
+    /// count when the plane is threaded (one worker per handle).
     pub shards: usize,
     /// Host supervisor config. `backoff_base` here is forced to 0:
     /// the *server* owns the re-admission ladder per tenant.
     pub host: HostConfig,
     /// Dispatch-plane policy (stealing or static).
     pub steal: StealPolicy,
-    /// Per-tenant ceilings.
+    /// Per-tenant ceilings for the default class (class 0 inherits
+    /// these when no explicit classes are configured).
     pub quotas: TenantQuotas,
+    /// Weighted admission classes. All-unused (every weight 0) means
+    /// "one default class owning the whole plane with `quotas`"; the
+    /// constructor materializes that so admission always has a class.
+    pub classes: [QuotaClass; MAX_CLASSES],
     /// Server-side re-admission ladder base (PR 5 semantics: window
     /// `base << (trip-1)` clean dispatches, doubling per trip). 0
     /// disables re-admission — quarantine is permanent.
@@ -70,6 +96,7 @@ impl Default for ServerConfig {
             host: HostConfig::default(),
             steal: StealPolicy::default(),
             quotas: TenantQuotas::default(),
+            classes: [QuotaClass::UNUSED; MAX_CLASSES],
             backoff_base: 16,
             ban_ceiling: 5,
             fuel_refresh: 64,
@@ -82,7 +109,7 @@ impl Default for ServerConfig {
 pub struct ServerStats {
     /// Data-plane requests served to completion.
     pub served: u64,
-    /// Refusals: plane or tenant at capacity.
+    /// Refusals: plane, tenant, or class share at capacity.
     pub rejected_overloaded: u64,
     /// Refusals: graft-count or fuel quota exhausted.
     pub rejected_quota: u64,
@@ -98,11 +125,14 @@ pub struct ServerStats {
     pub tenants_quarantined: u64,
     /// High-water mark of total in-flight requests.
     pub inflight_peak: u64,
+    /// Replies dropped because the connection closed while the request
+    /// was in flight (churned clients; accounting still ran).
+    pub orphaned: u64,
 }
 
 /// What one data-plane job carries through the plane.
 #[derive(Debug)]
-struct Job {
+pub(crate) struct Job {
     conn: usize,
     seq: u32,
     tenant: u64,
@@ -110,6 +140,79 @@ struct Job {
     batch: Option<usize>,
     args: Vec<i64>,
     t0: Instant,
+}
+
+/// A finished invoke travelling back from a worker (or the inline
+/// executor) to the serial completion half.
+#[derive(Debug)]
+pub(crate) struct Completion {
+    /// Which shard invoked (fuel refresh flushes this shard's handle
+    /// in single-threaded mode).
+    pub(crate) shard: usize,
+    pub(crate) job: Job,
+    pub(crate) values: Vec<i64>,
+    pub(crate) error: Option<GraftError>,
+}
+
+/// The invoke half of the executor: takes one steal-aware batch for
+/// `shard`, invokes each item on `handle`, and pushes one
+/// [`Completion`] per job. This is exactly what a drain-worker thread
+/// runs in a loop; the single-threaded [`GraftServer::drain`] calls it
+/// inline with the resident handle. Returns the number of jobs
+/// invoked.
+///
+/// A full completion queue is transient by construction (capacity is
+/// sized at 2× the plane's queue capacity and the consumer side always
+/// reaps between waves), so the push spins rather than dropping —
+/// a dropped completion would leak a tenant's in-flight slot forever.
+pub(crate) fn invoke_shard(
+    shard: usize,
+    handle: &mut ShardHandle,
+    queues: &RunQueues<Job>,
+    completions: &CompletionQueue<Completion>,
+) -> usize {
+    let mut batch = Vec::new();
+    queues.take(shard, &mut batch);
+    let n = batch.len();
+    for item in batch {
+        let gid = GraftId(item.graft);
+        let job = item.payload;
+        // Invoke on this shard's replica. A batch job shares the
+        // engine's prefix-on-trap contract: values for the calls that
+        // ran, then the error that stopped it.
+        let mut values = Vec::new();
+        let mut error = None;
+        match job.batch {
+            None => match handle.invoke(gid, &job.args) {
+                Ok(v) => values.push(v),
+                Err(e) => error = Some(e),
+            },
+            Some(arity) => {
+                for call in job.args.chunks(arity) {
+                    match handle.invoke(gid, call) {
+                        Ok(v) => values.push(v),
+                        Err(e) => {
+                            error = Some(e);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        // Tell the plane this shard now has the graft hot.
+        queues.mark_warm(shard, item.graft);
+        let mut completion = Completion {
+            shard,
+            job,
+            values,
+            error,
+        };
+        while let Err(back) = completions.push(completion) {
+            completion = back;
+            std::thread::yield_now();
+        }
+    }
+    n
 }
 
 /// Per-graft server bookkeeping.
@@ -131,13 +234,21 @@ struct Conn {
 /// The multi-tenant graft server. See the module docs for the shape.
 pub struct GraftServer {
     host: ShardedHost,
+    /// Shard handles when resident. Empty while a
+    /// [`WorkerPlane`](crate::workers::WorkerPlane) owns them — the
+    /// single-threaded executor paths assert residency.
     handles: Vec<ShardHandle>,
     queues: RunQueues<Job>,
+    completions: Arc<CompletionQueue<Completion>>,
     config: ServerConfig,
     conns: Vec<Conn>,
     tenants: BTreeMap<u64, Tenant>,
     /// Tenant ids currently parked (ladder ticks scan only these).
     parked: Vec<u64>,
+    /// Pre-assigned admission classes (applied at Hello).
+    class_of: BTreeMap<u64, usize>,
+    /// In-flight requests per admission class (pump-side state).
+    class_in_flight: [u64; MAX_CLASSES],
     specs: BTreeMap<String, SpecLoader>,
     grafts: BTreeMap<u64, GraftMeta>,
     stats: ServerStats,
@@ -154,17 +265,31 @@ impl GraftServer {
         // The server owns the re-admission ladder; the host supervisor
         // must not auto-readmit underneath it.
         config.host.backoff_base = 0;
+        // No explicit classes ⇒ one default class over the whole plane
+        // with the legacy per-tenant quotas.
+        if config.classes.iter().all(|c| c.weight == 0) {
+            config.classes[0] = QuotaClass {
+                weight: 1,
+                quotas: config.quotas,
+            };
+        }
         let mut host = ShardedHost::with_config(config.shards, config.host);
         let handles = host.take_handles();
         let queues = host.run_queues(config.steal);
+        // Sized so that "invoke the whole plane, then reap once" can
+        // never fill it (see `invoke_shard`).
+        let cq_cap = (config.steal.queue_cap * config.shards * 2).max(4096);
         GraftServer {
             host,
             handles,
             queues,
+            completions: Arc::new(CompletionQueue::with_capacity(cq_cap)),
             config,
             conns: Vec::new(),
             tenants: BTreeMap::new(),
             parked: Vec::new(),
+            class_of: BTreeMap::new(),
+            class_in_flight: [0; MAX_CLASSES],
             specs: BTreeMap::new(),
             grafts: BTreeMap::new(),
             stats: ServerStats::default(),
@@ -177,6 +302,21 @@ impl GraftServer {
     /// Registers a named spec the wire `Install` frame can reference.
     pub fn register_spec(&mut self, name: &str, loader: SpecLoader) {
         self.specs.insert(name.to_string(), loader);
+    }
+
+    /// Assigns `tenant` to admission class `class` (effective at its
+    /// next `Hello`, or immediately if the tenant already exists).
+    /// Out-of-range or zero-weight classes fall back to class 0.
+    pub fn assign_class(&mut self, tenant: u64, class: usize) {
+        let class = if class < MAX_CLASSES && self.config.classes[class].weight > 0 {
+            class
+        } else {
+            0
+        };
+        self.class_of.insert(tenant, class);
+        if let Some(t) = self.tenants.get_mut(&tenant) {
+            t.class = class;
+        }
     }
 
     /// Starts collecting `(tenant, service_ns)` pairs per completion.
@@ -205,6 +345,16 @@ impl GraftServer {
     /// Whether a connection is still open.
     pub fn is_open(&self, conn: usize) -> bool {
         self.conns.get(conn).is_some_and(|c| c.open)
+    }
+
+    /// Marks a connection closed from the transport side (peer went
+    /// away without `Bye`). In-flight requests complete their
+    /// accounting but their replies are dropped as orphaned.
+    pub fn disconnect(&mut self, conn: usize) {
+        if let Some(c) = self.conns.get_mut(conn) {
+            c.open = false;
+            c.outbox.clear();
+        }
     }
 
     /// Appends raw transport bytes to a connection's inbox.
@@ -277,7 +427,7 @@ impl GraftServer {
     }
 
     /// Control-plane handling. Data-plane requests return `None` here
-    /// (their reply is written at drain time).
+    /// (their reply is written at completion time).
     fn handle(&mut self, conn: usize, req: Request) -> Option<Reply> {
         graft_telemetry::counter!("server.requests").add(1);
         let seq = req.seq();
@@ -287,7 +437,9 @@ impl GraftServer {
                 let id = *tenant;
                 self.conns[conn].tenant = Some(id);
                 if let std::collections::btree_map::Entry::Vacant(e) = self.tenants.entry(id) {
-                    e.insert(Tenant::new(id));
+                    let mut t = Tenant::new(id);
+                    t.class = self.class_of.get(&id).copied().unwrap_or(0);
+                    e.insert(t);
                     self.stats.tenants += 1;
                 }
                 return Some(Reply::Welcome { seq, tenant: id });
@@ -377,6 +529,11 @@ impl GraftServer {
         }
     }
 
+    /// The per-tenant ceilings a tenant's class grants it.
+    fn quotas_for(&self, tenant: &Tenant) -> TenantQuotas {
+        self.config.classes[tenant.class].quotas
+    }
+
     fn install(&mut self, tenant_id: u64, point: u8, tech: u8, spec: &str, seq: u32) -> Reply {
         let t = self.tenants.get_mut(&tenant_id).expect("tenant exists");
         if matches!(t.standing, Standing::Banned) {
@@ -389,7 +546,8 @@ impl GraftServer {
                 },
             };
         }
-        if let Err(e) = t.admit_install(&self.config.quotas) {
+        let quotas = self.config.classes[t.class].quotas;
+        if let Err(e) = t.admit_install(&quotas) {
             self.stats.rejected_quota += 1;
             t.rejected += 1;
             graft_telemetry::counter!("server.rejected.quota").add(1);
@@ -447,8 +605,9 @@ impl GraftServer {
     }
 
     /// Admission for one data-plane request: ladder standing, handle
-    /// validity, entry-id staleness, in-flight cap, fuel budget — all
-    /// checked *before* the plane sees the job, each refusal typed.
+    /// validity, entry-id staleness, in-flight cap, class share, fuel
+    /// budget — all checked *before* the plane sees the job, each
+    /// refusal typed.
     #[allow(clippy::too_many_arguments)]
     fn admit(
         &mut self,
@@ -511,7 +670,9 @@ impl GraftServer {
             }
             Standing::Serving => {}
         }
-        if let Err(e) = t.admit_invoke(&self.config.quotas) {
+        let class = t.class;
+        let quotas = self.config.classes[class].quotas;
+        if let Err(e) = t.admit_invoke(&quotas) {
             t.rejected += 1;
             match &e {
                 GraftError::Overloaded { .. } => {
@@ -526,6 +687,24 @@ impl GraftServer {
             return Some(Reply::Error {
                 seq,
                 error: WireError::from(&e),
+            });
+        }
+        // Weighted admission: the class's hard share of the plane.
+        // Refusing here (not at enqueue) is what protects *other*
+        // classes — this class's flood never occupies their slots.
+        let plane_cap = (self.config.steal.queue_cap * self.config.shards) as u64;
+        let share = class_share(&self.config.classes, class, plane_cap);
+        if self.class_in_flight[class] >= share {
+            let t = self.tenants.get_mut(&tenant_id).expect("tenant exists");
+            t.rejected += 1;
+            self.stats.rejected_overloaded += 1;
+            graft_telemetry::counter!("server.rejected.overloaded").add(1);
+            return Some(Reply::Error {
+                seq,
+                error: WireError::Overloaded {
+                    in_flight: self.class_in_flight[class],
+                    cap: share,
+                },
             });
         }
         let job = Job {
@@ -545,6 +724,7 @@ impl GraftServer {
             Ok(_shard) => {
                 let t = self.tenants.get_mut(&tenant_id).expect("tenant exists");
                 t.admitted();
+                self.class_in_flight[class] += 1;
                 self.total_in_flight += 1;
                 if self.total_in_flight > self.stats.inflight_peak {
                     self.stats.inflight_peak = self.total_in_flight;
@@ -562,52 +742,31 @@ impl GraftServer {
                     seq,
                     error: WireError::Overloaded {
                         in_flight: self.total_in_flight,
-                        cap: (self.config.steal.queue_cap * self.config.shards) as u64,
+                        cap: plane_cap,
                     },
                 })
             }
         }
     }
 
-    /// The executor: serves one steal-aware batch on `shard`. Returns
-    /// the number of requests completed.
+    /// The invoke half only: serves one steal-aware batch on `shard`
+    /// and queues the completions without processing them. Pair with
+    /// [`reap`](Self::reap). Panics if a [`WorkerPlane`]
+    /// (crate::workers::WorkerPlane) currently owns the handles.
+    pub fn drain_invoke(&mut self, shard: usize) -> usize {
+        assert!(
+            !self.handles.is_empty(),
+            "drain_invoke needs resident handles (worker plane active?)"
+        );
+        invoke_shard(shard, &mut self.handles[shard], &self.queues, &self.completions)
+    }
+
+    /// The executor: serves one steal-aware batch on `shard` and
+    /// processes every queued completion. Returns the number of
+    /// requests invoked.
     pub fn drain(&mut self, shard: usize) -> usize {
-        let mut batch = Vec::new();
-        self.queues.take(shard, &mut batch);
-        let n = batch.len();
-        for item in batch {
-            let gid = GraftId(item.graft);
-            let job = item.payload;
-            // Invoke on this shard's replica. A batch job shares the
-            // engine's prefix-on-trap contract: values for the calls
-            // that ran, then the error that stopped it.
-            let (values, error) = {
-                let handle = &mut self.handles[shard];
-                let mut values = Vec::new();
-                let mut error = None;
-                match job.batch {
-                    None => match handle.invoke(gid, &job.args) {
-                        Ok(v) => values.push(v),
-                        Err(e) => error = Some(e),
-                    },
-                    Some(arity) => {
-                        for call in job.args.chunks(arity) {
-                            match handle.invoke(gid, call) {
-                                Ok(v) => values.push(v),
-                                Err(e) => {
-                                    error = Some(e);
-                                    break;
-                                }
-                            }
-                        }
-                    }
-                }
-                (values, error)
-            };
-            // Tell the plane this shard now has the graft hot.
-            self.queues.mark_warm(shard, item.graft);
-            self.complete(shard, job, values, error);
-        }
+        let n = self.drain_invoke(shard);
+        self.reap();
         n
     }
 
@@ -628,15 +787,30 @@ impl GraftServer {
         }
     }
 
+    /// The completion half: pops every queued [`Completion`] and runs
+    /// the serial accounting/reply path. Returns how many were
+    /// processed. This is the *only* consumer of tenant standing, so
+    /// running it on one thread (the pump) makes strike accounting
+    /// exactly-once regardless of worker count.
+    pub fn reap(&mut self) -> usize {
+        let completions = Arc::clone(&self.completions);
+        let mut n = 0;
+        while let Some(c) = completions.pop() {
+            self.complete(c);
+            n += 1;
+        }
+        n
+    }
+
     /// Completion: accounting, quarantine detection, ladder ticks,
     /// fuel refresh, reply delivery.
-    fn complete(
-        &mut self,
-        shard: usize,
-        job: Job,
-        values: Vec<i64>,
-        error: Option<GraftError>,
-    ) {
+    fn complete(&mut self, completion: Completion) {
+        let Completion {
+            shard,
+            job,
+            values,
+            error,
+        } = completion;
         let service_ns = job.t0.elapsed().as_nanos() as u64;
         graft_telemetry::histogram!("server.service_ns").record(service_ns);
         if let Some(sink) = self.latency_sink.as_mut() {
@@ -648,7 +822,11 @@ impl GraftServer {
 
         // Did this failure quarantine the graft? (The supervisor
         // detaches globally; the *tenant* consequence — parking on the
-        // ladder — is the server's decision.)
+        // ladder — is the server's decision.) The `Serving` guard is
+        // the exactly-once strike: a second trap from the same episode
+        // (e.g. a queued request another worker served as
+        // `Unavailable` after the detach) finds the tenant already
+        // parked and does not strike again.
         let clean = error.is_none();
         if let Some(e) = &error {
             let trapped = e.as_trap().is_some()
@@ -678,24 +856,30 @@ impl GraftServer {
         }
 
         // Fuel-quota refresh from the authoritative per-graft ledgers,
-        // amortized over `fuel_refresh` completions per tenant.
-        if self.config.quotas.fuel_budget.is_some() {
-            let t = self.tenants.get(&job.tenant).expect("tenant exists");
-            if t.accepted.is_multiple_of(self.config.fuel_refresh) {
-                let grafts = t.grafts.clone();
-                self.handles[shard].flush();
-                let charged: u64 = grafts
-                    .iter()
-                    .filter_map(|g| self.host.ledger(*g))
-                    .map(|l| l.fuel_used)
-                    .sum();
-                let t = self.tenants.get_mut(&job.tenant).expect("tenant exists");
-                t.fuel_charged = charged;
+        // amortized over `fuel_refresh` completions per tenant. With a
+        // worker plane active the handles are not resident — workers
+        // flush their own handle per batch instead, so the shared
+        // ledgers stay no staler than one batch.
+        let t = self.tenants.get(&job.tenant).expect("tenant exists");
+        let quotas = self.quotas_for(t);
+        if quotas.fuel_budget.is_some() && t.accepted.is_multiple_of(self.config.fuel_refresh) {
+            let grafts = t.grafts.clone();
+            if let Some(handle) = self.handles.get_mut(shard) {
+                handle.flush();
             }
+            let charged: u64 = grafts
+                .iter()
+                .filter_map(|g| self.host.ledger(*g))
+                .map(|l| l.fuel_used)
+                .sum();
+            let t = self.tenants.get_mut(&job.tenant).expect("tenant exists");
+            t.fuel_charged = charged;
         }
 
         let t = self.tenants.get_mut(&job.tenant).expect("tenant exists");
+        let class = t.class;
         t.completed();
+        self.class_in_flight[class] = self.class_in_flight[class].saturating_sub(1);
 
         // A clean dispatch ticks every parked tenant's window — the
         // server-wide analog of the scalar host's "dispatches served
@@ -738,8 +922,15 @@ impl GraftServer {
                 error: e.as_ref().map(WireError::from),
             },
         };
-        if let Some(c) = self.conns.get_mut(job.conn) {
-            c.outbox.extend(reply.encode());
+        match self.conns.get_mut(job.conn) {
+            Some(c) if c.open => c.outbox.extend(reply.encode()),
+            _ => {
+                // The client churned away mid-flight: the accounting
+                // above still ran (slots released, strikes recorded),
+                // only the bytes have nowhere to go.
+                self.stats.orphaned += 1;
+                graft_telemetry::counter!("server.replies.orphaned").add(1);
+            }
         }
     }
 
@@ -748,9 +939,26 @@ impl GraftServer {
         self.queues.total_depth()
     }
 
+    /// The shard a tenant's work homes to (before any warm-graft
+    /// divert) — lets tests and the bench rig pick drain order.
+    pub fn home_shard(&self, tenant: u64) -> usize {
+        self.queues.home(tenant)
+    }
+
+    /// Queued depth of one shard (racy probe while workers run).
+    pub fn shard_depth(&self, shard: usize) -> usize {
+        self.queues.depth(shard)
+    }
+
+    /// Requests admitted but not yet completion-processed (includes
+    /// queued, in-invoke, and queued-completion work).
+    pub fn in_flight(&self) -> u64 {
+        self.total_in_flight
+    }
+
     /// Number of shards serving the data plane.
     pub fn shards(&self) -> usize {
-        self.handles.len()
+        self.config.shards
     }
 
     /// Snapshot of the server counters.
@@ -761,6 +969,11 @@ impl GraftServer {
     /// A tenant's current ladder standing (None = never connected).
     pub fn tenant_standing(&self, tenant: u64) -> Option<Standing> {
         self.tenants.get(&tenant).map(|t| t.standing)
+    }
+
+    /// A tenant's quarantine-trip count (None = never connected).
+    pub fn tenant_trips(&self, tenant: u64) -> Option<u32> {
+        self.tenants.get(&tenant).map(|t| t.quarantines)
     }
 
     /// A tenant's admission ledger `(accepted, rejected, in_flight_peak)`.
@@ -778,6 +991,42 @@ impl GraftServer {
     /// Plane stats (steals, diverts…) for the bench report.
     pub fn queue_stats(&self) -> graft_kernel::QueueStats {
         self.queues.stats()
+    }
+
+    /// Moves the shard handles out for a worker plane, along with the
+    /// shared plane ends the workers need. `fuel_metered` tells the
+    /// workers to flush their handle per batch so the pump-side fuel
+    /// refresh reads fresh ledgers.
+    pub(crate) fn worker_parts(
+        &mut self,
+    ) -> (
+        Vec<ShardHandle>,
+        RunQueues<Job>,
+        Arc<CompletionQueue<Completion>>,
+        bool,
+    ) {
+        assert!(
+            !self.handles.is_empty(),
+            "worker plane already owns the handles"
+        );
+        let fuel_metered = self
+            .config
+            .classes
+            .iter()
+            .any(|c| c.weight > 0 && c.quotas.fuel_budget.is_some());
+        (
+            std::mem::take(&mut self.handles),
+            self.queues.clone(),
+            Arc::clone(&self.completions),
+            fuel_metered,
+        )
+    }
+
+    /// Returns the handles a worker plane took (already ordered by
+    /// shard index by the caller).
+    pub(crate) fn restore_handles(&mut self, handles: Vec<ShardHandle>) {
+        debug_assert!(self.handles.is_empty());
+        self.handles = handles;
     }
 
     /// Publishes `server.*` gauge-style counters. Called on drop;

@@ -42,6 +42,47 @@ impl Default for TenantQuotas {
     }
 }
 
+/// Admission classes a server can partition its plane into.
+pub const MAX_CLASSES: usize = 4;
+
+/// One *weighted* admission class: every tenant belongs to a class,
+/// and a class's tenants collectively hold a share of the plane's
+/// in-flight capacity proportional to the class weight. Hard per-class
+/// shares (not priorities) are what make the guarantee structural: a
+/// heavy class at its share is refused `Overloaded` while a light
+/// class's share stays free, so flooding cannot starve anyone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuotaClass {
+    /// Relative share weight. `0` marks the slot unused.
+    pub weight: u32,
+    /// Per-tenant ceilings for tenants in this class.
+    pub quotas: TenantQuotas,
+}
+
+impl QuotaClass {
+    /// An unused class slot.
+    pub const UNUSED: QuotaClass = QuotaClass {
+        weight: 0,
+        quotas: TenantQuotas {
+            max_grafts: 4,
+            fuel_budget: None,
+            max_in_flight: 64,
+        },
+    };
+}
+
+/// The in-flight slots class `class` may occupy out of `plane_cap`:
+/// `plane_cap * weight / Σ weights`, floored, but never below 1 for an
+/// active class (a positive weight always buys *some* service).
+pub fn class_share(classes: &[QuotaClass; MAX_CLASSES], class: usize, plane_cap: u64) -> u64 {
+    let total: u64 = classes.iter().map(|c| c.weight as u64).sum();
+    let weight = classes[class].weight as u64;
+    if total == 0 || weight == 0 {
+        return 0;
+    }
+    (plane_cap * weight / total).max(1)
+}
+
 /// Where a tenant stands with the quarantine/backoff ladder.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Standing {
@@ -81,6 +122,9 @@ pub struct Tenant {
     pub quarantines: u32,
     /// Current ladder standing.
     pub standing: Standing,
+    /// Admission class index (see [`QuotaClass`]); `0` is the default
+    /// class.
+    pub class: usize,
 }
 
 impl Tenant {
@@ -96,6 +140,7 @@ impl Tenant {
             fuel_charged: 0,
             quarantines: 0,
             standing: Standing::Serving,
+            class: 0,
         }
     }
 
@@ -273,5 +318,25 @@ mod tests {
         let mut t = Tenant::new(1);
         t.park(GraftId(1), 0, 5);
         assert_eq!(t.standing, Standing::Banned);
+    }
+
+    #[test]
+    fn class_shares_split_the_plane_by_weight() {
+        let mut classes = [QuotaClass::UNUSED; MAX_CLASSES];
+        classes[0].weight = 3;
+        classes[1].weight = 1;
+        assert_eq!(class_share(&classes, 0, 256), 192);
+        assert_eq!(class_share(&classes, 1, 256), 64);
+        // Unused classes get nothing; active classes never round to 0.
+        assert_eq!(class_share(&classes, 2, 256), 0);
+        classes[2].weight = 1;
+        assert_eq!(class_share(&classes, 2, 4), 1);
+    }
+
+    #[test]
+    fn single_class_owns_the_whole_plane() {
+        let mut classes = [QuotaClass::UNUSED; MAX_CLASSES];
+        classes[0].weight = 1;
+        assert_eq!(class_share(&classes, 0, 512), 512);
     }
 }

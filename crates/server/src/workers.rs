@@ -1,0 +1,150 @@
+//! The drain-worker plane: real threads behind `take_handles`.
+//!
+//! [`GraftServer::spawn_workers`] moves the server's [`ShardHandle`]s
+//! onto N OS threads — one worker per shard, exactly the ownership
+//! split `ShardedHost::take_handles` was designed for. Each worker
+//! loops the invoke half ([`invoke_shard`](crate::server)): take a
+//! steal-aware batch for its shard, run the grafts on its own
+//! thread-confined handle, and push completions into the shared
+//! lock-free [`CompletionQueue`](crate::cq::CompletionQueue). The pump
+//! thread keeps sole ownership of admission and completion processing
+//! ([`GraftServer::reap`]), so no tenant or connection state is ever
+//! touched from two threads.
+//!
+//! State partition, for the record:
+//! * **epoch-published** (host control plane): installs, detaches,
+//!   re-admissions — workers observe them at their next handle sync;
+//! * **atomic** (shared planes): run queues, completion queue, ledger
+//!   scoreboards, the shutdown flag;
+//! * **thread-confined**: each worker's `ShardHandle` (graft replicas,
+//!   warm state), and everything else in `GraftServer` on the pump.
+//!
+//! Shutdown is cooperative and loss-free: [`WorkerPlane::join`] raises
+//! the flag, and a worker exits only once the flag is up *and* the
+//! plane is drained, so every admitted job is invoked before the
+//! handles come home.
+
+use crate::server::{invoke_shard, GraftServer};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Counters one drain worker publishes when it exits.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkerStats {
+    /// The shard (and handle) this worker owned.
+    pub shard: usize,
+    /// Jobs this worker invoked.
+    pub served: u64,
+    /// Non-empty batches taken.
+    pub batches: u64,
+    /// Empty polls (spins) while waiting for work.
+    pub idle_spins: u64,
+}
+
+/// A running set of drain workers. Must be [`join`](Self::join)ed back
+/// into the server before any single-threaded executor path
+/// (`drain`/`drain_all`) is used again.
+pub struct WorkerPlane {
+    threads: Vec<JoinHandle<(graft_kernel::ShardHandle, WorkerStats)>>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl GraftServer {
+    /// Spawns one drain worker per shard. While the plane runs, this
+    /// thread (the pump) keeps feeding admission via
+    /// [`pump`](Self::pump) and must call [`reap`](Self::reap) to
+    /// process completions; `drain`/`drain_all` would panic (the
+    /// handles are on the workers).
+    pub fn spawn_workers(&mut self) -> WorkerPlane {
+        let (handles, queues, completions, fuel_metered) = self.worker_parts();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let threads = handles
+            .into_iter()
+            .map(|mut handle| {
+                let queues = queues.clone();
+                let completions = Arc::clone(&completions);
+                let shutdown = Arc::clone(&shutdown);
+                std::thread::spawn(move || {
+                    let shard = handle.shard();
+                    let mut stats = WorkerStats {
+                        shard,
+                        ..WorkerStats::default()
+                    };
+                    let mut empties = 0u32;
+                    loop {
+                        let n = invoke_shard(shard, &mut handle, &queues, &completions);
+                        if n > 0 {
+                            stats.served += n as u64;
+                            stats.batches += 1;
+                            empties = 0;
+                            // Fuel metering reads the shared ledgers on
+                            // the pump; keep them no staler than one
+                            // batch.
+                            if fuel_metered {
+                                handle.flush();
+                            }
+                            continue;
+                        }
+                        // Exit only when asked *and* drained: nothing
+                        // admitted is ever abandoned. (total_depth also
+                        // covers other shards' queues — with stealing
+                        // on, this worker can still help finish them.)
+                        if shutdown.load(Ordering::Acquire) && queues.total_depth() == 0 {
+                            break;
+                        }
+                        stats.idle_spins += 1;
+                        empties += 1;
+                        if empties < 64 {
+                            std::thread::yield_now();
+                        } else {
+                            // Long idle: back off so a 1-core CI box
+                            // still schedules the pump promptly.
+                            std::thread::sleep(std::time::Duration::from_micros(50));
+                        }
+                    }
+                    handle.flush();
+                    (handle, stats)
+                })
+            })
+            .collect();
+        WorkerPlane { threads, shutdown }
+    }
+}
+
+impl WorkerPlane {
+    /// How many workers are running.
+    pub fn workers(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Signals shutdown, waits for every worker to drain and exit,
+    /// returns the handles to the server, and processes any remaining
+    /// completions. Returns the per-worker counters (also published as
+    /// `server.workers.*` telemetry).
+    pub fn join(self, server: &mut GraftServer) -> Vec<WorkerStats> {
+        self.shutdown.store(true, Ordering::Release);
+        let mut returned: Vec<(graft_kernel::ShardHandle, WorkerStats)> = self
+            .threads
+            .into_iter()
+            .map(|t| t.join().expect("drain worker panicked"))
+            .collect();
+        returned.sort_by_key(|(handle, _)| handle.shard());
+        let mut stats = Vec::with_capacity(returned.len());
+        let mut handles = Vec::with_capacity(returned.len());
+        for (handle, s) in returned {
+            handles.push(handle);
+            stats.push(s);
+        }
+        server.restore_handles(handles);
+        // Everything the workers invoked is now processed serially.
+        server.reap();
+        graft_telemetry::counter!("server.workers").add(stats.len() as u64);
+        for s in &stats {
+            graft_telemetry::counter!("server.workers.served").add(s.served);
+            graft_telemetry::counter!("server.workers.batches").add(s.batches);
+            graft_telemetry::counter!("server.workers.idle_spins").add(s.idle_spins);
+        }
+        stats
+    }
+}

@@ -2,8 +2,11 @@
 # One-command verification of the whole reproduction:
 #   build (offline), test, emit a quick run artifact, self-diff it.
 #
-# Usage: scripts/verify.sh [--full]
-#   --full   use paper-scale iteration counts for the artifact run
+# Usage: scripts/verify.sh [--full] [--threads]
+#   --full     use paper-scale iteration counts for the artifact run
+#   --threads  long conformance pass: replay the threaded server
+#              against the deterministic reference for 200 seeds and
+#              run the wire fuzzer at 200 seeds (release)
 #
 # Exits nonzero on the first failure. Safe on an air-gapped machine:
 # the workspace has no external dependencies.
@@ -12,9 +15,14 @@ set -eu
 cd "$(dirname "$0")/.."
 
 MODE=--quick
-if [ "${1:-}" = "--full" ]; then
-    MODE=--full
-fi
+THREADS=0
+for arg in "$@"; do
+    case "$arg" in
+        --full) MODE=--full ;;
+        --threads) THREADS=1 ;;
+        *) echo "unknown flag: $arg" >&2; exit 2 ;;
+    esac
+done
 
 ART=$(mktemp /tmp/graft-verify-XXXXXX.json)
 T7ART=$(mktemp /tmp/graft-table7-XXXXXX.json)
@@ -38,6 +46,21 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 
 echo "==> cargo test --offline --workspace"
 cargo test -q --offline --workspace
+
+# Threaded-server conformance: the live worker plane must be
+# indistinguishable from the deterministic single-threaded replay
+# (reply sets, ledgers, standings, strike counts, stats), and the
+# framing layer must survive a seeded mutation barrage without
+# leaking tenant state. The 48/64-seed tier-1 versions already ran
+# in the workspace test step; --threads buys the long pass.
+if [ "$THREADS" = 1 ]; then
+    echo "==> threaded conformance, 200 seeds (release)"
+    GRAFT_CONFORMANCE_SEEDS=200 cargo test -q --offline --release \
+        -p graft-server --test threaded_conformance
+    echo "==> wire fuzz, 200 seeds (release)"
+    GRAFT_FUZZ_SEEDS=200 cargo test -q --offline --release \
+        -p graft-server --test wire_fuzz
+fi
 
 echo "==> regenerate all tables ($MODE --offline) with run artifact"
 cargo run --release --offline -q -p graft-bench --bin all -- \
@@ -287,24 +310,39 @@ fi
 
 # Graft-server gate: a fresh Table 11 run drives the networked host
 # with its default open-loop population. The contract is (a) the run
-# really is multi-tenant at scale (>= 10,000 tenants), (b) no reply
-# ever carries another tenant's value (leakage is an exact count),
-# (c) in the noisy-neighbor drill the victims' p99 under attack stays
-# within 2x of the quiet baseline, and (d) the saboteur ends the drill
-# quarantined (see docs/server.md "Admission control").
+# really is multi-tenant at scale (>= 100,000 tenants), (b) the
+# worker ladder scales: native throughput at 4 drain workers beats 1
+# worker by at least 2.5x on the critical path, (c) no reply ever
+# carries another tenant's value (leakage is an exact count), (d) in
+# the noisy-neighbor drill the victims' p99 under attack stays within
+# 2x of the quiet baseline, and (e) the saboteur ends the drill
+# quarantined (see docs/server.md "Threading model").
 echo "==> table11 graft-server run ($MODE --offline) with run artifact"
 cargo run --release --offline -q -p graft-bench --bin table11 -- \
     "$MODE" --offline --json "$T11ART" > "$T11OUT"
 
-echo "==> server tenant-scale gate (>= 10000 tenants)"
+echo "==> server tenant-scale gate (>= 100000 tenants)"
 awk '/gate: tenants/ {
          found = 1
          printf "    tenants: %s\n", $NF
-         if ($NF + 0 < 10000) bad = 1
+         if ($NF + 0 < 100000) bad = 1
      }
      END { exit (bad || !found) }' "$T11OUT" || {
     cat "$T11OUT"
     echo "table11 tenant-scale gate FAILED"
+    exit 1
+}
+
+echo "==> worker scaling gate (native @4 >= 2.5x over 1 worker)"
+awk '/gate: native worker scaling @4/ {
+         found = 1
+         v = $NF; gsub(/x/, "", v)
+         printf "    native worker scaling @4: %sx\n", v
+         if (v + 0 < 2.5) bad = 1
+     }
+     END { exit (bad || !found) }' "$T11OUT" || {
+    cat "$T11OUT"
+    echo "table11 worker-scaling gate FAILED"
     exit 1
 }
 
