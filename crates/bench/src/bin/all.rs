@@ -83,6 +83,10 @@ fn main() {
     println!("{}", report::render_table13(&t13));
     art.add_table("table13", artifact::table13_json(&t13));
 
+    let t14 = experiment::table14(&cfg).expect("table 14");
+    println!("{}", report::render_table14(&t14));
+    art.add_table("table14", artifact::table14_json(&t14));
+
     let measured = std::time::Duration::from_nanos(t1.upcall_roundtrip.mean_ns as u64);
     let fig = experiment::figure1(&t2, Some(measured));
     print!("{}", report::render_figure1(&fig));

@@ -184,7 +184,51 @@ fn summarize(path: &str, a: &RunArtifact) -> String {
     out.push_str(&summarize_kernel(a));
     out.push_str(&summarize_shards(a));
     out.push_str(&summarize_recovery(a));
+    out.push_str(&summarize_durable(a));
     out.push_str(&summarize_server(a));
+    out
+}
+
+/// The durable-logdisk section: scrub/audit activity, checksum
+/// failures and quarantines, point-in-time restores, and how much
+/// history the disk retains, from the `ld.*` durability namespace.
+/// Empty when the run never scrubbed, restored, or merged. Checksum
+/// failures outside a bit-rot fault drill mean real (not injected)
+/// corruption, so they get a WARN bar.
+fn summarize_durable(a: &RunArtifact) -> String {
+    let mut out = String::new();
+    let scrub_passes = a.counter("ld.scrub.passes");
+    let restores = a.counter("ld.restores");
+    let merges = a.counter("ld.merge.passes");
+    if scrub_passes == 0 && restores == 0 && merges == 0 {
+        return out;
+    }
+    let _ = writeln!(out, "  durable logdisk:");
+    let scrubbed = a.counter("ld.scrub.segments");
+    let failures = a.counter("ld.checksum_failures");
+    let _ = writeln!(
+        out,
+        "    scrub: passes {scrub_passes}  segments {scrubbed}  checksum failures {failures}  quarantined {}",
+        a.counter("ld.quarantined"),
+    );
+    let _ = writeln!(
+        out,
+        "    restores: {restores}  mappings materialized {}",
+        a.counter("ld.restored_mappings"),
+    );
+    let _ = writeln!(
+        out,
+        "    retention: merges {merges}  merged segments {}  pruned entries {}  retained {} entries / {} segments",
+        a.counter("ld.merge.merged_segments"),
+        a.counter("ld.merge.pruned_entries"),
+        a.counter("ld.retained_entries"),
+        a.counter("ld.retained_segments"),
+    );
+    if failures > 0 && a.counter("disk.faults.bitrot") == 0 {
+        out.push_str(
+            "  !! WARN: checksum failures with no bit-rot drill armed — real corruption\n",
+        );
+    }
     out
 }
 
@@ -937,6 +981,65 @@ mod tests {
         assert!(
             text.contains("logical disk: crashes 1  rebuilds 3  replayed mappings 240"),
             "{text}"
+        );
+    }
+
+    #[test]
+    fn durable_section_summarizes_scrub_restores_and_retention() {
+        let art = artifact();
+        // A run that never scrubbed, restored, or merged prints nothing.
+        assert!(!summarize("x.json", &art).contains("durable logdisk:"));
+
+        let build = |failures: u64, bitrot: u64| {
+            let mut art = artifact();
+            let mut counters = Json::object();
+            counters
+                .set("ld.scrub.passes", 5u64)
+                .set("ld.scrub.segments", 2081u64)
+                .set("ld.checksum_failures", failures)
+                .set("ld.quarantined", failures)
+                .set("ld.restores", 12u64)
+                .set("ld.restored_mappings", 120_000u64)
+                .set("ld.merge.passes", 3u64)
+                .set("ld.merge.merged_segments", 900u64)
+                .set("ld.merge.pruned_entries", 26_381u64)
+                .set("ld.retained_entries", 41_699u64)
+                .set("ld.retained_segments", 2081u64)
+                .set("disk.faults.bitrot", bitrot);
+            let mut metrics = Json::object();
+            metrics
+                .set("counters", counters)
+                .set("histograms", Vec::<Json>::new());
+            art.metrics = metrics;
+            art
+        };
+
+        let text = summarize("x.json", &build(0, 0));
+        assert!(text.contains("durable logdisk:"), "{text}");
+        assert!(
+            text.contains("scrub: passes 5  segments 2081  checksum failures 0  quarantined 0"),
+            "{text}"
+        );
+        assert!(
+            text.contains("restores: 12  mappings materialized 120000"),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "retention: merges 3  merged segments 900  pruned entries 26381  retained 41699 entries / 2081 segments"
+            ),
+            "{text}"
+        );
+        assert!(!text.contains("!! WARN"), "{text}");
+
+        // Failures during a bit-rot drill are expected (injected)...
+        let drilled = summarize("x.json", &build(7, 7));
+        assert!(!drilled.contains("!! WARN"), "{drilled}");
+        // ...but failures with no drill armed are real corruption.
+        let rotted = summarize("x.json", &build(7, 0));
+        assert!(
+            rotted.contains("!! WARN: checksum failures with no bit-rot drill armed"),
+            "{rotted}"
         );
     }
 

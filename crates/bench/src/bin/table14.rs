@@ -1,0 +1,15 @@
+//! Regenerates Table 14: durable logdisk — restore-to-LSN cost vs
+//! distance, scrub throughput, seeded bit-rot detection drills, and
+//! per-technology post-restore hand-off. The drills always run their
+//! own quiet-plus-bitrot plan so detection accounting stays exact.
+
+use graft_core::artifact::{self, RunArtifact};
+
+fn main() {
+    let cli = graft_bench::cli_from_args();
+    let t = graft_core::experiment::table14(&cli.config).expect("table 14 runs");
+    print!("{}", graft_core::report::render_table14(&t));
+    let mut art = RunArtifact::begin(&cli.config);
+    art.add_table("table14", artifact::table14_json(&t));
+    graft_bench::maybe_write_artifact(&cli, &mut art);
+}

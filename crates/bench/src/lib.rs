@@ -16,6 +16,7 @@
 //! | `table11` | Table 11 (ours: graft-server multi-tenant service benchmark) |
 //! | `table12` | Table 12 (ours: flight-recorder overhead + postmortem drill) |
 //! | `table13` | Table 13 (ours: adaptive dispatch under skewed load) |
+//! | `table14` | Table 14 (ours: durable logdisk — scrub, bit-rot drills, restore) |
 //! | `figure1` | Figure 1 (break-even vs upcall time, CSV) |
 //! | `all` | everything, in paper order |
 //! | `graftstat` | summarize/diff run artifacts; `timeline`/`postmortem` modes |

@@ -19,8 +19,8 @@ use graft_telemetry::MetricsSnapshot;
 use kernsim::stats::Sample;
 
 use crate::experiment::{
-    Figure1, RunConfig, Table1, Table11, Table12, Table13, Table2, Table3, Table4, Table5, Table6,
-    Table7, Table8, Table9,
+    Figure1, RunConfig, Table1, Table11, Table12, Table13, Table14, Table2, Table3, Table4, Table5,
+    Table6, Table7, Table8, Table9,
 };
 
 /// Schema identifier embedded in every artifact.
@@ -252,6 +252,7 @@ pub fn config_json(c: &RunConfig) -> Json {
         plan.set("seed", p.seed)
             .set("io_error_permille", u64::from(p.io_error_permille))
             .set("torn_permille", u64::from(p.torn_permille))
+            .set("bitrot_permille", u64::from(p.bitrot_permille))
             .set("max_retries", u64::from(p.max_retries));
         if let Some(n) = p.crash_after_ios {
             plan.set("crash_after_ios", n);
@@ -291,6 +292,12 @@ fn config_from_json(j: &Json) -> Result<RunConfig, String> {
                     seed: pf("seed")?,
                     io_error_permille: pf("io_error_permille")? as u16,
                     torn_permille: pf("torn_permille")? as u16,
+                    // Absent in artifacts committed before bit-rot
+                    // injection existed: those plans drew none.
+                    bitrot_permille: p
+                        .get("bitrot_permille")
+                        .and_then(Json::as_u64)
+                        .unwrap_or(0) as u16,
                     crash_after_ios: p.get("crash_after_ios").and_then(Json::as_u64),
                     max_retries: pf("max_retries")? as u32,
                 })
@@ -626,6 +633,86 @@ pub fn table9_json(t: &Table9) -> Json {
         .set("writes", t.writes)
         .set("blocks", t.blocks)
         .set("lost_total", t.lost_total())
+        .set("runs", t.runs);
+    obj
+}
+
+/// Table 14 as JSON. Each row's `adopt` sample and every curve point's
+/// `restore` sample land in the flattened index (the surface the
+/// durability CI gate diffs); the drill objects carry the full
+/// detection ledger, so a baseline diff also catches accounting drift.
+pub fn table14_json(t: &Table14) -> Json {
+    let rows: Vec<Json> = t
+        .rows
+        .iter()
+        .map(|r| {
+            let mut row = Json::object();
+            row.set("tech", r.tech.paper_name())
+                .set("adopt", sample_json(&r.adopt))
+                .set("verified_lookups", r.verified_lookups)
+                .set("lookup_mismatches", r.lookup_mismatches)
+                .set("post_over_base", r.post_over_base);
+            row
+        })
+        .collect();
+    let curve: Vec<Json> = t
+        .restore_curve
+        .iter()
+        .map(|p| {
+            let mut point = Json::object();
+            point
+                .set("distance", p.distance)
+                .set("lsn", p.lsn)
+                .set("restore", sample_json(&p.restore))
+                .set("mappings", p.mappings);
+            point
+        })
+        .collect();
+    let drills: Vec<Json> = t
+        .drills
+        .iter()
+        .map(|d| {
+            let mut drill = Json::object();
+            drill
+                .set("seed", d.seed)
+                .set("injected", d.injected)
+                .set("corrupted", d.corrupted)
+                .set("detected", d.detected)
+                .set("undetected_by_design", d.undetected_by_design)
+                .set("redone", d.redone)
+                .set("silent_wrong_map", d.silent_wrong_map)
+                .set("recovery_ns", dur_ns(d.recovery))
+                .set("detection_rate", d.detection_rate())
+                .set("bitrot", d.faults.bitrot)
+                .set("ios", d.faults.ios);
+            drill
+        })
+        .collect();
+    let mut scrub = Json::object();
+    scrub
+        .set("segments", t.scrub.segments)
+        .set("entries", t.scrub.entries)
+        .set("scrub", sample_json(&t.scrub.scrub))
+        .set("throughput_m", t.scrub.throughput_m);
+    let mut plan = Json::object();
+    plan.set("seed", t.plan.seed)
+        .set("bitrot_permille", u64::from(t.plan.bitrot_permille))
+        .set("max_retries", u64::from(t.plan.max_retries));
+    let mut obj = Json::object();
+    obj.set("rows", rows)
+        .set("restore_curve", curve)
+        .set("scrub", scrub)
+        .set("drills", drills)
+        .set("plan", plan)
+        .set("writes", t.writes)
+        .set("blocks", t.blocks)
+        .set("retention_window", t.retention_window)
+        .set("pruned_entries", t.pruned_entries)
+        .set("retained_entries", t.retained_entries)
+        .set("restore_divergence", t.restore_divergence)
+        .set("detection_rate", t.detection_rate())
+        .set("silent_total", t.silent_total())
+        .set("min_post_over_base", t.min_post_over_base())
         .set("runs", t.runs);
     obj
 }

@@ -9,6 +9,7 @@ pub mod micro;
 pub mod table11;
 pub mod table12;
 pub mod table13;
+pub mod table14;
 pub mod table7;
 pub mod table8;
 pub mod table9;
@@ -24,6 +25,9 @@ pub use table11::{
 pub use table12::{table12, Table12, Table12Drill, Table12Row, DRILL_SEED, DRILL_SHARDS};
 pub use table13::{
     table13, table13_with, ModeResult, Skew, Table13, Table13Cell, Table13Row, LADDER13, TECHS13,
+};
+pub use table14::{
+    table14, RestorePoint, RotDrill, ScrubBench, Table14, Table14Row, BITROT_PERMILLE, ROT_SEEDS,
 };
 pub use table7::{table7, Table7, Table7Row};
 pub use table8::{table8, Table8, Table8Cell, Table8Row, LADDER};

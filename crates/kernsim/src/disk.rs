@@ -8,13 +8,16 @@
 //! costs, either with 1996-class defaults or calibrated from the live
 //! bandwidth measurement in [`crate::measure::diskbw`].
 //!
-//! [`FaultyDisk`] wraps the model for the Table 9 recovery experiments:
-//! seeded transient I/O errors with bounded retry, torn segment writes,
+//! [`FaultyDisk`] wraps the model for the Table 9/14 recovery and
+//! durability experiments: seeded transient I/O errors with bounded
+//! retry, torn segment writes, latent bit-rot in persisted segments,
 //! and a crash point after a fixed number of charged I/Os. Fault costs
 //! are charged *outside* the model's `disk.model_*` counters so that a
 //! chaos run does not skew the Table 4/6 cost attribution; they get
 //! their own `disk.retries` / `disk.torn_writes` / `disk.faults.*`
-//! counters instead.
+//! counters instead. Bit-rot in particular costs nothing at write time
+//! (the flip is silent and latent); the price is paid later, by
+//! whatever audit detects it.
 
 use graft_rng::{Rng, SmallRng};
 use std::time::Duration;
@@ -130,6 +133,12 @@ pub struct FaultPlan {
     /// Probability (‰) that a segment write is torn and must be
     /// rewritten after the summary-block checksum rejects it.
     pub torn_permille: u16,
+    /// Probability (‰) that a persisted segment silently rots — one
+    /// stored bit flips in its mapping payload or summary block
+    /// (chosen by the rng). Drawn once per segment via
+    /// [`FaultyDisk::bitrot`]; free at write time, latent until an
+    /// audit catches it.
+    pub bitrot_permille: u16,
     /// Hard-crash the disk after this many charged I/Os; every
     /// operation fails with [`DiskFault::Crashed`] until
     /// [`FaultyDisk::recover`].
@@ -148,6 +157,7 @@ impl FaultPlan {
             seed,
             io_error_permille: 20,
             torn_permille: 10,
+            bitrot_permille: 0,
             crash_after_ios: None,
             max_retries: 4,
         }
@@ -160,6 +170,7 @@ impl FaultPlan {
             seed,
             io_error_permille: 0,
             torn_permille: 0,
+            bitrot_permille: 0,
             crash_after_ios: None,
             max_retries: 4,
         }
@@ -172,6 +183,28 @@ impl FaultPlan {
             ..self
         }
     }
+
+    /// Returns the plan with latent bit-rot armed at `permille`‰ per
+    /// persisted segment.
+    pub fn with_bitrot(self, permille: u16) -> Self {
+        FaultPlan {
+            bitrot_permille: permille,
+            ..self
+        }
+    }
+}
+
+/// A latent bit-rot event drawn for one just-persisted segment: which
+/// stored region rots and the entropy that picks the exact word and
+/// bit. The flip itself is the storage layer's business (the logdisk's
+/// `corrupt_segment` applies it); the disk only decides — seeded, so
+/// the same plan rots the same segments every run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bitrot {
+    /// Rot the summary block (`true`) or the mapping payload.
+    pub summary: bool,
+    /// Entropy for choosing the word and bit to flip.
+    pub entropy: u64,
 }
 
 /// Terminal failure surfaced by [`FaultyDisk`]. Transient errors are
@@ -217,6 +250,11 @@ pub struct FaultStats {
     pub exhausted: u64,
     /// Crash-point firings.
     pub crashes: u64,
+    /// Latent bit-rot events drawn ([`FaultyDisk::bitrot`]). Unlike
+    /// every other class these are *silent*: nothing downstream knows
+    /// until an audit detects the flip, so drills assert
+    /// `bitrot == detected + undetected-by-design` explicitly.
+    pub bitrot: u64,
 }
 
 /// A [`DiskModel`] behind a deterministic fault injector.
@@ -347,6 +385,24 @@ impl FaultyDisk {
         }
         Ok(total)
     }
+
+    /// Draws the bit-rot verdict for one just-persisted segment:
+    /// `Some` means one stored bit of that segment silently flips
+    /// (summary block with probability 1/4, mapping payload otherwise).
+    /// Costs nothing and is charged nowhere — rot is latent by
+    /// definition; only [`FaultStats::bitrot`] records that the event
+    /// was drawn, so a drill can reconcile injected against detected.
+    pub fn bitrot(&mut self) -> Option<Bitrot> {
+        let p = f64::from(self.plan.bitrot_permille) / 1000.0;
+        if p <= 0.0 || !self.rng.gen_bool(p) {
+            return None;
+        }
+        self.stats.bitrot += 1;
+        Some(Bitrot {
+            summary: self.rng.gen_range(0..4u32) == 0,
+            entropy: self.rng.next_u64(),
+        })
+    }
 }
 
 impl Drop for FaultyDisk {
@@ -364,6 +420,7 @@ impl Drop for FaultyDisk {
         graft_telemetry::counter!("disk.faults.injected").add(s.injected);
         graft_telemetry::counter!("disk.faults.exhausted").add(s.exhausted);
         graft_telemetry::counter!("disk.faults.crashes").add(s.crashes);
+        graft_telemetry::counter!("disk.faults.bitrot").add(s.bitrot);
     }
 }
 
@@ -465,6 +522,7 @@ mod tests {
             seed: 9,
             io_error_permille: 400,
             torn_permille: 0,
+            bitrot_permille: 0,
             crash_after_ios: None,
             max_retries: 3,
         };
@@ -518,6 +576,7 @@ mod tests {
             seed: 5,
             io_error_permille: 0,
             torn_permille: 1000, // every segment write tears
+            bitrot_permille: 0,
             crash_after_ios: None,
             max_retries: 0,
         };
@@ -527,5 +586,79 @@ mod tests {
         let t = d.segment_write().unwrap();
         assert!(t > clean * 2 - Duration::from_micros(1), "got {t:?}");
         assert_eq!(d.stats().torn_writes, 1);
+    }
+
+    #[test]
+    fn bitrot_is_deterministic_and_counted_but_free() {
+        let plan = FaultPlan::quiet(31).with_bitrot(250);
+        let draw = |plan: FaultPlan| {
+            let mut d = FaultyDisk::new(DiskModel::default(), plan);
+            let mut events = Vec::new();
+            for _ in 0..200 {
+                // Segment write price is unchanged by armed bit-rot
+                // (rot is latent, never a write-time cost)...
+                assert_eq!(d.segment_write().unwrap(), d.model().segment_write());
+                events.push(d.bitrot());
+            }
+            (events, d.stats())
+        };
+        let (a, sa) = draw(plan);
+        let (b, sb) = draw(plan);
+        assert_eq!(a, b, "same plan must rot the same segments");
+        assert_eq!(sa, sb);
+        // ...but every drawn event is accounted.
+        let drawn = a.iter().flatten().count() as u64;
+        assert!(drawn > 0, "250‰ over 200 segments drew nothing");
+        assert_eq!(sa.bitrot, drawn);
+        // Both targets occur over a long enough run.
+        assert!(a.iter().flatten().any(|r| r.summary));
+        assert!(a.iter().flatten().any(|r| !r.summary));
+        // A different seed rots differently.
+        let (c, _) = draw(FaultPlan::quiet(32).with_bitrot(250));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn quiet_and_chaos_plans_draw_no_bitrot() {
+        for plan in [FaultPlan::quiet(4), FaultPlan::chaos(4)] {
+            assert_eq!(plan.bitrot_permille, 0);
+            let mut d = FaultyDisk::new(DiskModel::default(), plan);
+            for _ in 0..100 {
+                assert_eq!(d.bitrot(), None);
+            }
+            assert_eq!(d.stats().bitrot, 0);
+        }
+    }
+
+    #[test]
+    fn fault_stats_classes_reconcile_under_a_mixed_plan() {
+        // Every injected fault lands in exactly one downstream bucket:
+        // transient errors become retries or exhaustions; torn writes
+        // and bit-rot draws are their own classes. The totals must
+        // reconcile exactly — no fault may vanish from the books.
+        let plan = FaultPlan {
+            seed: 17,
+            io_error_permille: 100,
+            torn_permille: 50,
+            bitrot_permille: 80,
+            crash_after_ios: None,
+            max_retries: 2,
+        };
+        let mut d = FaultyDisk::new(DiskModel::default(), plan);
+        let mut exhausted_seen = 0u64;
+        for _ in 0..600 {
+            if let Err(DiskFault::RetriesExhausted { .. }) = d.segment_write() {
+                exhausted_seen += 1;
+            }
+            let _ = d.bitrot();
+        }
+        let s = d.stats();
+        assert_eq!(s.ios, 600);
+        assert_eq!(s.exhausted, exhausted_seen);
+        // Transient injections split exactly into retries performed and
+        // the final straw of each exhausted I/O.
+        assert_eq!(s.injected, s.retries + s.exhausted);
+        assert!(s.torn_writes > 0);
+        assert!(s.bitrot > 0);
     }
 }

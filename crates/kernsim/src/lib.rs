@@ -39,6 +39,6 @@ pub mod stats;
 pub mod upcall;
 pub mod vm;
 
-pub use disk::{DiskFault, DiskModel, FaultPlan, FaultStats, FaultyDisk};
+pub use disk::{Bitrot, DiskFault, DiskModel, FaultPlan, FaultStats, FaultyDisk};
 pub use stats::Sample;
 pub use upcall::UpcallEngine;

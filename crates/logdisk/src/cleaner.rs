@@ -15,6 +15,10 @@ pub struct CleanerStats {
     pub live_copied: u64,
     /// Segments reclaimed.
     pub segments_reclaimed: u64,
+    /// Retention merges driven by cleaning passes.
+    pub retention_merges: u64,
+    /// History entries pruned by those merges.
+    pub retention_pruned: u64,
 }
 
 /// A Logical Disk with a greedy cleaner layered on top.
@@ -32,19 +36,39 @@ pub struct CleaningDisk {
     free_segments: usize,
     /// Cleaning threshold.
     reserve_segments: usize,
+    /// When set, every cleaning pass also merges durable history older
+    /// than `durable_lsn - window` (multi-version merge), bounding how
+    /// much restore history the disk retains.
+    retention_window: Option<u64>,
     stats: CleanerStats,
 }
 
 impl CleaningDisk {
     /// Wraps a fresh Logical Disk; `reserve_segments` is the low-water
-    /// mark that triggers cleaning.
+    /// mark that triggers cleaning. Durable history is retained
+    /// unboundedly (every LSN stays restorable).
     pub fn new(config: LdConfig, reserve_segments: usize) -> Self {
+        CleaningDisk::with_retention(config, reserve_segments, None)
+    }
+
+    /// Like [`new`](CleaningDisk::new), but each cleaning pass also
+    /// folds segment history older than `window` LSNs behind the
+    /// durable head into a merged segment
+    /// ([`LogicalDisk::merge_below_watermark`]), so point-in-time
+    /// restore reaches back exactly `window` writes while physical
+    /// retention stays bounded. `None` keeps everything.
+    pub fn with_retention(
+        config: LdConfig,
+        reserve_segments: usize,
+        retention_window: Option<u64>,
+    ) -> Self {
         CleaningDisk {
             ld: LogicalDisk::new(config),
             config,
             live: vec![0; config.segments()],
             free_segments: config.segments(),
             reserve_segments,
+            retention_window,
             stats: CleanerStats::default(),
         }
     }
@@ -57,6 +81,14 @@ impl CleaningDisk {
     /// The underlying Logical Disk.
     pub fn disk(&self) -> &LogicalDisk {
         &self.ld
+    }
+
+    /// Mutable access to the underlying disk for durability operations
+    /// (scrub, restore, merge). These touch only the sealed history and
+    /// its statistics, never the live map, so the cleaner's live-block
+    /// accounting stays valid.
+    pub fn disk_mut(&mut self) -> &mut LogicalDisk {
+        &mut self.ld
     }
 
     fn segment_of(&self, physical: u64) -> usize {
@@ -125,6 +157,14 @@ impl CleaningDisk {
             self.free_segments += 1;
             self.stats.segments_reclaimed += 1;
         }
+        if let Some(window) = self.retention_window {
+            let watermark = self.ld.durable_lsn().saturating_sub(window);
+            if watermark > self.ld.retention_floor() {
+                let report = self.ld.merge_below_watermark(watermark);
+                self.stats.retention_merges += 1;
+                self.stats.retention_pruned += report.pruned_entries;
+            }
+        }
     }
 
     fn live_blocks_in(&self, seg: usize) -> Vec<u64> {
@@ -151,6 +191,8 @@ impl Drop for CleaningDisk {
         graft_telemetry::counter!("cleaner.passes").add(s.passes);
         graft_telemetry::counter!("cleaner.live_copied").add(s.live_copied);
         graft_telemetry::counter!("cleaner.segments_reclaimed").add(s.segments_reclaimed);
+        graft_telemetry::counter!("cleaner.retention_merges").add(s.retention_merges);
+        graft_telemetry::counter!("cleaner.retention_pruned").add(s.retention_pruned);
     }
 }
 
@@ -191,6 +233,46 @@ mod tests {
         // Every block was written; every block must still translate.
         for logical in 0..config.blocks as u64 {
             assert!(d.disk().read(logical).is_some(), "block {logical} lost");
+        }
+    }
+
+    #[test]
+    fn retention_window_bounds_history_without_changing_reads() {
+        let config = LdConfig {
+            blocks: 256,
+            segment_blocks: 16,
+        };
+        let stream: Vec<u64> =
+            workload::trace(config.blocks, 6 * config.blocks as u64, 13, 900, 100).collect();
+        let mut bounded = CleaningDisk::with_retention(config, 2, Some(128));
+        let mut unbounded = CleaningDisk::new(config, 2);
+        for &l in &stream {
+            bounded.write(l);
+            unbounded.write(l);
+        }
+        assert!(bounded.stats().retention_merges > 0, "merges must run");
+        assert!(bounded.stats().retention_pruned > 0);
+        assert!(
+            bounded.disk().retained_entries() < unbounded.disk().retained_entries(),
+            "retention must shrink the durable history"
+        );
+        // Merging touches only the sealed history, never the live map.
+        for l in 0..config.blocks as u64 {
+            assert_eq!(bounded.disk().read(l), unbounded.disk().read(l));
+        }
+        // Restores inside the window still work and stay exact.
+        let head = bounded.disk().durable_lsn();
+        let floor = bounded.disk().retention_floor();
+        assert!(head - floor >= 128 - config.segment_blocks as u64);
+        let at_head = bounded.disk_mut().restore_to_lsn(head).unwrap();
+        // Blocks with a write still pending in the open segment have
+        // moved past the durable head; all others must match exactly.
+        let pending: std::collections::HashSet<u64> =
+            bounded.disk().pending().iter().copied().collect();
+        for (l, &p) in at_head.iter().enumerate() {
+            if !pending.contains(&(l as u64)) {
+                assert_eq!(p, bounded.disk().map()[l], "block {l}");
+            }
         }
     }
 }

@@ -1,0 +1,474 @@
+//! Point-in-time restore: multi-version segment history, idempotent
+//! replay, and retention merging.
+//!
+//! The sealed-segment records ([`SealedSegment`]) already keep every
+//! mapping generation — a rewrite appends a new `(lsn, logical,
+//! physical)` entry instead of erasing the old one — so the durable
+//! history is a full version chain down to the **retention floor**.
+//! [`LogicalDisk::restore_to_lsn`] rebuilds the exact logical→physical
+//! map as of *any* retained LSN by replaying entries below the target
+//! through an idempotent [`Replayer`]; replaying a prefix twice (or
+//! resuming after a mid-replay crash) is a no-op, because every slot is
+//! guarded by the LSN that last advanced it.
+//!
+//! Unbounded history would explode physical use, so
+//! [`LogicalDisk::merge_below_watermark`] folds the segments wholly
+//! below a watermark into one *merged* segment keeping only the newest
+//! entry per logical block — exactly the state any restore at or above
+//! the watermark can still observe — and raises the retention floor.
+//! The cleaner drives this from its normal passes
+//! ([`CleaningDisk::with_retention`]), making retention pressure part
+//! of the measured workload rather than a free lunch.
+//!
+//! [`CleaningDisk::with_retention`]: crate::cleaner::CleaningDisk::with_retention
+
+use crate::{LogicalDisk, MapEntry, SealedSegment, UNMAPPED};
+
+/// Why a [`LogicalDisk::restore_to_lsn`] request was refused.
+///
+/// Refusal is loud by design: a restore that cannot be exact returns an
+/// error, never an approximate map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestoreError {
+    /// The target LSN predates the retention floor (merged away).
+    BelowRetention {
+        /// Lowest restorable LSN.
+        floor: u64,
+    },
+    /// The target LSN is past the durable head (those writes were never
+    /// sealed, so no exact map for them exists on disk).
+    BeyondDurable {
+        /// One past the newest restorable LSN.
+        durable: u64,
+    },
+    /// A retained segment failed its checksum audit; restoring through
+    /// corrupt history would risk a silently wrong map, so the restore
+    /// refuses. Scrub (quarantine + redo-tail replay) and retry.
+    CorruptSegment {
+        /// Index of the offending segment in [`LogicalDisk::segments`].
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::BelowRetention { floor } => {
+                write!(f, "target LSN below retention floor {floor}")
+            }
+            RestoreError::BeyondDurable { durable } => {
+                write!(f, "target LSN beyond durable head {durable}")
+            }
+            RestoreError::CorruptSegment { index } => {
+                write!(f, "segment {index} failed checksum audit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+/// Result of one [`LogicalDisk::merge_below_watermark`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeReport {
+    /// Segments folded into the merged record this pass.
+    pub merged_segments: u64,
+    /// History entries dropped (superseded below the watermark).
+    pub pruned_entries: u64,
+    /// Mapping entries retained across the whole history after the pass.
+    pub retained_entries: u64,
+}
+
+/// An idempotent mapping replayer: entries can arrive in any order, any
+/// number of times, and the newest LSN per logical block always wins.
+///
+/// Each slot remembers the LSN that last advanced it, so re-applying a
+/// prefix — or resuming a replay that crashed halfway — changes
+/// nothing. This is the engine under [`LogicalDisk::rebuild_map`] and
+/// [`LogicalDisk::restore_to_lsn`].
+#[derive(Debug, Clone)]
+pub struct Replayer {
+    map: Vec<i64>,
+    /// Per-slot guard: `lsn + 1` of the entry that set it (0 = never).
+    applied: Vec<u64>,
+    advanced: u64,
+}
+
+impl Replayer {
+    /// A fresh replayer over a disk of `blocks` logical blocks.
+    pub fn new(blocks: usize) -> Self {
+        Replayer {
+            map: vec![UNMAPPED; blocks],
+            applied: vec![0; blocks],
+            advanced: 0,
+        }
+    }
+
+    /// Applies one entry; returns whether it advanced the map (false
+    /// when an equal-or-newer entry already holds the slot, or the
+    /// logical block is out of range).
+    #[inline]
+    pub fn apply(&mut self, e: &MapEntry) -> bool {
+        let Some(guard) = self.applied.get_mut(e.logical as usize) else {
+            return false;
+        };
+        if e.lsn < *guard {
+            return false;
+        }
+        *guard = e.lsn + 1;
+        self.map[e.logical as usize] = e.physical as i64;
+        self.advanced += 1;
+        true
+    }
+
+    /// Applies every entry of a segment; returns how many advanced.
+    pub fn apply_segment(&mut self, s: &SealedSegment) -> u64 {
+        let mut n = 0;
+        for e in &s.entries {
+            n += self.apply(e) as u64;
+        }
+        n
+    }
+
+    /// Entries that have advanced the map so far.
+    pub fn advanced(&self) -> u64 {
+        self.advanced
+    }
+
+    /// The replayed map (read-only view).
+    pub fn map(&self) -> &[i64] {
+        &self.map
+    }
+
+    /// Consumes the replayer, yielding the replayed map.
+    pub fn into_map(self) -> Vec<i64> {
+        self.map
+    }
+}
+
+impl LogicalDisk {
+    /// One past the newest durably sealed LSN (the durable head).
+    pub fn durable_lsn(&self) -> u64 {
+        self.durable_lsn
+    }
+
+    /// The next LSN a write would receive (the log clock).
+    pub fn head_lsn(&self) -> u64 {
+        self.stats.writes
+    }
+
+    /// Lowest LSN still restorable. Starts at 0; raised by
+    /// [`merge_below_watermark`](LogicalDisk::merge_below_watermark).
+    pub fn retention_floor(&self) -> u64 {
+        self.retention_floor
+    }
+
+    /// Mapping entries retained across the whole durable history.
+    pub fn retained_entries(&self) -> u64 {
+        self.segments.iter().map(|s| s.entries.len() as u64).sum()
+    }
+
+    /// Modelled bytes of the retained history: 24 bytes per entry
+    /// (three u64 words) plus a 40-byte summary block per segment.
+    pub fn retained_bytes(&self) -> u64 {
+        self.retained_entries() * 24 + self.segments.len() as u64 * 40
+    }
+
+    /// Rebuilds the exact logical→physical map **as of LSN `lsn`** —
+    /// the map an observer would have seen after the first `lsn` writes
+    /// — from the retained multi-version history. `lsn` may point
+    /// mid-segment: physical addresses are assigned at write time and
+    /// only sealed later, so the prefix below `lsn` is exact.
+    ///
+    /// Every retained segment is checksum-audited first; a mismatch
+    /// refuses the restore ([`RestoreError::CorruptSegment`]) rather
+    /// than replaying through corrupt history. The live disk is not
+    /// modified (only restore statistics move): the returned map can be
+    /// adopted via [`LogicalDisk::with_map`] or handed to a graft.
+    pub fn restore_to_lsn(&mut self, lsn: u64) -> Result<Vec<i64>, RestoreError> {
+        if lsn < self.retention_floor {
+            return Err(RestoreError::BelowRetention {
+                floor: self.retention_floor,
+            });
+        }
+        if lsn > self.durable_lsn {
+            return Err(RestoreError::BeyondDurable {
+                durable: self.durable_lsn,
+            });
+        }
+        // Audit everything before believing anything: a rotted segment
+        // cannot even be trusted about which LSNs it claims to hold.
+        let seed = self.checksum_seed;
+        if let Some(index) = self.segments.iter().position(|s| !s.verify(seed)) {
+            return Err(RestoreError::CorruptSegment { index });
+        }
+        let mut replayer = Replayer::new(self.config.blocks);
+        for s in &self.segments {
+            if s.base_lsn >= lsn {
+                continue; // wholly after the target
+            }
+            for e in s.entries.iter().filter(|e| e.lsn < lsn) {
+                replayer.apply(e);
+            }
+        }
+        self.stats.restores += 1;
+        self.stats.restored_mappings += replayer.advanced();
+        Ok(replayer.into_map())
+    }
+
+    /// Folds every segment wholly below `watermark` into one *merged*
+    /// segment that keeps only the newest entry per logical block —
+    /// precisely the state any restore at or above the watermark can
+    /// still observe — then raises the retention floor to the watermark
+    /// (clamped to the durable head). Restores in
+    /// `[watermark, durable_lsn]` are bit-for-bit unchanged by the
+    /// merge; restores below it now refuse with
+    /// [`RestoreError::BelowRetention`].
+    ///
+    /// The merged segment is sealed under the same checksum family as
+    /// fresh ones and participates in later merges, so repeated passes
+    /// compound instead of stacking.
+    pub fn merge_below_watermark(&mut self, watermark: u64) -> MergeReport {
+        let watermark = watermark.min(self.durable_lsn);
+        self.retention_floor = self.retention_floor.max(watermark);
+        let (candidates, keep): (Vec<SealedSegment>, Vec<SealedSegment>) = self
+            .segments
+            .drain(..)
+            .partition(|s| s.end_lsn() <= watermark);
+        self.stats.merge_passes += 1;
+        if candidates.is_empty() {
+            self.segments = keep;
+            return MergeReport {
+                retained_entries: self.retained_entries(),
+                ..MergeReport::default()
+            };
+        }
+        // Newest entry per logical block among the candidates survives.
+        let mut newest: std::collections::HashMap<u64, MapEntry> = std::collections::HashMap::new();
+        let mut total = 0u64;
+        for seg in &candidates {
+            total += seg.entries.len() as u64;
+            for &e in &seg.entries {
+                let slot = newest.entry(e.logical).or_insert(e);
+                if e.lsn > slot.lsn {
+                    *slot = e;
+                }
+            }
+        }
+        let mut survivors: Vec<MapEntry> = newest.into_values().collect();
+        survivors.sort_by_key(|e| e.lsn);
+        let pruned = total - survivors.len() as u64;
+        let mut merged = SealedSegment {
+            base_lsn: survivors.first().map(|e| e.lsn).unwrap_or(watermark),
+            physical_start: survivors.iter().map(|e| e.physical).min().unwrap_or(0),
+            merged: true,
+            entries: survivors,
+            checksum: 0,
+        };
+        merged.seal(self.checksum_seed);
+        self.segments = Vec::with_capacity(1 + keep.len());
+        self.segments.push(merged);
+        self.segments.extend(keep);
+        self.stats.merged_segments += candidates.len() as u64;
+        self.stats.pruned_entries += pruned;
+        MergeReport {
+            merged_segments: candidates.len() as u64,
+            pruned_entries: pruned,
+            retained_entries: self.retained_entries(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{workload, LdConfig};
+
+    fn config() -> LdConfig {
+        LdConfig {
+            blocks: 128,
+            segment_blocks: 8,
+        }
+    }
+
+    /// The oracle map as of `lsn`: replay the stream prefix by hand.
+    fn oracle_prefix(cfg: LdConfig, stream: &[u64], lsn: u64) -> Vec<i64> {
+        let mut m = vec![UNMAPPED; cfg.blocks];
+        for (i, &l) in stream.iter().take(lsn as usize).enumerate() {
+            m[l as usize] = i as i64;
+        }
+        m
+    }
+
+    #[test]
+    fn restore_is_exact_at_every_retained_lsn() {
+        let cfg = config();
+        let stream: Vec<u64> = workload::skewed(cfg.blocks, 200, 11).collect();
+        let mut d = LogicalDisk::new(cfg);
+        for &l in &stream {
+            d.write(l);
+        }
+        let durable = d.durable_lsn();
+        // 200 writes over 8-block segments: all 25 segments sealed.
+        assert_eq!(durable, 200);
+        for lsn in 0..=durable {
+            let restored = d.restore_to_lsn(lsn).unwrap();
+            assert_eq!(
+                restored,
+                oracle_prefix(cfg, &stream, lsn),
+                "restore to LSN {lsn} diverged"
+            );
+        }
+        let s = d.stats();
+        assert_eq!(s.restores, durable + 1);
+    }
+
+    #[test]
+    fn restore_refuses_beyond_the_durable_head() {
+        let mut d = LogicalDisk::new(config());
+        for l in 0..12u64 {
+            d.write(l);
+        }
+        assert_eq!(d.durable_lsn(), 8);
+        assert!(d.restore_to_lsn(8).is_ok());
+        assert_eq!(
+            d.restore_to_lsn(9),
+            Err(RestoreError::BeyondDurable { durable: 8 })
+        );
+    }
+
+    #[test]
+    fn restore_refuses_corrupt_history_loudly() {
+        let mut d = LogicalDisk::new(config());
+        for l in 0..32u64 {
+            d.write(l % 16);
+        }
+        d.corrupt_segment(1, false, 0xDEAD).unwrap();
+        assert_eq!(
+            d.restore_to_lsn(24),
+            Err(RestoreError::CorruptSegment { index: 1 })
+        );
+        // Scrub quarantines; the remaining history restores again (the
+        // quarantined span's mappings are absent — reported, not wrong).
+        let r = d.scrub();
+        assert_eq!(r.failures, 1);
+        assert!(d.restore_to_lsn(24).is_ok());
+    }
+
+    #[test]
+    fn merge_preserves_every_restore_at_or_above_the_watermark() {
+        let cfg = config();
+        let stream: Vec<u64> = workload::skewed(cfg.blocks, 400, 23).collect();
+        let mut d = LogicalDisk::new(cfg);
+        for &l in &stream {
+            d.write(l);
+        }
+        let durable = d.durable_lsn();
+        let watermark = 200;
+        let before: Vec<Vec<i64>> = (watermark..=durable)
+            .map(|lsn| d.restore_to_lsn(lsn).unwrap())
+            .collect();
+        let entries_before = d.retained_entries();
+        let report = d.merge_below_watermark(watermark);
+        assert!(report.merged_segments > 0);
+        assert!(report.pruned_entries > 0, "a skewed stream must supersede");
+        assert_eq!(
+            d.retained_entries(),
+            entries_before - report.pruned_entries
+        );
+        assert_eq!(d.retention_floor(), watermark);
+        for (i, lsn) in (watermark..=durable).enumerate() {
+            assert_eq!(
+                d.restore_to_lsn(lsn).unwrap(),
+                before[i],
+                "merge changed restore at LSN {lsn}"
+            );
+        }
+        assert_eq!(
+            d.restore_to_lsn(watermark - 1),
+            Err(RestoreError::BelowRetention { floor: watermark })
+        );
+        // The merged record passes audits like any other.
+        assert!(d.scrub().clean());
+        assert!(d.segments()[0].merged);
+    }
+
+    #[test]
+    fn merges_compound_instead_of_stacking() {
+        let cfg = config();
+        let mut d = LogicalDisk::new(cfg);
+        for l in workload::skewed(cfg.blocks, 600, 5) {
+            d.write(l);
+        }
+        d.merge_below_watermark(200);
+        let after_first = d.segments().len();
+        d.merge_below_watermark(400);
+        // The first merged segment was itself folded into the second.
+        assert_eq!(d.segments().iter().filter(|s| s.merged).count(), 1);
+        assert!(d.segments().len() < after_first);
+        assert_eq!(d.retention_floor(), 400);
+    }
+
+    #[test]
+    fn rebuild_map_works_over_merged_history() {
+        let cfg = config();
+        let stream: Vec<u64> = workload::skewed(cfg.blocks, 320, 9).collect();
+        let mut oracle = LogicalDisk::new(cfg);
+        let mut victim = LogicalDisk::new(cfg);
+        for &l in &stream {
+            oracle.write(l);
+            victim.write(l);
+        }
+        victim.merge_below_watermark(160);
+        victim.crash();
+        victim.rebuild_map();
+        for b in 0..cfg.blocks as u64 {
+            assert_eq!(victim.read(b), oracle.read(b), "block {b}");
+        }
+    }
+
+    #[test]
+    fn replayer_is_idempotent_over_prefixes() {
+        let cfg = config();
+        let mut d = LogicalDisk::new(cfg);
+        for l in workload::skewed(cfg.blocks, 160, 3) {
+            d.write(l);
+        }
+        let segs = d.segments();
+        let mut once = Replayer::new(cfg.blocks);
+        for s in segs {
+            once.apply_segment(s);
+        }
+        // Replay a prefix twice, then the remainder: identical result.
+        let mut twice = Replayer::new(cfg.blocks);
+        for s in &segs[..10] {
+            twice.apply_segment(s);
+        }
+        for s in segs {
+            twice.apply_segment(s);
+        }
+        assert_eq!(once.map(), twice.map());
+        assert_eq!(once.advanced(), twice.advanced());
+    }
+
+    #[test]
+    fn replayer_ignores_out_of_range_entries() {
+        let mut r = Replayer::new(4);
+        assert!(!r.apply(&MapEntry {
+            lsn: 0,
+            logical: 99,
+            physical: 0
+        }));
+        assert_eq!(r.advanced(), 0);
+    }
+
+    #[test]
+    fn retained_bytes_track_entries_and_summaries() {
+        let mut d = LogicalDisk::new(config());
+        for l in 0..16u64 {
+            d.write(l);
+        }
+        assert_eq!(d.retained_entries(), 16);
+        assert_eq!(d.retained_bytes(), 16 * 24 + 2 * 40);
+    }
+}

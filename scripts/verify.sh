@@ -36,7 +36,9 @@ T13ART=$(mktemp /tmp/graft-table13-XXXXXX.json)
 T13OUT=$(mktemp /tmp/graft-table13-XXXXXX.txt)
 T11ART=$(mktemp /tmp/graft-table11-XXXXXX.json)
 T11OUT=$(mktemp /tmp/graft-table11-XXXXXX.txt)
-trap 'rm -f "$ART" "$T7ART" "$T8ART" "$T8OUT" "$T9ART" "$T9OUT" "$T12ART" "$T12OUT" "$T13ART" "$T13OUT" "$T11ART" "$T11OUT"' EXIT
+T14ART=$(mktemp /tmp/graft-table14-XXXXXX.json)
+T14OUT=$(mktemp /tmp/graft-table14-XXXXXX.txt)
+trap 'rm -f "$ART" "$T7ART" "$T8ART" "$T8OUT" "$T9ART" "$T9OUT" "$T12ART" "$T12OUT" "$T13ART" "$T13OUT" "$T11ART" "$T11OUT" "$T14ART" "$T14OUT"' EXIT
 
 echo "==> cargo build --release --offline"
 cargo build --release --offline
@@ -388,6 +390,85 @@ if [ -f BENCH_server.json ]; then
             *)
                 echo "$GATE"
                 echo "table11 regression gate FAILED"
+                exit 1
+                ;;
+        esac
+    }
+    echo "$GATE" | tail -1
+fi
+
+# Durable-logdisk gate: a fresh Table 14 run scrubs a retention-merged
+# history, runs the seeded bit-rot drills, and hands a midpoint restore
+# to every technology. The contract is (a) the checksum audit detects
+# 100% of injected corruptions (duplicate strikes on an already-rotted
+# segment are accounted as undetectable-by-design, never silently
+# dropped), (b) zero silent-wrong-map outcomes across all drill seeds —
+# after quarantine + redo every logical block resolves to its newest
+# content or the failure was loud, (c) restore_to_lsn reproduces the
+# midpoint map bit-exactly, (d) every technology's adopted map answers
+# ld_lookup without a single mismatch, and (e) serving the tail on the
+# restored state costs no more than 1/0.95 of the never-crashed
+# baseline (see docs/recovery.md "Durability & time travel").
+echo "==> table14 durable-logdisk run ($MODE --offline) with run artifact"
+cargo run --release --offline -q -p graft-bench --bin table14 -- \
+    "$MODE" --offline --json "$T14ART" > "$T14OUT"
+
+echo "==> bit-rot detection gate (100% of injected corruptions)"
+awk '/gate: bitrot detection rate/ {
+         found = 1
+         v = $NF; gsub(/%/, "", v)
+         printf "    detection rate: %s%%\n", v
+         if (v + 0 != 100) bad = 1
+     }
+     END { exit (bad || !found) }' "$T14OUT" || {
+    cat "$T14OUT"
+    echo "table14 detection gate FAILED"
+    exit 1
+}
+
+echo "==> silent-corruption gate (zero silent wrong map)"
+awk '/gate: silent wrong map/ {
+         found = 1
+         printf "    silent wrong map: %s\n", $NF
+         if ($NF + 0 != 0) bad = 1
+     }
+     END { exit (bad || !found) }' "$T14OUT" || {
+    cat "$T14OUT"
+    echo "table14 silent-corruption gate FAILED"
+    exit 1
+}
+
+echo "==> restore exactness gate (zero divergence, zero mismatches)"
+awk '/gate: restore divergence/ { rfound = 1; if ($NF + 0 != 0) bad = 1 }
+     /gate: lookup mismatches/ { lfound = 1; if ($NF + 0 != 0) bad = 1 }
+     END { exit (bad || !rfound || !lfound) }' "$T14OUT" || {
+    cat "$T14OUT"
+    echo "table14 restore exactness gate FAILED"
+    exit 1
+}
+
+echo "==> post-restore service gate (post/base >= 0.95)"
+awk '/gate: min post\/base/ {
+         found = 1
+         printf "    min post/base: %s\n", $NF
+         if ($NF + 0 < 0.95) bad = 1
+     }
+     END { exit (bad || !found) }' "$T14OUT" || {
+    cat "$T14OUT"
+    echo "table14 post-restore service gate FAILED"
+    exit 1
+}
+grep "scrub:" "$T14OUT" | sed 's/^ */    /'
+
+if [ -f BENCH_durable.json ]; then
+    echo "==> graftstat regression gate vs BENCH_durable.json (threshold 200%)"
+    GATE=$(cargo run --release --offline -q -p graft-bench --bin graftstat -- \
+        BENCH_durable.json "$T14ART" --threshold 200) || {
+        case "$GATE" in
+            *"drift: 0 of"*) : ;; # no shared sample moved; only one-sided keys
+            *)
+                echo "$GATE"
+                echo "table14 regression gate FAILED"
                 exit 1
                 ;;
         esac
