@@ -16,10 +16,14 @@
 //!    stream runs over a [`FaultyDisk`] armed with `bitrot_permille`;
 //!    every drawn [`Bitrot`] flips one stored bit in a persisted
 //!    segment. After a crash, scrub must detect and quarantine every
-//!    distinct corrupted segment, redo-tail replay must repair the
-//!    map, and a content model proves **zero silent-wrong-map**
-//!    outcomes: every logical block resolves to its newest content or
-//!    the corruption was loudly reported, never silently wrong.
+//!    distinct corrupted segment, LSN-guarded redo-tail replay must
+//!    repair the map (a redo never rolls back a block whose newer copy
+//!    survives in an intact segment), and a content model — stamping
+//!    every physical block with the index of the write that actually
+//!    produced it, independent of the redo mechanism — proves **zero
+//!    silent-wrong-map** outcomes: every logical block resolves to its
+//!    newest content or the corruption was loudly reported, never
+//!    silently wrong.
 //! 4. **Post-restore service cost per technology** — the Table 9 rig,
 //!    one restore back in time: the built-in disk is rolled back to
 //!    the stream's midpoint, the restored map is adopted into each
@@ -48,7 +52,7 @@ use grafts::logdisk as ld_graft;
 use kernsim::stats::Sample;
 use kernsim::{DiskModel, FaultPlan, FaultStats, FaultyDisk};
 use logdisk::cleaner::CleaningDisk;
-use logdisk::{workload, LdConfig, LogicalDisk, UNMAPPED};
+use logdisk::{workload, LdConfig, LogicalDisk, MapEntry, Replayer, UNMAPPED};
 
 use super::tables::ROW_ORDER;
 use super::RunConfig;
@@ -118,7 +122,8 @@ pub struct RotDrill {
     /// Redundant strikes on an already-corrupted segment — injected
     /// but undetectable *by design* (there is nothing left to rot).
     pub undetected_by_design: u64,
-    /// Writes redone from the quarantined spans plus the open segment.
+    /// Writes redone from the quarantined spans (those not already
+    /// superseded by a newer surviving write) plus the open segment.
     pub redone: u64,
     /// Logical blocks that resolved to wrong or stale content after
     /// recovery — the silent-corruption count. Must be 0.
@@ -311,16 +316,17 @@ fn rot_drill(cfg: &RunConfig, seed: u64) -> RotDrill {
         if p >= phys_content.len() {
             phys_content.resize(p + 1, None);
         }
-        let idx = if bump {
+        if bump {
             latest[l as usize] = Some(idx);
-            idx
-        } else {
-            latest[l as usize].expect("redo of a block that was written")
-        };
+        }
+        // Always stamp the write's own index: the oracle must stay
+        // independent of the mechanism under test, so a redone block is
+        // marked with the write actually redone — if redo ever installs
+        // a stale copy, the verdict sees idx != latest and flags it.
         phys_content[p] = Some((l, idx));
     };
 
-    let mut corrupted: HashSet<u64> = HashSet::new();
+    let mut corrupted: HashSet<usize> = HashSet::new();
     for (i, &l) in stream.iter().enumerate() {
         oracle.write(l);
         let flushed = victim.write(l).is_some();
@@ -331,10 +337,13 @@ fn rot_drill(cfg: &RunConfig, seed: u64) -> RotDrill {
             faulty.segment_write().expect("quiet plan cannot fail");
             if let Some(rot) = faulty.bitrot() {
                 // Rot strikes anywhere in the persisted history, not
-                // just the newest segment.
+                // just the newest segment. Struck segments are deduped
+                // by index — stable here, since segments are only ever
+                // appended during the run — never by a field of the
+                // record itself, which a prior summary strike may have
+                // already flipped into a fresh-looking identity.
                 let index = (rot.entropy % victim.segments().len() as u64) as usize;
-                let id = victim.segments()[index].base_lsn;
-                if corrupted.insert(id) {
+                if corrupted.insert(index) {
                     victim.corrupt_segment(index, rot.summary, rot.entropy);
                 } else {
                     // A second strike on an already-rotted segment has
@@ -351,18 +360,38 @@ fn rot_drill(cfg: &RunConfig, seed: u64) -> RotDrill {
     let pending = victim.crash();
     let report = victim.scrub();
     victim.rebuild_map();
+    // Per-slot LSN guard over the surviving history: a span write is
+    // redone only when every surviving mapping for that block is older
+    // than the write being redone. Without the guard, a block whose
+    // corrupted-segment write was superseded by a newer write in a
+    // later intact segment would be rolled back to the stale copy (and
+    // overlapping spans from adjacent quarantines would redo twice).
+    let mut guard = Replayer::new(blocks);
+    for s in victim.segments() {
+        guard.apply_segment(s);
+    }
     let mut redone = 0u64;
     for &(start, end) in &report.redo_spans {
         for i in start..end {
             let l = stream[i as usize];
-            victim.write(l);
-            record(&victim, l, 0, false);
-            redone += 1;
+            let e = MapEntry {
+                lsn: i,
+                logical: l,
+                physical: 0, // the guard only consults the LSN
+            };
+            if guard.apply(&e) {
+                victim.write(l);
+                record(&victim, l, i, false);
+                redone += 1;
+            }
         }
     }
-    for l in pending {
+    // Open-segment writes carry the newest LSNs of all, so they always
+    // win; each is stamped with its true index in the stream.
+    let first_pending = stream.len() - pending.len();
+    for (k, l) in pending.into_iter().enumerate() {
         victim.write(l);
-        record(&victim, l, 0, false);
+        record(&victim, l, (first_pending + k) as u64, false);
         redone += 1;
     }
     let recovery = t0.elapsed();
@@ -626,6 +655,55 @@ mod tests {
         // Distances are distinct and the curve covers the whole window.
         let span = t.restore_curve.last().unwrap().distance;
         assert!(span > 0);
+    }
+
+    #[test]
+    fn guarded_redo_never_rolls_back_a_superseded_block() {
+        // Block 1 is written in segment 0 (physical 0) and rewritten in
+        // segment 1 (physical 4). Rotting segment 0 puts write 0 in the
+        // redo span, but the per-slot LSN guard must refuse to roll
+        // block 1 back over its newer surviving copy — exactly the
+        // recovery sequence rot_drill runs.
+        let config = LdConfig {
+            blocks: 64,
+            segment_blocks: 4,
+        };
+        let stream = [1u64, 2, 3, 4, 1, 5, 6, 7];
+        let mut d = LogicalDisk::new(config);
+        for &l in &stream {
+            d.write(l);
+        }
+        d.corrupt_segment(0, false, 0xAB).unwrap();
+        d.crash();
+        let report = d.scrub();
+        d.rebuild_map();
+        assert_eq!(report.redo_spans, vec![(0, 4)]);
+        let mut guard = Replayer::new(config.blocks);
+        for s in d.segments() {
+            guard.apply_segment(s);
+        }
+        let mut redone = 0;
+        for &(start, end) in &report.redo_spans {
+            for i in start..end {
+                let l = stream[i as usize];
+                let e = MapEntry {
+                    lsn: i,
+                    logical: l,
+                    physical: 0,
+                };
+                if guard.apply(&e) {
+                    d.write(l);
+                    redone += 1;
+                }
+            }
+        }
+        // Writes 1..4 (blocks 2, 3, 4) are redone; write 0 (block 1)
+        // is skipped: its surviving copy at LSN 4 is newer.
+        assert_eq!(redone, 3);
+        assert_eq!(d.read(1), Some(4), "newest copy must survive the redo");
+        assert!(d.read(2).is_some());
+        assert!(d.read(3).is_some());
+        assert!(d.read(4).is_some());
     }
 
     #[test]

@@ -199,9 +199,16 @@ pub struct ScrubReport {
     pub failures: u64,
     /// Half-open `[start, end)` LSN spans whose writes must be redone
     /// by the caller (redo-tail replay): one span per quarantined
-    /// segment, bracketed by the *trusted* neighbours' LSNs — the
-    /// corrupt record's own fields are never believed.
+    /// *fresh* segment, bracketed by the *trusted* neighbours' LSNs —
+    /// the corrupt record's own fields are never believed.
     pub redo_spans: Vec<(u64, u64)>,
+    /// Quarantined *merged* (post-retention) segments. Their payload is
+    /// pre-floor history — by definition not redoable from the caller's
+    /// own log — so the loss is surfaced as a count here instead of an
+    /// empty redo span clamped to the retention floor. Restores at or
+    /// above the floor still answer, with the lost mappings absent:
+    /// reported, never silently wrong.
+    pub lost_below_floor: u64,
 }
 
 impl ScrubReport {
@@ -476,6 +483,14 @@ impl LogicalDisk {
                 continue;
             }
             report.failures += 1;
+            if seg.merged {
+                // A merged record keeps only the newest pre-floor entry
+                // per block, so no LSN span in the caller's log covers
+                // its loss — report it explicitly instead of an empty
+                // span bracketed at the retention floor.
+                report.lost_below_floor += 1;
+                continue;
+            }
             let start = self.segments[..i]
                 .iter()
                 .zip(&intact)

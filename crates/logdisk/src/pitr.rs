@@ -182,9 +182,15 @@ impl LogicalDisk {
     ///
     /// Every retained segment is checksum-audited first; a mismatch
     /// refuses the restore ([`RestoreError::CorruptSegment`]) rather
-    /// than replaying through corrupt history. The live disk is not
-    /// modified (only restore statistics move): the returned map can be
-    /// adopted via [`LogicalDisk::with_map`] or handed to a graft.
+    /// than replaying through corrupt history, and every mismatching
+    /// segment the audit found is counted in
+    /// [`LdStats::checksum_failures`](crate::LdStats::checksum_failures)
+    /// so corruption first noticed by a restore still reaches
+    /// telemetry. (Each audit counts what it finds, so a scrub after a
+    /// refused restore counts — and quarantines — the same rot again.)
+    /// The live disk is not modified (only statistics move): the
+    /// returned map can be adopted via [`LogicalDisk::with_map`] or
+    /// handed to a graft.
     pub fn restore_to_lsn(&mut self, lsn: u64) -> Result<Vec<i64>, RestoreError> {
         if lsn < self.retention_floor {
             return Err(RestoreError::BelowRetention {
@@ -198,8 +204,17 @@ impl LogicalDisk {
         }
         // Audit everything before believing anything: a rotted segment
         // cannot even be trusted about which LSNs it claims to hold.
+        // A refusal is loud in telemetry too, but read-only: the
+        // mismatches are counted, nothing is quarantined here.
         let seed = self.checksum_seed;
-        if let Some(index) = self.segments.iter().position(|s| !s.verify(seed)) {
+        let mut corrupt = self
+            .segments
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.verify(seed))
+            .map(|(i, _)| i);
+        if let Some(index) = corrupt.next() {
+            self.stats.checksum_failures += 1 + corrupt.count() as u64;
             return Err(RestoreError::CorruptSegment { index });
         }
         let mut replayer = Replayer::new(self.config.blocks);
@@ -348,11 +363,43 @@ mod tests {
             d.restore_to_lsn(24),
             Err(RestoreError::CorruptSegment { index: 1 })
         );
-        // Scrub quarantines; the remaining history restores again (the
-        // quarantined span's mappings are absent — reported, not wrong).
+        // The refusal reaches telemetry (read-only: counted, nothing
+        // quarantined yet)...
+        assert_eq!(d.stats().checksum_failures, 1);
+        assert_eq!(d.stats().quarantined_segments, 0);
+        // ...then scrub quarantines (its own audit counts the same rot
+        // again); the remaining history restores again (the quarantined
+        // span's mappings are absent — reported, not wrong).
         let r = d.scrub();
         assert_eq!(r.failures, 1);
+        assert_eq!(d.stats().checksum_failures, 2);
+        assert_eq!(d.stats().quarantined_segments, 1);
         assert!(d.restore_to_lsn(24).is_ok());
+    }
+
+    #[test]
+    fn corrupt_merged_history_is_reported_as_lost_not_an_empty_span() {
+        let cfg = config();
+        let mut d = LogicalDisk::new(cfg);
+        for l in workload::skewed(cfg.blocks, 400, 23) {
+            d.write(l);
+        }
+        d.merge_below_watermark(200);
+        assert!(d.segments()[0].merged);
+        d.corrupt_segment(0, false, 0xF00D).unwrap();
+        let r = d.scrub();
+        assert_eq!(r.failures, 1);
+        assert_eq!(r.lost_below_floor, 1);
+        assert!(
+            r.redo_spans.is_empty(),
+            "pre-floor loss has no redoable span in the caller's log"
+        );
+        assert!(!r.clean());
+        // The rest of the history still audits clean, and restores at
+        // or above the floor still answer — with the merged mappings
+        // absent: reported, never silently wrong.
+        assert!(d.scrub().clean());
+        assert!(d.restore_to_lsn(d.durable_lsn()).is_ok());
     }
 
     #[test]
